@@ -1,0 +1,44 @@
+//! Experiment T-push — the paper's improved CAN: "pushing jobs into
+//! underloaded regions of the CAN space based on dynamic aggregated load
+//! information ... dramatically improves the quality of load balancing
+//! compared to the basic scheme ..., still with low matchmaking cost."
+//!
+//! Compares basic CAN, CAN with pushing, and the centralized target on the
+//! failure case (mixed population, lightly constrained jobs), reporting
+//! wait-time statistics, load fairness, and hop cost.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::harness::Algorithm;
+use dgrid::workloads::PaperScenario;
+use dgrid_bench::bench_cell;
+
+fn can_push_ablation(c: &mut Criterion) {
+    eprintln!("--- T-push: improved CAN on the mixed/lightly-constrained failure case");
+    for alg in [Algorithm::Can, Algorithm::CanPush, Algorithm::Central] {
+        let r = bench_cell(alg, PaperScenario::MixedLight, 4001);
+        eprintln!(
+            "    {:<10} mean_wait={:>8.1}s std_wait={:>8.1}s fairness={:.3} hops={:>5.1}",
+            alg.label(),
+            r.mean_wait(),
+            r.std_wait(),
+            r.load_fairness(),
+            r.match_hops.mean() + r.owner_hops.mean(),
+        );
+    }
+
+    let mut g = c.benchmark_group("can_push_ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for alg in [Algorithm::Can, Algorithm::CanPush] {
+        g.bench_function(alg.label(), |b| {
+            b.iter(|| bench_cell(alg, PaperScenario::MixedLight, 4002))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, can_push_ablation);
+criterion_main!(benches);

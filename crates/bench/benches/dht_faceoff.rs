@@ -1,0 +1,124 @@
+//! Experiment S-dht — Section 2's substrate assumption: "we assume an
+//! underlying Distributed Hash Table (DHT) infrastructure [17, 18, 19, 21]"
+//! (CAN, Pastry, Chord, Tapestry). The grid's GUID → owner mapping only
+//! needs insert/lookup, so the choice is a routing-cost trade-off. This
+//! bench compares all four substrates, implemented from scratch in this
+//! workspace, on identical membership: lookup hops (mean/p99) across system
+//! sizes, and raw lookup throughput.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dgrid::can::{CanConfig, CanNetwork};
+use dgrid::chord::{ChordId, ChordRing};
+use dgrid::pastry::{PastryId, PastryNetwork};
+use dgrid::tapestry::{TapestryId, TapestryNetwork};
+use dgrid::sim::rng::{rng_for, streams};
+use rand::Rng;
+
+fn dht_faceoff(c: &mut Criterion) {
+    eprintln!("--- S-dht: lookup cost by substrate (mean / p99 hops over 500 lookups)");
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = rng_for(11_000 + n as u64, streams::NODE_IDS);
+
+        // Chord.
+        let mut ring = ChordRing::default();
+        let mut chord_ids = Vec::new();
+        while chord_ids.len() < n {
+            let id = ChordId(rng.gen());
+            if !ring.is_alive(id) {
+                ring.join(id);
+                chord_ids.push(id);
+            }
+        }
+        ring.stabilize();
+
+        // Pastry and Tapestry on the same identifier draws.
+        let mut pastry = PastryNetwork::default();
+        let mut tapestry = TapestryNetwork::default();
+        let mut pastry_ids = Vec::new();
+        for id in &chord_ids {
+            pastry.join(PastryId(id.0));
+            tapestry.join(TapestryId(id.0));
+            pastry_ids.push(PastryId(id.0));
+        }
+        pastry.stabilize();
+        tapestry.stabilize();
+
+        // CAN (4-d, as the matchmaker uses).
+        let mut can = CanNetwork::new(CanConfig { dims: 4, ..CanConfig::default() });
+        let can_ids: Vec<_> = (0..n)
+            .map(|_| {
+                let p: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+                can.join(&p)
+            })
+            .collect();
+
+        let trials = 500;
+        let mut chord_hops = Vec::with_capacity(trials);
+        let mut pastry_hops = Vec::with_capacity(trials);
+        let mut tapestry_hops = Vec::with_capacity(trials);
+        let mut can_hops = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let key: u64 = rng.gen();
+            let from = rng.gen_range(0..n);
+            chord_hops.push(ring.lookup(chord_ids[from], ChordId(key)).unwrap().hops as f64);
+            pastry_hops.push(pastry.route(pastry_ids[from], PastryId(key)).unwrap().hops as f64);
+            tapestry_hops
+                .push(tapestry.route(TapestryId(chord_ids[from].0), TapestryId(key)).unwrap().hops as f64);
+            let target: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+            can_hops.push(can.route(can_ids[from], &target).unwrap().hops as f64);
+        }
+        let stats = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (mean, v[(v.len() * 99) / 100])
+        };
+        let (cm, cp) = stats(chord_hops);
+        let (pm, pp) = stats(pastry_hops);
+        let (tm, tp) = stats(tapestry_hops);
+        let (nm, np) = stats(can_hops);
+        eprintln!(
+            "    N={n:<5} chord={cm:>4.1}/{cp:<4.0} pastry={pm:>4.1}/{pp:<4.0} tapestry={tm:>4.1}/{tp:<4.0} can(4d)={nm:>4.1}/{np:<4.0}"
+        );
+    }
+
+    let mut g = c.benchmark_group("dht_faceoff");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let mut rng = rng_for(12_000, streams::NODE_IDS);
+    let mut ring = ChordRing::default();
+    let mut pastry = PastryNetwork::default();
+    let mut ids = Vec::new();
+    while ids.len() < 512 {
+        let id: u64 = rng.gen();
+        if !ring.is_alive(ChordId(id)) {
+            ring.join(ChordId(id));
+            pastry.join(PastryId(id));
+            ids.push(id);
+        }
+    }
+    ring.stabilize();
+    pastry.stabilize();
+
+    g.bench_function("chord_lookup/N=512", |b| {
+        b.iter(|| {
+            let key = ChordId(rng.gen());
+            let from = ChordId(ids[rng.gen_range(0..ids.len())]);
+            black_box(ring.lookup(from, key))
+        })
+    });
+    g.bench_function("pastry_route/N=512", |b| {
+        b.iter(|| {
+            let key = PastryId(rng.gen());
+            let from = PastryId(ids[rng.gen_range(0..ids.len())]);
+            black_box(pastry.route(from, key))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dht_faceoff);
+criterion_main!(benches);

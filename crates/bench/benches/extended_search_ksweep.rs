@@ -1,0 +1,56 @@
+//! Experiment A-k — Section 3.1's design choice: extended search. "Rather
+//! than stopping at the first candidate capable of executing a given job,
+//! the search proceeds until at least k capable nodes are found for better
+//! load balancing."
+//!
+//! Sweeps k and reports the balance-vs-cost trade: larger k smooths wait
+//! times at the price of more search hops.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::core::{ChurnConfig, RnTreeConfig, RnTreeMatchmaker};
+use dgrid::harness::paper_engine_config;
+use dgrid::workloads::{paper_scenario, PaperScenario};
+use dgrid_bench::{BENCH_JOBS, BENCH_NODES};
+
+fn run_with_k(k: usize, seed: u64) -> dgrid::core::SimReport {
+    let workload = paper_scenario(PaperScenario::MixedLight, BENCH_NODES, BENCH_JOBS, seed);
+    let mm = Box::new(RnTreeMatchmaker::new(RnTreeConfig {
+        k,
+        ..RnTreeConfig::default()
+    }));
+    dgrid::core::Engine::new(
+        paper_engine_config(seed),
+        ChurnConfig::none(),
+        mm,
+        workload.nodes,
+        workload.submissions,
+    )
+    .run()
+}
+
+fn ksweep(c: &mut Criterion) {
+    eprintln!("--- A-k: extended-search width vs balance and cost (rn-tree, mixed/light)");
+    for &k in &[1usize, 2, 4, 8, 16] {
+        let r = run_with_k(k, 8001);
+        eprintln!(
+            "    k={k:<3} mean_wait={:>8.1}s std_wait={:>8.1}s match_hops={:>5.1}",
+            r.mean_wait(),
+            r.std_wait(),
+            r.match_hops.mean(),
+        );
+    }
+
+    let mut g = c.benchmark_group("extended_search_ksweep");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for &k in &[1usize, 4, 16] {
+        g.bench_function(format!("k={k}"), |b| b.iter(|| run_with_k(k, 8002)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ksweep);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment T-robust — Section 2's recovery protocol: "If either the
+//! owner or run nodes fails, the other node will detect the failure and
+//! initiate a recovery mechanism ... If both the owner and run node fail
+//! before the recovery protocol completes, the client must resubmit."
+//!
+//! Sweeps node MTTF under churn (with repair) and reports completion rate
+//! and which recovery paths fired, then times one churn-heavy simulation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::core::ChurnConfig;
+use dgrid::harness::{paper_engine_config, run_workload, Algorithm};
+use dgrid::workloads::{paper_scenario, PaperScenario};
+
+fn churn_run(alg: Algorithm, mttf: f64, seed: u64) -> dgrid::core::SimReport {
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 300, seed);
+    let churn = ChurnConfig {
+        mttf_secs: Some(mttf),
+        rejoin_after_secs: Some(600.0),
+        graceful_fraction: 0.0,
+    };
+    run_workload(alg, &workload, paper_engine_config(seed), churn)
+}
+
+fn failure_recovery(c: &mut Criterion) {
+    eprintln!("--- T-robust: recovery under churn (64 nodes, 300 jobs, rejoin after 600s)");
+    for &mttf in &[2_000.0f64, 8_000.0, 32_000.0] {
+        for alg in [Algorithm::RnTree, Algorithm::Central] {
+            let r = churn_run(alg, mttf, 5001);
+            eprintln!(
+                "    mttf={mttf:>7.0}s {:<8} completion={:.3} failures={} run_rec={} owner_rec={} resubmits={}",
+                alg.label(),
+                r.completion_rate(),
+                r.node_failures,
+                r.run_recoveries,
+                r.owner_recoveries,
+                r.client_resubmits,
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("failure_recovery");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    g.bench_function("rn-tree/mttf=8000", |b| {
+        b.iter(|| churn_run(Algorithm::RnTree, 8_000.0, 5002))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, failure_recovery);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment F2a/F2b — Figure 2(a): average job wait time and 2(b): its
+//! standard deviation, for **clustered** workloads (lightly and heavily
+//! constrained), comparing CAN, RN-Tree, and the centralized target.
+//!
+//! The regenerated series is printed before timing; the timed body is one
+//! full bench-scale simulation per (scenario, algorithm) cell.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::harness::Algorithm;
+use dgrid::workloads::PaperScenario;
+use dgrid_bench::{bench_cell, print_series};
+
+fn fig2_clustered(c: &mut Criterion) {
+    let scenarios = [PaperScenario::ClusteredLight, PaperScenario::ClusteredHeavy];
+    for scenario in scenarios {
+        let reports: Vec<_> = Algorithm::FIGURE2
+            .iter()
+            .map(|&a| (a, bench_cell(a, scenario, 1077)))
+            .collect();
+        print_series("Figure 2(a,b): wait time, clustered workloads", scenario, &reports);
+    }
+
+    let mut g = c.benchmark_group("fig2_clustered");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for scenario in scenarios {
+        for alg in Algorithm::FIGURE2 {
+            g.bench_function(format!("{}/{}", scenario.label(), alg.label()), |b| {
+                b.iter(|| bench_cell(alg, scenario, 1078))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig2_clustered);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment F2c/F2d — Figure 2(c): average job wait time and 2(d): its
+//! standard deviation, for **mixed** workloads. The paper's headline
+//! observation lives here: basic CAN degrades badly on the
+//! lightly-constrained mixed case (origin-zone pile-up) while the RN-Tree
+//! stays close to the centralized target.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::harness::Algorithm;
+use dgrid::workloads::PaperScenario;
+use dgrid_bench::{bench_cell, print_series};
+
+fn fig2_mixed(c: &mut Criterion) {
+    let scenarios = [PaperScenario::MixedLight, PaperScenario::MixedHeavy];
+    for scenario in scenarios {
+        let reports: Vec<_> = Algorithm::FIGURE2
+            .iter()
+            .map(|&a| (a, bench_cell(a, scenario, 2077)))
+            .collect();
+        print_series("Figure 2(c,d): wait time, mixed workloads", scenario, &reports);
+    }
+
+    let mut g = c.benchmark_group("fig2_mixed");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for scenario in scenarios {
+        for alg in Algorithm::FIGURE2 {
+            g.bench_function(format!("{}/{}", scenario.label(), alg.label()), |b| {
+                b.iter(|| bench_cell(alg, scenario, 2078))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig2_mixed);
+criterion_main!(benches);

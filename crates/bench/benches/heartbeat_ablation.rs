@@ -1,0 +1,56 @@
+//! Experiment A-hb — Section 2's soft-state heartbeat design: "this
+//! soft-state heartbeat message plays an important role in failure recovery
+//! during the processing of jobs". The ablation sweeps the heartbeat
+//! period under churn and quantifies the trade-off: fast heartbeats mean
+//! fast failure detection (less recovery latency) but more messages; slow
+//! heartbeats are cheap but leave interrupted jobs stranded for the whole
+//! detection window.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::core::{ChurnConfig, EngineConfig};
+use dgrid::harness::{run_workload, Algorithm};
+use dgrid::workloads::{paper_scenario, PaperScenario};
+
+fn hb_run(heartbeat_secs: f64, seed: u64) -> dgrid::core::SimReport {
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 300, seed);
+    let cfg = EngineConfig {
+        seed,
+        heartbeat_secs,
+        heartbeat_misses: 3,
+        client_resubmit_secs: (heartbeat_secs * 3.0 * 2.0).max(300.0),
+        max_sim_secs: 3_000_000.0,
+        ..EngineConfig::default()
+    };
+    let churn = ChurnConfig {
+        mttf_secs: Some(3_000.0),
+        rejoin_after_secs: Some(500.0),
+        graceful_fraction: 0.0,
+    };
+    run_workload(Algorithm::RnTree, &workload, cfg, churn)
+}
+
+fn heartbeat_ablation(c: &mut Criterion) {
+    eprintln!("--- A-hb: heartbeat period vs detection latency and message overhead");
+    for &hb in &[2.0f64, 10.0, 30.0, 120.0] {
+        let r = hb_run(hb, 9001);
+        eprintln!(
+            "    hb={hb:>5.0}s detection={:>4.0}s turnaround={:>7.1}s completion={:.3} hb_msgs={:>8}",
+            hb * 3.0,
+            r.turnaround.mean(),
+            r.completion_rate(),
+            r.heartbeat_messages,
+        );
+    }
+
+    let mut g = c.benchmark_group("heartbeat_ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    g.bench_function("hb=10s", |b| b.iter(|| hb_run(10.0, 9002)));
+    g.finish();
+}
+
+criterion_group!(benches, heartbeat_ablation);
+criterion_main!(benches);

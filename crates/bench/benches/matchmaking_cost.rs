@@ -1,0 +1,41 @@
+//! Experiment T-hops — the paper's claim that "both the CAN and RN-Tree can
+//! find an appropriate run node for a job with a small number of hops
+//! through the P2P overlay network", and that cost scales gently with N.
+//!
+//! Prints mean/p99 total matchmaking hops per job for N ∈ {64, 128, 256},
+//! then times one matchmaking-heavy simulation per algorithm.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::harness::{run_scenario, Algorithm};
+use dgrid::workloads::PaperScenario;
+
+fn matchmaking_cost(c: &mut Criterion) {
+    eprintln!("--- T-hops: matchmaking cost (hops/job) vs system size");
+    for &n in &[64usize, 128, 256] {
+        for alg in [Algorithm::Can, Algorithm::RnTree] {
+            let mut r = run_scenario(alg, PaperScenario::MixedHeavy, n, 2 * n, 3001 + n as u64);
+            let (mean, p99) = r.hop_summary();
+            let owner = r.owner_hops.mean();
+            eprintln!(
+                "    N={n:<4} {:<8} owner_hops={owner:>5.1} match_hops mean={mean:>5.1} p99={p99:>5.1}",
+                alg.label()
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("matchmaking_cost");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for alg in [Algorithm::Can, Algorithm::RnTree] {
+        g.bench_function(alg.label(), |b| {
+            b.iter(|| run_scenario(alg, PaperScenario::MixedHeavy, 128, 256, 3002))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, matchmaking_cost);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the substrate hot paths: Chord lookup, CAN routing,
+//! RN-Tree candidate search, and the event queue. These back the overlay-
+//! cost numbers in the macro experiments.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dgrid::can::{CanConfig, CanNetwork};
+use dgrid::chord::{ChordId, ChordRing};
+use dgrid::resources::{Capabilities, JobRequirements, OsType, ResourceKind};
+use dgrid::rntree::RnTreeIndex;
+use dgrid::sim::rng::{rng_for, streams};
+use dgrid::sim::{EventQueue, SimTime};
+use rand::Rng;
+use std::collections::HashMap;
+
+fn chord_ring(n: usize, seed: u64) -> (ChordRing, Vec<ChordId>) {
+    let mut rng = rng_for(seed, streams::NODE_IDS);
+    let mut ring = ChordRing::default();
+    let mut ids = Vec::new();
+    while ids.len() < n {
+        let id = ChordId(rng.gen());
+        if !ring.is_alive(id) {
+            ring.join(id);
+            ids.push(id);
+        }
+    }
+    ring.stabilize();
+    (ring, ids)
+}
+
+fn overlay_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlay_micro");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    // Chord lookup on a 1024-node ring.
+    let (ring, ids) = chord_ring(1024, 9001);
+    let mut rng = rng_for(9002, 0);
+    g.bench_function("chord_lookup/N=1024", |b| {
+        b.iter(|| {
+            let key = ChordId(rng.gen());
+            let from = ids[rng.gen_range(0..ids.len())];
+            black_box(ring.lookup(from, key))
+        })
+    });
+
+    // CAN greedy route on a 512-node 4-d space.
+    let mut net = CanNetwork::new(CanConfig { dims: 4, ..CanConfig::default() });
+    let mut crng = rng_for(9003, 0);
+    let can_ids: Vec<_> = (0..512)
+        .map(|_| {
+            let p: Vec<f64> = (0..4).map(|_| crng.gen::<f64>()).collect();
+            net.join(&p)
+        })
+        .collect();
+    g.bench_function("can_route/N=512", |b| {
+        b.iter(|| {
+            let target: Vec<f64> = (0..4).map(|_| crng.gen::<f64>()).collect();
+            let from = can_ids[crng.gen_range(0..can_ids.len())];
+            black_box(net.route(from, &target))
+        })
+    });
+
+    // RN-Tree candidate search on a 1024-node tree.
+    let caps: HashMap<ChordId, Capabilities> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let c = Capabilities::new(
+                0.5 + (i % 8) as f64 * 0.4,
+                2f64.powi((i % 6) as i32 - 2),
+                10.0 + (i % 50) as f64 * 9.0,
+                OsType::Linux,
+            );
+            (id, c)
+        })
+        .collect();
+    let index = RnTreeIndex::build(&ring, &caps);
+    let req = JobRequirements::unconstrained()
+        .with_min(ResourceKind::CpuSpeed, 2.0)
+        .with_min(ResourceKind::Memory, 2.0);
+    g.bench_function("rntree_search/N=1024/k=4", |b| {
+        b.iter(|| {
+            let owner = ids[rng.gen_range(0..ids.len())];
+            black_box(index.find_candidates(owner, &req, 4))
+        })
+    });
+
+    // Event queue schedule+pop throughput.
+    g.bench_function("event_queue/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_millis((i * 37) % 50_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, overlay_micro);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Experiment T-tree — Section 3.1's claim that "the overall height of the
+//! RN-Tree is likely to be O(log N)". Prints measured height against
+//! log₂(N) for growing rings, then times tree construction.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::chord::{ChordId, ChordRing};
+use dgrid::rntree::RnTree;
+use dgrid::sim::rng::{rng_for, streams};
+use rand::Rng;
+
+fn ring_of(n: usize, seed: u64) -> ChordRing {
+    let mut rng = rng_for(seed, streams::NODE_IDS);
+    let mut ring = ChordRing::default();
+    let mut count = 0;
+    while count < n {
+        let id = ChordId(rng.gen());
+        if !ring.is_alive(id) {
+            ring.join(id);
+            count += 1;
+        }
+    }
+    ring.stabilize();
+    ring
+}
+
+fn tree_height(c: &mut Criterion) {
+    eprintln!("--- T-tree: RN-Tree height vs log2(N)");
+    for &n in &[64usize, 256, 1024, 4096, 8192] {
+        let ring = ring_of(n, 6001 + n as u64);
+        let (tree, build_hops) = RnTree::build_counting(&ring);
+        eprintln!(
+            "    N={n:<5} height={:<3} log2(N)={:<5.1} build_hops/node={:.2}",
+            tree.height(),
+            (n as f64).log2(),
+            build_hops as f64 / n as f64,
+        );
+    }
+
+    let mut g = c.benchmark_group("tree_height");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let ring = ring_of(1024, 6002);
+    g.bench_function("build/N=1024", |b| b.iter(|| RnTree::build(&ring)));
+    g.finish();
+}
+
+criterion_group!(benches, tree_height);
+criterion_main!(benches);

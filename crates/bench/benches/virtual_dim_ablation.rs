@@ -1,0 +1,45 @@
+//! Experiment A-virt — Section 3.2's design choice: the virtual dimension.
+//! "Whenever a new node joins ..., a representative point ... is generated
+//! by combining the resource capabilities of the node and a randomly
+//! generated virtual dimension value. Therefore, even when multiple
+//! identical nodes join the system, they are mapped to distinct locations."
+//!
+//! The ablation runs basic CAN with and without the virtual dimension on a
+//! clustered workload (identical nodes, identical jobs) and reports the
+//! wait-time spread and ownership fairness that the virtual dimension buys.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::harness::Algorithm;
+use dgrid::workloads::PaperScenario;
+use dgrid_bench::bench_cell;
+
+fn virtual_dim_ablation(c: &mut Criterion) {
+    eprintln!("--- A-virt: CAN with vs without the virtual dimension (clustered workload)");
+    for alg in [Algorithm::Can, Algorithm::CanNoVirtualDim] {
+        let r = bench_cell(alg, PaperScenario::ClusteredLight, 7001);
+        eprintln!(
+            "    {:<11} mean_wait={:>8.1}s std_wait={:>8.1}s fairness={:.3} completed={}",
+            alg.label(),
+            r.mean_wait(),
+            r.std_wait(),
+            r.load_fairness(),
+            r.jobs_completed,
+        );
+    }
+
+    let mut g = c.benchmark_group("virtual_dim_ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for alg in [Algorithm::Can, Algorithm::CanNoVirtualDim] {
+        g.bench_function(alg.label(), |b| {
+            b.iter(|| bench_cell(alg, PaperScenario::ClusteredLight, 7002))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, virtual_dim_ablation);
+criterion_main!(benches);

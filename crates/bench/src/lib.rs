@@ -1,0 +1,38 @@
+//! Shared helpers for the benchmark suite and the `repro` binary.
+//!
+//! Each Criterion bench regenerates one experiment row from `DESIGN.md` at
+//! a reduced scale (so `cargo bench` terminates in minutes) and prints the
+//! figure's data series once before timing; the `repro` binary runs the
+//! full-scale configurations and emits the tables recorded in
+//! `EXPERIMENTS.md`.
+
+use dgrid::core::SimReport;
+use dgrid::harness::{run_scenario, Algorithm};
+use dgrid::workloads::PaperScenario;
+
+/// Scale used inside Criterion benches: small enough to iterate, large
+/// enough that the paper's qualitative ordering already shows.
+pub const BENCH_NODES: usize = 96;
+/// Jobs per bench-scale run.
+pub const BENCH_JOBS: usize = 400;
+
+/// Run a bench-scale cell once.
+pub fn bench_cell(algorithm: Algorithm, scenario: PaperScenario, seed: u64) -> SimReport {
+    run_scenario(algorithm, scenario, BENCH_NODES, BENCH_JOBS, seed)
+}
+
+/// Print one figure row (used by benches so `cargo bench` output contains
+/// the regenerated series).
+pub fn print_series(figure: &str, scenario: PaperScenario, reports: &[(Algorithm, SimReport)]) {
+    eprintln!("--- {figure} [{}] (bench scale: {BENCH_NODES} nodes, {BENCH_JOBS} jobs)", scenario.label());
+    for (alg, r) in reports {
+        eprintln!(
+            "    {:<10} mean_wait={:>8.1}s std_wait={:>8.1}s hops={:>5.1} completed={}",
+            alg.label(),
+            r.mean_wait(),
+            r.std_wait(),
+            r.match_hops.mean() + r.owner_hops.mean(),
+            r.jobs_completed,
+        );
+    }
+}

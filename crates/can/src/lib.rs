@@ -1,0 +1,55 @@
+//! # dgrid-can — a Content-Addressable Network
+//!
+//! The paper's second matchmaker formulates resource discovery "as a routing
+//! problem in a CAN space" (Section 3.2): every resource type is a
+//! dimension, node capabilities and job requirements become coordinates, and
+//! a randomly-assigned **virtual dimension** breaks up clusters of identical
+//! nodes and jobs. This crate implements the underlying CAN after Ratnasamy
+//! et al. (SIGCOMM'01), from scratch:
+//!
+//! * the coordinate space is the unit d-**torus** `[0, 1)^d`, managed as a
+//!   dynamic partition into axis-aligned [`Zone`]s (half-open boxes);
+//! * a node [`join`](CanNetwork::join)s at a chosen point: the zone
+//!   containing that point is split in half (cycling through dimensions by
+//!   split depth) and the half containing the point is handed to the new
+//!   node;
+//! * on [`leave`](CanNetwork::leave)/[`fail`](CanNetwork::fail), the
+//!   departed zones are taken over by the smallest-volume neighbouring node
+//!   (CAN's takeover rule), so nodes may temporarily own multiple zones;
+//! * [`route`](CanNetwork::route) is greedy geographic forwarding over
+//!   neighbour sets with per-hop counting — matchmaking cost in hops is one
+//!   of the paper's reported metrics;
+//! * neighbour sets (zones abutting across one dimension, overlapping in all
+//!   others, with torus wrap-around) are maintained on every membership or
+//!   ownership change.
+//!
+//! The space **always partitions the torus**: every point has exactly one
+//! owner. Property tests in `tests/` verify this invariant under arbitrary
+//! join/leave sequences.
+//!
+//! ```
+//! use dgrid_can::{CanConfig, CanNetwork};
+//! use rand::Rng;
+//!
+//! let mut net = CanNetwork::new(CanConfig { dims: 2, ..CanConfig::default() });
+//! let mut rng = dgrid_sim::rng::rng_for(7, 0);
+//! let mut ids = Vec::new();
+//! for _ in 0..32 {
+//!     let p = [rng.gen::<f64>(), rng.gen::<f64>()];
+//!     ids.push(net.join(&p));
+//! }
+//! let target = [0.3, 0.9];
+//! let hop_route = net.route(ids[0], &target).unwrap();
+//! assert_eq!(hop_route.owner, net.owner_of(&target).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod point;
+mod zone;
+
+pub use network::{CanConfig, CanNetwork, CanNodeId, Route};
+pub use point::{torus_dist, torus_dist_1d};
+pub use zone::Zone;

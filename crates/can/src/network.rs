@@ -1,0 +1,689 @@
+//! CAN membership, zone ownership, neighbor maintenance, and routing.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::point::check_point;
+use crate::zone::Zone;
+
+/// Tunables for the CAN substrate.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CanConfig {
+    /// Dimensionality of the coordinate space. The paper uses one dimension
+    /// per resource type (3) plus the virtual dimension, hence 4.
+    pub dims: usize,
+    /// Safety valve on greedy routing.
+    pub max_route_hops: u32,
+}
+
+impl Default for CanConfig {
+    fn default() -> Self {
+        CanConfig {
+            dims: 4,
+            max_route_hops: 4096,
+        }
+    }
+}
+
+/// Handle for a CAN node. Handles are never reused; a peer that departs and
+/// rejoins gets a fresh id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CanNodeId(pub u32);
+
+impl fmt::Debug for CanNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "can#{}", self.0)
+    }
+}
+
+/// Result of a successful greedy route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The node whose zone contains the target point.
+    pub owner: CanNodeId,
+    /// Overlay hops taken, including any detour steps.
+    pub hops: u32,
+}
+
+struct Slot {
+    alive: bool,
+    point: Box<[f64]>,
+    zones: Vec<Zone>,
+    neighbors: BTreeSet<CanNodeId>,
+}
+
+/// The CAN: a dynamic partition of the unit d-torus among live nodes.
+pub struct CanNetwork {
+    cfg: CanConfig,
+    slots: Vec<Slot>,
+    alive: usize,
+}
+
+impl CanNetwork {
+    /// An empty network.
+    pub fn new(cfg: CanConfig) -> Self {
+        assert!(cfg.dims >= 1, "CAN needs at least one dimension");
+        CanNetwork {
+            cfg,
+            slots: Vec::new(),
+            alive: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CanConfig {
+        &self.cfg
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// True iff no node is alive.
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+
+    /// Is this node currently a member?
+    pub fn is_alive(&self, id: CanNodeId) -> bool {
+        self.slots.get(id.0 as usize).is_some_and(|s| s.alive)
+    }
+
+    /// Ids of all live nodes, ascending.
+    pub fn alive_ids(&self) -> Vec<CanNodeId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| CanNodeId(i as u32))
+            .collect()
+    }
+
+    /// A uniformly random live node.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<CanNodeId> {
+        if self.alive == 0 {
+            return None;
+        }
+        let n = rng.gen_range(0..self.alive);
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .nth(n)
+            .map(|(i, _)| CanNodeId(i as u32))
+    }
+
+    /// The representative point this node joined at.
+    pub fn point(&self, id: CanNodeId) -> &[f64] {
+        &self.slot(id).point
+    }
+
+    /// The zones this node currently owns (usually one; more after a
+    /// takeover).
+    pub fn zones(&self, id: CanNodeId) -> &[Zone] {
+        &self.slot(id).zones
+    }
+
+    /// This node's current neighbor set.
+    pub fn neighbors(&self, id: CanNodeId) -> &BTreeSet<CanNodeId> {
+        &self.slot(id).neighbors
+    }
+
+    fn slot(&self, id: CanNodeId) -> &Slot {
+        let s = &self.slots[id.0 as usize];
+        assert!(s.alive, "access to departed node {id:?}");
+        s
+    }
+
+    /// The live owner of `p` (zones partition the space, so exactly one
+    /// node owns any point). `None` on an empty network.
+    pub fn owner_of(&self, p: &[f64]) -> Option<CanNodeId> {
+        check_point(p, self.cfg.dims);
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .find(|(_, s)| s.zones.iter().any(|z| z.contains(p)))
+            .map(|(i, _)| CanNodeId(i as u32))
+    }
+
+    // ------------------------------------------------------------------
+    // Churn
+    // ------------------------------------------------------------------
+
+    /// Join at `point`: split the zone containing it and take the half that
+    /// contains `point`. Returns the new node's id.
+    ///
+    /// # Panics
+    /// If `point` is outside `[0,1)^dims` or the target zone has been split
+    /// so often it cannot be halved again (pathologically clustered points —
+    /// the failure mode the paper's virtual dimension exists to avoid).
+    pub fn join(&mut self, point: &[f64]) -> CanNodeId {
+        check_point(point, self.cfg.dims);
+        let new_id = CanNodeId(self.slots.len() as u32);
+
+        if self.alive == 0 {
+            self.slots.push(Slot {
+                alive: true,
+                point: point.into(),
+                zones: vec![Zone::unit(self.cfg.dims)],
+                neighbors: BTreeSet::new(),
+            });
+            self.alive = 1;
+            return new_id;
+        }
+
+        let owner = self.owner_of(point).expect("non-empty network owns all points");
+        let owner_point: Vec<f64> = self.slots[owner.0 as usize].point.to_vec();
+        let owner_slot = &mut self.slots[owner.0 as usize];
+        let zi = owner_slot
+            .zones
+            .iter()
+            .position(|z| z.contains(point))
+            .expect("owner contains the point");
+        let zone = owner_slot.zones[zi].clone();
+        // Prefer a dimension whose midpoint *separates* the occupant's point
+        // from the joiner's (cycling from the round-robin preference), so
+        // both nodes keep their own point after the split. For nodes
+        // identical in every real dimension this is what makes the virtual
+        // dimension do its job: every split lands on the virtual axis and a
+        // stack of identical nodes ends up as a stack of virtual-axis
+        // slices. Fall back to plain round-robin when no dimension
+        // separates (e.g. the occupant's point left its zone after an
+        // earlier split or takeover).
+        let dims = zone.dims();
+        let pref = zone.depth() as usize % dims;
+        let separating = (0..dims).map(|k| (pref + k) % dims).find(|&i| {
+            let (l, h) = (zone.lo()[i], zone.hi()[i]);
+            let mid = (l + h) / 2.0;
+            mid > l && mid < h && ((owner_point[i] < mid) != (point[i] < mid))
+        });
+        let dim = separating
+            .or_else(|| zone.best_split_dim())
+            .unwrap_or_else(|| {
+                panic!(
+                    "zone at depth {} too thin to split in every dimension; \
+                     use a virtual dimension to separate identical points",
+                    zone.depth()
+                )
+            });
+        let (lo_half, hi_half) = zone.split(dim);
+        let (new_zone, kept_zone) = if lo_half.contains(point) {
+            (lo_half, hi_half)
+        } else {
+            (hi_half, lo_half)
+        };
+        owner_slot.zones[zi] = kept_zone;
+
+        self.slots.push(Slot {
+            alive: true,
+            point: point.into(),
+            zones: vec![new_zone],
+            neighbors: BTreeSet::new(),
+        });
+        self.alive += 1;
+
+        // New adjacencies can only involve the former neighborhood of the
+        // split zone (any zone touching a half touched the whole).
+        let mut affected: BTreeSet<CanNodeId> = self.slots[owner.0 as usize]
+            .neighbors
+            .iter()
+            .copied()
+            .collect();
+        affected.insert(owner);
+        affected.insert(new_id);
+        self.rebuild_neighbors_within(&affected);
+        new_id
+    }
+
+    /// Graceful departure: the node hands its zones to the smallest-volume
+    /// neighbor (CAN's takeover rule). That neighbor may then own several
+    /// zones; sibling zones are re-merged where they form a box.
+    ///
+    /// # Panics
+    /// If `id` is not a live node.
+    pub fn leave(&mut self, id: CanNodeId) {
+        self.depart(id);
+    }
+
+    /// Abrupt failure. At this structural level the effect matches
+    /// [`CanNetwork::leave`]: CAN neighbors exchange heartbeats and run the
+    /// TAKEOVER protocol within one timeout, which is instantaneous at the
+    /// granularity the paper's simulation models. (The desktop-grid layer
+    /// above models the *job-state* consequences of failures explicitly.)
+    pub fn fail(&mut self, id: CanNodeId) {
+        self.depart(id);
+    }
+
+    fn depart(&mut self, id: CanNodeId) {
+        let idx = id.0 as usize;
+        assert!(
+            self.slots.get(idx).is_some_and(|s| s.alive),
+            "departure of unknown/dead node {id:?}"
+        );
+        let neighbors = std::mem::take(&mut self.slots[idx].neighbors);
+        let zones = std::mem::take(&mut self.slots[idx].zones);
+        self.slots[idx].alive = false;
+        self.alive -= 1;
+
+        if self.alive == 0 {
+            return;
+        }
+
+        // Smallest-volume live neighbor takes over (ties: lowest id).
+        let takeover = neighbors
+            .iter()
+            .copied()
+            .filter(|&n| self.is_alive(n))
+            .min_by(|&a, &b| {
+                let va: f64 = self.slots[a.0 as usize].zones.iter().map(Zone::volume).sum();
+                let vb: f64 = self.slots[b.0 as usize].zones.iter().map(Zone::volume).sum();
+                va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
+            })
+            .expect("a multi-node partition always has live neighbors");
+
+        let tslot = &mut self.slots[takeover.0 as usize];
+        tslot.zones.extend(zones);
+        merge_sibling_zones(&mut tslot.zones);
+
+        // Adjacency changes are confined to the departed node's former
+        // neighborhood plus the takeover node's own neighborhood.
+        let mut affected: BTreeSet<CanNodeId> = neighbors
+            .into_iter()
+            .filter(|&n| self.is_alive(n))
+            .collect();
+        affected.extend(self.slots[takeover.0 as usize].neighbors.iter().copied());
+        affected.insert(takeover);
+        affected.remove(&id);
+        self.rebuild_neighbors_within(&affected);
+    }
+
+    /// Recompute adjacency among `affected` nodes, and prune stale links
+    /// from them to anyone. Links between two unaffected nodes are
+    /// untouched (they cannot have changed).
+    fn rebuild_neighbors_within(&mut self, affected: &BTreeSet<CanNodeId>) {
+        let ids: Vec<CanNodeId> = affected.iter().copied().filter(|&n| self.is_alive(n)).collect();
+        // Drop all links touching an affected node, from both sides.
+        for &a in &ids {
+            let old = std::mem::take(&mut self.slots[a.0 as usize].neighbors);
+            for b in old {
+                if !affected.contains(&b) && self.is_alive(b) {
+                    // The unaffected side's link to `a` must be re-derived.
+                    self.slots[b.0 as usize].neighbors.remove(&a);
+                }
+            }
+        }
+        // Re-derive links from each affected node to every live node it
+        // could border: its former neighborhood is gone, so test against
+        // all affected peers *and* the rest via geometry. Zone geometry
+        // changes are local, so testing affected×all is sufficient and
+        // costs O(|affected| · N) zone comparisons.
+        let all: Vec<CanNodeId> = self.alive_ids();
+        for &a in &ids {
+            for &b in &all {
+                if a == b {
+                    continue;
+                }
+                let adjacent = {
+                    let za = &self.slots[a.0 as usize].zones;
+                    let zb = &self.slots[b.0 as usize].zones;
+                    za.iter().any(|x| zb.iter().any(|y| x.is_neighbor(y)))
+                };
+                if adjacent {
+                    self.slots[a.0 as usize].neighbors.insert(b);
+                    self.slots[b.0 as usize].neighbors.insert(a);
+                } else {
+                    self.slots[a.0 as usize].neighbors.remove(&b);
+                    self.slots[b.0 as usize].neighbors.remove(&a);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Greedy routing from `from` towards the zone containing `target`.
+    ///
+    /// At each step the message moves to the neighbor whose zones are
+    /// closest (torus distance) to the target; a visited set plus
+    /// depth-first backtracking makes the walk complete on any connected
+    /// partition, and every traversed edge (including backtracking) counts
+    /// as a hop, as it would on the wire.
+    ///
+    /// # Panics
+    /// If `from` is not a live node.
+    pub fn route(&self, from: CanNodeId, target: &[f64]) -> Option<Route> {
+        check_point(target, self.cfg.dims);
+        assert!(self.is_alive(from), "route from dead node {from:?}");
+
+        let mut visited: BTreeSet<CanNodeId> = BTreeSet::new();
+        let mut stack: Vec<CanNodeId> = vec![from];
+        let mut hops = 0u32;
+        visited.insert(from);
+
+        while let Some(&cur) = stack.last() {
+            let slot = &self.slots[cur.0 as usize];
+            if slot.zones.iter().any(|z| z.contains(target)) {
+                return Some(Route { owner: cur, hops });
+            }
+            if hops >= self.cfg.max_route_hops {
+                return None;
+            }
+            // Nearest unvisited neighbor (greedy), deterministic tie-break.
+            let next = slot
+                .neighbors
+                .iter()
+                .copied()
+                .filter(|n| !visited.contains(n))
+                .min_by(|&a, &b| {
+                    let da = self.min_zone_dist(a, target);
+                    let db = self.min_zone_dist(b, target);
+                    da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                });
+            match next {
+                Some(n) => {
+                    visited.insert(n);
+                    stack.push(n);
+                    hops += 1;
+                }
+                None => {
+                    stack.pop();
+                    hops += 1; // backtracking is a real message too
+                }
+            }
+        }
+        None
+    }
+
+    fn min_zone_dist(&self, id: CanNodeId, p: &[f64]) -> f64 {
+        self.slots[id.0 as usize]
+            .zones
+            .iter()
+            .map(|z| z.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (used by tests and debug assertions)
+    // ------------------------------------------------------------------
+
+    /// Verify that live zones tile the space: volumes sum to 1 and a grid of
+    /// probe points each have exactly one owner. Panics with a description
+    /// of the first violation.
+    pub fn check_partition_invariant(&self) {
+        if self.alive == 0 {
+            return;
+        }
+        let total: f64 = self
+            .slots
+            .iter()
+            .filter(|s| s.alive)
+            .flat_map(|s| s.zones.iter())
+            .map(Zone::volume)
+            .sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "zone volumes sum to {total}, expected 1"
+        );
+        // Probe points: zone corners nudged inwards, which are exactly the
+        // places where off-by-one-boundary bugs appear.
+        for s in self.slots.iter().filter(|s| s.alive) {
+            for z in &s.zones {
+                let probe: Vec<f64> = z
+                    .lo()
+                    .iter()
+                    .zip(z.hi())
+                    .map(|(&l, &h)| (l + h) / 2.0)
+                    .collect();
+                let owners = self
+                    .slots
+                    .iter()
+                    .filter(|t| t.alive)
+                    .flat_map(|t| t.zones.iter())
+                    .filter(|y| y.contains(&probe))
+                    .count();
+                assert_eq!(owners, 1, "point {probe:?} has {owners} owners");
+            }
+        }
+    }
+}
+
+/// Re-merge zone pairs that form a box (same cross-section, abutting in one
+/// dimension), bounding zone-count growth after takeovers.
+fn merge_sibling_zones(zones: &mut Vec<Zone>) {
+    loop {
+        let mut merged = None;
+        'outer: for i in 0..zones.len() {
+            for j in (i + 1)..zones.len() {
+                if let Some(z) = try_merge(&zones[i], &zones[j]) {
+                    merged = Some((i, j, z));
+                    break 'outer;
+                }
+            }
+        }
+        match merged {
+            Some((i, j, z)) => {
+                zones.swap_remove(j);
+                zones[i] = z;
+            }
+            None => break,
+        }
+    }
+}
+
+fn try_merge(a: &Zone, b: &Zone) -> Option<Zone> {
+    let d = a.dims();
+    let mut merge_dim = None;
+    for i in 0..d {
+        let same = a.lo()[i] == b.lo()[i] && a.hi()[i] == b.hi()[i];
+        if same {
+            continue;
+        }
+        let abut_direct = a.hi()[i] == b.lo()[i] || b.hi()[i] == a.lo()[i];
+        if abut_direct && merge_dim.is_none() {
+            merge_dim = Some(i);
+        } else {
+            return None; // differ in more than one dim, or a gap
+        }
+    }
+    let i = merge_dim?;
+    let lo: Vec<f64> = (0..d)
+        .map(|k| if k == i { a.lo()[k].min(b.lo()[k]) } else { a.lo()[k] })
+        .collect();
+    let hi: Vec<f64> = (0..d)
+        .map(|k| if k == i { a.hi()[k].max(b.hi()[k]) } else { a.hi()[k] })
+        .collect();
+    Some(Zone::from_bounds(
+        &lo,
+        &hi,
+        a.depth().min(b.depth()).saturating_sub(1),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_sim::rng::{rng_for, streams};
+
+    fn random_net(n: usize, dims: usize, seed: u64) -> (CanNetwork, Vec<CanNodeId>) {
+        let mut rng = rng_for(seed, streams::NODE_IDS);
+        let mut net = CanNetwork::new(CanConfig {
+            dims,
+            ..CanConfig::default()
+        });
+        let ids: Vec<CanNodeId> = (0..n)
+            .map(|_| {
+                let p: Vec<f64> = (0..dims).map(|_| rng.gen::<f64>()).collect();
+                net.join(&p)
+            })
+            .collect();
+        (net, ids)
+    }
+
+    #[test]
+    fn first_node_owns_everything() {
+        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let id = net.join(&[0.3, 0.7]);
+        assert_eq!(net.owner_of(&[0.99, 0.01]), Some(id));
+        assert_eq!(net.zones(id).len(), 1);
+        assert!(net.neighbors(id).is_empty());
+        net.check_partition_invariant();
+    }
+
+    #[test]
+    fn second_join_splits() {
+        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let a = net.join(&[0.25, 0.5]);
+        let b = net.join(&[0.75, 0.5]);
+        // Split along dim 0 (depth 0): a keeps x<0.5, b takes x>=0.5.
+        assert_eq!(net.owner_of(&[0.1, 0.1]), Some(a));
+        assert_eq!(net.owner_of(&[0.9, 0.9]), Some(b));
+        assert!(net.neighbors(a).contains(&b));
+        assert!(net.neighbors(b).contains(&a));
+        net.check_partition_invariant();
+    }
+
+    #[test]
+    fn partition_invariant_under_many_joins() {
+        let (net, _) = random_net(128, 3, 11);
+        net.check_partition_invariant();
+        assert_eq!(net.len(), 128);
+    }
+
+    #[test]
+    fn owner_matches_join_point() {
+        // A node's own point is always inside one of its zones right after
+        // it joins.
+        let mut rng = rng_for(5, 0);
+        let mut net = CanNetwork::new(CanConfig { dims: 4, ..Default::default() });
+        for _ in 0..64 {
+            let p: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+            let id = net.join(&p);
+            assert_eq!(net.owner_of(&p), Some(id));
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner() {
+        let (net, ids) = random_net(96, 3, 13);
+        let mut rng = rng_for(14, 0);
+        for _ in 0..200 {
+            let target: Vec<f64> = (0..3).map(|_| rng.gen::<f64>()).collect();
+            let from = ids[rng.gen_range(0..ids.len())];
+            let route = net.route(from, &target).expect("routing terminates");
+            assert_eq!(Some(route.owner), net.owner_of(&target));
+        }
+    }
+
+    #[test]
+    fn routing_hops_scale_sublinearly() {
+        // CAN routes in O(d · n^(1/d)) hops; for n = 256, d = 4 that's ~16.
+        let (net, ids) = random_net(256, 4, 15);
+        let mut rng = rng_for(16, 0);
+        let trials = 200;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let target: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+            let from = ids[rng.gen_range(0..ids.len())];
+            total += u64::from(net.route(from, &target).unwrap().hops);
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(mean < 16.0, "mean hops {mean:.1} too high for 256 nodes in 4-d");
+    }
+
+    #[test]
+    fn departure_hands_zone_to_neighbor() {
+        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let a = net.join(&[0.25, 0.5]);
+        let b = net.join(&[0.75, 0.5]);
+        net.leave(b);
+        assert_eq!(net.len(), 1);
+        assert_eq!(net.owner_of(&[0.9, 0.9]), Some(a));
+        assert!(net.neighbors(a).is_empty());
+        net.check_partition_invariant();
+        // Sibling halves should have re-merged into one zone.
+        assert_eq!(net.zones(a).len(), 1);
+    }
+
+    #[test]
+    fn churn_preserves_partition() {
+        let mut rng = rng_for(21, 0);
+        let mut net = CanNetwork::new(CanConfig { dims: 3, ..Default::default() });
+        let mut live: Vec<CanNodeId> = Vec::new();
+        for step in 0..300 {
+            if live.len() < 4 || rng.gen_bool(0.6) {
+                let p: Vec<f64> = (0..3).map(|_| rng.gen::<f64>()).collect();
+                live.push(net.join(&p));
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let id = live.swap_remove(i);
+                if rng.gen_bool(0.5) {
+                    net.leave(id);
+                } else {
+                    net.fail(id);
+                }
+            }
+            if step % 50 == 0 {
+                net.check_partition_invariant();
+            }
+        }
+        net.check_partition_invariant();
+        // Routing still works after heavy churn.
+        let target = [0.5, 0.5, 0.5];
+        let from = live[0];
+        let route = net.route(from, &target).expect("routes after churn");
+        assert_eq!(Some(route.owner), net.owner_of(&target));
+    }
+
+    #[test]
+    fn last_node_departure_empties_network() {
+        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let a = net.join(&[0.5, 0.5]);
+        net.leave(a);
+        assert!(net.is_empty());
+        assert_eq!(net.owner_of(&[0.1, 0.1]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "departure of unknown")]
+    fn double_departure_panics() {
+        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let a = net.join(&[0.5, 0.5]);
+        let _b = net.join(&[0.1, 0.1]);
+        net.leave(a);
+        net.leave(a);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_alive() {
+        let (mut net, ids) = random_net(64, 3, 23);
+        for &id in ids.iter().take(20) {
+            net.fail(id);
+        }
+        for id in net.alive_ids() {
+            for &n in net.neighbors(id) {
+                assert!(net.is_alive(n), "{id:?} lists dead neighbor {n:?}");
+                assert!(
+                    net.neighbors(n).contains(&id),
+                    "asymmetric neighbor link {id:?} -> {n:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sibling_zones_rebuilds_boxes() {
+        let unit = Zone::unit(2);
+        let (l, r) = unit.split(0);
+        let mut zones = vec![l, r];
+        merge_sibling_zones(&mut zones);
+        assert_eq!(zones.len(), 1);
+        assert_eq!(zones[0].volume(), 1.0);
+    }
+}

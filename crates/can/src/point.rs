@@ -1,0 +1,83 @@
+//! Torus geometry helpers.
+//!
+//! CAN's coordinate space is the unit d-torus: each dimension wraps, so the
+//! distance between coordinates 0.05 and 0.95 is 0.1, and a zone touching
+//! `x = 1` abuts a zone starting at `x = 0`.
+
+/// Wrap-around distance between two scalars in `[0, 1)`.
+pub fn torus_dist_1d(a: f64, b: f64) -> f64 {
+    let d = (a - b).abs();
+    d.min(1.0 - d)
+}
+
+/// Euclidean distance between two points on the unit d-torus.
+///
+/// # Panics
+/// If the points have different dimensionality.
+pub fn torus_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = torus_dist_1d(x, y);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Validate that `p` is a point in `[0, 1)^dims`.
+pub(crate) fn check_point(p: &[f64], dims: usize) {
+    assert_eq!(p.len(), dims, "point has {} dims, space has {dims}", p.len());
+    for (i, &x) in p.iter().enumerate() {
+        assert!(
+            x.is_finite() && (0.0..1.0).contains(&x),
+            "coordinate {i} = {x} outside [0, 1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_wraps() {
+        assert_eq!(torus_dist_1d(0.0, 0.5), 0.5);
+        assert!((torus_dist_1d(0.05, 0.95) - 0.1).abs() < 1e-12);
+        assert_eq!(torus_dist_1d(0.3, 0.3), 0.0);
+        // Maximum possible distance is 0.5.
+        assert!((torus_dist_1d(0.0, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_on_torus() {
+        let a = [0.1, 0.9];
+        let b = [0.9, 0.1];
+        // Each dim wraps: distance 0.2 per dim.
+        let expected = (0.04f64 + 0.04).sqrt();
+        assert!((torus_dist(&a, &b) - expected).abs() < 1e-12);
+        assert_eq!(torus_dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetry_and_triangle_spot_checks() {
+        let a = [0.2, 0.3, 0.4];
+        let b = [0.8, 0.1, 0.95];
+        let c = [0.5, 0.5, 0.5];
+        assert!((torus_dist(&a, &b) - torus_dist(&b, &a)).abs() < 1e-12);
+        assert!(torus_dist(&a, &b) <= torus_dist(&a, &c) + torus_dist(&c, &b) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let _ = torus_dist(&[0.1], &[0.1, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn out_of_range_point_rejected() {
+        check_point(&[0.5, 1.0], 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests: the CAN space is always a partition, and routing always
+//! reaches the true owner, under arbitrary churn schedules.
+
+use dgrid_can::{CanConfig, CanNetwork, CanNodeId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Join([f64; 3]),
+    Leave(usize),
+}
+
+fn coord() -> impl Strategy<Value = f64> {
+    // Proptest floats in [0,1); bias towards cluster points to exercise the
+    // deep-split paths.
+    prop_oneof![
+        3 => (0u32..1_000_000).prop_map(|x| x as f64 / 1_000_000.0),
+        1 => Just(0.5),
+        1 => Just(0.25),
+    ]
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => [coord(), coord(), coord()].prop_map(Step::Join),
+        1 => any::<usize>().prop_map(Step::Leave),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_and_routing_hold_under_churn(
+        steps in proptest::collection::vec(step(), 1..80),
+        probes in proptest::collection::vec([coord(), coord(), coord()], 1..8),
+    ) {
+        let mut net = CanNetwork::new(CanConfig { dims: 3, ..CanConfig::default() });
+        let mut live: Vec<CanNodeId> = Vec::new();
+        for s in steps {
+            match s {
+                Step::Join(p) => live.push(net.join(&p)),
+                Step::Leave(i) if !live.is_empty() => {
+                    let id = live.swap_remove(i % live.len());
+                    net.leave(id);
+                }
+                Step::Leave(_) => {}
+            }
+        }
+        net.check_partition_invariant();
+        prop_assert_eq!(net.len(), live.len());
+
+        if let Some(&from) = live.first() {
+            for p in &probes {
+                let owner = net.owner_of(p).expect("partition covers all points");
+                let route = net.route(from, p).expect("routing terminates");
+                prop_assert_eq!(route.owner, owner);
+            }
+        }
+    }
+
+    /// Every node's own join point remains owned by *somebody*, and
+    /// neighbour links stay symmetric after churn.
+    #[test]
+    fn neighbor_symmetry(
+        joins in proptest::collection::vec([coord(), coord(), coord()], 2..40),
+        kills in proptest::collection::vec(any::<usize>(), 0..10),
+    ) {
+        let mut net = CanNetwork::new(CanConfig { dims: 3, ..CanConfig::default() });
+        let mut live: Vec<CanNodeId> = joins.iter().map(|p| net.join(p)).collect();
+        for k in kills {
+            if live.len() > 1 {
+                let id = live.swap_remove(k % live.len());
+                net.fail(id);
+            }
+        }
+        for id in net.alive_ids() {
+            for &n in net.neighbors(id) {
+                prop_assert!(net.is_alive(n));
+                prop_assert!(net.neighbors(n).contains(&id));
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests on zone geometry: split/merge duality, containment
+//! partitioning, and neighbor symmetry.
+
+use dgrid_can::Zone;
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0u32..1_000_000).prop_map(|x| x as f64 / 1_000_000.0)
+}
+
+proptest! {
+    /// Splitting any reachable zone partitions it exactly: the two halves
+    /// contain complementary subsets and their volumes sum to the parent's.
+    #[test]
+    fn split_partitions_volume_and_points(
+        dims in 1usize..5,
+        splits in proptest::collection::vec(any::<u16>(), 0..12),
+        probe in proptest::collection::vec(coord(), 4),
+    ) {
+        // Drive a random descent from the unit cube.
+        let mut zone = Zone::unit(dims);
+        for s in splits {
+            let Some(dim) = zone.best_split_dim() else { break };
+            let (lo, hi) = zone.split(dim);
+            prop_assert!((lo.volume() + hi.volume() - zone.volume()).abs() < 1e-12);
+            zone = if s % 2 == 0 { lo } else { hi };
+        }
+        // A probe point inside the final zone is in exactly one child of a
+        // further split.
+        let p: Vec<f64> = probe.into_iter().take(dims).collect();
+        if p.len() == dims && zone.contains(&p) {
+            if let Some(dim) = zone.best_split_dim() {
+                let (lo, hi) = zone.split(dim);
+                prop_assert!(lo.contains(&p) ^ hi.contains(&p));
+            }
+        }
+    }
+
+    /// Sibling halves are always neighbors of each other, and the neighbor
+    /// relation is symmetric.
+    #[test]
+    fn siblings_are_neighbors(dims in 1usize..5, descent in proptest::collection::vec(any::<u16>(), 0..10)) {
+        let mut zone = Zone::unit(dims);
+        for s in descent {
+            let Some(dim) = zone.best_split_dim() else { break };
+            let (lo, hi) = zone.split(dim);
+            prop_assert!(lo.is_neighbor(&hi), "split halves share the mid face");
+            prop_assert!(hi.is_neighbor(&lo), "neighbor relation is symmetric");
+            prop_assert!(!lo.is_neighbor(&lo), "a zone is not its own neighbor");
+            zone = if s % 2 == 0 { lo } else { hi };
+        }
+    }
+
+    /// `distance_to_point` is zero exactly for contained points and
+    /// positive otherwise (within float tolerance at the boundary).
+    #[test]
+    fn distance_consistent_with_containment(
+        descent in proptest::collection::vec(any::<u16>(), 1..8),
+        probe in proptest::collection::vec(coord(), 3),
+    ) {
+        let dims = 3;
+        let mut zone = Zone::unit(dims);
+        for s in descent {
+            let Some(dim) = zone.best_split_dim() else { break };
+            let (lo, hi) = zone.split(dim);
+            zone = if s % 2 == 0 { lo } else { hi };
+        }
+        let p: Vec<f64> = probe;
+        let d = zone.distance_to_point(&p);
+        prop_assert!(d >= 0.0);
+        if zone.contains(&p) {
+            prop_assert_eq!(d, 0.0);
+        }
+        if d > 1e-9 {
+            prop_assert!(!zone.contains(&p));
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Ring membership, per-peer routing state, and churn.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::id::{ChordId, ID_BITS};
+
+/// Tunables for the Chord substrate.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ChordConfig {
+    /// Successor-list length `r`. Chord tolerates up to `r - 1` simultaneous
+    /// consecutive failures between stabilization rounds.
+    pub successor_list_len: usize,
+    /// Safety valve on routing: a lookup exceeding this many hops fails.
+    pub max_route_hops: u32,
+}
+
+impl Default for ChordConfig {
+    fn default() -> Self {
+        ChordConfig {
+            successor_list_len: 8,
+            max_route_hops: 192,
+        }
+    }
+}
+
+/// Per-peer routing state, as the peer itself believes it to be.
+///
+/// Entries go stale under churn until the next [`ChordRing::stabilize`],
+/// which is exactly the window in which routing pays timeout penalties.
+#[derive(Clone, Debug)]
+pub(crate) struct PeerState {
+    pub(crate) alive: bool,
+    pub(crate) predecessor: Option<ChordId>,
+    /// First `r` alive successors at last refresh, clockwise.
+    pub(crate) successors: Vec<ChordId>,
+    /// `fingers[k] = successor(self + 2^k)` at last refresh.
+    pub(crate) fingers: Vec<ChordId>,
+}
+
+/// Read-only snapshot of one peer's position on the ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerView {
+    /// The peer's ring identifier.
+    pub id: ChordId,
+    /// Its current first successor (itself on a single-node ring).
+    pub successor: ChordId,
+    /// Its current predecessor (itself on a single-node ring).
+    pub predecessor: ChordId,
+}
+
+/// The Chord ring: authoritative membership plus every peer's (possibly
+/// stale) local routing state.
+pub struct ChordRing {
+    cfg: ChordConfig,
+    peers: BTreeMap<u64, PeerState>,
+    alive_count: usize,
+}
+
+impl Default for ChordRing {
+    fn default() -> Self {
+        Self::new(ChordConfig::default())
+    }
+}
+
+impl ChordRing {
+    /// An empty ring.
+    pub fn new(cfg: ChordConfig) -> Self {
+        assert!(cfg.successor_list_len >= 1, "successor list must be non-empty");
+        ChordRing {
+            cfg,
+            peers: BTreeMap::new(),
+            alive_count: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ChordConfig {
+        &self.cfg
+    }
+
+    /// Number of live peers.
+    pub fn len(&self) -> usize {
+        self.alive_count
+    }
+
+    /// True iff no peer is alive.
+    pub fn is_empty(&self) -> bool {
+        self.alive_count == 0
+    }
+
+    /// Is `id` a live member?
+    pub fn is_alive(&self, id: ChordId) -> bool {
+        self.peers.get(&id.0).is_some_and(|p| p.alive)
+    }
+
+    /// All live peer ids in ascending ring order.
+    pub fn alive_ids(&self) -> Vec<ChordId> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.alive)
+            .map(|(&id, _)| ChordId(id))
+            .collect()
+    }
+
+    /// A uniformly random live peer.
+    pub fn random_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<ChordId> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        let n = rng.gen_range(0..self.alive_count);
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.alive)
+            .nth(n)
+            .map(|(&id, _)| ChordId(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Ground truth (what a fully stabilized ring would know)
+    // ------------------------------------------------------------------
+
+    /// The live owner of `key`: the first live peer clockwise from `key`
+    /// (inclusive). `None` on an empty ring.
+    pub fn successor_of(&self, key: ChordId) -> Option<ChordId> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        self.peers
+            .range(key.0..)
+            .find(|(_, p)| p.alive)
+            .or_else(|| self.peers.range(..).find(|(_, p)| p.alive))
+            .map(|(&id, _)| ChordId(id))
+    }
+
+    /// The first live peer strictly counter-clockwise from `key`.
+    pub fn predecessor_of(&self, key: ChordId) -> Option<ChordId> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        self.peers
+            .range(..key.0)
+            .rev()
+            .find(|(_, p)| p.alive)
+            .or_else(|| self.peers.range(..).rev().find(|(_, p)| p.alive))
+            .map(|(&id, _)| ChordId(id))
+    }
+
+    /// Successive live successors of `id` (starting after `id`), up to `k`.
+    fn true_successor_list(&self, id: ChordId, k: usize) -> Vec<ChordId> {
+        let mut out = Vec::with_capacity(k);
+        let mut cur = id;
+        for _ in 0..k.min(self.alive_count) {
+            let next = match self.successor_of(ChordId(cur.0.wrapping_add(1))) {
+                Some(n) => n,
+                None => break,
+            };
+            out.push(next);
+            if next == id {
+                break; // wrapped all the way around
+            }
+            cur = next;
+        }
+        if out.is_empty() {
+            out.push(id); // single-node ring: own successor
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Churn
+    // ------------------------------------------------------------------
+
+    /// Add a peer with identifier `id` and build its routing state (a real
+    /// node performs O(log N) lookups for this during join).
+    ///
+    /// The new peer's immediate neighbours learn about it right away (as
+    /// Chord's join notification does); everyone else's fingers remain stale
+    /// until [`ChordRing::stabilize`].
+    ///
+    /// # Panics
+    /// If a live peer with this id already exists.
+    pub fn join(&mut self, id: ChordId) {
+        let existing_alive = self.peers.get(&id.0).is_some_and(|p| p.alive);
+        assert!(!existing_alive, "duplicate join of live peer {id}");
+        self.peers.insert(
+            id.0,
+            PeerState {
+                alive: true,
+                predecessor: None,
+                successors: Vec::new(),
+                fingers: Vec::new(),
+            },
+        );
+        self.alive_count += 1;
+        self.refresh_peer(id);
+        // Notify immediate neighbours.
+        let pred = self.predecessor_of(id);
+        let succ = self.successor_of(ChordId(id.0.wrapping_add(1)));
+        if let Some(p) = pred {
+            if p != id {
+                self.refresh_successors_of(p);
+            }
+        }
+        if let Some(s) = succ {
+            if s != id {
+                if let Some(state) = self.peers.get_mut(&s.0) {
+                    state.predecessor = Some(id);
+                }
+            }
+        }
+    }
+
+    /// Graceful departure: the peer tells its neighbours before leaving, so
+    /// their successor/predecessor state is repaired immediately. Remote
+    /// finger tables still go stale.
+    ///
+    /// # Panics
+    /// If `id` is not a live peer.
+    pub fn leave(&mut self, id: ChordId) {
+        self.mark_dead(id);
+        let pred = self.predecessor_of(id);
+        let succ = self.successor_of(id);
+        if let Some(p) = pred {
+            self.refresh_successors_of(p);
+        }
+        if let (Some(p), Some(s)) = (pred, succ) {
+            if let Some(state) = self.peers.get_mut(&s.0) {
+                state.predecessor = Some(p);
+            }
+        }
+    }
+
+    /// Abrupt failure: the peer vanishes without notice. All references to
+    /// it (fingers, successor lists) remain until discovered by routing
+    /// timeouts or repaired by [`ChordRing::stabilize`].
+    ///
+    /// # Panics
+    /// If `id` is not a live peer.
+    pub fn fail(&mut self, id: ChordId) {
+        self.mark_dead(id);
+    }
+
+    fn mark_dead(&mut self, id: ChordId) {
+        let state = self
+            .peers
+            .get_mut(&id.0)
+            .filter(|p| p.alive)
+            .unwrap_or_else(|| panic!("departure of unknown/dead peer {id}"));
+        state.alive = false;
+        self.alive_count -= 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Rebuild one peer's fingers, successor list and predecessor from
+    /// ground truth — the effect of that peer completing a full round of
+    /// Chord's `stabilize` + `fix_fingers`.
+    pub fn refresh_peer(&mut self, id: ChordId) {
+        assert!(self.is_alive(id), "refresh of dead peer {id}");
+        let successors = self.true_successor_list(id, self.cfg.successor_list_len);
+        let predecessor = self.predecessor_of(id);
+        let fingers: Vec<ChordId> = (0..ID_BITS)
+            .map(|k| {
+                self.successor_of(id.finger_start(k))
+                    .expect("ring is non-empty")
+            })
+            .collect();
+        let state = self.peers.get_mut(&id.0).expect("peer exists");
+        state.successors = successors;
+        state.predecessor = predecessor;
+        state.fingers = fingers;
+    }
+
+    fn refresh_successors_of(&mut self, id: ChordId) {
+        if !self.is_alive(id) {
+            return;
+        }
+        let successors = self.true_successor_list(id, self.cfg.successor_list_len);
+        let state = self.peers.get_mut(&id.0).expect("peer exists");
+        state.successors = successors;
+    }
+
+    /// Run a full stabilization round: every live peer refreshes its state,
+    /// and records of dead peers are garbage-collected (no stale pointers
+    /// can remain afterwards).
+    pub fn stabilize(&mut self) {
+        let ids = self.alive_ids();
+        for id in &ids {
+            self.refresh_peer(*id);
+        }
+        self.peers.retain(|_, p| p.alive);
+    }
+
+    /// Snapshot one live peer's ring position.
+    pub fn peer_view(&self, id: ChordId) -> Option<PeerView> {
+        let state = self.peers.get(&id.0).filter(|p| p.alive)?;
+        Some(PeerView {
+            id,
+            successor: state.successors.first().copied().unwrap_or(id),
+            predecessor: state.predecessor.unwrap_or(id),
+        })
+    }
+
+    pub(crate) fn state(&self, id: ChordId) -> Option<&PeerState> {
+        self.peers.get(&id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with(ids: &[u64]) -> ChordRing {
+        let mut r = ChordRing::default();
+        for &i in ids {
+            r.join(ChordId(i));
+        }
+        r
+    }
+
+    #[test]
+    fn successor_ground_truth() {
+        let r = ring_with(&[10, 20, 30]);
+        assert_eq!(r.successor_of(ChordId(5)), Some(ChordId(10)));
+        assert_eq!(r.successor_of(ChordId(10)), Some(ChordId(10)), "inclusive");
+        assert_eq!(r.successor_of(ChordId(11)), Some(ChordId(20)));
+        assert_eq!(r.successor_of(ChordId(31)), Some(ChordId(10)), "wraps");
+        assert_eq!(r.predecessor_of(ChordId(10)), Some(ChordId(30)), "wraps back");
+        assert_eq!(r.predecessor_of(ChordId(25)), Some(ChordId(20)));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut r = ChordRing::default();
+        assert!(r.is_empty());
+        assert_eq!(r.successor_of(ChordId(1)), None);
+        r.join(ChordId(42));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.successor_of(ChordId(7)), Some(ChordId(42)));
+        let v = r.peer_view(ChordId(42)).unwrap();
+        assert_eq!(v.successor, ChordId(42), "own successor on single-node ring");
+        assert_eq!(v.predecessor, ChordId(42));
+    }
+
+    #[test]
+    fn join_updates_neighbours_immediately() {
+        let mut r = ring_with(&[10, 30]);
+        r.join(ChordId(20));
+        let v10 = r.peer_view(ChordId(10)).unwrap();
+        assert_eq!(v10.successor, ChordId(20), "predecessor learned of join");
+        let v30 = r.peer_view(ChordId(30)).unwrap();
+        assert_eq!(v30.predecessor, ChordId(20), "successor learned of join");
+        let v20 = r.peer_view(ChordId(20)).unwrap();
+        assert_eq!(v20.successor, ChordId(30));
+        assert_eq!(v20.predecessor, ChordId(10));
+    }
+
+    #[test]
+    fn graceful_leave_repairs_neighbours() {
+        let mut r = ring_with(&[10, 20, 30]);
+        r.leave(ChordId(20));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_alive(ChordId(20)));
+        let v10 = r.peer_view(ChordId(10)).unwrap();
+        assert_eq!(v10.successor, ChordId(30));
+        let v30 = r.peer_view(ChordId(30)).unwrap();
+        assert_eq!(v30.predecessor, ChordId(10));
+    }
+
+    #[test]
+    fn abrupt_fail_leaves_stale_state_until_stabilize() {
+        let mut r = ring_with(&[10, 20, 30]);
+        r.fail(ChordId(20));
+        // 10 still *believes* 20 is its successor (stale).
+        let v10 = r.peer_view(ChordId(10)).unwrap();
+        assert_eq!(v10.successor, ChordId(20), "stale successor after silent failure");
+        r.stabilize();
+        let v10 = r.peer_view(ChordId(10)).unwrap();
+        assert_eq!(v10.successor, ChordId(30), "repaired by stabilization");
+        assert_eq!(r.successor_of(ChordId(15)), Some(ChordId(30)));
+    }
+
+    #[test]
+    fn rejoin_after_failure_is_allowed() {
+        let mut r = ring_with(&[10, 20]);
+        r.fail(ChordId(20));
+        r.join(ChordId(20));
+        assert!(r.is_alive(ChordId(20)));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate join")]
+    fn duplicate_join_panics() {
+        let mut r = ring_with(&[10]);
+        r.join(ChordId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "departure of unknown")]
+    fn failing_unknown_peer_panics() {
+        let mut r = ring_with(&[10]);
+        r.fail(ChordId(99));
+    }
+
+    #[test]
+    fn successor_lists_have_configured_length() {
+        let mut r = ring_with(&(0..20u64).map(|i| i * 100).collect::<Vec<_>>());
+        r.stabilize();
+        for id in r.alive_ids() {
+            let st = r.state(id).unwrap();
+            assert_eq!(st.successors.len(), r.config().successor_list_len);
+            // Entries are the k nearest live successors in clockwise order.
+            let mut prev = id;
+            for &s in &st.successors {
+                assert_eq!(
+                    r.successor_of(ChordId(prev.0.wrapping_add(1))),
+                    Some(s)
+                );
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn random_peer_is_alive() {
+        let mut r = ring_with(&[1, 2, 3, 4, 5]);
+        r.fail(ChordId(3));
+        let mut rng = dgrid_sim::rng::rng_for(1, 1);
+        for _ in 0..50 {
+            let p = r.random_peer(&mut rng).unwrap();
+            assert!(r.is_alive(p));
+        }
+    }
+
+    #[test]
+    fn stabilize_collects_dead_records() {
+        let mut r = ring_with(&[10, 20, 30, 40]);
+        r.fail(ChordId(20));
+        r.fail(ChordId(40));
+        r.stabilize();
+        assert_eq!(r.alive_ids(), vec![ChordId(10), ChordId(30)]);
+        assert_eq!(r.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod finger_tests {
+    use super::*;
+    use dgrid_sim::rng::{rng_for, streams};
+    use rand::Rng;
+
+    #[test]
+    fn fingers_point_at_true_successors_after_stabilize() {
+        let mut rng = rng_for(101, streams::NODE_IDS);
+        let mut ring = ChordRing::default();
+        let mut count = 0;
+        while count < 96 {
+            let id = ChordId(rng.gen());
+            if !ring.is_alive(id) {
+                ring.join(id);
+                count += 1;
+            }
+        }
+        ring.stabilize();
+        for id in ring.alive_ids() {
+            let st = ring.state(id).unwrap();
+            assert_eq!(st.fingers.len(), crate::id::ID_BITS as usize);
+            for (k, &f) in st.fingers.iter().enumerate() {
+                let start = id.finger_start(k as u32);
+                assert_eq!(
+                    Some(f),
+                    ring.successor_of(start),
+                    "finger {k} of {id} must be successor({start})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finger_targets_make_exponential_progress() {
+        // The top finger of every node must span at least a quarter of the
+        // ring on average — the property that gives O(log N) routing.
+        let mut rng = rng_for(103, streams::NODE_IDS);
+        let mut ring = ChordRing::default();
+        let mut count = 0;
+        while count < 128 {
+            let id = ChordId(rng.gen());
+            if !ring.is_alive(id) {
+                ring.join(id);
+                count += 1;
+            }
+        }
+        ring.stabilize();
+        let mut total_span = 0u128;
+        let ids = ring.alive_ids();
+        for &id in &ids {
+            let st = ring.state(id).unwrap();
+            let top = st.fingers[crate::id::ID_BITS as usize - 1];
+            total_span += u128::from(id.distance_to(top));
+        }
+        let mean_span = total_span / ids.len() as u128;
+        assert!(
+            mean_span > u128::from(u64::MAX / 4),
+            "top fingers must reach across the ring (mean span {mean_span})"
+        );
+    }
+}

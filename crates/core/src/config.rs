@@ -1,0 +1,151 @@
+//! Engine configuration.
+
+use dgrid_sim::net::LatencyModel;
+use dgrid_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::security::SandboxPolicy;
+
+/// Failure injection: exponential node lifetimes, optional repair.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Mean time to failure per node, seconds. `None` disables failures.
+    pub mttf_secs: Option<f64>,
+    /// If set, a failed node rejoins this many seconds after failing
+    /// (fresh overlay identity, empty queue — its in-flight work is lost).
+    pub rejoin_after_secs: Option<f64>,
+    /// Fraction of departures that are *graceful* (the volunteer reclaims
+    /// the machine and the client announces its departure: overlay
+    /// neighbours repair immediately and job owners are notified without
+    /// waiting for heartbeat timeouts). The rest are abrupt crashes.
+    pub graceful_fraction: f64,
+}
+
+impl ChurnConfig {
+    /// No failures at all.
+    pub fn none() -> Self {
+        ChurnConfig::default()
+    }
+}
+
+/// All engine tunables. Defaults follow the paper's experimental setup
+/// where stated, and conservative desktop-grid practice elsewhere.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Root seed; the whole simulation is a pure function of it.
+    pub seed: u64,
+    /// Overlay/direct message latency model.
+    pub latency: LatencyModel,
+    /// Heartbeat period between run node and owner (direct connection).
+    pub heartbeat_secs: f64,
+    /// Failures are declared after this many missed heartbeats.
+    pub heartbeat_misses: u32,
+    /// If owner *and* run node fail, the client notices after this long and
+    /// resubmits (Section 2: "the client must resubmit the job").
+    pub client_resubmit_secs: f64,
+    /// Maximum client resubmissions before giving up on a job.
+    pub max_resubmits: u32,
+    /// Delay between matchmaking retries when no run node was found.
+    pub match_retry_secs: f64,
+    /// Matchmaking attempts per submission before the job fails.
+    pub max_match_attempts: u32,
+    /// Matchmaker maintenance period (stabilization, aggregate refresh,
+    /// neighbor load exchange).
+    pub maintenance_secs: f64,
+    /// Hard simulation horizon; jobs still unfinished then are failed.
+    pub max_sim_secs: f64,
+    /// Sandbox quota policy every run node enforces.
+    pub sandbox: SandboxPolicy,
+    /// Return results by reference: the run node publishes the result in
+    /// the DHT under a fresh GUID and the client resolves the pointer
+    /// (Section 2's alternative to shipping the result directly). Adds two
+    /// overlay lookups per completion, counted in `result_hops`.
+    pub return_results_by_reference: bool,
+    /// Scale job runtimes by node CPU speed relative to
+    /// [`EngineConfig::reference_cpu_ghz`] (off by default: the paper's
+    /// wait-time experiments use intrinsic runtimes).
+    pub scale_runtime_by_cpu: bool,
+    /// Reference CPU for runtime scaling.
+    pub reference_cpu_ghz: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0,
+            latency: LatencyModel::default(),
+            heartbeat_secs: 10.0,
+            heartbeat_misses: 3,
+            client_resubmit_secs: 300.0,
+            max_resubmits: 5,
+            match_retry_secs: 30.0,
+            max_match_attempts: 8,
+            maintenance_secs: 30.0,
+            max_sim_secs: 7.0 * 24.0 * 3600.0,
+            sandbox: SandboxPolicy::default(),
+            return_results_by_reference: false,
+            scale_runtime_by_cpu: false,
+            reference_cpu_ghz: 2.0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// How long until a partner's failure is detected: the heartbeat period
+    /// times the miss threshold.
+    pub fn detection_delay(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.heartbeat_secs * f64::from(self.heartbeat_misses))
+    }
+
+    /// The client resubmission timeout as a duration.
+    pub fn client_resubmit_delay(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.client_resubmit_secs)
+    }
+
+    /// Validate invariants; call before running. Panics on nonsense values.
+    pub fn validate(&self) {
+        assert!(self.heartbeat_secs > 0.0, "heartbeat period must be positive");
+        assert!(self.heartbeat_misses >= 1);
+        assert!(self.match_retry_secs > 0.0);
+        assert!(self.max_match_attempts >= 1);
+        assert!(self.maintenance_secs > 0.0);
+        assert!(self.max_sim_secs > 0.0);
+        assert!(
+            self.client_resubmit_secs > self.detection_delay().as_secs_f64(),
+            "clients must wait longer than failure detection, else they race recovery"
+        );
+        assert!(self.reference_cpu_ghz > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        EngineConfig::default().validate();
+    }
+
+    #[test]
+    fn detection_delay_is_period_times_misses() {
+        let cfg = EngineConfig {
+            heartbeat_secs: 5.0,
+            heartbeat_misses: 4,
+            ..Default::default()
+        };
+        assert_eq!(cfg.detection_delay(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "clients must wait longer")]
+    fn client_timeout_must_exceed_detection() {
+        EngineConfig {
+            heartbeat_secs: 100.0,
+            heartbeat_misses: 5,
+            client_resubmit_secs: 300.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,230 @@
+//! Job dependencies — the Section 5 extension.
+//!
+//! "If computational scientists also use the system for data analysis of
+//! results, then the system will have to distinguish between job types
+//! (simulation vs. analysis) and perform the jobs in the correct order
+//! (analysis after simulation of a given problem), and make the output of a
+//! simulation job available as the input for the corresponding analysis
+//! job(s). We will investigate using existing software packages, such as
+//! Condor's DAGMan, for managing dependencies between jobs." (Section 5.)
+//!
+//! [`JobDag`] is that DAGMan-style layer: an acyclic dependency relation
+//! over job ids, validated at construction. The engine holds back a job's
+//! submission until every parent has completed (the parent's output GUID is
+//! then available as the child's input) and cascades a permanent parent
+//! failure to all descendants.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dgrid_resources::JobId;
+use serde::{Deserialize, Serialize};
+
+/// An acyclic set of job→job dependencies.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct JobDag {
+    /// `parents[j]` must all complete before `j` may be submitted.
+    parents: HashMap<JobId, Vec<JobId>>,
+}
+
+impl JobDag {
+    /// An empty relation (every job independent — the paper's base model).
+    pub fn none() -> Self {
+        JobDag::default()
+    }
+
+    /// Declare that `child` depends on `parent`.
+    ///
+    /// Duplicate edges are ignored. Cycles are rejected by
+    /// [`JobDag::validate`], which the engine calls at construction.
+    pub fn add_dependency(&mut self, child: JobId, parent: JobId) -> &mut Self {
+        assert_ne!(child, parent, "{child} cannot depend on itself");
+        let ps = self.parents.entry(child).or_default();
+        if !ps.contains(&parent) {
+            ps.push(parent);
+        }
+        self
+    }
+
+    /// Builder-style chain: each job depends on the previous one.
+    pub fn chain(jobs: &[JobId]) -> Self {
+        let mut dag = JobDag::none();
+        for w in jobs.windows(2) {
+            dag.add_dependency(w[1], w[0]);
+        }
+        dag
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Parents of `job` (empty slice if independent).
+    pub fn parents_of(&self, job: JobId) -> &[JobId] {
+        self.parents.get(&job).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All (child, parents) entries.
+    pub fn entries(&self) -> impl Iterator<Item = (JobId, &[JobId])> + '_ {
+        self.parents.iter().map(|(&c, ps)| (c, ps.as_slice()))
+    }
+
+    /// Build the inverse relation: `children[p]` = jobs waiting on `p`.
+    pub fn children_index(&self) -> HashMap<JobId, Vec<JobId>> {
+        let mut children: HashMap<JobId, Vec<JobId>> = HashMap::new();
+        for (&child, parents) in &self.parents {
+            for &p in parents {
+                children.entry(p).or_default().push(child);
+            }
+        }
+        for kids in children.values_mut() {
+            kids.sort_unstable();
+        }
+        children
+    }
+
+    /// Check that every referenced job exists and the relation is acyclic
+    /// (Kahn's algorithm). Panics with a description on violation.
+    pub fn validate(&self, known: &HashSet<JobId>) {
+        for (&child, parents) in &self.parents {
+            assert!(known.contains(&child), "dependency on unknown job {child}");
+            for p in parents {
+                assert!(known.contains(p), "{child} depends on unknown job {p}");
+            }
+        }
+        // Kahn: repeatedly remove zero-in-degree nodes.
+        let mut indegree: HashMap<JobId, usize> = HashMap::new();
+        for (&child, parents) in &self.parents {
+            *indegree.entry(child).or_insert(0) += parents.len();
+            for &p in parents {
+                indegree.entry(p).or_insert(0);
+            }
+        }
+        let mut queue: VecDeque<JobId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&j, _)| j)
+            .collect();
+        let children = self.children_index();
+        let mut removed = 0usize;
+        while let Some(j) = queue.pop_front() {
+            removed += 1;
+            for &c in children.get(&j).map(Vec::as_slice).unwrap_or(&[]) {
+                let d = indegree.get_mut(&c).expect("indexed");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        assert_eq!(
+            removed,
+            indegree.len(),
+            "dependency cycle among {} jobs",
+            indegree.len() - removed
+        );
+    }
+
+    /// Transitive descendants of `job` (jobs that can never run if `job`
+    /// permanently fails).
+    pub fn descendants_of(&self, job: JobId) -> Vec<JobId> {
+        let children = self.children_index();
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![job];
+        while let Some(j) = stack.pop() {
+            for &c in children.get(&j).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(c) {
+                    out.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<JobId> {
+        v.iter().map(|&i| JobId(i)).collect()
+    }
+
+    #[test]
+    fn chain_builder() {
+        let dag = JobDag::chain(&ids(&[1, 2, 3]));
+        assert_eq!(dag.parents_of(JobId(2)), &[JobId(1)]);
+        assert_eq!(dag.parents_of(JobId(3)), &[JobId(2)]);
+        assert!(dag.parents_of(JobId(1)).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_dags() {
+        let mut dag = JobDag::none();
+        dag.add_dependency(JobId(3), JobId(1));
+        dag.add_dependency(JobId(3), JobId(2));
+        dag.add_dependency(JobId(4), JobId(3));
+        let known: HashSet<JobId> = ids(&[1, 2, 3, 4]).into_iter().collect();
+        dag.validate(&known);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency cycle")]
+    fn validate_rejects_cycles() {
+        let mut dag = JobDag::none();
+        dag.add_dependency(JobId(1), JobId(2));
+        dag.add_dependency(JobId(2), JobId(3));
+        dag.add_dependency(JobId(3), JobId(1));
+        let known: HashSet<JobId> = ids(&[1, 2, 3]).into_iter().collect();
+        dag.validate(&known);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown job")]
+    fn validate_rejects_dangling_parents() {
+        let mut dag = JobDag::none();
+        dag.add_dependency(JobId(1), JobId(99));
+        let known: HashSet<JobId> = ids(&[1]).into_iter().collect();
+        dag.validate(&known);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot depend on itself")]
+    fn self_dependency_rejected() {
+        JobDag::none().add_dependency(JobId(1), JobId(1));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut dag = JobDag::none();
+        dag.add_dependency(JobId(2), JobId(1));
+        dag.add_dependency(JobId(2), JobId(1));
+        assert_eq!(dag.parents_of(JobId(2)).len(), 1);
+    }
+
+    #[test]
+    fn descendants_are_transitive() {
+        // 1 -> 2 -> 4, 1 -> 3, diamond back to 5.
+        let mut dag = JobDag::none();
+        dag.add_dependency(JobId(2), JobId(1));
+        dag.add_dependency(JobId(3), JobId(1));
+        dag.add_dependency(JobId(4), JobId(2));
+        dag.add_dependency(JobId(5), JobId(3));
+        dag.add_dependency(JobId(5), JobId(4));
+        assert_eq!(dag.descendants_of(JobId(1)), ids(&[2, 3, 4, 5]));
+        assert_eq!(dag.descendants_of(JobId(2)), ids(&[4, 5]));
+        assert!(dag.descendants_of(JobId(5)).is_empty());
+    }
+
+    #[test]
+    fn children_index_inverts_parents() {
+        let mut dag = JobDag::none();
+        dag.add_dependency(JobId(3), JobId(1));
+        dag.add_dependency(JobId(2), JobId(1));
+        let idx = dag.children_index();
+        assert_eq!(idx[&JobId(1)], ids(&[2, 3]));
+    }
+}

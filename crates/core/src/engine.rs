@@ -1,0 +1,967 @@
+//! The discrete-event grid engine.
+//!
+//! Drives the six-step lifecycle of Figure 1 over any [`Matchmaker`], with
+//! the owner/run-node replication and recovery protocol of Section 2:
+//!
+//! * **run-node failure** → the owner misses heartbeats, detects after
+//!   `heartbeat_secs × heartbeat_misses`, and re-runs matchmaking;
+//! * **owner failure** → the run node misses heartbeat acknowledgements,
+//!   detects on the same schedule, and installs a new owner through the
+//!   overlay (`reassign_owner`);
+//! * **both fail** before recovery completes → the client resubmits after
+//!   `client_resubmit_secs`.
+//!
+//! Every in-flight message carries the job's *epoch*; any reassignment bumps
+//! the epoch, so events from a superseded assignment are ignored when they
+//! arrive — the simulation analogue of the soft-state invalidation the
+//! heartbeat protocol provides in a deployment.
+
+use std::collections::{HashMap, HashSet};
+
+use dgrid_resources::{JobId, JobProfile, NodeProfile};
+use dgrid_sim::rng::{self, SimRng};
+use rand::Rng;
+use dgrid_sim::{EventQueue, SimDuration, SimTime};
+
+use crate::config::{ChurnConfig, EngineConfig};
+use crate::dag::JobDag;
+use crate::job::{FailureReason, JobRecord, JobState, OwnerRef};
+use crate::matchmaker::Matchmaker;
+use crate::metrics::SimReport;
+use crate::node::{GridNodeId, NodeTable, QueuedJob};
+use crate::trace::{NullObserver, Observer, TraceEvent};
+
+/// A scheduled availability transition for one node (deterministic churn,
+/// e.g. a diurnal desktop-availability trace: the machine leaves when its
+/// user arrives in the morning and rejoins at night).
+///
+/// Departures from a trace are *graceful* — the volunteer client announces
+/// them — unlike the stochastic crash churn of
+/// [`ChurnConfig`](crate::ChurnConfig).
+#[derive(Clone, Copy, Debug)]
+pub struct AvailabilityEvent {
+    /// When the transition happens, seconds from simulation start.
+    pub at_secs: f64,
+    /// Which node.
+    pub node: GridNodeId,
+    /// `true` = the node comes up; `false` = it leaves.
+    pub up: bool,
+}
+
+/// One job the workload hands to the engine.
+#[derive(Clone, Debug)]
+pub struct JobSubmission {
+    /// The job's profile (requirements, declared runtime, I/O sizes).
+    pub profile: JobProfile,
+    /// Client submission time, seconds from simulation start.
+    pub arrival_secs: f64,
+    /// True runtime if it differs from the declared one (runaway/malicious
+    /// jobs for the sandbox experiments). Defaults to the declared runtime.
+    pub actual_runtime_secs: Option<f64>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Submit { job: JobId },
+    OwnerAssigned { job: JobId, epoch: u32, owner: OwnerRef },
+    RetryMatch { job: JobId, epoch: u32 },
+    ArriveAtRunNode { job: JobId, epoch: u32 },
+    Complete { job: JobId, epoch: u32, node: GridNodeId },
+    SandboxKill { job: JobId, epoch: u32, node: GridNodeId },
+    RunFailureDetected { job: JobId, epoch: u32 },
+    OwnerFailureDetected { job: JobId, epoch: u32 },
+    ClientResubmit { job: JobId, epoch: u32 },
+    NodeFail { node: GridNodeId },
+    NodeLeave { node: GridNodeId },
+    NodeRejoin { node: GridNodeId },
+    Maintenance,
+}
+
+/// The simulation engine: nodes, jobs, one matchmaker, one event queue.
+///
+/// ```
+/// use dgrid_core::{CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, JobSubmission};
+/// use dgrid_resources::{Capabilities, ClientId, JobId, JobProfile, JobRequirements,
+///                       NodeProfile, OsType};
+///
+/// let nodes = vec![NodeProfile::new(Capabilities::new(2.0, 4.0, 100.0, OsType::Linux)); 8];
+/// let jobs: Vec<JobSubmission> = (0..20)
+///     .map(|i| JobSubmission {
+///         profile: JobProfile::new(JobId(i), ClientId(0), JobRequirements::unconstrained(), 30.0),
+///         arrival_secs: i as f64,
+///         actual_runtime_secs: None,
+///     })
+///     .collect();
+/// let report = Engine::new(
+///     EngineConfig::default(),
+///     ChurnConfig::none(),
+///     Box::new(CentralizedMatchmaker::new()),
+///     nodes,
+///     jobs,
+/// )
+/// .run();
+/// assert_eq!(report.jobs_completed, 20);
+/// ```
+pub struct Engine {
+    cfg: EngineConfig,
+    churn: ChurnConfig,
+    nodes: NodeTable,
+    jobs: HashMap<JobId, JobRecord>,
+    mm: Box<dyn Matchmaker>,
+    queue: EventQueue<Event>,
+    rng_engine: SimRng,
+    rng_mm: SimRng,
+    rng_fail: SimRng,
+    rng_net: SimRng,
+    report: SimReport,
+    owner_jobs: HashMap<GridNodeId, HashSet<JobId>>,
+    dag: JobDag,
+    dag_children: HashMap<JobId, Vec<JobId>>,
+    unmet_deps: HashMap<JobId, usize>,
+    held_arrivals: HashMap<JobId, SimTime>,
+    observer: Box<dyn Observer>,
+    outstanding: usize,
+}
+
+impl Engine {
+    /// Assemble an engine: nodes join the overlay, submissions and churn are
+    /// scheduled, the matchmaker gets one initial maintenance tick.
+    ///
+    /// # Panics
+    /// On invalid configuration, duplicate job ids, or an empty node set.
+    pub fn new(
+        cfg: EngineConfig,
+        churn: ChurnConfig,
+        matchmaker: Box<dyn Matchmaker>,
+        node_profiles: Vec<NodeProfile>,
+        submissions: Vec<JobSubmission>,
+    ) -> Self {
+        Self::with_dag(cfg, churn, matchmaker, node_profiles, submissions, JobDag::none())
+    }
+
+    /// Like [`Engine::new`], but with DAGMan-style job dependencies
+    /// (Section 5): a job is submitted only after every parent completes
+    /// (the parent's result GUID becomes its input), and a permanently
+    /// failed parent cascades failure to all descendants.
+    ///
+    /// # Panics
+    /// Additionally if `dag` references unknown jobs or contains a cycle.
+    pub fn with_dag(
+        cfg: EngineConfig,
+        churn: ChurnConfig,
+        matchmaker: Box<dyn Matchmaker>,
+        node_profiles: Vec<NodeProfile>,
+        submissions: Vec<JobSubmission>,
+        dag: JobDag,
+    ) -> Self {
+        Self::with_dag_and_schedule(cfg, churn, matchmaker, node_profiles, submissions, dag, Vec::new())
+    }
+
+    /// The full constructor: dependencies plus a deterministic availability
+    /// trace (diurnal desktop schedules and the like). Trace departures are
+    /// graceful; stochastic [`ChurnConfig`] crashes can be layered on top.
+    ///
+    /// # Panics
+    /// Additionally if a trace event references an unknown node.
+    pub fn with_dag_and_schedule(
+        cfg: EngineConfig,
+        churn: ChurnConfig,
+        mut matchmaker: Box<dyn Matchmaker>,
+        node_profiles: Vec<NodeProfile>,
+        submissions: Vec<JobSubmission>,
+        dag: JobDag,
+        schedule: Vec<AvailabilityEvent>,
+    ) -> Self {
+        cfg.validate();
+        assert!(!node_profiles.is_empty(), "a grid needs at least one node");
+
+        let nodes = NodeTable::new(node_profiles);
+        let mut rng_mm = rng::rng_for(cfg.seed, rng::streams::MATCHMAKER);
+        let mut rng_fail = rng::rng_for(cfg.seed, rng::streams::FAILURES);
+        let mut queue = EventQueue::new();
+
+        for id in nodes.alive_ids() {
+            matchmaker.on_join(&nodes, id, &mut rng_mm);
+        }
+        matchmaker.tick(&nodes);
+
+        let known: HashSet<JobId> = submissions.iter().map(|s| s.profile.id).collect();
+        dag.validate(&known);
+        let dag_children = dag.children_index();
+
+        let mut jobs = HashMap::with_capacity(submissions.len());
+        let mut unmet_deps: HashMap<JobId, usize> = HashMap::new();
+        let mut held_arrivals: HashMap<JobId, SimTime> = HashMap::new();
+        for sub in &submissions {
+            let actual = sub.actual_runtime_secs.unwrap_or(sub.profile.run_time_secs);
+            assert!(actual > 0.0, "non-positive runtime for {}", sub.profile.id);
+            let at = SimTime::from_secs_f64(sub.arrival_secs);
+            let prev = jobs.insert(sub.profile.id, JobRecord::new(sub.profile, actual, at));
+            assert!(prev.is_none(), "duplicate job id {}", sub.profile.id);
+            let parents = dag.parents_of(sub.profile.id).len();
+            if parents == 0 {
+                queue.schedule(at, Event::Submit { job: sub.profile.id });
+            } else {
+                // Held back until the last parent completes.
+                unmet_deps.insert(sub.profile.id, parents);
+                held_arrivals.insert(sub.profile.id, at);
+            }
+        }
+
+        // Churn injection: exponential lifetimes per node; each departure
+        // is graceful with the configured probability.
+        if let Some(mttf) = churn.mttf_secs {
+            assert!(
+                (0.0..=1.0).contains(&churn.graceful_fraction),
+                "graceful_fraction out of range"
+            );
+            for id in nodes.alive_ids() {
+                let at = SimTime::from_secs_f64(rng::sample_exp(&mut rng_fail, mttf));
+                let ev = if rng_fail.gen_bool(churn.graceful_fraction) {
+                    Event::NodeLeave { node: id }
+                } else {
+                    Event::NodeFail { node: id }
+                };
+                queue.schedule(at, ev);
+            }
+        }
+        for ev in &schedule {
+            assert!(
+                (ev.node.0 as usize) < nodes.len(),
+                "availability event for unknown node {:?}",
+                ev.node
+            );
+            let at = SimTime::from_secs_f64(ev.at_secs);
+            let event = if ev.up {
+                Event::NodeRejoin { node: ev.node }
+            } else {
+                Event::NodeLeave { node: ev.node }
+            };
+            queue.schedule(at, event);
+        }
+        queue.schedule(
+            SimTime::from_secs_f64(cfg.maintenance_secs),
+            Event::Maintenance,
+        );
+
+        let outstanding = jobs.len();
+        Engine {
+            report: SimReport {
+                algorithm: matchmaker.name().to_string(),
+                jobs_total: jobs.len() as u64,
+                ..SimReport::default()
+            },
+            rng_engine: rng::rng_for(cfg.seed, rng::streams::ARRIVALS ^ 0xE16),
+            rng_net: rng::rng_for(cfg.seed, rng::streams::NETWORK),
+            cfg,
+            churn,
+            nodes,
+            jobs,
+            mm: matchmaker,
+            queue,
+            rng_mm,
+            rng_fail,
+            owner_jobs: HashMap::new(),
+            dag,
+            dag_children,
+            unmet_deps,
+            held_arrivals,
+            observer: Box::new(NullObserver),
+            outstanding,
+        }
+    }
+
+    /// Install a lifecycle [`Observer`] (tracing, test assertions,
+    /// visualization). Call before [`Engine::run`].
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = observer;
+    }
+
+    /// Install an observer, builder-style.
+    pub fn with_observer(mut self, observer: Box<dyn Observer>) -> Self {
+        self.set_observer(observer);
+        self
+    }
+
+    /// Run to completion and return the report.
+    pub fn run(mut self) -> SimReport {
+        let horizon = SimTime::from_secs_f64(self.cfg.max_sim_secs);
+        let mut makespan = SimTime::ZERO;
+        while self.outstanding > 0 {
+            let Some((now, ev)) = self.queue.pop() else { break };
+            if now > horizon {
+                break;
+            }
+            self.dispatch(now, ev);
+            makespan = now;
+        }
+        // Jobs still open at the horizon fail.
+        let open: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, r)| !r.state.is_terminal())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in open {
+            self.fail_job(id, FailureReason::HorizonExceeded, makespan);
+        }
+        // Final per-node accounting.
+        self.report.node_busy_secs = (0..self.nodes.len() as u32)
+            .map(|i| self.nodes.get(GridNodeId(i)).busy_secs)
+            .collect();
+        self.report.node_jobs = (0..self.nodes.len() as u32)
+            .map(|i| self.nodes.get(GridNodeId(i)).completed_jobs)
+            .collect();
+        self.report.makespan_secs = makespan.as_secs_f64();
+        self.report
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Submit { job } => self.handle_submit(now, job),
+            Event::OwnerAssigned { job, epoch, owner } => {
+                self.handle_owner_assigned(now, job, epoch, owner)
+            }
+            Event::RetryMatch { job, epoch } => {
+                if self.epoch_valid(job, epoch) {
+                    self.try_match(now, job);
+                }
+            }
+            Event::ArriveAtRunNode { job, epoch } => self.handle_arrive(now, job, epoch),
+            Event::Complete { job, epoch, node } => self.handle_complete(now, job, epoch, node),
+            Event::SandboxKill { job, epoch, node } => {
+                self.handle_sandbox_kill(now, job, epoch, node)
+            }
+            Event::RunFailureDetected { job, epoch } => {
+                self.handle_run_failure_detected(now, job, epoch)
+            }
+            Event::OwnerFailureDetected { job, epoch } => {
+                self.handle_owner_failure_detected(now, job, epoch)
+            }
+            Event::ClientResubmit { job, epoch } => {
+                self.handle_client_resubmit(now, job, epoch)
+            }
+            Event::NodeFail { node } => self.handle_node_depart(now, node, false),
+            Event::NodeLeave { node } => self.handle_node_depart(now, node, true),
+            Event::NodeRejoin { node } => self.handle_node_rejoin(now, node),
+            Event::Maintenance => {
+                self.mm.tick(&self.nodes);
+                if self.outstanding > 0 {
+                    self.queue.schedule_in(
+                        SimDuration::from_secs_f64(self.cfg.maintenance_secs),
+                        Event::Maintenance,
+                    );
+                }
+            }
+        }
+    }
+
+    fn epoch_valid(&self, job: JobId, epoch: u32) -> bool {
+        self.jobs
+            .get(&job)
+            .is_some_and(|r| !r.state.is_terminal() && r.epoch == epoch)
+    }
+
+    fn delay(&mut self, hops: u32) -> SimDuration {
+        self.cfg.latency.sample(&mut self.rng_net, hops)
+    }
+
+    fn guid_of(&self, job: JobId, resubmits: u32) -> u64 {
+        rng::splitmix64(job.0.wrapping_add(u64::from(resubmits) << 48))
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle handlers
+    // ------------------------------------------------------------------
+
+    fn handle_submit(&mut self, now: SimTime, job: JobId) {
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        if rec.state.is_terminal() {
+            return;
+        }
+        self.detach_owner(job);
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        rec.state = JobState::Matching;
+        rec.match_attempts = 0;
+        rec.owner = None;
+        rec.run_node = None;
+        rec.invalidate();
+        let epoch = rec.epoch;
+        let resubmits = rec.resubmits;
+        let profile = rec.profile;
+        self.observer
+            .on_event(now, TraceEvent::Submitted { job, resubmits });
+
+        let Some(injection) = self.nodes.random_alive(&mut self.rng_engine) else {
+            // Empty grid: retry after the resubmit timeout, like a client
+            // that cannot find an entry point.
+            self.schedule_client_resubmit(job, epoch);
+            return;
+        };
+        let guid = self.guid_of(job, resubmits);
+        match self
+            .mm
+            .assign_owner(&self.nodes, &profile, guid, injection, &mut self.rng_mm)
+        {
+            Some((owner, hops)) => {
+                self.report.owner_hops.push(f64::from(hops));
+                let d = self.delay(hops + 1); // client -> injection -> ... -> owner
+                self.queue
+                    .schedule(now + d, Event::OwnerAssigned { job, epoch, owner });
+            }
+            None => {
+                // Overlay in flux; treat as a failed matchmaking attempt.
+                self.note_match_failure(now, job, epoch);
+            }
+        }
+    }
+
+    fn handle_owner_assigned(&mut self, now: SimTime, job: JobId, epoch: u32, owner: OwnerRef) {
+        if !self.epoch_valid(job, epoch) {
+            return;
+        }
+        // The designated owner may have died while the job was in transit.
+        if let OwnerRef::Peer(p) = owner {
+            if !self.nodes.is_alive(p) {
+                let rec = &self.jobs[&job];
+                let guid = self.guid_of(job, rec.resubmits);
+                let profile = rec.profile;
+                match self
+                    .mm
+                    .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm)
+                {
+                    Some((new_owner, hops)) => {
+                        let d = self.delay(hops);
+                        self.queue.schedule(
+                            now + d,
+                            Event::OwnerAssigned { job, epoch, owner: new_owner },
+                        );
+                    }
+                    None => self.note_match_failure(now, job, epoch),
+                }
+                return;
+            }
+        }
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        rec.owner = Some(owner);
+        if let OwnerRef::Peer(p) = owner {
+            self.owner_jobs.entry(p).or_default().insert(job);
+        }
+        self.observer
+            .on_event(now, TraceEvent::OwnerAssigned { job, owner });
+        self.try_match(now, job);
+    }
+
+    /// Figure 1, step 3: the owner searches for a run node.
+    fn try_match(&mut self, now: SimTime, job: JobId) {
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        if rec.state.is_terminal() {
+            return;
+        }
+        let Some(owner) = rec.owner else {
+            // Owner lost before matching; the epoch-valid path that led here
+            // guarantees a resubmission or detection event is pending.
+            return;
+        };
+        // Owner must be alive to conduct matchmaking.
+        if let OwnerRef::Peer(p) = owner {
+            if !self.nodes.is_alive(p) {
+                let epoch = rec.epoch;
+                self.schedule_client_resubmit(job, epoch);
+                return;
+            }
+        }
+        rec.state = JobState::Matching;
+        rec.match_attempts += 1;
+        let epoch = rec.epoch;
+        let profile = rec.profile;
+        let outcome = self
+            .mm
+            .find_run_node(&self.nodes, owner, &profile, &mut self.rng_mm);
+        match outcome.run_node {
+            Some(run) if self.nodes.is_alive(run) => {
+                self.report.match_hops.push(f64::from(outcome.hops));
+                self.observer.on_event(
+                    now,
+                    TraceEvent::Matched { job, run_node: run, hops: outcome.hops },
+                );
+                let rec = self.jobs.get_mut(&job).expect("known job");
+                rec.run_node = Some(run);
+                rec.state = JobState::Queued;
+                rec.invalidate();
+                let epoch = rec.epoch;
+                let d = self.delay(outcome.hops + 1); // owner -> run node transfer
+                self.queue
+                    .schedule(now + d, Event::ArriveAtRunNode { job, epoch });
+            }
+            _ => self.note_match_failure(now, job, epoch),
+        }
+    }
+
+    fn note_match_failure(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        self.report.match_failures += 1;
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        if rec.match_attempts >= self.cfg.max_match_attempts {
+            self.fail_job(job, FailureReason::NoMatch, now);
+        } else {
+            self.queue.schedule(
+                now + SimDuration::from_secs_f64(self.cfg.match_retry_secs),
+                Event::RetryMatch { job, epoch },
+            );
+        }
+    }
+
+    /// Figure 1, step 5: the job reaches the run node's FIFO queue.
+    fn handle_arrive(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        if !self.epoch_valid(job, epoch) {
+            return;
+        }
+        let rec = &self.jobs[&job];
+        let run = rec.run_node.expect("arrival implies assignment");
+        if !self.nodes.is_alive(run) {
+            // Died while the job was in transit: the owner's heartbeat
+            // timeout fires as if the job had been accepted.
+            self.begin_run_failure_recovery(now, job);
+            return;
+        }
+        if self.cfg.sandbox.rejects_at_admission(&rec.profile) {
+            self.report.sandbox_kills += 1;
+            self.fail_job(job, FailureReason::SandboxKilled, now);
+            return;
+        }
+        let runtime = self.effective_runtime(job, run);
+        self.jobs.get_mut(&job).expect("known job").queued_at = Some(now);
+        let node = self.nodes.get_mut(run);
+        if node.running.is_none() {
+            self.start_job(now, job, run, runtime);
+        } else {
+            node.queue.push_back(QueuedJob { job, runtime_secs: runtime });
+            let rec = self.jobs.get_mut(&job).expect("known job");
+            rec.state = JobState::Queued;
+        }
+    }
+
+    fn effective_runtime(&self, job: JobId, run: GridNodeId) -> f64 {
+        let rec = &self.jobs[&job];
+        if self.cfg.scale_runtime_by_cpu {
+            let cpu = self
+                .nodes
+                .get(run)
+                .profile
+                .capabilities
+                .get(dgrid_resources::ResourceKind::CpuSpeed)
+                .max(0.1);
+            rec.actual_runtime_secs * self.cfg.reference_cpu_ghz / cpu
+        } else {
+            rec.actual_runtime_secs
+        }
+    }
+
+    fn start_job(&mut self, now: SimTime, job: JobId, run: GridNodeId, runtime: f64) {
+        self.observer
+            .on_event(now, TraceEvent::Started { job, run_node: run });
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        rec.state = JobState::Running;
+        if rec.started_at.is_none() {
+            rec.started_at = Some(now);
+        }
+        rec.invalidate();
+        let epoch = rec.epoch;
+        let kill_after = self.cfg.sandbox.kill_after_secs(&rec.profile);
+
+        let node = self.nodes.get_mut(run);
+        node.running = Some(QueuedJob { job, runtime_secs: runtime });
+        node.running_finish_at = now + SimDuration::from_secs_f64(runtime);
+
+        match kill_after {
+            Some(k) if runtime > k => {
+                self.queue.schedule(
+                    now + SimDuration::from_secs_f64(k),
+                    Event::SandboxKill { job, epoch, node: run },
+                );
+            }
+            _ => {
+                self.queue.schedule(
+                    now + SimDuration::from_secs_f64(runtime),
+                    Event::Complete { job, epoch, node: run },
+                );
+            }
+        }
+    }
+
+    /// Figure 1, step 6: completion; results return to the client.
+    fn handle_complete(&mut self, now: SimTime, job: JobId, epoch: u32, node: GridNodeId) {
+        if !self.epoch_valid(job, epoch) || !self.nodes.is_alive(node) {
+            return;
+        }
+        // Figure 1 step 6: return results directly, or publish a pointer in
+        // the DHT and let the client resolve it (Section 2's by-reference
+        // option).
+        let result_delay = if self.cfg.return_results_by_reference {
+            let result_guid = rng::splitmix64(self.guid_of(job, u32::MAX));
+            let publish = self
+                .mm
+                .resolve_guid(&self.nodes, result_guid, &mut self.rng_mm)
+                .unwrap_or(0);
+            let fetch = self
+                .mm
+                .resolve_guid(&self.nodes, result_guid, &mut self.rng_mm)
+                .unwrap_or(0);
+            self.report.result_hops.push(f64::from(publish + fetch));
+            self.delay(publish) + self.delay(fetch + 1)
+        } else {
+            self.delay(1) // direct result transfer
+        };
+        let finished = now + result_delay;
+        {
+            let n = self.nodes.get_mut(node);
+            let done = n.running.take().expect("completion of running job");
+            debug_assert_eq!(done.job, job);
+            n.busy_secs += done.runtime_secs;
+            n.completed_jobs += 1;
+        }
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        rec.state = JobState::Completed;
+        rec.finished_at = Some(finished);
+        if let Some(q) = rec.queued_at {
+            let held = now.since(q).as_secs_f64();
+            self.report.heartbeat_messages += (held / self.cfg.heartbeat_secs).ceil() as u64;
+        }
+        let client = rec.profile.client;
+        self.report.jobs_completed += 1;
+        if let Some(w) = rec.wait_secs() {
+            self.report.wait_time.push(w);
+            self.report
+                .client_waits
+                .entry(client.0)
+                .or_default()
+                .push(w);
+        }
+        if let Some(t) = rec.turnaround_secs() {
+            self.report.turnaround.push(t);
+        }
+        self.outstanding -= 1;
+        self.observer.on_event(now, TraceEvent::Completed { job });
+        self.detach_owner(job);
+        self.release_dependents(now, job);
+        self.start_next_on(now, node);
+    }
+
+    /// Section 5 dependencies: the parent's results are now available, so
+    /// each child with no remaining unmet parents is submitted (at its
+    /// nominal arrival time if that is still in the future).
+    fn release_dependents(&mut self, now: SimTime, parent: JobId) {
+        let children = match self.dag_children.get(&parent) {
+            Some(c) => c.clone(),
+            None => return,
+        };
+        for child in children {
+            let Some(unmet) = self.unmet_deps.get_mut(&child) else { continue };
+            debug_assert!(*unmet > 0);
+            *unmet -= 1;
+            if *unmet == 0 {
+                self.unmet_deps.remove(&child);
+                let arrival = self.held_arrivals.remove(&child).unwrap_or(now);
+                self.queue
+                    .schedule(arrival.max(now), Event::Submit { job: child });
+            }
+        }
+    }
+
+    fn handle_sandbox_kill(&mut self, now: SimTime, job: JobId, epoch: u32, node: GridNodeId) {
+        if !self.epoch_valid(job, epoch) || !self.nodes.is_alive(node) {
+            return;
+        }
+        {
+            let n = self.nodes.get_mut(node);
+            let killed = n.running.take().expect("kill of running job");
+            debug_assert_eq!(killed.job, job);
+            // The node did burn the time up to the kill: the job's full
+            // runtime minus whatever would have remained past `now`.
+            let remaining = n.running_finish_at.since(now).as_secs_f64();
+            n.busy_secs += (killed.runtime_secs - remaining).max(0.0);
+        }
+        self.report.sandbox_kills += 1;
+        self.fail_job(job, FailureReason::SandboxKilled, now);
+        self.start_next_on(now, node);
+    }
+
+    fn start_next_on(&mut self, now: SimTime, node: GridNodeId) {
+        let next = self.nodes.get_mut(node).queue.pop_front();
+        if let Some(q) = next {
+            // Skip jobs that terminated while queued (e.g. sandbox-failed).
+            if self.jobs[&q.job].state.is_terminal() {
+                self.start_next_on(now, node);
+            } else {
+                self.start_job(now, q.job, node, q.runtime_secs);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure handling (Section 2's recovery protocol)
+    // ------------------------------------------------------------------
+
+    fn handle_node_depart(&mut self, now: SimTime, node: GridNodeId, graceful: bool) {
+        if !self.nodes.is_alive(node) {
+            return;
+        }
+        if graceful {
+            self.report.graceful_leaves += 1;
+        } else {
+            self.report.node_failures += 1;
+        }
+        self.observer
+            .on_event(now, TraceEvent::NodeDown { node, graceful });
+
+        // Victim jobs held by the node (running + queued), gathered before
+        // the table clears them.
+        let victims: Vec<JobId> = {
+            let n = self.nodes.get(node);
+            n.running
+                .iter()
+                .map(|q| q.job)
+                .chain(n.queue.iter().map(|q| q.job))
+                .collect()
+        };
+        let owned: Vec<JobId> = self
+            .owner_jobs
+            .remove(&node)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+
+        self.nodes.mark_failed(node);
+        self.mm.on_leave(&self.nodes, node, graceful);
+
+        // A graceful departure notifies its partners directly (one message)
+        // instead of being discovered by missed heartbeats.
+        let detect = if graceful {
+            self.delay(1)
+        } else {
+            self.cfg.detection_delay()
+        };
+        for job in victims {
+            let rec = self.jobs.get_mut(&job).expect("known job");
+            if rec.state.is_terminal() {
+                continue;
+            }
+            rec.state = JobState::Recovering;
+            rec.run_node = None;
+            rec.invalidate();
+            let epoch = rec.epoch;
+            let owner_alive = match rec.owner {
+                Some(OwnerRef::Server) => true,
+                Some(OwnerRef::Peer(p)) => p != node && self.nodes.is_alive(p),
+                None => false,
+            };
+            if owner_alive {
+                self.queue
+                    .schedule(now + detect, Event::RunFailureDetected { job, epoch });
+            } else {
+                self.schedule_client_resubmit(job, epoch);
+            }
+        }
+
+        for job in owned {
+            let rec = self.jobs.get_mut(&job).expect("known job");
+            if rec.state.is_terminal() {
+                continue;
+            }
+            // The job keeps running/queued elsewhere; do NOT invalidate.
+            let epoch = rec.epoch;
+            match rec.run_node {
+                Some(run) if self.nodes.is_alive(run) => {
+                    self.queue
+                        .schedule(now + detect, Event::OwnerFailureDetected { job, epoch });
+                }
+                // Run node dead too (or none): the victim path above, or a
+                // pending matching event, already covers this job; if it was
+                // purely owner-held (matching in progress), resubmit.
+                Some(_) => {} // handled via the victim path
+                None => {
+                    if rec.state == JobState::Matching {
+                        rec.state = JobState::Recovering;
+                        rec.invalidate();
+                        let epoch = rec.epoch;
+                        self.schedule_client_resubmit(job, epoch);
+                    }
+                }
+            }
+        }
+
+        if let Some(repair) = self.churn.rejoin_after_secs {
+            self.queue.schedule(
+                now + SimDuration::from_secs_f64(repair),
+                Event::NodeRejoin { node },
+            );
+        }
+    }
+
+    fn begin_run_failure_recovery(&mut self, now: SimTime, job: JobId) {
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        rec.state = JobState::Recovering;
+        rec.run_node = None;
+        rec.invalidate();
+        let epoch = rec.epoch;
+        let owner_alive = match rec.owner {
+            Some(OwnerRef::Server) => true,
+            Some(OwnerRef::Peer(p)) => self.nodes.is_alive(p),
+            None => false,
+        };
+        if owner_alive {
+            let detect = self.cfg.detection_delay();
+            self.queue
+                .schedule(now + detect, Event::RunFailureDetected { job, epoch });
+        } else {
+            self.schedule_client_resubmit(job, epoch);
+        }
+    }
+
+    fn handle_run_failure_detected(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        if !self.epoch_valid(job, epoch) {
+            return;
+        }
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        let owner_alive = match rec.owner {
+            Some(OwnerRef::Server) => true,
+            Some(OwnerRef::Peer(p)) => self.nodes.is_alive(p),
+            None => false,
+        };
+        if !owner_alive {
+            // Owner died during the detection window: dual failure.
+            let epoch = rec.epoch;
+            self.schedule_client_resubmit(job, epoch);
+            return;
+        }
+        self.report.run_recoveries += 1;
+        self.observer.on_event(now, TraceEvent::RunRecovery { job });
+        rec.match_attempts = 0; // fresh matchmaking round
+        self.try_match(now, job);
+    }
+
+    fn handle_owner_failure_detected(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        if !self.epoch_valid(job, epoch) {
+            return;
+        }
+        let rec = &self.jobs[&job];
+        let run_alive = rec.run_node.is_some_and(|r| self.nodes.is_alive(r));
+        if !run_alive {
+            // Both sides gone: the run-failure path or resubmission handles
+            // it; nothing for the (dead) run node to do.
+            return;
+        }
+        let guid = self.guid_of(job, rec.resubmits);
+        let profile = rec.profile;
+        match self
+            .mm
+            .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm)
+        {
+            Some((new_owner, _hops)) => {
+                self.report.owner_recoveries += 1;
+                self.observer.on_event(now, TraceEvent::OwnerRecovery { job });
+                let rec = self.jobs.get_mut(&job).expect("known job");
+                rec.owner = Some(new_owner);
+                if let OwnerRef::Peer(p) = new_owner {
+                    self.owner_jobs.entry(p).or_default().insert(job);
+                }
+            }
+            None => {
+                // Overlay cannot name an owner right now; retry shortly.
+                self.queue.schedule(
+                    now + SimDuration::from_secs_f64(self.cfg.match_retry_secs),
+                    Event::OwnerFailureDetected { job, epoch },
+                );
+            }
+        }
+    }
+
+    fn schedule_client_resubmit(&mut self, job: JobId, epoch: u32) {
+        self.queue.schedule_in(
+            self.cfg.client_resubmit_delay(),
+            Event::ClientResubmit { job, epoch },
+        );
+    }
+
+    fn handle_client_resubmit(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        if !self.epoch_valid(job, epoch) {
+            return;
+        }
+        self.report.client_resubmits += 1;
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        rec.resubmits += 1;
+        if rec.resubmits > self.cfg.max_resubmits {
+            self.fail_job(job, FailureReason::ResubmitsExhausted, now);
+        } else {
+            self.handle_submit(now, job);
+        }
+    }
+
+    fn handle_node_rejoin(&mut self, now: SimTime, node: GridNodeId) {
+        if self.nodes.is_alive(node) {
+            return;
+        }
+        self.nodes.mark_rejoined(node);
+        self.observer.on_event(now, TraceEvent::NodeUp { node });
+        self.mm.on_join(&self.nodes, node, &mut self.rng_mm);
+        if let Some(mttf) = self.churn.mttf_secs {
+            let dt = SimDuration::from_secs_f64(rng::sample_exp(&mut self.rng_fail, mttf));
+            let ev = if self.rng_fail.gen_bool(self.churn.graceful_fraction) {
+                Event::NodeLeave { node }
+            } else {
+                Event::NodeFail { node }
+            };
+            self.queue.schedule(now + dt, ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Termination helpers
+    // ------------------------------------------------------------------
+
+    fn fail_job(&mut self, job: JobId, reason: FailureReason, now: SimTime) {
+        {
+            let rec = self.jobs.get_mut(&job).expect("known job");
+            if rec.state.is_terminal() {
+                return;
+            }
+            rec.state = JobState::Failed;
+            rec.failure = Some(reason);
+            rec.finished_at = Some(now);
+            rec.invalidate();
+        }
+        self.report.jobs_failed += 1;
+        self.outstanding -= 1;
+        self.observer.on_event(now, TraceEvent::Failed { job });
+        self.detach_owner(job);
+        // Descendants can never obtain this job's output: cascade.
+        for d in self.dag.descendants_of(job) {
+            let rec = self.jobs.get_mut(&d).expect("known job");
+            if rec.state.is_terminal() {
+                continue;
+            }
+            rec.state = JobState::Failed;
+            rec.failure = Some(FailureReason::DependencyFailed);
+            rec.finished_at = Some(now);
+            rec.invalidate();
+            self.report.jobs_failed += 1;
+            self.report.dependency_failures += 1;
+            self.outstanding -= 1;
+            self.observer.on_event(now, TraceEvent::Failed { job: d });
+            self.detach_owner(d);
+            self.unmet_deps.remove(&d);
+            self.held_arrivals.remove(&d);
+        }
+    }
+
+    fn detach_owner(&mut self, job: JobId) {
+        if let Some(OwnerRef::Peer(p)) = self.jobs[&job].owner {
+            if let Some(set) = self.owner_jobs.get_mut(&p) {
+                set.remove(&job);
+            }
+        }
+    }
+}

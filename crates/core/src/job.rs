@@ -1,0 +1,178 @@
+//! Per-job lifecycle state.
+
+use dgrid_resources::JobProfile;
+use dgrid_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::node::GridNodeId;
+
+/// Who currently plays the *owner* role for a job.
+///
+/// In the P2P system the owner is a peer chosen through the overlay
+/// (Figure 1); in the centralized baseline the owner role is played by the
+/// reliable server, which by the paper's client-server model never fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OwnerRef {
+    /// The trusted central server (baseline only).
+    Server,
+    /// A peer owner node.
+    Peer(GridNodeId),
+}
+
+impl OwnerRef {
+    /// The peer id, if the owner is a peer.
+    pub fn peer(self) -> Option<GridNodeId> {
+        match self {
+            OwnerRef::Peer(n) => Some(n),
+            OwnerRef::Server => None,
+        }
+    }
+}
+
+/// Lifecycle states of a job in the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted, owner assignment or matchmaking in progress.
+    Matching,
+    /// Matched; in transit to or queued at the run node.
+    Queued,
+    /// Executing on the run node.
+    Running,
+    /// Interrupted by a failure; recovery in progress.
+    Recovering,
+    /// Finished; results returned to the client.
+    Completed,
+    /// Permanently failed (matchmaking exhausted, resubmits exhausted, or
+    /// killed by the sandbox).
+    Failed,
+}
+
+impl JobState {
+    /// No further transitions happen from a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Completed | JobState::Failed)
+    }
+}
+
+/// Why a job permanently failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureReason {
+    /// Matchmaking could not find a capable node after all retries.
+    NoMatch,
+    /// Both owner and run node failed too many times; resubmission budget
+    /// exhausted.
+    ResubmitsExhausted,
+    /// The sandbox killed the job for exceeding its declared resource quota.
+    SandboxKilled,
+    /// A job this one depends on permanently failed, so its input will
+    /// never exist (Section 5 dependencies).
+    DependencyFailed,
+    /// The simulation horizon ended before the job finished.
+    HorizonExceeded,
+}
+
+/// The engine's record for one job (the replicated "job profile plus
+/// monitoring state" that owner and run node each hold in the real system).
+#[derive(Clone, Debug)]
+pub(crate) struct JobRecord {
+    pub profile: JobProfile,
+    /// True wall-clock the job will take (differs from the profile's
+    /// declared runtime for runaway jobs).
+    pub actual_runtime_secs: f64,
+    pub state: JobState,
+    pub owner: Option<OwnerRef>,
+    pub run_node: Option<GridNodeId>,
+    /// Invalidates stale in-flight events after any reassignment.
+    pub epoch: u32,
+    /// Matchmaking attempts in the current submission.
+    pub match_attempts: u32,
+    /// Times the client had to resubmit after dual failure.
+    pub resubmits: u32,
+    pub first_submitted_at: SimTime,
+    /// When the job last entered a run node's queue (heartbeats start).
+    pub queued_at: Option<SimTime>,
+    pub started_at: Option<SimTime>,
+    pub finished_at: Option<SimTime>,
+    pub failure: Option<FailureReason>,
+}
+
+impl JobRecord {
+    pub fn new(profile: JobProfile, actual_runtime_secs: f64, submitted_at: SimTime) -> Self {
+        JobRecord {
+            profile,
+            actual_runtime_secs,
+            state: JobState::Matching,
+            owner: None,
+            run_node: None,
+            epoch: 0,
+            match_attempts: 0,
+            resubmits: 0,
+            first_submitted_at: submitted_at,
+            queued_at: None,
+            started_at: None,
+            finished_at: None,
+            failure: None,
+        }
+    }
+
+    /// Bump the epoch, invalidating all in-flight events for this job.
+    pub fn invalidate(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Wait time: submission until execution begins — the metric of
+    /// Figure 2.
+    pub fn wait_secs(&self) -> Option<f64> {
+        self.started_at
+            .map(|s| s.since(self.first_submitted_at).as_secs_f64())
+    }
+
+    /// Turnaround: submission until results are back.
+    pub fn turnaround_secs(&self) -> Option<f64> {
+        self.finished_at
+            .map(|f| f.since(self.first_submitted_at).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_resources::{ClientId, JobId, JobRequirements};
+
+    fn record() -> JobRecord {
+        let profile = JobProfile::new(JobId(1), ClientId(0), JobRequirements::unconstrained(), 50.0);
+        JobRecord::new(profile, 50.0, SimTime::from_secs(10))
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Recovering.is_terminal());
+    }
+
+    #[test]
+    fn wait_and_turnaround() {
+        let mut r = record();
+        assert_eq!(r.wait_secs(), None);
+        r.started_at = Some(SimTime::from_secs(25));
+        r.finished_at = Some(SimTime::from_secs(75));
+        assert_eq!(r.wait_secs(), Some(15.0));
+        assert_eq!(r.turnaround_secs(), Some(65.0));
+    }
+
+    #[test]
+    fn epoch_invalidation() {
+        let mut r = record();
+        let e0 = r.epoch;
+        r.invalidate();
+        assert_ne!(r.epoch, e0);
+    }
+
+    #[test]
+    fn owner_ref_peer() {
+        assert_eq!(OwnerRef::Server.peer(), None);
+        assert_eq!(OwnerRef::Peer(GridNodeId(3)).peer(), Some(GridNodeId(3)));
+    }
+}

@@ -1,0 +1,63 @@
+//! # dgrid-core — the P2P desktop-grid engine
+//!
+//! This crate is the paper's primary contribution: a decentralized job
+//! submission and execution system over P2P services (Section 2, Figure 1).
+//! It simulates, event by event, the six-step lifecycle:
+//!
+//! 1. a client inserts a job at an **injection node**;
+//! 2. the injection node assigns the job a GUID and routes it to its
+//!    **owner node** through the overlay;
+//! 3. the owner runs the **matchmaking** mechanism to find a capable
+//!    **run node**;
+//! 4. the owner sends the job to the run node;
+//! 5. the run node queues the job (FIFO, one at a time) and, while it holds
+//!    the job, keeps a heartbeat to the owner over a direct connection;
+//! 6. on completion, results return to the client.
+//!
+//! Robustness comes from the **owner/run-node pair**: the job profile is
+//! replicated on both, each monitors the other via heartbeats, and either
+//! one can drive recovery when the other fails. Only if *both* fail before
+//! recovery completes must the client resubmit — all three paths are
+//! implemented in [`Engine`] and measured in the `T-robust` experiment.
+//!
+//! Matchmaking is pluggable via the [`Matchmaker`] trait, with the paper's
+//! three schemes provided:
+//!
+//! * [`RnTreeMatchmaker`] — Rendezvous-Node-Tree search over Chord with a
+//!   limited random walk for initial owner placement and extended search to
+//!   `k` candidates (Section 3.1);
+//! * [`CanMatchmaker`] — CAN coordinate-space routing with the virtual
+//!   dimension, dominance-based candidate sets, stale neighbor load
+//!   exchange, and the "improved" load-pushing extension (Section 3.2-3.3);
+//! * [`CentralizedMatchmaker`] — the omniscient baseline the paper uses as
+//!   its load-balance target ("a centralized scheme that uses knowledge of
+//!   the status of all nodes and jobs").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dag;
+mod engine;
+mod job;
+mod match_can;
+mod match_central;
+mod match_rntree;
+mod matchmaker;
+mod metrics;
+mod node;
+mod security;
+mod trace;
+
+pub use config::{ChurnConfig, EngineConfig};
+pub use dag::JobDag;
+pub use engine::{AvailabilityEvent, Engine, JobSubmission};
+pub use job::{JobState, OwnerRef};
+pub use match_can::{CanMatchmaker, CanMmConfig};
+pub use match_central::CentralizedMatchmaker;
+pub use match_rntree::{RnTreeConfig, RnTreeMatchmaker};
+pub use matchmaker::{MatchOutcome, Matchmaker};
+pub use metrics::SimReport;
+pub use node::{GridNode, GridNodeId, NodeTable};
+pub use security::SandboxPolicy;
+pub use trace::{NullObserver, Observer, TraceEvent, VecObserver};

@@ -1,0 +1,214 @@
+//! The centralized baseline matchmaker.
+//!
+//! "To see how well the workload could be balanced, we also show results for
+//! a centralized scheme that uses knowledge of the status of all nodes and
+//! jobs. Such a scheme would be very expensive to implement in a
+//! decentralized P2P system, but serves as a target for achieving the best
+//! possible load balance from an online matchmaking algorithm."
+//! (Section 3.3.)
+//!
+//! The owner role is played by the reliable central server (which, per the
+//! client-server model of Section 1, persists job state and never fails);
+//! matchmaking reads fresh global state and picks the capable node with the
+//! least committed work. Matchmaking cost is zero overlay hops — that is
+//! precisely the advantage being bought with the single point of failure.
+
+use dgrid_resources::JobProfile;
+use dgrid_sim::rng::SimRng;
+use rand::Rng;
+
+use crate::job::OwnerRef;
+use crate::matchmaker::{MatchOutcome, Matchmaker};
+use crate::node::{GridNodeId, NodeTable};
+
+/// Omniscient online scheduler used as the paper's load-balance target.
+#[derive(Debug, Default)]
+pub struct CentralizedMatchmaker {
+    /// Virtual clock mirror so pending-work estimates age correctly; the
+    /// engine ticks this via [`Matchmaker::tick`] indirectly (estimates use
+    /// queue *lengths* plus runtimes, which do not need the exact instant).
+    _private: (),
+}
+
+impl CentralizedMatchmaker {
+    /// Create the baseline scheduler.
+    pub fn new() -> Self {
+        CentralizedMatchmaker::default()
+    }
+}
+
+impl Matchmaker for CentralizedMatchmaker {
+    fn name(&self) -> &'static str {
+        "central"
+    }
+
+    fn on_join(&mut self, _nodes: &NodeTable, _node: GridNodeId, _rng: &mut SimRng) {}
+
+    fn on_leave(&mut self, _nodes: &NodeTable, _node: GridNodeId, _graceful: bool) {}
+
+    fn assign_owner(
+        &mut self,
+        _nodes: &NodeTable,
+        _job: &JobProfile,
+        _guid: u64,
+        _injection: GridNodeId,
+        _rng: &mut SimRng,
+    ) -> Option<(OwnerRef, u32)> {
+        Some((OwnerRef::Server, 0))
+    }
+
+    fn find_run_node(
+        &mut self,
+        nodes: &NodeTable,
+        _owner: OwnerRef,
+        job: &JobProfile,
+        rng: &mut SimRng,
+    ) -> MatchOutcome {
+        // Least committed work among capable nodes; random tie-break so
+        // identical idle nodes share load evenly.
+        let mut best: Option<(f64, GridNodeId)> = None;
+        let mut ties = 0u32;
+        for id in nodes.alive_ids() {
+            let n = nodes.get(id);
+            if !job.requirements.satisfied_by(&n.profile.capabilities) {
+                continue;
+            }
+            let work = pending_estimate(n);
+            match best {
+                None => {
+                    best = Some((work, id));
+                    ties = 1;
+                }
+                Some((b, _)) if work < b => {
+                    best = Some((work, id));
+                    ties = 1;
+                }
+                Some((b, _)) if work == b => {
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
+                        best = Some((work, id));
+                    }
+                }
+                _ => {}
+            }
+        }
+        MatchOutcome {
+            run_node: best.map(|(_, id)| id),
+            hops: 0,
+        }
+    }
+
+    fn reassign_owner(
+        &mut self,
+        _nodes: &NodeTable,
+        _job: &JobProfile,
+        _guid: u64,
+        _rng: &mut SimRng,
+    ) -> Option<(OwnerRef, u32)> {
+        Some((OwnerRef::Server, 0))
+    }
+
+    fn tick(&mut self, _nodes: &NodeTable) {}
+
+    fn resolve_guid(&mut self, _nodes: &NodeTable, _guid: u64, _rng: &mut SimRng) -> Option<u32> {
+        Some(0) // the server is the directory
+    }
+}
+
+/// Committed-work estimate independent of the current instant: queued
+/// runtimes plus the running job's full runtime (a slight overestimate of
+/// the remainder, applied identically to every node, so the ordering is
+/// fair).
+fn pending_estimate(n: &crate::node::GridNode) -> f64 {
+    let queued: f64 = n.queue.iter().map(|q| q.runtime_secs).sum();
+    let running = n.running.map(|q| q.runtime_secs).unwrap_or(0.0);
+    queued + running
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeTable;
+    use dgrid_resources::{
+        Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType,
+        ResourceKind,
+    };
+    use dgrid_sim::rng::rng_for;
+
+    fn table() -> NodeTable {
+        NodeTable::new(vec![
+            NodeProfile::new(Capabilities::new(1.0, 1.0, 10.0, OsType::Linux)),
+            NodeProfile::new(Capabilities::new(2.0, 4.0, 100.0, OsType::Linux)),
+            NodeProfile::new(Capabilities::new(3.0, 8.0, 400.0, OsType::Windows)),
+        ])
+    }
+
+    fn job(req: JobRequirements) -> JobProfile {
+        JobProfile::new(JobId(1), ClientId(0), req, 10.0)
+    }
+
+    #[test]
+    fn owner_is_always_the_server() {
+        let mut mm = CentralizedMatchmaker::new();
+        let nodes = table();
+        let mut rng = rng_for(1, 1);
+        let p = job(JobRequirements::unconstrained());
+        let (owner, hops) = mm.assign_owner(&nodes, &p, 42, GridNodeId(0), &mut rng).unwrap();
+        assert_eq!(owner, OwnerRef::Server);
+        assert_eq!(hops, 0);
+        assert_eq!(mm.reassign_owner(&nodes, &p, 42, &mut rng), Some((OwnerRef::Server, 0)));
+    }
+
+    #[test]
+    fn picks_only_capable_nodes() {
+        let mut mm = CentralizedMatchmaker::new();
+        let nodes = table();
+        let mut rng = rng_for(2, 1);
+        let p = job(JobRequirements::unconstrained().with_min(ResourceKind::Memory, 5.0));
+        let out = mm.find_run_node(&nodes, OwnerRef::Server, &p, &mut rng);
+        assert_eq!(out.run_node, Some(GridNodeId(2)), "only the 8 GiB node qualifies");
+        assert_eq!(out.hops, 0);
+    }
+
+    #[test]
+    fn no_capable_node_means_no_match() {
+        let mut mm = CentralizedMatchmaker::new();
+        let nodes = table();
+        let mut rng = rng_for(3, 1);
+        let p = job(JobRequirements::unconstrained().with_min(ResourceKind::CpuSpeed, 100.0));
+        let out = mm.find_run_node(&nodes, OwnerRef::Server, &p, &mut rng);
+        assert_eq!(out.run_node, None);
+    }
+
+    #[test]
+    fn dead_nodes_are_skipped() {
+        let mut mm = CentralizedMatchmaker::new();
+        let mut nodes = table();
+        nodes.mark_failed(GridNodeId(2));
+        let mut rng = rng_for(4, 1);
+        let p = job(JobRequirements::unconstrained().with_min(ResourceKind::Memory, 5.0));
+        let out = mm.find_run_node(&nodes, OwnerRef::Server, &p, &mut rng);
+        assert_eq!(out.run_node, None, "the only capable node is down");
+    }
+
+    #[test]
+    fn idle_ties_are_spread_randomly() {
+        let mut mm = CentralizedMatchmaker::new();
+        let nodes = table();
+        let mut rng = rng_for(5, 1);
+        let p = job(JobRequirements::unconstrained());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(mm.find_run_node(&nodes, OwnerRef::Server, &p, &mut rng).run_node);
+        }
+        assert!(seen.len() >= 2, "tie-breaking must not always pick the same node");
+    }
+
+    #[test]
+    fn guid_resolution_is_free() {
+        let mut mm = CentralizedMatchmaker::new();
+        let nodes = table();
+        let mut rng = rng_for(6, 1);
+        assert_eq!(mm.resolve_guid(&nodes, 7, &mut rng), Some(0));
+    }
+}

@@ -1,0 +1,396 @@
+//! RN-Tree matchmaking over Chord (Section 3.1).
+//!
+//! * **Owner placement:** the job's GUID is looked up through Chord from the
+//!   injection node, then a *limited random walk* along successor pointers
+//!   spreads owners beyond the strict GUID mapping ("copes with dynamic load
+//!   balance issues by performing a limited random walk after the initial
+//!   mapping to an owner node").
+//! * **Matchmaking:** the owner searches its RN-Tree subtree first, climbing
+//!   to ancestors only as needed, pruned by aggregated maximal-resource
+//!   information, and keeps going until at least `k` capable candidates are
+//!   found (extended search). The least-loaded candidate wins — candidates
+//!   report their queue length in their search replies, so this load reading
+//!   is fresh for exactly the nodes contacted and nothing else.
+//! * **Maintenance:** the Chord ring stabilizes and the tree + aggregates
+//!   rebuild on the engine's maintenance tick whenever membership changed;
+//!   between ticks the overlay routes on stale state, as a real deployment
+//!   would.
+
+use std::collections::HashMap;
+
+use dgrid_chord::{ChordId, ChordRing};
+use dgrid_resources::{Capabilities, JobProfile};
+use dgrid_rntree::RnTreeIndex;
+use dgrid_sim::rng::SimRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::job::OwnerRef;
+use crate::matchmaker::{MatchOutcome, Matchmaker};
+use crate::node::{GridNodeId, NodeTable};
+
+/// Tunables for the RN-Tree matchmaker.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RnTreeConfig {
+    /// Extended-search width: keep searching until at least `k` capable
+    /// candidates are found.
+    pub k: usize,
+    /// Maximum steps of the post-mapping random walk (a uniform number of
+    /// steps in `0..=max_random_walk` is taken).
+    pub max_random_walk: u32,
+}
+
+impl Default for RnTreeConfig {
+    fn default() -> Self {
+        RnTreeConfig {
+            k: 4,
+            max_random_walk: 3,
+        }
+    }
+}
+
+/// The Section 3.1 matchmaker.
+pub struct RnTreeMatchmaker {
+    cfg: RnTreeConfig,
+    ring: ChordRing,
+    chord_of: HashMap<GridNodeId, ChordId>,
+    grid_of: HashMap<ChordId, GridNodeId>,
+    index: Option<RnTreeIndex>,
+    dirty: bool,
+}
+
+impl RnTreeMatchmaker {
+    /// An empty matchmaker; nodes arrive via [`Matchmaker::on_join`].
+    pub fn new(cfg: RnTreeConfig) -> Self {
+        assert!(cfg.k >= 1, "extended search needs k >= 1");
+        RnTreeMatchmaker {
+            cfg,
+            ring: ChordRing::default(),
+            chord_of: HashMap::new(),
+            grid_of: HashMap::new(),
+            index: None,
+            dirty: true,
+        }
+    }
+
+    /// With default parameters (k = 4, walk ≤ 3).
+    pub fn with_defaults() -> Self {
+        Self::new(RnTreeConfig::default())
+    }
+
+    /// The tree height of the current index (for the `T-tree` experiment).
+    pub fn tree_height(&self) -> Option<u32> {
+        self.index.as_ref().map(|i| i.tree().height())
+    }
+
+    fn chord_id_for(node: GridNodeId, generation: u64) -> ChordId {
+        // Fresh overlay identity per (node, join-generation).
+        ChordId::hash_of((u64::from(node.0) << 20) ^ generation)
+    }
+
+    fn rebuild_index(&mut self, nodes: &NodeTable) {
+        self.ring.stabilize();
+        if self.ring.is_empty() {
+            self.index = None;
+            self.dirty = false;
+            return;
+        }
+        let caps: HashMap<ChordId, Capabilities> = self
+            .grid_of
+            .iter()
+            .filter(|(cid, _)| self.ring.is_alive(**cid))
+            .map(|(&cid, &gid)| (cid, nodes.get(gid).profile.capabilities))
+            .collect();
+        self.index = Some(RnTreeIndex::build(&self.ring, &caps));
+        self.dirty = false;
+    }
+
+    fn index_for(&mut self, nodes: &NodeTable) -> Option<&RnTreeIndex> {
+        if self.dirty || self.index.is_none() {
+            self.rebuild_index(nodes);
+        }
+        self.index.as_ref()
+    }
+}
+
+impl Matchmaker for RnTreeMatchmaker {
+    fn name(&self) -> &'static str {
+        "rn-tree"
+    }
+
+    fn on_join(&mut self, _nodes: &NodeTable, node: GridNodeId, _rng: &mut SimRng) {
+        // Generation counter: how many identities this node has had.
+        let mut generation = 0u64;
+        let mut cid = Self::chord_id_for(node, generation);
+        while self.ring.is_alive(cid) {
+            generation += 1;
+            cid = Self::chord_id_for(node, generation);
+        }
+        self.ring.join(cid);
+        self.chord_of.insert(node, cid);
+        self.grid_of.insert(cid, node);
+        self.dirty = true;
+    }
+
+    fn on_leave(&mut self, _nodes: &NodeTable, node: GridNodeId, graceful: bool) {
+        let cid = self
+            .chord_of
+            .remove(&node)
+            .expect("leave of node never joined");
+        self.grid_of.remove(&cid);
+        if graceful {
+            self.ring.leave(cid); // neighbours repaired immediately
+        } else {
+            self.ring.fail(cid); // abrupt: stale state until stabilization
+        }
+        self.dirty = true;
+    }
+
+    fn assign_owner(
+        &mut self,
+        _nodes: &NodeTable,
+        _job: &JobProfile,
+        guid: u64,
+        injection: GridNodeId,
+        rng: &mut SimRng,
+    ) -> Option<(OwnerRef, u32)> {
+        let from = *self.chord_of.get(&injection)?;
+        if !self.ring.is_alive(from) {
+            return None;
+        }
+        let lookup = self.ring.lookup(from, ChordId(guid))?;
+        let mut hops = lookup.hops + lookup.timeouts;
+        // Limited random walk along successor pointers.
+        let mut owner = lookup.owner;
+        let steps = rng.gen_range(0..=self.cfg.max_random_walk);
+        for _ in 0..steps {
+            match self.ring.peer_view(owner) {
+                Some(v) if v.successor != owner && self.ring.is_alive(v.successor) => {
+                    owner = v.successor;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        let grid = *self.grid_of.get(&owner)?;
+        Some((OwnerRef::Peer(grid), hops))
+    }
+
+    fn find_run_node(
+        &mut self,
+        nodes: &NodeTable,
+        owner: OwnerRef,
+        job: &JobProfile,
+        rng: &mut SimRng,
+    ) -> MatchOutcome {
+        let Some(owner_grid) = owner.peer() else {
+            return MatchOutcome { run_node: None, hops: 0 };
+        };
+        let Some(&owner_chord) = self.chord_of.get(&owner_grid) else {
+            return MatchOutcome { run_node: None, hops: 0 };
+        };
+        let k = self.cfg.k;
+        // The index may lag membership; if the owner is missing, rebuild
+        // (the owner refreshes its own tree state before searching).
+        let missing = self
+            .index
+            .as_ref()
+            .is_none_or(|i| !i.tree().contains(owner_chord));
+        if missing {
+            self.dirty = true;
+        }
+        let Some(index) = self.index_for(nodes) else {
+            return MatchOutcome { run_node: None, hops: 0 };
+        };
+        if !index.tree().contains(owner_chord) {
+            return MatchOutcome { run_node: None, hops: 0 };
+        }
+        let res = index.find_candidates(owner_chord, &job.requirements, k);
+        let mut hops = res.hops;
+
+        // Candidates replied with their current queue length; pick the
+        // least loaded (fresh reads for contacted nodes only). Dead
+        // candidates (stale tree) cost a timeout probe each.
+        let mut best: Option<(usize, GridNodeId)> = None;
+        let mut ties = 0u32;
+        for cid in res.candidates {
+            let Some(&gid) = self.grid_of.get(&cid) else { continue };
+            if !nodes.is_alive(gid) {
+                hops += 1; // timed-out probe of a stale candidate
+                continue;
+            }
+            let load = nodes.get(gid).load();
+            match best {
+                None => {
+                    best = Some((load, gid));
+                    ties = 1;
+                }
+                Some((b, _)) if load < b => {
+                    best = Some((load, gid));
+                    ties = 1;
+                }
+                Some((b, _)) if load == b => {
+                    ties += 1;
+                    if rng.gen_range(0..ties) == 0 {
+                        best = Some((load, gid));
+                    }
+                }
+                _ => {}
+            }
+        }
+        MatchOutcome {
+            run_node: best.map(|(_, id)| id),
+            hops,
+        }
+    }
+
+    fn reassign_owner(
+        &mut self,
+        nodes: &NodeTable,
+        _job: &JobProfile,
+        guid: u64,
+        rng: &mut SimRng,
+    ) -> Option<(OwnerRef, u32)> {
+        // The run node (or client) looks the GUID up again; the live
+        // successor of the GUID becomes the new owner. Start the lookup at
+        // a random live peer (the contactor's own overlay position).
+        let ids = self.ring.alive_ids();
+        if ids.is_empty() {
+            return None;
+        }
+        let from = ids[rng.gen_range(0..ids.len())];
+        let lookup = self.ring.lookup(from, ChordId(guid))?;
+        let grid = *self.grid_of.get(&lookup.owner)?;
+        if !nodes.is_alive(grid) {
+            return None;
+        }
+        Some((OwnerRef::Peer(grid), lookup.hops + lookup.timeouts))
+    }
+
+    fn tick(&mut self, nodes: &NodeTable) {
+        if self.dirty {
+            self.rebuild_index(nodes);
+        } else if let Some(index) = self.index.as_mut() {
+            // Periodic aggregation refresh (soft state up the tree).
+            index.refresh_aggregates();
+        }
+    }
+
+    fn resolve_guid(&mut self, _nodes: &NodeTable, guid: u64, rng: &mut SimRng) -> Option<u32> {
+        let ids = self.ring.alive_ids();
+        if ids.is_empty() {
+            return None;
+        }
+        let from = ids[rng.gen_range(0..ids.len())];
+        let lookup = self.ring.lookup(from, ChordId(guid))?;
+        Some(lookup.hops + lookup.timeouts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeTable;
+    use dgrid_resources::{
+        Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType,
+        ResourceKind,
+    };
+    use dgrid_sim::rng::rng_for;
+
+    fn setup(n: usize) -> (RnTreeMatchmaker, NodeTable, SimRng) {
+        let profiles: Vec<NodeProfile> = (0..n)
+            .map(|i| {
+                NodeProfile::new(Capabilities::new(
+                    0.5 + (i % 8) as f64 * 0.45,
+                    2f64.powi((i % 6) as i32 - 2),
+                    10.0 + (i % 40) as f64 * 12.0,
+                    OsType::Linux,
+                ))
+            })
+            .collect();
+        let nodes = NodeTable::new(profiles);
+        let mut rng = rng_for(7, 7);
+        let mut mm = RnTreeMatchmaker::with_defaults();
+        for id in nodes.alive_ids() {
+            mm.on_join(&nodes, id, &mut rng);
+        }
+        mm.tick(&nodes);
+        (mm, nodes, rng)
+    }
+
+    fn job(req: JobRequirements) -> JobProfile {
+        JobProfile::new(JobId(9), ClientId(0), req, 10.0)
+    }
+
+    #[test]
+    fn owner_assignment_is_a_peer_with_bounded_hops() {
+        let (mut mm, nodes, mut rng) = setup(64);
+        let p = job(JobRequirements::unconstrained());
+        for inj in nodes.alive_ids().take(8) {
+            let (owner, hops) = mm.assign_owner(&nodes, &p, 12345, inj, &mut rng).unwrap();
+            let peer = owner.peer().expect("P2P owner is a peer");
+            assert!(nodes.is_alive(peer));
+            assert!(hops <= 24, "O(log N) routing plus short walk, got {hops}");
+        }
+    }
+
+    #[test]
+    fn random_walk_spreads_owners_of_one_guid() {
+        let (mut mm, nodes, mut rng) = setup(64);
+        let p = job(JobRequirements::unconstrained());
+        let inj = nodes.alive_ids().next().unwrap();
+        let owners: std::collections::HashSet<_> = (0..32)
+            .map(|_| mm.assign_owner(&nodes, &p, 777, inj, &mut rng).unwrap().0)
+            .collect();
+        assert!(owners.len() > 1, "the limited random walk must vary the owner");
+    }
+
+    #[test]
+    fn match_respects_constraints() {
+        let (mut mm, nodes, mut rng) = setup(64);
+        let p = job(JobRequirements::unconstrained().with_min(ResourceKind::CpuSpeed, 3.0));
+        let inj = nodes.alive_ids().next().unwrap();
+        let (owner, _) = mm.assign_owner(&nodes, &p, 31, inj, &mut rng).unwrap();
+        let out = mm.find_run_node(&nodes, owner, &p, &mut rng);
+        let run = out.run_node.expect("capable nodes exist");
+        assert!(p.requirements.satisfied_by(&nodes.get(run).profile.capabilities));
+        assert!(out.hops > 0, "tree search costs hops");
+    }
+
+    #[test]
+    fn membership_survives_churn_and_rejoin() {
+        let (mut mm, mut nodes, mut rng) = setup(32);
+        let victim = nodes.alive_ids().nth(5).unwrap();
+        nodes.mark_failed(victim);
+        mm.on_leave(&nodes, victim, false);
+        mm.tick(&nodes);
+        assert_eq!(mm.tree_height().map(|h| h > 0), Some(true));
+
+        nodes.mark_rejoined(victim);
+        mm.on_join(&nodes, victim, &mut rng);
+        mm.tick(&nodes);
+        // The rejoined node can be matched to again.
+        let p = job(JobRequirements::unconstrained());
+        let inj = nodes.alive_ids().next().unwrap();
+        let (owner, _) = mm.assign_owner(&nodes, &p, 99, inj, &mut rng).unwrap();
+        assert!(mm.find_run_node(&nodes, owner, &p, &mut rng).run_node.is_some());
+    }
+
+    #[test]
+    fn reassign_owner_returns_live_peer() {
+        let (mut mm, nodes, mut rng) = setup(32);
+        let p = job(JobRequirements::unconstrained());
+        let (owner, hops) = mm.reassign_owner(&nodes, &p, 4242, &mut rng).unwrap();
+        assert!(nodes.is_alive(owner.peer().unwrap()));
+        assert!(hops <= 24);
+    }
+
+    #[test]
+    fn impossible_requirements_find_nothing() {
+        let (mut mm, nodes, mut rng) = setup(32);
+        let p = job(JobRequirements::unconstrained().with_min(ResourceKind::Memory, 1e9));
+        let inj = nodes.alive_ids().next().unwrap();
+        let (owner, _) = mm.assign_owner(&nodes, &p, 5, inj, &mut rng).unwrap();
+        assert_eq!(mm.find_run_node(&nodes, owner, &p, &mut rng).run_node, None);
+    }
+}

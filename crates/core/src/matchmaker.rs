@@ -1,0 +1,90 @@
+//! The pluggable matchmaking interface.
+
+use dgrid_resources::JobProfile;
+use dgrid_sim::rng::SimRng;
+
+use crate::job::OwnerRef;
+use crate::node::{GridNodeId, NodeTable};
+
+/// Result of a run-node search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatchOutcome {
+    /// The chosen run node, or `None` if no capable node was found this
+    /// attempt (the engine retries and eventually fails the job).
+    pub run_node: Option<GridNodeId>,
+    /// Overlay messages spent on this matchmaking attempt — the paper's
+    /// "matchmaking cost".
+    pub hops: u32,
+}
+
+/// A matchmaking mechanism: Section 3's pluggable heart of the system.
+///
+/// Implementations keep their own overlay state (Chord ring + RN-Tree, CAN
+/// space, or nothing for the centralized baseline) and are driven by the
+/// [`Engine`](crate::Engine) through these hooks.
+pub trait Matchmaker {
+    /// Short identifier used in reports ("rn-tree", "can", "can-push",
+    /// "central").
+    fn name(&self) -> &'static str;
+
+    /// A node joined the grid (initial population and rejoin after repair).
+    fn on_join(&mut self, nodes: &NodeTable, node: GridNodeId, rng: &mut SimRng);
+
+    /// A node left the grid. `graceful` distinguishes an announced
+    /// departure (the peer notifies its overlay neighbours and the owners
+    /// of jobs it holds before going away) from an abrupt failure
+    /// (discovered only by timeouts).
+    fn on_leave(&mut self, nodes: &NodeTable, node: GridNodeId, graceful: bool);
+
+    /// Figure 1, steps 1–2: assign `job` (with overlay GUID `guid`) to an
+    /// owner, starting from the `injection` node. Returns the owner and the
+    /// overlay hops spent routing, or `None` if the overlay cannot place
+    /// the job right now.
+    fn assign_owner(
+        &mut self,
+        nodes: &NodeTable,
+        job: &JobProfile,
+        guid: u64,
+        injection: GridNodeId,
+        rng: &mut SimRng,
+    ) -> Option<(OwnerRef, u32)>;
+
+    /// Figure 1, step 3: from the owner, find a run node capable of
+    /// executing `job`.
+    fn find_run_node(
+        &mut self,
+        nodes: &NodeTable,
+        owner: OwnerRef,
+        job: &JobProfile,
+        rng: &mut SimRng,
+    ) -> MatchOutcome;
+
+    /// Recovery: the run node detected the owner's failure and needs a new
+    /// owner for `guid` (Section 2's owner-failure path).
+    fn reassign_owner(
+        &mut self,
+        nodes: &NodeTable,
+        job: &JobProfile,
+        guid: u64,
+        rng: &mut SimRng,
+    ) -> Option<(OwnerRef, u32)>;
+
+    /// Periodic maintenance: overlay stabilization, aggregate refresh, and
+    /// neighbor load exchange. Called by the engine every maintenance
+    /// period.
+    fn tick(&mut self, nodes: &NodeTable);
+
+    /// Overlay cost (hops) of resolving `guid` from a random live peer.
+    ///
+    /// Section 2: "the result can be returned to the client as either a
+    /// pointer to the result (another GUID) or as the result itself". When
+    /// the engine is configured for return-by-reference, the run node
+    /// publishes the result under a GUID and the client resolves it — both
+    /// are one overlay lookup, costed through this hook. `None` means the
+    /// overlay cannot resolve right now (engine falls back to direct
+    /// return).
+    fn resolve_guid(&mut self, nodes: &NodeTable, guid: u64, rng: &mut SimRng) -> Option<u32> {
+        let _ = (nodes, guid, rng);
+        None
+    }
+}

@@ -1,0 +1,225 @@
+//! Grid nodes and the node table.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dgrid_resources::{JobId, NodeProfile};
+use dgrid_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Engine-level handle for a participating node. Stable across failure and
+/// rejoin (the peer keeps its machine identity; its overlay identity is the
+/// matchmaker's business).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GridNodeId(pub u32);
+
+impl fmt::Debug for GridNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+impl fmt::Display for GridNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A job sitting in (or at the head of) a run node's FIFO queue.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct QueuedJob {
+    pub job: JobId,
+    /// Wall-clock the job will occupy the node for.
+    pub runtime_secs: f64,
+}
+
+/// One participating peer: its advertised profile plus execution state.
+///
+/// "Each run node processes jobs in its job queue in FIFO order and only
+/// processes one job at a time." (Section 2.)
+#[derive(Clone, Debug)]
+pub struct GridNode {
+    /// Advertised capabilities.
+    pub profile: NodeProfile,
+    /// Is the node currently up?
+    pub alive: bool,
+    pub(crate) queue: VecDeque<QueuedJob>,
+    pub(crate) running: Option<QueuedJob>,
+    pub(crate) running_finish_at: SimTime,
+    /// Total seconds this node has spent executing jobs (for utilization
+    /// and load-balance reporting).
+    pub busy_secs: f64,
+    /// Jobs this node has completed.
+    pub completed_jobs: u64,
+}
+
+impl GridNode {
+    pub(crate) fn new(profile: NodeProfile) -> Self {
+        GridNode {
+            profile,
+            alive: true,
+            queue: VecDeque::new(),
+            running: None,
+            running_finish_at: SimTime::ZERO,
+            busy_secs: 0.0,
+            completed_jobs: 0,
+        }
+    }
+
+    /// Jobs currently held: queued plus running.
+    pub fn load(&self) -> usize {
+        self.queue.len() + usize::from(self.running.is_some())
+    }
+
+    /// Seconds of work committed to this node: the remainder of the running
+    /// job plus everything queued.
+    pub fn pending_work_secs(&self, now: SimTime) -> f64 {
+        let running = if self.running.is_some() {
+            self.running_finish_at.since(now).as_secs_f64()
+        } else {
+            0.0
+        };
+        running + self.queue.iter().map(|q| q.runtime_secs).sum::<f64>()
+    }
+}
+
+/// The engine's table of all nodes, alive and dead.
+///
+/// Matchmakers receive `&NodeTable` read-only: the *centralized* baseline
+/// is allowed to read everything fresh (that is its defining advantage);
+/// the decentralized matchmakers, by their own contract, only read state
+/// for nodes they have legitimately contacted (search candidates, neighbor
+/// load exchange at tick time).
+pub struct NodeTable {
+    nodes: Vec<GridNode>,
+    alive: usize,
+}
+
+impl NodeTable {
+    pub(crate) fn new(profiles: Vec<NodeProfile>) -> Self {
+        let alive = profiles.len();
+        NodeTable {
+            nodes: profiles.into_iter().map(GridNode::new).collect(),
+            alive,
+        }
+    }
+
+    /// Total number of nodes ever registered.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of currently live nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive
+    }
+
+    /// The node behind a handle.
+    pub fn get(&self, id: GridNodeId) -> &GridNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    pub(crate) fn get_mut(&mut self, id: GridNodeId) -> &mut GridNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Is the node up?
+    pub fn is_alive(&self, id: GridNodeId) -> bool {
+        self.get(id).alive
+    }
+
+    /// Handles of all live nodes, ascending.
+    pub fn alive_ids(&self) -> impl Iterator<Item = GridNodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| GridNodeId(i as u32))
+    }
+
+    /// A uniformly random live node.
+    pub fn random_alive<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<GridNodeId> {
+        if self.alive == 0 {
+            return None;
+        }
+        let n = rng.gen_range(0..self.alive);
+        self.alive_ids().nth(n)
+    }
+
+    pub(crate) fn mark_failed(&mut self, id: GridNodeId) {
+        let n = self.get_mut(id);
+        assert!(n.alive, "failing dead node {id}");
+        n.alive = false;
+        n.queue.clear();
+        n.running = None;
+        self.alive -= 1;
+    }
+
+    pub(crate) fn mark_rejoined(&mut self, id: GridNodeId) {
+        let n = self.get_mut(id);
+        assert!(!n.alive, "rejoining live node {id}");
+        n.alive = true;
+        self.alive += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_resources::{Capabilities, OsType};
+    use dgrid_sim::SimDuration;
+
+    fn profile() -> NodeProfile {
+        NodeProfile::new(Capabilities::new(2.0, 4.0, 100.0, OsType::Linux))
+    }
+
+    #[test]
+    fn load_counts_running_and_queued() {
+        let mut n = GridNode::new(profile());
+        assert_eq!(n.load(), 0);
+        n.running = Some(QueuedJob { job: JobId(1), runtime_secs: 10.0 });
+        n.queue.push_back(QueuedJob { job: JobId(2), runtime_secs: 5.0 });
+        assert_eq!(n.load(), 2);
+    }
+
+    #[test]
+    fn pending_work_includes_remaining_runtime() {
+        let mut n = GridNode::new(profile());
+        n.running = Some(QueuedJob { job: JobId(1), runtime_secs: 10.0 });
+        n.running_finish_at = SimTime::ZERO + SimDuration::from_secs(8);
+        n.queue.push_back(QueuedJob { job: JobId(2), runtime_secs: 5.0 });
+        let now = SimTime::from_secs(2);
+        assert!((n.pending_work_secs(now) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_failure_and_rejoin() {
+        let mut t = NodeTable::new(vec![profile(), profile(), profile()]);
+        assert_eq!(t.alive_count(), 3);
+        t.mark_failed(GridNodeId(1));
+        assert_eq!(t.alive_count(), 2);
+        assert!(!t.is_alive(GridNodeId(1)));
+        assert_eq!(
+            t.alive_ids().collect::<Vec<_>>(),
+            vec![GridNodeId(0), GridNodeId(2)]
+        );
+        t.mark_rejoined(GridNodeId(1));
+        assert_eq!(t.alive_count(), 3);
+    }
+
+    #[test]
+    fn random_alive_skips_dead() {
+        let mut t = NodeTable::new(vec![profile(), profile(), profile()]);
+        t.mark_failed(GridNodeId(0));
+        t.mark_failed(GridNodeId(2));
+        let mut rng = dgrid_sim::rng::rng_for(1, 1);
+        for _ in 0..10 {
+            assert_eq!(t.random_alive(&mut rng), Some(GridNodeId(1)));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Secure job execution: the containment policy layer of Section 5.
+//!
+//! The paper specifies (as near-term work) that compute nodes are protected
+//! from malicious jobs with standard process-containment techniques —
+//! chroot jails, no network access, outputs buffered locally — plus
+//! "generalized quotas to limit overall job resource usage (e.g., disk
+//! space), to minimize the effects of malicious or runaway jobs". This
+//! module implements the *policy* and its failure semantics inside the
+//! simulation: a job whose actual behaviour exceeds its declared profile by
+//! more than the configured slack is killed by the run node's sandbox, and
+//! the kill is reported (such a job is treated as malicious and not
+//! rescheduled).
+
+use dgrid_resources::JobProfile;
+use serde::{Deserialize, Serialize};
+
+/// Quota policy every run node enforces on the jobs it executes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SandboxPolicy {
+    /// A job may run at most `runtime_slack` × its declared runtime before
+    /// the sandbox concludes it is runaway and kills it.
+    pub runtime_slack: f64,
+    /// Hard cap on a job's output size, in bytes (outputs are buffered on
+    /// the run node until completion, so this bounds local disk use).
+    pub max_output_bytes: u64,
+}
+
+impl Default for SandboxPolicy {
+    fn default() -> Self {
+        SandboxPolicy {
+            runtime_slack: 10.0,
+            max_output_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl SandboxPolicy {
+    /// A policy that never kills anything (for experiments isolating other
+    /// mechanisms).
+    pub fn permissive() -> Self {
+        SandboxPolicy {
+            runtime_slack: f64::INFINITY,
+            max_output_bytes: u64::MAX,
+        }
+    }
+
+    /// Would this job be rejected outright at admission (declared output
+    /// already over quota)?
+    pub fn rejects_at_admission(&self, job: &JobProfile) -> bool {
+        job.output_bytes > self.max_output_bytes
+    }
+
+    /// Given a job's declared runtime, the wall-clock at which the sandbox
+    /// kills it if still running. `None` means the policy never fires.
+    pub fn kill_after_secs(&self, job: &JobProfile) -> Option<f64> {
+        if self.runtime_slack.is_finite() {
+            Some(job.run_time_secs * self.runtime_slack)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_resources::{ClientId, JobId, JobRequirements};
+
+    fn job(runtime: f64, output: u64) -> JobProfile {
+        let mut p = JobProfile::new(JobId(1), ClientId(0), JobRequirements::unconstrained(), runtime);
+        p.output_bytes = output;
+        p
+    }
+
+    #[test]
+    fn admission_quota() {
+        let policy = SandboxPolicy {
+            runtime_slack: 10.0,
+            max_output_bytes: 1024,
+        };
+        assert!(!policy.rejects_at_admission(&job(10.0, 1024)));
+        assert!(policy.rejects_at_admission(&job(10.0, 1025)));
+    }
+
+    #[test]
+    fn runaway_deadline() {
+        let policy = SandboxPolicy {
+            runtime_slack: 3.0,
+            max_output_bytes: u64::MAX,
+        };
+        assert_eq!(policy.kill_after_secs(&job(10.0, 0)), Some(30.0));
+        assert_eq!(SandboxPolicy::permissive().kill_after_secs(&job(10.0, 0)), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Lifecycle tracing.
+//!
+//! An [`Observer`] receives every externally meaningful transition of the
+//! Figure-1 lifecycle as it happens in virtual time. Observers power
+//! debugging, Gantt-style visualization, and the ordering assertions in the
+//! test suite, without the engine paying anything when tracing is off (the
+//! default observer is a no-op and the calls inline away).
+
+use dgrid_resources::JobId;
+use dgrid_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::job::OwnerRef;
+use crate::node::GridNodeId;
+
+/// One lifecycle transition.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A client submitted (or resubmitted) a job.
+    Submitted {
+        /// The job.
+        job: JobId,
+        /// How many resubmissions preceded this one.
+        resubmits: u32,
+    },
+    /// The overlay assigned an owner (Figure 1, step 2).
+    OwnerAssigned {
+        /// The job.
+        job: JobId,
+        /// The owner (peer or server).
+        owner: OwnerRef,
+    },
+    /// Matchmaking chose a run node (Figure 1, step 3).
+    Matched {
+        /// The job.
+        job: JobId,
+        /// The chosen run node.
+        run_node: GridNodeId,
+        /// Overlay hops the search cost.
+        hops: u32,
+    },
+    /// The job began executing.
+    Started {
+        /// The job.
+        job: JobId,
+        /// Where it runs.
+        run_node: GridNodeId,
+    },
+    /// Results returned to the client (Figure 1, step 6).
+    Completed {
+        /// The job.
+        job: JobId,
+    },
+    /// The job permanently failed.
+    Failed {
+        /// The job.
+        job: JobId,
+    },
+    /// A node departed (failure or graceful leave).
+    NodeDown {
+        /// The node.
+        node: GridNodeId,
+        /// Whether the departure was announced.
+        graceful: bool,
+    },
+    /// A node (re)joined.
+    NodeUp {
+        /// The node.
+        node: GridNodeId,
+    },
+    /// The owner detected a run-node failure and is rematching.
+    RunRecovery {
+        /// The affected job.
+        job: JobId,
+    },
+    /// The run node replaced a failed owner.
+    OwnerRecovery {
+        /// The affected job.
+        job: JobId,
+    },
+}
+
+/// Receives lifecycle events in virtual-time order.
+pub trait Observer {
+    /// Called once per event, in nondecreasing `at` order.
+    fn on_event(&mut self, at: SimTime, event: TraceEvent);
+}
+
+/// The default no-op observer.
+#[derive(Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline]
+    fn on_event(&mut self, _at: SimTime, _event: TraceEvent) {}
+}
+
+/// Collects every event into a vector (tests, offline analysis).
+#[derive(Default)]
+pub struct VecObserver {
+    /// The recorded `(time, event)` pairs, in emission order.
+    pub events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl Observer for VecObserver {
+    fn on_event(&mut self, at: SimTime, event: TraceEvent) {
+        self.events.push((at, event));
+    }
+}
+
+impl VecObserver {
+    /// All events concerning one job, in order.
+    pub fn for_job(&self, job: JobId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e,
+                    TraceEvent::Submitted { job: j, .. }
+                    | TraceEvent::OwnerAssigned { job: j, .. }
+                    | TraceEvent::Matched { job: j, .. }
+                    | TraceEvent::Started { job: j, .. }
+                    | TraceEvent::Completed { job: j }
+                    | TraceEvent::Failed { job: j }
+                    | TraceEvent::RunRecovery { job: j }
+                    | TraceEvent::OwnerRecovery { job: j } if *j == job
+                )
+            })
+            .map(|(_, e)| e)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_observer_filters_by_job() {
+        let mut o = VecObserver::default();
+        o.on_event(SimTime::ZERO, TraceEvent::Submitted { job: JobId(1), resubmits: 0 });
+        o.on_event(SimTime::from_secs(1), TraceEvent::Submitted { job: JobId(2), resubmits: 0 });
+        o.on_event(SimTime::from_secs(2), TraceEvent::Completed { job: JobId(1) });
+        o.on_event(
+            SimTime::from_secs(3),
+            TraceEvent::NodeDown { node: GridNodeId(0), graceful: false },
+        );
+        assert_eq!(o.for_job(JobId(1)).len(), 2);
+        assert_eq!(o.for_job(JobId(2)).len(), 1);
+        assert_eq!(o.events.len(), 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end tests of the Section 5 dependency extension: ordering,
+//! held-back submission, and failure cascades.
+
+use dgrid_core::{
+    CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, JobDag, JobSubmission,
+    RnTreeMatchmaker, SandboxPolicy,
+};
+use dgrid_resources::{
+    Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType,
+};
+
+fn nodes(n: usize) -> Vec<NodeProfile> {
+    (0..n)
+        .map(|_| NodeProfile::new(Capabilities::new(2.0, 4.0, 100.0, OsType::Linux)))
+        .collect()
+}
+
+fn job(id: u64, arrival: f64, runtime: f64) -> JobSubmission {
+    JobSubmission {
+        profile: JobProfile::new(JobId(id), ClientId(0), JobRequirements::unconstrained(), runtime),
+        arrival_secs: arrival,
+        actual_runtime_secs: None,
+    }
+}
+
+fn cfg(seed: u64) -> EngineConfig {
+    EngineConfig { seed, ..EngineConfig::default() }
+}
+
+#[test]
+fn chain_runs_in_order() {
+    // simulation -> analysis -> summary: later stages must wait.
+    let jobs = vec![job(1, 0.0, 100.0), job(2, 0.0, 50.0), job(3, 0.0, 25.0)];
+    let dag = JobDag::chain(&[JobId(1), JobId(2), JobId(3)]);
+    let r = Engine::with_dag(
+        cfg(1),
+        ChurnConfig::none(),
+        Box::new(CentralizedMatchmaker::new()),
+        nodes(10),
+        jobs,
+        dag,
+    )
+    .run();
+    assert_eq!(r.jobs_completed, 3);
+    // The chain is strictly serial: makespan ≥ 100 + 50 + 25 s.
+    assert!(
+        r.makespan_secs >= 175.0,
+        "serial chain must take ≥ 175 s, took {:.1}",
+        r.makespan_secs
+    );
+    // Child waits include the time spent held back, so the mean wait of the
+    // chain far exceeds any single queueing delay.
+    assert!(r.wait_time.max().unwrap() >= 150.0);
+}
+
+#[test]
+fn independent_jobs_run_in_parallel_next_to_a_chain() {
+    // 20 independent jobs plus one 2-stage pipeline: the independents must
+    // not be delayed by the pipeline.
+    let mut jobs: Vec<JobSubmission> = (0..20).map(|i| job(i, 0.0, 50.0)).collect();
+    jobs.push(job(100, 0.0, 100.0));
+    jobs.push(job(101, 0.0, 10.0));
+    let mut dag = JobDag::none();
+    dag.add_dependency(JobId(101), JobId(100));
+    let r = Engine::with_dag(
+        cfg(2),
+        ChurnConfig::none(),
+        Box::new(CentralizedMatchmaker::new()),
+        nodes(30),
+        jobs,
+        dag,
+    )
+    .run();
+    assert_eq!(r.jobs_completed, 22);
+    // Pipeline finish ≈ 100 + 10 (+ small latencies); everything done well
+    // under a serialized schedule.
+    assert!(r.makespan_secs < 200.0, "makespan {:.1}", r.makespan_secs);
+}
+
+#[test]
+fn diamond_joins_wait_for_all_parents() {
+    //      1
+    //     / \
+    //    2   3      4 depends on BOTH 2 and 3.
+    //     \ /
+    //      4
+    let jobs = vec![job(1, 0.0, 10.0), job(2, 0.0, 100.0), job(3, 0.0, 20.0), job(4, 0.0, 5.0)];
+    let mut dag = JobDag::none();
+    dag.add_dependency(JobId(2), JobId(1));
+    dag.add_dependency(JobId(3), JobId(1));
+    dag.add_dependency(JobId(4), JobId(2));
+    dag.add_dependency(JobId(4), JobId(3));
+    let r = Engine::with_dag(
+        cfg(3),
+        ChurnConfig::none(),
+        Box::new(CentralizedMatchmaker::new()),
+        nodes(10),
+        jobs,
+        dag,
+    )
+    .run();
+    assert_eq!(r.jobs_completed, 4);
+    // 4 waits for the slower branch (2): ≥ 10 + 100 + 5.
+    assert!(r.makespan_secs >= 115.0, "makespan {:.1}", r.makespan_secs);
+}
+
+#[test]
+fn failed_parent_cascades_to_descendants() {
+    // Parent is a runaway job the sandbox kills; its whole pipeline dies
+    // with an explicit DependencyFailed, never hangs.
+    let mut parent = job(1, 0.0, 10.0);
+    parent.actual_runtime_secs = Some(10_000.0); // runaway
+    let jobs = vec![parent, job(2, 0.0, 50.0), job(3, 0.0, 50.0), job(4, 0.0, 50.0)];
+    let mut dag = JobDag::none();
+    dag.add_dependency(JobId(2), JobId(1));
+    dag.add_dependency(JobId(3), JobId(2));
+    dag.add_dependency(JobId(4), JobId(1));
+    let engine_cfg = EngineConfig {
+        seed: 4,
+        sandbox: SandboxPolicy {
+            runtime_slack: 2.0,
+            max_output_bytes: u64::MAX,
+        },
+        ..EngineConfig::default()
+    };
+    let r = Engine::with_dag(
+        engine_cfg,
+        ChurnConfig::none(),
+        Box::new(CentralizedMatchmaker::new()),
+        nodes(5),
+        jobs,
+        dag,
+    )
+    .run();
+    assert_eq!(r.sandbox_kills, 1);
+    assert_eq!(r.jobs_failed, 4, "parent + 3 descendants");
+    assert_eq!(r.dependency_failures, 3);
+    assert_eq!(r.jobs_completed, 0);
+}
+
+#[test]
+fn dag_works_over_p2p_matchmaking_too() {
+    let jobs: Vec<JobSubmission> = (0..30).map(|i| job(i, i as f64, 30.0)).collect();
+    // Three 10-stage chains interleaved.
+    let mut dag = JobDag::none();
+    for c in 0..3u64 {
+        for s in 1..10u64 {
+            dag.add_dependency(JobId(c + 3 * s), JobId(c + 3 * (s - 1)));
+        }
+    }
+    let r = Engine::with_dag(
+        cfg(5),
+        ChurnConfig::none(),
+        Box::new(RnTreeMatchmaker::with_defaults()),
+        nodes(16),
+        jobs,
+        dag,
+    )
+    .run();
+    assert_eq!(r.jobs_completed, 30);
+    // Each chain is serial (10 × 30 s) but the three run concurrently.
+    assert!(r.makespan_secs >= 300.0);
+    assert!(r.makespan_secs < 3.0 * 400.0);
+}
+
+#[test]
+fn dag_survives_churn_without_losing_jobs() {
+    let jobs: Vec<JobSubmission> = (0..40).map(|i| job(i, i as f64, 60.0)).collect();
+    let dag = JobDag::chain(&(0..40).map(JobId).collect::<Vec<_>>());
+    let engine_cfg = EngineConfig {
+        seed: 6,
+        max_sim_secs: 5_000_000.0,
+        ..EngineConfig::default()
+    };
+    let churn = ChurnConfig {
+        mttf_secs: Some(5_000.0),
+        rejoin_after_secs: Some(300.0),
+        graceful_fraction: 0.0,
+    };
+    let r = Engine::with_dag(
+        engine_cfg,
+        churn,
+        Box::new(RnTreeMatchmaker::with_defaults()),
+        nodes(24),
+        jobs,
+        dag,
+    )
+    .run();
+    assert_eq!(r.jobs_completed + r.jobs_failed, 40, "conservation under churn");
+    assert!(r.completion_rate() > 0.9, "rate {:.3}", r.completion_rate());
+}
+
+#[test]
+fn client_fairness_is_reported() {
+    // Two clients with identical demands should see similar average waits.
+    let mut jobs = Vec::new();
+    for i in 0..60u64 {
+        let mut j = job(i, i as f64 * 0.5, 40.0);
+        j.profile.client = ClientId((i % 2) as u32);
+        jobs.push(j);
+    }
+    let r = Engine::new(
+        cfg(7),
+        ChurnConfig::none(),
+        Box::new(CentralizedMatchmaker::new()),
+        nodes(12),
+        jobs,
+    )
+    .run();
+    assert_eq!(r.client_waits.len(), 2);
+    assert!(
+        r.client_fairness() > 0.8,
+        "symmetric clients should be treated fairly: {:.3}",
+        r.client_fairness()
+    );
+}

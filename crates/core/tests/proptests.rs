@@ -1,0 +1,198 @@
+//! Property tests on the engine: for arbitrary workloads, churn schedules,
+//! and dependency graphs, the simulation never panics, conserves jobs, and
+//! keeps its invariants.
+
+use dgrid_core::{
+    CanMatchmaker, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, JobDag,
+    JobSubmission, Matchmaker, RnTreeMatchmaker,
+};
+use dgrid_resources::{
+    Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType, ResourceKind,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct ArbJob {
+    cpu_min: Option<f64>,
+    mem_min: Option<f64>,
+    runtime: f64,
+    arrival: f64,
+}
+
+fn arb_job() -> impl Strategy<Value = ArbJob> {
+    (
+        proptest::option::of(0.5f64..3.5),
+        proptest::option::of(0.5f64..7.5),
+        1.0f64..300.0,
+        0.0f64..120.0,
+    )
+        .prop_map(|(cpu_min, mem_min, runtime, arrival)| ArbJob {
+            cpu_min,
+            mem_min,
+            runtime,
+            arrival,
+        })
+}
+
+fn arb_node() -> impl Strategy<Value = (f64, f64, f64, u8)> {
+    (0.5f64..4.0, 0.25f64..8.0, 10.0f64..500.0, 0u8..4)
+}
+
+fn build(
+    nodes: &[(f64, f64, f64, u8)],
+    jobs: &[ArbJob],
+) -> (Vec<NodeProfile>, Vec<JobSubmission>) {
+    let profiles: Vec<NodeProfile> = nodes
+        .iter()
+        .map(|&(c, m, d, os)| {
+            NodeProfile::new(Capabilities::new(c, m, d, OsType::ALL[os as usize]))
+        })
+        .collect();
+    let submissions: Vec<JobSubmission> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| {
+            let mut req = JobRequirements::unconstrained();
+            if let Some(c) = j.cpu_min {
+                req = req.with_min(ResourceKind::CpuSpeed, c);
+            }
+            if let Some(m) = j.mem_min {
+                req = req.with_min(ResourceKind::Memory, m);
+            }
+            JobSubmission {
+                profile: JobProfile::new(JobId(i as u64), ClientId((i % 4) as u32), req, j.runtime),
+                arrival_secs: j.arrival,
+                actual_runtime_secs: None,
+            }
+        })
+        .collect();
+    (profiles, submissions)
+}
+
+fn check_report(r: &dgrid_core::SimReport, total: u64, label: &str) {
+    assert_eq!(r.jobs_completed + r.jobs_failed, total, "{label}: conservation");
+    assert_eq!(r.jobs_total, total);
+    assert_eq!(r.wait_time.len() as u64, r.jobs_completed, "{label}: one wait per completion");
+    for &w in r.wait_time.samples() {
+        assert!(w >= 0.0 && w.is_finite(), "{label}: wait {w}");
+    }
+    for &b in &r.node_busy_secs {
+        assert!(b >= 0.0 && b.is_finite());
+    }
+    let client_total: u64 = r.client_waits.values().map(|s| s.count()).sum();
+    assert_eq!(client_total, r.jobs_completed, "{label}: client stats cover completions");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary workloads (possibly unsatisfiable jobs) on every
+    /// matchmaker: no panics, conservation, valid metrics.
+    #[test]
+    fn engine_conserves_jobs(
+        nodes in proptest::collection::vec(arb_node(), 3..20),
+        jobs in proptest::collection::vec(arb_job(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let (profiles, submissions) = build(&nodes, &jobs);
+        let total = submissions.len() as u64;
+        for mm in [
+            Box::new(CentralizedMatchmaker::new()) as Box<dyn Matchmaker>,
+            Box::new(RnTreeMatchmaker::with_defaults()),
+            Box::new(CanMatchmaker::with_defaults()),
+        ] {
+            let label = mm.name();
+            let cfg = EngineConfig { seed, max_sim_secs: 500_000.0, ..EngineConfig::default() };
+            let r = Engine::new(cfg, ChurnConfig::none(), mm, profiles.clone(), submissions.clone()).run();
+            check_report(&r, total, label);
+            // Completed jobs all had a capable node; failed ones either had
+            // none or were horizon casualties.
+            let capable = |req: &JobRequirements| {
+                profiles.iter().any(|n| req.satisfied_by(&n.capabilities))
+            };
+            for s in &submissions {
+                if !capable(&s.profile.requirements) {
+                    // Unsatisfiable jobs must not be "completed".
+                    prop_assert!(r.jobs_failed > 0);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary churn (random MTTF / repair) never loses or duplicates a
+    /// job and never panics the overlay layers.
+    #[test]
+    fn engine_survives_arbitrary_churn(
+        nodes in proptest::collection::vec(arb_node(), 4..16),
+        jobs in proptest::collection::vec(arb_job(), 1..25),
+        mttf in 200.0f64..20_000.0,
+        repair in proptest::option::of(50.0f64..2_000.0),
+        seed in 0u64..1000,
+    ) {
+        let (profiles, submissions) = build(&nodes, &jobs);
+        let total = submissions.len() as u64;
+        let churn = ChurnConfig {
+            mttf_secs: Some(mttf),
+            rejoin_after_secs: repair,
+            graceful_fraction: 0.0,
+        };
+        let cfg = EngineConfig { seed, max_sim_secs: 500_000.0, ..EngineConfig::default() };
+        let r = Engine::new(
+            cfg,
+            churn,
+            Box::new(RnTreeMatchmaker::with_defaults()),
+            profiles,
+            submissions,
+        )
+        .run();
+        check_report(&r, total, "rn-tree under churn");
+    }
+
+    /// Random chain/fan dependency graphs: ordering respected (makespan at
+    /// least the critical path of the longest chain actually completed)
+    /// and conservation holds.
+    #[test]
+    fn dag_chains_conserve(
+        runtimes in proptest::collection::vec(1.0f64..100.0, 2..12),
+        seed in 0u64..1000,
+    ) {
+        let jobs: Vec<JobSubmission> = runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &rt)| JobSubmission {
+                profile: JobProfile::new(
+                    JobId(i as u64),
+                    ClientId(0),
+                    JobRequirements::unconstrained(),
+                    rt,
+                ),
+                arrival_secs: 0.0,
+                actual_runtime_secs: None,
+            })
+            .collect();
+        let ids: Vec<JobId> = (0..runtimes.len() as u64).map(JobId).collect();
+        let dag = JobDag::chain(&ids);
+        let profiles = vec![
+            NodeProfile::new(Capabilities::new(2.0, 4.0, 100.0, OsType::Linux));
+            4
+        ];
+        let cfg = EngineConfig { seed, ..EngineConfig::default() };
+        let r = Engine::with_dag(
+            cfg,
+            ChurnConfig::none(),
+            Box::new(CentralizedMatchmaker::new()),
+            profiles,
+            jobs,
+            dag,
+        )
+        .run();
+        prop_assert_eq!(r.jobs_completed, runtimes.len() as u64);
+        let critical_path: f64 = runtimes.iter().sum();
+        prop_assert!(
+            r.makespan_secs >= critical_path,
+            "chain makespan {:.1} < critical path {:.1}",
+            r.makespan_secs,
+            critical_path
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Section 2's result-return options: directly, or as a DHT pointer
+//! ("another GUID") that the client resolves.
+
+use dgrid_core::{
+    CanMatchmaker, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, JobSubmission,
+    Matchmaker, RnTreeMatchmaker,
+};
+use dgrid_resources::{
+    Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType,
+};
+
+fn nodes(n: usize) -> Vec<NodeProfile> {
+    (0..n)
+        .map(|i| {
+            NodeProfile::new(Capabilities::new(
+                1.0 + (i % 5) as f64 * 0.5,
+                1.0 + (i % 4) as f64,
+                50.0,
+                OsType::Linux,
+            ))
+        })
+        .collect()
+}
+
+fn jobs(n: usize) -> Vec<JobSubmission> {
+    (0..n)
+        .map(|i| JobSubmission {
+            profile: JobProfile::new(
+                JobId(i as u64),
+                ClientId(0),
+                JobRequirements::unconstrained(),
+                60.0,
+            ),
+            arrival_secs: i as f64,
+            actual_runtime_secs: None,
+        })
+        .collect()
+}
+
+fn run(mm: Box<dyn Matchmaker>, by_reference: bool, seed: u64) -> dgrid_core::SimReport {
+    let cfg = EngineConfig {
+        seed,
+        return_results_by_reference: by_reference,
+        ..EngineConfig::default()
+    };
+    Engine::new(cfg, ChurnConfig::none(), mm, nodes(48), jobs(150)).run()
+}
+
+#[test]
+fn direct_return_records_no_result_hops() {
+    let r = run(Box::new(RnTreeMatchmaker::with_defaults()), false, 1);
+    assert_eq!(r.jobs_completed, 150);
+    assert!(r.result_hops.is_empty());
+}
+
+#[test]
+fn by_reference_costs_overlay_lookups_on_p2p() {
+    for mm in [
+        Box::new(RnTreeMatchmaker::with_defaults()) as Box<dyn Matchmaker>,
+        Box::new(CanMatchmaker::with_defaults()),
+    ] {
+        let label = mm.name();
+        let r = run(mm, true, 2);
+        assert_eq!(r.jobs_completed, 150, "{label}");
+        assert_eq!(r.result_hops.len(), 150, "{label}: one sample per completion");
+        let mean = r.result_hops.mean();
+        assert!(
+            mean > 0.0 && mean < 30.0,
+            "{label}: publish+resolve should be a few hops, got {mean:.1}"
+        );
+    }
+}
+
+#[test]
+fn by_reference_is_free_for_the_central_server() {
+    let r = run(Box::new(CentralizedMatchmaker::new()), true, 3);
+    assert_eq!(r.jobs_completed, 150);
+    assert_eq!(r.result_hops.mean(), 0.0, "the server *is* the directory");
+}
+
+#[test]
+fn by_reference_adds_result_latency_after_execution() {
+    // All jobs run exactly 60 s, so (turnaround − wait − 60) isolates the
+    // result-return latency: one direct hop (~50 ms) when shipping the
+    // result, publish + resolve + transfer (several hops) by reference.
+    // (Exact waits differ between the runs because the extra overlay
+    // lookups advance the shared random streams.)
+    let overhead = |r: &dgrid_core::SimReport| {
+        r.turnaround.mean() - r.wait_time.mean() - 60.0
+    };
+    let direct = run(Box::new(RnTreeMatchmaker::with_defaults()), false, 4);
+    let by_ref = run(Box::new(RnTreeMatchmaker::with_defaults()), true, 4);
+    assert_eq!(direct.jobs_completed, 150);
+    assert_eq!(by_ref.jobs_completed, 150);
+    let (d, b) = (overhead(&direct), overhead(&by_ref));
+    assert!(d > 0.0 && d < 0.2, "direct return is ~one hop, got {d:.3}s");
+    assert!(
+        b > 2.0 * d,
+        "by-reference must add lookup latency: direct {d:.3}s vs by-ref {b:.3}s"
+    );
+}

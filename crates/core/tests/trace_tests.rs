@@ -1,0 +1,164 @@
+//! Observer/trace tests: the emitted lifecycle stream is ordered, complete,
+//! and per-job well-formed.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dgrid_core::{
+    CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, JobSubmission, Observer,
+    RnTreeMatchmaker, TraceEvent, VecObserver,
+};
+use dgrid_resources::{
+    Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType,
+};
+use dgrid_sim::SimTime;
+
+/// Shares a `VecObserver` with the engine (which takes ownership).
+struct SharedObserver(Rc<RefCell<VecObserver>>);
+
+impl Observer for SharedObserver {
+    fn on_event(&mut self, at: SimTime, event: TraceEvent) {
+        self.0.borrow_mut().on_event(at, event);
+    }
+}
+
+fn nodes(n: usize) -> Vec<NodeProfile> {
+    (0..n)
+        .map(|_| NodeProfile::new(Capabilities::new(2.0, 4.0, 100.0, OsType::Linux)))
+        .collect()
+}
+
+fn jobs(n: usize) -> Vec<JobSubmission> {
+    (0..n)
+        .map(|i| JobSubmission {
+            profile: JobProfile::new(
+                JobId(i as u64),
+                ClientId(0),
+                JobRequirements::unconstrained(),
+                30.0,
+            ),
+            arrival_secs: i as f64 * 2.0,
+            actual_runtime_secs: None,
+        })
+        .collect()
+}
+
+fn traced_run(
+    mm: Box<dyn dgrid_core::Matchmaker>,
+    churn: ChurnConfig,
+    seed: u64,
+) -> (dgrid_core::SimReport, VecObserver) {
+    let shared = Rc::new(RefCell::new(VecObserver::default()));
+    let cfg = EngineConfig { seed, max_sim_secs: 1_000_000.0, ..EngineConfig::default() };
+    let engine = Engine::new(cfg, churn, mm, nodes(20), jobs(60))
+        .with_observer(Box::new(SharedObserver(shared.clone())));
+    let report = engine.run();
+    let events = std::mem::take(&mut *shared.borrow_mut());
+    (report, events)
+}
+
+#[test]
+fn events_are_time_ordered_and_complete() {
+    let (report, trace) = traced_run(Box::new(CentralizedMatchmaker::new()), ChurnConfig::none(), 1);
+    assert_eq!(report.jobs_completed, 60);
+
+    let mut last = SimTime::ZERO;
+    for (at, _) in &trace.events {
+        assert!(*at >= last, "events must be emitted in virtual-time order");
+        last = *at;
+    }
+    let count = |f: fn(&TraceEvent) -> bool| trace.events.iter().filter(|(_, e)| f(e)).count();
+    assert_eq!(count(|e| matches!(e, TraceEvent::Submitted { .. })), 60);
+    assert_eq!(count(|e| matches!(e, TraceEvent::Matched { .. })), 60);
+    assert_eq!(count(|e| matches!(e, TraceEvent::Started { .. })), 60);
+    assert_eq!(count(|e| matches!(e, TraceEvent::Completed { .. })), 60);
+    assert_eq!(count(|e| matches!(e, TraceEvent::Failed { .. })), 0);
+}
+
+#[test]
+fn per_job_lifecycle_is_well_formed() {
+    let (_, trace) = traced_run(Box::new(RnTreeMatchmaker::with_defaults()), ChurnConfig::none(), 2);
+    for j in 0..60u64 {
+        let seq = trace.for_job(JobId(j));
+        // submitted → owner → matched → started → completed, exactly once
+        // each in the failure-free run.
+        assert!(
+            matches!(seq[0], TraceEvent::Submitted { .. }),
+            "job {j}: first event {:?}",
+            seq[0]
+        );
+        assert!(matches!(seq[1], TraceEvent::OwnerAssigned { .. }), "job {j}");
+        assert!(matches!(seq[2], TraceEvent::Matched { .. }), "job {j}");
+        assert!(matches!(seq[3], TraceEvent::Started { .. }), "job {j}");
+        assert!(matches!(seq[4], TraceEvent::Completed { .. }), "job {j}");
+        assert_eq!(seq.len(), 5, "job {j}: no extra events in a clean run");
+    }
+}
+
+#[test]
+fn matched_and_started_agree_on_the_run_node() {
+    let (_, trace) = traced_run(Box::new(RnTreeMatchmaker::with_defaults()), ChurnConfig::none(), 3);
+    for j in 0..60u64 {
+        let seq = trace.for_job(JobId(j));
+        let matched = seq.iter().find_map(|e| match e {
+            TraceEvent::Matched { run_node, .. } => Some(*run_node),
+            _ => None,
+        });
+        let started = seq.iter().find_map(|e| match e {
+            TraceEvent::Started { run_node, .. } => Some(*run_node),
+            _ => None,
+        });
+        assert_eq!(matched, started, "job {j} must start where it was matched");
+    }
+}
+
+#[test]
+fn churn_produces_node_and_recovery_events() {
+    // Short lifetimes and fast repair so both directions of churn land
+    // inside the ~150 s makespan.
+    let churn = ChurnConfig {
+        mttf_secs: Some(300.0),
+        rejoin_after_secs: Some(50.0),
+        graceful_fraction: 0.5,
+    };
+    let (report, trace) = traced_run(Box::new(CentralizedMatchmaker::new()), churn, 4);
+    assert_eq!(report.jobs_completed + report.jobs_failed, 60);
+
+    let downs = trace
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::NodeDown { .. }))
+        .count() as u64;
+    let ups = trace
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::NodeUp { .. }))
+        .count();
+    assert_eq!(downs, report.node_failures + report.graceful_leaves);
+    assert!(ups > 0, "repairs must rejoin");
+
+    let recoveries = trace
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, TraceEvent::RunRecovery { .. }))
+        .count() as u64;
+    assert_eq!(recoveries, report.run_recoveries, "trace matches report");
+}
+
+#[test]
+fn default_engine_has_no_observer_overhead_path() {
+    // Smoke check: running without an observer is unchanged behaviourally.
+    let cfg = EngineConfig { seed: 5, ..EngineConfig::default() };
+    let a = Engine::new(
+        cfg,
+        ChurnConfig::none(),
+        Box::new(CentralizedMatchmaker::new()),
+        nodes(10),
+        jobs(30),
+    )
+    .run();
+    let (b, _) = traced_run(Box::new(CentralizedMatchmaker::new()), ChurnConfig::none(), 5);
+    // Not directly comparable (different node/job counts), but both clean.
+    assert_eq!(a.jobs_completed, 30);
+    assert_eq!(b.jobs_completed, 60);
+}

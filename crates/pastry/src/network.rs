@@ -1,0 +1,576 @@
+//! Membership, per-node Pastry state (leaf sets + routing tables), churn,
+//! and prefix routing.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::id::{PastryId, DIGITS};
+
+/// Tunables for the Pastry substrate.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PastryConfig {
+    /// Leaf-set half-width: this many numerically closest live nodes are
+    /// tracked on each side (`L = 2 × leaf_half`).
+    pub leaf_half: usize,
+    /// Safety valve on routing.
+    pub max_route_hops: u32,
+}
+
+impl Default for PastryConfig {
+    fn default() -> Self {
+        PastryConfig {
+            leaf_half: 4,
+            max_route_hops: 96,
+        }
+    }
+}
+
+/// Result of a successful route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The numerically closest live node to the key.
+    pub owner: PastryId,
+    /// Forwarding hops taken.
+    pub hops: u32,
+    /// Dead entries probed along the way.
+    pub timeouts: u32,
+}
+
+#[derive(Clone, Debug)]
+struct PeerState {
+    alive: bool,
+    /// Numerically closest live peers clockwise (ascending ids, wrapping).
+    leaf_cw: Vec<PastryId>,
+    /// Numerically closest live peers counter-clockwise.
+    leaf_ccw: Vec<PastryId>,
+    /// `table[row][digit]`: some node sharing `row` digits with us whose
+    /// next digit is `digit` (as of the last refresh).
+    table: Vec<[Option<PastryId>; 16]>,
+}
+
+/// The Pastry network: authoritative membership plus every node's (possibly
+/// stale) local routing state.
+pub struct PastryNetwork {
+    cfg: PastryConfig,
+    peers: BTreeMap<u64, PeerState>,
+    alive_count: usize,
+}
+
+impl Default for PastryNetwork {
+    fn default() -> Self {
+        Self::new(PastryConfig::default())
+    }
+}
+
+impl PastryNetwork {
+    /// An empty network.
+    pub fn new(cfg: PastryConfig) -> Self {
+        assert!(cfg.leaf_half >= 1);
+        PastryNetwork {
+            cfg,
+            peers: BTreeMap::new(),
+            alive_count: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PastryConfig {
+        &self.cfg
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.alive_count
+    }
+
+    /// True iff nobody is alive.
+    pub fn is_empty(&self) -> bool {
+        self.alive_count == 0
+    }
+
+    /// Is `id` a live member?
+    pub fn is_alive(&self, id: PastryId) -> bool {
+        self.peers.get(&id.0).is_some_and(|p| p.alive)
+    }
+
+    /// Live ids, ascending.
+    pub fn alive_ids(&self) -> Vec<PastryId> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.alive)
+            .map(|(&id, _)| PastryId(id))
+            .collect()
+    }
+
+    /// A uniformly random live node.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PastryId> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        let n = rng.gen_range(0..self.alive_count);
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.alive)
+            .nth(n)
+            .map(|(&id, _)| PastryId(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Ground truth
+    // ------------------------------------------------------------------
+
+    /// Next live id clockwise from `from` (exclusive).
+    fn next_cw(&self, from: u64) -> Option<PastryId> {
+        self.peers
+            .range(from.wrapping_add(1)..)
+            .find(|(_, p)| p.alive)
+            .or_else(|| self.peers.range(..).find(|(_, p)| p.alive))
+            .map(|(&id, _)| PastryId(id))
+    }
+
+    /// Next live id counter-clockwise from `from` (exclusive).
+    fn next_ccw(&self, from: u64) -> Option<PastryId> {
+        self.peers
+            .range(..from)
+            .rev()
+            .find(|(_, p)| p.alive)
+            .or_else(|| self.peers.range(..).rev().find(|(_, p)| p.alive))
+            .map(|(&id, _)| PastryId(id))
+    }
+
+    /// The live owner of `key`: numerically closest (ties to smaller id).
+    pub fn owner_of(&self, key: PastryId) -> Option<PastryId> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        // Candidates: the first live node at/above the key and the first
+        // below (circularly).
+        let above = self
+            .peers
+            .range(key.0..)
+            .find(|(_, p)| p.alive)
+            .map(|(&id, _)| PastryId(id))
+            .or_else(|| self.next_cw(u64::MAX))?;
+        let below = self.next_ccw(key.0).unwrap_or(above);
+        Some(if below.closer_to(key, above) { below } else { above })
+    }
+
+    // ------------------------------------------------------------------
+    // Churn
+    // ------------------------------------------------------------------
+
+    /// Add a node and build its state (a real join routes to the closest
+    /// node and copies state from the path). Immediate leaf neighbours
+    /// learn of the arrival; everyone else is stale until
+    /// [`PastryNetwork::stabilize`].
+    ///
+    /// # Panics
+    /// If a live node with this id already exists.
+    pub fn join(&mut self, id: PastryId) {
+        let existing = self.peers.get(&id.0).is_some_and(|p| p.alive);
+        assert!(!existing, "duplicate join of live node {id}");
+        self.peers.insert(
+            id.0,
+            PeerState {
+                alive: true,
+                leaf_cw: Vec::new(),
+                leaf_ccw: Vec::new(),
+                table: Vec::new(),
+            },
+        );
+        self.alive_count += 1;
+        self.refresh_node(id);
+        // Notify the leaf neighbourhood (Pastry's join broadcast to the
+        // leaf set).
+        let neighbourhood: Vec<PastryId> = {
+            let st = &self.peers[&id.0];
+            st.leaf_cw.iter().chain(st.leaf_ccw.iter()).copied().collect()
+        };
+        for n in neighbourhood {
+            if self.is_alive(n) {
+                self.refresh_leaves_of(n);
+            }
+        }
+    }
+
+    /// Graceful departure: the node's leaf set is told, so their leaf sets
+    /// repair immediately; routing tables elsewhere go stale.
+    ///
+    /// # Panics
+    /// If `id` is not a live node.
+    pub fn leave(&mut self, id: PastryId) {
+        let neighbourhood: Vec<PastryId> = {
+            let st = self
+                .peers
+                .get(&id.0)
+                .filter(|p| p.alive)
+                .unwrap_or_else(|| panic!("departure of unknown/dead node {id}"));
+            st.leaf_cw.iter().chain(st.leaf_ccw.iter()).copied().collect()
+        };
+        self.mark_dead(id);
+        for n in neighbourhood {
+            if self.is_alive(n) {
+                self.refresh_leaves_of(n);
+            }
+        }
+    }
+
+    /// Abrupt failure: all references remain until discovered by routing
+    /// timeouts or repaired by stabilization.
+    ///
+    /// # Panics
+    /// If `id` is not a live node.
+    pub fn fail(&mut self, id: PastryId) {
+        assert!(
+            self.peers.get(&id.0).is_some_and(|p| p.alive),
+            "departure of unknown/dead node {id}"
+        );
+        self.mark_dead(id);
+    }
+
+    fn mark_dead(&mut self, id: PastryId) {
+        self.peers.get_mut(&id.0).expect("known node").alive = false;
+        self.alive_count -= 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Rebuild one node's leaf set and routing table from ground truth.
+    pub fn refresh_node(&mut self, id: PastryId) {
+        assert!(self.is_alive(id), "refresh of dead node {id}");
+        let leaf_cw = self.true_leaves(id, true);
+        let leaf_ccw = self.true_leaves(id, false);
+        let table = self.true_table(id);
+        let st = self.peers.get_mut(&id.0).expect("known node");
+        st.leaf_cw = leaf_cw;
+        st.leaf_ccw = leaf_ccw;
+        st.table = table;
+    }
+
+    fn refresh_leaves_of(&mut self, id: PastryId) {
+        let leaf_cw = self.true_leaves(id, true);
+        let leaf_ccw = self.true_leaves(id, false);
+        let st = self.peers.get_mut(&id.0).expect("known node");
+        st.leaf_cw = leaf_cw;
+        st.leaf_ccw = leaf_ccw;
+    }
+
+    fn true_leaves(&self, id: PastryId, clockwise: bool) -> Vec<PastryId> {
+        let mut out = Vec::with_capacity(self.cfg.leaf_half);
+        let mut cur = id.0;
+        for _ in 0..self.cfg.leaf_half.min(self.alive_count.saturating_sub(1)) {
+            let next = if clockwise { self.next_cw(cur) } else { self.next_ccw(cur) };
+            match next {
+                Some(n) if n != id && !out.contains(&n) => {
+                    out.push(n);
+                    cur = n.0;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    fn true_table(&self, id: PastryId) -> Vec<[Option<PastryId>; 16]> {
+        let mut table = vec![[None; 16]; DIGITS as usize];
+        for row in 0..DIGITS {
+            let own_digit = id.digit(row);
+            for d in 0..16u8 {
+                if d == own_digit {
+                    continue; // handled by deeper rows / self
+                }
+                let (lo, hi) = id.slot_range(row, d);
+                // First live node in the slot (deterministic choice; real
+                // Pastry would pick by network proximity).
+                let entry = self
+                    .peers
+                    .range(lo..=hi)
+                    .find(|(_, p)| p.alive)
+                    .map(|(&x, _)| PastryId(x));
+                table[row as usize][d as usize] = entry;
+            }
+            // Rows below our deepest populated prefix are mostly empty;
+            // stop early when the slot range collapses to nothing useful.
+        }
+        table
+    }
+
+    /// Full stabilization: every live node refreshes; dead records are
+    /// garbage-collected.
+    pub fn stabilize(&mut self) {
+        let ids = self.alive_ids();
+        for id in ids {
+            self.refresh_node(id);
+        }
+        self.peers.retain(|_, p| p.alive);
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Pastry's routing algorithm over each hop's *local* (possibly stale)
+    /// state. Returns `None` if routing cannot complete.
+    ///
+    /// # Panics
+    /// If `from` is not a live node.
+    pub fn route(&self, from: PastryId, key: PastryId) -> Option<Route> {
+        assert!(self.is_alive(from), "route from dead node {from}");
+        let mut cur = from;
+        let mut hops = 0u32;
+        let mut timeouts = 0u32;
+
+        loop {
+            if hops > self.cfg.max_route_hops {
+                return None;
+            }
+            let st = &self.peers[&cur.0];
+
+            // Leaf-set delivery: if the key falls within the span of our
+            // leaf set (or we have the whole network in it), hand to the
+            // numerically closest live member.
+            let span_lo = st.leaf_ccw.last().copied().unwrap_or(cur);
+            let span_hi = st.leaf_cw.last().copied().unwrap_or(cur);
+            let in_span = in_circular_span(span_lo.0, span_hi.0, key.0)
+                || self.alive_count <= 2 * self.cfg.leaf_half + 1;
+            if in_span {
+                let mut best = cur;
+                for cand in st.leaf_ccw.iter().chain(st.leaf_cw.iter()) {
+                    if !self.is_alive(*cand) {
+                        timeouts += 1;
+                        continue;
+                    }
+                    if cand.closer_to(key, best) {
+                        best = *cand;
+                    }
+                }
+                if best == cur {
+                    return Some(Route { owner: cur, hops, timeouts });
+                }
+                // One final hop to the numerically closest leaf. It may
+                // itself know an even closer node (stale sets); loop from
+                // there rather than declaring ownership blindly.
+                if best.circular_distance(key) < cur.circular_distance(key)
+                    || best.closer_to(key, cur)
+                {
+                    cur = best;
+                    hops += 1;
+                    continue;
+                }
+                return Some(Route { owner: cur, hops, timeouts });
+            }
+
+            // Prefix routing: forward to the entry matching one more digit.
+            let l = cur.shared_prefix_digits(key);
+            debug_assert!(l < DIGITS, "equal ids handled by leaf delivery");
+            let slot = st.table[l as usize][key.digit(l) as usize];
+            let mut next = None;
+            if let Some(n) = slot {
+                if self.is_alive(n) {
+                    next = Some(n);
+                } else {
+                    timeouts += 1;
+                }
+            }
+            // Rare case / fallback: any known node strictly closer to the
+            // key with at-least-as-long a shared prefix.
+            if next.is_none() {
+                let candidates = st
+                    .leaf_ccw
+                    .iter()
+                    .chain(st.leaf_cw.iter())
+                    .copied()
+                    .chain(st.table.iter().flatten().flatten().copied());
+                let mut best: Option<PastryId> = None;
+                for cand in candidates {
+                    if cand == cur || !self.is_alive(cand) {
+                        continue;
+                    }
+                    if cand.shared_prefix_digits(key) >= l && cand.closer_to(key, cur) {
+                        match best {
+                            Some(b) if !cand.closer_to(key, b) => {}
+                            _ => best = Some(cand),
+                        }
+                    }
+                }
+                next = best;
+            }
+            match next {
+                Some(n) => {
+                    cur = n;
+                    hops += 1;
+                }
+                // No strictly closer node known: we are the closest we can
+                // prove; deliver here.
+                None => return Some(Route { owner: cur, hops, timeouts }),
+            }
+        }
+    }
+}
+
+/// Is `x` inside the circular closed span from `lo` to `hi` (travelling
+/// clockwise from `lo` to `hi`)?
+fn in_circular_span(lo: u64, hi: u64, x: u64) -> bool {
+    if lo <= hi {
+        (lo..=hi).contains(&x)
+    } else {
+        x >= lo || x <= hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_sim::rng::{rng_for, streams};
+    use rand::Rng;
+
+    fn network(n: usize, seed: u64) -> (PastryNetwork, Vec<PastryId>) {
+        let mut rng = rng_for(seed, streams::NODE_IDS);
+        let mut net = PastryNetwork::default();
+        let mut ids = Vec::new();
+        while ids.len() < n {
+            let id = PastryId(rng.gen());
+            if !net.is_alive(id) {
+                net.join(id);
+                ids.push(id);
+            }
+        }
+        net.stabilize();
+        (net, ids)
+    }
+
+    #[test]
+    fn ownership_is_numerically_closest() {
+        let mut net = PastryNetwork::default();
+        net.join(PastryId(100));
+        net.join(PastryId(200));
+        assert_eq!(net.owner_of(PastryId(120)), Some(PastryId(100)));
+        assert_eq!(net.owner_of(PastryId(180)), Some(PastryId(200)));
+        // Equidistant: ties to the smaller id.
+        assert_eq!(net.owner_of(PastryId(150)), Some(PastryId(100)));
+        // Wrap-around.
+        assert_eq!(net.owner_of(PastryId(u64::MAX - 5)), Some(PastryId(100)));
+    }
+
+    #[test]
+    fn route_agrees_with_ground_truth() {
+        let (net, ids) = network(128, 1);
+        let mut rng = rng_for(2, 0);
+        for _ in 0..500 {
+            let key = PastryId(rng.gen());
+            let from = ids[rng.gen_range(0..ids.len())];
+            let res = net.route(from, key).expect("routes");
+            assert_eq!(Some(res.owner), net.owner_of(key), "key {key}");
+            assert_eq!(res.timeouts, 0, "no timeouts when stable");
+        }
+    }
+
+    #[test]
+    fn hops_scale_with_log16() {
+        for n in [64usize, 256, 1024] {
+            let (net, ids) = network(n, 3);
+            let mut rng = rng_for(4, n as u64);
+            let trials = 300;
+            let mut total = 0u64;
+            for _ in 0..trials {
+                let key = PastryId(rng.gen());
+                let from = ids[rng.gen_range(0..ids.len())];
+                total += u64::from(net.route(from, key).unwrap().hops);
+            }
+            let mean = total as f64 / trials as f64;
+            let bound = (n as f64).log2() / 4.0 + 2.5; // log16 N + slack
+            assert!(mean <= bound, "n={n}: {mean:.2} hops > {bound:.2}");
+        }
+    }
+
+    #[test]
+    fn single_and_tiny_networks() {
+        let mut net = PastryNetwork::default();
+        net.join(PastryId(42));
+        let res = net.route(PastryId(42), PastryId(7)).unwrap();
+        assert_eq!(res.owner, PastryId(42));
+        assert_eq!(res.hops, 0);
+
+        net.join(PastryId(1_000_000));
+        net.stabilize();
+        let res = net.route(PastryId(42), PastryId(999_999)).unwrap();
+        assert_eq!(res.owner, PastryId(1_000_000));
+    }
+
+    #[test]
+    fn survives_failures_within_leaf_width() {
+        let (mut net, ids) = network(256, 5);
+        let mut rng = rng_for(6, 0);
+        // Kill 15% abruptly, no stabilization.
+        let mut killed = 0;
+        for &id in &ids {
+            if killed < 38 && rng.gen_bool(0.15) {
+                net.fail(id);
+                killed += 1;
+            }
+        }
+        let alive = net.alive_ids();
+        for _ in 0..200 {
+            let key = PastryId(rng.gen());
+            let from = alive[rng.gen_range(0..alive.len())];
+            let res = net.route(from, key).expect("routes around failures");
+            assert!(net.is_alive(res.owner));
+        }
+    }
+
+    #[test]
+    fn stabilize_restores_exact_ownership_after_failures() {
+        let (mut net, ids) = network(200, 7);
+        for &id in ids.iter().take(60) {
+            net.fail(id);
+        }
+        net.stabilize();
+        let alive = net.alive_ids();
+        let mut rng = rng_for(8, 0);
+        for _ in 0..200 {
+            let key = PastryId(rng.gen());
+            let from = alive[rng.gen_range(0..alive.len())];
+            let res = net.route(from, key).unwrap();
+            assert_eq!(Some(res.owner), net.owner_of(key));
+            assert_eq!(res.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn graceful_leave_repairs_leaf_sets() {
+        let (mut net, ids) = network(64, 9);
+        let victim = ids[10];
+        net.leave(victim);
+        // Immediately after a graceful leave, keys the victim owned resolve
+        // to its live neighbours without stabilization.
+        let mut rng = rng_for(10, 0);
+        for _ in 0..100 {
+            let key = PastryId(victim.0.wrapping_add(rng.gen_range(0..1000)));
+            let from = net.alive_ids()[0];
+            let res = net.route(from, key).expect("routes");
+            assert!(net.is_alive(res.owner));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate join")]
+    fn duplicate_join_panics() {
+        let mut net = PastryNetwork::default();
+        net.join(PastryId(1));
+        net.join(PastryId(1));
+    }
+
+    #[test]
+    fn leaf_sets_have_configured_width() {
+        let (net, _) = network(64, 11);
+        for id in net.alive_ids() {
+            let st = &net.peers[&id.0];
+            assert_eq!(st.leaf_cw.len(), net.config().leaf_half);
+            assert_eq!(st.leaf_ccw.len(), net.config().leaf_half);
+        }
+    }
+}

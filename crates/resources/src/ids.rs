@@ -1,0 +1,54 @@
+//! Grid-level identifiers.
+//!
+//! These identify *application* objects (jobs, clients). Overlay identifiers
+//! (Chord ring positions, CAN coordinates) live in the DHT crates — a job's
+//! GUID on the overlay is assigned by the injection node at submission time
+//! (Figure 1, step 2), not here.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A job's grid-level identity, unique within one simulation/deployment.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// A submitting client.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(JobId(1) < JobId(2));
+        assert_eq!(format!("{}", JobId(7)), "job#7");
+        assert_eq!(format!("{:?}", ClientId(3)), "client#3");
+    }
+}

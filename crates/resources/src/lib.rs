@@ -1,0 +1,32 @@
+//! # dgrid-resources — the grid's resource and job model
+//!
+//! Section 2 of the paper defines two first-class objects that flow through
+//! the system:
+//!
+//! * a **node profile** — the resource capabilities a peer contributes
+//!   (CPU speed, memory, disk, operating system);
+//! * a **job profile** — "the data and associated profile that describes a
+//!   computation": the submitting client, the job's *minimum resource
+//!   requirements*, its input-data location/size, and so on.
+//!
+//! Matchmaking (Section 3) is defined entirely in terms of these:
+//! *"in the matchmaking process the first criterion in finding a match is
+//! whether the job constraints can be met"*. This crate implements that
+//! vocabulary — capability vectors over the three continuous resource
+//! dimensions used in the paper's experiments, an optional categorical
+//! operating-system requirement, the satisfaction predicate, and the
+//! `[0, 1]^d` normalization that the CAN matchmaker uses to embed nodes and
+//! jobs into its coordinate space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capability;
+mod ids;
+mod profile;
+mod space;
+
+pub use capability::{Capabilities, OsRequirement, OsType, ResourceKind, NUM_RESOURCE_DIMS};
+pub use ids::{ClientId, JobId};
+pub use profile::{JobProfile, JobRequirements, NodeProfile};
+pub use space::{DimRange, ResourceSpace};

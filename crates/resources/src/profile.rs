@@ -1,0 +1,213 @@
+//! Job and node profiles, and the constraint-satisfaction predicate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::capability::{Capabilities, OsRequirement, ResourceKind, NUM_RESOURCE_DIMS};
+use crate::ids::{ClientId, JobId};
+
+/// A job's minimum resource requirements.
+///
+/// Each continuous dimension is either unconstrained (`None`) or carries a
+/// minimum value. Per the paper, many jobs constrain only a subset of
+/// dimensions — the "lightly constrained" workloads average 1.2 of 3, and
+/// jobs may be submitted "with no resource requirements at all".
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct JobRequirements {
+    mins: [Option<f64>; NUM_RESOURCE_DIMS],
+    /// Acceptable operating systems.
+    pub os: OsRequirement,
+}
+
+impl JobRequirements {
+    /// No requirements at all: any node can run the job.
+    pub fn unconstrained() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: require at least `min` of `kind`.
+    ///
+    /// # Panics
+    /// If `min` is negative or non-finite.
+    pub fn with_min(mut self, kind: ResourceKind, min: f64) -> Self {
+        assert!(min.is_finite() && min >= 0.0, "invalid minimum {min}");
+        self.mins[kind.index()] = Some(min);
+        self
+    }
+
+    /// Builder-style: restrict acceptable operating systems.
+    pub fn with_os(mut self, os: OsRequirement) -> Self {
+        self.os = os;
+        self
+    }
+
+    /// The minimum for `kind`, if constrained.
+    pub fn min(&self, kind: ResourceKind) -> Option<f64> {
+        self.mins[kind.index()]
+    }
+
+    /// The raw minimums in dimension-index order.
+    pub fn mins(&self) -> [Option<f64>; NUM_RESOURCE_DIMS] {
+        self.mins
+    }
+
+    /// Number of constrained continuous dimensions (the paper's
+    /// "constraints (out of the 3)" count; the OS requirement is counted
+    /// separately).
+    pub fn num_constraints(&self) -> usize {
+        self.mins.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// True iff nothing (continuous or OS) is constrained.
+    pub fn is_unconstrained(&self) -> bool {
+        self.num_constraints() == 0 && self.os.is_any()
+    }
+
+    /// The matchmaking predicate: can a node with `caps` run this job?
+    ///
+    /// "In the matchmaking process the first criterion in finding a match is
+    /// whether the job constraints can be met." (Section 2)
+    pub fn satisfied_by(&self, caps: &Capabilities) -> bool {
+        if !self.os.accepts(caps.os) {
+            return false;
+        }
+        ResourceKind::ALL.iter().all(|&kind| match self.min(kind) {
+            Some(min) => caps.get(kind) >= min,
+            None => true,
+        })
+    }
+}
+
+/// The job profile of Section 2: "the client that submitted it, its minimum
+/// resource requirements, the location of input data, etc."
+///
+/// `run_time_secs` is the job's *intrinsic* compute demand on a reference
+/// node; the engine uses it to schedule the completion event. Input/output
+/// sizes are kilobyte-scale for the paper's astronomy applications and are
+/// carried for quota accounting and transfer modelling.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// Grid-level job identity.
+    pub id: JobId,
+    /// Submitting client (results are returned here, Figure 1 step 6).
+    pub client: ClientId,
+    /// Minimum resource requirements.
+    pub requirements: JobRequirements,
+    /// Compute demand in seconds on a reference 1.0-capability node.
+    pub run_time_secs: f64,
+    /// Input data set size in bytes ("typically on the order of a few KB").
+    pub input_bytes: u64,
+    /// Output data set size in bytes ("correspondingly small").
+    pub output_bytes: u64,
+}
+
+impl JobProfile {
+    /// A minimal profile with the given id, client, requirements and runtime.
+    pub fn new(id: JobId, client: ClientId, requirements: JobRequirements, run_time_secs: f64) -> Self {
+        assert!(
+            run_time_secs.is_finite() && run_time_secs > 0.0,
+            "invalid run time {run_time_secs}"
+        );
+        JobProfile {
+            id,
+            client,
+            requirements,
+            run_time_secs,
+            input_bytes: 4 * 1024,
+            output_bytes: 4 * 1024,
+        }
+    }
+}
+
+/// A participating node's advertisement: the capabilities it contributes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeProfile {
+    /// Resource capabilities (and OS) of this peer.
+    pub capabilities: Capabilities,
+}
+
+impl NodeProfile {
+    /// Wrap a capability vector.
+    pub fn new(capabilities: Capabilities) -> Self {
+        NodeProfile { capabilities }
+    }
+
+    /// Can this node run `job`?
+    pub fn can_run(&self, job: &JobProfile) -> bool {
+        job.requirements.satisfied_by(&self.capabilities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::OsType;
+
+    fn caps(c: f64, m: f64, d: f64) -> Capabilities {
+        Capabilities::new(c, m, d, OsType::Linux)
+    }
+
+    #[test]
+    fn unconstrained_matches_everything() {
+        let req = JobRequirements::unconstrained();
+        assert!(req.is_unconstrained());
+        assert_eq!(req.num_constraints(), 0);
+        assert!(req.satisfied_by(&caps(0.0, 0.0, 0.0)));
+        assert!(req.satisfied_by(&Capabilities::new(1.0, 1.0, 1.0, OsType::Windows)));
+    }
+
+    #[test]
+    fn continuous_constraints() {
+        let req = JobRequirements::unconstrained()
+            .with_min(ResourceKind::CpuSpeed, 2.0)
+            .with_min(ResourceKind::Memory, 4.0);
+        assert_eq!(req.num_constraints(), 2);
+        assert!(!req.is_unconstrained());
+        assert!(req.satisfied_by(&caps(2.0, 4.0, 0.0)), "boundary is inclusive");
+        assert!(req.satisfied_by(&caps(3.0, 8.0, 10.0)));
+        assert!(!req.satisfied_by(&caps(1.9, 8.0, 10.0)));
+        assert!(!req.satisfied_by(&caps(3.0, 3.9, 10.0)));
+        assert_eq!(req.min(ResourceKind::Disk), None);
+        assert_eq!(req.min(ResourceKind::CpuSpeed), Some(2.0));
+    }
+
+    #[test]
+    fn os_constraint() {
+        let req = JobRequirements::unconstrained().with_os(OsRequirement::only(OsType::Windows));
+        assert!(!req.is_unconstrained());
+        assert!(!req.satisfied_by(&caps(10.0, 10.0, 10.0)), "Linux node, Windows job");
+        assert!(req.satisfied_by(&Capabilities::new(0.1, 0.1, 0.1, OsType::Windows)));
+    }
+
+    #[test]
+    fn node_profile_can_run() {
+        let node = NodeProfile::new(caps(2.0, 8.0, 100.0));
+        let easy = JobProfile::new(JobId(1), ClientId(0), JobRequirements::unconstrained(), 10.0);
+        let hard = JobProfile::new(
+            JobId(2),
+            ClientId(0),
+            JobRequirements::unconstrained().with_min(ResourceKind::Memory, 16.0),
+            10.0,
+        );
+        assert!(node.can_run(&easy));
+        assert!(!node.can_run(&hard));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid run time")]
+    fn zero_runtime_rejected() {
+        let _ = JobProfile::new(JobId(1), ClientId(0), JobRequirements::unconstrained(), 0.0);
+    }
+
+    #[test]
+    fn profile_serde_round_trip() {
+        let p = JobProfile::new(
+            JobId(9),
+            ClientId(2),
+            JobRequirements::unconstrained().with_min(ResourceKind::Disk, 50.0),
+            123.0,
+        );
+        let json = serde_json::to_string(&p).unwrap();
+        let back: JobProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

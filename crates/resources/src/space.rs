@@ -1,0 +1,162 @@
+//! Normalization of capabilities and requirements into `[0, 1]^d`.
+//!
+//! The CAN matchmaker (Section 3.2) maps nodes and jobs into a
+//! d-dimensional coordinate space "by using their capabilities or
+//! requirements for each resource type, respectively, to determine their
+//! coordinates". [`ResourceSpace`] owns the per-dimension value ranges and
+//! performs that mapping. An *unconstrained* job dimension maps to
+//! coordinate 0 — which is exactly why the paper observes that jobs "with no
+//! resource requirements at all ... will be mapped to the single node that
+//! owns the zone containing the origin", motivating the virtual dimension.
+
+use serde::{Deserialize, Serialize};
+
+use crate::capability::{Capabilities, NUM_RESOURCE_DIMS};
+use crate::profile::JobRequirements;
+
+/// Inclusive value range of one continuous dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DimRange {
+    /// Smallest meaningful value.
+    pub lo: f64,
+    /// Largest meaningful value.
+    pub hi: f64,
+}
+
+impl DimRange {
+    /// A range; requires `lo < hi` and finite bounds.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi}]"
+        );
+        DimRange { lo, hi }
+    }
+
+    /// Map `v` into `[0, 1]`, clamping values outside the range.
+    pub fn normalize(&self, v: f64) -> f64 {
+        ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    /// Inverse of [`DimRange::normalize`] for `u` in `[0, 1]`.
+    pub fn denormalize(&self, u: f64) -> f64 {
+        self.lo + u.clamp(0.0, 1.0) * (self.hi - self.lo)
+    }
+}
+
+/// Per-dimension ranges for embedding capabilities and requirements into the
+/// unit cube.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSpace {
+    ranges: [DimRange; NUM_RESOURCE_DIMS],
+}
+
+impl ResourceSpace {
+    /// Build from explicit per-dimension ranges (dimension-index order:
+    /// CPU GHz, memory GiB, disk GiB).
+    pub fn new(ranges: [DimRange; NUM_RESOURCE_DIMS]) -> Self {
+        ResourceSpace { ranges }
+    }
+
+    /// Ranges matching the workload generator's default machine population
+    /// (2007-era desktops: 0.5–4 GHz, 0.25–8 GiB RAM, 10–500 GiB disk).
+    pub fn default_desktop() -> Self {
+        ResourceSpace::new([
+            DimRange::new(0.0, 4.0),
+            DimRange::new(0.0, 8.0),
+            DimRange::new(0.0, 500.0),
+        ])
+    }
+
+    /// The range of dimension `i`.
+    pub fn range(&self, i: usize) -> DimRange {
+        self.ranges[i]
+    }
+
+    /// Embed a node's capabilities as a point in `[0, 1]^d`.
+    pub fn node_point(&self, caps: &Capabilities) -> [f64; NUM_RESOURCE_DIMS] {
+        let vals = caps.values();
+        std::array::from_fn(|i| self.ranges[i].normalize(vals[i]))
+    }
+
+    /// Embed a job's requirements as a point in `[0, 1]^d`.
+    ///
+    /// Unconstrained dimensions map to `0.0` (no minimum ⇒ origin), per the
+    /// paper's description of requirement-as-coordinate insertion.
+    pub fn job_point(&self, req: &JobRequirements) -> [f64; NUM_RESOURCE_DIMS] {
+        let mins = req.mins();
+        std::array::from_fn(|i| match mins[i] {
+            Some(m) => self.ranges[i].normalize(m),
+            None => 0.0,
+        })
+    }
+}
+
+impl Default for ResourceSpace {
+    fn default() -> Self {
+        Self::default_desktop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::{OsType, ResourceKind};
+
+    #[test]
+    fn normalize_and_clamp() {
+        let r = DimRange::new(2.0, 6.0);
+        assert_eq!(r.normalize(2.0), 0.0);
+        assert_eq!(r.normalize(6.0), 1.0);
+        assert_eq!(r.normalize(4.0), 0.5);
+        assert_eq!(r.normalize(-10.0), 0.0);
+        assert_eq!(r.normalize(100.0), 1.0);
+    }
+
+    #[test]
+    fn denormalize_round_trips() {
+        let r = DimRange::new(0.5, 4.0);
+        for u in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = r.denormalize(u);
+            assert!((r.normalize(v) - u).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn degenerate_range_rejected() {
+        let _ = DimRange::new(3.0, 3.0);
+    }
+
+    #[test]
+    fn node_embedding() {
+        let space = ResourceSpace::new([
+            DimRange::new(0.0, 4.0),
+            DimRange::new(0.0, 8.0),
+            DimRange::new(0.0, 100.0),
+        ]);
+        let caps = Capabilities::new(2.0, 8.0, 50.0, OsType::Linux);
+        assert_eq!(space.node_point(&caps), [0.5, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn unconstrained_job_maps_to_origin() {
+        // This is the degenerate case the virtual dimension exists to fix.
+        let space = ResourceSpace::default_desktop();
+        let req = JobRequirements::unconstrained();
+        assert_eq!(space.job_point(&req), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn constrained_dims_embed_requirements() {
+        let space = ResourceSpace::new([
+            DimRange::new(0.0, 4.0),
+            DimRange::new(0.0, 8.0),
+            DimRange::new(0.0, 100.0),
+        ]);
+        let req = JobRequirements::unconstrained()
+            .with_min(ResourceKind::CpuSpeed, 1.0)
+            .with_min(ResourceKind::Disk, 25.0);
+        assert_eq!(space.job_point(&req), [0.25, 0.0, 0.25]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the resource model: monotonicity and consistency of
+//! the matching predicate, dominance laws, and normalization.
+
+use dgrid_resources::{
+    Capabilities, DimRange, JobRequirements, OsType, ResourceKind, ResourceSpace,
+};
+use proptest::prelude::*;
+
+fn arb_caps() -> impl Strategy<Value = Capabilities> {
+    (0.0f64..10.0, 0.0f64..16.0, 0.0f64..1000.0, 0usize..4)
+        .prop_map(|(c, m, d, os)| Capabilities::new(c, m, d, OsType::ALL[os]))
+}
+
+fn arb_req() -> impl Strategy<Value = JobRequirements> {
+    (
+        proptest::option::of(0.0f64..10.0),
+        proptest::option::of(0.0f64..16.0),
+        proptest::option::of(0.0f64..1000.0),
+    )
+        .prop_map(|(c, m, d)| {
+            let mut r = JobRequirements::unconstrained();
+            if let Some(c) = c {
+                r = r.with_min(ResourceKind::CpuSpeed, c);
+            }
+            if let Some(m) = m {
+                r = r.with_min(ResourceKind::Memory, m);
+            }
+            if let Some(d) = d {
+                r = r.with_min(ResourceKind::Disk, d);
+            }
+            r
+        })
+}
+
+proptest! {
+    /// If a node satisfies a job, any node dominating it (same OS) does too.
+    #[test]
+    fn satisfaction_is_monotone_in_capabilities(
+        a in arb_caps(),
+        extra in (0.0f64..5.0, 0.0f64..5.0, 0.0f64..100.0),
+        req in arb_req(),
+    ) {
+        let vals = a.values();
+        let b = Capabilities::new(vals[0] + extra.0, vals[1] + extra.1, vals[2] + extra.2, a.os);
+        prop_assert!(b.dominates_or_equals(&a));
+        if req.satisfied_by(&a) {
+            prop_assert!(req.satisfied_by(&b), "bigger node must also satisfy");
+        }
+    }
+
+    /// Adding a constraint can only shrink the satisfying set.
+    #[test]
+    fn constraints_are_anti_monotone(caps in arb_caps(), req in arb_req(), min in 0.0f64..10.0) {
+        let tightened = req.with_min(ResourceKind::CpuSpeed, min);
+        if tightened.satisfied_by(&caps) {
+            prop_assert!(
+                req.satisfied_by(&caps) || req.min(ResourceKind::CpuSpeed).is_some(),
+                "relaxing (removing) the cpu constraint cannot unsatisfy"
+            );
+        }
+        prop_assert!(tightened.num_constraints() >= req.num_constraints());
+    }
+
+    /// Dominance is a partial order: reflexive (non-strict), antisymmetric
+    /// in the strict form, transitive.
+    #[test]
+    fn dominance_laws(a in arb_caps(), b in arb_caps(), c in arb_caps()) {
+        prop_assert!(a.dominates_or_equals(&a));
+        prop_assert!(!(a.strictly_dominates(&b) && b.strictly_dominates(&a)));
+        if a.dominates_or_equals(&b) && b.dominates_or_equals(&c) {
+            prop_assert!(a.dominates_or_equals(&c));
+        }
+    }
+
+    /// A node anchored at its own capabilities always satisfies the derived
+    /// requirements (the workload generator's satisfiability invariant).
+    #[test]
+    fn anchored_requirements_are_satisfied(caps in arb_caps(), fracs in (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0)) {
+        let req = JobRequirements::unconstrained()
+            .with_min(ResourceKind::CpuSpeed, caps.get(ResourceKind::CpuSpeed) * fracs.0)
+            .with_min(ResourceKind::Memory, caps.get(ResourceKind::Memory) * fracs.1)
+            .with_min(ResourceKind::Disk, caps.get(ResourceKind::Disk) * fracs.2);
+        prop_assert!(req.satisfied_by(&caps));
+    }
+
+    /// Normalization clamps into [0,1] and round-trips inside the range.
+    #[test]
+    fn normalization_bounds(lo in 0.0f64..10.0, width in 0.1f64..100.0, v in -50.0f64..200.0) {
+        let r = DimRange::new(lo, lo + width);
+        let u = r.normalize(v);
+        prop_assert!((0.0..=1.0).contains(&u));
+        if (lo..=lo + width).contains(&v) {
+            let back = r.denormalize(u);
+            prop_assert!((back - v).abs() < 1e-9 * width.max(1.0));
+        }
+    }
+
+    /// Node and job embeddings stay in the unit cube for any inputs.
+    #[test]
+    fn embeddings_stay_in_unit_cube(caps in arb_caps(), req in arb_req()) {
+        let space = ResourceSpace::default_desktop();
+        for x in space.node_point(&caps) {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+        for x in space.job_point(&req) {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

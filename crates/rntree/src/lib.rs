@@ -1,0 +1,41 @@
+//! # dgrid-rntree — the Rendezvous Node Tree
+//!
+//! Section 3.1 of the paper describes a matchmaking structure "built on top
+//! of an underlying Chord DHT": every participating node is a vertex of a
+//! tree; each node picks its parent **using only local information**; the
+//! tree's expected height is **O(log N)** because node GUIDs are uniformly
+//! distributed; subtree *maximal resource* information is aggregated up the
+//! tree and used to **prune** the candidate search, which proceeds through
+//! the owner's subtree first and climbs to ancestors only when needed,
+//! continuing until at least `k` capable nodes are found (*extended
+//! search*).
+//!
+//! The construction details live in a UMD technical report that is not part
+//! of the paper; this crate uses a *prefix-rendezvous* construction that
+//! satisfies every property the paper states (see `DESIGN.md`):
+//!
+//! * node `x`'s **level** is the shortest bit-prefix `ℓ` of `x` whose
+//!   truncation `trunc(x, ℓ)` still falls in `x`'s own ownership interval
+//!   `(predecessor(x), x]` — a purely **local** computation;
+//! * `x`'s **parent** is the Chord owner of `trunc(x, ℓ − 1)` — found with a
+//!   single DHT lookup;
+//! * the node owning key `0` is the unique **root**; parent ids strictly
+//!   decrease along every chain, so the structure is always a tree;
+//! * with uniform random GUIDs each parent step roughly halves the candidate
+//!   prefix region, giving expected height `O(log N)` (asserted empirically
+//!   in the tests and reproduced as experiment `T-tree`).
+//!
+//! [`RnTreeIndex`] adds the hierarchical aggregation (per-subtree maximum
+//! capability vector, OS presence mask, node count) and the pruned,
+//! extended candidate [`search`](RnTreeIndex::find_candidates).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod search;
+mod tree;
+
+pub use aggregate::SubtreeInfo;
+pub use search::SearchResult;
+pub use tree::{RnTree, RnTreeIndex};

@@ -1,0 +1,347 @@
+//! Tree construction from Chord membership, and the combined index.
+
+use std::collections::HashMap;
+
+use dgrid_chord::{ChordId, ChordRing};
+use dgrid_resources::Capabilities;
+
+use crate::aggregate::SubtreeInfo;
+
+/// Keep the top `level` bits of `x`, zeroing the rest.
+fn trunc(x: u64, level: u32) -> u64 {
+    match level {
+        0 => 0,
+        64.. => x,
+        l => x & (u64::MAX << (64 - l)),
+    }
+}
+
+/// The Rendezvous Node Tree over a snapshot of Chord membership.
+///
+/// Rebuilt from the ring on churn; in a deployment every node maintains its
+/// own parent pointer with one local computation plus one DHT lookup, so a
+/// full rebuild here corresponds to each node independently refreshing its
+/// pointer (what the paper's periodic soft-state maintenance converges to).
+#[derive(Clone, Debug)]
+pub struct RnTree {
+    root: ChordId,
+    parent: HashMap<ChordId, Option<ChordId>>,
+    children: HashMap<ChordId, Vec<ChordId>>,
+}
+
+impl RnTree {
+    /// Build the tree for all live peers of `ring`.
+    ///
+    /// # Panics
+    /// If the ring is empty.
+    pub fn build(ring: &ChordRing) -> RnTree {
+        Self::build_counting(ring).0
+    }
+
+    /// Build the tree and report the total Chord-lookup hop cost the peers
+    /// would pay to (re)establish their parent pointers — one lookup per
+    /// non-root node.
+    pub fn build_counting(ring: &ChordRing) -> (RnTree, u64) {
+        let ids = ring.alive_ids();
+        assert!(!ids.is_empty(), "RN-Tree over an empty ring");
+        let root = ring.successor_of(ChordId(0)).expect("non-empty ring");
+
+        let mut parent: HashMap<ChordId, Option<ChordId>> = HashMap::with_capacity(ids.len());
+        let mut children: HashMap<ChordId, Vec<ChordId>> = HashMap::with_capacity(ids.len());
+        let mut lookup_hops = 0u64;
+
+        for &id in &ids {
+            children.entry(id).or_default();
+            if id == root {
+                parent.insert(id, None);
+                continue;
+            }
+            // Local step: the shortest prefix of our id we still own.
+            let pred = ring.predecessor_of(id).expect("multi-node ring");
+            let level = (0..=64u32)
+                .find(|&l| ChordId(trunc(id.0, l)).in_open_closed(pred, id))
+                .expect("level 64 always owns the id itself");
+            debug_assert!(level > 0, "only the root owns key 0");
+            // One DHT lookup: the owner of the next-shorter prefix.
+            let key = ChordId(trunc(id.0, level - 1));
+            let res = ring.lookup(id, key).expect("stable ring routes");
+            lookup_hops += u64::from(res.hops);
+            let p = res.owner;
+            debug_assert_ne!(p, id);
+            parent.insert(id, Some(p));
+            children.entry(p).or_default().push(id);
+        }
+        for kids in children.values_mut() {
+            kids.sort_unstable();
+        }
+        (RnTree { root, parent, children }, lookup_hops)
+    }
+
+    /// The tree root (the Chord owner of key 0).
+    pub fn root(&self) -> ChordId {
+        self.root
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True iff the tree has no nodes (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Is `id` in the tree?
+    pub fn contains(&self, id: ChordId) -> bool {
+        self.parent.contains_key(&id)
+    }
+
+    /// Parent of `id` (`None` for the root).
+    ///
+    /// # Panics
+    /// If `id` is not in the tree.
+    pub fn parent(&self, id: ChordId) -> Option<ChordId> {
+        *self
+            .parent
+            .get(&id)
+            .unwrap_or_else(|| panic!("{id} not in tree"))
+    }
+
+    /// Children of `id`, ascending.
+    pub fn children(&self, id: ChordId) -> &[ChordId] {
+        self.children
+            .get(&id)
+            .map(Vec::as_slice)
+            .unwrap_or_else(|| panic!("{id} not in tree"))
+    }
+
+    /// Depth of `id` (root is 0).
+    pub fn depth_of(&self, id: ChordId) -> u32 {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+            d += 1;
+            assert!(d <= 64 + 1, "cycle in tree");
+        }
+        d
+    }
+
+    /// Height of the tree: the maximum node depth.
+    pub fn height(&self) -> u32 {
+        self.parent.keys().map(|&id| self.depth_of(id)).max().unwrap_or(0)
+    }
+
+    /// All node ids, ascending.
+    pub fn ids(&self) -> Vec<ChordId> {
+        let mut v: Vec<ChordId> = self.parent.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The tree plus the hierarchical resource aggregation the matchmaker
+/// queries: per-subtree maximum capability vector, OS presence, node count,
+/// and each node's own capabilities.
+#[derive(Clone, Debug)]
+pub struct RnTreeIndex {
+    tree: RnTree,
+    caps: HashMap<ChordId, Capabilities>,
+    info: HashMap<ChordId, SubtreeInfo>,
+}
+
+impl RnTreeIndex {
+    /// Build the index over `ring` using each peer's advertised
+    /// capabilities. Aggregation is computed immediately (fresh).
+    ///
+    /// # Panics
+    /// If any live peer is missing from `caps`.
+    pub fn build(ring: &ChordRing, caps: &HashMap<ChordId, Capabilities>) -> RnTreeIndex {
+        let tree = RnTree::build(ring);
+        let mut index = RnTreeIndex {
+            caps: tree
+                .ids()
+                .iter()
+                .map(|&id| {
+                    let c = *caps
+                        .get(&id)
+                        .unwrap_or_else(|| panic!("no capabilities for {id}"));
+                    (id, c)
+                })
+                .collect(),
+            tree,
+            info: HashMap::new(),
+        };
+        index.refresh_aggregates();
+        index
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &RnTree {
+        &self.tree
+    }
+
+    /// A node's own capabilities.
+    pub fn capabilities(&self, id: ChordId) -> &Capabilities {
+        &self.caps[&id]
+    }
+
+    /// The aggregated information for the subtree rooted at `id`.
+    pub fn subtree_info(&self, id: ChordId) -> &SubtreeInfo {
+        &self.info[&id]
+    }
+
+    /// Recompute every subtree aggregate bottom-up — the steady state of the
+    /// paper's periodic "local subtree resource information" reports. Call
+    /// on the matchmaker's maintenance tick.
+    pub fn refresh_aggregates(&mut self) {
+        self.info.clear();
+        self.aggregate_rec(self.tree.root());
+    }
+
+    fn aggregate_rec(&mut self, id: ChordId) -> SubtreeInfo {
+        let mut acc = SubtreeInfo::leaf(&self.caps[&id]);
+        let kids: Vec<ChordId> = self.tree.children(id).to_vec();
+        for k in kids {
+            let sub = self.aggregate_rec(k);
+            acc.absorb(&sub);
+        }
+        self.info.insert(id, acc.clone());
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_chord::ChordRing;
+    use dgrid_sim::rng::{rng_for, streams};
+    use rand::Rng;
+
+    fn ring_of(n: usize, seed: u64) -> ChordRing {
+        let mut rng = rng_for(seed, streams::NODE_IDS);
+        let mut ring = ChordRing::default();
+        let mut count = 0;
+        while count < n {
+            let id = ChordId(rng.gen());
+            if !ring.is_alive(id) {
+                ring.join(id);
+                count += 1;
+            }
+        }
+        ring.stabilize();
+        ring
+    }
+
+    #[test]
+    fn trunc_masks_low_bits() {
+        assert_eq!(trunc(0xFFFF_FFFF_FFFF_FFFF, 0), 0);
+        assert_eq!(trunc(0xFFFF_FFFF_FFFF_FFFF, 64), u64::MAX);
+        assert_eq!(trunc(0xFFFF_FFFF_FFFF_FFFF, 4), 0xF000_0000_0000_0000);
+        assert_eq!(trunc(0x1234_5678_9ABC_DEF0, 16), 0x1234_0000_0000_0000);
+    }
+
+    #[test]
+    fn single_node_is_root() {
+        let mut ring = ChordRing::default();
+        ring.join(ChordId(12345));
+        let tree = RnTree::build(&ring);
+        assert_eq!(tree.root(), ChordId(12345));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.parent(tree.root()), None);
+        assert_eq!(tree.height(), 0);
+    }
+
+    #[test]
+    fn tree_covers_all_nodes_with_single_root() {
+        let ring = ring_of(200, 31);
+        let tree = RnTree::build(&ring);
+        assert_eq!(tree.len(), 200);
+        // Exactly one root, and it owns key 0.
+        let roots: Vec<ChordId> = tree
+            .ids()
+            .into_iter()
+            .filter(|&id| tree.parent(id).is_none())
+            .collect();
+        assert_eq!(roots, vec![tree.root()]);
+        assert_eq!(Some(tree.root()), ring.successor_of(ChordId(0)));
+    }
+
+    #[test]
+    fn every_node_reaches_root() {
+        let ring = ring_of(128, 37);
+        let tree = RnTree::build(&ring);
+        for id in tree.ids() {
+            let mut cur = id;
+            let mut steps = 0;
+            while let Some(p) = tree.parent(cur) {
+                assert!(p < cur, "parent ids strictly decrease (acyclicity)");
+                cur = p;
+                steps += 1;
+                assert!(steps <= 65);
+            }
+            assert_eq!(cur, tree.root());
+        }
+    }
+
+    #[test]
+    fn parent_child_links_are_consistent() {
+        let ring = ring_of(64, 41);
+        let tree = RnTree::build(&ring);
+        for id in tree.ids() {
+            for &c in tree.children(id) {
+                assert_eq!(tree.parent(c), Some(id));
+            }
+            if let Some(p) = tree.parent(id) {
+                assert!(tree.children(p).contains(&id));
+            }
+        }
+        // Child counts sum to n - 1.
+        let total_children: usize = tree.ids().iter().map(|&id| tree.children(id).len()).sum();
+        assert_eq!(total_children, tree.len() - 1);
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        for (n, seed) in [(64usize, 43u64), (256, 44), (1024, 45)] {
+            let ring = ring_of(n, seed);
+            let tree = RnTree::build(&ring);
+            let h = tree.height();
+            let log2n = (n as f64).log2();
+            assert!(
+                (h as f64) <= 2.5 * log2n,
+                "n={n}: height {h} exceeds 2.5·log2(n)={:.1}",
+                2.5 * log2n
+            );
+            assert!(h >= 2, "n={n}: implausibly flat tree of height {h}");
+        }
+    }
+
+    #[test]
+    fn build_cost_is_logarithmic_per_node() {
+        let n = 512;
+        let ring = ring_of(n, 47);
+        let (_, hops) = RnTree::build_counting(&ring);
+        let per_node = hops as f64 / n as f64;
+        assert!(
+            per_node <= (n as f64).log2(),
+            "parent discovery cost {per_node:.2} hops/node too high"
+        );
+    }
+
+    #[test]
+    fn rebuild_after_churn_is_consistent() {
+        let mut ring = ring_of(100, 53);
+        let ids = ring.alive_ids();
+        for &id in ids.iter().take(30) {
+            ring.fail(id);
+        }
+        ring.stabilize();
+        let tree = RnTree::build(&ring);
+        assert_eq!(tree.len(), 70);
+        for id in tree.ids() {
+            assert!(ring.is_alive(id));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: the RN-Tree is a well-formed, shallow tree over any
+//! ring membership, aggregation envelopes are sound, and search is
+//! complete under exhaustive k.
+
+use std::collections::{HashMap, HashSet};
+
+use dgrid_chord::{ChordId, ChordRing};
+use dgrid_resources::{Capabilities, JobRequirements, OsType, ResourceKind};
+use dgrid_rntree::{RnTree, RnTreeIndex};
+use proptest::prelude::*;
+
+fn ring_from_ids(ids: &HashSet<u64>) -> ChordRing {
+    let mut ring = ChordRing::default();
+    for &id in ids {
+        ring.join(ChordId(id));
+    }
+    ring.stabilize();
+    ring
+}
+
+fn caps_for(ids: &HashSet<u64>) -> HashMap<ChordId, Capabilities> {
+    ids.iter()
+        .map(|&id| {
+            let c = Capabilities::new(
+                0.5 + (id % 8) as f64 * 0.45,
+                2f64.powi((id % 6) as i32 - 2),
+                10.0 + (id % 50) as f64 * 9.5,
+                OsType::ALL[(id % 4) as usize],
+            );
+            (ChordId(id), c)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single root, full coverage, strictly-decreasing parent ids
+    /// (acyclicity), height within a small multiple of log2(N).
+    #[test]
+    fn tree_is_well_formed(ids in proptest::collection::hash_set(any::<u64>(), 1..120)) {
+        let ring = ring_from_ids(&ids);
+        let tree = RnTree::build(&ring);
+        prop_assert_eq!(tree.len(), ids.len());
+
+        let mut roots = 0;
+        for id in tree.ids() {
+            match tree.parent(id) {
+                None => {
+                    roots += 1;
+                    prop_assert_eq!(id, tree.root());
+                }
+                Some(p) => prop_assert!(p < id, "parents strictly decrease"),
+            }
+        }
+        prop_assert_eq!(roots, 1);
+
+        if ids.len() >= 4 {
+            let bound = 3.0 * (ids.len() as f64).log2() + 2.0;
+            prop_assert!(
+                (tree.height() as f64) <= bound,
+                "height {} exceeds {bound:.1} for n={}",
+                tree.height(),
+                ids.len()
+            );
+        }
+    }
+
+    /// The subtree aggregate of the root bounds every node's capabilities,
+    /// and exhaustive search from any owner finds exactly the brute-force
+    /// satisfying set.
+    #[test]
+    fn aggregation_and_search_are_sound(
+        ids in proptest::collection::hash_set(any::<u64>(), 2..80),
+        cpu_min in 0.5f64..4.0,
+        owner_pick in any::<usize>(),
+    ) {
+        let ring = ring_from_ids(&ids);
+        let caps = caps_for(&ids);
+        let index = RnTreeIndex::build(&ring, &caps);
+
+        // Root envelope dominates every member.
+        let root_info = index.subtree_info(index.tree().root());
+        for c in caps.values() {
+            for (d, &v) in c.values().iter().enumerate() {
+                prop_assert!(root_info.max_caps[d] >= v);
+            }
+        }
+
+        let req = JobRequirements::unconstrained().with_min(ResourceKind::CpuSpeed, cpu_min);
+        let expected: HashSet<ChordId> = caps
+            .iter()
+            .filter(|(_, c)| req.satisfied_by(c))
+            .map(|(&id, _)| id)
+            .collect();
+        let all = index.tree().ids();
+        let owner = all[owner_pick % all.len()];
+        let found: HashSet<ChordId> = index
+            .find_candidates(owner, &req, usize::MAX)
+            .candidates
+            .into_iter()
+            .collect();
+        prop_assert_eq!(found, expected);
+    }
+
+    /// With small k, the search returns only satisfying nodes and stops
+    /// near k (it may slightly overshoot within the final subtree, never
+    /// undershoot while more candidates exist).
+    #[test]
+    fn extended_search_respects_k(
+        ids in proptest::collection::hash_set(any::<u64>(), 8..80),
+        k in 1usize..8,
+    ) {
+        let ring = ring_from_ids(&ids);
+        let caps = caps_for(&ids);
+        let index = RnTreeIndex::build(&ring, &caps);
+        let req = JobRequirements::unconstrained().with_min(ResourceKind::Memory, 1.0);
+        let available = caps.values().filter(|c| req.satisfied_by(c)).count();
+        let owner = index.tree().root();
+        let res = index.find_candidates(owner, &req, k);
+        for c in &res.candidates {
+            prop_assert!(req.satisfied_by(&caps[c]));
+        }
+        if available >= k {
+            prop_assert!(res.candidates.len() >= k);
+        } else {
+            prop_assert_eq!(res.candidates.len(), available);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Log-bucketed histograms.
+//!
+//! Wait times in a saturated grid span four orders of magnitude (sub-second
+//! placements to hour-long queue waits), so fixed-width buckets are
+//! useless. [`LogHistogram`] buckets by powers of two of a configurable
+//! base unit, supports merging across replications, and renders a compact
+//! text sparkline for experiment output.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with buckets `[0, base)`, `[base, 2·base)`, `[2·base,
+/// 4·base)`, ... — i.e. log₂-spaced above a base resolution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LogHistogram {
+    base: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl LogHistogram {
+    /// A histogram whose first bucket covers `[0, base)`.
+    ///
+    /// # Panics
+    /// If `base` is not strictly positive and finite.
+    pub fn new(base: f64) -> Self {
+        assert!(base > 0.0 && base.is_finite(), "invalid base {base}");
+        LogHistogram {
+            base,
+            counts: Vec::new(),
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// The base resolution.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    fn bucket_of(&self, x: f64) -> usize {
+        if x < self.base {
+            0
+        } else {
+            1 + (x / self.base).log2().floor() as usize
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `i`.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        if i == 0 {
+            (0.0, self.base)
+        } else {
+            (
+                self.base * 2f64.powi(i as i32 - 1),
+                self.base * 2f64.powi(i as i32),
+            )
+        }
+    }
+
+    /// Record one observation (must be finite and non-negative).
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite() && x >= 0.0, "invalid observation {x}");
+        let b = self.bucket_of(x);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += x;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Bucket counts, lowest bucket first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile (0 ≤ q ≤ 1) from bucket boundaries: returns the
+    /// upper edge of the bucket containing the q-th observation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bucket_range(i).1);
+            }
+        }
+        Some(self.bucket_range(self.counts.len().saturating_sub(1)).1)
+    }
+
+    /// Merge another histogram (must have the same base).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.base, other.base, "merging incompatible histograms");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// A one-line text rendering: per-bucket density as eighth-block bars.
+    pub fn sparkline(&self) -> String {
+        const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.total == 0 {
+            return String::new();
+        }
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        self.counts
+            .iter()
+            .map(|&c| {
+                let idx = if c == 0 {
+                    0
+                } else {
+                    1 + (c * 7 / max) as usize
+                };
+                BLOCKS[idx.min(8)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let h = LogHistogram::new(1.0);
+        assert_eq!(h.bucket_range(0), (0.0, 1.0));
+        assert_eq!(h.bucket_range(1), (1.0, 2.0));
+        assert_eq!(h.bucket_range(3), (4.0, 8.0));
+    }
+
+    #[test]
+    fn recording_and_counts() {
+        let mut h = LogHistogram::new(1.0);
+        for x in [0.1, 0.9, 1.5, 3.0, 3.9, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.counts()[0], 2); // [0,1)
+        assert_eq!(h.counts()[1], 1); // [1,2)
+        assert_eq!(h.counts()[2], 2); // [2,4)
+        // 100 lands in [64,128) = bucket 1 + floor(log2(100)) = 7.
+        assert_eq!(h.counts()[7], 1);
+        assert!((h.mean() - (0.1 + 0.9 + 1.5 + 3.0 + 3.9 + 100.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_bound_true_values() {
+        let mut h = LogHistogram::new(1.0);
+        for i in 1..=1000 {
+            h.record(i as f64 / 10.0); // 0.1 .. 100.0
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((32.0..=64.0).contains(&median), "median bucket edge {median}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 99.0, "p99 edge {p99}");
+        assert!(h.quantile(0.0).is_some());
+        assert_eq!(h.quantile(1.0), Some(128.0));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::new(1.0);
+        let mut b = LogHistogram::new(1.0);
+        a.record(0.5);
+        b.record(0.7);
+        b.record(10.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts()[0], 2);
+        assert!((a.mean() - (0.5 + 0.7 + 10.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_requires_same_base() {
+        let mut a = LogHistogram::new(1.0);
+        let b = LogHistogram::new(2.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn sparkline_has_one_char_per_bucket() {
+        let mut h = LogHistogram::new(1.0);
+        for x in [0.5, 1.5, 1.6, 5.0] {
+            h.record(x);
+        }
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), h.counts().len());
+        assert!(LogHistogram::new(1.0).sparkline().is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! # dgrid-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate under every experiment in the workspace. The
+//! paper ("Creating a Robust Desktop Grid using Peer-to-Peer Services",
+//! IPDPS 2007) evaluates its matchmaking algorithms with an event-driven
+//! simulator; this crate is that simulator's kernel, rebuilt from scratch:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a virtual clock with nanosecond
+//!   resolution stored in `u64`, so event ordering is exact (no float
+//!   comparison hazards).
+//! * [`EventQueue`] — a stable priority queue of `(time, seq)`-ordered
+//!   events. Two events scheduled for the same instant pop in the order they
+//!   were scheduled, which makes whole simulations bit-for-bit reproducible.
+//! * [`rng`] — seed-derivation utilities so that each logical stream of
+//!   randomness (arrivals, node capabilities, failures, ...) gets an
+//!   independent, deterministic generator from one root seed.
+//! * [`stats`] — online mean/variance (Welford), sample summaries with
+//!   percentiles, and log-bucketed histograms for the metrics the paper
+//!   reports (job wait time average and standard deviation, hop counts).
+//! * [`net`] — a simple per-hop latency model for overlay messages.
+//!
+//! Everything here is allocation-light and single-threaded by design;
+//! parallelism in the workspace happens *across* replications (one simulator
+//! per seed), never inside one.
+//!
+//! ## Example
+//!
+//! ```
+//! use dgrid_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32), Stop }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_in(SimDuration::from_secs(1), Ev::Ping(1));
+//! q.schedule_in(SimDuration::from_secs(2), Ev::Stop);
+//! q.schedule_in(SimDuration::from_secs(1), Ev::Ping(2)); // same time: FIFO
+//!
+//! let (t1, e1) = q.pop().unwrap();
+//! assert_eq!((t1, e1), (SimTime::from_secs(1), Ev::Ping(1)));
+//! let (_, e2) = q.pop().unwrap();
+//! assert_eq!(e2, Ev::Ping(2));
+//! assert_eq!(q.now(), SimTime::from_secs(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod hist;
+pub mod net;
+pub mod rng;
+pub mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use time::{SimDuration, SimTime};
+
+/// Commonly used items, for glob import in downstream crates.
+pub mod prelude {
+    pub use crate::hist::LogHistogram;
+    pub use crate::net::LatencyModel;
+    pub use crate::rng::{rng_for, SimRng};
+    pub use crate::stats::{OnlineStats, SampleSet};
+    pub use crate::{EventQueue, SimDuration, SimTime};
+}

@@ -1,0 +1,134 @@
+//! Overlay network latency model.
+//!
+//! The paper's evaluation abstracts the underlay: what matters is the *hop
+//! count* through the P2P overlay (each hop is one application-level message)
+//! plus direct owner↔run-node connections for heartbeats. [`LatencyModel`]
+//! converts hop counts into simulated delays: a fixed per-hop base plus
+//! multiplicative uniform jitter, which is the standard model for
+//! wide-area-distributed desktop-grid peers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Per-hop latency with uniform multiplicative jitter.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Mean one-hop latency.
+    pub per_hop: SimDurationSecs,
+    /// Jitter fraction `j`: each hop is scaled by a uniform factor in
+    /// `[1 - j, 1 + j]`. Must be in `[0, 1]`.
+    pub jitter: f64,
+}
+
+/// A serde-friendly duration expressed in seconds.
+///
+/// [`SimDuration`] itself serializes as raw nanoseconds; configuration files
+/// are friendlier in seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimDurationSecs(pub f64);
+
+impl SimDurationSecs {
+    /// Convert to a [`SimDuration`].
+    pub fn to_duration(self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0)
+    }
+}
+
+impl Default for LatencyModel {
+    /// 50 ms per overlay hop with ±40% jitter — typical wide-area RTT/2 for
+    /// the Internet-distributed peers the paper targets.
+    fn default() -> Self {
+        LatencyModel {
+            per_hop: SimDurationSecs(0.050),
+            jitter: 0.4,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model with fixed (jitter-free) per-hop latency.
+    pub fn fixed(per_hop: SimDuration) -> Self {
+        LatencyModel {
+            per_hop: SimDurationSecs(per_hop.as_secs_f64()),
+            jitter: 0.0,
+        }
+    }
+
+    /// Sample the total latency of a path of `hops` overlay hops.
+    ///
+    /// Zero hops (local delivery) takes zero time.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, hops: u32) -> SimDuration {
+        assert!((0.0..=1.0).contains(&self.jitter), "jitter out of range");
+        if hops == 0 {
+            return SimDuration::ZERO;
+        }
+        let base = self.per_hop.0;
+        let mut total = 0.0;
+        for _ in 0..hops {
+            let factor = if self.jitter == 0.0 {
+                1.0
+            } else {
+                1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0)
+            };
+            total += base * factor;
+        }
+        SimDuration::from_secs_f64(total)
+    }
+
+    /// Latency of one direct (non-overlay) message, e.g. a heartbeat over a
+    /// socket between run node and owner node.
+    pub fn direct<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        self.sample(rng, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn zero_hops_is_instant() {
+        let m = LatencyModel::default();
+        let mut rng = rng_for(1, 1);
+        assert_eq!(m.sample(&mut rng, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fixed_model_is_linear_in_hops() {
+        let m = LatencyModel::fixed(SimDuration::from_millis(10));
+        let mut rng = rng_for(1, 1);
+        assert_eq!(m.sample(&mut rng, 1), SimDuration::from_millis(10));
+        assert_eq!(m.sample(&mut rng, 7), SimDuration::from_millis(70));
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let m = LatencyModel {
+            per_hop: SimDurationSecs(0.1),
+            jitter: 0.5,
+        };
+        let mut rng = rng_for(2, 2);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng, 1).as_secs_f64();
+            assert!((0.05..=0.15).contains(&d), "latency {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn mean_latency_is_close_to_base() {
+        let m = LatencyModel {
+            per_hop: SimDurationSecs(0.1),
+            jitter: 0.4,
+        };
+        let mut rng = rng_for(3, 3);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| m.sample(&mut rng, 1).as_secs_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.1).abs() < 0.002, "mean {mean}");
+    }
+}

@@ -1,0 +1,485 @@
+//! Tapestry identifiers, neighbor maps, surrogate routing, and churn.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dgrid_sim::rng::splitmix64;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bits per digit (hexadecimal digits, as in the Tapestry deployments).
+const DIGIT_BITS: u32 = 4;
+/// Digits per identifier (= neighbor-map levels).
+const LEVELS: u32 = 64 / DIGIT_BITS;
+
+/// A position in Tapestry's identifier space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TapestryId(pub u64);
+
+impl TapestryId {
+    /// Hash an arbitrary value onto the id space.
+    pub fn hash_of(x: u64) -> TapestryId {
+        TapestryId(splitmix64(x))
+    }
+
+    /// The `i`-th digit, most significant first.
+    pub fn digit(self, i: u32) -> u8 {
+        debug_assert!(i < LEVELS);
+        ((self.0 >> (64 - DIGIT_BITS * (i + 1))) & 0xF) as u8
+    }
+
+    /// The id range `[lo, hi]` of all ids whose first `level` digits equal
+    /// `self`'s and whose digit at `level` is `d`.
+    fn slot_range(self, level: u32, d: u8) -> (u64, u64) {
+        debug_assert!(level < LEVELS);
+        let shift = 64 - DIGIT_BITS * (level + 1);
+        let kept = if level == 0 {
+            0
+        } else {
+            self.0 & (u64::MAX << (64 - DIGIT_BITS * level))
+        };
+        let lo = kept | ((d as u64) << shift);
+        let hi = if shift == 0 { lo } else { lo | ((1u64 << shift) - 1) };
+        (lo, hi)
+    }
+}
+
+impl fmt::Debug for TapestryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TapestryId({:016x})", self.0)
+    }
+}
+
+impl fmt::Display for TapestryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Tunables.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TapestryConfig {
+    /// Safety valve on routing (levels × surrogate retries is bounded, but
+    /// stale maps under churn can add probes).
+    pub max_route_hops: u32,
+}
+
+impl Default for TapestryConfig {
+    fn default() -> Self {
+        TapestryConfig { max_route_hops: 64 }
+    }
+}
+
+/// Result of a successful route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// The key's root node (Tapestry's owner).
+    pub owner: TapestryId,
+    /// Forwarding hops taken.
+    pub hops: u32,
+    /// Dead entries probed.
+    pub timeouts: u32,
+}
+
+#[derive(Clone, Debug)]
+struct PeerState {
+    alive: bool,
+    /// `maps[level][digit]`: a node sharing our first `level` digits whose
+    /// next digit is `digit`, as of the last refresh.
+    maps: Vec<[Option<TapestryId>; 16]>,
+}
+
+/// The Tapestry network.
+pub struct TapestryNetwork {
+    cfg: TapestryConfig,
+    peers: BTreeMap<u64, PeerState>,
+    alive_count: usize,
+}
+
+impl Default for TapestryNetwork {
+    fn default() -> Self {
+        Self::new(TapestryConfig::default())
+    }
+}
+
+impl TapestryNetwork {
+    /// An empty network.
+    pub fn new(cfg: TapestryConfig) -> Self {
+        TapestryNetwork {
+            cfg,
+            peers: BTreeMap::new(),
+            alive_count: 0,
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.alive_count
+    }
+
+    /// True iff nobody is alive.
+    pub fn is_empty(&self) -> bool {
+        self.alive_count == 0
+    }
+
+    /// Is `id` a live member?
+    pub fn is_alive(&self, id: TapestryId) -> bool {
+        self.peers.get(&id.0).is_some_and(|p| p.alive)
+    }
+
+    /// Live ids, ascending.
+    pub fn alive_ids(&self) -> Vec<TapestryId> {
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.alive)
+            .map(|(&id, _)| TapestryId(id))
+            .collect()
+    }
+
+    /// A uniformly random live node.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<TapestryId> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        let n = rng.gen_range(0..self.alive_count);
+        self.peers
+            .iter()
+            .filter(|(_, p)| p.alive)
+            .nth(n)
+            .map(|(&id, _)| TapestryId(id))
+    }
+
+    /// First live node in the inclusive id range, if any (the deterministic
+    /// slot representative used for both ground truth and neighbor maps).
+    fn slot_node(&self, lo: u64, hi: u64) -> Option<TapestryId> {
+        self.peers
+            .range(lo..=hi)
+            .find(|(_, p)| p.alive)
+            .map(|(&id, _)| TapestryId(id))
+    }
+
+    /// Ground truth: the unique root of `key` under surrogate routing.
+    ///
+    /// Descend digit by digit; at each level take the key's digit if any
+    /// live node exists under it, otherwise the next digit (wrapping) that
+    /// has one — Tapestry's deterministic surrogate rule.
+    pub fn root_of(&self, key: TapestryId) -> Option<TapestryId> {
+        if self.alive_count == 0 {
+            return None;
+        }
+        let mut prefix_carrier = key; // carries the resolved digits so far
+        for level in 0..LEVELS {
+            let want = key.digit(level);
+            let mut chosen = None;
+            for k in 0..16u8 {
+                let d = (want + k) % 16;
+                let (lo, hi) = prefix_carrier.slot_range(level, d);
+                if let Some(n) = self.slot_node(lo, hi) {
+                    chosen = Some((d, n));
+                    break;
+                }
+            }
+            let (d, node) = chosen?; // None impossible while anyone is alive
+            // Fix this digit in the carrier and continue.
+            let (lo, _) = prefix_carrier.slot_range(level, d);
+            let shift = 64 - DIGIT_BITS * (level + 1);
+            let kept_mask = if shift == 0 { u64::MAX } else { u64::MAX << shift };
+            prefix_carrier = TapestryId((lo & kept_mask) | (prefix_carrier.0 & !kept_mask));
+            // Early exit: if the chosen slot holds exactly one live node it
+            // is the root.
+            let (slo, shi) = TapestryId(prefix_carrier.0).slot_range(level, d);
+            let mut iter = self.peers.range(slo..=shi).filter(|(_, p)| p.alive);
+            let first = iter.next();
+            if iter.next().is_none() {
+                return first.map(|(&id, _)| TapestryId(id));
+            }
+            let _ = node;
+        }
+        Some(prefix_carrier)
+    }
+
+    // ------------------------------------------------------------------
+    // Churn
+    // ------------------------------------------------------------------
+
+    /// Add a node and build its neighbor maps; nodes sharing prefixes learn
+    /// of it lazily (stale until stabilize).
+    ///
+    /// # Panics
+    /// If a live node with this id already exists.
+    pub fn join(&mut self, id: TapestryId) {
+        let existing = self.peers.get(&id.0).is_some_and(|p| p.alive);
+        assert!(!existing, "duplicate join of live node {id}");
+        self.peers.insert(id.0, PeerState { alive: true, maps: Vec::new() });
+        self.alive_count += 1;
+        self.refresh_node(id);
+    }
+
+    /// Graceful departure: the node's immediate prefix neighbourhood is
+    /// refreshed right away.
+    ///
+    /// # Panics
+    /// If `id` is not a live node.
+    pub fn leave(&mut self, id: TapestryId) {
+        self.mark_dead(id);
+        // Refresh the nodes most likely to hold references: those sharing
+        // long prefixes (the deepest slot siblings).
+        let mut neighbourhood: Vec<TapestryId> = Vec::with_capacity(16);
+        'outer: for level in (0..LEVELS).rev() {
+            for d in 0..16u8 {
+                let (lo, hi) = id.slot_range(level, d);
+                if let Some(n) = self.slot_node(lo, hi) {
+                    neighbourhood.push(n);
+                    if neighbourhood.len() >= 16 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        for n in neighbourhood {
+            if self.is_alive(n) {
+                self.refresh_node(n);
+            }
+        }
+    }
+
+    /// Abrupt failure: references remain until probed or stabilized away.
+    ///
+    /// # Panics
+    /// If `id` is not a live node.
+    pub fn fail(&mut self, id: TapestryId) {
+        self.mark_dead(id);
+    }
+
+    fn mark_dead(&mut self, id: TapestryId) {
+        let p = self
+            .peers
+            .get_mut(&id.0)
+            .filter(|p| p.alive)
+            .unwrap_or_else(|| panic!("departure of unknown/dead node {id}"));
+        p.alive = false;
+        self.alive_count -= 1;
+    }
+
+    /// Rebuild one node's neighbor maps from ground truth.
+    pub fn refresh_node(&mut self, id: TapestryId) {
+        assert!(self.is_alive(id), "refresh of dead node {id}");
+        let mut maps = vec![[None; 16]; LEVELS as usize];
+        for level in 0..LEVELS {
+            for d in 0..16u8 {
+                let (lo, hi) = id.slot_range(level, d);
+                maps[level as usize][d as usize] = self.slot_node(lo, hi);
+            }
+        }
+        self.peers.get_mut(&id.0).expect("known node").maps = maps;
+    }
+
+    /// Full stabilization: refresh everyone, GC dead records.
+    pub fn stabilize(&mut self) {
+        for id in self.alive_ids() {
+            self.refresh_node(id);
+        }
+        self.peers.retain(|_, p| p.alive);
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    /// Surrogate routing from `from` towards `key`'s root, over each hop's
+    /// local (possibly stale) neighbor maps.
+    ///
+    /// # Panics
+    /// If `from` is not a live node.
+    pub fn route(&self, from: TapestryId, key: TapestryId) -> Option<Route> {
+        assert!(self.is_alive(from), "route from dead node {from}");
+        let mut cur = from;
+        let mut hops = 0u32;
+        let mut timeouts = 0u32;
+
+        let mut level = 0u32;
+        while level < LEVELS {
+            if hops + timeouts > self.cfg.max_route_hops {
+                return None;
+            }
+            let st = &self.peers[&cur.0];
+            let want = key.digit(level);
+            let mut advanced = false;
+            for k in 0..16u8 {
+                let d = (want + k) % 16;
+                let entry = st.maps.get(level as usize).and_then(|row| row[d as usize]);
+                match entry {
+                    Some(n) if self.is_alive(n) => {
+                        if n != cur {
+                            cur = n;
+                            hops += 1;
+                        }
+                        level += 1;
+                        advanced = true;
+                        break;
+                    }
+                    Some(_) => timeouts += 1, // dead entry probed
+                    None => {}
+                }
+            }
+            if !advanced {
+                // Entire row empty (stale maps after mass failure): we are
+                // the best node we can prove; deliver here.
+                break;
+            }
+        }
+        Some(Route { owner: cur, hops, timeouts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_sim::rng::{rng_for, streams};
+
+    fn network(n: usize, seed: u64) -> (TapestryNetwork, Vec<TapestryId>) {
+        let mut rng = rng_for(seed, streams::NODE_IDS);
+        let mut net = TapestryNetwork::default();
+        let mut ids = Vec::new();
+        while ids.len() < n {
+            let id = TapestryId(rng.gen());
+            if !net.is_alive(id) {
+                net.join(id);
+                ids.push(id);
+            }
+        }
+        net.stabilize();
+        (net, ids)
+    }
+
+    #[test]
+    fn root_is_unique_and_live() {
+        let (net, _) = network(64, 1);
+        let mut rng = rng_for(2, 0);
+        for _ in 0..200 {
+            let key = TapestryId(rng.gen());
+            let root = net.root_of(key).unwrap();
+            assert!(net.is_alive(root));
+        }
+    }
+
+    #[test]
+    fn key_owned_by_exact_match_if_present() {
+        let mut net = TapestryNetwork::default();
+        let id = TapestryId(0xDEAD_BEEF_0000_0001);
+        net.join(id);
+        net.join(TapestryId(0x1111_0000_0000_0000));
+        net.stabilize();
+        assert_eq!(net.root_of(id), Some(id));
+    }
+
+    #[test]
+    fn routing_converges_to_the_root_from_anywhere() {
+        let (net, ids) = network(128, 3);
+        let mut rng = rng_for(4, 0);
+        for _ in 0..100 {
+            let key = TapestryId(rng.gen());
+            let root = net.root_of(key).unwrap();
+            for &from in ids.iter().step_by(17) {
+                let res = net.route(from, key).expect("routes");
+                assert_eq!(res.owner, root, "from {from}, key {key}");
+                assert_eq!(res.timeouts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hops_bounded_by_levels_and_usually_logarithmic() {
+        let (net, ids) = network(1024, 5);
+        let mut rng = rng_for(6, 0);
+        let mut total = 0u64;
+        let trials = 300;
+        for _ in 0..trials {
+            let key = TapestryId(rng.gen());
+            let from = ids[rng.gen_range(0..ids.len())];
+            let res = net.route(from, key).unwrap();
+            assert!(res.hops <= LEVELS);
+            total += u64::from(res.hops);
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            mean <= (1024f64).log2() / 4.0 + 2.5,
+            "mean hops {mean:.2} above log16(N) + slack"
+        );
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut net = TapestryNetwork::default();
+        let id = TapestryId(42);
+        net.join(id);
+        assert_eq!(net.root_of(TapestryId(u64::MAX)), Some(id));
+        let res = net.route(id, TapestryId(7)).unwrap();
+        assert_eq!(res.owner, id);
+        assert_eq!(res.hops, 0);
+    }
+
+    #[test]
+    fn failures_reroute_to_live_nodes() {
+        let (mut net, ids) = network(256, 7);
+        for &id in ids.iter().take(60) {
+            net.fail(id);
+        }
+        // Without stabilization: still delivers to a live node.
+        let alive = net.alive_ids();
+        let mut rng = rng_for(8, 0);
+        for _ in 0..100 {
+            let key = TapestryId(rng.gen());
+            let from = alive[rng.gen_range(0..alive.len())];
+            let res = net.route(from, key).expect("routes around failures");
+            assert!(net.is_alive(res.owner));
+        }
+        // After stabilization: exact root again.
+        net.stabilize();
+        for _ in 0..100 {
+            let key = TapestryId(rng.gen());
+            let from = alive[rng.gen_range(0..alive.len())];
+            let res = net.route(from, key).unwrap();
+            assert_eq!(Some(res.owner), net.root_of(key));
+            assert_eq!(res.timeouts, 0);
+        }
+    }
+
+    #[test]
+    fn graceful_leave_repairs_neighbourhood() {
+        let (mut net, ids) = network(64, 9);
+        let victim = ids[5];
+        net.leave(victim);
+        let mut rng = rng_for(10, 0);
+        for _ in 0..50 {
+            let key = TapestryId(victim.0 ^ rng.gen_range(0..1_000_000));
+            let from = net.alive_ids()[0];
+            let res = net.route(from, key).expect("routes");
+            assert!(net.is_alive(res.owner));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate join")]
+    fn duplicate_join_panics() {
+        let mut net = TapestryNetwork::default();
+        net.join(TapestryId(1));
+        net.join(TapestryId(1));
+    }
+
+    #[test]
+    fn surrogate_digit_wraps() {
+        // Only nodes with top digit 0x2 exist; a key with top digit 0xF
+        // must wrap around to 0x2.
+        let mut net = TapestryNetwork::default();
+        let a = TapestryId(0x2000_0000_0000_0000);
+        let b = TapestryId(0x2FFF_0000_0000_0000);
+        net.join(a);
+        net.join(b);
+        net.stabilize();
+        let root = net.root_of(TapestryId(0xF000_0000_0000_0000)).unwrap();
+        assert!(root == a || root == b);
+        let via_route = net.route(a, TapestryId(0xF000_0000_0000_0000)).unwrap();
+        assert_eq!(via_route.owner, root);
+    }
+}

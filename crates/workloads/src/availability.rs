@@ -1,0 +1,178 @@
+//! Diurnal desktop availability traces.
+//!
+//! Desktop grids harvest *idle* machines: a volunteer's desktop is
+//! available at night and vanishes when its user sits down in the morning
+//! (the observation behind WaveGrid's timezone-aware overlay, discussed in
+//! the paper's related work). This module generates deterministic
+//! availability schedules for the engine: each node gets a timezone offset
+//! and a work-day window, leaves (gracefully — the client announces it)
+//! every morning, and rejoins every evening, with per-day jitter.
+
+use dgrid_core::{AvailabilityEvent, GridNodeId};
+use dgrid_sim::rng::{rng_for, sample_truncated_normal, SimRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the diurnal availability model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DiurnalConfig {
+    /// Seed for the schedule randomness.
+    pub seed: u64,
+    /// Length of one day, seconds (86 400 for realism; shrink for tests).
+    pub day_secs: f64,
+    /// How many days of schedule to generate.
+    pub days: u32,
+    /// Fraction of each day the machine's user occupies it (it is *away*
+    /// from the grid for this fraction, e.g. 0.4 ≈ a 9-to-6 work day).
+    pub busy_fraction: f64,
+    /// Number of distinct timezone groups the nodes are spread over
+    /// (1 = everyone works the same hours; 24 = global volunteers).
+    pub timezones: u32,
+    /// Standard deviation of the per-day jitter on leave/return times,
+    /// as a fraction of the day (humans are not cron jobs).
+    pub jitter_fraction: f64,
+    /// Fraction of nodes that are dedicated (never leave): lab machines.
+    pub dedicated_fraction: f64,
+}
+
+impl Default for DiurnalConfig {
+    fn default() -> Self {
+        DiurnalConfig {
+            seed: 0,
+            day_secs: 86_400.0,
+            days: 3,
+            busy_fraction: 0.4,
+            timezones: 4,
+            jitter_fraction: 0.02,
+            dedicated_fraction: 0.2,
+        }
+    }
+}
+
+/// Generate the availability trace for `nodes` nodes.
+///
+/// Nodes start the simulation *online* (midnight, local time of timezone
+/// group 0); each non-dedicated node then leaves when its local work day
+/// starts and rejoins when it ends, every day.
+pub fn diurnal_schedule(nodes: usize, cfg: &DiurnalConfig) -> Vec<AvailabilityEvent> {
+    assert!(nodes > 0);
+    assert!(cfg.day_secs > 0.0 && cfg.days > 0);
+    assert!((0.0..1.0).contains(&cfg.busy_fraction));
+    assert!((0.0..=1.0).contains(&cfg.dedicated_fraction));
+    assert!(cfg.timezones >= 1);
+
+    let mut rng: SimRng = rng_for(cfg.seed, 0xD1A7);
+    let mut events = Vec::new();
+    let busy_len = cfg.day_secs * cfg.busy_fraction;
+
+    for n in 0..nodes {
+        if rng.gen_bool(cfg.dedicated_fraction) {
+            continue; // dedicated machine: always on
+        }
+        let node = GridNodeId(n as u32);
+        // The node's local work day starts at a timezone-dependent offset;
+        // 09:00 local in timezone group z.
+        let tz = rng.gen_range(0..cfg.timezones);
+        let workday_start =
+            cfg.day_secs * (0.375 + f64::from(tz) / f64::from(cfg.timezones)) % cfg.day_secs;
+        for day in 0..cfg.days {
+            let base = f64::from(day) * cfg.day_secs + workday_start;
+            let jitter = cfg.day_secs * cfg.jitter_fraction;
+            let leave = sample_truncated_normal(&mut rng, base, jitter, 0.0);
+            let back = sample_truncated_normal(&mut rng, base + busy_len, jitter, leave + 60.0);
+            events.push(AvailabilityEvent { at_secs: leave, node, up: false });
+            events.push(AvailabilityEvent { at_secs: back, node, up: true });
+        }
+    }
+    events.sort_by(|a, b| a.at_secs.partial_cmp(&b.at_secs).unwrap());
+    events
+}
+
+/// Fraction of `nodes` online at time `t` under `schedule` (all nodes
+/// start online). Used by tests and the overnight example's reporting.
+pub fn online_fraction(nodes: usize, schedule: &[AvailabilityEvent], t_secs: f64) -> f64 {
+    let mut up = vec![true; nodes];
+    for ev in schedule.iter().take_while(|e| e.at_secs <= t_secs) {
+        up[ev.node.0 as usize] = ev.up;
+    }
+    up.iter().filter(|&&u| u).count() as f64 / nodes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DiurnalConfig {
+        DiurnalConfig {
+            seed: 7,
+            day_secs: 1000.0,
+            days: 2,
+            busy_fraction: 0.4,
+            timezones: 1,
+            jitter_fraction: 0.01,
+            dedicated_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_alternates_per_node() {
+        let events = diurnal_schedule(20, &cfg());
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].at_secs <= w[1].at_secs);
+        }
+        // Per node: down, up, down, up ... in time order.
+        for n in 0..20u32 {
+            let mine: Vec<bool> = events
+                .iter()
+                .filter(|e| e.node == GridNodeId(n))
+                .map(|e| e.up)
+                .collect();
+            assert_eq!(mine.len(), 4, "2 days × (leave + return)");
+            assert_eq!(mine, vec![false, true, false, true]);
+        }
+    }
+
+    #[test]
+    fn single_timezone_dips_during_the_work_day() {
+        let events = diurnal_schedule(200, &cfg());
+        // Midnight: everyone up. Mid-work-day (t = 0.55 × day): almost
+        // everyone away. Evening (t = 0.9 × day): back.
+        assert_eq!(online_fraction(200, &events, 0.0), 1.0);
+        let midday = online_fraction(200, &events, 550.0);
+        assert!(midday < 0.1, "work-day availability {midday}");
+        let evening = online_fraction(200, &events, 900.0);
+        assert!(evening > 0.9, "evening availability {evening}");
+    }
+
+    #[test]
+    fn timezones_smooth_the_dip() {
+        let spread = DiurnalConfig { timezones: 8, ..cfg() };
+        let events = diurnal_schedule(400, &spread);
+        // With 8 timezones and a 40% work day, at any instant roughly
+        // 40% of nodes are away — never everyone at once.
+        let mut min_frac: f64 = 1.0;
+        for t in (0..1000).step_by(50) {
+            min_frac = min_frac.min(online_fraction(400, &events, t as f64));
+        }
+        assert!(min_frac > 0.35, "worst-case availability {min_frac}");
+    }
+
+    #[test]
+    fn dedicated_nodes_never_leave() {
+        let all_dedicated = DiurnalConfig { dedicated_fraction: 1.0, ..cfg() };
+        assert!(diurnal_schedule(50, &all_dedicated).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = diurnal_schedule(30, &cfg());
+        let b = diurnal_schedule(30, &cfg());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_secs, y.at_secs);
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.up, y.up);
+        }
+    }
+}

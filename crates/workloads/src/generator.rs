@@ -1,0 +1,506 @@
+//! The configurable workload generator.
+
+use dgrid_core::JobSubmission;
+use dgrid_resources::{
+    Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsRequirement, OsType,
+    ResourceKind,
+};
+use dgrid_sim::rng::{rng_for, sample_exp, streams, SimRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How node capabilities are distributed over the population.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodePopulation {
+    /// A small number of equivalence classes; all nodes in a class are
+    /// identical (Condor-style department clusters).
+    Clustered {
+        /// Number of equivalence classes.
+        classes: usize,
+    },
+    /// Every node draws independent random capabilities (Internet-wide
+    /// volunteer population).
+    Mixed,
+}
+
+/// How job constraints are distributed over the job stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobMix {
+    /// A small number of job equivalence classes with identical
+    /// requirements (BOINC-style canned applications).
+    Clustered {
+        /// Number of equivalence classes.
+        classes: usize,
+    },
+    /// Every job draws independent random constraints.
+    Mixed,
+}
+
+/// How job submissions are distributed over clients.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ClientDemand {
+    /// Jobs attributed round-robin: every client submits the same number
+    /// (the paper's base model of "many independent users").
+    Uniform,
+    /// Section 5's fairness scenario: client 0 is a parameter-sweep user
+    /// submitting `heavy_share` of all jobs "at once", the rest are users
+    /// "with smaller resource requirements" sharing the remainder.
+    Skewed {
+        /// Fraction of all jobs submitted by the heavy client (0..1).
+        heavy_share: f64,
+    },
+}
+
+/// Distribution of job running times.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RuntimeDistribution {
+    /// Exponential around the configured mean (the paper's evaluation,
+    /// memoryless simulation chunks).
+    Exponential,
+    /// Every job takes exactly the mean (BOINC-style fixed work units).
+    Fixed,
+    /// Bounded Pareto with the given shape: a heavy tail of hour-scale
+    /// stragglers among second-scale jobs, the classic desktop-grid
+    /// stressor. The scale is solved so the distribution's mean equals the
+    /// configured mean; samples are capped at 100× the mean.
+    Pareto {
+        /// Tail index (must exceed 1 so the mean exists; 1.5–2.5 typical).
+        alpha: f64,
+    },
+}
+
+impl RuntimeDistribution {
+    fn sample(self, mean: f64, rng: &mut SimRng) -> f64 {
+        match self {
+            RuntimeDistribution::Exponential => sample_exp(rng, mean),
+            RuntimeDistribution::Fixed => mean,
+            RuntimeDistribution::Pareto { alpha } => {
+                assert!(alpha > 1.0, "Pareto mean needs alpha > 1, got {alpha}");
+                // Unbounded Pareto mean = xm * alpha / (alpha - 1); solve xm.
+                let xm = mean * (alpha - 1.0) / alpha;
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                (xm / u.powf(1.0 / alpha)).min(100.0 * mean)
+            }
+        }
+    }
+}
+
+/// Per-dimension constraint probability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintLevel {
+    /// Average 1.2 of 3 dimensions constrained (p = 0.4).
+    Light,
+    /// Average 2.4 of 3 dimensions constrained (p = 0.8).
+    Heavy,
+}
+
+impl ConstraintLevel {
+    /// The per-dimension constraint probability.
+    pub fn probability(self) -> f64 {
+        match self {
+            ConstraintLevel::Light => 0.4,
+            ConstraintLevel::Heavy => 0.8,
+        }
+    }
+
+    /// Probability a job also restricts the operating system.
+    pub fn os_probability(self) -> f64 {
+        match self {
+            ConstraintLevel::Light => 0.1,
+            ConstraintLevel::Heavy => 0.2,
+        }
+    }
+}
+
+/// Full description of one workload.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Root seed for all generator randomness.
+    pub seed: u64,
+    /// Number of nodes (the paper's runs use 1000).
+    pub nodes: usize,
+    /// Number of jobs (the paper's runs use 5000).
+    pub jobs: usize,
+    /// Node capability distribution.
+    pub node_population: NodePopulation,
+    /// Job constraint distribution.
+    pub job_mix: JobMix,
+    /// Constraint intensity.
+    pub constraint_level: ConstraintLevel,
+    /// Mean job runtime, seconds (exponentially distributed).
+    pub mean_runtime_secs: f64,
+    /// Mean inter-arrival time, seconds (Poisson arrivals).
+    pub mean_interarrival_secs: f64,
+    /// Number of submitting clients.
+    pub clients: usize,
+    /// How demand is spread over the clients.
+    pub client_demand: ClientDemand,
+    /// Distribution of job runtimes around the mean.
+    pub runtime_distribution: RuntimeDistribution,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0,
+            nodes: 1000,
+            jobs: 5000,
+            node_population: NodePopulation::Mixed,
+            job_mix: JobMix::Mixed,
+            constraint_level: ConstraintLevel::Light,
+            mean_runtime_secs: 100.0,
+            mean_interarrival_secs: 0.1,
+            clients: 16,
+            client_demand: ClientDemand::Uniform,
+            runtime_distribution: RuntimeDistribution::Exponential,
+        }
+    }
+}
+
+/// A generated workload, ready to hand to the engine.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Node population.
+    pub nodes: Vec<NodeProfile>,
+    /// Job stream in arrival order.
+    pub submissions: Vec<JobSubmission>,
+}
+
+impl WorkloadConfig {
+    /// Generate the workload deterministically from the config.
+    pub fn generate(&self) -> Workload {
+        assert!(self.nodes > 0 && self.jobs > 0 && self.clients > 0);
+        assert!(self.mean_runtime_secs > 0.0 && self.mean_interarrival_secs > 0.0);
+
+        let mut cap_rng = rng_for(self.seed, streams::NODE_CAPS);
+        let nodes = self.generate_nodes(&mut cap_rng);
+
+        let mut job_rng = rng_for(self.seed, streams::JOB_CONSTRAINTS);
+        let mut arr_rng = rng_for(self.seed, streams::ARRIVALS);
+        let mut run_rng = rng_for(self.seed, streams::RUNTIMES);
+        let submissions = self.generate_jobs(&nodes, &mut job_rng, &mut arr_rng, &mut run_rng);
+
+        Workload { nodes, submissions }
+    }
+
+    fn generate_nodes(&self, rng: &mut SimRng) -> Vec<NodeProfile> {
+        match self.node_population {
+            NodePopulation::Mixed => (0..self.nodes).map(|_| random_node(rng)).collect(),
+            NodePopulation::Clustered { classes } => {
+                assert!(classes >= 1, "at least one node class");
+                let templates: Vec<NodeProfile> =
+                    (0..classes).map(|_| random_node(rng)).collect();
+                (0..self.nodes)
+                    .map(|i| templates[i % classes])
+                    .collect()
+            }
+        }
+    }
+
+    fn generate_jobs(
+        &self,
+        nodes: &[NodeProfile],
+        job_rng: &mut SimRng,
+        arr_rng: &mut SimRng,
+        run_rng: &mut SimRng,
+    ) -> Vec<JobSubmission> {
+        // Requirement templates: per class for clustered, per job for mixed.
+        // Clustered job classes pin their constraints to the anchor class's
+        // exact capabilities (equivalence classes on both sides, as in the
+        // paper: BOINC-style canned applications sized to known machine
+        // classes); mixed jobs constrain to a random fraction of a random
+        // anchor.
+        let class_templates: Vec<JobRequirements> = match self.job_mix {
+            JobMix::Clustered { classes } => {
+                assert!(classes >= 1, "at least one job class");
+                (0..classes)
+                    .map(|_| random_requirements(nodes, self.constraint_level, true, job_rng))
+                    .collect()
+            }
+            JobMix::Mixed => Vec::new(),
+        };
+
+        let mut t = 0.0;
+        (0..self.jobs)
+            .map(|i| {
+                t += sample_exp(arr_rng, self.mean_interarrival_secs);
+                let requirements = match self.job_mix {
+                    JobMix::Clustered { classes } => class_templates[i % classes],
+                    JobMix::Mixed => {
+                        random_requirements(nodes, self.constraint_level, false, job_rng)
+                    }
+                };
+                let runtime = self
+                    .runtime_distribution
+                    .sample(self.mean_runtime_secs, run_rng)
+                    .max(1.0);
+                let client = match self.client_demand {
+                    ClientDemand::Uniform => ClientId((i % self.clients) as u32),
+                    ClientDemand::Skewed { heavy_share } => {
+                        assert!((0.0..1.0).contains(&heavy_share), "invalid heavy_share");
+                        if job_rng.gen_bool(heavy_share) || self.clients == 1 {
+                            ClientId(0)
+                        } else {
+                            ClientId((1 + i % (self.clients - 1)) as u32)
+                        }
+                    }
+                };
+                let mut profile = JobProfile::new(JobId(i as u64), client, requirements, runtime);
+                // KB-scale I/O, as the paper's astronomy jobs have.
+                profile.input_bytes = job_rng.gen_range(512..8 * 1024);
+                profile.output_bytes = job_rng.gen_range(512..8 * 1024);
+                JobSubmission {
+                    profile,
+                    arrival_secs: t,
+                    actual_runtime_secs: None,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One random 2007-era desktop: 0.5–4 GHz CPU, power-of-two memory between
+/// 0.25 and 8 GiB, 10–500 GiB disk, OS drawn from a desktop-share-like mix.
+fn random_node(rng: &mut SimRng) -> NodeProfile {
+    let cpu = rng.gen_range(0.5..4.0);
+    let mem_exp: i32 = rng.gen_range(-2..=3); // 0.25 .. 8 GiB
+    let mem = 2f64.powi(mem_exp);
+    let disk = rng.gen_range(10.0..500.0);
+    let os = match rng.gen_range(0..100) {
+        0..=49 => OsType::Linux,
+        50..=79 => OsType::Windows,
+        80..=93 => OsType::MacOs,
+        _ => OsType::Solaris,
+    };
+    NodeProfile::new(Capabilities::new(cpu, mem, disk, os))
+}
+
+/// Random requirements anchored at a random node so the job is satisfiable:
+/// each dimension is constrained with the level's probability, to the
+/// anchor's exact capability (`exact`) or a random fraction (30–100%) of it.
+fn random_requirements(
+    nodes: &[NodeProfile],
+    level: ConstraintLevel,
+    exact: bool,
+    rng: &mut SimRng,
+) -> JobRequirements {
+    let anchor = nodes[rng.gen_range(0..nodes.len())].capabilities;
+    let p = level.probability();
+    let mut req = JobRequirements::unconstrained();
+    for kind in ResourceKind::ALL {
+        if rng.gen_bool(p) {
+            let frac = if exact { 1.0 } else { rng.gen_range(0.3..=1.0) };
+            let min = anchor.get(kind) * frac;
+            req = req.with_min(kind, min);
+        }
+    }
+    if rng.gen_bool(level.os_probability()) {
+        req = req.with_os(OsRequirement::only(anchor.os));
+    }
+    req
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            seed: 1,
+            nodes: 200,
+            jobs: 2000,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = cfg().generate();
+        let b = cfg().generate();
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.capabilities, y.capabilities);
+        }
+        for (x, y) in a.submissions.iter().zip(&b.submissions) {
+            assert_eq!(x.profile, y.profile);
+            assert_eq!(x.arrival_secs, y.arrival_secs);
+        }
+    }
+
+    #[test]
+    fn light_constraint_count_matches_paper() {
+        let w = WorkloadConfig {
+            constraint_level: ConstraintLevel::Light,
+            ..cfg()
+        }
+        .generate();
+        let avg: f64 = w
+            .submissions
+            .iter()
+            .map(|s| s.profile.requirements.num_constraints() as f64)
+            .sum::<f64>()
+            / w.submissions.len() as f64;
+        assert!((avg - 1.2).abs() < 0.1, "light avg {avg} should be ≈ 1.2");
+    }
+
+    #[test]
+    fn heavy_constraint_count_matches_paper() {
+        let w = WorkloadConfig {
+            constraint_level: ConstraintLevel::Heavy,
+            ..cfg()
+        }
+        .generate();
+        let avg: f64 = w
+            .submissions
+            .iter()
+            .map(|s| s.profile.requirements.num_constraints() as f64)
+            .sum::<f64>()
+            / w.submissions.len() as f64;
+        assert!((avg - 2.4).abs() < 0.1, "heavy avg {avg} should be ≈ 2.4");
+    }
+
+    #[test]
+    fn every_job_is_satisfiable() {
+        for (pop, mix) in [
+            (NodePopulation::Mixed, JobMix::Mixed),
+            (NodePopulation::Clustered { classes: 5 }, JobMix::Mixed),
+            (NodePopulation::Mixed, JobMix::Clustered { classes: 5 }),
+            (
+                NodePopulation::Clustered { classes: 5 },
+                JobMix::Clustered { classes: 5 },
+            ),
+        ] {
+            let w = WorkloadConfig {
+                node_population: pop,
+                job_mix: mix,
+                constraint_level: ConstraintLevel::Heavy,
+                ..cfg()
+            }
+            .generate();
+            for s in &w.submissions {
+                assert!(
+                    w.nodes
+                        .iter()
+                        .any(|n| s.profile.requirements.satisfied_by(&n.capabilities)),
+                    "unsatisfiable job {:?} under {pop:?}/{mix:?}",
+                    s.profile.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_nodes_have_few_distinct_capability_vectors() {
+        let w = WorkloadConfig {
+            node_population: NodePopulation::Clustered { classes: 5 },
+            ..cfg()
+        }
+        .generate();
+        let mut distinct: Vec<_> = w.nodes.iter().map(|n| format!("{:?}", n.capabilities)).collect();
+        distinct.sort();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn clustered_jobs_have_few_distinct_requirement_sets() {
+        let w = WorkloadConfig {
+            job_mix: JobMix::Clustered { classes: 4 },
+            ..cfg()
+        }
+        .generate();
+        let mut distinct: Vec<_> = w
+            .submissions
+            .iter()
+            .map(|s| format!("{:?}", s.profile.requirements))
+            .collect();
+        distinct.sort();
+        distinct.dedup();
+        // At most `classes` distinct sets (two classes can collide when
+        // neither draws any constraint).
+        assert!((1..=4).contains(&distinct.len()), "{} sets", distinct.len());
+    }
+
+    #[test]
+    fn arrivals_are_increasing_with_poisson_mean() {
+        let w = cfg().generate();
+        let mut prev = 0.0;
+        for s in &w.submissions {
+            assert!(s.arrival_secs >= prev);
+            prev = s.arrival_secs;
+        }
+        // Mean inter-arrival ≈ 0.1 s over 2000 jobs ⇒ last arrival ≈ 200 s.
+        let last = w.submissions.last().unwrap().arrival_secs;
+        assert!((100.0..400.0).contains(&last), "last arrival {last}");
+    }
+
+    #[test]
+    fn runtimes_have_requested_mean() {
+        let w = WorkloadConfig { jobs: 5000, ..cfg() }.generate();
+        let mean: f64 = w
+            .submissions
+            .iter()
+            .map(|s| s.profile.run_time_secs)
+            .sum::<f64>()
+            / w.submissions.len() as f64;
+        assert!((90.0..115.0).contains(&mean), "mean runtime {mean}");
+    }
+
+    #[test]
+    fn pareto_runtimes_have_requested_mean_and_heavy_tail() {
+        let w = WorkloadConfig {
+            jobs: 20_000,
+            runtime_distribution: RuntimeDistribution::Pareto { alpha: 1.8 },
+            ..cfg()
+        }
+        .generate();
+        let rts: Vec<f64> = w.submissions.iter().map(|s| s.profile.run_time_secs).collect();
+        let mean = rts.iter().sum::<f64>() / rts.len() as f64;
+        assert!((80.0..130.0).contains(&mean), "Pareto mean {mean:.1}");
+        let max = rts.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 10.0 * mean, "heavy tail must produce stragglers (max {max:.0})");
+        // Median far below the mean is the heavy-tail signature.
+        let mut sorted = rts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(median < 0.7 * mean, "median {median:.1} vs mean {mean:.1}");
+    }
+
+    #[test]
+    fn fixed_runtimes_are_exact() {
+        let w = WorkloadConfig {
+            jobs: 50,
+            runtime_distribution: RuntimeDistribution::Fixed,
+            ..cfg()
+        }
+        .generate();
+        for s in &w.submissions {
+            assert_eq!(s.profile.run_time_secs, 100.0);
+        }
+    }
+
+    #[test]
+    fn skewed_demand_concentrates_on_client_zero() {
+        let w = WorkloadConfig {
+            jobs: 2000,
+            client_demand: ClientDemand::Skewed { heavy_share: 0.8 },
+            ..cfg()
+        }
+        .generate();
+        let heavy = w
+            .submissions
+            .iter()
+            .filter(|s| s.profile.client == dgrid_resources::ClientId(0))
+            .count();
+        let share = heavy as f64 / w.submissions.len() as f64;
+        assert!((0.75..0.85).contains(&share), "heavy share {share:.2}");
+    }
+
+    #[test]
+    fn clients_are_distributed() {
+        let w = cfg().generate();
+        let distinct: std::collections::HashSet<_> =
+            w.submissions.iter().map(|s| s.profile.client).collect();
+        assert_eq!(distinct.len(), cfg().clients);
+    }
+}

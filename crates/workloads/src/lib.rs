@@ -1,0 +1,37 @@
+//! # dgrid-workloads — evaluation workload generators
+//!
+//! Section 3.3 defines the paper's experiment grid over two axes:
+//!
+//! * **clustered vs. mixed** — "The former divides all nodes and jobs into a
+//!   small number of equivalence classes ..., where all nodes or jobs in a
+//!   given equivalence class are identical. The latter assigns node
+//!   capabilities and job constraints randomly."
+//! * **lightly vs. heavily constrained** — "each type of resource has a
+//!   fixed independent probability of being constrained: lightly-constrained
+//!   jobs have an average of 1.2 constraints (out of the 3) and
+//!   heavily-constrained jobs have an average of 2.4."
+//!
+//! Jobs arrive as a Poisson process ("inter-arrival rate of 0.1 seconds")
+//! from multiple clients, with exponentially distributed runtimes around
+//! 100 s (the figure the companion GRID'06 study uses, matching "average
+//! running time of about \[100\] seconds" in this paper's OCR-damaged text).
+//!
+//! Constraint values are *anchored*: each job (or job class) picks a random
+//! node (or node class) and derives its minimums as a fraction of that
+//! anchor's capabilities, so every generated job is satisfiable by at least
+//! one node in the system — matchmaking difficulty comes from scarcity and
+//! load, not from impossible requests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod availability;
+mod generator;
+mod presets;
+
+pub use availability::{diurnal_schedule, online_fraction, DiurnalConfig};
+pub use generator::{
+    ClientDemand, ConstraintLevel, JobMix, NodePopulation, RuntimeDistribution, Workload,
+    WorkloadConfig,
+};
+pub use presets::{astronomy_sweep, paper_scenario, PaperScenario};

@@ -1,0 +1,115 @@
+//! Property tests over the workload generator's whole configuration space:
+//! every generated job must be satisfiable, counts must match, and the
+//! statistical targets must hold for any seed.
+
+use dgrid_workloads::{ConstraintLevel, JobMix, NodePopulation, WorkloadConfig};
+use proptest::prelude::*;
+
+fn arb_population() -> impl Strategy<Value = NodePopulation> {
+    prop_oneof![
+        Just(NodePopulation::Mixed),
+        (1usize..10).prop_map(|classes| NodePopulation::Clustered { classes }),
+    ]
+}
+
+fn arb_mix() -> impl Strategy<Value = JobMix> {
+    prop_oneof![
+        Just(JobMix::Mixed),
+        (1usize..10).prop_map(|classes| JobMix::Clustered { classes }),
+    ]
+}
+
+fn arb_level() -> impl Strategy<Value = ConstraintLevel> {
+    prop_oneof![Just(ConstraintLevel::Light), Just(ConstraintLevel::Heavy)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_configuration_generates_satisfiable_jobs(
+        seed in any::<u64>(),
+        nodes in 2usize..150,
+        jobs in 1usize..200,
+        population in arb_population(),
+        mix in arb_mix(),
+        level in arb_level(),
+    ) {
+        let cfg = WorkloadConfig {
+            seed,
+            nodes,
+            jobs,
+            node_population: population,
+            job_mix: mix,
+            constraint_level: level,
+            ..WorkloadConfig::default()
+        };
+        let w = cfg.generate();
+        prop_assert_eq!(w.nodes.len(), nodes);
+        prop_assert_eq!(w.submissions.len(), jobs);
+
+        let mut prev_arrival = 0.0f64;
+        for (i, s) in w.submissions.iter().enumerate() {
+            prop_assert_eq!(s.profile.id.0, i as u64, "ids are dense and ordered");
+            prop_assert!(s.arrival_secs >= prev_arrival, "arrivals are monotone");
+            prev_arrival = s.arrival_secs;
+            prop_assert!(s.profile.run_time_secs >= 1.0);
+            prop_assert!(
+                w.nodes.iter().any(|n| s.profile.requirements.satisfied_by(&n.capabilities)),
+                "job {i} unsatisfiable"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_classes_never_exceed_requested(
+        seed in any::<u64>(),
+        classes in 1usize..8,
+    ) {
+        let w = WorkloadConfig {
+            seed,
+            nodes: 100,
+            jobs: 300,
+            node_population: NodePopulation::Clustered { classes },
+            job_mix: JobMix::Clustered { classes },
+            ..WorkloadConfig::default()
+        }
+        .generate();
+        let node_classes: std::collections::HashSet<String> = w
+            .nodes
+            .iter()
+            .map(|n| format!("{:?}", n.capabilities))
+            .collect();
+        prop_assert!(node_classes.len() <= classes);
+        let job_classes: std::collections::HashSet<String> = w
+            .submissions
+            .iter()
+            .map(|s| format!("{:?}", s.profile.requirements))
+            .collect();
+        prop_assert!(job_classes.len() <= classes);
+    }
+
+    #[test]
+    fn constraint_probability_targets_hold(seed in any::<u64>()) {
+        for (level, target) in [(ConstraintLevel::Light, 1.2), (ConstraintLevel::Heavy, 2.4)] {
+            let w = WorkloadConfig {
+                seed,
+                nodes: 100,
+                jobs: 3000,
+                constraint_level: level,
+                ..WorkloadConfig::default()
+            }
+            .generate();
+            let avg: f64 = w
+                .submissions
+                .iter()
+                .map(|s| s.profile.requirements.num_constraints() as f64)
+                .sum::<f64>()
+                / w.submissions.len() as f64;
+            prop_assert!(
+                (avg - target).abs() < 0.15,
+                "{level:?}: avg constraints {avg:.2}, target {target}"
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! An astronomy parameter sweep — the paper's motivating application class
+//! (Section 1: N-body habitable-planet runs, asteroid-binary gravity
+//! simulations, Deep Impact data analysis): one scientist submits a burst
+//! of hundreds of independent, compute-heavy, KB-I/O simulation jobs and
+//! wants them spread across everyone's idle desktops.
+//!
+//! Compares how the decentralized matchmakers handle the burst against the
+//! omniscient centralized target.
+//!
+//! ```text
+//! cargo run --release --example astronomy_sweep
+//! ```
+
+use dgrid::core::ChurnConfig;
+use dgrid::harness::{paper_engine_config, run_workload, Algorithm};
+use dgrid::workloads::astronomy_sweep;
+
+fn main() {
+    let nodes = 128;
+    let jobs = 600;
+    let mean_runtime = 400.0; // one orbit-integration chunk ≈ 6–7 min
+
+    println!("astronomy sweep: {jobs} simulation jobs over {nodes} desktops");
+    println!("(each job: ~{mean_runtime:.0}s compute, 2 KB in / 4 KB out, needs ≥1 GHz, ≥1 GiB, Unix)");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "algorithm", "mean wait", "p99 wait", "makespan", "hops/job", "fairness"
+    );
+
+    for alg in [Algorithm::RnTree, Algorithm::Can, Algorithm::CanPush, Algorithm::Central] {
+        let workload = astronomy_sweep(nodes, jobs, mean_runtime, 2026);
+        let mut report = run_workload(alg, &workload, paper_engine_config(2026), ChurnConfig::none());
+        assert_eq!(
+            report.jobs_completed, jobs as u64,
+            "{}: the sweep must finish", alg.label()
+        );
+        let p99 = report.wait_time.percentile(99.0).unwrap_or(0.0);
+        println!(
+            "{:<10} {:>9.1}s {:>9.1}s {:>11.1}s {:>10.1} {:>10.3}",
+            alg.label(),
+            report.mean_wait(),
+            p99,
+            report.makespan_secs,
+            report.match_hops.mean() + report.owner_hops.mean(),
+            report.load_fairness(),
+        );
+    }
+
+    println!();
+    println!("What to look for: every matchmaker places jobs within a few overlay hops,");
+    println!("but a burst of *identical* jobs is exactly the paper's hard case for basic");
+    println!("CAN — all 600 jobs map to the same requirement corner and pile onto the");
+    println!("few nodes owning it. Load pushing (the paper's improved scheme) recovers");
+    println!("most of the gap; the RN-Tree's extended search tracks the centralized");
+    println!("target closely. No central server is involved in either P2P scheme.");
+}

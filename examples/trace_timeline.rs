@@ -1,0 +1,111 @@
+//! Lifecycle tracing demo: attach an observer and render a per-job
+//! timeline of the Figure-1 protocol, plus a wait-time histogram.
+//!
+//! ```text
+//! cargo run --release --example trace_timeline
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dgrid::core::{
+    ChurnConfig, Engine, EngineConfig, JobSubmission, Observer, RnTreeMatchmaker, TraceEvent,
+    VecObserver,
+};
+use dgrid::resources::{
+    Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType,
+};
+use dgrid::sim::hist::LogHistogram;
+use dgrid::sim::SimTime;
+
+struct Shared(Rc<RefCell<VecObserver>>);
+
+impl Observer for Shared {
+    fn on_event(&mut self, at: SimTime, event: TraceEvent) {
+        self.0.borrow_mut().on_event(at, event);
+    }
+}
+
+fn main() {
+    let nodes: Vec<NodeProfile> = (0..12)
+        .map(|i| {
+            NodeProfile::new(Capabilities::new(
+                1.0 + (i % 4) as f64,
+                2.0 + (i % 3) as f64 * 2.0,
+                100.0,
+                OsType::Linux,
+            ))
+        })
+        .collect();
+    let jobs: Vec<JobSubmission> = (0..16)
+        .map(|i| JobSubmission {
+            profile: JobProfile::new(
+                JobId(i),
+                ClientId((i % 3) as u32),
+                JobRequirements::unconstrained(),
+                20.0 + (i % 5) as f64 * 15.0,
+            ),
+            arrival_secs: i as f64 * 4.0,
+            actual_runtime_secs: None,
+        })
+        .collect();
+
+    let trace = Rc::new(RefCell::new(VecObserver::default()));
+    let churn = ChurnConfig {
+        mttf_secs: Some(400.0),
+        rejoin_after_secs: Some(120.0),
+        graceful_fraction: 0.5,
+    };
+    let report = Engine::new(
+        EngineConfig { seed: 99, ..EngineConfig::default() },
+        churn,
+        Box::new(RnTreeMatchmaker::with_defaults()),
+        nodes,
+        jobs,
+    )
+    .with_observer(Box::new(Shared(trace.clone())))
+    .run();
+
+    println!("per-job timelines (12 nodes, 16 jobs, churny):");
+    let trace = trace.borrow();
+    for j in 0..16u64 {
+        let mut line = format!("  job#{j:<3}");
+        for (at, ev) in trace
+            .events
+            .iter()
+            .filter(|(_, e)| trace.for_job(JobId(j)).iter().any(|x| std::ptr::eq(*x, e)))
+        {
+            let tag = match ev {
+                TraceEvent::Submitted { resubmits, .. } if *resubmits > 0 => "resubmit",
+                TraceEvent::Submitted { .. } => "submit",
+                TraceEvent::OwnerAssigned { .. } => "owner",
+                TraceEvent::Matched { run_node, .. } => {
+                    line.push_str(&format!(" --{:.0}s--> match@{}", at.as_secs_f64(), run_node));
+                    continue;
+                }
+                TraceEvent::Started { .. } => "start",
+                TraceEvent::Completed { .. } => "done",
+                TraceEvent::Failed { .. } => "FAILED",
+                TraceEvent::RunRecovery { .. } => "run-recovery",
+                TraceEvent::OwnerRecovery { .. } => "owner-recovery",
+                _ => continue,
+            };
+            line.push_str(&format!(" --{:.0}s--> {tag}", at.as_secs_f64()));
+        }
+        println!("{line}");
+    }
+
+    let mut hist = LogHistogram::new(1.0);
+    for &w in report.wait_time.samples() {
+        hist.record(w);
+    }
+    println!();
+    println!("grid events: {} departures ({} graceful), {} rejoins observed in trace",
+        report.node_failures + report.graceful_leaves,
+        report.graceful_leaves,
+        trace.events.iter().filter(|(_, e)| matches!(e, TraceEvent::NodeUp { .. })).count(),
+    );
+    println!("wait histogram (1s log2 buckets): |{}|", hist.sparkline());
+    println!("completed {}/{} jobs", report.jobs_completed, report.jobs_total);
+    assert_eq!(report.jobs_completed + report.jobs_failed, report.jobs_total);
+}

@@ -1,0 +1,212 @@
+//! `dgrid` — command-line front end for the desktop-grid simulator.
+//!
+//! ```text
+//! dgrid run     --algorithm rn-tree --scenario mixed/light [options]
+//! dgrid compare --scenario clustered/heavy [options]
+//!
+//! options:
+//!   --nodes N          grid size                      (default 200)
+//!   --jobs M           job count                      (default 1000)
+//!   --seed S           root seed                      (default 42)
+//!   --mttf SECS        enable churn with this MTTF
+//!   --rejoin SECS      repair time after a departure
+//!   --graceful FRAC    fraction of graceful departures (default 0)
+//!   --k K              rn-tree extended-search width   (default 4)
+//!   --json PATH        also write the full report(s) as JSON
+//! ```
+//!
+//! `run` executes one cell and prints the report; `compare` runs every
+//! algorithm on the same workload and prints a comparison table.
+
+use dgrid::core::{
+    ChurnConfig, Engine, EngineConfig, RnTreeConfig, RnTreeMatchmaker, SimReport,
+};
+use dgrid::harness::Algorithm;
+use dgrid::workloads::{paper_scenario, PaperScenario, Workload};
+
+#[derive(Clone, Debug)]
+struct Opts {
+    command: String,
+    algorithm: Algorithm,
+    scenario: PaperScenario,
+    nodes: usize,
+    jobs: usize,
+    seed: u64,
+    mttf: Option<f64>,
+    rejoin: Option<f64>,
+    graceful: f64,
+    k: usize,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dgrid <run|compare> [--algorithm A] [--scenario S] [--nodes N] \
+         [--jobs M] [--seed S] [--mttf SECS] [--rejoin SECS] [--graceful FRAC] \
+         [--k K] [--json PATH]\n\
+         algorithms: rn-tree can can-push can-novirt central\n\
+         scenarios : clustered/light clustered/heavy mixed/light mixed/heavy"
+    );
+    std::process::exit(2)
+}
+
+fn parse_algorithm(s: &str) -> Algorithm {
+    match s {
+        "rn-tree" | "rntree" => Algorithm::RnTree,
+        "can" => Algorithm::Can,
+        "can-push" => Algorithm::CanPush,
+        "can-novirt" => Algorithm::CanNoVirtualDim,
+        "central" | "centralized" => Algorithm::Central,
+        _ => usage(),
+    }
+}
+
+fn parse_scenario(s: &str) -> PaperScenario {
+    match s {
+        "clustered/light" => PaperScenario::ClusteredLight,
+        "clustered/heavy" => PaperScenario::ClusteredHeavy,
+        "mixed/light" => PaperScenario::MixedLight,
+        "mixed/heavy" => PaperScenario::MixedHeavy,
+        _ => usage(),
+    }
+}
+
+fn parse() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut opts = Opts {
+        command: args[0].clone(),
+        algorithm: Algorithm::RnTree,
+        scenario: PaperScenario::MixedLight,
+        nodes: 200,
+        jobs: 1000,
+        seed: 42,
+        mttf: None,
+        rejoin: None,
+        graceful: 0.0,
+        k: 4,
+        json: None,
+    };
+    if opts.command != "run" && opts.command != "compare" {
+        usage();
+    }
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args.get(i + 1).unwrap_or_else(|| usage()).clone();
+        match flag {
+            "--algorithm" => opts.algorithm = parse_algorithm(&val),
+            "--scenario" => opts.scenario = parse_scenario(&val),
+            "--nodes" => opts.nodes = val.parse().unwrap_or_else(|_| usage()),
+            "--jobs" => opts.jobs = val.parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = val.parse().unwrap_or_else(|_| usage()),
+            "--mttf" => opts.mttf = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--rejoin" => opts.rejoin = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--graceful" => opts.graceful = val.parse().unwrap_or_else(|_| usage()),
+            "--k" => opts.k = val.parse().unwrap_or_else(|_| usage()),
+            "--json" => opts.json = Some(val),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload) -> SimReport {
+    let cfg = EngineConfig {
+        seed: opts.seed,
+        max_sim_secs: 5_000_000.0,
+        ..EngineConfig::default()
+    };
+    let churn = ChurnConfig {
+        mttf_secs: opts.mttf,
+        rejoin_after_secs: opts.rejoin,
+        graceful_fraction: opts.graceful,
+    };
+    let mm = if algorithm == Algorithm::RnTree {
+        Box::new(RnTreeMatchmaker::new(RnTreeConfig {
+            k: opts.k,
+            ..RnTreeConfig::default()
+        })) as Box<dyn dgrid::core::Matchmaker>
+    } else {
+        algorithm.matchmaker()
+    };
+    Engine::new(cfg, churn, mm, workload.nodes.clone(), workload.submissions.clone()).run()
+}
+
+fn print_report(r: &SimReport) {
+    println!("algorithm        : {}", r.algorithm);
+    println!("jobs             : {} completed, {} failed of {}", r.jobs_completed, r.jobs_failed, r.jobs_total);
+    println!("mean wait        : {:>10.1} s", r.mean_wait());
+    println!("stdev wait       : {:>10.1} s", r.std_wait());
+    println!("mean turnaround  : {:>10.1} s", r.turnaround.mean());
+    println!("makespan         : {:>10.1} s", r.makespan_secs);
+    println!("matchmaking cost : {:>10.1} hops/job", r.match_hops.mean() + r.owner_hops.mean());
+    println!("load fairness    : {:>10.3}", r.load_fairness());
+    println!("client fairness  : {:>10.3}", r.client_fairness());
+    if r.node_failures + r.graceful_leaves > 0 {
+        println!(
+            "churn            : {} failures, {} graceful leaves",
+            r.node_failures, r.graceful_leaves
+        );
+        println!(
+            "recoveries       : {} run, {} owner, {} client resubmits",
+            r.run_recoveries, r.owner_recoveries, r.client_resubmits
+        );
+    }
+}
+
+fn main() {
+    let opts = parse();
+    let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, opts.seed);
+    println!(
+        "workload: {} — {} nodes, {} jobs, seed {}",
+        opts.scenario.label(),
+        opts.nodes,
+        opts.jobs,
+        opts.seed
+    );
+    println!();
+
+    let mut reports = Vec::new();
+    match opts.command.as_str() {
+        "run" => {
+            let r = run_one(&opts, opts.algorithm, &workload);
+            print_report(&r);
+            reports.push(r);
+        }
+        "compare" => {
+            println!(
+                "{:<12} {:>10} {:>10} {:>10} {:>10} {:>11}",
+                "algorithm", "mean wait", "std wait", "hops/job", "fairness", "completion"
+            );
+            for alg in [
+                Algorithm::Central,
+                Algorithm::RnTree,
+                Algorithm::Can,
+                Algorithm::CanPush,
+            ] {
+                let r = run_one(&opts, alg, &workload);
+                println!(
+                    "{:<12} {:>9.1}s {:>9.1}s {:>10.1} {:>10.3} {:>10.1}%",
+                    r.algorithm,
+                    r.mean_wait(),
+                    r.std_wait(),
+                    r.match_hops.mean() + r.owner_hops.mean(),
+                    r.load_fairness(),
+                    100.0 * r.completion_rate(),
+                );
+                reports.push(r);
+            }
+        }
+        _ => usage(),
+    }
+
+    if let Some(path) = &opts.json {
+        let f = std::fs::File::create(path).expect("create json output");
+        serde_json::to_writer_pretty(f, &reports).expect("write json");
+        eprintln!("wrote {} report(s) to {path}", reports.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! One-call experiment harness.
+//!
+//! Everything the examples, integration tests, and benchmark binaries need
+//! to run a paper experiment: pick an [`Algorithm`], a
+//! [`PaperScenario`] (or a custom
+//! workload), and get back a [`SimReport`]. Replicated runs fan out over
+//! rayon — each replication is an independent, deterministic simulation
+//! with its own seed, so parallelism never changes results.
+
+use dgrid_core::{
+    CanMatchmaker, CanMmConfig, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig,
+    Matchmaker, RnTreeConfig, RnTreeMatchmaker, SimReport,
+};
+use dgrid_resources::ResourceSpace;
+use dgrid_workloads::{paper_scenario, PaperScenario, Workload};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The matchmaking algorithms under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Rendezvous Node Tree over Chord (Section 3.1).
+    RnTree,
+    /// Basic CAN matchmaking with the virtual dimension (Section 3.2).
+    Can,
+    /// Improved CAN with load pushing (Section 3.3's ongoing work).
+    CanPush,
+    /// Basic CAN *without* the virtual dimension (ablation `A-virt`).
+    CanNoVirtualDim,
+    /// Omniscient centralized baseline (the paper's load-balance target).
+    Central,
+}
+
+impl Algorithm {
+    /// The three algorithms Figure 2 compares.
+    pub const FIGURE2: [Algorithm; 3] = [Algorithm::Can, Algorithm::RnTree, Algorithm::Central];
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::RnTree => "rn-tree",
+            Algorithm::Can => "can",
+            Algorithm::CanPush => "can-push",
+            Algorithm::CanNoVirtualDim => "can-novirt",
+            Algorithm::Central => "central",
+        }
+    }
+
+    /// Instantiate the matchmaker.
+    pub fn matchmaker(self) -> Box<dyn Matchmaker> {
+        match self {
+            Algorithm::RnTree => Box::new(RnTreeMatchmaker::new(RnTreeConfig::default())),
+            Algorithm::Can => Box::new(CanMatchmaker::with_defaults()),
+            Algorithm::CanPush => Box::new(CanMatchmaker::with_push()),
+            Algorithm::CanNoVirtualDim => Box::new(CanMatchmaker::new(
+                CanMmConfig {
+                    virtual_dim: false,
+                    ..CanMmConfig::default()
+                },
+                ResourceSpace::default_desktop(),
+            )),
+            Algorithm::Central => Box::new(CentralizedMatchmaker::new()),
+        }
+    }
+}
+
+/// Engine configuration used by all paper experiments (failure-free; the
+/// robustness experiment overrides churn separately).
+pub fn paper_engine_config(seed: u64) -> EngineConfig {
+    EngineConfig {
+        seed,
+        max_sim_secs: 1_000_000.0,
+        ..EngineConfig::default()
+    }
+}
+
+/// Run one algorithm over one pre-built workload.
+pub fn run_workload(
+    algorithm: Algorithm,
+    workload: &Workload,
+    cfg: EngineConfig,
+    churn: ChurnConfig,
+) -> SimReport {
+    let engine = Engine::new(
+        cfg,
+        churn,
+        algorithm.matchmaker(),
+        workload.nodes.clone(),
+        workload.submissions.clone(),
+    );
+    engine.run()
+}
+
+/// Run one algorithm over one paper quadrant at the given scale.
+pub fn run_scenario(
+    algorithm: Algorithm,
+    scenario: PaperScenario,
+    nodes: usize,
+    jobs: usize,
+    seed: u64,
+) -> SimReport {
+    let workload = paper_scenario(scenario, nodes, jobs, seed);
+    run_workload(
+        algorithm,
+        &workload,
+        paper_engine_config(seed),
+        ChurnConfig::none(),
+    )
+}
+
+/// Aggregated results of replicated runs of one (algorithm, scenario) cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Mean of per-replication mean wait times, seconds.
+    pub mean_wait: f64,
+    /// Mean of per-replication wait-time standard deviations, seconds.
+    pub std_wait: f64,
+    /// Mean matchmaking hops per job.
+    pub mean_match_hops: f64,
+    /// Mean owner-routing hops per job.
+    pub mean_owner_hops: f64,
+    /// Average completion rate.
+    pub completion_rate: f64,
+    /// Average Jain fairness of executed work across nodes.
+    pub load_fairness: f64,
+    /// Number of replications aggregated.
+    pub replications: usize,
+}
+
+/// Run `replications` independent seeds of one cell in parallel and average
+/// the reported metrics (the paper's figures are averages over runs).
+pub fn run_cell(
+    algorithm: Algorithm,
+    scenario: PaperScenario,
+    nodes: usize,
+    jobs: usize,
+    base_seed: u64,
+    replications: usize,
+) -> CellResult {
+    assert!(replications >= 1);
+    let reports: Vec<SimReport> = (0..replications as u64)
+        .into_par_iter()
+        .map(|r| run_scenario(algorithm, scenario, nodes, jobs, base_seed ^ (r + 1)))
+        .collect();
+    let n = reports.len() as f64;
+    CellResult {
+        algorithm: algorithm.label().to_string(),
+        scenario: scenario.label().to_string(),
+        mean_wait: reports.iter().map(SimReport::mean_wait).sum::<f64>() / n,
+        std_wait: reports.iter().map(SimReport::std_wait).sum::<f64>() / n,
+        mean_match_hops: reports.iter().map(|r| r.match_hops.mean()).sum::<f64>() / n,
+        mean_owner_hops: reports.iter().map(|r| r.owner_hops.mean()).sum::<f64>() / n,
+        completion_rate: reports.iter().map(SimReport::completion_rate).sum::<f64>() / n,
+        load_fairness: reports.iter().map(SimReport::load_fairness).sum::<f64>() / n,
+        replications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> = [
+            Algorithm::RnTree,
+            Algorithm::Can,
+            Algorithm::CanPush,
+            Algorithm::CanNoVirtualDim,
+            Algorithm::Central,
+        ]
+        .iter()
+        .map(|a| a.label())
+        .collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn cell_aggregation_runs_in_parallel_deterministically() {
+        let a = run_cell(Algorithm::Central, PaperScenario::ClusteredLight, 32, 100, 9, 2);
+        let b = run_cell(Algorithm::Central, PaperScenario::ClusteredLight, 32, 100, 9, 2);
+        assert_eq!(a.mean_wait, b.mean_wait);
+        assert_eq!(a.std_wait, b.std_wait);
+        assert!(a.completion_rate > 0.99);
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end diurnal availability: the grid absorbs daily mass departures
+//! and rejoins without losing work.
+
+use dgrid::core::{ChurnConfig, Engine, EngineConfig, JobDag};
+use dgrid::harness::Algorithm;
+use dgrid::workloads::{diurnal_schedule, online_fraction, paper_scenario, DiurnalConfig, PaperScenario};
+
+fn diurnal_run(alg: Algorithm, timezones: u32, seed: u64) -> dgrid::core::SimReport {
+    let nodes = 80;
+    let jobs = 400;
+    let day = 20_000.0; // compressed day so the test is fast
+    let mut workload = paper_scenario(PaperScenario::MixedLight, nodes, jobs, seed);
+    for (i, sub) in workload.submissions.iter_mut().enumerate() {
+        sub.arrival_secs = i as f64 * 2.0;
+        sub.profile.run_time_secs *= 30.0; // ~50 min chunks: the campaign spans the work day
+    }
+    let schedule = diurnal_schedule(
+        nodes,
+        &DiurnalConfig {
+            seed,
+            day_secs: day,
+            days: 4,
+            busy_fraction: 0.4,
+            timezones,
+            jitter_fraction: 0.02,
+            dedicated_fraction: 0.1,
+        },
+    );
+    Engine::with_dag_and_schedule(
+        EngineConfig { seed, max_sim_secs: 6.0 * day, ..EngineConfig::default() },
+        ChurnConfig::none(),
+        alg.matchmaker(),
+        workload.nodes,
+        workload.submissions,
+        JobDag::none(),
+        schedule,
+    )
+    .run()
+}
+
+#[test]
+fn campaign_survives_daily_departures() {
+    for alg in [Algorithm::RnTree, Algorithm::Central] {
+        let r = diurnal_run(alg, 1, 31);
+        assert_eq!(
+            r.jobs_completed + r.jobs_failed,
+            400,
+            "{}: conservation",
+            alg.label()
+        );
+        assert!(r.graceful_leaves > 0, "{}: the exodus must happen", alg.label());
+        assert!(
+            r.completion_rate() > 0.95,
+            "{}: completion {:.3}",
+            alg.label(),
+            r.completion_rate()
+        );
+    }
+}
+
+#[test]
+fn recoveries_fire_when_users_return_to_desks() {
+    let r = diurnal_run(Algorithm::RnTree, 1, 37);
+    // Jobs running on morning-departure machines are recovered by owners
+    // (or, if the owner left too, by resubmission).
+    assert!(
+        r.run_recoveries + r.owner_recoveries + r.client_resubmits > 0,
+        "daytime departures must trigger the recovery protocol"
+    );
+}
+
+#[test]
+fn timezone_spread_smooths_throughput() {
+    // A globally distributed volunteer pool never loses most of its nodes
+    // at once, so the campaign finishes faster than on a single campus.
+    let single = diurnal_run(Algorithm::Central, 1, 41);
+    let global = diurnal_run(Algorithm::Central, 8, 41);
+    assert!(single.completion_rate() > 0.95);
+    assert!(global.completion_rate() > 0.95);
+    assert!(
+        global.makespan_secs < single.makespan_secs,
+        "8 timezones ({:.0}s) should beat 1 ({:.0}s)",
+        global.makespan_secs,
+        single.makespan_secs
+    );
+}
+
+#[test]
+fn schedule_sanity_online_fraction() {
+    let nodes = 100;
+    let cfg = DiurnalConfig {
+        seed: 43,
+        day_secs: 10_000.0,
+        days: 2,
+        busy_fraction: 0.5,
+        timezones: 1,
+        jitter_fraction: 0.01,
+        dedicated_fraction: 0.0,
+    };
+    let schedule = diurnal_schedule(nodes, &cfg);
+    assert_eq!(online_fraction(nodes, &schedule, 0.0), 1.0);
+    // Deep in the work day almost everyone is gone; late evening all back.
+    assert!(online_fraction(nodes, &schedule, 6_000.0) < 0.1);
+    assert!(online_fraction(nodes, &schedule, 9_500.0) > 0.95);
+}

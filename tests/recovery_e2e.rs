@@ -1,0 +1,129 @@
+//! End-to-end robustness: the Section 2 recovery protocol across the whole
+//! stack (overlay churn, matchmaker membership, engine job state).
+
+use dgrid::core::{ChurnConfig, EngineConfig};
+use dgrid::harness::{run_workload, Algorithm};
+use dgrid::workloads::{paper_scenario, PaperScenario};
+
+fn churn_cfg(seed: u64) -> EngineConfig {
+    EngineConfig {
+        seed,
+        max_sim_secs: 3_000_000.0,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn all_matchmakers_survive_churn() {
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 300, 11);
+    let churn = ChurnConfig {
+        mttf_secs: Some(4_000.0),
+        rejoin_after_secs: Some(600.0),
+        graceful_fraction: 0.0,
+    };
+    for alg in [Algorithm::RnTree, Algorithm::Can, Algorithm::Central] {
+        let r = run_workload(alg, &workload, churn_cfg(11), churn);
+        assert_eq!(
+            r.jobs_completed + r.jobs_failed,
+            300,
+            "{}: conservation — every job terminates exactly once",
+            alg.label()
+        );
+        assert!(r.node_failures > 0, "{}: churn must fire", alg.label());
+        assert!(
+            r.completion_rate() > 0.95,
+            "{}: recovery must save ≥95% of jobs (got {:.3})",
+            alg.label(),
+            r.completion_rate()
+        );
+    }
+}
+
+#[test]
+fn recovery_counters_match_the_protocol_roles() {
+    // The centralized baseline's owner is the never-failing server, so only
+    // run-node recoveries (and no owner recoveries or dual-failure
+    // resubmissions from owner loss) can occur there; the P2P matchmakers
+    // exercise all three paths.
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 400, 13);
+    let churn = ChurnConfig {
+        mttf_secs: Some(2_500.0),
+        rejoin_after_secs: Some(400.0),
+        graceful_fraction: 0.0,
+    };
+    let central = run_workload(Algorithm::Central, &workload, churn_cfg(13), churn);
+    assert_eq!(central.owner_recoveries, 0, "the server never fails");
+    assert!(central.run_recoveries > 0, "run nodes do fail under churn");
+
+    let p2p = run_workload(Algorithm::RnTree, &workload, churn_cfg(13), churn);
+    assert!(p2p.run_recoveries > 0, "owner-detected run failures");
+    assert!(p2p.owner_recoveries > 0, "run-node-detected owner failures");
+}
+
+#[test]
+fn harsher_churn_means_more_recoveries_not_more_loss() {
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 300, 17);
+    let mut last_recoveries = 0u64;
+    for (i, mttf) in [30_000.0f64, 8_000.0, 2_000.0].into_iter().enumerate() {
+        let churn = ChurnConfig {
+            mttf_secs: Some(mttf),
+            rejoin_after_secs: Some(500.0),
+            graceful_fraction: 0.0,
+        };
+        let r = run_workload(Algorithm::RnTree, &workload, churn_cfg(17), churn);
+        let recoveries = r.run_recoveries + r.owner_recoveries + r.client_resubmits;
+        assert!(
+            r.completion_rate() > 0.9,
+            "mttf={mttf}: completion {:.3}",
+            r.completion_rate()
+        );
+        if i > 0 {
+            assert!(
+                recoveries >= last_recoveries,
+                "more churn ⇒ at least as many recovery actions ({last_recoveries} -> {recoveries})"
+            );
+        }
+        last_recoveries = recoveries;
+    }
+}
+
+#[test]
+fn detection_delay_scales_with_heartbeat_config() {
+    // Faster heartbeats mean faster run-failure detection, which shows up
+    // as lower added latency for interrupted jobs.
+    let workload = paper_scenario(PaperScenario::MixedLight, 48, 200, 19);
+    let churn = ChurnConfig {
+        mttf_secs: Some(3_000.0),
+        rejoin_after_secs: Some(500.0),
+        graceful_fraction: 0.0,
+    };
+    let slow = EngineConfig {
+        heartbeat_secs: 60.0,
+        ..churn_cfg(19)
+    };
+    let fast = EngineConfig {
+        heartbeat_secs: 5.0,
+        ..churn_cfg(19)
+    };
+    assert!(slow.detection_delay() > fast.detection_delay());
+    let r_slow = run_workload(Algorithm::Central, &workload, slow, churn);
+    let r_fast = run_workload(Algorithm::Central, &workload, fast, churn);
+    // Both complete nearly everything; the protocol works at either rate.
+    assert!(r_slow.completion_rate() > 0.9);
+    assert!(r_fast.completion_rate() > 0.9);
+}
+
+#[test]
+fn no_rejoin_still_conserves_jobs() {
+    // Shrinking grid: peers fail and never come back. Jobs must still all
+    // terminate (completed or explicitly failed), never hang.
+    let workload = paper_scenario(PaperScenario::MixedHeavy, 64, 200, 23);
+    let churn = ChurnConfig {
+        mttf_secs: Some(20_000.0),
+        rejoin_after_secs: None,
+        graceful_fraction: 0.0,
+    };
+    let r = run_workload(Algorithm::RnTree, &workload, churn_cfg(23), churn);
+    assert_eq!(r.jobs_completed + r.jobs_failed, 200);
+    assert!(r.completion_rate() > 0.8, "rate {:.3}", r.completion_rate());
+}
