@@ -1,0 +1,77 @@
+//! Experiment T-faults — the fault-injection matrix: how each matchmaking
+//! scheme degrades as the network gets lossier, with no node ever failing.
+//! All degradation comes from lost messages: spurious failure detections,
+//! duplicate executions, retry backoff, and client resubmissions.
+//!
+//! Sweeps the per-message loss probability and reports completion rate and
+//! which fault paths fired, then shows a partition scenario and times one
+//! lossy simulation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgrid::core::{ChurnConfig, FaultPlan};
+use dgrid::harness::{paper_engine_config, run_workload_with_faults, Algorithm};
+use dgrid::workloads::{paper_scenario, PaperScenario};
+
+const NODES: usize = 64;
+const JOBS: usize = 300;
+
+fn lossy_run(alg: Algorithm, plan: FaultPlan, seed: u64) -> dgrid::core::SimReport {
+    let workload = paper_scenario(PaperScenario::MixedLight, NODES, JOBS, seed);
+    run_workload_with_faults(
+        alg,
+        &workload,
+        paper_engine_config(seed),
+        ChurnConfig::none(),
+        plan,
+    )
+}
+
+fn message_loss_sweep(c: &mut Criterion) {
+    eprintln!("--- T-faults: loss-rate sweep ({NODES} nodes, {JOBS} jobs, no churn)");
+    for &loss in &[0.0f64, 0.01, 0.05, 0.1, 0.2] {
+        for alg in [Algorithm::RnTree, Algorithm::Can, Algorithm::Central] {
+            let r = lossy_run(alg, FaultPlan::with_loss(loss), 7001);
+            eprintln!(
+                "    loss={loss:<4} {:<8} completion={:.3} lost={} spurious={} dup_exec={} \
+                 run_rec={} resubmits={} lookup_retries={}",
+                alg.label(),
+                r.completion_rate(),
+                r.messages_lost,
+                r.spurious_detections,
+                r.duplicate_executions,
+                r.run_recoveries,
+                r.client_resubmits,
+                r.lookup_retries,
+            );
+        }
+    }
+
+    eprintln!("--- T-faults: partition (16 of {NODES} nodes cut off for 2000s)");
+    let island: Vec<u32> = (0..16).collect();
+    for alg in [Algorithm::RnTree, Algorithm::Central] {
+        let plan = FaultPlan::with_loss(0.02).with_partition(500.0, 2_500.0, island.clone());
+        let r = lossy_run(alg, plan, 7002);
+        eprintln!(
+            "    {:<8} completion={:.3} lost={} spurious={} resubmits={}",
+            alg.label(),
+            r.completion_rate(),
+            r.messages_lost,
+            r.spurious_detections,
+            r.client_resubmits,
+        );
+    }
+
+    let mut g = c.benchmark_group("message_loss_sweep");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    g.bench_function("rn-tree/loss=0.10", |b| {
+        b.iter(|| lossy_run(Algorithm::RnTree, FaultPlan::with_loss(0.1), 7003))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, message_loss_sweep);
+criterion_main!(benches);

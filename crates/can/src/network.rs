@@ -401,6 +401,53 @@ impl CanNetwork {
         None
     }
 
+    /// [`route`](Self::route) with retry-with-failover: when the initial
+    /// route fails (hop budget exhausted), re-issue it from the neighbor of
+    /// the current origin closest to the target — the detour a CAN node
+    /// takes when its own greedy walk stalls — up to `retries` times.
+    ///
+    /// Returns the successful route (each detour handoff charged as one
+    /// extra hop) and how many retries were spent, or `None` when every
+    /// detour also fails. A first-try success costs nothing beyond the
+    /// plain `route`.
+    ///
+    /// # Panics
+    /// If `from` is not a live node.
+    pub fn route_with_failover(
+        &self,
+        from: CanNodeId,
+        target: &[f64],
+        retries: u32,
+    ) -> Option<(Route, u32)> {
+        if let Some(r) = self.route(from, target) {
+            return Some((r, 0));
+        }
+        let mut cur = from;
+        let mut used = 0u32;
+        let mut extra_hops = 0u32;
+        while used < retries {
+            let next = self
+                .slot(cur)
+                .neighbors
+                .iter()
+                .copied()
+                .filter(|&n| self.is_alive(n))
+                .min_by(|&a, &b| {
+                    let da = self.min_zone_dist(a, target);
+                    let db = self.min_zone_dist(b, target);
+                    da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                })?;
+            used += 1;
+            extra_hops += 1; // handing the query to the detour peer
+            if let Some(mut r) = self.route(next, target) {
+                r.hops += extra_hops;
+                return Some((r, used));
+            }
+            cur = next;
+        }
+        None
+    }
+
     fn min_zone_dist(&self, id: CanNodeId, p: &[f64]) -> f64 {
         self.slots[id.0 as usize]
             .zones
@@ -595,6 +642,40 @@ mod tests {
         }
         let mean = total as f64 / trials as f64;
         assert!(mean < 16.0, "mean hops {mean:.1} too high for 256 nodes in 4-d");
+    }
+
+    #[test]
+    fn failover_is_free_on_first_try_success() {
+        let (net, ids) = random_net(96, 3, 17);
+        let mut rng = rng_for(18, 0);
+        for _ in 0..200 {
+            let target: Vec<f64> = (0..3).map(|_| rng.gen::<f64>()).collect();
+            let from = ids[rng.gen_range(0..ids.len())];
+            let plain = net.route(from, &target).unwrap();
+            let (via, retries) = net.route_with_failover(from, &target, 3).unwrap();
+            assert_eq!(via, plain, "successful routes must be unchanged");
+            assert_eq!(retries, 0);
+        }
+    }
+
+    #[test]
+    fn failover_detours_when_the_hop_budget_fails_a_route() {
+        // A zero hop budget fails any non-local route; the neighbor detour
+        // still reaches an owner one zone away.
+        let mut net = CanNetwork::new(CanConfig {
+            dims: 2,
+            max_route_hops: 0,
+        });
+        let _a = net.join(&[0.25, 0.5]);
+        let b = net.join(&[0.75, 0.5]);
+        let from = net.owner_of(&[0.1, 0.1]).unwrap();
+        assert_eq!(net.route(from, &[0.9, 0.9]), None, "budget forbids forwarding");
+        let (r, retries) = net
+            .route_with_failover(from, &[0.9, 0.9], 2)
+            .expect("the neighbor detour reaches the owner");
+        assert_eq!(r.owner, b);
+        assert_eq!(retries, 1);
+        assert!(r.hops >= 1, "the detour handoff is charged");
     }
 
     #[test]

@@ -113,6 +113,48 @@ impl ChordRing {
             hops += 1;
         }
     }
+
+    /// [`lookup`](Self::lookup) with retry-with-failover: when the initial
+    /// route fails (hop limit or routing-state partition), re-issue the
+    /// query from the origin's successor-list entries — the detour a real
+    /// Chord node takes when its own tables cannot make progress — up to
+    /// `retries` times.
+    ///
+    /// Returns the successful lookup (each detour handoff charged as one
+    /// extra hop) and how many retries were spent, or `None` when every
+    /// detour also fails. A first-try success costs nothing beyond the
+    /// plain `lookup`.
+    ///
+    /// # Panics
+    /// If `from` is not a live peer.
+    pub fn lookup_with_failover(
+        &self,
+        from: ChordId,
+        key: ChordId,
+        retries: u32,
+    ) -> Option<(Lookup, u32)> {
+        if let Some(l) = self.lookup(from, key) {
+            return Some((l, 0));
+        }
+        let state = self.state(from)?;
+        let mut used = 0u32;
+        let mut extra_hops = 0u32;
+        for &s in &state.successors {
+            if used >= retries {
+                break;
+            }
+            if s == from || !self.is_alive(s) {
+                continue;
+            }
+            used += 1;
+            extra_hops += 1; // handing the query to the detour peer
+            if let Some(mut l) = self.lookup(s, key) {
+                l.hops += extra_hops;
+                return Some((l, used));
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +289,41 @@ mod tests {
         assert!(res.hops <= 1);
         let res = ring.lookup(ChordId(100), ChordId(250)).unwrap();
         assert_eq!(res.owner, ChordId(100));
+    }
+
+    #[test]
+    fn failover_is_free_on_first_try_success() {
+        let (ring, ids) = build_ring(64, 13);
+        let mut rng = rng_for(14, 0);
+        for _ in 0..200 {
+            let key = ChordId(rng.gen());
+            let from = ids[rng.gen_range(0..ids.len())];
+            let plain = ring.lookup(from, key).unwrap();
+            let (via, retries) = ring.lookup_with_failover(from, key, 3).unwrap();
+            assert_eq!(via, plain, "successful lookups must be unchanged");
+            assert_eq!(retries, 0);
+        }
+    }
+
+    #[test]
+    fn failover_detours_when_the_hop_budget_fails_a_route() {
+        // max_route_hops = 0 forbids forwarding: any multi-hop route fails,
+        // but a detour starting one peer closer can still succeed.
+        let mut ring = ChordRing::new(ChordConfig {
+            max_route_hops: 0,
+            ..ChordConfig::default()
+        });
+        for id in [100u64, 200, 300] {
+            ring.join(ChordId(id));
+        }
+        ring.stabilize();
+        assert_eq!(ring.lookup(ChordId(100), ChordId(250)), None, "needs 2 hops");
+        let (l, retries) = ring
+            .lookup_with_failover(ChordId(100), ChordId(250), 3)
+            .expect("detour via the successor reaches the owner");
+        assert_eq!(l.owner, ChordId(300));
+        assert!(retries >= 1, "the detour must be counted");
+        assert!(l.hops >= 2, "detour handoffs are charged as hops");
     }
 
     #[test]

@@ -67,6 +67,23 @@ pub struct EngineConfig {
     pub scale_runtime_by_cpu: bool,
     /// Reference CPU for runtime scaling.
     pub reference_cpu_ghz: f64,
+    /// How long a matchmaking/transfer RPC waits for an acknowledgement
+    /// before retrying. Only reachable when a fault plan injects losses —
+    /// on a reliable network no RPC is ever retried.
+    pub rpc_timeout_secs: f64,
+    /// Base of the capped exponential backoff between RPC retries: retry
+    /// `n` waits `min(backoff_cap_secs, backoff_base_secs * 2^n)` (plus
+    /// jitter) on top of the timeout.
+    pub backoff_base_secs: f64,
+    /// Cap on the exponential backoff term.
+    pub backoff_cap_secs: f64,
+    /// Uniform jitter fraction applied to backoff delays, in `[0, 1]`:
+    /// each delay is scaled by a factor in `[1 - j, 1 + j]` so synchronized
+    /// losers do not retry in lockstep.
+    pub backoff_jitter: f64,
+    /// Consecutive lost-RPC retries before the sender gives up and falls
+    /// back to the end-to-end safety net (client resubmission).
+    pub max_rpc_retries: u32,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +103,11 @@ impl Default for EngineConfig {
             return_results_by_reference: false,
             scale_runtime_by_cpu: false,
             reference_cpu_ghz: 2.0,
+            rpc_timeout_secs: 15.0,
+            backoff_base_secs: 5.0,
+            backoff_cap_secs: 120.0,
+            backoff_jitter: 0.25,
+            max_rpc_retries: 6,
         }
     }
 }
@@ -104,6 +126,7 @@ impl EngineConfig {
 
     /// Validate invariants; call before running. Panics on nonsense values.
     pub fn validate(&self) {
+        self.latency.validate();
         assert!(self.heartbeat_secs > 0.0, "heartbeat period must be positive");
         assert!(self.heartbeat_misses >= 1);
         assert!(self.match_retry_secs > 0.0);
@@ -115,6 +138,20 @@ impl EngineConfig {
             "clients must wait longer than failure detection, else they race recovery"
         );
         assert!(self.reference_cpu_ghz > 0.0);
+        assert!(self.rpc_timeout_secs > 0.0, "RPC timeout must be positive");
+        assert!(
+            self.backoff_base_secs > 0.0,
+            "backoff bounds must be positive"
+        );
+        assert!(
+            self.backoff_cap_secs >= self.backoff_base_secs,
+            "backoff cap must be at least the base"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.backoff_jitter),
+            "backoff jitter out of range"
+        );
+        assert!(self.max_rpc_retries >= 1);
     }
 }
 
@@ -147,5 +184,34 @@ mod tests {
             ..Default::default()
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff bounds must be positive")]
+    fn negative_backoff_base_is_rejected() {
+        EngineConfig {
+            backoff_base_secs: -1.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff cap must be at least the base")]
+    fn backoff_cap_below_base_is_rejected() {
+        EngineConfig {
+            backoff_base_secs: 60.0,
+            backoff_cap_secs: 10.0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter out of range")]
+    fn latency_jitter_is_validated_at_config_time() {
+        let mut cfg = EngineConfig::default();
+        cfg.latency.jitter = 2.0;
+        cfg.validate();
     }
 }

@@ -15,10 +15,19 @@
 //! the epoch, so events from a superseded assignment are ignored when they
 //! arrive — the simulation analogue of the soft-state invalidation the
 //! heartbeat protocol provides in a deployment.
+//!
+//! All engine-level messages flow through a fault-injecting
+//! [`Network`] facade. With the default empty [`FaultPlan`] it is a
+//! bit-exact no-op; with faults installed ([`Engine::with_fault_plan`])
+//! messages can be lost or cut off by partitions, lifecycle RPCs retry with
+//! capped exponential backoff, and sustained heartbeat loss triggers
+//! *spurious* failure detections that exercise the same recovery protocol —
+//! including duplicate executions that the epoch mechanism must suppress.
 
 use std::collections::{HashMap, HashSet};
 
 use dgrid_resources::{JobId, JobProfile, NodeProfile};
+use dgrid_sim::fault::{Delivery, Endpoint, FaultPlan, Network};
 use dgrid_sim::rng::{self, SimRng};
 use rand::Rng;
 use dgrid_sim::{EventQueue, SimDuration, SimTime};
@@ -65,6 +74,13 @@ enum Event {
     Submit { job: JobId },
     OwnerAssigned { job: JobId, epoch: u32, owner: OwnerRef },
     RetryMatch { job: JobId, epoch: u32 },
+    /// A lost submission-routing RPC is retried after backoff.
+    ResendSubmit { job: JobId, epoch: u32 },
+    /// Sustained heartbeat loss made the owner falsely declare the run node
+    /// dead (the node is alive; its execution becomes a duplicate).
+    SpuriousRunFailure { job: JobId, epoch: u32 },
+    /// Sustained ack loss made the run node falsely declare the owner dead.
+    SpuriousOwnerFailure { job: JobId, epoch: u32 },
     ArriveAtRunNode { job: JobId, epoch: u32 },
     Complete { job: JobId, epoch: u32, node: GridNodeId },
     SandboxKill { job: JobId, epoch: u32, node: GridNodeId },
@@ -113,6 +129,7 @@ pub struct Engine {
     rng_mm: SimRng,
     rng_fail: SimRng,
     rng_net: SimRng,
+    net: Network,
     report: SimReport,
     owner_jobs: HashMap<GridNodeId, HashSet<JobId>>,
     dag: JobDag,
@@ -253,6 +270,11 @@ impl Engine {
             },
             rng_engine: rng::rng_for(cfg.seed, rng::streams::ARRIVALS ^ 0xE16),
             rng_net: rng::rng_for(cfg.seed, rng::streams::NETWORK),
+            net: Network::new(
+                cfg.latency,
+                FaultPlan::none(),
+                rng::rng_for(cfg.seed, rng::streams::FAULT_INJECTION),
+            ),
             cfg,
             churn,
             nodes,
@@ -280,6 +302,44 @@ impl Engine {
     /// Install an observer, builder-style.
     pub fn with_observer(mut self, observer: Box<dyn Observer>) -> Self {
         self.set_observer(observer);
+        self
+    }
+
+    /// Install a [`FaultPlan`]. Call before [`Engine::run`].
+    ///
+    /// Scheduled crashes become abrupt node failures (with a rejoin when the
+    /// plan says so); loss, partitions, and latency spikes take effect per
+    /// message. Installing [`FaultPlan::none`] is a bit-exact no-op: the
+    /// simulation is indistinguishable from one without a fault layer.
+    ///
+    /// # Panics
+    /// On an invalid plan or a crash referencing an unknown node.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        plan.validate();
+        for c in &plan.crashes {
+            assert!(
+                (c.node as usize) < self.nodes.len(),
+                "crash scheduled for unknown node {}",
+                c.node
+            );
+            let at = SimTime::from_secs_f64(c.at_secs);
+            let node = GridNodeId(c.node);
+            self.queue.schedule(at, Event::NodeFail { node });
+            if let Some(r) = c.rejoin_after_secs {
+                self.queue
+                    .schedule(at + SimDuration::from_secs_f64(r), Event::NodeRejoin { node });
+            }
+        }
+        self.net = Network::new(
+            self.cfg.latency,
+            plan,
+            rng::rng_for(self.cfg.seed, rng::streams::FAULT_INJECTION),
+        );
+    }
+
+    /// Install a fault plan, builder-style.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
         self
     }
 
@@ -331,6 +391,17 @@ impl Engine {
                     self.try_match(now, job);
                 }
             }
+            Event::ResendSubmit { job, epoch } => {
+                if self.epoch_valid(job, epoch) {
+                    self.route_submission(now, job, epoch);
+                }
+            }
+            Event::SpuriousRunFailure { job, epoch } => {
+                self.handle_spurious_run_failure(now, job, epoch)
+            }
+            Event::SpuriousOwnerFailure { job, epoch } => {
+                self.handle_spurious_owner_failure(now, job, epoch)
+            }
             Event::ArriveAtRunNode { job, epoch } => self.handle_arrive(now, job, epoch),
             Event::Complete { job, epoch, node } => self.handle_complete(now, job, epoch, node),
             Event::SandboxKill { job, epoch, node } => {
@@ -366,12 +437,95 @@ impl Engine {
             .is_some_and(|r| !r.state.is_terminal() && r.epoch == epoch)
     }
 
-    fn delay(&mut self, hops: u32) -> SimDuration {
-        self.cfg.latency.sample(&mut self.rng_net, hops)
-    }
-
     fn guid_of(&self, job: JobId, resubmits: u32) -> u64 {
         rng::splitmix64(job.0.wrapping_add(u64::from(resubmits) << 48))
+    }
+
+    fn endpoint_of(owner: OwnerRef) -> Endpoint {
+        match owner {
+            OwnerRef::Server => Endpoint::External,
+            OwnerRef::Peer(p) => Endpoint::Node(p.0),
+        }
+    }
+
+    /// Send one engine-level message through the fault-injecting network,
+    /// counting losses. Latency draws come from the network RNG in exactly
+    /// the pre-fault-layer order, so an empty plan changes nothing.
+    fn send_message(&mut self, now: SimTime, from: Endpoint, to: Endpoint, hops: u32) -> Delivery {
+        let d = self.net.send(&mut self.rng_net, now, from, to, hops);
+        if !d.is_delivered() {
+            self.report.messages_lost += 1;
+        }
+        d
+    }
+
+    /// Fold the matchmaker's drained overlay-failover retry count into the
+    /// report. Called after every overlay operation.
+    fn absorb_lookup_retries(&mut self) {
+        self.report.lookup_retries += self.mm.take_lookup_retries();
+    }
+
+    /// RPC timeout plus capped exponential backoff with jitter for the
+    /// given zero-based retry attempt. Jitter draws from the fault RNG, so
+    /// this must only be called on a fault path (losses never happen with
+    /// an empty plan).
+    fn backoff_delay(&mut self, attempt: u32) -> SimDuration {
+        let backoff = (self.cfg.backoff_base_secs * 2f64.powi(attempt.min(16) as i32))
+            .min(self.cfg.backoff_cap_secs);
+        let jitter = self.cfg.backoff_jitter;
+        let factor = if jitter > 0.0 {
+            1.0 + jitter * (self.net.fault_rng().gen::<f64>() * 2.0 - 1.0)
+        } else {
+            1.0
+        };
+        SimDuration::from_secs_f64(self.cfg.rpc_timeout_secs + backoff * factor)
+    }
+
+    /// A lifecycle RPC (submission routing when `via_submit`, otherwise the
+    /// owner→run-node job transfer) was lost: retry after backoff, or fall
+    /// back to client resubmission once the retry budget is spent.
+    fn note_rpc_loss(&mut self, now: SimTime, job: JobId, epoch: u32, via_submit: bool) {
+        let attempts = {
+            let rec = self.jobs.get_mut(&job).expect("known job");
+            rec.rpc_attempts += 1;
+            rec.rpc_attempts
+        };
+        if attempts > self.cfg.max_rpc_retries {
+            self.schedule_client_resubmit(job, epoch);
+            return;
+        }
+        let d = self.backoff_delay(attempts - 1);
+        let ev = if via_submit {
+            Event::ResendSubmit { job, epoch }
+        } else {
+            Event::RetryMatch { job, epoch }
+        };
+        self.queue.schedule(now + d, ev);
+    }
+
+    /// Total virtual time for a transfer retried until it gets through:
+    /// each loss costs a timeout plus backoff; past the retry budget the
+    /// receiver-side poll picks the data up one backoff cap later. Used for
+    /// result return, which the client pulls and therefore never abandons.
+    fn deliver_with_retries(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        hops: u32,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            if let Delivery::Delivered(d) = self.send_message(now + total, from, to, hops) {
+                return total + d;
+            }
+            if attempt >= self.cfg.max_rpc_retries {
+                return total + SimDuration::from_secs_f64(self.cfg.backoff_cap_secs);
+            }
+            total += self.backoff_delay(attempt);
+            attempt += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -387,15 +541,24 @@ impl Engine {
         let rec = self.jobs.get_mut(&job).expect("known job");
         rec.state = JobState::Matching;
         rec.match_attempts = 0;
+        rec.rpc_attempts = 0;
         rec.owner = None;
         rec.run_node = None;
         rec.invalidate();
         let epoch = rec.epoch;
         let resubmits = rec.resubmits;
-        let profile = rec.profile;
         self.observer
             .on_event(now, TraceEvent::Submitted { job, resubmits });
+        self.route_submission(now, job, epoch);
+    }
 
+    /// Figure 1, steps 1–2 as one RPC: route the submission through a random
+    /// injection node to the owner-to-be. A lost send backs off and retries
+    /// via [`Event::ResendSubmit`].
+    fn route_submission(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        let rec = &self.jobs[&job];
+        let resubmits = rec.resubmits;
+        let profile = rec.profile;
         let Some(injection) = self.nodes.random_alive(&mut self.rng_engine) else {
             // Empty grid: retry after the resubmit timeout, like a client
             // that cannot find an entry point.
@@ -403,15 +566,23 @@ impl Engine {
             return;
         };
         let guid = self.guid_of(job, resubmits);
-        match self
+        let assigned = self
             .mm
-            .assign_owner(&self.nodes, &profile, guid, injection, &mut self.rng_mm)
-        {
+            .assign_owner(&self.nodes, &profile, guid, injection, &mut self.rng_mm);
+        self.absorb_lookup_retries();
+        match assigned {
             Some((owner, hops)) => {
                 self.report.owner_hops.push(f64::from(hops));
-                let d = self.delay(hops + 1); // client -> injection -> ... -> owner
-                self.queue
-                    .schedule(now + d, Event::OwnerAssigned { job, epoch, owner });
+                // client -> injection -> ... -> owner
+                match self.send_message(now, Endpoint::External, Self::endpoint_of(owner), hops + 1)
+                {
+                    Delivery::Delivered(d) => {
+                        self.jobs.get_mut(&job).expect("known job").rpc_attempts = 0;
+                        self.queue
+                            .schedule(now + d, Event::OwnerAssigned { job, epoch, owner });
+                    }
+                    _ => self.note_rpc_loss(now, job, epoch, true),
+                }
             }
             None => {
                 // Overlay in flux; treat as a failed matchmaking attempt.
@@ -430,16 +601,27 @@ impl Engine {
                 let rec = &self.jobs[&job];
                 let guid = self.guid_of(job, rec.resubmits);
                 let profile = rec.profile;
-                match self
+                let reassigned = self
                     .mm
-                    .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm)
-                {
+                    .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
+                self.absorb_lookup_retries();
+                match reassigned {
                     Some((new_owner, hops)) => {
-                        let d = self.delay(hops);
-                        self.queue.schedule(
-                            now + d,
-                            Event::OwnerAssigned { job, epoch, owner: new_owner },
-                        );
+                        match self.send_message(
+                            now,
+                            Endpoint::External,
+                            Self::endpoint_of(new_owner),
+                            hops,
+                        ) {
+                            Delivery::Delivered(d) => {
+                                self.jobs.get_mut(&job).expect("known job").rpc_attempts = 0;
+                                self.queue.schedule(
+                                    now + d,
+                                    Event::OwnerAssigned { job, epoch, owner: new_owner },
+                                );
+                            }
+                            _ => self.note_rpc_loss(now, job, epoch, true),
+                        }
                     }
                     None => self.note_match_failure(now, job, epoch),
                 }
@@ -482,6 +664,7 @@ impl Engine {
         let outcome = self
             .mm
             .find_run_node(&self.nodes, owner, &profile, &mut self.rng_mm);
+        self.absorb_lookup_retries();
         match outcome.run_node {
             Some(run) if self.nodes.is_alive(run) => {
                 self.report.match_hops.push(f64::from(outcome.hops));
@@ -489,14 +672,27 @@ impl Engine {
                     now,
                     TraceEvent::Matched { job, run_node: run, hops: outcome.hops },
                 );
-                let rec = self.jobs.get_mut(&job).expect("known job");
-                rec.run_node = Some(run);
-                rec.state = JobState::Queued;
-                rec.invalidate();
-                let epoch = rec.epoch;
-                let d = self.delay(outcome.hops + 1); // owner -> run node transfer
-                self.queue
-                    .schedule(now + d, Event::ArriveAtRunNode { job, epoch });
+                // owner -> run node transfer
+                match self.send_message(
+                    now,
+                    Self::endpoint_of(owner),
+                    Endpoint::Node(run.0),
+                    outcome.hops + 1,
+                ) {
+                    Delivery::Delivered(d) => {
+                        let rec = self.jobs.get_mut(&job).expect("known job");
+                        rec.run_node = Some(run);
+                        rec.state = JobState::Queued;
+                        rec.invalidate();
+                        rec.rpc_attempts = 0;
+                        let epoch = rec.epoch;
+                        self.queue
+                            .schedule(now + d, Event::ArriveAtRunNode { job, epoch });
+                    }
+                    // Transfer lost: nothing committed; a fresh matchmaking
+                    // round runs after backoff.
+                    _ => self.note_rpc_loss(now, job, epoch, false),
+                }
             }
             _ => self.note_match_failure(now, job, epoch),
         }
@@ -591,11 +787,58 @@ impl Engine {
                 );
             }
         }
+        if self.net.faulty() {
+            self.schedule_spurious_detections(now, job, run, runtime);
+        }
+    }
+
+    /// While `job` executes on `run`, scan the heartbeat schedule in both
+    /// directions for `heartbeat_misses` consecutive losses; the first such
+    /// run makes the monitoring side falsely declare its partner dead —
+    /// Section 2's detection rule misfiring on a lossy network. Only called
+    /// in fault mode (the scan draws from the fault RNG).
+    fn schedule_spurious_detections(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        run: GridNodeId,
+        runtime: f64,
+    ) {
+        let rec = &self.jobs[&job];
+        let Some(owner) = rec.owner else { return };
+        let epoch = rec.epoch;
+        let owner_ep = Self::endpoint_of(owner);
+        let run_ep = Endpoint::Node(run.0);
+        let period = self.cfg.heartbeat_secs;
+        let misses = self.cfg.heartbeat_misses;
+        // Run node -> owner heartbeats: the owner spuriously detects a run
+        // failure and re-runs matchmaking under a fresh epoch.
+        if let Some(t) =
+            self.net
+                .first_consecutive_losses(now, run_ep, owner_ep, period, misses, runtime)
+        {
+            self.queue.schedule(t, Event::SpuriousRunFailure { job, epoch });
+        }
+        // Owner -> run node acks: the run node spuriously detects an owner
+        // failure and installs a replacement through the overlay.
+        if let Some(t) =
+            self.net
+                .first_consecutive_losses(now, owner_ep, run_ep, period, misses, runtime)
+        {
+            self.queue
+                .schedule(t, Event::SpuriousOwnerFailure { job, epoch });
+        }
     }
 
     /// Figure 1, step 6: completion; results return to the client.
     fn handle_complete(&mut self, now: SimTime, job: JobId, epoch: u32, node: GridNodeId) {
-        if !self.epoch_valid(job, epoch) || !self.nodes.is_alive(node) {
+        if !self.nodes.is_alive(node) {
+            return;
+        }
+        if !self.epoch_valid(job, epoch) {
+            // A duplicate execution (spurious run-failure recovery) finished
+            // under a superseded epoch: free the node, grant no job credit.
+            self.release_stale_execution(now, job, node, true);
             return;
         }
         // Figure 1 step 6: return results directly, or publish a pointer in
@@ -611,10 +854,13 @@ impl Engine {
                 .mm
                 .resolve_guid(&self.nodes, result_guid, &mut self.rng_mm)
                 .unwrap_or(0);
+            self.absorb_lookup_retries();
             self.report.result_hops.push(f64::from(publish + fetch));
-            self.delay(publish) + self.delay(fetch + 1)
+            self.deliver_with_retries(now, Endpoint::Node(node.0), Endpoint::External, publish)
+                + self.deliver_with_retries(now, Endpoint::External, Endpoint::External, fetch + 1)
         } else {
-            self.delay(1) // direct result transfer
+            // direct result transfer
+            self.deliver_with_retries(now, Endpoint::Node(node.0), Endpoint::External, 1)
         };
         let finished = now + result_delay;
         {
@@ -673,7 +919,13 @@ impl Engine {
     }
 
     fn handle_sandbox_kill(&mut self, now: SimTime, job: JobId, epoch: u32, node: GridNodeId) {
-        if !self.epoch_valid(job, epoch) || !self.nodes.is_alive(node) {
+        if !self.nodes.is_alive(node) {
+            return;
+        }
+        if !self.epoch_valid(job, epoch) {
+            // A duplicate execution was sandbox-killed after its epoch was
+            // superseded: just free the node.
+            self.release_stale_execution(now, job, node, false);
             return;
         }
         {
@@ -687,6 +939,39 @@ impl Engine {
         }
         self.report.sandbox_kills += 1;
         self.fail_job(job, FailureReason::SandboxKilled, now);
+        self.start_next_on(now, node);
+    }
+
+    /// A completion or kill arrived for a superseded epoch while the node is
+    /// alive and still holds the job: the spurious-detection path re-ran the
+    /// job elsewhere, and this is the duplicate execution winding down.
+    /// Release the node, crediting the time it burned, without granting job
+    /// credit — the at-least-once analogue of discarding a duplicate result.
+    fn release_stale_execution(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        node: GridNodeId,
+        ran_to_completion: bool,
+    ) {
+        let held = self
+            .nodes
+            .get(node)
+            .running
+            .as_ref()
+            .is_some_and(|q| q.job == job);
+        if !held {
+            return;
+        }
+        let n = self.nodes.get_mut(node);
+        let stale = n.running.take().expect("checked above");
+        if ran_to_completion {
+            n.busy_secs += stale.runtime_secs;
+        } else {
+            let remaining = n.running_finish_at.since(now).as_secs_f64();
+            n.busy_secs += (stale.runtime_secs - remaining).max(0.0);
+        }
+        self.report.duplicate_executions += 1;
         self.start_next_on(now, node);
     }
 
@@ -738,9 +1023,13 @@ impl Engine {
         self.mm.on_leave(&self.nodes, node, graceful);
 
         // A graceful departure notifies its partners directly (one message)
-        // instead of being discovered by missed heartbeats.
+        // instead of being discovered by missed heartbeats; if that goodbye
+        // is lost, discovery falls back to the heartbeat timeout.
         let detect = if graceful {
-            self.delay(1)
+            match self.send_message(now, Endpoint::Node(node.0), Endpoint::External, 1) {
+                Delivery::Delivered(d) => d,
+                _ => self.cfg.detection_delay(),
+            }
         } else {
             self.cfg.detection_delay()
         };
@@ -840,7 +1129,78 @@ impl Engine {
         self.report.run_recoveries += 1;
         self.observer.on_event(now, TraceEvent::RunRecovery { job });
         rec.match_attempts = 0; // fresh matchmaking round
+        rec.rpc_attempts = 0;
         self.try_match(now, job);
+    }
+
+    /// Heartbeat loss made the owner falsely declare the (alive) run node
+    /// dead. The recovery protocol runs exactly as for a real failure: the
+    /// epoch is bumped and the job rematched — while the old node keeps
+    /// executing a now-duplicate copy that the stale epoch will discard.
+    fn handle_spurious_run_failure(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        if !self.epoch_valid(job, epoch) {
+            return;
+        }
+        let rec = &self.jobs[&job];
+        // Spurious means both sides are in fact alive; a real failure in the
+        // meantime is handled by the real detection path.
+        let run_alive = rec.run_node.is_some_and(|r| self.nodes.is_alive(r));
+        let owner_alive = match rec.owner {
+            Some(OwnerRef::Server) => true,
+            Some(OwnerRef::Peer(p)) => self.nodes.is_alive(p),
+            None => false,
+        };
+        if !run_alive || !owner_alive {
+            return;
+        }
+        self.report.spurious_detections += 1;
+        self.report.run_recoveries += 1;
+        self.observer.on_event(now, TraceEvent::RunRecovery { job });
+        let rec = self.jobs.get_mut(&job).expect("known job");
+        rec.state = JobState::Recovering;
+        rec.run_node = None;
+        rec.invalidate();
+        rec.match_attempts = 0;
+        rec.rpc_attempts = 0;
+        self.try_match(now, job);
+    }
+
+    /// Ack loss made the run node falsely declare the (alive) owner dead:
+    /// it installs a replacement owner through the overlay. The execution is
+    /// undisturbed, so the epoch is *not* bumped.
+    fn handle_spurious_owner_failure(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        if !self.epoch_valid(job, epoch) {
+            return;
+        }
+        let rec = &self.jobs[&job];
+        let run_alive = rec.run_node.is_some_and(|r| self.nodes.is_alive(r));
+        let owner_alive = match rec.owner {
+            Some(OwnerRef::Server) => true,
+            Some(OwnerRef::Peer(p)) => self.nodes.is_alive(p),
+            None => false,
+        };
+        if !run_alive || !owner_alive {
+            return;
+        }
+        self.report.spurious_detections += 1;
+        let guid = self.guid_of(job, rec.resubmits);
+        let profile = rec.profile;
+        let reassigned = self
+            .mm
+            .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
+        self.absorb_lookup_retries();
+        // On `None` the overlay cannot name a replacement; since the old
+        // owner is in fact alive, dropping the spurious detection is safe.
+        if let Some((new_owner, _hops)) = reassigned {
+            self.report.owner_recoveries += 1;
+            self.observer.on_event(now, TraceEvent::OwnerRecovery { job });
+            self.detach_owner(job);
+            let rec = self.jobs.get_mut(&job).expect("known job");
+            rec.owner = Some(new_owner);
+            if let OwnerRef::Peer(p) = new_owner {
+                self.owner_jobs.entry(p).or_default().insert(job);
+            }
+        }
     }
 
     fn handle_owner_failure_detected(&mut self, now: SimTime, job: JobId, epoch: u32) {
@@ -856,10 +1216,11 @@ impl Engine {
         }
         let guid = self.guid_of(job, rec.resubmits);
         let profile = rec.profile;
-        match self
+        let reassigned = self
             .mm
-            .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm)
-        {
+            .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
+        self.absorb_lookup_retries();
+        match reassigned {
             Some((new_owner, _hops)) => {
                 self.report.owner_recoveries += 1;
                 self.observer.on_event(now, TraceEvent::OwnerRecovery { job });

@@ -86,6 +86,9 @@ pub(crate) struct JobRecord {
     pub epoch: u32,
     /// Matchmaking attempts in the current submission.
     pub match_attempts: u32,
+    /// Consecutive lost/timed-out RPCs for the current in-flight transfer
+    /// (drives capped exponential backoff; reset on any delivery).
+    pub rpc_attempts: u32,
     /// Times the client had to resubmit after dual failure.
     pub resubmits: u32,
     pub first_submitted_at: SimTime,
@@ -106,6 +109,7 @@ impl JobRecord {
             run_node: None,
             epoch: 0,
             match_attempts: 0,
+            rpc_attempts: 0,
             resubmits: 0,
             first_submitted_at: submitted_at,
             queued_at: None,

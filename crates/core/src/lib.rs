@@ -19,6 +19,10 @@
 //! one can drive recovery when the other fails. Only if *both* fail before
 //! recovery completes must the client resubmit — all three paths are
 //! implemented in [`Engine`] and measured in the `T-robust` experiment.
+//! A deterministic fault-injection layer ([`FaultPlan`], re-exported from
+//! `dgrid-sim`) drops messages, partitions the network, and spikes latency,
+//! driving the same recovery protocol — spurious detections, retry with
+//! backoff, duplicate-execution suppression — without any node failing.
 //!
 //! Matchmaking is pluggable via the [`Matchmaker`] trait, with the paper's
 //! three schemes provided:
@@ -51,6 +55,7 @@ mod trace;
 
 pub use config::{ChurnConfig, EngineConfig};
 pub use dag::JobDag;
+pub use dgrid_sim::fault::{Delivery, Endpoint, FaultPlan, LatencySpike, NodeCrash, Partition};
 pub use engine::{AvailabilityEvent, Engine, JobSubmission};
 pub use job::{JobState, OwnerRef};
 pub use match_can::{CanMatchmaker, CanMmConfig};

@@ -96,9 +96,14 @@ pub struct CanMatchmaker {
     /// derived from this cache is the "fixed amount of current system load
     /// information" the push extension consults.
     load_cache: HashMap<CanNodeId, f64>,
+    lookup_retries: u64,
 }
 
 const DIMS: usize = NUM_RESOURCE_DIMS + 1; // resources + virtual
+
+/// Failover budget for CAN routes: how many neighbor detours a failed route
+/// may take before the caller's own retry/backoff machinery takes over.
+const ROUTE_FAILOVER_RETRIES: u32 = 2;
 
 /// Frontier entry for the deficit-ordered run-node search: a min-heap on
 /// `(deficit, id)` via reversed `Ord`.
@@ -149,6 +154,7 @@ impl CanMatchmaker {
             can_of: HashMap::new(),
             grid_of: HashMap::new(),
             load_cache: HashMap::new(),
+            lookup_retries: 0,
         }
     }
 
@@ -331,7 +337,10 @@ impl Matchmaker for CanMatchmaker {
     ) -> Option<(OwnerRef, u32)> {
         let entry = *self.can_of.get(&injection)?;
         let point = self.job_point(job, guid);
-        let route = self.net.route(entry, &point)?;
+        let (route, retries) = self
+            .net
+            .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
+        self.lookup_retries += u64::from(retries);
         let mut owner = route.owner;
         let mut hops = route.hops;
         if self.cfg.push {
@@ -457,7 +466,10 @@ impl Matchmaker for CanMatchmaker {
         // now contains the point has a (new) owner after takeover.
         let entry = self.net.random_node(rng)?;
         let point = self.job_point(job, guid);
-        let route = self.net.route(entry, &point)?;
+        let (route, retries) = self
+            .net
+            .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
+        self.lookup_retries += u64::from(retries);
         let grid = *self.grid_of.get(&route.owner)?;
         if !nodes.is_alive(grid) {
             return None;
@@ -483,8 +495,15 @@ impl Matchmaker for CanMatchmaker {
         let point: Vec<f64> = (0..DIMS)
             .map(|i| ((h >> (i * 13)) & 0xFFFF) as f64 / 65536.0)
             .collect();
-        let route = self.net.route(entry, &point)?;
+        let (route, retries) = self
+            .net
+            .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
+        self.lookup_retries += u64::from(retries);
         Some(route.hops)
+    }
+
+    fn take_lookup_retries(&mut self) -> u64 {
+        std::mem::take(&mut self.lookup_retries)
     }
 }
 

@@ -49,6 +49,11 @@ impl Default for RnTreeConfig {
     }
 }
 
+/// Failover budget for Chord lookups: how many successor-list detours a
+/// failed lookup may take before the caller's own retry/backoff machinery
+/// takes over.
+const LOOKUP_FAILOVER_RETRIES: u32 = 2;
+
 /// The Section 3.1 matchmaker.
 pub struct RnTreeMatchmaker {
     cfg: RnTreeConfig,
@@ -57,6 +62,7 @@ pub struct RnTreeMatchmaker {
     grid_of: HashMap<ChordId, GridNodeId>,
     index: Option<RnTreeIndex>,
     dirty: bool,
+    lookup_retries: u64,
 }
 
 impl RnTreeMatchmaker {
@@ -70,6 +76,7 @@ impl RnTreeMatchmaker {
             grid_of: HashMap::new(),
             index: None,
             dirty: true,
+            lookup_retries: 0,
         }
     }
 
@@ -158,7 +165,10 @@ impl Matchmaker for RnTreeMatchmaker {
         if !self.ring.is_alive(from) {
             return None;
         }
-        let lookup = self.ring.lookup(from, ChordId(guid))?;
+        let (lookup, retries) =
+            self.ring
+                .lookup_with_failover(from, ChordId(guid), LOOKUP_FAILOVER_RETRIES)?;
+        self.lookup_retries += u64::from(retries);
         let mut hops = lookup.hops + lookup.timeouts;
         // Limited random walk along successor pointers.
         let mut owner = lookup.owner;
@@ -259,7 +269,10 @@ impl Matchmaker for RnTreeMatchmaker {
             return None;
         }
         let from = ids[rng.gen_range(0..ids.len())];
-        let lookup = self.ring.lookup(from, ChordId(guid))?;
+        let (lookup, retries) =
+            self.ring
+                .lookup_with_failover(from, ChordId(guid), LOOKUP_FAILOVER_RETRIES)?;
+        self.lookup_retries += u64::from(retries);
         let grid = *self.grid_of.get(&lookup.owner)?;
         if !nodes.is_alive(grid) {
             return None;
@@ -282,8 +295,15 @@ impl Matchmaker for RnTreeMatchmaker {
             return None;
         }
         let from = ids[rng.gen_range(0..ids.len())];
-        let lookup = self.ring.lookup(from, ChordId(guid))?;
+        let (lookup, retries) =
+            self.ring
+                .lookup_with_failover(from, ChordId(guid), LOOKUP_FAILOVER_RETRIES)?;
+        self.lookup_retries += u64::from(retries);
         Some(lookup.hops + lookup.timeouts)
+    }
+
+    fn take_lookup_retries(&mut self) -> u64 {
+        std::mem::take(&mut self.lookup_retries)
     }
 }
 

@@ -87,4 +87,12 @@ pub trait Matchmaker {
         let _ = (nodes, guid, rng);
         None
     }
+
+    /// Drain the count of overlay lookup retries (failover detours that
+    /// re-issued a failed lookup) performed since the last call. The engine
+    /// folds this into `SimReport::lookup_retries` after each overlay
+    /// operation. Matchmakers without an overlay never retry.
+    fn take_lookup_retries(&mut self) -> u64 {
+        0
+    }
 }

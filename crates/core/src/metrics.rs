@@ -48,6 +48,24 @@ pub struct SimReport {
     /// Jobs failed because a dependency permanently failed (Section 5
     /// DAG extension).
     pub dependency_failures: u64,
+    /// Application-level messages dropped by the injected fault plan, by
+    /// loss or by partition, across every message class the engine sends
+    /// (submissions, transfers, result returns, leave notifications).
+    #[serde(default)]
+    pub messages_lost: u64,
+    /// Lookup/RPC retries forced by faults: overlay failover detours inside
+    /// the DHTs plus engine-level retransmissions after RPC timeouts.
+    #[serde(default)]
+    pub lookup_retries: u64,
+    /// Failure detections triggered by lost heartbeats while both partners
+    /// were in fact alive — false positives that nonetheless drive the
+    /// paper's recovery protocol for real.
+    #[serde(default)]
+    pub spurious_detections: u64,
+    /// Executions that ran to completion under a superseded job epoch
+    /// (at-least-once duplicates whose results were discarded).
+    #[serde(default)]
+    pub duplicate_executions: u64,
     /// Per-client wait-time summaries (key = client id) — the raw material
     /// for the fairness question Section 5 leaves as future work.
     pub client_waits: std::collections::BTreeMap<u32, OnlineStats>,
@@ -175,6 +193,21 @@ mod tests {
         // By-reference results add the lookup hops on top of the transfers.
         r.result_hops.push(7.0);
         assert!((r.total_messages() - 39.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_counters_default_when_absent() {
+        // Reports serialized before the fault layer existed must still load.
+        let r = SimReport::default();
+        let mut v: serde_json::Value = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        let map = v.as_object_mut().unwrap();
+        map.remove("messages_lost");
+        map.remove("lookup_retries");
+        map.remove("spurious_detections");
+        map.remove("duplicate_executions");
+        let back: SimReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.messages_lost, 0);
+        assert_eq!(back.spurious_detections, 0);
     }
 
     #[test]

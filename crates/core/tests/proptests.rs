@@ -195,4 +195,54 @@ proptest! {
             critical_path
         );
     }
+
+    /// `EngineConfig::validate` must reject any config whose client-resubmit
+    /// timeout does not exceed the failure-detection delay: a client that
+    /// races recovery would duplicate live jobs.
+    #[test]
+    fn validate_rejects_resubmit_not_beyond_detection(
+        heartbeat in 1.0f64..200.0,
+        misses in 1u32..10,
+        slack in 0.0f64..1.0,
+    ) {
+        let cfg = EngineConfig {
+            heartbeat_secs: heartbeat,
+            heartbeat_misses: misses,
+            // At most equal to the detection delay — never strictly beyond.
+            client_resubmit_secs: heartbeat * f64::from(misses) * slack,
+            ..EngineConfig::default()
+        };
+        let rejected =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cfg.validate())).is_err();
+        prop_assert!(rejected, "resubmit ≤ detection delay must be rejected");
+    }
+
+    /// Non-positive backoff bounds, inverted cap/base pairs, and
+    /// out-of-range jitter must all be rejected at validation time.
+    #[test]
+    fn validate_rejects_bad_backoff_configs(
+        base in -50.0f64..50.0,
+        cap in -50.0f64..200.0,
+        jitter in -1.0f64..2.0,
+        timeout in -10.0f64..60.0,
+    ) {
+        let cfg = EngineConfig {
+            rpc_timeout_secs: timeout,
+            backoff_base_secs: base,
+            backoff_cap_secs: cap,
+            backoff_jitter: jitter,
+            ..EngineConfig::default()
+        };
+        let consistent = timeout > 0.0
+            && base > 0.0
+            && cap >= base
+            && (0.0..=1.0).contains(&jitter);
+        let accepted =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cfg.validate())).is_ok();
+        prop_assert_eq!(
+            accepted,
+            consistent,
+            "validate must accept exactly the consistent backoff configs"
+        );
+    }
 }

@@ -1,0 +1,600 @@
+//! Deterministic network fault injection.
+//!
+//! The latency model in [`net`](crate::net) delays messages but always
+//! delivers them; a robustness evaluation needs an underlay that *misbehaves*.
+//! This module adds a seeded, fully reproducible fault layer:
+//!
+//! * [`FaultPlan`] — a declarative description of what goes wrong: a
+//!   per-message loss probability, scheduled network [`Partition`]s with heal
+//!   times, [`LatencySpike`] regimes that inflate delivered latency, and
+//!   scheduled crash-*recovery* [`NodeCrash`]es (crash-stop plus rejoin, in
+//!   addition to stochastic churn).
+//! * [`Network`] — a facade over [`LatencyModel`] that classifies every send
+//!   as [`Delivery::Delivered`], [`Delivery::Lost`] (dropped by the lossy
+//!   underlay), or [`Delivery::Unreachable`] (the endpoints are on opposite
+//!   sides of an active partition).
+//!
+//! Two properties are load-bearing for the rest of the workspace:
+//!
+//! 1. **Bit-exact no-op at zero faults.** With [`FaultPlan::none`] the
+//!    facade samples latency from the caller's network RNG exactly as the
+//!    bare [`LatencyModel`] would and never touches its own fault RNG, so a
+//!    simulation with an empty plan is indistinguishable — draw for draw —
+//!    from one that predates the fault layer.
+//! 2. **Replay determinism.** All fault decisions draw from a dedicated RNG
+//!    stream ([`streams::FAULT_INJECTION`](crate::rng::streams)), so the same
+//!    root seed and the same plan reproduce the same losses, byte for byte,
+//!    independent of every other randomness consumer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::net::LatencyModel;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One end of a message, as the fault layer sees it.
+///
+/// The fault layer does not know about jobs or overlays — only whether an
+/// endpoint is a grid node (and hence can sit inside a partition island) or
+/// something outside the grid (a client or the reliable central server),
+/// which is assumed to sit on the majority side of any partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// A client or the central server — never inside a partition island.
+    External,
+    /// Grid node by index.
+    Node(u32),
+}
+
+/// The fate of one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered after this much latency.
+    Delivered(SimDuration),
+    /// Silently dropped by the lossy underlay.
+    Lost,
+    /// The endpoints are separated by an active partition.
+    Unreachable,
+}
+
+impl Delivery {
+    /// True iff the message arrived.
+    pub fn is_delivered(self) -> bool {
+        matches!(self, Delivery::Delivered(_))
+    }
+}
+
+/// A network partition: for `[start_secs, end_secs)` the nodes in `island`
+/// cannot exchange messages with anything outside the island (including
+/// clients and the central server). Traffic within the island, and within
+/// the rest of the grid, is unaffected.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// When the cut opens (seconds of virtual time).
+    pub start_secs: f64,
+    /// When the cut heals (exclusive).
+    pub end_secs: f64,
+    /// Node indices on the minority side of the cut.
+    pub island: Vec<u32>,
+}
+
+impl Partition {
+    fn active_at(&self, t: SimTime) -> bool {
+        let s = t.as_secs_f64();
+        s >= self.start_secs && s < self.end_secs
+    }
+
+    fn inside(&self, e: Endpoint) -> bool {
+        match e {
+            Endpoint::External => false,
+            Endpoint::Node(n) => self.island.contains(&n),
+        }
+    }
+
+    /// True iff this partition is active at `t` and separates `a` from `b`.
+    pub fn separates(&self, t: SimTime, a: Endpoint, b: Endpoint) -> bool {
+        self.active_at(t) && self.inside(a) != self.inside(b)
+    }
+}
+
+/// A latency-spike regime: while active, delivered messages take `factor`
+/// times their sampled latency (congestion, route flap, bufferbloat).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencySpike {
+    /// When the spike starts (seconds of virtual time).
+    pub start_secs: f64,
+    /// When it subsides (exclusive).
+    pub end_secs: f64,
+    /// Multiplier applied to delivered latency; must be `>= 1`.
+    pub factor: f64,
+}
+
+impl LatencySpike {
+    fn active_at(&self, t: SimTime) -> bool {
+        let s = t.as_secs_f64();
+        s >= self.start_secs && s < self.end_secs
+    }
+}
+
+/// A scheduled crash with optional recovery: the node fails at `at_secs`
+/// and, if `rejoin_after_secs` is set, rejoins that much later with empty
+/// queues — the crash-recovery regime, as opposed to the crash-stop deaths
+/// the stochastic churn model produces.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// When the node crashes (seconds of virtual time).
+    pub at_secs: f64,
+    /// Which node (by index).
+    pub node: u32,
+    /// Rejoin delay after the crash; `None` means crash-stop.
+    pub rejoin_after_secs: Option<f64>,
+}
+
+/// A declarative, serializable description of everything that goes wrong
+/// with the network during one simulation.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Independent per-message drop probability, in `[0, 1]`.
+    pub loss_prob: f64,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+    /// Scheduled latency spikes.
+    pub spikes: Vec<LatencySpike>,
+    /// Scheduled crash(-recovery) events.
+    pub crashes: Vec<NodeCrash>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfectly reliable network.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan that only drops each message independently with probability `p`.
+    pub fn with_loss(p: f64) -> Self {
+        FaultPlan {
+            loss_prob: p,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Add a partition isolating `island` during `[start_secs, end_secs)`.
+    pub fn with_partition(mut self, start_secs: f64, end_secs: f64, island: Vec<u32>) -> Self {
+        self.partitions.push(Partition {
+            start_secs,
+            end_secs,
+            island,
+        });
+        self
+    }
+
+    /// Add a latency spike multiplying delivered latency by `factor` during
+    /// `[start_secs, end_secs)`.
+    pub fn with_spike(mut self, start_secs: f64, end_secs: f64, factor: f64) -> Self {
+        self.spikes.push(LatencySpike {
+            start_secs,
+            end_secs,
+            factor,
+        });
+        self
+    }
+
+    /// Add a scheduled crash of `node` at `at_secs`, rejoining after
+    /// `rejoin_after_secs` if given.
+    pub fn with_crash(mut self, at_secs: f64, node: u32, rejoin_after_secs: Option<f64>) -> Self {
+        self.crashes.push(NodeCrash {
+            at_secs,
+            node,
+            rejoin_after_secs,
+        });
+        self
+    }
+
+    /// True iff this plan injects nothing (the bit-exact no-op case).
+    pub fn is_none(&self) -> bool {
+        self.loss_prob == 0.0
+            && self.partitions.is_empty()
+            && self.spikes.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Validate invariants once, at configuration time. Panics on a
+    /// malformed plan (out-of-range probability, inverted windows, spike
+    /// factors below 1, negative times).
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.loss_prob),
+            "loss probability {} out of [0, 1]",
+            self.loss_prob
+        );
+        for p in &self.partitions {
+            assert!(
+                p.start_secs.is_finite() && p.end_secs.is_finite() && p.start_secs >= 0.0,
+                "partition window must be finite and non-negative"
+            );
+            assert!(
+                p.start_secs < p.end_secs,
+                "partition heals ({}) before it starts ({})",
+                p.end_secs,
+                p.start_secs
+            );
+        }
+        for s in &self.spikes {
+            assert!(
+                s.start_secs.is_finite() && s.end_secs.is_finite() && s.start_secs >= 0.0,
+                "spike window must be finite and non-negative"
+            );
+            assert!(
+                s.start_secs < s.end_secs,
+                "spike ends ({}) before it starts ({})",
+                s.end_secs,
+                s.start_secs
+            );
+            assert!(
+                s.factor.is_finite() && s.factor >= 1.0,
+                "spike factor {} must be >= 1",
+                s.factor
+            );
+        }
+        for c in &self.crashes {
+            assert!(
+                c.at_secs.is_finite() && c.at_secs >= 0.0,
+                "crash time must be finite and non-negative"
+            );
+            if let Some(r) = c.rejoin_after_secs {
+                assert!(r.is_finite() && r > 0.0, "rejoin delay {r} must be positive");
+            }
+        }
+    }
+}
+
+/// The unreliable-network facade: latency plus injected faults.
+///
+/// Latency is always drawn from the caller-supplied network RNG — in the
+/// same order the bare [`LatencyModel`] would draw it — so installing an
+/// empty plan changes nothing. Fault decisions (loss draws) come from the
+/// facade's own RNG, derived from its own stream of the root seed.
+#[derive(Debug)]
+pub struct Network {
+    latency: LatencyModel,
+    plan: FaultPlan,
+    rng: SimRng,
+}
+
+impl Network {
+    /// Build the facade. Validates both the latency model and the plan.
+    pub fn new(latency: LatencyModel, plan: FaultPlan, rng: SimRng) -> Self {
+        latency.validate();
+        plan.validate();
+        Network { latency, plan, rng }
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True iff any fault can ever fire (the engine skips fault-only
+    /// bookkeeping entirely when this is false).
+    pub fn faulty(&self) -> bool {
+        !self.plan.is_none()
+    }
+
+    /// The fault-decision RNG, for callers that need auxiliary fault-mode
+    /// randomness (e.g. retry-backoff jitter) without perturbing any other
+    /// stream. Never draw from this on a zero-fault path.
+    pub fn fault_rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    fn partitioned(&self, t: SimTime, a: Endpoint, b: Endpoint) -> bool {
+        self.plan.partitions.iter().any(|p| p.separates(t, a, b))
+    }
+
+    fn spike_factor(&self, t: SimTime) -> f64 {
+        self.plan
+            .spikes
+            .iter()
+            .filter(|s| s.active_at(t))
+            .map(|s| s.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Decide the fate of one message without sampling latency: partition
+    /// first, then an independent loss draw. Used for heartbeats, whose
+    /// latency is accounted analytically by the engine.
+    pub fn message_lost(&mut self, t: SimTime, from: Endpoint, to: Endpoint) -> bool {
+        if self.plan.is_none() {
+            return false;
+        }
+        if self.partitioned(t, from, to) {
+            return true;
+        }
+        self.plan.loss_prob > 0.0 && self.rng.gen::<f64>() < self.plan.loss_prob
+    }
+
+    /// Send one message of `hops` overlay hops from `from` to `to` at `now`.
+    ///
+    /// Latency is sampled from `rng_net` *before* any fault decision, in
+    /// exactly the order the bare model would sample it, preserving the
+    /// no-op guarantee. Zero hops is local delivery and cannot be lost.
+    pub fn send<R: Rng + ?Sized>(
+        &mut self,
+        rng_net: &mut R,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        hops: u32,
+    ) -> Delivery {
+        let d = self.latency.sample(rng_net, hops);
+        if hops == 0 || self.plan.is_none() {
+            return Delivery::Delivered(d);
+        }
+        if self.partitioned(now, from, to) {
+            return Delivery::Unreachable;
+        }
+        if self.plan.loss_prob > 0.0 && self.rng.gen::<f64>() < self.plan.loss_prob {
+            return Delivery::Lost;
+        }
+        let f = self.spike_factor(now);
+        if f > 1.0 {
+            Delivery::Delivered(SimDuration::from_secs_f64(d.as_secs_f64() * f))
+        } else {
+            Delivery::Delivered(d)
+        }
+    }
+
+    /// Find the first instant at which `misses` *consecutive* periodic
+    /// messages from `from` to `to` are all lost, scanning beats at
+    /// `start + i * period_secs` for `i = 1..` within `horizon_secs`.
+    ///
+    /// This is how a heartbeat-monitored peer comes to be falsely declared
+    /// dead: the caller schedules its (spurious) failure detection at the
+    /// returned instant. Returns `None` when the plan is empty or no such
+    /// run of losses occurs within the horizon.
+    pub fn first_consecutive_losses(
+        &mut self,
+        start: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        period_secs: f64,
+        misses: u32,
+        horizon_secs: f64,
+    ) -> Option<SimTime> {
+        if self.plan.is_none() || period_secs <= 0.0 || misses == 0 {
+            return None;
+        }
+        // Cap the scan so a pathological plan cannot spin: 100k beats covers
+        // any plausible job runtime at any plausible heartbeat period.
+        let beats = ((horizon_secs / period_secs).ceil() as u64).min(100_000);
+        let mut consecutive = 0u32;
+        for i in 1..=beats {
+            let t = start + SimDuration::from_secs_f64(period_secs * i as f64);
+            if self.message_lost(t, from, to) {
+                consecutive += 1;
+                if consecutive >= misses {
+                    return Some(t);
+                }
+            } else {
+                consecutive = 0;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{rng_for, streams};
+
+    fn net(plan: FaultPlan) -> Network {
+        Network::new(
+            LatencyModel::default(),
+            plan,
+            rng_for(7, streams::FAULT_INJECTION),
+        )
+    }
+
+    #[test]
+    fn empty_plan_delivers_everything() {
+        let mut n = net(FaultPlan::none());
+        let mut rng = rng_for(7, streams::NETWORK);
+        assert!(!n.faulty());
+        for i in 0..1000 {
+            let d = n.send(
+                &mut rng,
+                SimTime::from_secs(i),
+                Endpoint::External,
+                Endpoint::Node(0),
+                3,
+            );
+            assert!(d.is_delivered());
+        }
+    }
+
+    #[test]
+    fn empty_plan_preserves_latency_draws() {
+        // The facade must consume rng_net exactly like the bare model.
+        let model = LatencyModel::default();
+        let mut bare = rng_for(9, streams::NETWORK);
+        let mut wrapped = rng_for(9, streams::NETWORK);
+        let mut n = net(FaultPlan::none());
+        for hops in [1u32, 4, 2, 7, 1, 1, 3] {
+            let want = model.sample(&mut bare, hops);
+            match n.send(
+                &mut wrapped,
+                SimTime::ZERO,
+                Endpoint::Node(0),
+                Endpoint::Node(1),
+                hops,
+            ) {
+                Delivery::Delivered(got) => assert_eq!(got, want),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn total_loss_drops_everything_but_local() {
+        let mut n = net(FaultPlan::with_loss(1.0));
+        let mut rng = rng_for(7, streams::NETWORK);
+        assert_eq!(
+            n.send(&mut rng, SimTime::ZERO, Endpoint::Node(0), Endpoint::Node(1), 2),
+            Delivery::Lost
+        );
+        // Zero hops is local delivery: immune.
+        assert_eq!(
+            n.send(&mut rng, SimTime::ZERO, Endpoint::Node(0), Endpoint::Node(0), 0),
+            Delivery::Delivered(SimDuration::ZERO)
+        );
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let mut n = net(FaultPlan::with_loss(0.25));
+        let mut rng = rng_for(11, streams::NETWORK);
+        let trials = 20_000;
+        let lost = (0..trials)
+            .filter(|_| {
+                !n.send(&mut rng, SimTime::ZERO, Endpoint::Node(0), Endpoint::Node(1), 1)
+                    .is_delivered()
+            })
+            .count();
+        let rate = lost as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn loss_replays_identically() {
+        let run = || {
+            let mut n = net(FaultPlan::with_loss(0.3));
+            let mut rng = rng_for(13, streams::NETWORK);
+            (0..500)
+                .map(|i| {
+                    n.send(
+                        &mut rng,
+                        SimTime::from_secs(i),
+                        Endpoint::Node(0),
+                        Endpoint::Node(1),
+                        2,
+                    )
+                    .is_delivered()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partition_severs_island_then_heals() {
+        let plan = FaultPlan::none().with_partition(10.0, 20.0, vec![1, 2]);
+        let mut n = net(plan);
+        let mut rng = rng_for(7, streams::NETWORK);
+        let send = |n: &mut Network, rng: &mut SimRng, t, from, to| n.send(rng, t, from, to, 1);
+        // Before the cut.
+        assert!(send(&mut n, &mut rng, SimTime::from_secs(5), Endpoint::Node(1), Endpoint::Node(0))
+            .is_delivered());
+        // During: across the cut is unreachable, within each side is fine.
+        let t = SimTime::from_secs(15);
+        assert_eq!(
+            send(&mut n, &mut rng, t, Endpoint::Node(1), Endpoint::Node(0)),
+            Delivery::Unreachable
+        );
+        assert_eq!(
+            send(&mut n, &mut rng, t, Endpoint::External, Endpoint::Node(2)),
+            Delivery::Unreachable
+        );
+        assert!(send(&mut n, &mut rng, t, Endpoint::Node(1), Endpoint::Node(2)).is_delivered());
+        assert!(send(&mut n, &mut rng, t, Endpoint::External, Endpoint::Node(0)).is_delivered());
+        // After the heal.
+        assert!(send(&mut n, &mut rng, SimTime::from_secs(20), Endpoint::Node(1), Endpoint::Node(0))
+            .is_delivered());
+    }
+
+    #[test]
+    fn spike_inflates_latency_during_window() {
+        let plan = FaultPlan::none().with_spike(100.0, 200.0, 4.0);
+        let mut n = Network::new(
+            LatencyModel::fixed(SimDuration::from_millis(10)),
+            plan,
+            rng_for(7, streams::FAULT_INJECTION),
+        );
+        let mut rng = rng_for(7, streams::NETWORK);
+        match n.send(&mut rng, SimTime::from_secs(150), Endpoint::Node(0), Endpoint::Node(1), 1) {
+            Delivery::Delivered(d) => assert_eq!(d, SimDuration::from_millis(40)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match n.send(&mut rng, SimTime::from_secs(250), Endpoint::Node(0), Endpoint::Node(1), 1) {
+            Delivery::Delivered(d) => assert_eq!(d, SimDuration::from_millis(10)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consecutive_losses_found_under_partition() {
+        // A partition guarantees every beat in the window is lost.
+        let plan = FaultPlan::none().with_partition(100.0, 200.0, vec![5]);
+        let mut n = net(plan);
+        let t = n
+            .first_consecutive_losses(
+                SimTime::from_secs(90),
+                Endpoint::Node(5),
+                Endpoint::External,
+                10.0,
+                3,
+                500.0,
+            )
+            .expect("three beats fall inside the partition");
+        // Beats at 100, 110, 120, ... — but 100 is not strictly after start
+        // of scan (first beat is at 90 + 10 = 100, inside the cut), so the
+        // third consecutive loss lands at 120.
+        assert_eq!(t, SimTime::from_secs(120));
+    }
+
+    #[test]
+    fn consecutive_losses_none_for_empty_plan() {
+        let mut n = net(FaultPlan::none());
+        assert_eq!(
+            n.first_consecutive_losses(
+                SimTime::ZERO,
+                Endpoint::Node(0),
+                Endpoint::Node(1),
+                10.0,
+                3,
+                1.0e6,
+            ),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_is_rejected() {
+        FaultPlan::with_loss(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "partition heals")]
+    fn inverted_partition_window_is_rejected() {
+        FaultPlan::none().with_partition(20.0, 10.0, vec![0]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "spike factor")]
+    fn sub_unit_spike_factor_is_rejected() {
+        FaultPlan::none().with_spike(0.0, 1.0, 0.5).validate();
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan::with_loss(0.1)
+            .with_partition(5.0, 9.0, vec![1, 3])
+            .with_spike(2.0, 4.0, 2.5)
+            .with_crash(7.0, 2, Some(30.0));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -18,6 +18,9 @@
 //!   percentiles, and log-bucketed histograms for the metrics the paper
 //!   reports (job wait time average and standard deviation, hop counts).
 //! * [`net`] — a simple per-hop latency model for overlay messages.
+//! * [`fault`] — deterministic network fault injection: message loss,
+//!   scheduled partitions, latency spikes, and crash-recovery plans layered
+//!   over the latency model.
 //!
 //! Everything here is allocation-light and single-threaded by design;
 //! parallelism in the workspace happens *across* replications (one simulator
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod fault;
 pub mod hist;
 pub mod net;
 pub mod rng;
@@ -58,6 +62,7 @@ pub use time::{SimDuration, SimTime};
 
 /// Commonly used items, for glob import in downstream crates.
 pub mod prelude {
+    pub use crate::fault::{Delivery, Endpoint, FaultPlan, Network};
     pub use crate::hist::LogHistogram;
     pub use crate::net::LatencyModel;
     pub use crate::rng::{rng_for, SimRng};

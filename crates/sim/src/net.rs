@@ -56,11 +56,25 @@ impl LatencyModel {
         }
     }
 
+    /// Validate invariants once, at configuration time.
+    ///
+    /// Hoisted out of [`sample`](Self::sample)'s per-message hot path:
+    /// callers that build a model from external configuration run this at
+    /// construction (e.g. `EngineConfig::validate`), and deliveries pay only
+    /// a debug assertion.
+    pub fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.jitter), "jitter out of range");
+        assert!(
+            self.per_hop.0.is_finite() && self.per_hop.0 >= 0.0,
+            "per-hop latency must be finite and non-negative"
+        );
+    }
+
     /// Sample the total latency of a path of `hops` overlay hops.
     ///
     /// Zero hops (local delivery) takes zero time.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, hops: u32) -> SimDuration {
-        assert!((0.0..=1.0).contains(&self.jitter), "jitter out of range");
+        debug_assert!((0.0..=1.0).contains(&self.jitter), "jitter out of range");
         if hops == 0 {
             return SimDuration::ZERO;
         }
@@ -88,6 +102,21 @@ impl LatencyModel {
 mod tests {
     use super::*;
     use crate::rng::rng_for;
+
+    #[test]
+    #[should_panic(expected = "jitter out of range")]
+    fn validate_rejects_out_of_range_jitter() {
+        LatencyModel {
+            per_hop: SimDurationSecs(0.05),
+            jitter: 1.5,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn validate_accepts_the_default() {
+        LatencyModel::default().validate();
+    }
 
     #[test]
     fn zero_hops_is_instant() {

@@ -57,6 +57,8 @@ pub mod streams {
     pub const MATCHMAKER: u64 = 8;
     /// Network latency jitter.
     pub const NETWORK: u64 = 9;
+    /// Message-fault injection: loss draws and retry-backoff jitter.
+    pub const FAULT_INJECTION: u64 = 10;
 }
 
 /// Sample an exponential variate with the given mean.

@@ -9,7 +9,7 @@
 
 use dgrid_core::{
     CanMatchmaker, CanMmConfig, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig,
-    Matchmaker, RnTreeConfig, RnTreeMatchmaker, SimReport,
+    FaultPlan, Matchmaker, RnTreeConfig, RnTreeMatchmaker, SimReport,
 };
 use dgrid_resources::ResourceSpace;
 use dgrid_workloads::{paper_scenario, PaperScenario, Workload};
@@ -89,6 +89,27 @@ pub fn run_workload(
         workload.submissions.clone(),
     );
     engine.run()
+}
+
+/// Like [`run_workload`], but with a deterministic network [`FaultPlan`]
+/// installed (message loss, partitions, latency spikes, scheduled crashes).
+/// An empty plan reproduces [`run_workload`] bit for bit.
+pub fn run_workload_with_faults(
+    algorithm: Algorithm,
+    workload: &Workload,
+    cfg: EngineConfig,
+    churn: ChurnConfig,
+    plan: FaultPlan,
+) -> SimReport {
+    Engine::new(
+        cfg,
+        churn,
+        algorithm.matchmaker(),
+        workload.nodes.clone(),
+        workload.submissions.clone(),
+    )
+    .with_fault_plan(plan)
+    .run()
 }
 
 /// Run one algorithm over one paper quadrant at the given scale.

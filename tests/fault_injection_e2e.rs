@@ -1,0 +1,134 @@
+//! End-to-end fault injection: lossy links, partitions, and retry/backoff
+//! across the whole stack — with no node ever actually failing, every
+//! recovery action is driven purely by the network misbehaving.
+
+use dgrid::core::{ChurnConfig, EngineConfig, FaultPlan};
+use dgrid::harness::{run_workload, run_workload_with_faults, Algorithm};
+use dgrid::workloads::{paper_scenario, PaperScenario, Workload};
+
+const ALGS: [Algorithm; 3] = [Algorithm::RnTree, Algorithm::Can, Algorithm::Central];
+
+fn cfg(seed: u64) -> EngineConfig {
+    EngineConfig {
+        seed,
+        max_sim_secs: 3_000_000.0,
+        ..EngineConfig::default()
+    }
+}
+
+fn json(r: &dgrid::core::SimReport) -> String {
+    serde_json::to_string(r).expect("report serializes")
+}
+
+fn lossy(alg: Algorithm, workload: &Workload, seed: u64, plan: FaultPlan) -> dgrid::core::SimReport {
+    run_workload_with_faults(alg, workload, cfg(seed), ChurnConfig::none(), plan)
+}
+
+#[test]
+fn zero_fault_plan_is_a_noop() {
+    // Installing the empty plan must leave the simulation bit-identical to
+    // one without a fault layer: same events, same RNG draws, same report.
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 300, 31);
+    for alg in ALGS {
+        let plain = run_workload(alg, &workload, cfg(31), ChurnConfig::none());
+        let faulted = lossy(alg, &workload, 31, FaultPlan::none());
+        assert_eq!(
+            json(&plain),
+            json(&faulted),
+            "{}: FaultPlan::none() must be a bit-exact no-op",
+            alg.label()
+        );
+        assert_eq!(faulted.messages_lost, 0);
+        assert_eq!(faulted.spurious_detections, 0);
+        assert_eq!(faulted.duplicate_executions, 0);
+    }
+}
+
+#[test]
+fn replay_is_deterministic_under_faults() {
+    // Same seed, same plan ⇒ byte-identical reports, for every matchmaker.
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 300, 37);
+    let plan = FaultPlan::with_loss(0.05).with_partition(1_000.0, 3_000.0, vec![3, 7, 11]);
+    for alg in ALGS {
+        let a = lossy(alg, &workload, 37, plan.clone());
+        let b = lossy(alg, &workload, 37, plan.clone());
+        assert_eq!(
+            json(&a),
+            json(&b),
+            "{}: fault injection must replay deterministically",
+            alg.label()
+        );
+        assert!(a.messages_lost > 0, "{}: losses must fire", alg.label());
+    }
+}
+
+#[test]
+fn lost_heartbeats_fire_the_recovery_protocol() {
+    // Heavy loss, zero churn: every recovery is spurious. The owner falsely
+    // declares live run nodes dead, re-runs matchmaking under a fresh epoch,
+    // and the superseded executions surface as suppressed duplicates.
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 300, 41);
+    let r = lossy(Algorithm::RnTree, &workload, 41, FaultPlan::with_loss(0.3));
+    assert_eq!(r.node_failures, 0, "no node ever fails in this scenario");
+    assert!(r.messages_lost > 0);
+    assert!(r.spurious_detections > 0, "sustained loss must misfire detection");
+    assert!(r.run_recoveries > 0, "spurious detections drive recovery");
+    assert!(
+        r.duplicate_executions > 0,
+        "re-matched jobs leave duplicates that the epoch check must discard"
+    );
+    assert_eq!(
+        r.jobs_completed + r.jobs_failed,
+        300,
+        "conservation — every job terminates exactly once"
+    );
+    assert!(
+        r.completion_rate() > 0.8,
+        "retry/backoff must save most jobs (got {:.3})",
+        r.completion_rate()
+    );
+}
+
+#[test]
+fn partition_heals_and_jobs_drain() {
+    // A sixth of the grid is cut off for a window mid-run; unreachable
+    // messages count as lost, retries ride out the cut, and conservation
+    // holds after the heal.
+    let island: Vec<u32> = (0..12).collect();
+    let plan = FaultPlan::none().with_partition(500.0, 2_500.0, island);
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 300, 43);
+    let r = lossy(Algorithm::Central, &workload, 43, plan);
+    assert!(r.messages_lost > 0, "the cut must sever some messages");
+    assert_eq!(r.jobs_completed + r.jobs_failed, 300, "conservation");
+    assert!(
+        r.completion_rate() > 0.5,
+        "most jobs outlive a 2000s partition (got {:.3})",
+        r.completion_rate()
+    );
+}
+
+#[test]
+fn scheduled_crashes_rejoin_on_time() {
+    // FaultPlan crashes are the deterministic cousin of stochastic churn:
+    // the node fails abruptly at the scheduled instant and rejoins later.
+    let plan = FaultPlan::none()
+        .with_crash(400.0, 2, Some(600.0))
+        .with_crash(900.0, 5, None);
+    let workload = paper_scenario(PaperScenario::MixedLight, 32, 150, 47);
+    let r = lossy(Algorithm::RnTree, &workload, 47, plan);
+    assert_eq!(r.node_failures, 2, "both scheduled crashes fire");
+    assert_eq!(r.jobs_completed + r.jobs_failed, 150, "conservation");
+    assert!(r.completion_rate() > 0.8, "rate {:.3}", r.completion_rate());
+}
+
+#[test]
+fn loss_makes_things_worse_monotonically_in_cost() {
+    // More loss ⇒ at least as many lost messages; completion stays high at
+    // mild rates thanks to retry/backoff.
+    let workload = paper_scenario(PaperScenario::MixedLight, 64, 200, 53);
+    let mild = lossy(Algorithm::Central, &workload, 53, FaultPlan::with_loss(0.02));
+    let harsh = lossy(Algorithm::Central, &workload, 53, FaultPlan::with_loss(0.2));
+    assert!(mild.messages_lost > 0);
+    assert!(harsh.messages_lost > mild.messages_lost);
+    assert!(mild.completion_rate() > 0.95, "rate {:.3}", mild.completion_rate());
+}
