@@ -12,8 +12,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dgrid::can::{CanConfig, CanNetwork};
 use dgrid::chord::{ChordId, ChordRing};
 use dgrid::pastry::{PastryId, PastryNetwork};
-use dgrid::tapestry::{TapestryId, TapestryNetwork};
 use dgrid::sim::rng::{rng_for, streams};
+use dgrid::tapestry::{TapestryId, TapestryNetwork};
 use rand::Rng;
 
 fn dht_faceoff(c: &mut Criterion) {
@@ -46,7 +46,10 @@ fn dht_faceoff(c: &mut Criterion) {
         tapestry.stabilize();
 
         // CAN (4-d, as the matchmaker uses).
-        let mut can = CanNetwork::new(CanConfig { dims: 4, ..CanConfig::default() });
+        let mut can = CanNetwork::new(CanConfig {
+            dims: 4,
+            ..CanConfig::default()
+        });
         let can_ids: Vec<_> = (0..n)
             .map(|_| {
                 let p: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
@@ -64,8 +67,12 @@ fn dht_faceoff(c: &mut Criterion) {
             let from = rng.gen_range(0..n);
             chord_hops.push(ring.lookup(chord_ids[from], ChordId(key)).unwrap().hops as f64);
             pastry_hops.push(pastry.route(pastry_ids[from], PastryId(key)).unwrap().hops as f64);
-            tapestry_hops
-                .push(tapestry.route(TapestryId(chord_ids[from].0), TapestryId(key)).unwrap().hops as f64);
+            tapestry_hops.push(
+                tapestry
+                    .route(TapestryId(chord_ids[from].0), TapestryId(key))
+                    .unwrap()
+                    .hops as f64,
+            );
             let target: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
             can_hops.push(can.route(can_ids[from], &target).unwrap().hops as f64);
         }

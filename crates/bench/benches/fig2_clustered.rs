@@ -19,7 +19,11 @@ fn fig2_clustered(c: &mut Criterion) {
             .iter()
             .map(|&a| (a, bench_cell(a, scenario, 1077)))
             .collect();
-        print_series("Figure 2(a,b): wait time, clustered workloads", scenario, &reports);
+        print_series(
+            "Figure 2(a,b): wait time, clustered workloads",
+            scenario,
+            &reports,
+        );
     }
 
     let mut g = c.benchmark_group("fig2_clustered");

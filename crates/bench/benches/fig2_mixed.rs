@@ -18,7 +18,11 @@ fn fig2_mixed(c: &mut Criterion) {
             .iter()
             .map(|&a| (a, bench_cell(a, scenario, 2077)))
             .collect();
-        print_series("Figure 2(c,d): wait time, mixed workloads", scenario, &reports);
+        print_series(
+            "Figure 2(c,d): wait time, mixed workloads",
+            scenario,
+            &reports,
+        );
     }
 
     let mut g = c.benchmark_group("fig2_mixed");

@@ -47,7 +47,10 @@ fn overlay_micro(c: &mut Criterion) {
     });
 
     // CAN greedy route on a 512-node 4-d space.
-    let mut net = CanNetwork::new(CanConfig { dims: 4, ..CanConfig::default() });
+    let mut net = CanNetwork::new(CanConfig {
+        dims: 4,
+        ..CanConfig::default()
+    });
     let mut crng = rng_for(9003, 0);
     let can_ids: Vec<_> = (0..512)
         .map(|_| {

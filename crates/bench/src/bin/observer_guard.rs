@@ -1,0 +1,228 @@
+//! `observer_guard` — CI guard that the default (NullObserver) engine path
+//! stays telemetry-free.
+//!
+//! ```text
+//! observer_guard [--baseline PATH] [--write-baseline]
+//!                [--nodes N] [--jobs M] [--seed S] [--reps R] [--factor F]
+//! ```
+//!
+//! Two checks, one exact and one timed:
+//!
+//! 1. **Fingerprint (exact, noise-free).** The simulation is deterministic,
+//!    so the report of a default-path run must be byte-identical JSON to the
+//!    report of a fully instrumented run (JSONL observer to a sink, metrics
+//!    registry, time-series sampling) once the attached series is removed.
+//!    If the default path ever starts paying for telemetry — scheduling
+//!    sample events, drawing RNG, mutating state — this diverges and the
+//!    guard fails hard, independent of machine speed.
+//! 2. **Wall time (pinned baseline).** The median default-path run time over
+//!    `--reps` repetitions must stay within `factor ×` the pinned baseline
+//!    (`results/observer_guard_baseline.json` by default). The factor is
+//!    deliberately generous (machines and CI runners vary); override it with
+//!    `--factor` or the `DGRID_GUARD_FACTOR` env var. `--write-baseline`
+//!    re-pins the baseline on the current machine — CI writes a fresh
+//!    baseline first so the comparison is same-machine.
+//!
+//! The instrumented-path median is also measured and printed so the cost of
+//! telemetry *when enabled* is visible in every CI log.
+
+use std::time::Instant;
+
+use dgrid::core::{ChurnConfig, Engine, EngineConfig, JsonlObserver, SimReport};
+use dgrid::harness::Algorithm;
+use dgrid::sim::telemetry::shared_registry;
+use dgrid::sim::SimDuration;
+use dgrid::workloads::{paper_scenario, PaperScenario, Workload};
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug)]
+struct Opts {
+    baseline: String,
+    write_baseline: bool,
+    nodes: usize,
+    jobs: usize,
+    seed: u64,
+    reps: usize,
+    factor: f64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        baseline: "results/observer_guard_baseline.json".to_string(),
+        write_baseline: false,
+        nodes: 96,
+        jobs: 400,
+        seed: 42,
+        reps: 5,
+        factor: std::env::var("DGRID_GUARD_FACTOR")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(4.0),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                opts.baseline = args[i + 1].clone();
+                i += 2;
+            }
+            "--write-baseline" => {
+                opts.write_baseline = true;
+                i += 1;
+            }
+            "--nodes" => {
+                opts.nodes = args[i + 1].parse().expect("--nodes N");
+                i += 2;
+            }
+            "--jobs" => {
+                opts.jobs = args[i + 1].parse().expect("--jobs M");
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = args[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            "--reps" => {
+                opts.reps = args[i + 1].parse().expect("--reps R");
+                i += 2;
+            }
+            "--factor" => {
+                opts.factor = args[i + 1].parse().expect("--factor F");
+                i += 2;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    opts
+}
+
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    nodes: usize,
+    jobs: usize,
+    seed: u64,
+    reps: usize,
+    null_path_ms: f64,
+}
+
+fn engine(opts: &Opts, workload: &Workload) -> Engine {
+    let cfg = EngineConfig {
+        seed: opts.seed,
+        max_sim_secs: 3_000_000.0,
+        ..EngineConfig::default()
+    };
+    Engine::new(
+        cfg,
+        ChurnConfig::none(),
+        Algorithm::RnTree.matchmaker(),
+        workload.nodes.clone(),
+        workload.submissions.clone(),
+    )
+}
+
+fn median_ms(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Strip the payload that only exists when telemetry is on, then serialize.
+fn fingerprint(mut report: SimReport) -> String {
+    report.timeseries = None;
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+fn timed_null(opts: &Opts, workload: &Workload) -> (f64, String) {
+    let mut times = Vec::with_capacity(opts.reps);
+    let mut fp = String::new();
+    for _ in 0..opts.reps {
+        let eng = engine(opts, workload);
+        let start = Instant::now();
+        let report = eng.run();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        fp = fingerprint(report);
+    }
+    (median_ms(times), fp)
+}
+
+fn timed_instrumented(opts: &Opts, workload: &Workload) -> (f64, String) {
+    let mut times = Vec::with_capacity(opts.reps);
+    let mut fp = String::new();
+    for _ in 0..opts.reps {
+        let eng = engine(opts, workload)
+            .with_observer(Box::new(JsonlObserver::new(std::io::sink())))
+            .with_telemetry_registry(shared_registry())
+            .with_timeseries_sampling(SimDuration::from_secs(120));
+        let start = Instant::now();
+        let report = eng.run();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        fp = fingerprint(report);
+    }
+    (median_ms(times), fp)
+}
+
+fn main() {
+    let opts = parse_args();
+    let workload = paper_scenario(PaperScenario::MixedLight, opts.nodes, opts.jobs, opts.seed);
+
+    let (null_ms, null_fp) = timed_null(&opts, &workload);
+    let (instr_ms, instr_fp) = timed_instrumented(&opts, &workload);
+
+    println!(
+        "observer_guard: {} nodes, {} jobs, seed {}, {} reps",
+        opts.nodes, opts.jobs, opts.seed, opts.reps
+    );
+    println!("  null-observer path : median {null_ms:.1} ms");
+    println!("  instrumented path  : median {instr_ms:.1} ms");
+
+    // Check 1: telemetry observes, never perturbs (exact, machine-independent).
+    if null_fp != instr_fp {
+        eprintln!("FAIL: instrumented run diverged from the default path;");
+        eprintln!("      telemetry must observe the simulation, not change it.");
+        std::process::exit(1);
+    }
+    println!("  fingerprint        : identical (telemetry does not perturb)");
+
+    if opts.write_baseline {
+        let baseline = Baseline {
+            nodes: opts.nodes,
+            jobs: opts.jobs,
+            seed: opts.seed,
+            reps: opts.reps,
+            null_path_ms: null_ms,
+        };
+        let body = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+        std::fs::write(&opts.baseline, body + "\n").expect("write baseline file");
+        println!("  baseline pinned    : {} ({null_ms:.1} ms)", opts.baseline);
+        return;
+    }
+
+    // Check 2: wall time against the pinned baseline.
+    let body = std::fs::read_to_string(&opts.baseline).unwrap_or_else(|e| {
+        panic!(
+            "read baseline {}: {e} (try --write-baseline)",
+            opts.baseline
+        )
+    });
+    let baseline: Baseline = serde_json::from_str(&body).expect("parse baseline file");
+    if (baseline.nodes, baseline.jobs, baseline.seed) != (opts.nodes, opts.jobs, opts.seed) {
+        eprintln!(
+            "FAIL: baseline {} was pinned for {} nodes / {} jobs / seed {}; re-pin with --write-baseline",
+            opts.baseline, baseline.nodes, baseline.jobs, baseline.seed
+        );
+        std::process::exit(1);
+    }
+    let budget = baseline.null_path_ms * opts.factor;
+    println!(
+        "  budget             : {budget:.1} ms ({:.1} ms pinned x {:.1})",
+        baseline.null_path_ms, opts.factor
+    );
+    if null_ms > budget {
+        eprintln!(
+            "FAIL: null-observer path took {null_ms:.1} ms, over budget {budget:.1} ms; \
+             the default path must stay telemetry-free"
+        );
+        std::process::exit(1);
+    }
+    println!("  verdict            : OK");
+}

@@ -132,13 +132,22 @@ fn main() {
 
 /// Figure 2, all four panels.
 fn fig2(opts: &Opts, json: &mut Vec<JsonRow>) {
-    println!("== Figure 2: job wait time ({} nodes, {} jobs, {} reps) ==", opts.nodes, opts.jobs, opts.reps);
+    println!(
+        "== Figure 2: job wait time ({} nodes, {} jobs, {} reps) ==",
+        opts.nodes, opts.jobs, opts.reps
+    );
     let mut table: BTreeMap<(String, String), CellResult> = BTreeMap::new();
     for scenario in PaperScenario::ALL {
         for alg in Algorithm::FIGURE2 {
             let cell = run_cell(alg, scenario, opts.nodes, opts.jobs, opts.seed, opts.reps);
-            table.insert((scenario.label().to_string(), alg.label().to_string()), cell.clone());
-            json.push(JsonRow { experiment: "fig2".into(), cell });
+            table.insert(
+                (scenario.label().to_string(), alg.label().to_string()),
+                cell.clone(),
+            );
+            json.push(JsonRow {
+                experiment: "fig2".into(),
+                cell,
+            });
         }
     }
     for (panel, stat, clustered) in [
@@ -148,7 +157,10 @@ fn fig2(opts: &Opts, json: &mut Vec<JsonRow>) {
         ("2(d) stdev wait, mixed", "std", false),
     ] {
         println!("-- Figure {panel} (seconds) --");
-        println!("{:<18} {:>10} {:>10} {:>10}", "workload", "can", "rn-tree", "central");
+        println!(
+            "{:<18} {:>10} {:>10} {:>10}",
+            "workload", "can", "rn-tree", "central"
+        );
         for scenario in PaperScenario::ALL {
             if scenario.clustered() != clustered {
                 continue;
@@ -182,8 +194,14 @@ fn hops(opts: &Opts) {
     );
     for &n in &[64usize, 256, 1024, opts.nodes] {
         for alg in [Algorithm::Can, Algorithm::RnTree] {
-            let workload = paper_scenario(PaperScenario::MixedHeavy, n, 2 * n, opts.seed + n as u64);
-            let mut r = run_workload(alg, &workload, paper_engine_config(opts.seed), ChurnConfig::none());
+            let workload =
+                paper_scenario(PaperScenario::MixedHeavy, n, 2 * n, opts.seed + n as u64);
+            let mut r = run_workload(
+                alg,
+                &workload,
+                paper_engine_config(opts.seed),
+                ChurnConfig::none(),
+            );
             let (mean, p99) = r.hop_summary();
             println!(
                 "{:<8} {:<10} {:>12.1} {:>12.1} {:>12.1}",
@@ -206,7 +224,14 @@ fn push(opts: &Opts, json: &mut Vec<JsonRow>) {
         "algorithm", "mean wait", "std wait", "fairness", "hops"
     );
     for alg in [Algorithm::Can, Algorithm::CanPush, Algorithm::Central] {
-        let cell = run_cell(alg, PaperScenario::MixedLight, opts.nodes, opts.jobs, opts.seed, opts.reps);
+        let cell = run_cell(
+            alg,
+            PaperScenario::MixedLight,
+            opts.nodes,
+            opts.jobs,
+            opts.seed,
+            opts.reps,
+        );
         println!(
             "{:<10} {:>12.1} {:>12.1} {:>10.3} {:>10.1}",
             cell.algorithm,
@@ -215,7 +240,10 @@ fn push(opts: &Opts, json: &mut Vec<JsonRow>) {
             cell.load_fairness,
             cell.mean_match_hops + cell.mean_owner_hops
         );
-        json.push(JsonRow { experiment: "push".into(), cell });
+        json.push(JsonRow {
+            experiment: "push".into(),
+            cell,
+        });
     }
     println!();
 }
@@ -261,7 +289,10 @@ fn tree(opts: &Opts) {
     use rand::Rng;
 
     println!("== T-tree: RN-Tree height vs log2(N) ==");
-    println!("{:<8} {:>8} {:>10} {:>16}", "N", "height", "log2(N)", "build hops/node");
+    println!(
+        "{:<8} {:>8} {:>10} {:>16}",
+        "N", "height", "log2(N)", "build hops/node"
+    );
     for &n in &[64usize, 256, 1024, 4096, opts.nodes.max(8192)] {
         let mut rng = rng_for(opts.seed, streams::NODE_IDS ^ n as u64);
         let mut ring = ChordRing::default();
@@ -294,12 +325,22 @@ fn virt(opts: &Opts, json: &mut Vec<JsonRow>) {
         "algorithm", "mean wait", "std wait", "fairness", "completion"
     );
     for alg in [Algorithm::Can, Algorithm::CanNoVirtualDim] {
-        let cell = run_cell(alg, PaperScenario::ClusteredLight, opts.nodes, opts.jobs, opts.seed, opts.reps);
+        let cell = run_cell(
+            alg,
+            PaperScenario::ClusteredLight,
+            opts.nodes,
+            opts.jobs,
+            opts.seed,
+            opts.reps,
+        );
         println!(
             "{:<12} {:>12.1} {:>12.1} {:>10.3} {:>11.3}",
             cell.algorithm, cell.mean_wait, cell.std_wait, cell.load_fairness, cell.completion_rate
         );
-        json.push(JsonRow { experiment: "virt".into(), cell });
+        json.push(JsonRow {
+            experiment: "virt".into(),
+            cell,
+        });
     }
     println!();
 }
@@ -336,7 +377,10 @@ fn dht(opts: &Opts) {
         ring.stabilize();
         pastry.stabilize();
         tapestry.stabilize();
-        let mut can = CanNetwork::new(CanConfig { dims: 4, ..CanConfig::default() });
+        let mut can = CanNetwork::new(CanConfig {
+            dims: 4,
+            ..CanConfig::default()
+        });
         let can_ids: Vec<_> = (0..n)
             .map(|_| {
                 let p: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
@@ -350,8 +394,18 @@ fn dht(opts: &Opts) {
             let key: u64 = rng.gen();
             let from = rng.gen_range(0..n);
             ch.push(ring.lookup(ChordId(ids[from]), ChordId(key)).unwrap().hops as f64);
-            pa.push(pastry.route(PastryId(ids[from]), PastryId(key)).unwrap().hops as f64);
-            ta.push(tapestry.route(TapestryId(ids[from]), TapestryId(key)).unwrap().hops as f64);
+            pa.push(
+                pastry
+                    .route(PastryId(ids[from]), PastryId(key))
+                    .unwrap()
+                    .hops as f64,
+            );
+            ta.push(
+                tapestry
+                    .route(TapestryId(ids[from]), TapestryId(key))
+                    .unwrap()
+                    .hops as f64,
+            );
             let target: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
             cn.push(can.route(can_ids[from], &target).unwrap().hops as f64);
         }
@@ -360,7 +414,14 @@ fn dht(opts: &Opts) {
             let mean = v.iter().sum::<f64>() / v.len() as f64;
             format!("{mean:>6.1} / {:<4.0}", v[(v.len() * 99) / 100])
         };
-        println!("{:<8} {:>14} {:>14} {:>14} {:>14}", n, stats(ch), stats(pa), stats(ta), stats(cn));
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>14}",
+            n,
+            stats(ch),
+            stats(pa),
+            stats(ta),
+            stats(cn)
+        );
     }
     println!();
 }
@@ -390,8 +451,12 @@ fn tail(opts: &Opts) {
                 ..WorkloadConfig::default()
             }
             .generate();
-            let mut r =
-                run_workload(alg, &workload, paper_engine_config(opts.seed), ChurnConfig::none());
+            let mut r = run_workload(
+                alg,
+                &workload,
+                paper_engine_config(opts.seed),
+                ChurnConfig::none(),
+            );
             let p99 = r.wait_time.percentile(99.0).unwrap_or(0.0);
             println!(
                 "{:<10} {:<14} {:>11.1}s {:>11.1}s {:>10.3}",
@@ -415,9 +480,19 @@ fn overhead(opts: &Opts) {
         "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "algorithm", "owner", "matching", "heartbeat", "total/job", "mean wait"
     );
-    for alg in [Algorithm::Central, Algorithm::RnTree, Algorithm::Can, Algorithm::CanPush] {
+    for alg in [
+        Algorithm::Central,
+        Algorithm::RnTree,
+        Algorithm::Can,
+        Algorithm::CanPush,
+    ] {
         let workload = paper_scenario(PaperScenario::MixedHeavy, opts.nodes, opts.jobs, opts.seed);
-        let r = run_workload(alg, &workload, paper_engine_config(opts.seed), ChurnConfig::none());
+        let r = run_workload(
+            alg,
+            &workload,
+            paper_engine_config(opts.seed),
+            ChurnConfig::none(),
+        );
         let per_job = |x: f64| x / r.jobs_completed.max(1) as f64;
         println!(
             "{:<10} {:>10.1} {:>10.1} {:>10.1} {:>12.1} {:>11.1}s",
@@ -453,7 +528,12 @@ fn fair(opts: &Opts) {
             ..WorkloadConfig::default()
         }
         .generate();
-        let r = run_workload(alg, &workload, paper_engine_config(opts.seed), ChurnConfig::none());
+        let r = run_workload(
+            alg,
+            &workload,
+            paper_engine_config(opts.seed),
+            ChurnConfig::none(),
+        );
         let heavy = r.client_waits.get(&0).map(|s| s.mean()).unwrap_or(0.0);
         let light_means: Vec<f64> = r
             .client_waits
@@ -483,7 +563,12 @@ fn dist(opts: &Opts) {
     println!("== wait-time distribution, mixed/light (buckets: [0,1s), [1,2s), [2,4s), ...) ==");
     for alg in Algorithm::FIGURE2 {
         let workload = paper_scenario(PaperScenario::MixedLight, opts.nodes, opts.jobs, opts.seed);
-        let r = run_workload(alg, &workload, paper_engine_config(opts.seed), ChurnConfig::none());
+        let r = run_workload(
+            alg,
+            &workload,
+            paper_engine_config(opts.seed),
+            ChurnConfig::none(),
+        );
         let mut h = LogHistogram::new(1.0);
         for &w in r.wait_time.samples() {
             h.record(w);
@@ -503,10 +588,16 @@ fn dist(opts: &Opts) {
 /// A-k: extended-search width sweep.
 fn ksweep(opts: &Opts) {
     println!("== A-k: extended search width (rn-tree, mixed/light) ==");
-    println!("{:<6} {:>12} {:>12} {:>12}", "k", "mean wait", "std wait", "match hops");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12}",
+        "k", "mean wait", "std wait", "match hops"
+    );
     for &k in &[1usize, 2, 4, 8, 16] {
         let workload = paper_scenario(PaperScenario::MixedLight, opts.nodes, opts.jobs, opts.seed);
-        let mm = Box::new(RnTreeMatchmaker::new(RnTreeConfig { k, ..RnTreeConfig::default() }));
+        let mm = Box::new(RnTreeMatchmaker::new(RnTreeConfig {
+            k,
+            ..RnTreeConfig::default()
+        }));
         let r = Engine::new(
             paper_engine_config(opts.seed),
             ChurnConfig::none(),

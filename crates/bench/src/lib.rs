@@ -24,7 +24,10 @@ pub fn bench_cell(algorithm: Algorithm, scenario: PaperScenario, seed: u64) -> S
 /// Print one figure row (used by benches so `cargo bench` output contains
 /// the regenerated series).
 pub fn print_series(figure: &str, scenario: PaperScenario, reports: &[(Algorithm, SimReport)]) {
-    eprintln!("--- {figure} [{}] (bench scale: {BENCH_NODES} nodes, {BENCH_JOBS} jobs)", scenario.label());
+    eprintln!(
+        "--- {figure} [{}] (bench scale: {BENCH_NODES} nodes, {BENCH_JOBS} jobs)",
+        scenario.label()
+    );
     for (alg, r) in reports {
         eprintln!(
             "    {:<10} mean_wait={:>8.1}s std_wait={:>8.1}s hops={:>5.1} completed={}",

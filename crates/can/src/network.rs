@@ -177,7 +177,9 @@ impl CanNetwork {
             return new_id;
         }
 
-        let owner = self.owner_of(point).expect("non-empty network owns all points");
+        let owner = self
+            .owner_of(point)
+            .expect("non-empty network owns all points");
         let owner_point: Vec<f64> = self.slots[owner.0 as usize].point.to_vec();
         let owner_slot = &mut self.slots[owner.0 as usize];
         let zi = owner_slot
@@ -280,8 +282,16 @@ impl CanNetwork {
             .copied()
             .filter(|&n| self.is_alive(n))
             .min_by(|&a, &b| {
-                let va: f64 = self.slots[a.0 as usize].zones.iter().map(Zone::volume).sum();
-                let vb: f64 = self.slots[b.0 as usize].zones.iter().map(Zone::volume).sum();
+                let va: f64 = self.slots[a.0 as usize]
+                    .zones
+                    .iter()
+                    .map(Zone::volume)
+                    .sum();
+                let vb: f64 = self.slots[b.0 as usize]
+                    .zones
+                    .iter()
+                    .map(Zone::volume)
+                    .sum();
                 va.partial_cmp(&vb).unwrap().then(a.cmp(&b))
             })
             .expect("a multi-node partition always has live neighbors");
@@ -306,7 +316,11 @@ impl CanNetwork {
     /// from them to anyone. Links between two unaffected nodes are
     /// untouched (they cannot have changed).
     fn rebuild_neighbors_within(&mut self, affected: &BTreeSet<CanNodeId>) {
-        let ids: Vec<CanNodeId> = affected.iter().copied().filter(|&n| self.is_alive(n)).collect();
+        let ids: Vec<CanNodeId> = affected
+            .iter()
+            .copied()
+            .filter(|&n| self.is_alive(n))
+            .collect();
         // Drop all links touching an affected node, from both sides.
         for &a in &ids {
             let old = std::mem::take(&mut self.slots[a.0 as usize].neighbors);
@@ -541,10 +555,22 @@ fn try_merge(a: &Zone, b: &Zone) -> Option<Zone> {
     }
     let i = merge_dim?;
     let lo: Vec<f64> = (0..d)
-        .map(|k| if k == i { a.lo()[k].min(b.lo()[k]) } else { a.lo()[k] })
+        .map(|k| {
+            if k == i {
+                a.lo()[k].min(b.lo()[k])
+            } else {
+                a.lo()[k]
+            }
+        })
         .collect();
     let hi: Vec<f64> = (0..d)
-        .map(|k| if k == i { a.hi()[k].max(b.hi()[k]) } else { a.hi()[k] })
+        .map(|k| {
+            if k == i {
+                a.hi()[k].max(b.hi()[k])
+            } else {
+                a.hi()[k]
+            }
+        })
         .collect();
     Some(Zone::from_bounds(
         &lo,
@@ -575,7 +601,10 @@ mod tests {
 
     #[test]
     fn first_node_owns_everything() {
-        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let mut net = CanNetwork::new(CanConfig {
+            dims: 2,
+            ..Default::default()
+        });
         let id = net.join(&[0.3, 0.7]);
         assert_eq!(net.owner_of(&[0.99, 0.01]), Some(id));
         assert_eq!(net.zones(id).len(), 1);
@@ -585,7 +614,10 @@ mod tests {
 
     #[test]
     fn second_join_splits() {
-        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let mut net = CanNetwork::new(CanConfig {
+            dims: 2,
+            ..Default::default()
+        });
         let a = net.join(&[0.25, 0.5]);
         let b = net.join(&[0.75, 0.5]);
         // Split along dim 0 (depth 0): a keeps x<0.5, b takes x>=0.5.
@@ -608,7 +640,10 @@ mod tests {
         // A node's own point is always inside one of its zones right after
         // it joins.
         let mut rng = rng_for(5, 0);
-        let mut net = CanNetwork::new(CanConfig { dims: 4, ..Default::default() });
+        let mut net = CanNetwork::new(CanConfig {
+            dims: 4,
+            ..Default::default()
+        });
         for _ in 0..64 {
             let p: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
             let id = net.join(&p);
@@ -641,7 +676,10 @@ mod tests {
             total += u64::from(net.route(from, &target).unwrap().hops);
         }
         let mean = total as f64 / trials as f64;
-        assert!(mean < 16.0, "mean hops {mean:.1} too high for 256 nodes in 4-d");
+        assert!(
+            mean < 16.0,
+            "mean hops {mean:.1} too high for 256 nodes in 4-d"
+        );
     }
 
     #[test]
@@ -669,7 +707,11 @@ mod tests {
         let _a = net.join(&[0.25, 0.5]);
         let b = net.join(&[0.75, 0.5]);
         let from = net.owner_of(&[0.1, 0.1]).unwrap();
-        assert_eq!(net.route(from, &[0.9, 0.9]), None, "budget forbids forwarding");
+        assert_eq!(
+            net.route(from, &[0.9, 0.9]),
+            None,
+            "budget forbids forwarding"
+        );
         let (r, retries) = net
             .route_with_failover(from, &[0.9, 0.9], 2)
             .expect("the neighbor detour reaches the owner");
@@ -680,7 +722,10 @@ mod tests {
 
     #[test]
     fn departure_hands_zone_to_neighbor() {
-        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let mut net = CanNetwork::new(CanConfig {
+            dims: 2,
+            ..Default::default()
+        });
         let a = net.join(&[0.25, 0.5]);
         let b = net.join(&[0.75, 0.5]);
         net.leave(b);
@@ -695,7 +740,10 @@ mod tests {
     #[test]
     fn churn_preserves_partition() {
         let mut rng = rng_for(21, 0);
-        let mut net = CanNetwork::new(CanConfig { dims: 3, ..Default::default() });
+        let mut net = CanNetwork::new(CanConfig {
+            dims: 3,
+            ..Default::default()
+        });
         let mut live: Vec<CanNodeId> = Vec::new();
         for step in 0..300 {
             if live.len() < 4 || rng.gen_bool(0.6) {
@@ -724,7 +772,10 @@ mod tests {
 
     #[test]
     fn last_node_departure_empties_network() {
-        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let mut net = CanNetwork::new(CanConfig {
+            dims: 2,
+            ..Default::default()
+        });
         let a = net.join(&[0.5, 0.5]);
         net.leave(a);
         assert!(net.is_empty());
@@ -734,7 +785,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "departure of unknown")]
     fn double_departure_panics() {
-        let mut net = CanNetwork::new(CanConfig { dims: 2, ..Default::default() });
+        let mut net = CanNetwork::new(CanConfig {
+            dims: 2,
+            ..Default::default()
+        });
         let a = net.join(&[0.5, 0.5]);
         let _b = net.join(&[0.1, 0.1]);
         net.leave(a);

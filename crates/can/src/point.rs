@@ -28,7 +28,12 @@ pub fn torus_dist(a: &[f64], b: &[f64]) -> f64 {
 
 /// Validate that `p` is a point in `[0, 1)^dims`.
 pub(crate) fn check_point(p: &[f64], dims: usize) {
-    assert_eq!(p.len(), dims, "point has {} dims, space has {dims}", p.len());
+    assert_eq!(
+        p.len(),
+        dims,
+        "point has {} dims, space has {dims}",
+        p.len()
+    );
     for (i, &x) in p.iter().enumerate() {
         assert!(
             x.is_finite() && (0.0..1.0).contains(&x),

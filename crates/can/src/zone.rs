@@ -34,7 +34,9 @@ impl Zone {
     pub fn from_bounds(lo: &[f64], hi: &[f64], depth: u32) -> Zone {
         assert_eq!(lo.len(), hi.len());
         assert!(
-            lo.iter().zip(hi).all(|(&l, &h)| l < h && (0.0..=1.0).contains(&l) && h <= 1.0),
+            lo.iter()
+                .zip(hi)
+                .all(|(&l, &h)| l < h && (0.0..=1.0).contains(&l) && h <= 1.0),
             "invalid zone bounds {lo:?}..{hi:?}"
         );
         Zone {
@@ -101,9 +103,7 @@ impl Zone {
             mid > l && mid < h
         };
         let preferred = self.depth as usize % d;
-        (0..d)
-            .map(|k| (preferred + k) % d)
-            .find(|&i| splittable(i))
+        (0..d).map(|k| (preferred + k) % d).find(|&i| splittable(i))
     }
 
     /// Split in half along `dim`, returning `(lower, upper)` children.
@@ -159,10 +159,7 @@ impl Zone {
 
     /// Do the intervals touch end-to-end, directly or across the torus wrap?
     fn abut_1d(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> bool {
-        a_hi == b_lo
-            || b_hi == a_lo
-            || (a_hi == 1.0 && b_lo == 0.0)
-            || (b_hi == 1.0 && a_lo == 0.0)
+        a_hi == b_lo || b_hi == a_lo || (a_hi == 1.0 && b_lo == 0.0) || (b_hi == 1.0 && a_lo == 0.0)
     }
 
     /// Torus distance from `p` to the nearest point of this zone.
@@ -201,7 +198,10 @@ mod tests {
         let z = Zone::unit(2);
         let (a, b) = z.split(0);
         assert!(a.contains(&[0.25, 0.5]));
-        assert!(!a.contains(&[0.5, 0.5]), "boundary belongs to the upper half");
+        assert!(
+            !a.contains(&[0.5, 0.5]),
+            "boundary belongs to the upper half"
+        );
         assert!(b.contains(&[0.5, 0.5]));
         assert!((a.volume() + b.volume() - 1.0).abs() < 1e-15);
         assert_eq!(a.depth(), 1);
@@ -228,7 +228,10 @@ mod tests {
 
         let (top_left, bottom_left) = left.split(1);
         assert!(top_left.is_neighbor(&bottom_left));
-        assert!(top_left.is_neighbor(&right), "overlaps right in y, abuts in x");
+        assert!(
+            top_left.is_neighbor(&right),
+            "overlaps right in y, abuts in x"
+        );
 
         // Wrap-around: left's x-interval [0,.5) abuts right's [.5,1) across
         // the torus seam too, but they already abut directly; construct a

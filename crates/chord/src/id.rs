@@ -116,8 +116,14 @@ mod tests {
     #[test]
     fn degenerate_interval_is_full_ring() {
         assert!(ChordId(999).in_open_closed(A, A));
-        assert!(ChordId(10).in_open_closed(A, A), "x == a == b is the closed end");
-        assert!(!ChordId(10).in_open_open(A, A), "open-open excludes a itself");
+        assert!(
+            ChordId(10).in_open_closed(A, A),
+            "x == a == b is the closed end"
+        );
+        assert!(
+            !ChordId(10).in_open_open(A, A),
+            "open-open excludes a itself"
+        );
         assert!(ChordId(11).in_open_open(A, A));
     }
 

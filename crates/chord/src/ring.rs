@@ -68,7 +68,10 @@ impl Default for ChordRing {
 impl ChordRing {
     /// An empty ring.
     pub fn new(cfg: ChordConfig) -> Self {
-        assert!(cfg.successor_list_len >= 1, "successor list must be non-empty");
+        assert!(
+            cfg.successor_list_len >= 1,
+            "successor list must be non-empty"
+        );
         ChordRing {
             cfg,
             peers: BTreeMap::new(),
@@ -330,7 +333,11 @@ mod tests {
         assert_eq!(r.successor_of(ChordId(10)), Some(ChordId(10)), "inclusive");
         assert_eq!(r.successor_of(ChordId(11)), Some(ChordId(20)));
         assert_eq!(r.successor_of(ChordId(31)), Some(ChordId(10)), "wraps");
-        assert_eq!(r.predecessor_of(ChordId(10)), Some(ChordId(30)), "wraps back");
+        assert_eq!(
+            r.predecessor_of(ChordId(10)),
+            Some(ChordId(30)),
+            "wraps back"
+        );
         assert_eq!(r.predecessor_of(ChordId(25)), Some(ChordId(20)));
     }
 
@@ -343,7 +350,11 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r.successor_of(ChordId(7)), Some(ChordId(42)));
         let v = r.peer_view(ChordId(42)).unwrap();
-        assert_eq!(v.successor, ChordId(42), "own successor on single-node ring");
+        assert_eq!(
+            v.successor,
+            ChordId(42),
+            "own successor on single-node ring"
+        );
         assert_eq!(v.predecessor, ChordId(42));
     }
 
@@ -378,7 +389,11 @@ mod tests {
         r.fail(ChordId(20));
         // 10 still *believes* 20 is its successor (stale).
         let v10 = r.peer_view(ChordId(10)).unwrap();
-        assert_eq!(v10.successor, ChordId(20), "stale successor after silent failure");
+        assert_eq!(
+            v10.successor,
+            ChordId(20),
+            "stale successor after silent failure"
+        );
         r.stabilize();
         let v10 = r.peer_view(ChordId(10)).unwrap();
         assert_eq!(v10.successor, ChordId(30), "repaired by stabilization");
@@ -418,10 +433,7 @@ mod tests {
             // Entries are the k nearest live successors in clockwise order.
             let mut prev = id;
             for &s in &st.successors {
-                assert_eq!(
-                    r.successor_of(ChordId(prev.0.wrapping_add(1))),
-                    Some(s)
-                );
+                assert_eq!(r.successor_of(ChordId(prev.0.wrapping_add(1))), Some(s));
                 prev = s;
             }
         }

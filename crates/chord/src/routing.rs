@@ -40,7 +40,11 @@ impl ChordRing {
             // A peer whose own id equals the key owns it (successor is
             // inclusive of the key itself).
             if cur == key {
-                return Some(Lookup { owner: cur, hops, timeouts });
+                return Some(Lookup {
+                    owner: cur,
+                    hops,
+                    timeouts,
+                });
             }
 
             let state = self.state(cur).expect("routing through known peer");
@@ -51,7 +55,11 @@ impl ChordRing {
             // the true one, so the check stays safe under failures.
             if let Some(pred) = state.predecessor {
                 if key.in_open_closed(pred, cur) {
-                    return Some(Lookup { owner: cur, hops, timeouts });
+                    return Some(Lookup {
+                        owner: cur,
+                        hops,
+                        timeouts,
+                    });
                 }
             }
 
@@ -69,7 +77,11 @@ impl ChordRing {
 
             if succ == cur {
                 // Single-node ring: we own everything.
-                return Some(Lookup { owner: cur, hops, timeouts });
+                return Some(Lookup {
+                    owner: cur,
+                    hops,
+                    timeouts,
+                });
             }
             if key.in_open_closed(cur, succ) {
                 // The key lies between us and our successor: succ owns it.
@@ -317,7 +329,11 @@ mod tests {
             ring.join(ChordId(id));
         }
         ring.stabilize();
-        assert_eq!(ring.lookup(ChordId(100), ChordId(250)), None, "needs 2 hops");
+        assert_eq!(
+            ring.lookup(ChordId(100), ChordId(250)),
+            None,
+            "needs 2 hops"
+        );
         let (l, retries) = ring
             .lookup_with_failover(ChordId(100), ChordId(250), 3)
             .expect("detour via the successor reaches the owner");

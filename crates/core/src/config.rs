@@ -127,7 +127,10 @@ impl EngineConfig {
     /// Validate invariants; call before running. Panics on nonsense values.
     pub fn validate(&self) {
         self.latency.validate();
-        assert!(self.heartbeat_secs > 0.0, "heartbeat period must be positive");
+        assert!(
+            self.heartbeat_secs > 0.0,
+            "heartbeat period must be positive"
+        );
         assert!(self.heartbeat_misses >= 1);
         assert!(self.match_retry_secs > 0.0);
         assert!(self.max_match_attempts >= 1);

@@ -29,8 +29,9 @@ use std::collections::{HashMap, HashSet};
 use dgrid_resources::{JobId, JobProfile, NodeProfile};
 use dgrid_sim::fault::{Delivery, Endpoint, FaultPlan, Network};
 use dgrid_sim::rng::{self, SimRng};
-use rand::Rng;
+use dgrid_sim::telemetry::{RegistryHook, SharedRegistry, TimeSeries};
 use dgrid_sim::{EventQueue, SimDuration, SimTime};
+use rand::Rng;
 
 use crate::config::{ChurnConfig, EngineConfig};
 use crate::dag::JobDag;
@@ -71,26 +72,73 @@ pub struct JobSubmission {
 
 #[derive(Debug)]
 enum Event {
-    Submit { job: JobId },
-    OwnerAssigned { job: JobId, epoch: u32, owner: OwnerRef },
-    RetryMatch { job: JobId, epoch: u32 },
+    Submit {
+        job: JobId,
+    },
+    OwnerAssigned {
+        job: JobId,
+        epoch: u32,
+        owner: OwnerRef,
+    },
+    RetryMatch {
+        job: JobId,
+        epoch: u32,
+    },
     /// A lost submission-routing RPC is retried after backoff.
-    ResendSubmit { job: JobId, epoch: u32 },
+    ResendSubmit {
+        job: JobId,
+        epoch: u32,
+    },
     /// Sustained heartbeat loss made the owner falsely declare the run node
     /// dead (the node is alive; its execution becomes a duplicate).
-    SpuriousRunFailure { job: JobId, epoch: u32 },
+    SpuriousRunFailure {
+        job: JobId,
+        epoch: u32,
+    },
     /// Sustained ack loss made the run node falsely declare the owner dead.
-    SpuriousOwnerFailure { job: JobId, epoch: u32 },
-    ArriveAtRunNode { job: JobId, epoch: u32 },
-    Complete { job: JobId, epoch: u32, node: GridNodeId },
-    SandboxKill { job: JobId, epoch: u32, node: GridNodeId },
-    RunFailureDetected { job: JobId, epoch: u32 },
-    OwnerFailureDetected { job: JobId, epoch: u32 },
-    ClientResubmit { job: JobId, epoch: u32 },
-    NodeFail { node: GridNodeId },
-    NodeLeave { node: GridNodeId },
-    NodeRejoin { node: GridNodeId },
+    SpuriousOwnerFailure {
+        job: JobId,
+        epoch: u32,
+    },
+    ArriveAtRunNode {
+        job: JobId,
+        epoch: u32,
+    },
+    Complete {
+        job: JobId,
+        epoch: u32,
+        node: GridNodeId,
+    },
+    SandboxKill {
+        job: JobId,
+        epoch: u32,
+        node: GridNodeId,
+    },
+    RunFailureDetected {
+        job: JobId,
+        epoch: u32,
+    },
+    OwnerFailureDetected {
+        job: JobId,
+        epoch: u32,
+    },
+    ClientResubmit {
+        job: JobId,
+        epoch: u32,
+    },
+    NodeFail {
+        node: GridNodeId,
+    },
+    NodeLeave {
+        node: GridNodeId,
+    },
+    NodeRejoin {
+        node: GridNodeId,
+    },
     Maintenance,
+    /// Take one time-series sample of the grid gauges. Only ever scheduled
+    /// when sampling is enabled, so the default path never sees it.
+    TelemetrySample,
 }
 
 /// The simulation engine: nodes, jobs, one matchmaker, one event queue.
@@ -138,6 +186,9 @@ pub struct Engine {
     held_arrivals: HashMap<JobId, SimTime>,
     observer: Box<dyn Observer>,
     outstanding: usize,
+    registry: Option<SharedRegistry>,
+    timeseries: Option<TimeSeries>,
+    sample_every: SimDuration,
 }
 
 impl Engine {
@@ -153,7 +204,14 @@ impl Engine {
         node_profiles: Vec<NodeProfile>,
         submissions: Vec<JobSubmission>,
     ) -> Self {
-        Self::with_dag(cfg, churn, matchmaker, node_profiles, submissions, JobDag::none())
+        Self::with_dag(
+            cfg,
+            churn,
+            matchmaker,
+            node_profiles,
+            submissions,
+            JobDag::none(),
+        )
     }
 
     /// Like [`Engine::new`], but with DAGMan-style job dependencies
@@ -171,7 +229,15 @@ impl Engine {
         submissions: Vec<JobSubmission>,
         dag: JobDag,
     ) -> Self {
-        Self::with_dag_and_schedule(cfg, churn, matchmaker, node_profiles, submissions, dag, Vec::new())
+        Self::with_dag_and_schedule(
+            cfg,
+            churn,
+            matchmaker,
+            node_profiles,
+            submissions,
+            dag,
+            Vec::new(),
+        )
     }
 
     /// The full constructor: dependencies plus a deterministic availability
@@ -217,7 +283,12 @@ impl Engine {
             assert!(prev.is_none(), "duplicate job id {}", sub.profile.id);
             let parents = dag.parents_of(sub.profile.id).len();
             if parents == 0 {
-                queue.schedule(at, Event::Submit { job: sub.profile.id });
+                queue.schedule(
+                    at,
+                    Event::Submit {
+                        job: sub.profile.id,
+                    },
+                );
             } else {
                 // Held back until the last parent completes.
                 unmet_deps.insert(sub.profile.id, parents);
@@ -290,6 +361,9 @@ impl Engine {
             held_arrivals,
             observer: Box::new(NullObserver),
             outstanding,
+            registry: None,
+            timeseries: None,
+            sample_every: SimDuration::ZERO,
         }
     }
 
@@ -302,6 +376,47 @@ impl Engine {
     /// Install an observer, builder-style.
     pub fn with_observer(mut self, observer: Box<dyn Observer>) -> Self {
         self.set_observer(observer);
+        self
+    }
+
+    /// Install a shared [`MetricsRegistry`](dgrid_sim::telemetry::MetricsRegistry):
+    /// the matchmaker's overlay operations report lookup hops, failovers,
+    /// and retries into it (via a [`RegistryHook`]), and time-series
+    /// sampling mirrors its gauges. Call before [`Engine::run`]; when not
+    /// installed, nothing on the hot path references telemetry at all.
+    pub fn set_telemetry_registry(&mut self, registry: SharedRegistry) {
+        self.mm
+            .set_telemetry_hook(RegistryHook::shared(registry.clone()));
+        self.registry = Some(registry);
+    }
+
+    /// Install a telemetry registry, builder-style.
+    pub fn with_telemetry_registry(mut self, registry: SharedRegistry) -> Self {
+        self.set_telemetry_registry(registry);
+        self
+    }
+
+    /// Enable virtual-time gauge sampling: every `every`, the engine
+    /// records queue depth, free nodes, in-flight jobs, cumulative retries,
+    /// and live-node count into a [`TimeSeries`] returned in
+    /// [`SimReport::timeseries`]. The sampler is driven by its own
+    /// recurring event, so runs without sampling pay nothing.
+    ///
+    /// # Panics
+    /// If `every` is zero.
+    pub fn set_timeseries_sampling(&mut self, every: SimDuration) {
+        assert!(!every.is_zero(), "sampling cadence must be positive");
+        if self.timeseries.is_none() {
+            // First sample fires at t=0 so the series covers the whole run.
+            self.queue.schedule(SimTime::ZERO, Event::TelemetrySample);
+        }
+        self.sample_every = every;
+        self.timeseries = Some(TimeSeries::new(every.as_secs_f64()));
+    }
+
+    /// Enable gauge sampling, builder-style.
+    pub fn with_timeseries_sampling(mut self, every: SimDuration) -> Self {
+        self.set_timeseries_sampling(every);
         self
     }
 
@@ -326,8 +441,10 @@ impl Engine {
             let node = GridNodeId(c.node);
             self.queue.schedule(at, Event::NodeFail { node });
             if let Some(r) = c.rejoin_after_secs {
-                self.queue
-                    .schedule(at + SimDuration::from_secs_f64(r), Event::NodeRejoin { node });
+                self.queue.schedule(
+                    at + SimDuration::from_secs_f64(r),
+                    Event::NodeRejoin { node },
+                );
             }
         }
         self.net = Network::new(
@@ -348,7 +465,9 @@ impl Engine {
         let horizon = SimTime::from_secs_f64(self.cfg.max_sim_secs);
         let mut makespan = SimTime::ZERO;
         while self.outstanding > 0 {
-            let Some((now, ev)) = self.queue.pop() else { break };
+            let Some((now, ev)) = self.queue.pop() else {
+                break;
+            };
             if now > horizon {
                 break;
             }
@@ -373,6 +492,9 @@ impl Engine {
             .map(|i| self.nodes.get(GridNodeId(i)).completed_jobs)
             .collect();
         self.report.makespan_secs = makespan.as_secs_f64();
+        self.report.wait_stats = Some(self.report.wait_time.summary());
+        self.report.turnaround_stats = Some(self.report.turnaround.summary());
+        self.report.timeseries = self.timeseries.take();
         self.report
     }
 
@@ -413,9 +535,7 @@ impl Engine {
             Event::OwnerFailureDetected { job, epoch } => {
                 self.handle_owner_failure_detected(now, job, epoch)
             }
-            Event::ClientResubmit { job, epoch } => {
-                self.handle_client_resubmit(now, job, epoch)
-            }
+            Event::ClientResubmit { job, epoch } => self.handle_client_resubmit(now, job, epoch),
             Event::NodeFail { node } => self.handle_node_depart(now, node, false),
             Event::NodeLeave { node } => self.handle_node_depart(now, node, true),
             Event::NodeRejoin { node } => self.handle_node_rejoin(now, node),
@@ -428,6 +548,47 @@ impl Engine {
                     );
                 }
             }
+            Event::TelemetrySample => self.handle_telemetry_sample(now),
+        }
+    }
+
+    /// Record one row of grid gauges into the time series (and mirror them
+    /// into the registry when one is installed), then reschedule. Draws no
+    /// randomness and mutates no simulation state, so enabling sampling
+    /// cannot change a run's outcome.
+    fn handle_telemetry_sample(&mut self, now: SimTime) {
+        let Some(ts) = self.timeseries.as_mut() else {
+            return;
+        };
+        let mut queue_depth = 0usize;
+        let mut free_nodes = 0usize;
+        for id in self.nodes.alive_ids() {
+            let load = self.nodes.get(id).load();
+            queue_depth += load;
+            if load == 0 {
+                free_nodes += 1;
+            }
+        }
+        // Cumulative retries as already folded into the report (overlay
+        // failovers drained from the matchmaker plus engine RPC resends).
+        let retries = self.report.lookup_retries;
+        let row: [(&str, f64); 5] = [
+            ("queue_depth", queue_depth as f64),
+            ("free_nodes", free_nodes as f64),
+            ("in_flight", self.outstanding as f64),
+            ("retries", retries as f64),
+            ("nodes_alive", self.nodes.alive_count() as f64),
+        ];
+        ts.record(now, &row);
+        if let Some(reg) = &self.registry {
+            let mut reg = reg.borrow_mut();
+            for (name, v) in row {
+                reg.gauge_set(name, v);
+            }
+        }
+        if self.outstanding > 0 {
+            self.queue
+                .schedule_in(self.sample_every, Event::TelemetrySample);
         }
     }
 
@@ -566,9 +727,9 @@ impl Engine {
             return;
         };
         let guid = self.guid_of(job, resubmits);
-        let assigned = self
-            .mm
-            .assign_owner(&self.nodes, &profile, guid, injection, &mut self.rng_mm);
+        let assigned =
+            self.mm
+                .assign_owner(&self.nodes, &profile, guid, injection, &mut self.rng_mm);
         self.absorb_lookup_retries();
         match assigned {
             Some((owner, hops)) => {
@@ -601,9 +762,9 @@ impl Engine {
                 let rec = &self.jobs[&job];
                 let guid = self.guid_of(job, rec.resubmits);
                 let profile = rec.profile;
-                let reassigned = self
-                    .mm
-                    .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
+                let reassigned =
+                    self.mm
+                        .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
                 self.absorb_lookup_retries();
                 match reassigned {
                     Some((new_owner, hops)) => {
@@ -617,7 +778,11 @@ impl Engine {
                                 self.jobs.get_mut(&job).expect("known job").rpc_attempts = 0;
                                 self.queue.schedule(
                                     now + d,
-                                    Event::OwnerAssigned { job, epoch, owner: new_owner },
+                                    Event::OwnerAssigned {
+                                        job,
+                                        epoch,
+                                        owner: new_owner,
+                                    },
                                 );
                             }
                             _ => self.note_rpc_loss(now, job, epoch, true),
@@ -670,7 +835,11 @@ impl Engine {
                 self.report.match_hops.push(f64::from(outcome.hops));
                 self.observer.on_event(
                     now,
-                    TraceEvent::Matched { job, run_node: run, hops: outcome.hops },
+                    TraceEvent::Matched {
+                        job,
+                        run_node: run,
+                        hops: outcome.hops,
+                    },
                 );
                 // owner -> run node transfer
                 match self.send_message(
@@ -735,7 +904,10 @@ impl Engine {
         if node.running.is_none() {
             self.start_job(now, job, run, runtime);
         } else {
-            node.queue.push_back(QueuedJob { job, runtime_secs: runtime });
+            node.queue.push_back(QueuedJob {
+                job,
+                runtime_secs: runtime,
+            });
             let rec = self.jobs.get_mut(&job).expect("known job");
             rec.state = JobState::Queued;
         }
@@ -770,20 +942,31 @@ impl Engine {
         let kill_after = self.cfg.sandbox.kill_after_secs(&rec.profile);
 
         let node = self.nodes.get_mut(run);
-        node.running = Some(QueuedJob { job, runtime_secs: runtime });
+        node.running = Some(QueuedJob {
+            job,
+            runtime_secs: runtime,
+        });
         node.running_finish_at = now + SimDuration::from_secs_f64(runtime);
 
         match kill_after {
             Some(k) if runtime > k => {
                 self.queue.schedule(
                     now + SimDuration::from_secs_f64(k),
-                    Event::SandboxKill { job, epoch, node: run },
+                    Event::SandboxKill {
+                        job,
+                        epoch,
+                        node: run,
+                    },
                 );
             }
             _ => {
                 self.queue.schedule(
                     now + SimDuration::from_secs_f64(runtime),
-                    Event::Complete { job, epoch, node: run },
+                    Event::Complete {
+                        job,
+                        epoch,
+                        node: run,
+                    },
                 );
             }
         }
@@ -813,17 +996,18 @@ impl Engine {
         let misses = self.cfg.heartbeat_misses;
         // Run node -> owner heartbeats: the owner spuriously detects a run
         // failure and re-runs matchmaking under a fresh epoch.
-        if let Some(t) =
-            self.net
-                .first_consecutive_losses(now, run_ep, owner_ep, period, misses, runtime)
+        if let Some(t) = self
+            .net
+            .first_consecutive_losses(now, run_ep, owner_ep, period, misses, runtime)
         {
-            self.queue.schedule(t, Event::SpuriousRunFailure { job, epoch });
+            self.queue
+                .schedule(t, Event::SpuriousRunFailure { job, epoch });
         }
         // Owner -> run node acks: the run node spuriously detects an owner
         // failure and installs a replacement through the overlay.
-        if let Some(t) =
-            self.net
-                .first_consecutive_losses(now, owner_ep, run_ep, period, misses, runtime)
+        if let Some(t) = self
+            .net
+            .first_consecutive_losses(now, owner_ep, run_ep, period, misses, runtime)
         {
             self.queue
                 .schedule(t, Event::SpuriousOwnerFailure { job, epoch });
@@ -891,7 +1075,13 @@ impl Engine {
             self.report.turnaround.push(t);
         }
         self.outstanding -= 1;
-        self.observer.on_event(now, TraceEvent::Completed { job });
+        self.observer.on_event(
+            now,
+            TraceEvent::Completed {
+                job,
+                results_at: finished,
+            },
+        );
         self.detach_owner(job);
         self.release_dependents(now, job);
         self.start_next_on(now, node);
@@ -906,7 +1096,9 @@ impl Engine {
             None => return,
         };
         for child in children {
-            let Some(unmet) = self.unmet_deps.get_mut(&child) else { continue };
+            let Some(unmet) = self.unmet_deps.get_mut(&child) else {
+                continue;
+            };
             debug_assert!(*unmet > 0);
             *unmet -= 1;
             if *unmet == 0 {
@@ -1193,7 +1385,8 @@ impl Engine {
         // owner is in fact alive, dropping the spurious detection is safe.
         if let Some((new_owner, _hops)) = reassigned {
             self.report.owner_recoveries += 1;
-            self.observer.on_event(now, TraceEvent::OwnerRecovery { job });
+            self.observer
+                .on_event(now, TraceEvent::OwnerRecovery { job });
             self.detach_owner(job);
             let rec = self.jobs.get_mut(&job).expect("known job");
             rec.owner = Some(new_owner);
@@ -1223,7 +1416,8 @@ impl Engine {
         match reassigned {
             Some((new_owner, _hops)) => {
                 self.report.owner_recoveries += 1;
-                self.observer.on_event(now, TraceEvent::OwnerRecovery { job });
+                self.observer
+                    .on_event(now, TraceEvent::OwnerRecovery { job });
                 let rec = self.jobs.get_mut(&job).expect("known job");
                 rec.owner = Some(new_owner);
                 if let OwnerRef::Peer(p) = new_owner {

@@ -144,7 +144,12 @@ mod tests {
     use dgrid_resources::{ClientId, JobId, JobRequirements};
 
     fn record() -> JobRecord {
-        let profile = JobProfile::new(JobId(1), ClientId(0), JobRequirements::unconstrained(), 50.0);
+        let profile = JobProfile::new(
+            JobId(1),
+            ClientId(0),
+            JobRequirements::unconstrained(),
+            50.0,
+        );
         JobRecord::new(profile, 50.0, SimTime::from_secs(10))
     }
 

@@ -51,6 +51,7 @@ mod matchmaker;
 mod metrics;
 mod node;
 mod security;
+mod span;
 mod trace;
 
 pub use config::{ChurnConfig, EngineConfig};
@@ -65,4 +66,7 @@ pub use matchmaker::{MatchOutcome, Matchmaker};
 pub use metrics::SimReport;
 pub use node::{GridNode, GridNodeId, NodeTable};
 pub use security::SandboxPolicy;
-pub use trace::{NullObserver, Observer, TraceEvent, VecObserver};
+pub use span::{phase_samples, JobSpan, Phase, SpanAssembler, SpanOutcome};
+pub use trace::{
+    parse_event_line, EventRecord, JsonlObserver, NullObserver, Observer, TraceEvent, VecObserver,
+};

@@ -28,11 +28,14 @@
 //! lightly-constrained jobs that would otherwise pile up on the origin
 //! zone's owner.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use dgrid_can::{CanConfig, CanNetwork, CanNodeId};
 use dgrid_resources::{JobProfile, ResourceSpace, NUM_RESOURCE_DIMS};
 use dgrid_sim::rng::{splitmix64, SimRng};
+use dgrid_sim::telemetry::{NullHook, SharedHook};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -97,6 +100,7 @@ pub struct CanMatchmaker {
     /// information" the push extension consults.
     load_cache: HashMap<CanNodeId, f64>,
     lookup_retries: u64,
+    hook: SharedHook,
 }
 
 const DIMS: usize = NUM_RESOURCE_DIMS + 1; // resources + virtual
@@ -155,6 +159,17 @@ impl CanMatchmaker {
             grid_of: HashMap::new(),
             load_cache: HashMap::new(),
             lookup_retries: 0,
+            hook: Rc::new(RefCell::new(NullHook)),
+        }
+    }
+
+    /// Report one finished overlay operation to the telemetry hook.
+    fn report_lookup(&self, hops: u32, retries: u32) {
+        let mut hook = self.hook.borrow_mut();
+        hook.on_lookup(hops);
+        if retries > 0 {
+            hook.on_retry(retries);
+            hook.on_failover();
         }
     }
 
@@ -213,7 +228,9 @@ impl CanMatchmaker {
             .iter()
             .copied()
             .filter(|n| {
-                let Some(&g) = self.grid_of.get(n) else { return false };
+                let Some(&g) = self.grid_of.get(n) else {
+                    return false;
+                };
                 if !nodes.is_alive(g) {
                     return false;
                 }
@@ -255,7 +272,9 @@ impl CanMatchmaker {
             .filter(|c| {
                 self.grid_of.get(c).is_some_and(|&g| {
                     nodes.is_alive(g)
-                        && job.requirements.satisfied_by(&nodes.get(g).profile.capabilities)
+                        && job
+                            .requirements
+                            .satisfied_by(&nodes.get(g).profile.capabilities)
                 })
             })
             .map(|c| self.cached_load(c))
@@ -337,9 +356,9 @@ impl Matchmaker for CanMatchmaker {
     ) -> Option<(OwnerRef, u32)> {
         let entry = *self.can_of.get(&injection)?;
         let point = self.job_point(job, guid);
-        let (route, retries) = self
-            .net
-            .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
+        let (route, retries) =
+            self.net
+                .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
         self.lookup_retries += u64::from(retries);
         let mut owner = route.owner;
         let mut hops = route.hops;
@@ -349,6 +368,7 @@ impl Matchmaker for CanMatchmaker {
             hops += push_hops;
         }
         let grid = *self.grid_of.get(&owner)?;
+        self.report_lookup(hops, retries);
         Some((OwnerRef::Peer(grid), hops))
     }
 
@@ -360,10 +380,16 @@ impl Matchmaker for CanMatchmaker {
         rng: &mut SimRng,
     ) -> MatchOutcome {
         let Some(owner_grid) = owner.peer() else {
-            return MatchOutcome { run_node: None, hops: 0 };
+            return MatchOutcome {
+                run_node: None,
+                hops: 0,
+            };
         };
         let Some(&mut_start) = self.can_of.get(&owner_grid) else {
-            return MatchOutcome { run_node: None, hops: 0 };
+            return MatchOutcome {
+                run_node: None,
+                hops: 0,
+            };
         };
         // Best-first expansion over the zone-neighbour graph, ordered by
         // requirement deficit. At each expanded node the candidate set is
@@ -382,7 +408,10 @@ impl Matchmaker for CanMatchmaker {
         let mut visited: std::collections::BTreeSet<CanNodeId> = std::collections::BTreeSet::new();
         let mut frontier: BinaryHeap<FrontierEntry> = BinaryHeap::new();
         let start_deficit = self.requirement_deficit(nodes, mut_start, job);
-        frontier.push(FrontierEntry { deficit: start_deficit, id: mut_start });
+        frontier.push(FrontierEntry {
+            deficit: start_deficit,
+            id: mut_start,
+        });
         visited.insert(mut_start);
         let mut hops = 0u32;
         let mut expansions = 0u32;
@@ -404,9 +433,13 @@ impl Matchmaker for CanMatchmaker {
             let mut best: Option<(f64, CanNodeId)> = None;
             let mut ties = 0u32;
             for c in candidates.iter().copied() {
-                let Some(&g) = self.grid_of.get(&c) else { continue };
+                let Some(&g) = self.grid_of.get(&c) else {
+                    continue;
+                };
                 if !nodes.is_alive(g)
-                    || !job.requirements.satisfied_by(&nodes.get(g).profile.capabilities)
+                    || !job
+                        .requirements
+                        .satisfied_by(&nodes.get(g).profile.capabilities)
                 {
                     continue;
                 }
@@ -437,6 +470,7 @@ impl Matchmaker for CanMatchmaker {
                 // this, a burst of identical jobs inside one exchange period
                 // would all pick the same "least-loaded" victim.
                 *self.load_cache.entry(c).or_insert(0.0) += 1.0;
+                self.report_lookup(hops + 1, 0);
                 return MatchOutcome {
                     run_node: Some(self.grid_of[&c]),
                     hops: hops + 1, // job transfer to the chosen node
@@ -452,7 +486,11 @@ impl Matchmaker for CanMatchmaker {
                 }
             }
         }
-        MatchOutcome { run_node: None, hops }
+        self.report_lookup(hops, 0);
+        MatchOutcome {
+            run_node: None,
+            hops,
+        }
     }
 
     fn reassign_owner(
@@ -466,14 +504,15 @@ impl Matchmaker for CanMatchmaker {
         // now contains the point has a (new) owner after takeover.
         let entry = self.net.random_node(rng)?;
         let point = self.job_point(job, guid);
-        let (route, retries) = self
-            .net
-            .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
+        let (route, retries) =
+            self.net
+                .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
         self.lookup_retries += u64::from(retries);
         let grid = *self.grid_of.get(&route.owner)?;
         if !nodes.is_alive(grid) {
             return None;
         }
+        self.report_lookup(route.hops, retries);
         Some((OwnerRef::Peer(grid), route.hops))
     }
 
@@ -495,15 +534,20 @@ impl Matchmaker for CanMatchmaker {
         let point: Vec<f64> = (0..DIMS)
             .map(|i| ((h >> (i * 13)) & 0xFFFF) as f64 / 65536.0)
             .collect();
-        let (route, retries) = self
-            .net
-            .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
+        let (route, retries) =
+            self.net
+                .route_with_failover(entry, &point, ROUTE_FAILOVER_RETRIES)?;
         self.lookup_retries += u64::from(retries);
+        self.report_lookup(route.hops, retries);
         Some(route.hops)
     }
 
     fn take_lookup_retries(&mut self) -> u64 {
         std::mem::take(&mut self.lookup_retries)
+    }
+
+    fn set_telemetry_hook(&mut self, hook: SharedHook) {
+        self.hook = hook;
     }
 }
 
@@ -566,12 +610,19 @@ mod tests {
                     .0
             })
             .collect();
-        assert!(owners.len() >= 4, "virtual coords must spread owners, got {}", owners.len());
+        assert!(
+            owners.len() >= 4,
+            "virtual coords must spread owners, got {}",
+            owners.len()
+        );
     }
 
     #[test]
     fn without_virtual_dimension_identical_jobs_collapse() {
-        let cfg = CanMmConfig { virtual_dim: false, ..CanMmConfig::default() };
+        let cfg = CanMmConfig {
+            virtual_dim: false,
+            ..CanMmConfig::default()
+        };
         let (mut mm, nodes, mut rng) = setup(cfg, 64);
         let inj = nodes.alive_ids().next().unwrap();
         let owners: std::collections::HashSet<_> = (0..32u64)
@@ -582,7 +633,11 @@ mod tests {
                     .0
             })
             .collect();
-        assert_eq!(owners.len(), 1, "all identical jobs land on the origin-zone owner");
+        assert_eq!(
+            owners.len(),
+            1,
+            "all identical jobs land on the origin-zone owner"
+        );
     }
 
     #[test]
@@ -598,7 +653,9 @@ mod tests {
         let (owner, _) = mm.assign_owner(&nodes, &p, 77, inj, &mut rng).unwrap();
         let out = mm.find_run_node(&nodes, owner, &p, &mut rng);
         let run = out.run_node.expect("strong nodes exist in the population");
-        assert!(p.requirements.satisfied_by(&nodes.get(run).profile.capabilities));
+        assert!(p
+            .requirements
+            .satisfied_by(&nodes.get(run).profile.capabilities));
     }
 
     #[test]
@@ -610,9 +667,16 @@ mod tests {
         // Repeated matches from the same owner must not all pick the same
         // node even though the NodeTable never changes (optimistic cache).
         let picks: std::collections::HashSet<_> = (0..8)
-            .map(|_| mm.find_run_node(&nodes, owner, &p, &mut rng).run_node.unwrap())
+            .map(|_| {
+                mm.find_run_node(&nodes, owner, &p, &mut rng)
+                    .run_node
+                    .unwrap()
+            })
             .collect();
-        assert!(picks.len() >= 2, "optimistic increments must rotate placements");
+        assert!(
+            picks.len() >= 2,
+            "optimistic increments must rotate placements"
+        );
     }
 
     #[test]
@@ -624,9 +688,14 @@ mod tests {
         let p = job(JobRequirements::unconstrained(), 5);
         for _ in 0..16 {
             let inj = nodes.alive_ids().next().unwrap();
-            let (owner, _) = mm.assign_owner(&nodes, &p, rng.gen(), inj, &mut rng).unwrap();
+            let (owner, _) = mm
+                .assign_owner(&nodes, &p, rng.gen(), inj, &mut rng)
+                .unwrap();
             assert_ne!(owner.peer(), Some(victim));
-            let run = mm.find_run_node(&nodes, owner, &p, &mut rng).run_node.unwrap();
+            let run = mm
+                .find_run_node(&nodes, owner, &p, &mut rng)
+                .run_node
+                .unwrap();
             assert_ne!(run, victim);
         }
     }

@@ -153,10 +153,15 @@ mod tests {
         let nodes = table();
         let mut rng = rng_for(1, 1);
         let p = job(JobRequirements::unconstrained());
-        let (owner, hops) = mm.assign_owner(&nodes, &p, 42, GridNodeId(0), &mut rng).unwrap();
+        let (owner, hops) = mm
+            .assign_owner(&nodes, &p, 42, GridNodeId(0), &mut rng)
+            .unwrap();
         assert_eq!(owner, OwnerRef::Server);
         assert_eq!(hops, 0);
-        assert_eq!(mm.reassign_owner(&nodes, &p, 42, &mut rng), Some((OwnerRef::Server, 0)));
+        assert_eq!(
+            mm.reassign_owner(&nodes, &p, 42, &mut rng),
+            Some((OwnerRef::Server, 0))
+        );
     }
 
     #[test]
@@ -166,7 +171,11 @@ mod tests {
         let mut rng = rng_for(2, 1);
         let p = job(JobRequirements::unconstrained().with_min(ResourceKind::Memory, 5.0));
         let out = mm.find_run_node(&nodes, OwnerRef::Server, &p, &mut rng);
-        assert_eq!(out.run_node, Some(GridNodeId(2)), "only the 8 GiB node qualifies");
+        assert_eq!(
+            out.run_node,
+            Some(GridNodeId(2)),
+            "only the 8 GiB node qualifies"
+        );
         assert_eq!(out.hops, 0);
     }
 
@@ -199,9 +208,15 @@ mod tests {
         let p = job(JobRequirements::unconstrained());
         let mut seen = std::collections::HashSet::new();
         for _ in 0..64 {
-            seen.insert(mm.find_run_node(&nodes, OwnerRef::Server, &p, &mut rng).run_node);
+            seen.insert(
+                mm.find_run_node(&nodes, OwnerRef::Server, &p, &mut rng)
+                    .run_node,
+            );
         }
-        assert!(seen.len() >= 2, "tie-breaking must not always pick the same node");
+        assert!(
+            seen.len() >= 2,
+            "tie-breaking must not always pick the same node"
+        );
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //!   between ticks the overlay routes on stale state, as a real deployment
 //!   would.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use dgrid_chord::{ChordId, ChordRing};
 use dgrid_resources::{Capabilities, JobProfile};
 use dgrid_rntree::RnTreeIndex;
 use dgrid_sim::rng::SimRng;
+use dgrid_sim::telemetry::{NullHook, SharedHook};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +66,7 @@ pub struct RnTreeMatchmaker {
     index: Option<RnTreeIndex>,
     dirty: bool,
     lookup_retries: u64,
+    hook: SharedHook,
 }
 
 impl RnTreeMatchmaker {
@@ -77,6 +81,7 @@ impl RnTreeMatchmaker {
             index: None,
             dirty: true,
             lookup_retries: 0,
+            hook: Rc::new(RefCell::new(NullHook)),
         }
     }
 
@@ -117,6 +122,16 @@ impl RnTreeMatchmaker {
             self.rebuild_index(nodes);
         }
         self.index.as_ref()
+    }
+
+    /// Report one finished overlay operation to the telemetry hook.
+    fn report_lookup(&self, hops: u32, retries: u32) {
+        let mut hook = self.hook.borrow_mut();
+        hook.on_lookup(hops);
+        if retries > 0 {
+            hook.on_retry(retries);
+            hook.on_failover();
+        }
     }
 }
 
@@ -183,6 +198,7 @@ impl Matchmaker for RnTreeMatchmaker {
             }
         }
         let grid = *self.grid_of.get(&owner)?;
+        self.report_lookup(hops, retries);
         Some((OwnerRef::Peer(grid), hops))
     }
 
@@ -194,10 +210,16 @@ impl Matchmaker for RnTreeMatchmaker {
         rng: &mut SimRng,
     ) -> MatchOutcome {
         let Some(owner_grid) = owner.peer() else {
-            return MatchOutcome { run_node: None, hops: 0 };
+            return MatchOutcome {
+                run_node: None,
+                hops: 0,
+            };
         };
         let Some(&owner_chord) = self.chord_of.get(&owner_grid) else {
-            return MatchOutcome { run_node: None, hops: 0 };
+            return MatchOutcome {
+                run_node: None,
+                hops: 0,
+            };
         };
         let k = self.cfg.k;
         // The index may lag membership; if the owner is missing, rebuild
@@ -210,10 +232,16 @@ impl Matchmaker for RnTreeMatchmaker {
             self.dirty = true;
         }
         let Some(index) = self.index_for(nodes) else {
-            return MatchOutcome { run_node: None, hops: 0 };
+            return MatchOutcome {
+                run_node: None,
+                hops: 0,
+            };
         };
         if !index.tree().contains(owner_chord) {
-            return MatchOutcome { run_node: None, hops: 0 };
+            return MatchOutcome {
+                run_node: None,
+                hops: 0,
+            };
         }
         let res = index.find_candidates(owner_chord, &job.requirements, k);
         let mut hops = res.hops;
@@ -224,7 +252,9 @@ impl Matchmaker for RnTreeMatchmaker {
         let mut best: Option<(usize, GridNodeId)> = None;
         let mut ties = 0u32;
         for cid in res.candidates {
-            let Some(&gid) = self.grid_of.get(&cid) else { continue };
+            let Some(&gid) = self.grid_of.get(&cid) else {
+                continue;
+            };
             if !nodes.is_alive(gid) {
                 hops += 1; // timed-out probe of a stale candidate
                 continue;
@@ -248,6 +278,7 @@ impl Matchmaker for RnTreeMatchmaker {
                 _ => {}
             }
         }
+        self.report_lookup(hops, 0);
         MatchOutcome {
             run_node: best.map(|(_, id)| id),
             hops,
@@ -277,6 +308,7 @@ impl Matchmaker for RnTreeMatchmaker {
         if !nodes.is_alive(grid) {
             return None;
         }
+        self.report_lookup(lookup.hops + lookup.timeouts, retries);
         Some((OwnerRef::Peer(grid), lookup.hops + lookup.timeouts))
     }
 
@@ -299,11 +331,16 @@ impl Matchmaker for RnTreeMatchmaker {
             self.ring
                 .lookup_with_failover(from, ChordId(guid), LOOKUP_FAILOVER_RETRIES)?;
         self.lookup_retries += u64::from(retries);
+        self.report_lookup(lookup.hops + lookup.timeouts, retries);
         Some(lookup.hops + lookup.timeouts)
     }
 
     fn take_lookup_retries(&mut self) -> u64 {
         std::mem::take(&mut self.lookup_retries)
+    }
+
+    fn set_telemetry_hook(&mut self, hook: SharedHook) {
+        self.hook = hook;
     }
 }
 
@@ -362,7 +399,10 @@ mod tests {
         let owners: std::collections::HashSet<_> = (0..32)
             .map(|_| mm.assign_owner(&nodes, &p, 777, inj, &mut rng).unwrap().0)
             .collect();
-        assert!(owners.len() > 1, "the limited random walk must vary the owner");
+        assert!(
+            owners.len() > 1,
+            "the limited random walk must vary the owner"
+        );
     }
 
     #[test]
@@ -373,7 +413,9 @@ mod tests {
         let (owner, _) = mm.assign_owner(&nodes, &p, 31, inj, &mut rng).unwrap();
         let out = mm.find_run_node(&nodes, owner, &p, &mut rng);
         let run = out.run_node.expect("capable nodes exist");
-        assert!(p.requirements.satisfied_by(&nodes.get(run).profile.capabilities));
+        assert!(p
+            .requirements
+            .satisfied_by(&nodes.get(run).profile.capabilities));
         assert!(out.hops > 0, "tree search costs hops");
     }
 
@@ -393,7 +435,10 @@ mod tests {
         let p = job(JobRequirements::unconstrained());
         let inj = nodes.alive_ids().next().unwrap();
         let (owner, _) = mm.assign_owner(&nodes, &p, 99, inj, &mut rng).unwrap();
-        assert!(mm.find_run_node(&nodes, owner, &p, &mut rng).run_node.is_some());
+        assert!(mm
+            .find_run_node(&nodes, owner, &p, &mut rng)
+            .run_node
+            .is_some());
     }
 
     #[test]

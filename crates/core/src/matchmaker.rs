@@ -2,6 +2,7 @@
 
 use dgrid_resources::JobProfile;
 use dgrid_sim::rng::SimRng;
+use dgrid_sim::telemetry::SharedHook;
 
 use crate::job::OwnerRef;
 use crate::node::{GridNodeId, NodeTable};
@@ -94,5 +95,15 @@ pub trait Matchmaker {
     /// operation. Matchmakers without an overlay never retry.
     fn take_lookup_retries(&mut self) -> u64 {
         0
+    }
+
+    /// Install a [`TelemetryHook`](dgrid_sim::telemetry::TelemetryHook):
+    /// overlay operations report lookup hops, failover detours, and
+    /// fault-forced retries into it as they happen, without threading the
+    /// values through every return type on the path. Matchmakers without
+    /// an overlay (the centralized baseline) ignore the hook; the default
+    /// does nothing, so not installing one costs nothing.
+    fn set_telemetry_hook(&mut self, hook: SharedHook) {
+        let _ = hook;
     }
 }

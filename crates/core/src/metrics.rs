@@ -1,6 +1,7 @@
 //! Simulation metrics and the final report.
 
-use dgrid_sim::stats::{jains_fairness, OnlineStats, SampleSet};
+use dgrid_sim::stats::{jains_fairness, OnlineStats, SampleSet, SampleSummary};
+use dgrid_sim::telemetry::TimeSeries;
 use serde::{Deserialize, Serialize};
 
 /// Everything one simulation run reports — the raw material for every
@@ -66,6 +67,18 @@ pub struct SimReport {
     /// (at-least-once duplicates whose results were discarded).
     #[serde(default)]
     pub duplicate_executions: u64,
+    /// Percentile summary (p50/p95/p99 and friends) of the wait times,
+    /// computed once at the end of the run.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wait_stats: Option<SampleSummary>,
+    /// Percentile summary of the turnaround times.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub turnaround_stats: Option<SampleSummary>,
+    /// Virtual-time series of grid gauges (queue depth, free nodes,
+    /// in-flight jobs, retries, nodes alive), present only when sampling
+    /// was enabled on the engine.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeseries: Option<TimeSeries>,
     /// Per-client wait-time summaries (key = client id) — the raw material
     /// for the fairness question Section 5 leaves as future work.
     pub client_waits: std::collections::BTreeMap<u32, OnlineStats>,
@@ -199,7 +212,8 @@ mod tests {
     fn fault_counters_default_when_absent() {
         // Reports serialized before the fault layer existed must still load.
         let r = SimReport::default();
-        let mut v: serde_json::Value = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        let mut v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
         let map = v.as_object_mut().unwrap();
         map.remove("messages_lost");
         map.remove("lookup_retries");

@@ -182,17 +182,29 @@ mod tests {
     fn load_counts_running_and_queued() {
         let mut n = GridNode::new(profile());
         assert_eq!(n.load(), 0);
-        n.running = Some(QueuedJob { job: JobId(1), runtime_secs: 10.0 });
-        n.queue.push_back(QueuedJob { job: JobId(2), runtime_secs: 5.0 });
+        n.running = Some(QueuedJob {
+            job: JobId(1),
+            runtime_secs: 10.0,
+        });
+        n.queue.push_back(QueuedJob {
+            job: JobId(2),
+            runtime_secs: 5.0,
+        });
         assert_eq!(n.load(), 2);
     }
 
     #[test]
     fn pending_work_includes_remaining_runtime() {
         let mut n = GridNode::new(profile());
-        n.running = Some(QueuedJob { job: JobId(1), runtime_secs: 10.0 });
+        n.running = Some(QueuedJob {
+            job: JobId(1),
+            runtime_secs: 10.0,
+        });
         n.running_finish_at = SimTime::ZERO + SimDuration::from_secs(8);
-        n.queue.push_back(QueuedJob { job: JobId(2), runtime_secs: 5.0 });
+        n.queue.push_back(QueuedJob {
+            job: JobId(2),
+            runtime_secs: 5.0,
+        });
         let now = SimTime::from_secs(2);
         assert!((n.pending_work_secs(now) - 11.0).abs() < 1e-9);
     }

@@ -67,7 +67,12 @@ mod tests {
     use dgrid_resources::{ClientId, JobId, JobRequirements};
 
     fn job(runtime: f64, output: u64) -> JobProfile {
-        let mut p = JobProfile::new(JobId(1), ClientId(0), JobRequirements::unconstrained(), runtime);
+        let mut p = JobProfile::new(
+            JobId(1),
+            ClientId(0),
+            JobRequirements::unconstrained(),
+            runtime,
+        );
         p.output_bytes = output;
         p
     }
@@ -89,6 +94,9 @@ mod tests {
             max_output_bytes: u64::MAX,
         };
         assert_eq!(policy.kill_after_secs(&job(10.0, 0)), Some(30.0));
-        assert_eq!(SandboxPolicy::permissive().kill_after_secs(&job(10.0, 0)), None);
+        assert_eq!(
+            SandboxPolicy::permissive().kill_after_secs(&job(10.0, 0)),
+            None
+        );
     }
 }

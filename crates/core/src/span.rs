@@ -1,0 +1,551 @@
+//! Per-job phase spans assembled from the flat trace stream.
+//!
+//! Figure 2 reports one number per job — wait time — but a wait hides very
+//! different sicknesses: slow overlay routing to the owner, repeated
+//! matchmaking under churn, a deep FIFO queue at the run node, or time lost
+//! to failure recovery. [`SpanAssembler`] folds the [`TraceEvent`] stream
+//! into one [`JobSpan`] per job whose [`Phase`] durations decompose the
+//! job's turnaround *exactly*: segment boundaries are the event timestamps
+//! themselves (integer nanoseconds), so the phase durations of a completed
+//! job sum to its reported turnaround to the bit, with no float residue.
+//!
+//! The attribution rule is: the interval between two consecutive events of
+//! a job belongs to the phase the *earlier* event opened (submission opens
+//! routing, owner assignment opens matchmaking, a match opens dispatch, a
+//! start opens execution) — unless the *later* event reveals the interval
+//! was spent recovering (a recovery notification, a resubmission, or the
+//! permanent failure), in which case it counts as [`Phase::Recovery`].
+
+use std::collections::BTreeMap;
+
+use dgrid_resources::JobId;
+use dgrid_sim::stats::SampleSet;
+use dgrid_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{Observer, TraceEvent};
+
+/// The lifecycle phases a job's turnaround decomposes into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Submission → owner assigned: overlay routing (Figure 1, steps 1–2),
+    /// including lost-submission retries.
+    Routing,
+    /// Owner assigned → matched: the matchmaking search (step 3), including
+    /// match-retry backoffs.
+    Matchmaking,
+    /// Matched → started: the owner → run-node transfer plus FIFO queueing
+    /// at the run node (steps 4–5).
+    Dispatch,
+    /// Started → completed: execution on the run node.
+    Execution,
+    /// Time revealed to be lost to failure handling: intervals ending in a
+    /// recovery notification, a client resubmission, or permanent failure
+    /// (wasted partial executions, detection timeouts, resubmit delays).
+    Recovery,
+    /// Completion → results at the client (step 6): the result transfer,
+    /// direct or by-reference through the DHT.
+    ResultReturn,
+}
+
+impl Phase {
+    /// Every phase, in lifecycle order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Routing,
+        Phase::Matchmaking,
+        Phase::Dispatch,
+        Phase::Execution,
+        Phase::Recovery,
+        Phase::ResultReturn,
+    ];
+
+    /// Stable label for tables and serialization.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Routing => "routing",
+            Phase::Matchmaking => "matchmaking",
+            Phase::Dispatch => "dispatch",
+            Phase::Execution => "execution",
+            Phase::Recovery => "recovery",
+            Phase::ResultReturn => "result-return",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Routing => 0,
+            Phase::Matchmaking => 1,
+            Phase::Dispatch => 2,
+            Phase::Execution => 3,
+            Phase::Recovery => 4,
+            Phase::ResultReturn => 5,
+        }
+    }
+}
+
+/// How a job's span ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanOutcome {
+    /// Results reached the client.
+    Completed,
+    /// The job permanently failed.
+    Failed,
+    /// The trace ended with the job still in flight.
+    Open,
+}
+
+/// One job's assembled lifecycle span with exact per-phase durations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobSpan {
+    /// The job.
+    pub job: JobId,
+    /// First submission time (the turnaround clock's zero).
+    pub submitted_at: SimTime,
+    /// When the span closed: results at the client for completed jobs, the
+    /// failure instant for failed ones; `None` while open.
+    pub finished_at: Option<SimTime>,
+    /// Terminal state of the job at end of trace.
+    pub outcome: SpanOutcome,
+    /// Client resubmissions observed.
+    pub resubmits: u32,
+    /// Recovery notifications observed (run + owner).
+    pub recoveries: u32,
+    /// Per-phase durations in nanoseconds, indexed by [`Phase::index`].
+    phase_ns: [u64; 6],
+}
+
+impl JobSpan {
+    fn new(job: JobId, submitted_at: SimTime) -> Self {
+        JobSpan {
+            job,
+            submitted_at,
+            finished_at: None,
+            outcome: SpanOutcome::Open,
+            resubmits: 0,
+            recoveries: 0,
+            phase_ns: [0; 6],
+        }
+    }
+
+    fn add(&mut self, phase: Phase, d: SimDuration) {
+        self.phase_ns[phase.index()] += d.as_nanos();
+    }
+
+    /// Duration spent in one phase.
+    pub fn phase(&self, phase: Phase) -> SimDuration {
+        SimDuration::from_nanos(self.phase_ns[phase.index()])
+    }
+
+    /// Sum of all phase durations. For a closed span this equals
+    /// `finished_at - submitted_at` exactly (asserted in the test suite).
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.phase_ns.iter().sum())
+    }
+
+    /// Turnaround (`finished_at - submitted_at`), when closed.
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        self.finished_at.map(|f| f.since(self.submitted_at))
+    }
+
+    /// The pre-execution wait decomposition: everything before the job
+    /// first ran (routing + matchmaking + dispatch + recovery) — the part
+    /// of Figure 2's wait time this PR makes inspectable.
+    pub fn wait(&self) -> SimDuration {
+        self.phase(Phase::Routing)
+            + self.phase(Phase::Matchmaking)
+            + self.phase(Phase::Dispatch)
+            + self.phase(Phase::Recovery)
+    }
+}
+
+/// Which job an event concerns, if any (node up/down events have none).
+fn job_of(event: &TraceEvent) -> Option<JobId> {
+    match event {
+        TraceEvent::Submitted { job, .. }
+        | TraceEvent::OwnerAssigned { job, .. }
+        | TraceEvent::Matched { job, .. }
+        | TraceEvent::Started { job, .. }
+        | TraceEvent::Completed { job, .. }
+        | TraceEvent::Failed { job }
+        | TraceEvent::RunRecovery { job }
+        | TraceEvent::OwnerRecovery { job } => Some(*job),
+        TraceEvent::NodeDown { .. } | TraceEvent::NodeUp { .. } => None,
+    }
+}
+
+/// Attribute the interval `[prev, next)` to a phase (see module docs).
+fn segment_phase(prev: &TraceEvent, next: &TraceEvent) -> Phase {
+    match next {
+        // The later event reveals the interval was failure handling.
+        TraceEvent::RunRecovery { .. } | TraceEvent::OwnerRecovery { .. } => Phase::Recovery,
+        TraceEvent::Submitted { resubmits, .. } if *resubmits > 0 => Phase::Recovery,
+        TraceEvent::Failed { .. } => Phase::Recovery,
+        // Otherwise the earlier event names the work in progress.
+        _ => match prev {
+            TraceEvent::Submitted { .. } => Phase::Routing,
+            TraceEvent::OwnerAssigned { .. } => Phase::Matchmaking,
+            TraceEvent::Matched { .. } => Phase::Dispatch,
+            TraceEvent::Started { .. } => Phase::Execution,
+            // After a recovery notification the owner re-runs matchmaking
+            // (run recovery) or execution continues under a fresh owner
+            // (owner recovery); either way the next productive segment is
+            // already reattributed by its own closing event.
+            TraceEvent::RunRecovery { .. } => Phase::Matchmaking,
+            TraceEvent::OwnerRecovery { .. } => Phase::Execution,
+            _ => Phase::Recovery,
+        },
+    }
+}
+
+/// Folds a time-ordered event stream into per-job [`JobSpan`]s.
+///
+/// Usable directly as an [`Observer`] (install on the engine), or fed from
+/// a parsed JSONL stream via [`SpanAssembler::observe`].
+#[derive(Default)]
+pub struct SpanAssembler {
+    open: BTreeMap<JobId, (SimTime, TraceEvent, JobSpan)>,
+    done: Vec<JobSpan>,
+}
+
+impl SpanAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one event (events must arrive in nondecreasing time order, as
+    /// the engine emits them).
+    pub fn observe(&mut self, at: SimTime, event: TraceEvent) {
+        let Some(job) = job_of(&event) else { return };
+        match self.open.remove(&job) {
+            None => {
+                // First sighting: the span's clock starts here.
+                let span = JobSpan::new(job, at);
+                self.accept(at, event, span, None);
+            }
+            Some((prev_at, prev_event, mut span)) => {
+                span.add(segment_phase(&prev_event, &event), at.since(prev_at));
+                self.accept(at, event, span, Some(prev_at));
+            }
+        }
+    }
+
+    fn accept(&mut self, at: SimTime, event: TraceEvent, mut span: JobSpan, prev: Option<SimTime>) {
+        debug_assert!(prev.is_none_or(|p| at >= p), "events out of order");
+        match event {
+            TraceEvent::Submitted { resubmits, .. } => {
+                span.resubmits = span.resubmits.max(resubmits)
+            }
+            TraceEvent::RunRecovery { .. } | TraceEvent::OwnerRecovery { .. } => {
+                span.recoveries += 1;
+            }
+            TraceEvent::Completed { results_at, .. } => {
+                span.add(Phase::ResultReturn, results_at.since(at));
+                span.finished_at = Some(results_at);
+                span.outcome = SpanOutcome::Completed;
+                self.done.push(span);
+                return;
+            }
+            TraceEvent::Failed { .. } => {
+                span.finished_at = Some(at);
+                span.outcome = SpanOutcome::Failed;
+                self.done.push(span);
+                return;
+            }
+            _ => {}
+        }
+        self.open.insert(span.job, (at, event, span));
+    }
+
+    /// Consume the assembler: every span, closed ones first in completion
+    /// order, then still-open jobs by id.
+    pub fn finish(self) -> Vec<JobSpan> {
+        let mut spans = self.done;
+        spans.extend(self.open.into_values().map(|(_, _, s)| s));
+        spans
+    }
+}
+
+impl Observer for SpanAssembler {
+    fn on_event(&mut self, at: SimTime, event: TraceEvent) {
+        self.observe(at, event);
+    }
+}
+
+/// Collect per-phase duration samples (seconds) across spans — the raw
+/// material for the `dgrid report` percentile table.
+pub fn phase_samples(spans: &[JobSpan]) -> Vec<(Phase, SampleSet)> {
+    Phase::ALL
+        .iter()
+        .map(|&p| {
+            let mut set = SampleSet::new();
+            for s in spans {
+                set.push(s.phase(p).as_secs_f64());
+            }
+            (p, set)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::OwnerRef;
+    use crate::node::GridNodeId;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn clean_run_decomposes_exactly() {
+        let mut a = SpanAssembler::new();
+        let job = JobId(7);
+        a.observe(t(10), TraceEvent::Submitted { job, resubmits: 0 });
+        a.observe(
+            t(12),
+            TraceEvent::OwnerAssigned {
+                job,
+                owner: OwnerRef::Peer(GridNodeId(1)),
+            },
+        );
+        a.observe(
+            t(15),
+            TraceEvent::Matched {
+                job,
+                run_node: GridNodeId(2),
+                hops: 3,
+            },
+        );
+        a.observe(
+            t(21),
+            TraceEvent::Started {
+                job,
+                run_node: GridNodeId(2),
+            },
+        );
+        a.observe(
+            t(51),
+            TraceEvent::Completed {
+                job,
+                results_at: t(52),
+            },
+        );
+        let spans = a.finish();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.outcome, SpanOutcome::Completed);
+        assert_eq!(s.phase(Phase::Routing), SimDuration::from_secs(2));
+        assert_eq!(s.phase(Phase::Matchmaking), SimDuration::from_secs(3));
+        assert_eq!(s.phase(Phase::Dispatch), SimDuration::from_secs(6));
+        assert_eq!(s.phase(Phase::Execution), SimDuration::from_secs(30));
+        assert_eq!(s.phase(Phase::ResultReturn), SimDuration::from_secs(1));
+        assert_eq!(s.phase(Phase::Recovery), SimDuration::ZERO);
+        assert_eq!(s.total(), SimDuration::from_secs(42));
+        assert_eq!(s.turnaround(), Some(SimDuration::from_secs(42)));
+        assert_eq!(s.wait(), SimDuration::from_secs(11));
+    }
+
+    #[test]
+    fn recovery_segments_are_reattributed() {
+        let mut a = SpanAssembler::new();
+        let job = JobId(1);
+        a.observe(t(0), TraceEvent::Submitted { job, resubmits: 0 });
+        a.observe(
+            t(1),
+            TraceEvent::OwnerAssigned {
+                job,
+                owner: OwnerRef::Server,
+            },
+        );
+        a.observe(
+            t(2),
+            TraceEvent::Matched {
+                job,
+                run_node: GridNodeId(0),
+                hops: 1,
+            },
+        );
+        a.observe(
+            t(3),
+            TraceEvent::Started {
+                job,
+                run_node: GridNodeId(0),
+            },
+        );
+        // Node dies mid-run; owner detects at t=9 and rematches.
+        a.observe(t(9), TraceEvent::RunRecovery { job });
+        a.observe(
+            t(9),
+            TraceEvent::Matched {
+                job,
+                run_node: GridNodeId(1),
+                hops: 2,
+            },
+        );
+        a.observe(
+            t(10),
+            TraceEvent::Started {
+                job,
+                run_node: GridNodeId(1),
+            },
+        );
+        a.observe(
+            t(40),
+            TraceEvent::Completed {
+                job,
+                results_at: t(40),
+            },
+        );
+        let spans = a.finish();
+        let s = &spans[0];
+        // The wasted execution + detection window counts as recovery, not
+        // execution; the rematch interval is zero-length here.
+        assert_eq!(s.phase(Phase::Recovery), SimDuration::from_secs(6));
+        assert_eq!(s.phase(Phase::Execution), SimDuration::from_secs(30));
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.total(), s.turnaround().unwrap());
+    }
+
+    #[test]
+    fn resubmission_counts_and_reattributes() {
+        let mut a = SpanAssembler::new();
+        let job = JobId(2);
+        a.observe(t(0), TraceEvent::Submitted { job, resubmits: 0 });
+        a.observe(
+            t(1),
+            TraceEvent::OwnerAssigned {
+                job,
+                owner: OwnerRef::Server,
+            },
+        );
+        // Dual failure: the client resubmits at t=31.
+        a.observe(t(31), TraceEvent::Submitted { job, resubmits: 1 });
+        a.observe(
+            t(32),
+            TraceEvent::OwnerAssigned {
+                job,
+                owner: OwnerRef::Server,
+            },
+        );
+        a.observe(
+            t(33),
+            TraceEvent::Matched {
+                job,
+                run_node: GridNodeId(0),
+                hops: 1,
+            },
+        );
+        a.observe(
+            t(34),
+            TraceEvent::Started {
+                job,
+                run_node: GridNodeId(0),
+            },
+        );
+        a.observe(
+            t(64),
+            TraceEvent::Completed {
+                job,
+                results_at: t(65),
+            },
+        );
+        let spans = a.finish();
+        let s = &spans[0];
+        assert_eq!(s.resubmits, 1);
+        assert_eq!(s.phase(Phase::Recovery), SimDuration::from_secs(30));
+        assert_eq!(s.phase(Phase::Routing), SimDuration::from_secs(2));
+        assert_eq!(s.total(), SimDuration::from_secs(65));
+        assert_eq!(s.total(), s.turnaround().unwrap());
+    }
+
+    #[test]
+    fn failed_and_open_jobs_close_consistently() {
+        let mut a = SpanAssembler::new();
+        a.observe(
+            t(0),
+            TraceEvent::Submitted {
+                job: JobId(1),
+                resubmits: 0,
+            },
+        );
+        a.observe(t(5), TraceEvent::Failed { job: JobId(1) });
+        a.observe(
+            t(2),
+            TraceEvent::Submitted {
+                job: JobId(2),
+                resubmits: 0,
+            },
+        );
+        let spans = a.finish();
+        assert_eq!(spans.len(), 2);
+        let failed = spans.iter().find(|s| s.job == JobId(1)).unwrap();
+        assert_eq!(failed.outcome, SpanOutcome::Failed);
+        assert_eq!(failed.phase(Phase::Recovery), SimDuration::from_secs(5));
+        assert_eq!(failed.total(), failed.turnaround().unwrap());
+        let open = spans.iter().find(|s| s.job == JobId(2)).unwrap();
+        assert_eq!(open.outcome, SpanOutcome::Open);
+        assert_eq!(open.turnaround(), None);
+        assert_eq!(open.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn node_events_are_ignored() {
+        let mut a = SpanAssembler::new();
+        a.observe(
+            t(0),
+            TraceEvent::NodeDown {
+                node: GridNodeId(0),
+                graceful: true,
+            },
+        );
+        a.observe(
+            t(1),
+            TraceEvent::NodeUp {
+                node: GridNodeId(0),
+            },
+        );
+        assert!(a.finish().is_empty());
+    }
+
+    #[test]
+    fn phase_samples_cover_all_phases() {
+        let mut a = SpanAssembler::new();
+        let job = JobId(3);
+        a.observe(t(0), TraceEvent::Submitted { job, resubmits: 0 });
+        a.observe(
+            t(1),
+            TraceEvent::OwnerAssigned {
+                job,
+                owner: OwnerRef::Server,
+            },
+        );
+        a.observe(
+            t(2),
+            TraceEvent::Matched {
+                job,
+                run_node: GridNodeId(0),
+                hops: 0,
+            },
+        );
+        a.observe(
+            t(3),
+            TraceEvent::Started {
+                job,
+                run_node: GridNodeId(0),
+            },
+        );
+        a.observe(
+            t(13),
+            TraceEvent::Completed {
+                job,
+                results_at: t(13),
+            },
+        );
+        let samples = phase_samples(&a.finish());
+        assert_eq!(samples.len(), Phase::ALL.len());
+        for (_, set) in &samples {
+            assert_eq!(set.len(), 1);
+        }
+    }
+}

@@ -5,6 +5,15 @@
 //! debugging, Gantt-style visualization, and the ordering assertions in the
 //! test suite, without the engine paying anything when tracing is off (the
 //! default observer is a no-op and the calls inline away).
+//!
+//! Beyond in-memory collection ([`VecObserver`]) the stream can be exported
+//! as JSON Lines ([`JsonlObserver`]) — one event per line with its virtual
+//! timestamp in integer nanoseconds, so a fixed seed replays a byte-identical
+//! file — and assembled into per-job phase spans
+//! ([`SpanAssembler`](crate::SpanAssembler)) that decompose Figure 2's wait
+//! time into routing, matchmaking, dispatch, and recovery segments.
+
+use std::io::Write;
 
 use dgrid_resources::JobId;
 use dgrid_sim::SimTime;
@@ -46,10 +55,19 @@ pub enum TraceEvent {
         /// Where it runs.
         run_node: GridNodeId,
     },
-    /// Results returned to the client (Figure 1, step 6).
+    /// Execution finished; results return to the client (Figure 1, step 6).
+    ///
+    /// Emitted when the run node finishes executing; the result transfer
+    /// (direct or by-reference through the DHT) is still in flight and
+    /// lands at `results_at`, which therefore equals the job's turnaround
+    /// instant. Keeping the event at completion time preserves the
+    /// nondecreasing emission order; keeping `results_at` in the payload
+    /// lets span assembly account for the result-return phase exactly.
     Completed {
         /// The job.
         job: JobId,
+        /// When the results reach the client (`>=` the event time).
+        results_at: SimTime,
     },
     /// The job permanently failed.
     Failed {
@@ -119,7 +137,7 @@ impl VecObserver {
                     | TraceEvent::OwnerAssigned { job: j, .. }
                     | TraceEvent::Matched { job: j, .. }
                     | TraceEvent::Started { job: j, .. }
-                    | TraceEvent::Completed { job: j }
+                    | TraceEvent::Completed { job: j, .. }
                     | TraceEvent::Failed { job: j }
                     | TraceEvent::RunRecovery { job: j }
                     | TraceEvent::OwnerRecovery { job: j } if *j == job
@@ -130,6 +148,59 @@ impl VecObserver {
     }
 }
 
+/// One exported line of the JSONL event stream: a virtual timestamp in
+/// integer nanoseconds plus the event, exactly as [`JsonlObserver`] writes
+/// it and `dgrid report` reads it back.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Virtual emission time, nanoseconds since simulation start.
+    pub t_ns: u64,
+    /// The lifecycle event.
+    pub event: TraceEvent,
+}
+
+/// Streams every event as one JSON line (`{"t_ns":...,"event":...}`) with
+/// its virtual timestamp. The same seed produces a byte-identical stream,
+/// which the CI determinism job asserts with a plain `diff`.
+pub struct JsonlObserver<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> JsonlObserver<W> {
+    /// Stream events into `sink`. Wrap files in a `BufWriter` — the
+    /// observer writes one line per event.
+    pub fn new(sink: W) -> Self {
+        JsonlObserver { sink }
+    }
+
+    /// Flush and return the sink.
+    pub fn into_inner(mut self) -> W {
+        self.sink.flush().expect("flush event stream");
+        self.sink
+    }
+}
+
+impl<W: Write> Observer for JsonlObserver<W> {
+    fn on_event(&mut self, at: SimTime, event: TraceEvent) {
+        let record = EventRecord {
+            t_ns: at.as_nanos(),
+            event,
+        };
+        serde_json::to_writer(&mut self.sink, &record).expect("serialize trace event");
+        self.sink.write_all(b"\n").expect("write event stream");
+    }
+}
+
+/// Parse one JSONL line written by [`JsonlObserver`]. Empty lines yield
+/// `None`; malformed lines return the serde error.
+pub fn parse_event_line(line: &str) -> Result<Option<EventRecord>, serde_json::Error> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    serde_json::from_str(line).map(Some)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,12 +208,33 @@ mod tests {
     #[test]
     fn vec_observer_filters_by_job() {
         let mut o = VecObserver::default();
-        o.on_event(SimTime::ZERO, TraceEvent::Submitted { job: JobId(1), resubmits: 0 });
-        o.on_event(SimTime::from_secs(1), TraceEvent::Submitted { job: JobId(2), resubmits: 0 });
-        o.on_event(SimTime::from_secs(2), TraceEvent::Completed { job: JobId(1) });
+        o.on_event(
+            SimTime::ZERO,
+            TraceEvent::Submitted {
+                job: JobId(1),
+                resubmits: 0,
+            },
+        );
+        o.on_event(
+            SimTime::from_secs(1),
+            TraceEvent::Submitted {
+                job: JobId(2),
+                resubmits: 0,
+            },
+        );
+        o.on_event(
+            SimTime::from_secs(2),
+            TraceEvent::Completed {
+                job: JobId(1),
+                results_at: SimTime::from_secs(2),
+            },
+        );
         o.on_event(
             SimTime::from_secs(3),
-            TraceEvent::NodeDown { node: GridNodeId(0), graceful: false },
+            TraceEvent::NodeDown {
+                node: GridNodeId(0),
+                graceful: false,
+            },
         );
         assert_eq!(o.for_job(JobId(1)).len(), 2);
         assert_eq!(o.for_job(JobId(2)).len(), 1);

@@ -17,14 +17,22 @@ fn nodes(n: usize) -> Vec<NodeProfile> {
 
 fn job(id: u64, arrival: f64, runtime: f64) -> JobSubmission {
     JobSubmission {
-        profile: JobProfile::new(JobId(id), ClientId(0), JobRequirements::unconstrained(), runtime),
+        profile: JobProfile::new(
+            JobId(id),
+            ClientId(0),
+            JobRequirements::unconstrained(),
+            runtime,
+        ),
         arrival_secs: arrival,
         actual_runtime_secs: None,
     }
 }
 
 fn cfg(seed: u64) -> EngineConfig {
-    EngineConfig { seed, ..EngineConfig::default() }
+    EngineConfig {
+        seed,
+        ..EngineConfig::default()
+    }
 }
 
 #[test]
@@ -84,7 +92,12 @@ fn diamond_joins_wait_for_all_parents() {
     //    2   3      4 depends on BOTH 2 and 3.
     //     \ /
     //      4
-    let jobs = vec![job(1, 0.0, 10.0), job(2, 0.0, 100.0), job(3, 0.0, 20.0), job(4, 0.0, 5.0)];
+    let jobs = vec![
+        job(1, 0.0, 10.0),
+        job(2, 0.0, 100.0),
+        job(3, 0.0, 20.0),
+        job(4, 0.0, 5.0),
+    ];
     let mut dag = JobDag::none();
     dag.add_dependency(JobId(2), JobId(1));
     dag.add_dependency(JobId(3), JobId(1));
@@ -110,7 +123,12 @@ fn failed_parent_cascades_to_descendants() {
     // with an explicit DependencyFailed, never hangs.
     let mut parent = job(1, 0.0, 10.0);
     parent.actual_runtime_secs = Some(10_000.0); // runaway
-    let jobs = vec![parent, job(2, 0.0, 50.0), job(3, 0.0, 50.0), job(4, 0.0, 50.0)];
+    let jobs = vec![
+        parent,
+        job(2, 0.0, 50.0),
+        job(3, 0.0, 50.0),
+        job(4, 0.0, 50.0),
+    ];
     let mut dag = JobDag::none();
     dag.add_dependency(JobId(2), JobId(1));
     dag.add_dependency(JobId(3), JobId(2));
@@ -186,7 +204,11 @@ fn dag_survives_churn_without_losing_jobs() {
         dag,
     )
     .run();
-    assert_eq!(r.jobs_completed + r.jobs_failed, 40, "conservation under churn");
+    assert_eq!(
+        r.jobs_completed + r.jobs_failed,
+        40,
+        "conservation under churn"
+    );
     assert!(r.completion_rate() > 0.9, "rate {:.3}", r.completion_rate());
 }
 

@@ -14,7 +14,12 @@ fn node(cpu: f64) -> NodeProfile {
 
 fn job(id: u64, arrival: f64, runtime: f64) -> JobSubmission {
     JobSubmission {
-        profile: JobProfile::new(JobId(id), ClientId(0), JobRequirements::unconstrained(), runtime),
+        profile: JobProfile::new(
+            JobId(id),
+            ClientId(0),
+            JobRequirements::unconstrained(),
+            runtime,
+        ),
         arrival_secs: arrival,
         actual_runtime_secs: None,
     }
@@ -37,7 +42,11 @@ fn horizon_fails_unfinished_jobs_explicitly() {
         (0..5).map(|i| job(i, 0.0, 100.0)).collect(),
     )
     .run();
-    assert_eq!(r.jobs_completed + r.jobs_failed, 5, "conservation at the horizon");
+    assert_eq!(
+        r.jobs_completed + r.jobs_failed,
+        5,
+        "conservation at the horizon"
+    );
     assert!(r.jobs_completed >= 1, "the head of the queue finishes");
     assert!(r.jobs_failed >= 2, "the tail is failed explicitly");
 }
@@ -97,14 +106,23 @@ fn runtime_scaling_by_cpu_speed() {
     // Turnaround ≈ runtime (no queueing): 200 s vs 50 s plus small latency.
     let t_slow = slow.turnaround.mean();
     let t_fast = fast.turnaround.mean();
-    assert!((195.0..215.0).contains(&t_slow), "slow node turnaround {t_slow:.1}");
-    assert!((45.0..65.0).contains(&t_fast), "fast node turnaround {t_fast:.1}");
+    assert!(
+        (195.0..215.0).contains(&t_slow),
+        "slow node turnaround {t_slow:.1}"
+    );
+    assert!(
+        (45.0..65.0).contains(&t_fast),
+        "fast node turnaround {t_fast:.1}"
+    );
 }
 
 #[test]
 fn single_node_single_job_smoke() {
     let r = Engine::new(
-        EngineConfig { seed: 4, ..EngineConfig::default() },
+        EngineConfig {
+            seed: 4,
+            ..EngineConfig::default()
+        },
         ChurnConfig::none(),
         Box::new(RnTreeMatchmaker::with_defaults()),
         vec![node(2.0)],
@@ -119,7 +137,10 @@ fn single_node_single_job_smoke() {
 #[test]
 fn zero_jobs_is_a_clean_no_op() {
     let r = Engine::new(
-        EngineConfig { seed: 5, ..EngineConfig::default() },
+        EngineConfig {
+            seed: 5,
+            ..EngineConfig::default()
+        },
         ChurnConfig::none(),
         Box::new(CentralizedMatchmaker::new()),
         vec![node(2.0)],
@@ -137,8 +158,16 @@ fn late_arrivals_after_all_nodes_left_still_terminate() {
     // client retries and ultimately gives up — never a hang.
     use dgrid_core::{AvailabilityEvent, GridNodeId, JobDag};
     let schedule = vec![
-        AvailabilityEvent { at_secs: 5.0, node: GridNodeId(0), up: false },
-        AvailabilityEvent { at_secs: 5.0, node: GridNodeId(1), up: false },
+        AvailabilityEvent {
+            at_secs: 5.0,
+            node: GridNodeId(0),
+            up: false,
+        },
+        AvailabilityEvent {
+            at_secs: 5.0,
+            node: GridNodeId(1),
+            up: false,
+        },
     ];
     let cfg = EngineConfig {
         seed: 6,
@@ -171,5 +200,8 @@ fn duplicate_job_ids_rejected() {
             vec![job(7, 0.0, 10.0), job(7, 1.0, 10.0)],
         )
     });
-    assert!(result.is_err(), "duplicate job ids must panic at construction");
+    assert!(
+        result.is_err(),
+        "duplicate job ids must panic at construction"
+    );
 }

@@ -54,7 +54,12 @@ fn base_cfg(seed: u64) -> EngineConfig {
     }
 }
 
-fn run_with(mm: Box<dyn Matchmaker>, seed: u64, nodes: usize, jobs: usize) -> dgrid_core::SimReport {
+fn run_with(
+    mm: Box<dyn Matchmaker>,
+    seed: u64,
+    nodes: usize,
+    jobs: usize,
+) -> dgrid_core::SimReport {
     let engine = Engine::new(
         base_cfg(seed),
         ChurnConfig::none(),
@@ -71,7 +76,10 @@ fn centralized_completes_all_jobs() {
     assert_eq!(r.jobs_completed, 200);
     assert_eq!(r.jobs_failed, 0);
     assert_eq!(r.wait_time.len(), 200);
-    assert!(r.match_hops.mean() == 0.0, "central matchmaking costs 0 hops");
+    assert!(
+        r.match_hops.mean() == 0.0,
+        "central matchmaking costs 0 hops"
+    );
 }
 
 #[test]
@@ -151,7 +159,14 @@ fn constrained_jobs_run_only_on_capable_nodes() {
         Box::new(CanMatchmaker::with_defaults()),
     ] {
         let name = mm.name();
-        let r = Engine::new(base_cfg(11), ChurnConfig::none(), mm, nodes.clone(), jobs.clone()).run();
+        let r = Engine::new(
+            base_cfg(11),
+            ChurnConfig::none(),
+            mm,
+            nodes.clone(),
+            jobs.clone(),
+        )
+        .run();
         assert_eq!(r.jobs_completed, 100, "{name}: all jobs must complete");
         // Only the 10 strong nodes may have executed anything.
         for (i, &count) in r.node_jobs.iter().enumerate() {
@@ -215,7 +230,10 @@ fn recovery_from_run_node_failures() {
     .run();
     assert_eq!(r.jobs_completed + r.jobs_failed, 300, "no job may be lost");
     assert!(r.node_failures > 0, "churn must actually fire");
-    assert!(r.run_recoveries > 0, "owner must have recovered run failures");
+    assert!(
+        r.run_recoveries > 0,
+        "owner must have recovered run failures"
+    );
     assert!(
         r.completion_rate() > 0.95,
         "recovery should save nearly all jobs (rate {:.3})",
@@ -262,7 +280,12 @@ fn sandbox_kills_runaway_jobs() {
     // Declared 10 s, actually runs 1000 s: killed at slack × declared.
     let jobs: Vec<JobSubmission> = (0..20)
         .map(|i| JobSubmission {
-            profile: JobProfile::new(JobId(i), ClientId(0), JobRequirements::unconstrained(), 10.0),
+            profile: JobProfile::new(
+                JobId(i),
+                ClientId(0),
+                JobRequirements::unconstrained(),
+                10.0,
+            ),
             arrival_secs: i as f64 * 5.0,
             actual_runtime_secs: Some(if i % 2 == 0 { 1000.0 } else { 10.0 }),
         })
@@ -275,7 +298,14 @@ fn sandbox_kills_runaway_jobs() {
         },
         ..EngineConfig::default()
     };
-    let r = Engine::new(cfg, ChurnConfig::none(), Box::new(CentralizedMatchmaker::new()), nodes, jobs).run();
+    let r = Engine::new(
+        cfg,
+        ChurnConfig::none(),
+        Box::new(CentralizedMatchmaker::new()),
+        nodes,
+        jobs,
+    )
+    .run();
     assert_eq!(r.sandbox_kills, 10, "every runaway job is killed");
     assert_eq!(r.jobs_completed, 10);
     assert_eq!(r.jobs_failed, 10);
@@ -284,8 +314,12 @@ fn sandbox_kills_runaway_jobs() {
 #[test]
 fn sandbox_admission_rejects_oversized_output() {
     let nodes = mixed_nodes(5, 32);
-    let mut profile =
-        JobProfile::new(JobId(0), ClientId(0), JobRequirements::unconstrained(), 10.0);
+    let mut profile = JobProfile::new(
+        JobId(0),
+        ClientId(0),
+        JobRequirements::unconstrained(),
+        10.0,
+    );
     profile.output_bytes = 1 << 40; // 1 TiB declared output
     let cfg = EngineConfig {
         seed: 32,
@@ -300,7 +334,11 @@ fn sandbox_admission_rejects_oversized_output() {
         ChurnConfig::none(),
         Box::new(CentralizedMatchmaker::new()),
         nodes,
-        vec![JobSubmission { profile, arrival_secs: 0.0, actual_runtime_secs: None }],
+        vec![JobSubmission {
+            profile,
+            arrival_secs: 0.0,
+            actual_runtime_secs: None,
+        }],
     )
     .run();
     assert_eq!(r.sandbox_kills, 1);
@@ -311,10 +349,20 @@ fn sandbox_admission_rejects_oversized_output() {
 fn fifo_order_on_a_single_node() {
     // One node, jobs arriving back to back: waits must be monotone in
     // arrival order (FIFO), and each wait ≈ sum of predecessors' runtimes.
-    let nodes = vec![NodeProfile::new(Capabilities::new(2.0, 4.0, 100.0, OsType::Linux))];
+    let nodes = vec![NodeProfile::new(Capabilities::new(
+        2.0,
+        4.0,
+        100.0,
+        OsType::Linux,
+    ))];
     let jobs: Vec<JobSubmission> = (0..5)
         .map(|i| JobSubmission {
-            profile: JobProfile::new(JobId(i), ClientId(0), JobRequirements::unconstrained(), 100.0),
+            profile: JobProfile::new(
+                JobId(i),
+                ClientId(0),
+                JobRequirements::unconstrained(),
+                100.0,
+            ),
             arrival_secs: i as f64 * 0.01,
             actual_runtime_secs: None,
         })
@@ -350,5 +398,8 @@ fn utilization_accounting_is_conserved() {
     assert_eq!(total_jobs, 100);
     assert!(total_busy > 0.0);
     // Mean runtime 100 s × 100 jobs ⇒ total ≈ 10 000 s (exponential spread).
-    assert!((5_000.0..20_000.0).contains(&total_busy), "total busy {total_busy}");
+    assert!(
+        (5_000.0..20_000.0).contains(&total_busy),
+        "total busy {total_busy}"
+    );
 }

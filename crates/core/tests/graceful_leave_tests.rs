@@ -76,7 +76,11 @@ fn all_graceful_means_no_abrupt_failures() {
     assert_eq!(r.node_failures, 0);
     assert!(r.graceful_leaves > 0, "churn must fire");
     assert_eq!(r.jobs_completed + r.jobs_failed, 300);
-    assert!(r.completion_rate() > 0.97, "rate {:.3}", r.completion_rate());
+    assert!(
+        r.completion_rate() > 0.97,
+        "rate {:.3}",
+        r.completion_rate()
+    );
 }
 
 #[test]
@@ -139,5 +143,9 @@ fn graceful_leave_works_over_p2p_overlays() {
     .run();
     assert_eq!(r.jobs_completed + r.jobs_failed, 250);
     assert!(r.graceful_leaves > 0);
-    assert!(r.completion_rate() > 0.95, "rate {:.3}", r.completion_rate());
+    assert!(
+        r.completion_rate() > 0.95,
+        "rate {:.3}",
+        r.completion_rate()
+    );
 }

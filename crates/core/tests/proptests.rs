@@ -3,8 +3,8 @@
 //! keeps its invariants.
 
 use dgrid_core::{
-    CanMatchmaker, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, JobDag,
-    JobSubmission, Matchmaker, RnTreeMatchmaker,
+    CanMatchmaker, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, JobDag, JobSubmission,
+    Matchmaker, RnTreeMatchmaker,
 };
 use dgrid_resources::{
     Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType, ResourceKind,
@@ -38,10 +38,7 @@ fn arb_node() -> impl Strategy<Value = (f64, f64, f64, u8)> {
     (0.5f64..4.0, 0.25f64..8.0, 10.0f64..500.0, 0u8..4)
 }
 
-fn build(
-    nodes: &[(f64, f64, f64, u8)],
-    jobs: &[ArbJob],
-) -> (Vec<NodeProfile>, Vec<JobSubmission>) {
+fn build(nodes: &[(f64, f64, f64, u8)], jobs: &[ArbJob]) -> (Vec<NodeProfile>, Vec<JobSubmission>) {
     let profiles: Vec<NodeProfile> = nodes
         .iter()
         .map(|&(c, m, d, os)| {
@@ -70,9 +67,17 @@ fn build(
 }
 
 fn check_report(r: &dgrid_core::SimReport, total: u64, label: &str) {
-    assert_eq!(r.jobs_completed + r.jobs_failed, total, "{label}: conservation");
+    assert_eq!(
+        r.jobs_completed + r.jobs_failed,
+        total,
+        "{label}: conservation"
+    );
     assert_eq!(r.jobs_total, total);
-    assert_eq!(r.wait_time.len() as u64, r.jobs_completed, "{label}: one wait per completion");
+    assert_eq!(
+        r.wait_time.len() as u64,
+        r.jobs_completed,
+        "{label}: one wait per completion"
+    );
     for &w in r.wait_time.samples() {
         assert!(w >= 0.0 && w.is_finite(), "{label}: wait {w}");
     }
@@ -80,7 +85,10 @@ fn check_report(r: &dgrid_core::SimReport, total: u64, label: &str) {
         assert!(b >= 0.0 && b.is_finite());
     }
     let client_total: u64 = r.client_waits.values().map(|s| s.count()).sum();
-    assert_eq!(client_total, r.jobs_completed, "{label}: client stats cover completions");
+    assert_eq!(
+        client_total, r.jobs_completed,
+        "{label}: client stats cover completions"
+    );
 }
 
 proptest! {

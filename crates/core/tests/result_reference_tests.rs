@@ -62,7 +62,11 @@ fn by_reference_costs_overlay_lookups_on_p2p() {
         let label = mm.name();
         let r = run(mm, true, 2);
         assert_eq!(r.jobs_completed, 150, "{label}");
-        assert_eq!(r.result_hops.len(), 150, "{label}: one sample per completion");
+        assert_eq!(
+            r.result_hops.len(),
+            150,
+            "{label}: one sample per completion"
+        );
         let mean = r.result_hops.mean();
         assert!(
             mean > 0.0 && mean < 30.0,
@@ -85,9 +89,7 @@ fn by_reference_adds_result_latency_after_execution() {
     // result, publish + resolve + transfer (several hops) by reference.
     // (Exact waits differ between the runs because the extra overlay
     // lookups advance the shared random streams.)
-    let overhead = |r: &dgrid_core::SimReport| {
-        r.turnaround.mean() - r.wait_time.mean() - 60.0
-    };
+    let overhead = |r: &dgrid_core::SimReport| r.turnaround.mean() - r.wait_time.mean() - 60.0;
     let direct = run(Box::new(RnTreeMatchmaker::with_defaults()), false, 4);
     let by_ref = run(Box::new(RnTreeMatchmaker::with_defaults()), true, 4);
     assert_eq!(direct.jobs_completed, 150);

@@ -49,7 +49,11 @@ fn traced_run(
     seed: u64,
 ) -> (dgrid_core::SimReport, VecObserver) {
     let shared = Rc::new(RefCell::new(VecObserver::default()));
-    let cfg = EngineConfig { seed, max_sim_secs: 1_000_000.0, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        seed,
+        max_sim_secs: 1_000_000.0,
+        ..EngineConfig::default()
+    };
     let engine = Engine::new(cfg, churn, mm, nodes(20), jobs(60))
         .with_observer(Box::new(SharedObserver(shared.clone())));
     let report = engine.run();
@@ -59,7 +63,11 @@ fn traced_run(
 
 #[test]
 fn events_are_time_ordered_and_complete() {
-    let (report, trace) = traced_run(Box::new(CentralizedMatchmaker::new()), ChurnConfig::none(), 1);
+    let (report, trace) = traced_run(
+        Box::new(CentralizedMatchmaker::new()),
+        ChurnConfig::none(),
+        1,
+    );
     assert_eq!(report.jobs_completed, 60);
 
     let mut last = SimTime::ZERO;
@@ -77,7 +85,11 @@ fn events_are_time_ordered_and_complete() {
 
 #[test]
 fn per_job_lifecycle_is_well_formed() {
-    let (_, trace) = traced_run(Box::new(RnTreeMatchmaker::with_defaults()), ChurnConfig::none(), 2);
+    let (_, trace) = traced_run(
+        Box::new(RnTreeMatchmaker::with_defaults()),
+        ChurnConfig::none(),
+        2,
+    );
     for j in 0..60u64 {
         let seq = trace.for_job(JobId(j));
         // submitted → owner → matched → started → completed, exactly once
@@ -87,7 +99,10 @@ fn per_job_lifecycle_is_well_formed() {
             "job {j}: first event {:?}",
             seq[0]
         );
-        assert!(matches!(seq[1], TraceEvent::OwnerAssigned { .. }), "job {j}");
+        assert!(
+            matches!(seq[1], TraceEvent::OwnerAssigned { .. }),
+            "job {j}"
+        );
         assert!(matches!(seq[2], TraceEvent::Matched { .. }), "job {j}");
         assert!(matches!(seq[3], TraceEvent::Started { .. }), "job {j}");
         assert!(matches!(seq[4], TraceEvent::Completed { .. }), "job {j}");
@@ -97,7 +112,11 @@ fn per_job_lifecycle_is_well_formed() {
 
 #[test]
 fn matched_and_started_agree_on_the_run_node() {
-    let (_, trace) = traced_run(Box::new(RnTreeMatchmaker::with_defaults()), ChurnConfig::none(), 3);
+    let (_, trace) = traced_run(
+        Box::new(RnTreeMatchmaker::with_defaults()),
+        ChurnConfig::none(),
+        3,
+    );
     for j in 0..60u64 {
         let seq = trace.for_job(JobId(j));
         let matched = seq.iter().find_map(|e| match e {
@@ -148,7 +167,10 @@ fn churn_produces_node_and_recovery_events() {
 #[test]
 fn default_engine_has_no_observer_overhead_path() {
     // Smoke check: running without an observer is unchanged behaviourally.
-    let cfg = EngineConfig { seed: 5, ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        seed: 5,
+        ..EngineConfig::default()
+    };
     let a = Engine::new(
         cfg,
         ChurnConfig::none(),
@@ -157,7 +179,11 @@ fn default_engine_has_no_observer_overhead_path() {
         jobs(30),
     )
     .run();
-    let (b, _) = traced_run(Box::new(CentralizedMatchmaker::new()), ChurnConfig::none(), 5);
+    let (b, _) = traced_run(
+        Box::new(CentralizedMatchmaker::new()),
+        ChurnConfig::none(),
+        5,
+    );
     // Not directly comparable (different node/job counts), but both clean.
     assert_eq!(a.jobs_completed, 30);
     assert_eq!(b.jobs_completed, 60);

@@ -64,7 +64,11 @@ impl PastryId {
             self.0 & (u64::MAX << (64 - DIGIT_BITS * prefix_len))
         };
         let lo = kept | ((d as u64) << shift);
-        let hi = if shift == 0 { lo } else { lo | ((1u64 << shift) - 1) };
+        let hi = if shift == 0 {
+            lo
+        } else {
+            lo | ((1u64 << shift) - 1)
+        };
         (lo, hi)
     }
 }

@@ -154,7 +154,11 @@ impl PastryNetwork {
             .map(|(&id, _)| PastryId(id))
             .or_else(|| self.next_cw(u64::MAX))?;
         let below = self.next_ccw(key.0).unwrap_or(above);
-        Some(if below.closer_to(key, above) { below } else { above })
+        Some(if below.closer_to(key, above) {
+            below
+        } else {
+            above
+        })
     }
 
     // ------------------------------------------------------------------
@@ -186,7 +190,11 @@ impl PastryNetwork {
         // leaf set).
         let neighbourhood: Vec<PastryId> = {
             let st = &self.peers[&id.0];
-            st.leaf_cw.iter().chain(st.leaf_ccw.iter()).copied().collect()
+            st.leaf_cw
+                .iter()
+                .chain(st.leaf_ccw.iter())
+                .copied()
+                .collect()
         };
         for n in neighbourhood {
             if self.is_alive(n) {
@@ -207,7 +215,11 @@ impl PastryNetwork {
                 .get(&id.0)
                 .filter(|p| p.alive)
                 .unwrap_or_else(|| panic!("departure of unknown/dead node {id}"));
-            st.leaf_cw.iter().chain(st.leaf_ccw.iter()).copied().collect()
+            st.leaf_cw
+                .iter()
+                .chain(st.leaf_ccw.iter())
+                .copied()
+                .collect()
         };
         self.mark_dead(id);
         for n in neighbourhood {
@@ -263,7 +275,11 @@ impl PastryNetwork {
         let mut out = Vec::with_capacity(self.cfg.leaf_half);
         let mut cur = id.0;
         for _ in 0..self.cfg.leaf_half.min(self.alive_count.saturating_sub(1)) {
-            let next = if clockwise { self.next_cw(cur) } else { self.next_ccw(cur) };
+            let next = if clockwise {
+                self.next_cw(cur)
+            } else {
+                self.next_ccw(cur)
+            };
             match next {
                 Some(n) if n != id && !out.contains(&n) => {
                     out.push(n);
@@ -349,7 +365,11 @@ impl PastryNetwork {
                     }
                 }
                 if best == cur {
-                    return Some(Route { owner: cur, hops, timeouts });
+                    return Some(Route {
+                        owner: cur,
+                        hops,
+                        timeouts,
+                    });
                 }
                 // One final hop to the numerically closest leaf. It may
                 // itself know an even closer node (stale sets); loop from
@@ -361,7 +381,11 @@ impl PastryNetwork {
                     hops += 1;
                     continue;
                 }
-                return Some(Route { owner: cur, hops, timeouts });
+                return Some(Route {
+                    owner: cur,
+                    hops,
+                    timeouts,
+                });
             }
 
             // Prefix routing: forward to the entry matching one more digit.
@@ -406,7 +430,13 @@ impl PastryNetwork {
                 }
                 // No strictly closer node known: we are the closest we can
                 // prove; deliver here.
-                None => return Some(Route { owner: cur, hops, timeouts }),
+                None => {
+                    return Some(Route {
+                        owner: cur,
+                        hops,
+                        timeouts,
+                    })
+                }
             }
         }
     }

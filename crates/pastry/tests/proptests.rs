@@ -21,12 +21,10 @@ fn step() -> impl Strategy<Value = Step> {
 
 /// Brute-force owner: numerically closest live id (circular, tie → smaller).
 fn brute_owner(live: &[u64], key: u64) -> Option<u64> {
-    live.iter()
-        .copied()
-        .min_by_key(|&id| {
-            let d = id.wrapping_sub(key);
-            (d.min(d.wrapping_neg()), id)
-        })
+    live.iter().copied().min_by_key(|&id| {
+        let d = id.wrapping_sub(key);
+        (d.min(d.wrapping_neg()), id)
+    })
 }
 
 proptest! {

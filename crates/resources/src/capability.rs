@@ -25,8 +25,11 @@ pub enum ResourceKind {
 
 impl ResourceKind {
     /// All kinds, in dimension-index order.
-    pub const ALL: [ResourceKind; NUM_RESOURCE_DIMS] =
-        [ResourceKind::CpuSpeed, ResourceKind::Memory, ResourceKind::Disk];
+    pub const ALL: [ResourceKind; NUM_RESOURCE_DIMS] = [
+        ResourceKind::CpuSpeed,
+        ResourceKind::Memory,
+        ResourceKind::Disk,
+    ];
 
     /// Stable dimension index in `0..NUM_RESOURCE_DIMS`.
     pub const fn index(self) -> usize {
@@ -81,7 +84,12 @@ pub enum OsType {
 
 impl OsType {
     /// All OS types.
-    pub const ALL: [OsType; 4] = [OsType::Linux, OsType::Windows, OsType::MacOs, OsType::Solaris];
+    pub const ALL: [OsType; 4] = [
+        OsType::Linux,
+        OsType::Windows,
+        OsType::MacOs,
+        OsType::Solaris,
+    ];
 
     const fn bit(self) -> u8 {
         match self {
@@ -144,10 +152,7 @@ impl Capabilities {
     pub fn new(cpu_ghz: f64, mem_gib: f64, disk_gib: f64, os: OsType) -> Self {
         let values = [cpu_ghz, mem_gib, disk_gib];
         for (kind, v) in ResourceKind::ALL.iter().zip(values) {
-            assert!(
-                v.is_finite() && v >= 0.0,
-                "invalid capability {kind}: {v}"
-            );
+            assert!(v.is_finite() && v >= 0.0, "invalid capability {kind}: {v}");
         }
         Capabilities { values, os }
     }

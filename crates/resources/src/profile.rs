@@ -102,7 +102,12 @@ pub struct JobProfile {
 
 impl JobProfile {
     /// A minimal profile with the given id, client, requirements and runtime.
-    pub fn new(id: JobId, client: ClientId, requirements: JobRequirements, run_time_secs: f64) -> Self {
+    pub fn new(
+        id: JobId,
+        client: ClientId,
+        requirements: JobRequirements,
+        run_time_secs: f64,
+    ) -> Self {
         assert!(
             run_time_secs.is_finite() && run_time_secs > 0.0,
             "invalid run time {run_time_secs}"
@@ -162,7 +167,10 @@ mod tests {
             .with_min(ResourceKind::Memory, 4.0);
         assert_eq!(req.num_constraints(), 2);
         assert!(!req.is_unconstrained());
-        assert!(req.satisfied_by(&caps(2.0, 4.0, 0.0)), "boundary is inclusive");
+        assert!(
+            req.satisfied_by(&caps(2.0, 4.0, 0.0)),
+            "boundary is inclusive"
+        );
         assert!(req.satisfied_by(&caps(3.0, 8.0, 10.0)));
         assert!(!req.satisfied_by(&caps(1.9, 8.0, 10.0)));
         assert!(!req.satisfied_by(&caps(3.0, 3.9, 10.0)));
@@ -174,14 +182,22 @@ mod tests {
     fn os_constraint() {
         let req = JobRequirements::unconstrained().with_os(OsRequirement::only(OsType::Windows));
         assert!(!req.is_unconstrained());
-        assert!(!req.satisfied_by(&caps(10.0, 10.0, 10.0)), "Linux node, Windows job");
+        assert!(
+            !req.satisfied_by(&caps(10.0, 10.0, 10.0)),
+            "Linux node, Windows job"
+        );
         assert!(req.satisfied_by(&Capabilities::new(0.1, 0.1, 0.1, OsType::Windows)));
     }
 
     #[test]
     fn node_profile_can_run() {
         let node = NodeProfile::new(caps(2.0, 8.0, 100.0));
-        let easy = JobProfile::new(JobId(1), ClientId(0), JobRequirements::unconstrained(), 10.0);
+        let easy = JobProfile::new(
+            JobId(1),
+            ClientId(0),
+            JobRequirements::unconstrained(),
+            10.0,
+        );
         let hard = JobProfile::new(
             JobId(2),
             ClientId(0),

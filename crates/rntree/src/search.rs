@@ -72,7 +72,13 @@ impl RnTreeIndex {
     /// Charges one hop to enter the subtree and one hop per further descent
     /// edge; results return to the requester directly (the paper uses
     /// direct connections for replies).
-    fn search_subtree(&self, root: ChordId, req: &JobRequirements, k: usize, out: &mut SearchResult) {
+    fn search_subtree(
+        &self,
+        root: ChordId,
+        req: &JobRequirements,
+        k: usize,
+        out: &mut SearchResult,
+    ) {
         if !self.subtree_info(root).may_satisfy(req) {
             return; // pruned: the request message is never sent
         }
@@ -136,7 +142,11 @@ mod tests {
         let owner = index.tree().ids()[40];
         let res = index.find_candidates(owner, &JobRequirements::unconstrained(), 8);
         assert!(res.candidates.len() >= 8);
-        assert!(res.visited <= 16, "visited {} nodes for k=8 unconstrained", res.visited);
+        assert!(
+            res.visited <= 16,
+            "visited {} nodes for k=8 unconstrained",
+            res.visited
+        );
     }
 
     #[test]
@@ -149,7 +159,10 @@ mod tests {
         let res = index.find_candidates(owner, &req, 4);
         assert!(!res.candidates.is_empty());
         for c in &res.candidates {
-            assert!(req.satisfied_by(&caps[c]), "candidate {c} cannot run the job");
+            assert!(
+                req.satisfied_by(&caps[c]),
+                "candidate {c} cannot run the job"
+            );
         }
     }
 

@@ -74,7 +74,14 @@ impl RnTree {
         for kids in children.values_mut() {
             kids.sort_unstable();
         }
-        (RnTree { root, parent, children }, lookup_hops)
+        (
+            RnTree {
+                root,
+                parent,
+                children,
+            },
+            lookup_hops,
+        )
     }
 
     /// The tree root (the Chord owner of key 0).
@@ -130,7 +137,11 @@ impl RnTree {
 
     /// Height of the tree: the maximum node depth.
     pub fn height(&self) -> u32 {
-        self.parent.keys().map(|&id| self.depth_of(id)).max().unwrap_or(0)
+        self.parent
+            .keys()
+            .map(|&id| self.depth_of(id))
+            .max()
+            .unwrap_or(0)
     }
 
     /// All node ids, ascending.

@@ -243,7 +243,10 @@ impl FaultPlan {
                 "crash time must be finite and non-negative"
             );
             if let Some(r) = c.rejoin_after_secs {
-                assert!(r.is_finite() && r > 0.0, "rejoin delay {r} must be positive");
+                assert!(
+                    r.is_finite() && r > 0.0,
+                    "rejoin delay {r} must be positive"
+                );
             }
         }
     }
@@ -441,12 +444,24 @@ mod tests {
         let mut n = net(FaultPlan::with_loss(1.0));
         let mut rng = rng_for(7, streams::NETWORK);
         assert_eq!(
-            n.send(&mut rng, SimTime::ZERO, Endpoint::Node(0), Endpoint::Node(1), 2),
+            n.send(
+                &mut rng,
+                SimTime::ZERO,
+                Endpoint::Node(0),
+                Endpoint::Node(1),
+                2
+            ),
             Delivery::Lost
         );
         // Zero hops is local delivery: immune.
         assert_eq!(
-            n.send(&mut rng, SimTime::ZERO, Endpoint::Node(0), Endpoint::Node(0), 0),
+            n.send(
+                &mut rng,
+                SimTime::ZERO,
+                Endpoint::Node(0),
+                Endpoint::Node(0),
+                0
+            ),
             Delivery::Delivered(SimDuration::ZERO)
         );
     }
@@ -458,8 +473,14 @@ mod tests {
         let trials = 20_000;
         let lost = (0..trials)
             .filter(|_| {
-                !n.send(&mut rng, SimTime::ZERO, Endpoint::Node(0), Endpoint::Node(1), 1)
-                    .is_delivered()
+                !n.send(
+                    &mut rng,
+                    SimTime::ZERO,
+                    Endpoint::Node(0),
+                    Endpoint::Node(1),
+                    1,
+                )
+                .is_delivered()
             })
             .count();
         let rate = lost as f64 / trials as f64;
@@ -494,8 +515,14 @@ mod tests {
         let mut rng = rng_for(7, streams::NETWORK);
         let send = |n: &mut Network, rng: &mut SimRng, t, from, to| n.send(rng, t, from, to, 1);
         // Before the cut.
-        assert!(send(&mut n, &mut rng, SimTime::from_secs(5), Endpoint::Node(1), Endpoint::Node(0))
-            .is_delivered());
+        assert!(send(
+            &mut n,
+            &mut rng,
+            SimTime::from_secs(5),
+            Endpoint::Node(1),
+            Endpoint::Node(0)
+        )
+        .is_delivered());
         // During: across the cut is unreachable, within each side is fine.
         let t = SimTime::from_secs(15);
         assert_eq!(
@@ -509,8 +536,14 @@ mod tests {
         assert!(send(&mut n, &mut rng, t, Endpoint::Node(1), Endpoint::Node(2)).is_delivered());
         assert!(send(&mut n, &mut rng, t, Endpoint::External, Endpoint::Node(0)).is_delivered());
         // After the heal.
-        assert!(send(&mut n, &mut rng, SimTime::from_secs(20), Endpoint::Node(1), Endpoint::Node(0))
-            .is_delivered());
+        assert!(send(
+            &mut n,
+            &mut rng,
+            SimTime::from_secs(20),
+            Endpoint::Node(1),
+            Endpoint::Node(0)
+        )
+        .is_delivered());
     }
 
     #[test]
@@ -522,11 +555,23 @@ mod tests {
             rng_for(7, streams::FAULT_INJECTION),
         );
         let mut rng = rng_for(7, streams::NETWORK);
-        match n.send(&mut rng, SimTime::from_secs(150), Endpoint::Node(0), Endpoint::Node(1), 1) {
+        match n.send(
+            &mut rng,
+            SimTime::from_secs(150),
+            Endpoint::Node(0),
+            Endpoint::Node(1),
+            1,
+        ) {
             Delivery::Delivered(d) => assert_eq!(d, SimDuration::from_millis(40)),
             other => panic!("unexpected {other:?}"),
         }
-        match n.send(&mut rng, SimTime::from_secs(250), Endpoint::Node(0), Endpoint::Node(1), 1) {
+        match n.send(
+            &mut rng,
+            SimTime::from_secs(250),
+            Endpoint::Node(0),
+            Endpoint::Node(1),
+            1,
+        ) {
             Delivery::Delivered(d) => assert_eq!(d, SimDuration::from_millis(10)),
             other => panic!("unexpected {other:?}"),
         }
@@ -578,7 +623,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "partition heals")]
     fn inverted_partition_window_is_rejected() {
-        FaultPlan::none().with_partition(20.0, 10.0, vec![0]).validate();
+        FaultPlan::none()
+            .with_partition(20.0, 10.0, vec![0])
+            .validate();
     }
 
     #[test]

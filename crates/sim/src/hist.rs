@@ -163,7 +163,7 @@ mod tests {
         assert_eq!(h.counts()[0], 2); // [0,1)
         assert_eq!(h.counts()[1], 1); // [1,2)
         assert_eq!(h.counts()[2], 2); // [2,4)
-        // 100 lands in [64,128) = bucket 1 + floor(log2(100)) = 7.
+                                      // 100 lands in [64,128) = bucket 1 + floor(log2(100)) = 7.
         assert_eq!(h.counts()[7], 1);
         assert!((h.mean() - (0.1 + 0.9 + 1.5 + 3.0 + 3.9 + 100.0) / 6.0).abs() < 1e-12);
     }
@@ -175,7 +175,10 @@ mod tests {
             h.record(i as f64 / 10.0); // 0.1 .. 100.0
         }
         let median = h.quantile(0.5).unwrap();
-        assert!((32.0..=64.0).contains(&median), "median bucket edge {median}");
+        assert!(
+            (32.0..=64.0).contains(&median),
+            "median bucket edge {median}"
+        );
         let p99 = h.quantile(0.99).unwrap();
         assert!(p99 >= 99.0, "p99 edge {p99}");
         assert!(h.quantile(0.0).is_some());

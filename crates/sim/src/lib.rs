@@ -21,6 +21,9 @@
 //! * [`fault`] — deterministic network fault injection: message loss,
 //!   scheduled partitions, latency spikes, and crash-recovery plans layered
 //!   over the latency model.
+//! * [`telemetry`] — named metric registries, virtual-time series
+//!   sampling, and the hook interface overlay code uses to report lookup
+//!   telemetry without threading values through every call.
 //!
 //! Everything here is allocation-light and single-threaded by design;
 //! parallelism in the workspace happens *across* replications (one simulator
@@ -55,6 +58,7 @@ pub mod hist;
 pub mod net;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 mod time;
 
 pub use event::EventQueue;
@@ -66,6 +70,10 @@ pub mod prelude {
     pub use crate::hist::LogHistogram;
     pub use crate::net::LatencyModel;
     pub use crate::rng::{rng_for, SimRng};
-    pub use crate::stats::{OnlineStats, SampleSet};
+    pub use crate::stats::{OnlineStats, SampleSet, SampleSummary};
+    pub use crate::telemetry::{
+        MetricsRegistry, NullHook, RegistryHook, SharedHook, SharedRegistry, TelemetryHook,
+        TimeSeries,
+    };
     pub use crate::{EventQueue, SimDuration, SimTime};
 }

@@ -76,7 +76,10 @@ pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
 
 /// Sample a normal variate via the Box–Muller transform.
 pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    assert!(std_dev >= 0.0 && std_dev.is_finite(), "invalid std {std_dev}");
+    assert!(
+        std_dev >= 0.0 && std_dev.is_finite(),
+        "invalid std {std_dev}"
+    );
     let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
     let u2: f64 = rng.gen();
     let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();

@@ -159,8 +159,7 @@ impl SampleSet {
             return 0.0;
         }
         let mean = self.mean();
-        (self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / self.samples.len() as f64)
+        (self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.samples.len() as f64)
             .sqrt()
     }
 
@@ -223,6 +222,42 @@ impl SampleSet {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
+
+    /// Collapse into a serializable [`SampleSummary`] with tail percentiles.
+    pub fn summary(&mut self) -> SampleSummary {
+        SampleSummary {
+            count: self.len() as u64,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: self.min().unwrap_or(0.0),
+            p50: self.percentile(50.0).unwrap_or(0.0),
+            p95: self.percentile(95.0).unwrap_or(0.0),
+            p99: self.percentile(99.0).unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// A compact distribution summary: the paper's mean/std plus the tail
+/// percentiles that mean/std hide (p50/p95/p99). Zeroes when empty.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
 }
 
 /// Jain's fairness index of a load vector: `(Σx)² / (n·Σx²)`.
@@ -340,6 +375,23 @@ mod tests {
         s.push(100.0);
         s.push(101.0);
         assert_eq!(s.percentile(100.0), Some(101.0));
+    }
+
+    #[test]
+    fn summary_matches_percentiles() {
+        let mut s = SampleSet::new();
+        for i in 1..=100 {
+            s.push(i as f64);
+        }
+        let sum = s.summary();
+        assert_eq!(sum.count, 100);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 100.0);
+        assert_eq!(sum.p50, s.percentile(50.0).unwrap());
+        assert_eq!(sum.p95, s.percentile(95.0).unwrap());
+        assert_eq!(sum.p99, s.percentile(99.0).unwrap());
+        assert!(sum.p50 <= sum.p95 && sum.p95 <= sum.p99 && sum.p99 <= sum.max);
+        assert_eq!(SampleSet::new().summary(), SampleSummary::default());
     }
 
     #[test]

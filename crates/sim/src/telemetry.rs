@@ -1,0 +1,448 @@
+//! Run-time telemetry: named metrics, virtual-time series, and hooks.
+//!
+//! The paper's evaluation reduces each run to one aggregate (mean/std wait
+//! time), which cannot answer *why* one matchmaker beats another under
+//! churn. This module provides the missing instrumentation, in the spirit of
+//! GridSim's built-in statistics service:
+//!
+//! * [`MetricsRegistry`] — a registry of named counters, gauges, and
+//!   log-bucketed histograms. All maps are `BTreeMap`s, so serialization and
+//!   iteration order are deterministic per seed.
+//! * [`TimeSeries`] — a columnar sampler that records a row of gauge values
+//!   on a fixed virtual-time cadence (queue depth, free nodes, in-flight
+//!   jobs, outstanding retries, nodes alive, ...). Timestamps are kept in
+//!   integer nanoseconds so replays are byte-identical.
+//! * [`TelemetryHook`] — the push interface through which overlay code
+//!   (Chord/CAN lookups) reports hops, failovers, and retries without
+//!   threading return values through every call. The default [`NullHook`]
+//!   is a no-op the optimizer removes; [`RegistryHook`] folds reports into
+//!   a shared [`MetricsRegistry`].
+//!
+//! Everything here is single-threaded by design (like the simulator
+//! itself), so sharing happens through `Rc<RefCell<...>>`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::LogHistogram;
+use crate::time::SimTime;
+
+/// A registry of named metrics with deterministic ordering.
+///
+/// Counters are monotone `u64`s, gauges are last-write-wins `f64`s, and
+/// histograms are [`LogHistogram`]s keyed by name. Creating a metric on
+/// first touch keeps call sites one-liners.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter (created at 0 on first touch).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry_or_insert(name) += delta;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set the named gauge.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        debug_assert!(value.is_finite(), "non-finite gauge {name} = {value}");
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Current value of a gauge (`None` if never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record one observation into the named histogram, creating it with
+    /// the given `base` bucket resolution on first touch.
+    pub fn hist_record(&mut self, name: &str, base: f64, x: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(x);
+        } else {
+            let mut h = LogHistogram::new(base);
+            h.record(x);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Borrow a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> &BTreeMap<String, LogHistogram> {
+        &self.histograms
+    }
+
+    /// True iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+// Small private helper so `counter_add` avoids allocating for hot names.
+trait EntryOrInsert {
+    fn entry_or_insert(&mut self, name: &str) -> &mut u64;
+}
+
+impl EntryOrInsert for BTreeMap<String, u64> {
+    fn entry_or_insert(&mut self, name: &str) -> &mut u64 {
+        if !self.contains_key(name) {
+            self.insert(name.to_string(), 0);
+        }
+        self.get_mut(name).expect("just inserted")
+    }
+}
+
+/// A shared, interiorly mutable registry — the form the engine hands to
+/// overlay telemetry hooks.
+pub type SharedRegistry = Rc<RefCell<MetricsRegistry>>;
+
+/// Create a fresh shared registry.
+pub fn shared_registry() -> SharedRegistry {
+    Rc::new(RefCell::new(MetricsRegistry::new()))
+}
+
+/// A columnar virtual-time series: one row of named gauge values per
+/// sample instant, on a fixed cadence.
+///
+/// Every row must carry the same column set (asserted), so the series
+/// stays rectangular and renders directly as sparklines or CSV.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    cadence_secs: f64,
+    /// Sample instants in integer nanoseconds (exact replay equality).
+    times_ns: Vec<u64>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl TimeSeries {
+    /// An empty series sampled every `cadence_secs` of virtual time.
+    ///
+    /// # Panics
+    /// If the cadence is not strictly positive and finite.
+    pub fn new(cadence_secs: f64) -> Self {
+        assert!(
+            cadence_secs > 0.0 && cadence_secs.is_finite(),
+            "invalid cadence {cadence_secs}"
+        );
+        TimeSeries {
+            cadence_secs,
+            times_ns: Vec::new(),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The sampling cadence, seconds of virtual time.
+    pub fn cadence_secs(&self) -> f64 {
+        self.cadence_secs
+    }
+
+    /// Append one row of samples taken at `at`.
+    ///
+    /// # Panics
+    /// If the column set differs from previous rows, or time goes backward.
+    pub fn record(&mut self, at: SimTime, values: &[(&str, f64)]) {
+        if let Some(&last) = self.times_ns.last() {
+            assert!(at.as_nanos() >= last, "time series sampled out of order");
+        }
+        if self.times_ns.is_empty() {
+            for (name, _) in values {
+                self.series.insert((*name).to_string(), Vec::new());
+            }
+        }
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "time series rows must keep the same column set"
+        );
+        self.times_ns.push(at.as_nanos());
+        for (name, v) in values {
+            debug_assert!(v.is_finite(), "non-finite sample {name} = {v}");
+            self.series
+                .get_mut(*name)
+                .unwrap_or_else(|| panic!("unknown time-series column {name}"))
+                .push(*v);
+        }
+    }
+
+    /// Number of sample rows.
+    pub fn len(&self) -> usize {
+        self.times_ns.len()
+    }
+
+    /// True iff no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times_ns.is_empty()
+    }
+
+    /// Sample instants as fractional seconds.
+    pub fn times_secs(&self) -> Vec<f64> {
+        self.times_ns.iter().map(|&n| n as f64 / 1e9).collect()
+    }
+
+    /// Column names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// One column's samples by name.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// All columns, sorted by name.
+    pub fn series(&self) -> &BTreeMap<String, Vec<f64>> {
+        &self.series
+    }
+
+    /// Render one column as a fixed-width block sparkline, downsampling by
+    /// bucket means when the series is longer than `width`.
+    pub fn sparkline(&self, name: &str, width: usize) -> Option<String> {
+        let xs = self.get(name)?;
+        Some(sparkline(xs, width))
+    }
+}
+
+/// Render `xs` as a block-character sparkline of at most `width` cells,
+/// downsampling by bucket means. Scaled to the series' own min..max.
+pub fn sparkline(xs: &[f64], width: usize) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if xs.is_empty() || width == 0 {
+        return String::new();
+    }
+    let cells = width.min(xs.len());
+    let mut means = Vec::with_capacity(cells);
+    for c in 0..cells {
+        let lo = c * xs.len() / cells;
+        let hi = ((c + 1) * xs.len() / cells).max(lo + 1);
+        let bucket = &xs[lo..hi];
+        means.push(bucket.iter().sum::<f64>() / bucket.len() as f64);
+    }
+    let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    means
+        .iter()
+        .map(|&m| {
+            let idx = if span <= 0.0 {
+                0
+            } else {
+                (((m - min) / span) * 7.0).round() as usize
+            };
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// The push interface overlay code uses to report lookup telemetry.
+///
+/// Chord and CAN lookups already return hop counts to their immediate
+/// caller, but failover detours and retries happen several layers down;
+/// threading them up through every return value would contaminate every
+/// signature on the path. Instead the matchmaker holds a hook and overlay
+/// operations report into it as they happen.
+pub trait TelemetryHook {
+    /// A lookup (owner assignment, matchmaking search, GUID resolution)
+    /// finished, costing `hops` overlay messages.
+    fn on_lookup(&mut self, hops: u32);
+
+    /// `n` retries were forced by faults during the current operation
+    /// (lost RPCs re-issued, timed-out probes).
+    fn on_retry(&mut self, n: u32);
+
+    /// A routing failover detoured around a dead neighbor/finger.
+    fn on_failover(&mut self);
+}
+
+/// The default hook: does nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullHook;
+
+impl TelemetryHook for NullHook {
+    #[inline]
+    fn on_lookup(&mut self, _hops: u32) {}
+    #[inline]
+    fn on_retry(&mut self, _n: u32) {}
+    #[inline]
+    fn on_failover(&mut self) {}
+}
+
+/// A shared, interiorly mutable hook — what gets installed into matchmakers.
+pub type SharedHook = Rc<RefCell<dyn TelemetryHook>>;
+
+/// Folds hook reports into a [`SharedRegistry`] under the `overlay.*`
+/// namespace: `overlay.lookups`, `overlay.hops` (histogram, base 1),
+/// `overlay.lookup_retries`, `overlay.failovers`.
+pub struct RegistryHook {
+    registry: SharedRegistry,
+}
+
+impl RegistryHook {
+    /// A hook writing into `registry`.
+    pub fn new(registry: SharedRegistry) -> Self {
+        RegistryHook { registry }
+    }
+
+    /// Wrap a registry into the shared-hook form matchmakers accept.
+    pub fn shared(registry: SharedRegistry) -> SharedHook {
+        Rc::new(RefCell::new(RegistryHook::new(registry)))
+    }
+}
+
+impl TelemetryHook for RegistryHook {
+    fn on_lookup(&mut self, hops: u32) {
+        let mut r = self.registry.borrow_mut();
+        r.counter_add("overlay.lookups", 1);
+        r.hist_record("overlay.hops", 1.0, f64::from(hops));
+    }
+
+    fn on_retry(&mut self, n: u32) {
+        if n > 0 {
+            self.registry
+                .borrow_mut()
+                .counter_add("overlay.lookup_retries", u64::from(n));
+        }
+    }
+
+    fn on_failover(&mut self) {
+        self.registry
+            .borrow_mut()
+            .counter_add("overlay.failovers", 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.counter_add("jobs", 2);
+        r.counter_add("jobs", 3);
+        assert_eq!(r.counter("jobs"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        r.gauge_set("depth", 4.0);
+        r.gauge_set("depth", 7.0);
+        assert_eq!(r.gauge("depth"), Some(7.0));
+        assert_eq!(r.gauge("missing"), None);
+        r.hist_record("hops", 1.0, 3.0);
+        r.hist_record("hops", 1.0, 5.0);
+        assert_eq!(r.histogram("hops").unwrap().count(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn registry_serializes_deterministically() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("b", 1);
+        a.counter_add("a", 1);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("a", 1);
+        b.counter_add("b", 1);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb, "insertion order must not leak into serialization");
+    }
+
+    #[test]
+    fn time_series_is_rectangular() {
+        let mut ts = TimeSeries::new(10.0);
+        assert!(ts.is_empty());
+        ts.record(SimTime::from_secs(0), &[("free", 5.0), ("queued", 0.0)]);
+        ts.record(SimTime::from_secs(10), &[("free", 3.0), ("queued", 2.0)]);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.get("free"), Some(&[5.0, 3.0][..]));
+        assert_eq!(ts.get("queued"), Some(&[0.0, 2.0][..]));
+        assert_eq!(ts.names(), vec!["free", "queued"]);
+        assert_eq!(ts.times_secs(), vec![0.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same column set")]
+    fn time_series_rejects_ragged_rows() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.record(SimTime::from_secs(0), &[("a", 1.0)]);
+        ts.record(SimTime::from_secs(1), &[("a", 1.0), ("b", 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn time_series_rejects_backward_time() {
+        let mut ts = TimeSeries::new(1.0);
+        ts.record(SimTime::from_secs(5), &[("a", 1.0)]);
+        ts.record(SimTime::from_secs(4), &[("a", 1.0)]);
+    }
+
+    #[test]
+    fn sparkline_downsamples() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline(&xs, 10);
+        assert_eq!(s.chars().count(), 10);
+        let first = s.chars().next().unwrap();
+        let last = s.chars().last().unwrap();
+        assert_eq!(first, '▁');
+        assert_eq!(last, '█');
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0, 1.0], 10).chars().count(), 2);
+    }
+
+    #[test]
+    fn registry_hook_folds_into_registry() {
+        let reg = shared_registry();
+        let mut hook = RegistryHook::new(reg.clone());
+        hook.on_lookup(4);
+        hook.on_lookup(6);
+        hook.on_retry(0); // no-op
+        hook.on_retry(2);
+        hook.on_failover();
+        let r = reg.borrow();
+        assert_eq!(r.counter("overlay.lookups"), 2);
+        assert_eq!(r.counter("overlay.lookup_retries"), 2);
+        assert_eq!(r.counter("overlay.failovers"), 1);
+        assert_eq!(r.histogram("overlay.hops").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn time_series_round_trips_serde() {
+        let mut ts = TimeSeries::new(2.5);
+        ts.record(SimTime::from_millis(2500), &[("x", 1.5)]);
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ts);
+    }
+}

@@ -8,12 +8,16 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
+use serde::{Deserialize, Serialize};
+
 /// An instant in simulated time (nanoseconds since simulation start).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// Serializes as the raw nanosecond count.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (nanoseconds).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// Serializes as the raw nanosecond count.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 const NANOS_PER_SEC: u64 = 1_000_000_000;

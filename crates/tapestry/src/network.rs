@@ -39,7 +39,11 @@ impl TapestryId {
             self.0 & (u64::MAX << (64 - DIGIT_BITS * level))
         };
         let lo = kept | ((d as u64) << shift);
-        let hi = if shift == 0 { lo } else { lo | ((1u64 << shift) - 1) };
+        let hi = if shift == 0 {
+            lo
+        } else {
+            lo | ((1u64 << shift) - 1)
+        };
         (lo, hi)
     }
 }
@@ -180,10 +184,14 @@ impl TapestryNetwork {
                 }
             }
             let (d, node) = chosen?; // None impossible while anyone is alive
-            // Fix this digit in the carrier and continue.
+                                     // Fix this digit in the carrier and continue.
             let (lo, _) = prefix_carrier.slot_range(level, d);
             let shift = 64 - DIGIT_BITS * (level + 1);
-            let kept_mask = if shift == 0 { u64::MAX } else { u64::MAX << shift };
+            let kept_mask = if shift == 0 {
+                u64::MAX
+            } else {
+                u64::MAX << shift
+            };
             prefix_carrier = TapestryId((lo & kept_mask) | (prefix_carrier.0 & !kept_mask));
             // Early exit: if the chosen slot holds exactly one live node it
             // is the root.
@@ -210,7 +218,13 @@ impl TapestryNetwork {
     pub fn join(&mut self, id: TapestryId) {
         let existing = self.peers.get(&id.0).is_some_and(|p| p.alive);
         assert!(!existing, "duplicate join of live node {id}");
-        self.peers.insert(id.0, PeerState { alive: true, maps: Vec::new() });
+        self.peers.insert(
+            id.0,
+            PeerState {
+                alive: true,
+                maps: Vec::new(),
+            },
+        );
         self.alive_count += 1;
         self.refresh_node(id);
     }
@@ -328,7 +342,11 @@ impl TapestryNetwork {
                 break;
             }
         }
-        Some(Route { owner: cur, hops, timeouts })
+        Some(Route {
+            owner: cur,
+            hops,
+            timeouts,
+        })
     }
 }
 

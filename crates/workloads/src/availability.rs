@@ -80,8 +80,16 @@ pub fn diurnal_schedule(nodes: usize, cfg: &DiurnalConfig) -> Vec<AvailabilityEv
             let jitter = cfg.day_secs * cfg.jitter_fraction;
             let leave = sample_truncated_normal(&mut rng, base, jitter, 0.0);
             let back = sample_truncated_normal(&mut rng, base + busy_len, jitter, leave + 60.0);
-            events.push(AvailabilityEvent { at_secs: leave, node, up: false });
-            events.push(AvailabilityEvent { at_secs: back, node, up: true });
+            events.push(AvailabilityEvent {
+                at_secs: leave,
+                node,
+                up: false,
+            });
+            events.push(AvailabilityEvent {
+                at_secs: back,
+                node,
+                up: true,
+            });
         }
     }
     events.sort_by(|a, b| a.at_secs.partial_cmp(&b.at_secs).unwrap());
@@ -147,7 +155,10 @@ mod tests {
 
     #[test]
     fn timezones_smooth_the_dip() {
-        let spread = DiurnalConfig { timezones: 8, ..cfg() };
+        let spread = DiurnalConfig {
+            timezones: 8,
+            ..cfg()
+        };
         let events = diurnal_schedule(400, &spread);
         // With 8 timezones and a 40% work day, at any instant roughly
         // 40% of nodes are away — never everyone at once.
@@ -160,7 +171,10 @@ mod tests {
 
     #[test]
     fn dedicated_nodes_never_leave() {
-        let all_dedicated = DiurnalConfig { dedicated_fraction: 1.0, ..cfg() };
+        let all_dedicated = DiurnalConfig {
+            dedicated_fraction: 1.0,
+            ..cfg()
+        };
         assert!(diurnal_schedule(50, &all_dedicated).is_empty());
     }
 

@@ -188,11 +188,8 @@ impl WorkloadConfig {
             NodePopulation::Mixed => (0..self.nodes).map(|_| random_node(rng)).collect(),
             NodePopulation::Clustered { classes } => {
                 assert!(classes >= 1, "at least one node class");
-                let templates: Vec<NodeProfile> =
-                    (0..classes).map(|_| random_node(rng)).collect();
-                (0..self.nodes)
-                    .map(|i| templates[i % classes])
-                    .collect()
+                let templates: Vec<NodeProfile> = (0..classes).map(|_| random_node(rng)).collect();
+                (0..self.nodes).map(|i| templates[i % classes]).collect()
             }
         }
     }
@@ -396,7 +393,11 @@ mod tests {
             ..cfg()
         }
         .generate();
-        let mut distinct: Vec<_> = w.nodes.iter().map(|n| format!("{:?}", n.capabilities)).collect();
+        let mut distinct: Vec<_> = w
+            .nodes
+            .iter()
+            .map(|n| format!("{:?}", n.capabilities))
+            .collect();
         distinct.sort();
         distinct.dedup();
         assert_eq!(distinct.len(), 5);
@@ -436,7 +437,11 @@ mod tests {
 
     #[test]
     fn runtimes_have_requested_mean() {
-        let w = WorkloadConfig { jobs: 5000, ..cfg() }.generate();
+        let w = WorkloadConfig {
+            jobs: 5000,
+            ..cfg()
+        }
+        .generate();
         let mean: f64 = w
             .submissions
             .iter()
@@ -454,11 +459,18 @@ mod tests {
             ..cfg()
         }
         .generate();
-        let rts: Vec<f64> = w.submissions.iter().map(|s| s.profile.run_time_secs).collect();
+        let rts: Vec<f64> = w
+            .submissions
+            .iter()
+            .map(|s| s.profile.run_time_secs)
+            .collect();
         let mean = rts.iter().sum::<f64>() / rts.len() as f64;
         assert!((80.0..130.0).contains(&mean), "Pareto mean {mean:.1}");
         let max = rts.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max > 10.0 * mean, "heavy tail must produce stragglers (max {max:.0})");
+        assert!(
+            max > 10.0 * mean,
+            "heavy tail must produce stragglers (max {max:.0})"
+        );
         // Median far below the mean is the heavy-tail signature.
         let mut sorted = rts.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -45,7 +45,10 @@ impl PaperScenario {
 
     /// Is this a clustered-population scenario?
     pub fn clustered(self) -> bool {
-        matches!(self, PaperScenario::ClusteredLight | PaperScenario::ClusteredHeavy)
+        matches!(
+            self,
+            PaperScenario::ClusteredLight | PaperScenario::ClusteredHeavy
+        )
     }
 
     /// The constraint level of this scenario.
@@ -96,12 +99,7 @@ pub fn paper_scenario(scenario: PaperScenario, nodes: usize, jobs: usize, seed: 
 /// compute-heavy simulation jobs (gravity/N-body steps) with near-identical
 /// requirements, KB-scale I/O, and runtimes normally distributed around the
 /// configured mean.
-pub fn astronomy_sweep(
-    nodes: usize,
-    jobs: usize,
-    mean_runtime_secs: f64,
-    seed: u64,
-) -> Workload {
+pub fn astronomy_sweep(nodes: usize, jobs: usize, mean_runtime_secs: f64, seed: u64) -> Workload {
     let base = WorkloadConfig {
         seed,
         nodes,
@@ -190,15 +188,26 @@ mod tests {
     fn astronomy_sweep_is_satisfiable_and_bursty() {
         let w = astronomy_sweep(64, 300, 400.0, 5);
         assert_eq!(w.submissions.len(), 300);
-        let satisfiable = w
-            .submissions
-            .iter()
-            .all(|s| w.nodes.iter().any(|n| s.profile.requirements.satisfied_by(&n.capabilities)));
+        let satisfiable = w.submissions.iter().all(|s| {
+            w.nodes
+                .iter()
+                .any(|n| s.profile.requirements.satisfied_by(&n.capabilities))
+        });
         assert!(satisfiable);
         let last = w.submissions.last().unwrap().arrival_secs;
-        assert!(last < 60.0, "burst should land within a minute, got {last:.0}s");
-        let mean_rt: f64 = w.submissions.iter().map(|s| s.profile.run_time_secs).sum::<f64>()
+        assert!(
+            last < 60.0,
+            "burst should land within a minute, got {last:.0}s"
+        );
+        let mean_rt: f64 = w
+            .submissions
+            .iter()
+            .map(|s| s.profile.run_time_secs)
+            .sum::<f64>()
             / w.submissions.len() as f64;
-        assert!((320.0..480.0).contains(&mean_rt), "mean runtime {mean_rt:.0}");
+        assert!(
+            (320.0..480.0).contains(&mean_rt),
+            "mean runtime {mean_rt:.0}"
+        );
     }
 }

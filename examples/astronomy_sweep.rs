@@ -21,19 +21,33 @@ fn main() {
     let mean_runtime = 400.0; // one orbit-integration chunk ≈ 6–7 min
 
     println!("astronomy sweep: {jobs} simulation jobs over {nodes} desktops");
-    println!("(each job: ~{mean_runtime:.0}s compute, 2 KB in / 4 KB out, needs ≥1 GHz, ≥1 GiB, Unix)");
+    println!(
+        "(each job: ~{mean_runtime:.0}s compute, 2 KB in / 4 KB out, needs ≥1 GHz, ≥1 GiB, Unix)"
+    );
     println!();
     println!(
         "{:<10} {:>10} {:>10} {:>12} {:>10} {:>10}",
         "algorithm", "mean wait", "p99 wait", "makespan", "hops/job", "fairness"
     );
 
-    for alg in [Algorithm::RnTree, Algorithm::Can, Algorithm::CanPush, Algorithm::Central] {
+    for alg in [
+        Algorithm::RnTree,
+        Algorithm::Can,
+        Algorithm::CanPush,
+        Algorithm::Central,
+    ] {
         let workload = astronomy_sweep(nodes, jobs, mean_runtime, 2026);
-        let mut report = run_workload(alg, &workload, paper_engine_config(2026), ChurnConfig::none());
+        let mut report = run_workload(
+            alg,
+            &workload,
+            paper_engine_config(2026),
+            ChurnConfig::none(),
+        );
         assert_eq!(
-            report.jobs_completed, jobs as u64,
-            "{}: the sweep must finish", alg.label()
+            report.jobs_completed,
+            jobs as u64,
+            "{}: the sweep must finish",
+            alg.label()
         );
         let p99 = report.wait_time.percentile(99.0).unwrap_or(0.0);
         println!(

@@ -13,7 +13,9 @@
 //! ```
 
 use dgrid::core::{ChurnConfig, Engine, EngineConfig, JobDag, RnTreeMatchmaker};
-use dgrid::workloads::{diurnal_schedule, online_fraction, paper_scenario, DiurnalConfig, PaperScenario};
+use dgrid::workloads::{
+    diurnal_schedule, online_fraction, paper_scenario, DiurnalConfig, PaperScenario,
+};
 
 fn main() {
     let nodes = 120;
@@ -44,7 +46,11 @@ fn main() {
     let schedule = diurnal_schedule(nodes, &diurnal);
 
     println!("overnight grid: {jobs} jobs submitted at 00:00, {nodes} desktops");
-    for (label, t) in [("midnight", 0.0), ("11:00", 0.46 * day), ("20:00", 0.83 * day)] {
+    for (label, t) in [
+        ("midnight", 0.0),
+        ("11:00", 0.46 * day),
+        ("20:00", 0.83 * day),
+    ] {
         println!(
             "  online at {label:<9}: {:>5.1}%",
             100.0 * online_fraction(nodes, &schedule, t)
@@ -67,15 +73,24 @@ fn main() {
     .run();
 
     println!();
-    println!("jobs completed    : {}/{}", report.jobs_completed, report.jobs_total);
-    println!("campaign makespan : {:>8.1} h", report.makespan_secs / 3600.0);
+    println!(
+        "jobs completed    : {}/{}",
+        report.jobs_completed, report.jobs_total
+    );
+    println!(
+        "campaign makespan : {:>8.1} h",
+        report.makespan_secs / 3600.0
+    );
     println!("mean job wait     : {:>8.1} s", report.mean_wait());
     println!(
         "morning departures: {} graceful leaves, {} run-node recoveries, {} owner recoveries",
         report.graceful_leaves, report.run_recoveries, report.owner_recoveries
     );
 
-    assert_eq!(report.jobs_completed + report.jobs_failed, report.jobs_total);
+    assert_eq!(
+        report.jobs_completed + report.jobs_failed,
+        report.jobs_total
+    );
     assert!(
         report.completion_rate() > 0.95,
         "overnight recovery should save the campaign"

@@ -58,7 +58,12 @@ fn main() {
             actual_runtime_secs: None,
         });
         jobs.push(JobSubmission {
-            profile: JobProfile::new(ana_id, ClientId(0), JobRequirements::unconstrained(), ana_runtime),
+            profile: JobProfile::new(
+                ana_id,
+                ClientId(0),
+                JobRequirements::unconstrained(),
+                ana_runtime,
+            ),
             arrival_secs: p as f64 * 0.2,
             actual_runtime_secs: None,
         });
@@ -66,7 +71,10 @@ fn main() {
     }
 
     let report = Engine::with_dag(
-        EngineConfig { seed: 4242, ..EngineConfig::default() },
+        EngineConfig {
+            seed: 4242,
+            ..EngineConfig::default()
+        },
         ChurnConfig::none(),
         Box::new(RnTreeMatchmaker::with_defaults()),
         nodes,
@@ -76,10 +84,19 @@ fn main() {
     .run();
 
     println!("pipelines          : {sweeps} (simulation → analysis)");
-    println!("jobs completed     : {}/{}", report.jobs_completed, report.jobs_total);
+    println!(
+        "jobs completed     : {}/{}",
+        report.jobs_completed, report.jobs_total
+    );
     println!("campaign makespan  : {:>8.1} s", report.makespan_secs);
-    println!("mean job wait      : {:>8.1} s (includes held-back analysis time)", report.mean_wait());
-    println!("matchmaking cost   : {:>8.1} hops/job", report.match_hops.mean() + report.owner_hops.mean());
+    println!(
+        "mean job wait      : {:>8.1} s (includes held-back analysis time)",
+        report.mean_wait()
+    );
+    println!(
+        "matchmaking cost   : {:>8.1} hops/job",
+        report.match_hops.mean() + report.owner_hops.mean()
+    );
     println!("dependency failures: {}", report.dependency_failures);
 
     assert_eq!(report.jobs_completed, 2 * sweeps);

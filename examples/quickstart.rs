@@ -43,7 +43,10 @@ fn main() {
     // 3. Run the grid with RN-Tree matchmaking over Chord (Section 3.1 of
     //    the paper). The whole simulation is deterministic in the seed.
     let engine = Engine::new(
-        EngineConfig { seed: 7, ..EngineConfig::default() },
+        EngineConfig {
+            seed: 7,
+            ..EngineConfig::default()
+        },
         ChurnConfig::none(),
         Box::new(RnTreeMatchmaker::with_defaults()),
         nodes,
@@ -52,7 +55,10 @@ fn main() {
     let report = engine.run();
 
     println!("algorithm        : {}", report.algorithm);
-    println!("jobs completed   : {}/{}", report.jobs_completed, report.jobs_total);
+    println!(
+        "jobs completed   : {}/{}",
+        report.jobs_completed, report.jobs_total
+    );
     println!("mean wait        : {:>8.1} s", report.mean_wait());
     println!("stdev wait       : {:>8.1} s", report.std_wait());
     println!("mean turnaround  : {:>8.1} s", report.turnaround.mean());
@@ -61,7 +67,13 @@ fn main() {
         report.match_hops.mean(),
         report.owner_hops.mean()
     );
-    println!("load fairness    : {:>8.3} (Jain index, 1.0 = perfectly even)", report.load_fairness());
+    println!(
+        "load fairness    : {:>8.3} (Jain index, 1.0 = perfectly even)",
+        report.load_fairness()
+    );
 
-    assert_eq!(report.jobs_completed, report.jobs_total, "quickstart must complete cleanly");
+    assert_eq!(
+        report.jobs_completed, report.jobs_total,
+        "quickstart must complete cleanly"
+    );
 }

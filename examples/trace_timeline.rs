@@ -57,7 +57,10 @@ fn main() {
         graceful_fraction: 0.5,
     };
     let report = Engine::new(
-        EngineConfig { seed: 99, ..EngineConfig::default() },
+        EngineConfig {
+            seed: 99,
+            ..EngineConfig::default()
+        },
         churn,
         Box::new(RnTreeMatchmaker::with_defaults()),
         nodes,
@@ -80,7 +83,11 @@ fn main() {
                 TraceEvent::Submitted { .. } => "submit",
                 TraceEvent::OwnerAssigned { .. } => "owner",
                 TraceEvent::Matched { run_node, .. } => {
-                    line.push_str(&format!(" --{:.0}s--> match@{}", at.as_secs_f64(), run_node));
+                    line.push_str(&format!(
+                        " --{:.0}s--> match@{}",
+                        at.as_secs_f64(),
+                        run_node
+                    ));
                     continue;
                 }
                 TraceEvent::Started { .. } => "start",
@@ -100,12 +107,23 @@ fn main() {
         hist.record(w);
     }
     println!();
-    println!("grid events: {} departures ({} graceful), {} rejoins observed in trace",
+    println!(
+        "grid events: {} departures ({} graceful), {} rejoins observed in trace",
         report.node_failures + report.graceful_leaves,
         report.graceful_leaves,
-        trace.events.iter().filter(|(_, e)| matches!(e, TraceEvent::NodeUp { .. })).count(),
+        trace
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, TraceEvent::NodeUp { .. }))
+            .count(),
     );
     println!("wait histogram (1s log2 buckets): |{}|", hist.sparkline());
-    println!("completed {}/{} jobs", report.jobs_completed, report.jobs_total);
-    assert_eq!(report.jobs_completed + report.jobs_failed, report.jobs_total);
+    println!(
+        "completed {}/{} jobs",
+        report.jobs_completed, report.jobs_total
+    );
+    assert_eq!(
+        report.jobs_completed + report.jobs_failed,
+        report.jobs_total
+    );
 }

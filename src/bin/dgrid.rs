@@ -3,25 +3,45 @@
 //! ```text
 //! dgrid run     --algorithm rn-tree --scenario mixed/light [options]
 //! dgrid compare --scenario clustered/heavy [options]
+//! dgrid report  --events events.jsonl [--timeseries series.json]
 //!
 //! options:
-//!   --nodes N          grid size                      (default 200)
-//!   --jobs M           job count                      (default 1000)
-//!   --seed S           root seed                      (default 42)
-//!   --mttf SECS        enable churn with this MTTF
-//!   --rejoin SECS      repair time after a departure
-//!   --graceful FRAC    fraction of graceful departures (default 0)
-//!   --k K              rn-tree extended-search width   (default 4)
-//!   --json PATH        also write the full report(s) as JSON
+//!   --nodes N             grid size                      (default 200)
+//!   --jobs M              job count                      (default 1000)
+//!   --seed S              root seed                      (default 42)
+//!   --mttf SECS           enable churn with this MTTF
+//!   --rejoin SECS         repair time after a departure
+//!   --graceful FRAC       fraction of graceful departures (default 0)
+//!   --k K                 rn-tree extended-search width   (default 4)
+//!   --loss P              drop each message with probability P
+//!   --partition S:E:IDS   partition nodes IDS (comma-sep) from SECS S to E
+//!                         (repeatable)
+//!   --events PATH         stream the lifecycle trace as JSON Lines
+//!   --timeseries PATH     write sampled grid gauges as JSON
+//!   --sample-secs SECS    gauge sampling cadence          (default 60)
+//!   --json PATH           also write the full report(s) as JSON
+//!
+//! report options:
+//!   --events PATH         the JSONL stream to analyze (required)
+//!   --timeseries PATH     render sparklines from a gauge series file
+//!   --timeline N          show per-job timelines for the first N jobs (default 10)
+//!   --width W             sparkline/timeline width        (default 48)
 //! ```
 //!
 //! `run` executes one cell and prints the report; `compare` runs every
-//! algorithm on the same workload and prints a comparison table.
+//! algorithm on the same workload and prints a comparison table; `report`
+//! renders a per-phase wait-time decomposition from a recorded event stream.
+
+use std::io::{BufWriter, Write};
 
 use dgrid::core::{
-    ChurnConfig, Engine, EngineConfig, RnTreeConfig, RnTreeMatchmaker, SimReport,
+    parse_event_line, phase_samples, ChurnConfig, Engine, EngineConfig, FaultPlan, JobSpan,
+    JsonlObserver, Phase, RnTreeConfig, RnTreeMatchmaker, SimReport, SpanAssembler, SpanOutcome,
 };
 use dgrid::harness::Algorithm;
+use dgrid::sim::hist::LogHistogram;
+use dgrid::sim::telemetry::TimeSeries;
+use dgrid::sim::{SimDuration, SimTime};
 use dgrid::workloads::{paper_scenario, PaperScenario, Workload};
 
 #[derive(Clone, Debug)]
@@ -36,14 +56,22 @@ struct Opts {
     rejoin: Option<f64>,
     graceful: f64,
     k: usize,
+    loss: f64,
+    partitions: Vec<(f64, f64, Vec<u32>)>,
+    events: Option<String>,
+    timeseries: Option<String>,
+    sample_secs: f64,
+    timeline: usize,
+    width: usize,
     json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dgrid <run|compare> [--algorithm A] [--scenario S] [--nodes N] \
+        "usage: dgrid <run|compare|report> [--algorithm A] [--scenario S] [--nodes N] \
          [--jobs M] [--seed S] [--mttf SECS] [--rejoin SECS] [--graceful FRAC] \
-         [--k K] [--json PATH]\n\
+         [--k K] [--loss P] [--partition START:END:IDS] [--events PATH] \
+         [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH]\n\
          algorithms: rn-tree can can-push can-novirt central\n\
          scenarios : clustered/light clustered/heavy mixed/light mixed/heavy"
     );
@@ -71,6 +99,24 @@ fn parse_scenario(s: &str) -> PaperScenario {
     }
 }
 
+/// `START:END:ID[,ID...]` — a scheduled partition isolating the listed nodes.
+fn parse_partition(s: &str) -> (f64, f64, Vec<u32>) {
+    let parts: Vec<&str> = s.splitn(3, ':').collect();
+    if parts.len() != 3 {
+        usage();
+    }
+    let start: f64 = parts[0].parse().unwrap_or_else(|_| usage());
+    let end: f64 = parts[1].parse().unwrap_or_else(|_| usage());
+    let island: Vec<u32> = parts[2]
+        .split(',')
+        .map(|id| id.parse().unwrap_or_else(|_| usage()))
+        .collect();
+    if island.is_empty() {
+        usage();
+    }
+    (start, end, island)
+}
+
 fn parse() -> Opts {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -87,9 +133,16 @@ fn parse() -> Opts {
         rejoin: None,
         graceful: 0.0,
         k: 4,
+        loss: 0.0,
+        partitions: Vec::new(),
+        events: None,
+        timeseries: None,
+        sample_secs: 60.0,
+        timeline: 10,
+        width: 48,
         json: None,
     };
-    if opts.command != "run" && opts.command != "compare" {
+    if opts.command != "run" && opts.command != "compare" && opts.command != "report" {
         usage();
     }
     let mut i = 1;
@@ -106,6 +159,13 @@ fn parse() -> Opts {
             "--rejoin" => opts.rejoin = Some(val.parse().unwrap_or_else(|_| usage())),
             "--graceful" => opts.graceful = val.parse().unwrap_or_else(|_| usage()),
             "--k" => opts.k = val.parse().unwrap_or_else(|_| usage()),
+            "--loss" => opts.loss = val.parse().unwrap_or_else(|_| usage()),
+            "--partition" => opts.partitions.push(parse_partition(&val)),
+            "--events" => opts.events = Some(val),
+            "--timeseries" => opts.timeseries = Some(val),
+            "--sample-secs" => opts.sample_secs = val.parse().unwrap_or_else(|_| usage()),
+            "--timeline" => opts.timeline = val.parse().unwrap_or_else(|_| usage()),
+            "--width" => opts.width = val.parse().unwrap_or_else(|_| usage()),
             "--json" => opts.json = Some(val),
             _ => usage(),
         }
@@ -114,7 +174,24 @@ fn parse() -> Opts {
     opts
 }
 
-fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload) -> SimReport {
+/// The fault plan described by `--loss` / `--partition`, or `None` when the
+/// flags were not given (keeping the engine on its bit-exact fault-free path).
+fn fault_plan(opts: &Opts) -> Option<FaultPlan> {
+    if opts.loss == 0.0 && opts.partitions.is_empty() {
+        return None;
+    }
+    let mut plan = if opts.loss > 0.0 {
+        FaultPlan::with_loss(opts.loss)
+    } else {
+        FaultPlan::none()
+    };
+    for (start, end, island) in &opts.partitions {
+        plan = plan.with_partition(*start, *end, island.clone());
+    }
+    Some(plan)
+}
+
+fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload, tracing: bool) -> SimReport {
     let cfg = EngineConfig {
         seed: opts.seed,
         max_sim_secs: 5_000_000.0,
@@ -133,19 +210,62 @@ fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload) -> SimReport 
     } else {
         algorithm.matchmaker()
     };
-    Engine::new(cfg, churn, mm, workload.nodes.clone(), workload.submissions.clone()).run()
+    let mut engine = Engine::new(
+        cfg,
+        churn,
+        mm,
+        workload.nodes.clone(),
+        workload.submissions.clone(),
+    );
+    if let Some(plan) = fault_plan(opts) {
+        engine.set_fault_plan(plan);
+    }
+    if tracing {
+        if let Some(path) = &opts.events {
+            let f = std::fs::File::create(path).expect("create events output");
+            engine.set_observer(Box::new(JsonlObserver::new(BufWriter::new(f))));
+        }
+        if opts.timeseries.is_some() {
+            engine.set_timeseries_sampling(SimDuration::from_secs_f64(opts.sample_secs));
+        }
+    }
+    engine.run()
 }
 
 fn print_report(r: &SimReport) {
     println!("algorithm        : {}", r.algorithm);
-    println!("jobs             : {} completed, {} failed of {}", r.jobs_completed, r.jobs_failed, r.jobs_total);
+    println!(
+        "jobs             : {} completed, {} failed of {}",
+        r.jobs_completed, r.jobs_failed, r.jobs_total
+    );
     println!("mean wait        : {:>10.1} s", r.mean_wait());
     println!("stdev wait       : {:>10.1} s", r.std_wait());
+    if let Some(w) = &r.wait_stats {
+        println!(
+            "wait percentiles : {:>10.1} s p50, {:.1} s p95, {:.1} s p99",
+            w.p50, w.p95, w.p99
+        );
+    }
     println!("mean turnaround  : {:>10.1} s", r.turnaround.mean());
+    if let Some(t) = &r.turnaround_stats {
+        println!(
+            "turn percentiles : {:>10.1} s p50, {:.1} s p95, {:.1} s p99",
+            t.p50, t.p95, t.p99
+        );
+    }
     println!("makespan         : {:>10.1} s", r.makespan_secs);
-    println!("matchmaking cost : {:>10.1} hops/job", r.match_hops.mean() + r.owner_hops.mean());
+    println!(
+        "matchmaking cost : {:>10.1} hops/job",
+        r.match_hops.mean() + r.owner_hops.mean()
+    );
     println!("load fairness    : {:>10.3}", r.load_fairness());
     println!("client fairness  : {:>10.3}", r.client_fairness());
+    if r.messages_lost > 0 || r.lookup_retries > 0 {
+        println!(
+            "faults           : {} messages lost, {} retries, {} spurious detections",
+            r.messages_lost, r.lookup_retries, r.spurious_detections
+        );
+    }
     if r.node_failures + r.graceful_leaves > 0 {
         println!(
             "churn            : {} failures, {} graceful leaves",
@@ -158,8 +278,158 @@ fn print_report(r: &SimReport) {
     }
 }
 
+/// Load spans back out of a JSONL event stream.
+fn spans_from_events(path: &str) -> Vec<JobSpan> {
+    let text = std::fs::read_to_string(path).expect("read events file");
+    let mut assembler = SpanAssembler::new();
+    for (lineno, line) in text.lines().enumerate() {
+        match parse_event_line(line) {
+            Ok(Some(rec)) => {
+                assembler.observe(SimTime::ZERO + SimDuration::from_nanos(rec.t_ns), rec.event)
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("{path}:{}: bad event line: {e}", lineno + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    assembler.finish()
+}
+
+/// One letter per phase for the compact per-job timeline.
+fn phase_glyph(p: Phase) -> char {
+    match p {
+        Phase::Routing => 'r',
+        Phase::Matchmaking => 'm',
+        Phase::Dispatch => 'd',
+        Phase::Execution => '#',
+        Phase::Recovery => '!',
+        Phase::ResultReturn => 't',
+    }
+}
+
+/// Render one span as a proportional fixed-width bar of phase glyphs.
+fn timeline_bar(span: &JobSpan, width: usize) -> String {
+    let total = span.total().as_nanos();
+    if total == 0 || width == 0 {
+        return String::new();
+    }
+    let mut bar = String::with_capacity(width);
+    for phase in Phase::ALL {
+        let ns = span.phase(phase).as_nanos();
+        let cells = ((ns as u128 * width as u128 + total as u128 / 2) / total as u128) as usize;
+        let cells = if ns > 0 { cells.max(1) } else { 0 };
+        for _ in 0..cells {
+            bar.push(phase_glyph(phase));
+        }
+    }
+    bar.truncate(width);
+    bar
+}
+
+fn cmd_report(opts: &Opts) {
+    let Some(events) = &opts.events else {
+        eprintln!("dgrid report requires --events PATH");
+        usage();
+    };
+    let spans = spans_from_events(events);
+    let completed = spans
+        .iter()
+        .filter(|s| s.outcome == SpanOutcome::Completed)
+        .count();
+    let failed = spans
+        .iter()
+        .filter(|s| s.outcome == SpanOutcome::Failed)
+        .count();
+    let open = spans.len() - completed - failed;
+    println!(
+        "{} jobs traced: {completed} completed, {failed} failed, {open} open",
+        spans.len()
+    );
+    let recoveries: u32 = spans.iter().map(|s| s.recoveries).sum();
+    let resubmits: u32 = spans.iter().map(|s| s.resubmits).sum();
+    if recoveries + resubmits > 0 {
+        println!("{recoveries} recoveries, {resubmits} client resubmissions");
+    }
+    println!();
+
+    // Per-phase percentile table with a log-histogram sparkline of the
+    // nonzero durations.
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}  distribution",
+        "phase", "jobs", "mean", "p50", "p95", "p99"
+    );
+    for (phase, mut set) in phase_samples(&spans) {
+        let nonzero: Vec<f64> = set.samples().iter().copied().filter(|&x| x > 0.0).collect();
+        let mut hist = LogHistogram::new(2.0);
+        for x in &nonzero {
+            hist.record(*x);
+        }
+        let s = set.summary();
+        println!(
+            "{:<14} {:>8} {:>9.1}s {:>9.1}s {:>9.1}s {:>9.1}s  {}",
+            phase.label(),
+            nonzero.len(),
+            s.mean,
+            s.p50,
+            s.p95,
+            s.p99,
+            hist.sparkline(),
+        );
+    }
+
+    // Compact per-job timelines, submission order.
+    if opts.timeline > 0 {
+        let mut ordered: Vec<&JobSpan> = spans.iter().collect();
+        ordered.sort_by_key(|s| (s.submitted_at, s.job));
+        println!();
+        println!(
+            "first {} job timelines (r=routing m=matchmaking d=dispatch #=execution !=recovery t=result)",
+            ordered.len().min(opts.timeline)
+        );
+        for span in ordered.iter().take(opts.timeline) {
+            let total = span.total();
+            println!(
+                "{:>8} {:>9.1}s |{}|",
+                span.job.to_string(),
+                total.as_secs_f64(),
+                timeline_bar(span, opts.width)
+            );
+        }
+    }
+
+    // Gauge sparklines from a recorded time series.
+    if let Some(path) = &opts.timeseries {
+        let f = std::fs::File::open(path).expect("open timeseries file");
+        let ts: TimeSeries = serde_json::from_reader(f).expect("parse timeseries file");
+        println!();
+        println!(
+            "grid gauges over virtual time ({} samples, every {:.0}s)",
+            ts.len(),
+            ts.cadence_secs()
+        );
+        for name in ts.names() {
+            let xs = ts.get(name).unwrap();
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "{:<12} {} [{:.0}..{:.0}]",
+                name,
+                ts.sparkline(name, opts.width).unwrap_or_default(),
+                min,
+                max
+            );
+        }
+    }
+}
+
 fn main() {
     let opts = parse();
+    if opts.command == "report" {
+        cmd_report(&opts);
+        return;
+    }
     let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, opts.seed);
     println!(
         "workload: {} — {} nodes, {} jobs, seed {}",
@@ -173,14 +443,34 @@ fn main() {
     let mut reports = Vec::new();
     match opts.command.as_str() {
         "run" => {
-            let r = run_one(&opts, opts.algorithm, &workload);
+            let mut r = run_one(&opts, opts.algorithm, &workload, true);
             print_report(&r);
+            if let Some(path) = &opts.events {
+                eprintln!("wrote event stream to {path}");
+            }
+            if let Some(path) = &opts.timeseries {
+                let ts = r.timeseries.take().expect("sampling was enabled");
+                let f = std::fs::File::create(path).expect("create timeseries output");
+                let mut w = BufWriter::new(f);
+                serde_json::to_writer_pretty(&mut w, &ts).expect("write timeseries");
+                w.flush().expect("flush timeseries");
+                eprintln!("wrote {} gauge samples to {path}", ts.len());
+                r.timeseries = Some(ts);
+            }
             reports.push(r);
         }
         "compare" => {
             println!(
-                "{:<12} {:>10} {:>10} {:>10} {:>10} {:>11}",
-                "algorithm", "mean wait", "std wait", "hops/job", "fairness", "completion"
+                "{:<12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11}",
+                "algorithm",
+                "mean wait",
+                "std wait",
+                "p50",
+                "p95",
+                "p99",
+                "hops/job",
+                "fairness",
+                "completion"
             );
             for alg in [
                 Algorithm::Central,
@@ -188,12 +478,16 @@ fn main() {
                 Algorithm::Can,
                 Algorithm::CanPush,
             ] {
-                let r = run_one(&opts, alg, &workload);
+                let r = run_one(&opts, alg, &workload, false);
+                let w = r.wait_stats.unwrap_or_default();
                 println!(
-                    "{:<12} {:>9.1}s {:>9.1}s {:>10.1} {:>10.3} {:>10.1}%",
+                    "{:<12} {:>9.1}s {:>9.1}s {:>8.1}s {:>8.1}s {:>8.1}s {:>10.1} {:>10.3} {:>10.1}%",
                     r.algorithm,
                     r.mean_wait(),
                     r.std_wait(),
+                    w.p50,
+                    w.p95,
+                    w.p99,
                     r.match_hops.mean() + r.owner_hops.mean(),
                     r.load_fairness(),
                     100.0 * r.completion_rate(),

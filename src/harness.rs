@@ -202,8 +202,22 @@ mod tests {
 
     #[test]
     fn cell_aggregation_runs_in_parallel_deterministically() {
-        let a = run_cell(Algorithm::Central, PaperScenario::ClusteredLight, 32, 100, 9, 2);
-        let b = run_cell(Algorithm::Central, PaperScenario::ClusteredLight, 32, 100, 9, 2);
+        let a = run_cell(
+            Algorithm::Central,
+            PaperScenario::ClusteredLight,
+            32,
+            100,
+            9,
+            2,
+        );
+        let b = run_cell(
+            Algorithm::Central,
+            PaperScenario::ClusteredLight,
+            32,
+            100,
+            9,
+            2,
+        );
         assert_eq!(a.mean_wait, b.mean_wait);
         assert_eq!(a.std_wait, b.std_wait);
         assert!(a.completion_rate > 0.99);

@@ -40,12 +40,12 @@
 
 pub use dgrid_can as can;
 pub use dgrid_chord as chord;
-pub use dgrid_pastry as pastry;
-pub use dgrid_tapestry as tapestry;
 pub use dgrid_core as core;
+pub use dgrid_pastry as pastry;
 pub use dgrid_resources as resources;
 pub use dgrid_rntree as rntree;
 pub use dgrid_sim as sim;
+pub use dgrid_tapestry as tapestry;
 pub use dgrid_workloads as workloads;
 
 pub mod harness;

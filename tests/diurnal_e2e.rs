@@ -3,7 +3,9 @@
 
 use dgrid::core::{ChurnConfig, Engine, EngineConfig, JobDag};
 use dgrid::harness::Algorithm;
-use dgrid::workloads::{diurnal_schedule, online_fraction, paper_scenario, DiurnalConfig, PaperScenario};
+use dgrid::workloads::{
+    diurnal_schedule, online_fraction, paper_scenario, DiurnalConfig, PaperScenario,
+};
 
 fn diurnal_run(alg: Algorithm, timezones: u32, seed: u64) -> dgrid::core::SimReport {
     let nodes = 80;
@@ -27,7 +29,11 @@ fn diurnal_run(alg: Algorithm, timezones: u32, seed: u64) -> dgrid::core::SimRep
         },
     );
     Engine::with_dag_and_schedule(
-        EngineConfig { seed, max_sim_secs: 6.0 * day, ..EngineConfig::default() },
+        EngineConfig {
+            seed,
+            max_sim_secs: 6.0 * day,
+            ..EngineConfig::default()
+        },
         ChurnConfig::none(),
         alg.matchmaker(),
         workload.nodes,
@@ -48,7 +54,11 @@ fn campaign_survives_daily_departures() {
             "{}: conservation",
             alg.label()
         );
-        assert!(r.graceful_leaves > 0, "{}: the exodus must happen", alg.label());
+        assert!(
+            r.graceful_leaves > 0,
+            "{}: the exodus must happen",
+            alg.label()
+        );
         assert!(
             r.completion_rate() > 0.95,
             "{}: completion {:.3}",

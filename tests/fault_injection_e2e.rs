@@ -20,7 +20,12 @@ fn json(r: &dgrid::core::SimReport) -> String {
     serde_json::to_string(r).expect("report serializes")
 }
 
-fn lossy(alg: Algorithm, workload: &Workload, seed: u64, plan: FaultPlan) -> dgrid::core::SimReport {
+fn lossy(
+    alg: Algorithm,
+    workload: &Workload,
+    seed: u64,
+    plan: FaultPlan,
+) -> dgrid::core::SimReport {
     run_workload_with_faults(alg, workload, cfg(seed), ChurnConfig::none(), plan)
 }
 
@@ -71,7 +76,10 @@ fn lost_heartbeats_fire_the_recovery_protocol() {
     let r = lossy(Algorithm::RnTree, &workload, 41, FaultPlan::with_loss(0.3));
     assert_eq!(r.node_failures, 0, "no node ever fails in this scenario");
     assert!(r.messages_lost > 0);
-    assert!(r.spurious_detections > 0, "sustained loss must misfire detection");
+    assert!(
+        r.spurious_detections > 0,
+        "sustained loss must misfire detection"
+    );
     assert!(r.run_recoveries > 0, "spurious detections drive recovery");
     assert!(
         r.duplicate_executions > 0,
@@ -126,9 +134,18 @@ fn loss_makes_things_worse_monotonically_in_cost() {
     // More loss ⇒ at least as many lost messages; completion stays high at
     // mild rates thanks to retry/backoff.
     let workload = paper_scenario(PaperScenario::MixedLight, 64, 200, 53);
-    let mild = lossy(Algorithm::Central, &workload, 53, FaultPlan::with_loss(0.02));
+    let mild = lossy(
+        Algorithm::Central,
+        &workload,
+        53,
+        FaultPlan::with_loss(0.02),
+    );
     let harsh = lossy(Algorithm::Central, &workload, 53, FaultPlan::with_loss(0.2));
     assert!(mild.messages_lost > 0);
     assert!(harsh.messages_lost > mild.messages_lost);
-    assert!(mild.completion_rate() > 0.95, "rate {:.3}", mild.completion_rate());
+    assert!(
+        mild.completion_rate() > 0.95,
+        "rate {:.3}",
+        mild.completion_rate()
+    );
 }

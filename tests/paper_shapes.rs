@@ -54,10 +54,22 @@ fn can_collapses_on_mixed_lightly_constrained() {
     let mut can = 0.0;
     let mut rn = 0.0;
     for seed in [11u64, 23] {
-        can += run_scenario(Algorithm::Can, PaperScenario::MixedLight, scale_nodes, scale_jobs, seed)
-            .mean_wait();
-        rn += run_scenario(Algorithm::RnTree, PaperScenario::MixedLight, scale_nodes, scale_jobs, seed)
-            .mean_wait();
+        can += run_scenario(
+            Algorithm::Can,
+            PaperScenario::MixedLight,
+            scale_nodes,
+            scale_jobs,
+            seed,
+        )
+        .mean_wait();
+        rn += run_scenario(
+            Algorithm::RnTree,
+            PaperScenario::MixedLight,
+            scale_nodes,
+            scale_jobs,
+            seed,
+        )
+        .mean_wait();
     }
     assert!(
         can > 2.0 * rn,
@@ -88,7 +100,13 @@ fn load_pushing_dramatically_improves_the_failure_case() {
     // "the modified CAN-based matchmaking mechanism dramatically improves
     // the quality of load balancing compared to the basic scheme".
     let basic = run_scenario(Algorithm::Can, PaperScenario::MixedLight, NODES, JOBS, SEED);
-    let push = run_scenario(Algorithm::CanPush, PaperScenario::MixedLight, NODES, JOBS, SEED);
+    let push = run_scenario(
+        Algorithm::CanPush,
+        PaperScenario::MixedLight,
+        NODES,
+        JOBS,
+        SEED,
+    );
     assert!(
         push.mean_wait() < 0.7 * basic.mean_wait(),
         "pushing must cut mean wait substantially: {:.1}s -> {:.1}s",
@@ -114,7 +132,13 @@ fn load_pushing_dramatically_improves_the_failure_case() {
 fn virtual_dimension_rescues_clustered_populations() {
     // Identical nodes/jobs without the virtual dimension re-create the
     // pile-up (Section 3.2's motivation for it).
-    let with = run_scenario(Algorithm::Can, PaperScenario::ClusteredLight, NODES, JOBS, SEED);
+    let with = run_scenario(
+        Algorithm::Can,
+        PaperScenario::ClusteredLight,
+        NODES,
+        JOBS,
+        SEED,
+    );
     let without = run_scenario(
         Algorithm::CanNoVirtualDim,
         PaperScenario::ClusteredLight,

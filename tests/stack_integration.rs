@@ -15,10 +15,20 @@ use rand::Rng;
 
 #[test]
 fn full_stack_is_deterministic_per_seed() {
-    for alg in [Algorithm::RnTree, Algorithm::Can, Algorithm::CanPush, Algorithm::Central] {
+    for alg in [
+        Algorithm::RnTree,
+        Algorithm::Can,
+        Algorithm::CanPush,
+        Algorithm::Central,
+    ] {
         let a = run_scenario(alg, PaperScenario::MixedHeavy, 64, 256, 31);
         let b = run_scenario(alg, PaperScenario::MixedHeavy, 64, 256, 31);
-        assert_eq!(a.wait_time.samples(), b.wait_time.samples(), "{}", alg.label());
+        assert_eq!(
+            a.wait_time.samples(),
+            b.wait_time.samples(),
+            "{}",
+            alg.label()
+        );
         assert_eq!(a.match_hops.samples(), b.match_hops.samples());
         assert_eq!(a.node_busy_secs, b.node_busy_secs);
         assert_eq!(a.makespan_secs, b.makespan_secs);
@@ -29,7 +39,10 @@ fn full_stack_is_deterministic_per_seed() {
 fn can_partition_invariant_at_scale() {
     // 1000 nodes in the 4-d space the matchmaker uses.
     let mut rng = rng_for(37, streams::NODE_IDS);
-    let mut net = CanNetwork::new(CanConfig { dims: 4, ..CanConfig::default() });
+    let mut net = CanNetwork::new(CanConfig {
+        dims: 4,
+        ..CanConfig::default()
+    });
     let mut ids = Vec::new();
     for _ in 0..1000 {
         let p: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
@@ -80,7 +93,11 @@ fn chord_and_rntree_agree_on_membership_through_churn() {
     ring.stabilize();
 
     let index = RnTreeIndex::build(&ring, &caps);
-    assert_eq!(index.tree().len(), ring.len(), "tree spans exactly the live ring");
+    assert_eq!(
+        index.tree().len(),
+        ring.len(),
+        "tree spans exactly the live ring"
+    );
     for id in index.tree().ids() {
         assert!(ring.is_alive(id));
     }
@@ -102,9 +119,25 @@ fn harness_cell_is_order_independent() {
     // run_cell fans replications out with rayon; results must equal the
     // sequential composition of single runs.
     use dgrid::harness::run_cell;
-    let cell = run_cell(Algorithm::Can, PaperScenario::ClusteredHeavy, 48, 200, 43, 3);
+    let cell = run_cell(
+        Algorithm::Can,
+        PaperScenario::ClusteredHeavy,
+        48,
+        200,
+        43,
+        3,
+    );
     let seq: Vec<f64> = (0..3u64)
-        .map(|r| run_scenario(Algorithm::Can, PaperScenario::ClusteredHeavy, 48, 200, 43 ^ (r + 1)).mean_wait())
+        .map(|r| {
+            run_scenario(
+                Algorithm::Can,
+                PaperScenario::ClusteredHeavy,
+                48,
+                200,
+                43 ^ (r + 1),
+            )
+            .mean_wait()
+        })
         .collect();
     let seq_mean = seq.iter().sum::<f64>() / 3.0;
     assert!((cell.mean_wait - seq_mean).abs() < 1e-9);
@@ -114,11 +147,20 @@ fn harness_cell_is_order_independent() {
 #[test]
 fn wait_times_are_physical() {
     // Wait ≥ 0, turnaround ≥ runtime, makespan ≥ last arrival.
-    let r = run_scenario(Algorithm::RnTree, PaperScenario::ClusteredLight, 64, 300, 47);
+    let r = run_scenario(
+        Algorithm::RnTree,
+        PaperScenario::ClusteredLight,
+        64,
+        300,
+        47,
+    );
     for &w in r.wait_time.samples() {
         assert!(w >= 0.0);
     }
-    assert!(r.turnaround.mean() > r.wait_time.mean(), "turnaround includes execution");
+    assert!(
+        r.turnaround.mean() > r.wait_time.mean(),
+        "turnaround includes execution"
+    );
     assert!(r.makespan_secs > 0.0);
     assert_eq!(r.jobs_completed, 300);
 }
