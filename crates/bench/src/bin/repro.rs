@@ -17,7 +17,7 @@ use std::io::Write;
 use dgrid::core::{ChurnConfig, Engine, RnTreeConfig, RnTreeMatchmaker};
 use dgrid::harness::{paper_engine_config, run_cell, run_workload, Algorithm, CellResult};
 use dgrid::workloads::{paper_scenario, PaperScenario};
-use serde::Serialize;
+use serde_json::Value;
 
 #[derive(Clone, Debug)]
 struct Opts {
@@ -72,16 +72,18 @@ fn parse_args() -> Opts {
     opts
 }
 
-#[derive(Serialize)]
-struct JsonRow {
-    experiment: String,
-    #[serde(flatten)]
-    cell: CellResult,
+/// One JSON output row: the cell's fields with an `experiment` tag merged in.
+fn json_row(experiment: &str, cell: &CellResult) -> Value {
+    let mut row = serde_json::to_value(cell).expect("cell serializes");
+    if let Some(obj) = row.as_object_mut() {
+        obj.insert("experiment".to_string(), Value::String(experiment.into()));
+    }
+    row
 }
 
 fn main() {
     let opts = parse_args();
-    let mut json_rows: Vec<JsonRow> = Vec::new();
+    let mut json_rows: Vec<Value> = Vec::new();
 
     let want = |name: &str| opts.experiment == "all" || opts.experiment.starts_with(name);
 
@@ -131,7 +133,7 @@ fn main() {
 }
 
 /// Figure 2, all four panels.
-fn fig2(opts: &Opts, json: &mut Vec<JsonRow>) {
+fn fig2(opts: &Opts, json: &mut Vec<Value>) {
     println!(
         "== Figure 2: job wait time ({} nodes, {} jobs, {} reps) ==",
         opts.nodes, opts.jobs, opts.reps
@@ -144,10 +146,7 @@ fn fig2(opts: &Opts, json: &mut Vec<JsonRow>) {
                 (scenario.label().to_string(), alg.label().to_string()),
                 cell.clone(),
             );
-            json.push(JsonRow {
-                experiment: "fig2".into(),
-                cell,
-            });
+            json.push(json_row("fig2", &cell));
         }
     }
     for (panel, stat, clustered) in [
@@ -217,7 +216,7 @@ fn hops(opts: &Opts) {
 }
 
 /// T-push: the improved CAN on the failure case.
-fn push(opts: &Opts, json: &mut Vec<JsonRow>) {
+fn push(opts: &Opts, json: &mut Vec<Value>) {
     println!("== T-push: improved CAN on mixed/lightly-constrained ==");
     println!(
         "{:<10} {:>12} {:>12} {:>10} {:>10}",
@@ -240,10 +239,7 @@ fn push(opts: &Opts, json: &mut Vec<JsonRow>) {
             cell.load_fairness,
             cell.mean_match_hops + cell.mean_owner_hops
         );
-        json.push(JsonRow {
-            experiment: "push".into(),
-            cell,
-        });
+        json.push(json_row("push", &cell));
     }
     println!();
 }
@@ -318,7 +314,7 @@ fn tree(opts: &Opts) {
 }
 
 /// A-virt: the virtual dimension ablation.
-fn virt(opts: &Opts, json: &mut Vec<JsonRow>) {
+fn virt(opts: &Opts, json: &mut Vec<Value>) {
     println!("== A-virt: CAN virtual dimension ablation (clustered/light) ==");
     println!(
         "{:<12} {:>12} {:>12} {:>10} {:>11}",
@@ -337,10 +333,7 @@ fn virt(opts: &Opts, json: &mut Vec<JsonRow>) {
             "{:<12} {:>12.1} {:>12.1} {:>10.3} {:>11.3}",
             cell.algorithm, cell.mean_wait, cell.std_wait, cell.load_fairness, cell.completion_rate
         );
-        json.push(JsonRow {
-            experiment: "virt".into(),
-            cell,
-        });
+        json.push(json_row("virt", &cell));
     }
     println!();
 }

@@ -478,8 +478,18 @@ impl CanNetwork {
     /// probe points each have exactly one owner. Panics with a description
     /// of the first violation.
     pub fn check_partition_invariant(&self) {
+        if let Some(v) = self.partition_violation() {
+            panic!("{v}");
+        }
+    }
+
+    /// Non-panicking form of [`CanNetwork::check_partition_invariant`]:
+    /// `None` when live zones tile the space exactly, otherwise a
+    /// description of the first violation. This is the oracle hook the
+    /// model checker (`dgrid-check`) polls after every membership change.
+    pub fn partition_violation(&self) -> Option<String> {
         if self.alive == 0 {
-            return;
+            return None;
         }
         let total: f64 = self
             .slots
@@ -488,12 +498,11 @@ impl CanNetwork {
             .flat_map(|s| s.zones.iter())
             .map(Zone::volume)
             .sum();
-        assert!(
-            (total - 1.0).abs() < 1e-9,
-            "zone volumes sum to {total}, expected 1"
-        );
-        // Probe points: zone corners nudged inwards, which are exactly the
-        // places where off-by-one-boundary bugs appear.
+        if (total - 1.0).abs() >= 1e-9 {
+            return Some(format!("zone volumes sum to {total}, expected 1"));
+        }
+        // Probe points: zone centers, which are exactly the places where
+        // off-by-one-boundary bugs appear.
         for s in self.slots.iter().filter(|s| s.alive) {
             for z in &s.zones {
                 let probe: Vec<f64> = z
@@ -509,9 +518,29 @@ impl CanNetwork {
                     .flat_map(|t| t.zones.iter())
                     .filter(|y| y.contains(&probe))
                     .count();
-                assert_eq!(owners, 1, "point {probe:?} has {owners} owners");
+                if owners != 1 {
+                    return Some(format!("point {probe:?} has {owners} owners"));
+                }
             }
         }
+        None
+    }
+
+    /// Neighbor-link symmetry check: every live node's neighbor must be
+    /// alive and must list the node back. `None` when symmetric, otherwise
+    /// a description of the first broken link (model-checker oracle hook).
+    pub fn neighbor_symmetry_violation(&self) -> Option<String> {
+        for id in self.alive_ids() {
+            for &n in self.neighbors(id) {
+                if !self.is_alive(n) {
+                    return Some(format!("{id:?} lists dead neighbor {n:?}"));
+                }
+                if !self.neighbors(n).contains(&id) {
+                    return Some(format!("asymmetric link: {id:?} -> {n:?} not reciprocated"));
+                }
+            }
+        }
+        None
     }
 }
 

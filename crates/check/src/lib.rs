@@ -1,0 +1,149 @@
+//! `dgrid-check`: invariant-oracle model checker for the dgrid simulator.
+//!
+//! The checker closes the loop the paper's evaluation leaves open: the
+//! simulator *reports* aggregate numbers, but nothing independently verifies
+//! that the protocol machinery underneath them is correct. This crate does,
+//! with three layers:
+//!
+//! 1. **Oracles** ([`oracle`]): independent invariants driven purely by the
+//!    engine's [`TraceEvent`] stream — job conservation, at-most-once result
+//!    commit under epochs, CAN zone partition/neighbor symmetry, Chord
+//!    successor consistency after churn quiesces, RN-Tree aggregate
+//!    monotonicity, and span-sum conservation.
+//! 2. **Scenario fuzzer** ([`scenario`]): a seeded generator composing
+//!    random grid sizes, workload presets, churn, partitions, message loss,
+//!    and crash schedules. Every scenario runs under all three matchmakers
+//!    and the oracle-visible outcomes are compared differentially.
+//! 3. **Shrinker** ([`shrink`]): on violation, greedily shrink the scenario
+//!    (fewer nodes, jobs, fault events; shorter horizon) while the
+//!    violation still reproduces, and emit a minimal replayable artifact.
+//!
+//! The CLI entry point is `dgrid check` (see the umbrella crate's binary).
+//!
+//! [`TraceEvent`]: dgrid_core::TraceEvent
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use dgrid_resources::JobId;
+use serde::{Deserialize, Serialize};
+
+pub mod artifact;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+
+pub use artifact::ReproArtifact;
+pub use oracle::{battery, TraceOracle, Violation};
+pub use scenario::{fault_event_count, Inject, MatchmakerChoice, Scenario};
+pub use shrink::{shrink, ShrinkResult};
+
+/// Oracle verdict for one `(scenario, matchmaker)` run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunVerdict {
+    /// Which matchmaker ran.
+    pub matchmaker: MatchmakerChoice,
+    /// All oracle violations, empty when the run is clean.
+    pub violations: Vec<Violation>,
+    /// Terminal fate of every job (`true` = completed), for the
+    /// differential comparison across matchmakers.
+    pub terminal: BTreeMap<u64, bool>,
+}
+
+/// Verdict for one scenario across every matchmaker, including the
+/// differential comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioVerdict {
+    /// Per-matchmaker verdicts, in [`MatchmakerChoice::ALL`] order.
+    pub runs: Vec<RunVerdict>,
+    /// Violations from the cross-matchmaker differential comparison.
+    pub differential: Vec<Violation>,
+}
+
+impl ScenarioVerdict {
+    /// True iff every run and the differential comparison are clean.
+    pub fn is_clean(&self) -> bool {
+        self.differential.is_empty() && self.runs.iter().all(|r| r.violations.is_empty())
+    }
+
+    /// Every violation across runs and the differential, flattened.
+    pub fn all_violations(&self) -> Vec<Violation> {
+        let mut out: Vec<Violation> = self
+            .runs
+            .iter()
+            .flat_map(|r| r.violations.iter().cloned())
+            .collect();
+        out.extend(self.differential.iter().cloned());
+        out
+    }
+}
+
+/// Run `scenario` once under `mm` and evaluate the full oracle battery.
+pub fn check_run(scenario: &Scenario, mm: MatchmakerChoice, inject: Inject) -> RunVerdict {
+    let (events, report) = scenario.run(mm, inject);
+    let mut oracles = battery(scenario.nodes, scenario.jobs, scenario.seed);
+    let mut terminal: BTreeMap<u64, bool> = BTreeMap::new();
+    for (at, event) in &events {
+        match event {
+            dgrid_core::TraceEvent::Completed { job, .. } => {
+                terminal.insert(job.0, true);
+            }
+            dgrid_core::TraceEvent::Failed { job } => {
+                terminal.entry(job.0).or_insert(false);
+            }
+            _ => {}
+        }
+        for oracle in &mut oracles {
+            oracle.on_event(*at, event);
+        }
+    }
+    let violations = oracles.iter_mut().flat_map(|o| o.finish(&report)).collect();
+    RunVerdict {
+        matchmaker: mm,
+        violations,
+        terminal,
+    }
+}
+
+/// Run `scenario` under every matchmaker and compare oracle-visible
+/// outcomes differentially: all three matchmakers must drive the *same* job
+/// population to *some* terminal state. (Which jobs complete versus fail
+/// may legitimately differ — matchmakers place jobs differently, so a crash
+/// kills different victims — but a job that terminates under one matchmaker
+/// and vanishes under another betrays a protocol bug, not a policy choice.)
+pub fn check_scenario(scenario: &Scenario, inject: Inject) -> ScenarioVerdict {
+    let runs: Vec<RunVerdict> = MatchmakerChoice::ALL
+        .iter()
+        .map(|&mm| check_run(scenario, mm, inject))
+        .collect();
+
+    let mut differential = Vec::new();
+    let mut universe: BTreeMap<u64, &'static str> = BTreeMap::new();
+    for run in &runs {
+        for &job in run.terminal.keys() {
+            universe.entry(job).or_insert(run.matchmaker.label());
+        }
+    }
+    for run in &runs {
+        let missing: Vec<JobId> = universe
+            .keys()
+            .filter(|j| !run.terminal.contains_key(j))
+            .map(|&j| JobId(j))
+            .collect();
+        if !missing.is_empty() {
+            differential.push(Violation {
+                oracle: "differential".to_string(),
+                detail: format!(
+                    "{} job(s) terminal under other matchmakers never terminated under {} (e.g. {:?})",
+                    missing.len(),
+                    run.matchmaker.label(),
+                    &missing[..missing.len().min(3)],
+                ),
+            });
+        }
+    }
+
+    ScenarioVerdict { runs, differential }
+}

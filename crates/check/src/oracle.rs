@@ -1,0 +1,734 @@
+//! Trace oracles: invariants checked against the engine's observer stream.
+//!
+//! Each oracle watches the [`TraceEvent`] stream of one simulation and, when
+//! the run ends, reports every invariant violation it saw. Oracles are
+//! deliberately *independent* of the engine's own bookkeeping: the overlay
+//! oracles maintain their own mirror CAN / Chord / RN-Tree instances driven
+//! purely by the membership events in the trace, so a bug that corrupts the
+//! engine's internal state still has to fool a second, separately-written
+//! implementation to escape detection.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use dgrid_can::{CanConfig, CanNetwork, CanNodeId};
+use dgrid_chord::{ChordConfig, ChordId, ChordRing};
+use dgrid_core::{SimReport, SpanAssembler, SpanOutcome, TraceEvent};
+use dgrid_resources::{Capabilities, JobId, OsType};
+use dgrid_rntree::RnTreeIndex;
+use dgrid_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Cap on recorded violations per oracle: once an overlay invariant breaks,
+/// every subsequent membership event tends to re-report it, and an unbounded
+/// list would bloat repro artifacts without adding information.
+const MAX_VIOLATIONS_PER_ORACLE: usize = 4;
+
+/// One invariant violation, attributed to the oracle that found it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Name of the oracle that fired (see [`TraceOracle::name`]).
+    pub oracle: String,
+    /// Human-readable description of what broke.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// An invariant checked against one simulation's trace.
+///
+/// The checker feeds every `(time, event)` pair to [`on_event`] in emission
+/// order, then calls [`finish`] exactly once with the engine's final report.
+///
+/// [`on_event`]: TraceOracle::on_event
+/// [`finish`]: TraceOracle::finish
+pub trait TraceOracle {
+    /// Stable oracle name used in violation reports.
+    fn name(&self) -> &'static str;
+    /// Observe one trace event.
+    fn on_event(&mut self, at: SimTime, event: &TraceEvent);
+    /// End of trace: return every violation found.
+    fn finish(&mut self, report: &SimReport) -> Vec<Violation>;
+}
+
+fn violation(oracle: &'static str, detail: String) -> Violation {
+    Violation {
+        oracle: oracle.to_string(),
+        detail,
+    }
+}
+
+/// SplitMix64 step — the checker's private id/point generator, so mirror
+/// overlay identities are a pure function of `(scenario seed, join order)`
+/// and never collide with anything the engine derives from the same seed.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `[0, 1)` from one SplitMix64 output.
+fn unit_f64(state: &mut u64) -> f64 {
+    (splitmix_next(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+// ---------------------------------------------------------------------------
+// Job conservation
+// ---------------------------------------------------------------------------
+
+/// Every submitted job reaches a terminal state, no terminal event refers to
+/// an unsubmitted job, and the final report's job counts agree with the
+/// trace. Catches lost jobs (engine exits with work outstanding), phantom
+/// completions, and report/trace drift.
+pub struct JobConservation {
+    expected_jobs: usize,
+    submitted: BTreeSet<JobId>,
+    completed: BTreeMap<JobId, u32>,
+    failed: BTreeMap<JobId, u32>,
+}
+
+impl JobConservation {
+    /// `expected_jobs` is the submission count the scenario generated.
+    pub fn new(expected_jobs: usize) -> Self {
+        JobConservation {
+            expected_jobs,
+            submitted: BTreeSet::new(),
+            completed: BTreeMap::new(),
+            failed: BTreeMap::new(),
+        }
+    }
+}
+
+impl TraceOracle for JobConservation {
+    fn name(&self) -> &'static str {
+        "job-conservation"
+    }
+
+    fn on_event(&mut self, _at: SimTime, event: &TraceEvent) {
+        match event {
+            TraceEvent::Submitted { job, .. } => {
+                self.submitted.insert(*job);
+            }
+            TraceEvent::Completed { job, .. } => {
+                *self.completed.entry(*job).or_insert(0) += 1;
+            }
+            TraceEvent::Failed { job } => {
+                *self.failed.entry(*job).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, report: &SimReport) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if self.submitted.len() != self.expected_jobs {
+            out.push(violation(
+                self.name(),
+                format!(
+                    "{} distinct jobs were submitted but the scenario generated {}",
+                    self.submitted.len(),
+                    self.expected_jobs
+                ),
+            ));
+        }
+        let mut unterminated = 0usize;
+        let mut sample = None;
+        for job in &self.submitted {
+            if !self.completed.contains_key(job) && !self.failed.contains_key(job) {
+                unterminated += 1;
+                sample.get_or_insert(*job);
+            }
+        }
+        if unterminated > 0 {
+            out.push(violation(
+                self.name(),
+                format!(
+                    "{unterminated} submitted job(s) never reached a terminal state (e.g. {:?})",
+                    sample.unwrap()
+                ),
+            ));
+        }
+        for job in self.completed.keys().chain(self.failed.keys()) {
+            if !self.submitted.contains(job) {
+                out.push(violation(
+                    self.name(),
+                    format!("terminal event for {job:?}, which was never submitted"),
+                ));
+                break;
+            }
+        }
+        if report.jobs_total != self.submitted.len() as u64 {
+            out.push(violation(
+                self.name(),
+                format!(
+                    "report.jobs_total = {} but the trace saw {} distinct submissions",
+                    report.jobs_total,
+                    self.submitted.len()
+                ),
+            ));
+        }
+        if report.jobs_completed + report.jobs_failed != report.jobs_total {
+            out.push(violation(
+                self.name(),
+                format!(
+                    "report counts don't conserve: {} completed + {} failed != {} total",
+                    report.jobs_completed, report.jobs_failed, report.jobs_total
+                ),
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// At-most-once result commit
+// ---------------------------------------------------------------------------
+
+/// Under the epoch protocol a job's result is committed at most once: a job
+/// emits at most one `Completed`, never both `Completed` and `Failed`, and
+/// the report's commit counter matches the number of distinct completed
+/// jobs. This is the oracle the epoch-dedup fault-injection self-test must
+/// trip.
+#[derive(Default)]
+pub struct AtMostOnceCommit {
+    completed: BTreeMap<JobId, u32>,
+    failed: BTreeMap<JobId, u32>,
+}
+
+impl AtMostOnceCommit {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceOracle for AtMostOnceCommit {
+    fn name(&self) -> &'static str {
+        "at-most-once-commit"
+    }
+
+    fn on_event(&mut self, _at: SimTime, event: &TraceEvent) {
+        match event {
+            TraceEvent::Completed { job, .. } => {
+                *self.completed.entry(*job).or_insert(0) += 1;
+            }
+            TraceEvent::Failed { job } => {
+                *self.failed.entry(*job).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, report: &SimReport) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (job, n) in &self.completed {
+            if *n > 1 && out.len() < MAX_VIOLATIONS_PER_ORACLE {
+                out.push(violation(
+                    self.name(),
+                    format!("{job:?} committed results {n} times"),
+                ));
+            }
+            if self.failed.contains_key(job) && out.len() < MAX_VIOLATIONS_PER_ORACLE {
+                out.push(violation(
+                    self.name(),
+                    format!("{job:?} both completed and permanently failed"),
+                ));
+            }
+        }
+        for (job, n) in &self.failed {
+            if *n > 1 && out.len() < MAX_VIOLATIONS_PER_ORACLE {
+                out.push(violation(
+                    self.name(),
+                    format!("{job:?} permanently failed {n} times"),
+                ));
+            }
+        }
+        if report.jobs_completed != self.completed.len() as u64 {
+            out.push(violation(
+                self.name(),
+                format!(
+                    "report.jobs_completed = {} but {} distinct jobs completed in the trace",
+                    report.jobs_completed,
+                    self.completed.len()
+                ),
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span-sum conservation
+// ---------------------------------------------------------------------------
+
+/// Re-assembles per-job phase spans from the trace (reusing
+/// [`SpanAssembler`]) and checks that every closed span's phase durations
+/// sum exactly to its turnaround, and that no span is left open at end of
+/// run — the engine's horizon failsafe guarantees every job closes.
+pub struct SpanConservation {
+    assembler: Option<SpanAssembler>,
+}
+
+impl SpanConservation {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        SpanConservation {
+            assembler: Some(SpanAssembler::new()),
+        }
+    }
+}
+
+impl Default for SpanConservation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceOracle for SpanConservation {
+    fn name(&self) -> &'static str {
+        "span-conservation"
+    }
+
+    fn on_event(&mut self, at: SimTime, event: &TraceEvent) {
+        if let Some(a) = self.assembler.as_mut() {
+            a.observe(at, *event);
+        }
+    }
+
+    fn finish(&mut self, report: &SimReport) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let spans = self.assembler.take().expect("finish called once").finish();
+        let mut open = 0usize;
+        for span in &spans {
+            match span.outcome {
+                SpanOutcome::Open => open += 1,
+                SpanOutcome::Completed | SpanOutcome::Failed => match span.turnaround() {
+                    None => out.push(violation(
+                        self.name(),
+                        format!("closed span for {:?} has no turnaround", span.job),
+                    )),
+                    Some(turnaround) => {
+                        if span.total() != turnaround && out.len() < MAX_VIOLATIONS_PER_ORACLE {
+                            out.push(violation(
+                                self.name(),
+                                format!(
+                                    "span for {:?}: phase sum {:?} != turnaround {:?}",
+                                    span.job,
+                                    span.total(),
+                                    turnaround
+                                ),
+                            ));
+                        }
+                    }
+                },
+            }
+        }
+        if open > 0 {
+            out.push(violation(
+                self.name(),
+                format!("{open} span(s) still open at end of run"),
+            ));
+        }
+        if spans.len() as u64 != report.jobs_total {
+            out.push(violation(
+                self.name(),
+                format!(
+                    "assembled {} spans but report.jobs_total = {}",
+                    spans.len(),
+                    report.jobs_total
+                ),
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CAN zone partition / neighbor symmetry
+// ---------------------------------------------------------------------------
+
+/// Mirrors grid membership into an independent [`CanNetwork`] and checks,
+/// after every membership change, that the zones still exactly partition the
+/// space and the neighbor relation is symmetric.
+pub struct CanZoneOracle {
+    net: CanNetwork,
+    ids: BTreeMap<u32, CanNodeId>,
+    state: u64,
+    violations: Vec<Violation>,
+}
+
+impl CanZoneOracle {
+    /// Mirror a grid that starts with `nodes` live nodes.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        let mut oracle = CanZoneOracle {
+            net: CanNetwork::new(CanConfig {
+                dims: 3,
+                ..CanConfig::default()
+            }),
+            ids: BTreeMap::new(),
+            state: seed ^ 0xCA17_0000_0000_0001,
+            violations: Vec::new(),
+        };
+        for node in 0..nodes as u32 {
+            oracle.join(node);
+        }
+        oracle.check();
+        oracle
+    }
+
+    fn join(&mut self, node: u32) {
+        let point = [
+            unit_f64(&mut self.state),
+            unit_f64(&mut self.state),
+            unit_f64(&mut self.state),
+        ];
+        let id = self.net.join(&point);
+        self.ids.insert(node, id);
+    }
+
+    fn check(&mut self) {
+        if self.violations.len() >= MAX_VIOLATIONS_PER_ORACLE {
+            return;
+        }
+        if let Some(v) = self.net.partition_violation() {
+            self.violations.push(violation("can-zones", v));
+        }
+        if let Some(v) = self.net.neighbor_symmetry_violation() {
+            self.violations.push(violation("can-zones", v));
+        }
+    }
+}
+
+impl TraceOracle for CanZoneOracle {
+    fn name(&self) -> &'static str {
+        "can-zones"
+    }
+
+    fn on_event(&mut self, _at: SimTime, event: &TraceEvent) {
+        match event {
+            TraceEvent::NodeDown { node, graceful } => {
+                if let Some(id) = self.ids.remove(&node.0) {
+                    if *graceful {
+                        self.net.leave(id);
+                    } else {
+                        self.net.fail(id);
+                    }
+                    self.check();
+                }
+            }
+            TraceEvent::NodeUp { node } if !self.ids.contains_key(&node.0) => {
+                self.join(node.0);
+                self.check();
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, _report: &SimReport) -> Vec<Violation> {
+        self.check();
+        std::mem::take(&mut self.violations)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chord ring successor consistency
+// ---------------------------------------------------------------------------
+
+/// Mirrors grid membership into an independent [`ChordRing`]. After every
+/// membership change the ring is stabilized (churn has quiesced from the
+/// ring's point of view) and every peer's successor/predecessor view must
+/// agree with the true ring order.
+pub struct ChordRingOracle {
+    ring: ChordRing,
+    ids: BTreeMap<u32, ChordId>,
+    state: u64,
+    violations: Vec<Violation>,
+}
+
+impl ChordRingOracle {
+    /// Mirror a grid that starts with `nodes` live nodes.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        let mut oracle = ChordRingOracle {
+            ring: ChordRing::new(ChordConfig::default()),
+            ids: BTreeMap::new(),
+            state: seed ^ 0xC40D_0000_0000_0002,
+            violations: Vec::new(),
+        };
+        for node in 0..nodes as u32 {
+            oracle.join(node);
+        }
+        oracle.ring.stabilize();
+        oracle.check();
+        oracle
+    }
+
+    fn fresh_id(&mut self) -> ChordId {
+        loop {
+            let id = ChordId(splitmix_next(&mut self.state));
+            if !self.ring.is_alive(id) {
+                return id;
+            }
+        }
+    }
+
+    fn join(&mut self, node: u32) {
+        let id = self.fresh_id();
+        self.ring.join(id);
+        self.ids.insert(node, id);
+    }
+
+    fn check(&mut self) {
+        if self.violations.len() >= MAX_VIOLATIONS_PER_ORACLE {
+            return;
+        }
+        if let Some(v) = self.ring.consistency_violation() {
+            self.violations.push(violation("chord-ring", v));
+        }
+    }
+}
+
+impl TraceOracle for ChordRingOracle {
+    fn name(&self) -> &'static str {
+        "chord-ring"
+    }
+
+    fn on_event(&mut self, _at: SimTime, event: &TraceEvent) {
+        match event {
+            TraceEvent::NodeDown { node, graceful } => {
+                if let Some(id) = self.ids.remove(&node.0) {
+                    if *graceful {
+                        self.ring.leave(id);
+                    } else {
+                        self.ring.fail(id);
+                    }
+                    self.ring.stabilize();
+                    self.check();
+                }
+            }
+            TraceEvent::NodeUp { node } if !self.ids.contains_key(&node.0) => {
+                self.join(node.0);
+                self.ring.stabilize();
+                self.check();
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, _report: &SimReport) -> Vec<Violation> {
+        self.ring.stabilize();
+        self.check();
+        std::mem::take(&mut self.violations)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RN-Tree aggregate monotonicity
+// ---------------------------------------------------------------------------
+
+/// Mirrors grid membership into a Chord ring with deterministic per-node
+/// capabilities and, once churn quiesces (end of trace), rebuilds the
+/// RN-Tree and checks the aggregate invariants: every parent's max-capacity
+/// vector dominates its children's, OS sets are supersets, and subtree node
+/// counts sum exactly.
+pub struct RnTreeAggregateOracle {
+    ring: ChordRing,
+    caps: HashMap<ChordId, Capabilities>,
+    ids: BTreeMap<u32, ChordId>,
+    state: u64,
+}
+
+impl RnTreeAggregateOracle {
+    /// Mirror a grid that starts with `nodes` live nodes.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        let mut oracle = RnTreeAggregateOracle {
+            ring: ChordRing::new(ChordConfig::default()),
+            caps: HashMap::new(),
+            ids: BTreeMap::new(),
+            state: seed ^ 0x27EE_0000_0000_0003,
+        };
+        for node in 0..nodes as u32 {
+            oracle.join(node);
+        }
+        oracle
+    }
+
+    fn join(&mut self, node: u32) {
+        let id = loop {
+            let id = ChordId(splitmix_next(&mut self.state));
+            if !self.ring.is_alive(id) {
+                break id;
+            }
+        };
+        let caps = Capabilities::new(
+            1.0 + 3.0 * unit_f64(&mut self.state),
+            1.0 + 15.0 * unit_f64(&mut self.state),
+            10.0 + 190.0 * unit_f64(&mut self.state),
+            OsType::ALL[(splitmix_next(&mut self.state) % 4) as usize],
+        );
+        self.ring.join(id);
+        self.caps.insert(id, caps);
+        self.ids.insert(node, id);
+    }
+}
+
+impl TraceOracle for RnTreeAggregateOracle {
+    fn name(&self) -> &'static str {
+        "rntree-aggregates"
+    }
+
+    fn on_event(&mut self, _at: SimTime, event: &TraceEvent) {
+        match event {
+            TraceEvent::NodeDown { node, graceful } => {
+                if let Some(id) = self.ids.remove(&node.0) {
+                    if *graceful {
+                        self.ring.leave(id);
+                    } else {
+                        self.ring.fail(id);
+                    }
+                }
+            }
+            TraceEvent::NodeUp { node } if !self.ids.contains_key(&node.0) => {
+                self.join(node.0);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, _report: &SimReport) -> Vec<Violation> {
+        if self.ring.is_empty() {
+            return Vec::new();
+        }
+        self.ring.stabilize();
+        let index = RnTreeIndex::build(&self.ring, &self.caps);
+        match index.aggregate_violation() {
+            Some(v) => vec![violation(self.name(), v)],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// The full oracle battery for a grid of `nodes` nodes expecting
+/// `expected_jobs` submissions, with mirror-overlay identities derived from
+/// `seed`.
+pub fn battery(nodes: usize, expected_jobs: usize, seed: u64) -> Vec<Box<dyn TraceOracle>> {
+    vec![
+        Box::new(JobConservation::new(expected_jobs)),
+        Box::new(AtMostOnceCommit::new()),
+        Box::new(SpanConservation::new()),
+        Box::new(CanZoneOracle::new(nodes, seed)),
+        Box::new(ChordRingOracle::new(nodes, seed)),
+        Box::new(RnTreeAggregateOracle::new(nodes, seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_core::GridNodeId;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn conservation_flags_lost_job() {
+        let mut o = JobConservation::new(2);
+        o.on_event(
+            t(0.0),
+            &TraceEvent::Submitted {
+                job: JobId(1),
+                resubmits: 0,
+            },
+        );
+        o.on_event(
+            t(0.0),
+            &TraceEvent::Submitted {
+                job: JobId(2),
+                resubmits: 0,
+            },
+        );
+        o.on_event(
+            t(5.0),
+            &TraceEvent::Completed {
+                job: JobId(1),
+                results_at: t(5.0),
+            },
+        );
+        let report = SimReport {
+            jobs_total: 2,
+            jobs_completed: 1,
+            jobs_failed: 1,
+            ..SimReport::default()
+        };
+        let v = o.finish(&report);
+        assert!(
+            v.iter().any(|v| v.detail.contains("never reached")),
+            "expected a lost-job violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn at_most_once_flags_double_commit() {
+        let mut o = AtMostOnceCommit::new();
+        for _ in 0..2 {
+            o.on_event(
+                t(1.0),
+                &TraceEvent::Completed {
+                    job: JobId(7),
+                    results_at: t(1.0),
+                },
+            );
+        }
+        let report = SimReport {
+            jobs_total: 1,
+            jobs_completed: 2,
+            ..SimReport::default()
+        };
+        let v = o.finish(&report);
+        assert!(v
+            .iter()
+            .any(|v| v.detail.contains("committed results 2 times")));
+        assert!(v.iter().any(|v| v.detail.contains("distinct jobs")));
+    }
+
+    #[test]
+    fn overlay_oracles_follow_churn_cleanly() {
+        let seed = 42;
+        let mut oracles: Vec<Box<dyn TraceOracle>> = vec![
+            Box::new(CanZoneOracle::new(12, seed)),
+            Box::new(ChordRingOracle::new(12, seed)),
+            Box::new(RnTreeAggregateOracle::new(12, seed)),
+        ];
+        let events = [
+            TraceEvent::NodeDown {
+                node: GridNodeId(3),
+                graceful: false,
+            },
+            TraceEvent::NodeDown {
+                node: GridNodeId(7),
+                graceful: true,
+            },
+            TraceEvent::NodeUp {
+                node: GridNodeId(3),
+            },
+            TraceEvent::NodeDown {
+                node: GridNodeId(0),
+                graceful: false,
+            },
+        ];
+        let report = SimReport::default();
+        for o in &mut oracles {
+            for (i, e) in events.iter().enumerate() {
+                o.on_event(t(i as f64 * 10.0), e);
+            }
+            let v = o.finish(&report);
+            assert!(v.is_empty(), "{}: unexpected violations {v:?}", o.name());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Greedy scenario shrinking.
+//!
+//! Once the sweep finds a violating scenario, the raw repro is usually far
+//! bigger than the bug needs: dozens of nodes, hundreds of jobs, a pile of
+//! fault events that played no part. The shrinker repeatedly proposes
+//! smaller candidate scenarios — aggressive cuts first — and keeps any
+//! candidate on which the violation still reproduces, looping to a fixpoint
+//! under a bounded run budget.
+
+use crate::scenario::Scenario;
+use dgrid_core::ChurnConfig;
+
+/// Outcome of a shrink session.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The smallest still-failing scenario found.
+    pub scenario: Scenario,
+    /// Simulation runs spent shrinking.
+    pub runs_used: usize,
+    /// Shrink steps accepted (candidates that still failed).
+    pub steps_accepted: usize,
+}
+
+/// Drop fault events that reference nodes outside the (possibly shrunk)
+/// grid, and partitions whose island became empty.
+fn clamp_faults(sc: &mut Scenario) {
+    let n = sc.nodes as u32;
+    sc.faults.crashes.retain(|c| c.node < n);
+    for p in &mut sc.faults.partitions {
+        p.island.retain(|&node| node < n);
+    }
+    sc.faults.partitions.retain(|p| !p.island.is_empty());
+}
+
+/// All single-step shrink candidates of `sc`, most aggressive first.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |mutate: &dyn Fn(&mut Scenario)| {
+        let mut cand = sc.clone();
+        mutate(&mut cand);
+        clamp_faults(&mut cand);
+        if cand != *sc {
+            out.push(cand);
+        }
+    };
+
+    // Grid size. Jobs scale down with nodes so the offered load per node
+    // stays in the regime that provoked the bug.
+    for target in [8usize, sc.nodes / 4, sc.nodes / 2] {
+        let target = target.max(2);
+        if target < sc.nodes {
+            push(&|c: &mut Scenario| {
+                let ratio = target as f64 / c.nodes as f64;
+                c.nodes = target;
+                c.jobs = ((c.jobs as f64 * ratio).round() as usize).max(1);
+            });
+        }
+    }
+
+    // Job count alone.
+    for div in [4usize, 2] {
+        if sc.jobs / div >= 1 && sc.jobs / div < sc.jobs {
+            push(&|c: &mut Scenario| c.jobs = (c.jobs / div).max(1));
+        }
+    }
+
+    // Whole fault classes at once.
+    if !sc.faults.crashes.is_empty() {
+        push(&|c: &mut Scenario| c.faults.crashes.clear());
+    }
+    if !sc.faults.partitions.is_empty() {
+        push(&|c: &mut Scenario| c.faults.partitions.clear());
+    }
+    if !sc.faults.spikes.is_empty() {
+        push(&|c: &mut Scenario| c.faults.spikes.clear());
+    }
+
+    // Individual fault events.
+    for i in 0..sc.faults.crashes.len() {
+        push(&|c: &mut Scenario| {
+            c.faults.crashes.remove(i);
+        });
+    }
+    for i in 0..sc.faults.partitions.len() {
+        push(&|c: &mut Scenario| {
+            c.faults.partitions.remove(i);
+        });
+    }
+    for i in 0..sc.faults.spikes.len() {
+        push(&|c: &mut Scenario| {
+            c.faults.spikes.remove(i);
+        });
+    }
+
+    // Message loss.
+    if sc.faults.loss_prob > 0.0 {
+        push(&|c: &mut Scenario| c.faults.loss_prob = 0.0);
+        push(&|c: &mut Scenario| c.faults.loss_prob /= 2.0);
+    }
+
+    // Stochastic churn.
+    if sc.churn.mttf_secs.is_some() {
+        push(&|c: &mut Scenario| c.churn = ChurnConfig::none());
+    }
+
+    // Horizon.
+    if sc.horizon_secs > 20_000.0 {
+        push(&|c: &mut Scenario| c.horizon_secs = (c.horizon_secs / 2.0).max(10_000.0));
+    }
+
+    out
+}
+
+/// Greedily shrink `sc` while `still_fails` keeps returning `true`,
+/// spending at most `budget` predicate evaluations (each typically one or
+/// three simulation runs, depending on the caller's predicate).
+pub fn shrink<F>(sc: &Scenario, mut still_fails: F, budget: usize) -> ShrinkResult
+where
+    F: FnMut(&Scenario) -> bool,
+{
+    let mut current = sc.clone();
+    let mut runs_used = 0usize;
+    let mut steps_accepted = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if runs_used >= budget {
+                return ShrinkResult {
+                    scenario: current,
+                    runs_used,
+                    steps_accepted,
+                };
+            }
+            runs_used += 1;
+            if still_fails(&cand) {
+                current = cand;
+                steps_accepted += 1;
+                improved = true;
+                break; // re-derive candidates from the smaller scenario
+            }
+        }
+        if !improved {
+            return ShrinkResult {
+                scenario: current,
+                runs_used,
+                steps_accepted,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::fault_event_count;
+
+    #[test]
+    fn clamping_drops_out_of_range_fault_targets() {
+        let mut sc = Scenario::generate(3);
+        sc.nodes = 40;
+        sc.faults = dgrid_core::FaultPlan::none()
+            .with_crash(100.0, 39, None)
+            .with_partition(50.0, 80.0, vec![5, 39]);
+        let mut small = sc.clone();
+        small.nodes = 8;
+        clamp_faults(&mut small);
+        assert!(small.faults.crashes.is_empty());
+        assert_eq!(small.faults.partitions[0].island, vec![5]);
+    }
+
+    #[test]
+    fn shrink_reaches_minimum_when_everything_reproduces() {
+        // A predicate that always fails shrinks to the smallest shapes the
+        // candidate generator can express.
+        let sc = Scenario::generate(11);
+        let result = shrink(&sc, |_| true, 500);
+        assert!(
+            result.scenario.nodes <= 8,
+            "nodes = {}",
+            result.scenario.nodes
+        );
+        assert_eq!(fault_event_count(&result.scenario), 0);
+        assert_eq!(result.scenario.faults.loss_prob, 0.0);
+        assert!(result.scenario.churn.mttf_secs.is_none());
+    }
+
+    #[test]
+    fn shrink_keeps_original_when_nothing_reproduces() {
+        let sc = Scenario::generate(12);
+        let result = shrink(&sc, |_| false, 500);
+        assert_eq!(result.scenario, sc);
+        assert_eq!(result.steps_accepted, 0);
+    }
+
+    #[test]
+    fn shrink_respects_budget() {
+        let sc = Scenario::generate(13);
+        let result = shrink(&sc, |_| true, 3);
+        assert!(result.runs_used <= 3);
+    }
+}

@@ -312,6 +312,58 @@ impl ChordRing {
     pub(crate) fn state(&self, id: ChordId) -> Option<&PeerState> {
         self.peers.get(&id.0)
     }
+
+    /// Ring-consistency check for a quiesced ring (run [`ChordRing::stabilize`]
+    /// first): every live peer's successor and predecessor pointers must
+    /// agree with the sorted ring order, and following successor pointers
+    /// from any peer must tour every live peer exactly once. Returns `None`
+    /// when consistent, otherwise a description of the first violation —
+    /// the oracle hook the model checker (`dgrid-check`) calls after churn
+    /// has settled.
+    pub fn consistency_violation(&self) -> Option<String> {
+        let mut ids = self.alive_ids();
+        if ids.len() <= 1 {
+            return None;
+        }
+        ids.sort();
+        let n = ids.len();
+        for (i, &id) in ids.iter().enumerate() {
+            let next = ids[(i + 1) % n];
+            let prev = ids[(i + n - 1) % n];
+            let Some(v) = self.peer_view(id) else {
+                return Some(format!("live peer {id} has no ring view"));
+            };
+            if v.successor != next {
+                return Some(format!(
+                    "{id}: successor {} disagrees with ring order {next}",
+                    v.successor
+                ));
+            }
+            if v.predecessor != prev {
+                return Some(format!(
+                    "{id}: predecessor {} disagrees with ring order {prev}",
+                    v.predecessor
+                ));
+            }
+        }
+        // Successor pointers must form a single cycle covering the ring.
+        let start = ids[0];
+        let mut at = start;
+        for step in 1..=n {
+            at = match self.peer_view(at) {
+                Some(v) => v.successor,
+                None => return Some(format!("successor walk reaches dead peer {at}")),
+            };
+            if at == start {
+                return if step == n {
+                    None
+                } else {
+                    Some(format!("successor cycle closes after {step} of {n} peers"))
+                };
+            }
+        }
+        Some(format!("successor walk from {start} never closes"))
+    }
 }
 
 #[cfg(test)]

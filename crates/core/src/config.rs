@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::security::SandboxPolicy;
 
 /// Failure injection: exponential node lifetimes, optional repair.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ChurnConfig {
     /// Mean time to failure per node, seconds. `None` disables failures.
     pub mttf_secs: Option<f64>,
@@ -84,6 +84,14 @@ pub struct EngineConfig {
     /// Consecutive lost-RPC retries before the sender gives up and falls
     /// back to the end-to-end safety net (client resubmission).
     pub max_rpc_retries: u32,
+    /// Fault-injection backdoor for the model checker's self-test: when
+    /// set, completions arriving under a superseded epoch are committed
+    /// instead of discarded, deliberately breaking the at-most-once result
+    /// guarantee so `dgrid check` can prove its oracles catch the bug.
+    /// Never set this outside `dgrid-check`.
+    #[doc(hidden)]
+    #[serde(default)]
+    pub check_disable_epoch_dedup: bool,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +116,7 @@ impl Default for EngineConfig {
             backoff_cap_secs: 120.0,
             backoff_jitter: 0.25,
             max_rpc_retries: 6,
+            check_disable_epoch_dedup: false,
         }
     }
 }

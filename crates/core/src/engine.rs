@@ -1022,8 +1022,19 @@ impl Engine {
         if !self.epoch_valid(job, epoch) {
             // A duplicate execution (spurious run-failure recovery) finished
             // under a superseded epoch: free the node, grant no job credit.
-            self.release_stale_execution(now, job, node, true);
-            return;
+            // With the checker's backdoor set, fall through instead — while
+            // the node still holds the stale execution — and double-commit
+            // the result (see `EngineConfig::check_disable_epoch_dedup`).
+            let held = self
+                .nodes
+                .get(node)
+                .running
+                .as_ref()
+                .is_some_and(|q| q.job == job);
+            if !(self.cfg.check_disable_epoch_dedup && held) {
+                self.release_stale_execution(now, job, node, true);
+                return;
+            }
         }
         // Figure 1 step 6: return results directly, or publish a pointer in
         // the DHT and let the client resolve it (Section 2's by-reference
@@ -1055,6 +1066,13 @@ impl Engine {
             n.completed_jobs += 1;
         }
         let rec = self.jobs.get_mut(&job).expect("known job");
+        // Only one completion per epoch exists and stale epochs were
+        // rejected above, so the job can never already be terminal here —
+        // except when the checker's dedup backdoor lets a stale completion
+        // fall through after the current epoch already committed. Guard the
+        // in-flight counter so that broken run still terminates and the
+        // trace oracles (not an underflow panic) report the double commit.
+        let was_terminal = rec.state.is_terminal();
         rec.state = JobState::Completed;
         rec.finished_at = Some(finished);
         if let Some(q) = rec.queued_at {
@@ -1074,7 +1092,9 @@ impl Engine {
         if let Some(t) = rec.turnaround_secs() {
             self.report.turnaround.push(t);
         }
-        self.outstanding -= 1;
+        if !was_terminal {
+            self.outstanding -= 1;
+        }
         self.observer.on_event(
             now,
             TraceEvent::Completed {

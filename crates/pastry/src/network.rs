@@ -325,6 +325,78 @@ impl PastryNetwork {
         self.peers.retain(|_, p| p.alive);
     }
 
+    /// Routing-state invariant check, meaningful after [`stabilize`]:
+    /// every live node's leaf sets hold exactly its nearest live neighbors
+    /// in each ring direction, and every routing-table entry is a live node
+    /// in the entry's prefix slot — with no slot left empty while a live
+    /// candidate exists. Returns a description of the first violation, or
+    /// `None` when the tables are sound.
+    ///
+    /// [`stabilize`]: PastryNetwork::stabilize
+    pub fn table_violation(&self) -> Option<String> {
+        for (&raw, st) in self.peers.iter().filter(|(_, p)| p.alive) {
+            let id = PastryId(raw);
+
+            // Leaf sets: walk the true ring outward from `id` and compare.
+            for (clockwise, leaves) in [(true, &st.leaf_cw), (false, &st.leaf_ccw)] {
+                let want = self.cfg.leaf_half.min(self.alive_count.saturating_sub(1));
+                let mut cur = raw;
+                for i in 0..want {
+                    let next = if clockwise {
+                        self.next_cw(cur)
+                    } else {
+                        self.next_ccw(cur)
+                    };
+                    let Some(next) = next.filter(|&n| n != id) else {
+                        break; // wrapped all the way around a tiny ring
+                    };
+                    if leaves.get(i) != Some(&next) {
+                        return Some(format!(
+                            "{id}: leaf[{}][{i}] = {:?}, ring neighbor is {next}",
+                            if clockwise { "cw" } else { "ccw" },
+                            leaves.get(i),
+                        ));
+                    }
+                    cur = next.0;
+                }
+            }
+
+            // Routing table: each entry live and in-slot; no false vacancy.
+            for (row, slots) in st.table.iter().enumerate() {
+                let row = row as u32;
+                for (d, entry) in slots.iter().enumerate() {
+                    let d = d as u8;
+                    if d == id.digit(row) {
+                        continue; // own-digit slot is intentionally empty
+                    }
+                    let (lo, hi) = id.slot_range(row, d);
+                    match entry {
+                        Some(e) => {
+                            if !self.is_alive(*e) {
+                                return Some(format!(
+                                    "{id}: table[{row}][{d}] holds dead node {e}"
+                                ));
+                            }
+                            if e.shared_prefix_digits(id) < row || e.digit(row) != d {
+                                return Some(format!(
+                                    "{id}: table[{row}][{d}] holds {e}, outside its slot"
+                                ));
+                            }
+                        }
+                        None => {
+                            if self.peers.range(lo..=hi).any(|(_, p)| p.alive) {
+                                return Some(format!(
+                                    "{id}: table[{row}][{d}] empty but the slot has live nodes"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
     // ------------------------------------------------------------------
     // Routing
     // ------------------------------------------------------------------

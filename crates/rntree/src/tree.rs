@@ -221,6 +221,56 @@ impl RnTreeIndex {
         self.info.insert(id, acc.clone());
         acc
     }
+
+    /// Aggregate-monotonicity check: every parent's subtree aggregate must
+    /// dominate each child's (pointwise-maximum capabilities never shrink
+    /// going up, OS presence is a superset, node counts add up exactly, and
+    /// the root covers the whole tree). Returns `None` when the hierarchy
+    /// is sound, otherwise a description of the first violation — the
+    /// oracle hook the model checker (`dgrid-check`) calls after rebuilds.
+    pub fn aggregate_violation(&self) -> Option<String> {
+        if self.tree.is_empty() {
+            return None;
+        }
+        for &id in &self.tree.ids() {
+            let info = &self.info[&id];
+            let own = SubtreeInfo::leaf(&self.caps[&id]);
+            let mut expected_count = own.node_count;
+            for &child in self.tree.children(id) {
+                let ci = &self.info[&child];
+                expected_count += ci.node_count;
+                for (d, (&p, &c)) in info.max_caps.iter().zip(&ci.max_caps).enumerate() {
+                    if p < c {
+                        return Some(format!(
+                            "{id}: aggregate dim {d} = {p} below child {child}'s {c}"
+                        ));
+                    }
+                }
+                for (i, (&p, &c)) in info.os_present.iter().zip(&ci.os_present).enumerate() {
+                    if c && !p {
+                        return Some(format!(
+                            "{id}: OS slot {i} present in child {child} but not in parent"
+                        ));
+                    }
+                }
+            }
+            if info.node_count != expected_count {
+                return Some(format!(
+                    "{id}: node_count {} != self + children = {expected_count}",
+                    info.node_count
+                ));
+            }
+        }
+        let root = self.tree.root();
+        let total = self.info[&root].node_count as usize;
+        if total != self.tree.len() {
+            return Some(format!(
+                "root covers {total} nodes but the tree holds {}",
+                self.tree.len()
+            ));
+        }
+        None
+    }
 }
 
 #[cfg(test)]

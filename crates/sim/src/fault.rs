@@ -213,8 +213,10 @@ impl FaultPlan {
                 p.start_secs.is_finite() && p.end_secs.is_finite() && p.start_secs >= 0.0,
                 "partition window must be finite and non-negative"
             );
+            // `==` is allowed: a zero-duration partition is never active
+            // (the window is half-open) and the plan stays a no-op.
             assert!(
-                p.start_secs < p.end_secs,
+                p.start_secs <= p.end_secs,
                 "partition heals ({}) before it starts ({})",
                 p.end_secs,
                 p.start_secs

@@ -296,6 +296,54 @@ impl TapestryNetwork {
         self.peers.retain(|_, p| p.alive);
     }
 
+    /// Neighbor-map invariant check, meaningful after [`stabilize`]: every
+    /// entry in every live node's maps is a live node inside the entry's
+    /// prefix slot, and no slot is empty while a live candidate exists.
+    /// Returns a description of the first violation, or `None` when the
+    /// maps are sound.
+    ///
+    /// [`stabilize`]: TapestryNetwork::stabilize
+    pub fn table_violation(&self) -> Option<String> {
+        for (&raw, st) in self.peers.iter().filter(|(_, p)| p.alive) {
+            let id = TapestryId(raw);
+            if st.maps.len() != LEVELS as usize {
+                return Some(format!(
+                    "{id}: {} map levels populated, expected {LEVELS}",
+                    st.maps.len()
+                ));
+            }
+            for (level, slots) in st.maps.iter().enumerate() {
+                let level = level as u32;
+                for (d, entry) in slots.iter().enumerate() {
+                    let d = d as u8;
+                    let (lo, hi) = id.slot_range(level, d);
+                    match entry {
+                        Some(e) => {
+                            if !self.is_alive(*e) {
+                                return Some(format!(
+                                    "{id}: maps[{level}][{d}] holds dead node {e}"
+                                ));
+                            }
+                            if !(lo..=hi).contains(&e.0) {
+                                return Some(format!(
+                                    "{id}: maps[{level}][{d}] holds {e}, outside its slot"
+                                ));
+                            }
+                        }
+                        None => {
+                            if self.slot_node(lo, hi).is_some() {
+                                return Some(format!(
+                                    "{id}: maps[{level}][{d}] empty but the slot has live nodes"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
     // ------------------------------------------------------------------
     // Routing
     // ------------------------------------------------------------------

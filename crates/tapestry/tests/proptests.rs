@@ -69,6 +69,66 @@ proptest! {
         }
     }
 
+    /// Random joins and leaves preserve the neighbor-map invariants: after
+    /// stabilization every map entry is a live, in-slot node and no slot is
+    /// empty while a live candidate exists.
+    #[test]
+    fn churn_preserves_table_invariants(
+        initial in proptest::collection::hash_set(any::<u64>(), 1..40),
+        steps in proptest::collection::vec(step(), 0..30),
+    ) {
+        let mut net = TapestryNetwork::default();
+        let mut live: Vec<u64> = Vec::new();
+        for id in initial {
+            net.join(TapestryId(id));
+            live.push(id);
+        }
+        for s in steps {
+            match s {
+                Step::Join(id) if !net.is_alive(TapestryId(id)) => {
+                    net.join(TapestryId(id));
+                    live.push(id);
+                }
+                Step::Leave(i) if live.len() > 1 => {
+                    let id = live.swap_remove(i % live.len());
+                    net.leave(TapestryId(id));
+                }
+                Step::Fail(i) if live.len() > 1 => {
+                    let id = live.swap_remove(i % live.len());
+                    net.fail(TapestryId(id));
+                }
+                _ => {}
+            }
+        }
+        net.stabilize();
+        prop_assert_eq!(net.table_violation(), None);
+        // Stabilization is idempotent: a second pass changes nothing.
+        net.stabilize();
+        prop_assert_eq!(net.table_violation(), None);
+    }
+
+    /// Lookups from *every* live node terminate at the key's unique root.
+    #[test]
+    fn lookups_from_everywhere_reach_the_root(
+        ids in proptest::collection::hash_set(any::<u64>(), 1..24),
+        keys in proptest::collection::vec(any::<u64>(), 1..5),
+    ) {
+        let mut net = TapestryNetwork::default();
+        for &id in &ids {
+            net.join(TapestryId(id));
+        }
+        net.stabilize();
+        for key in keys {
+            let root = net.root_of(TapestryId(key)).expect("non-empty");
+            prop_assert!(net.is_alive(root));
+            for &from in &ids {
+                let res = net.route(TapestryId(from), TapestryId(key)).expect("routes");
+                prop_assert_eq!(res.owner, root);
+                prop_assert_eq!(res.timeouts, 0);
+            }
+        }
+    }
+
     /// An exact-id match is always its own root.
     #[test]
     fn exact_match_owns_itself(ids in proptest::collection::hash_set(any::<u64>(), 1..30)) {

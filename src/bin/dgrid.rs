@@ -4,6 +4,8 @@
 //! dgrid run     --algorithm rn-tree --scenario mixed/light [options]
 //! dgrid compare --scenario clustered/heavy [options]
 //! dgrid report  --events events.jsonl [--timeseries series.json]
+//! dgrid check   [--seeds N] [--seed BASE] [--out PATH]
+//! dgrid check   --replay repro.json
 //!
 //! options:
 //!   --nodes N             grid size                      (default 200)
@@ -26,11 +28,22 @@
 //!   --timeseries PATH     render sparklines from a gauge series file
 //!   --timeline N          show per-job timelines for the first N jobs (default 10)
 //!   --width W             sparkline/timeline width        (default 48)
+//!
+//! check options:
+//!   --seeds N             scenarios to sweep              (default 50)
+//!   --seed BASE           first scenario seed             (default 42)
+//!   --out PATH            repro artifact path  (default dgrid-check-repro.json)
+//!   --replay PATH         re-run a previously written repro artifact
+//!   --inject-bug NAME     deliberately break the engine (self-test);
+//!                         names: epoch-dedup
 //! ```
 //!
 //! `run` executes one cell and prints the report; `compare` runs every
 //! algorithm on the same workload and prints a comparison table; `report`
-//! renders a per-phase wait-time decomposition from a recorded event stream.
+//! renders a per-phase wait-time decomposition from a recorded event stream;
+//! `check` fuzzes randomized fault scenarios under every matchmaker against
+//! the invariant oracles in `dgrid-check`, shrinking any violation to a
+//! minimal replayable artifact.
 
 use std::io::{BufWriter, Write};
 
@@ -64,14 +77,19 @@ struct Opts {
     timeline: usize,
     width: usize,
     json: Option<String>,
+    seeds: u64,
+    out: Option<String>,
+    replay: Option<String>,
+    inject_bug: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dgrid <run|compare|report> [--algorithm A] [--scenario S] [--nodes N] \
+        "usage: dgrid <run|compare|report|check> [--algorithm A] [--scenario S] [--nodes N] \
          [--jobs M] [--seed S] [--mttf SECS] [--rejoin SECS] [--graceful FRAC] \
          [--k K] [--loss P] [--partition START:END:IDS] [--events PATH] \
-         [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH]\n\
+         [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH] \
+         [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME]\n\
          algorithms: rn-tree can can-push can-novirt central\n\
          scenarios : clustered/light clustered/heavy mixed/light mixed/heavy"
     );
@@ -141,8 +159,16 @@ fn parse() -> Opts {
         timeline: 10,
         width: 48,
         json: None,
+        seeds: 50,
+        out: None,
+        replay: None,
+        inject_bug: None,
     };
-    if opts.command != "run" && opts.command != "compare" && opts.command != "report" {
+    if opts.command != "run"
+        && opts.command != "compare"
+        && opts.command != "report"
+        && opts.command != "check"
+    {
         usage();
     }
     let mut i = 1;
@@ -167,6 +193,10 @@ fn parse() -> Opts {
             "--timeline" => opts.timeline = val.parse().unwrap_or_else(|_| usage()),
             "--width" => opts.width = val.parse().unwrap_or_else(|_| usage()),
             "--json" => opts.json = Some(val),
+            "--seeds" => opts.seeds = val.parse().unwrap_or_else(|_| usage()),
+            "--out" => opts.out = Some(val),
+            "--replay" => opts.replay = Some(val),
+            "--inject-bug" => opts.inject_bug = Some(val),
             _ => usage(),
         }
         i += 2;
@@ -424,10 +454,141 @@ fn cmd_report(opts: &Opts) {
     }
 }
 
+/// `dgrid check`: sweep randomized fault scenarios through the invariant
+/// oracles under every matchmaker, shrinking the first violation found to a
+/// minimal replayable artifact; or `--replay` a previously written artifact.
+fn cmd_check(opts: &Opts) {
+    use dgrid::check::{
+        check_run, check_scenario, fault_event_count, shrink, Inject, ReproArtifact, Scenario,
+        Violation,
+    };
+    use std::path::Path;
+
+    let inject = match opts.inject_bug.as_deref() {
+        None => Inject::default(),
+        Some("epoch-dedup") => Inject {
+            disable_epoch_dedup: true,
+        },
+        Some(other) => {
+            eprintln!("unknown --inject-bug {other:?} (known: epoch-dedup)");
+            std::process::exit(2);
+        }
+    };
+
+    fn print_violations(violations: &[Violation]) {
+        for v in violations {
+            println!("  {v}");
+        }
+    }
+
+    if let Some(path) = &opts.replay {
+        let artifact = ReproArtifact::read(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot read repro artifact {path}: {e}");
+            std::process::exit(2);
+        });
+        let violations = match artifact.matchmaker {
+            Some(mm) => check_run(&artifact.scenario, mm, artifact.inject).violations,
+            None => check_scenario(&artifact.scenario, artifact.inject).all_violations(),
+        };
+        if violations.is_empty() {
+            println!("replay of {path}: clean (violation no longer reproduces)");
+        } else {
+            println!("replay of {path}: {} violation(s)", violations.len());
+            print_violations(&violations);
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let base = opts.seed;
+    println!(
+        "checking {} scenario(s) from seed {base}, 3 matchmakers each{}",
+        opts.seeds,
+        if inject == Inject::default() {
+            String::new()
+        } else {
+            format!(" [injected bug: {}]", opts.inject_bug.as_deref().unwrap())
+        }
+    );
+    for i in 0..opts.seeds {
+        let seed = base + i;
+        let scenario = Scenario::generate(seed);
+        let verdict = check_scenario(&scenario, inject);
+        if verdict.is_clean() {
+            if (i + 1) % 10 == 0 {
+                eprintln!("  ... {}/{} clean", i + 1, opts.seeds);
+            }
+            continue;
+        }
+
+        println!(
+            "seed {seed}: {} violation(s)",
+            verdict.all_violations().len()
+        );
+        print_violations(&verdict.all_violations());
+
+        // Shrink under the first violating matchmaker when one exists;
+        // differential-only violations re-check every matchmaker.
+        let failing_mm = verdict
+            .runs
+            .iter()
+            .find(|r| !r.violations.is_empty())
+            .map(|r| r.matchmaker);
+        let result = shrink(
+            &scenario,
+            |cand| match failing_mm {
+                Some(mm) => !check_run(cand, mm, inject).violations.is_empty(),
+                None => !check_scenario(cand, inject).is_clean(),
+            },
+            150,
+        );
+        let shrunk_violations = match failing_mm {
+            Some(mm) => check_run(&result.scenario, mm, inject).violations,
+            None => check_scenario(&result.scenario, inject).all_violations(),
+        };
+        println!(
+            "shrunk {} -> {} nodes, {} -> {} jobs, {} -> {} fault event(s) in {} run(s)",
+            scenario.nodes,
+            result.scenario.nodes,
+            scenario.jobs,
+            result.scenario.jobs,
+            fault_event_count(&scenario),
+            fault_event_count(&result.scenario),
+            result.runs_used,
+        );
+
+        let out = opts
+            .out
+            .clone()
+            .unwrap_or_else(|| "dgrid-check-repro.json".to_string());
+        let artifact = ReproArtifact {
+            scenario: result.scenario,
+            matchmaker: failing_mm,
+            inject,
+            violations: shrunk_violations,
+            original: Some(scenario),
+        };
+        artifact.write(Path::new(&out)).unwrap_or_else(|e| {
+            eprintln!("cannot write repro artifact {out}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote repro artifact to {out} (replay with: dgrid check --replay {out})");
+        std::process::exit(1);
+    }
+    println!(
+        "check: {} scenario(s) x 3 matchmakers clean, all oracles passed",
+        opts.seeds
+    );
+}
+
 fn main() {
     let opts = parse();
     if opts.command == "report" {
         cmd_report(&opts);
+        return;
+    }
+    if opts.command == "check" {
+        cmd_check(&opts);
         return;
     }
     let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, opts.seed);

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use dgrid_can as can;
+pub use dgrid_check as check;
 pub use dgrid_chord as chord;
 pub use dgrid_core as core;
 pub use dgrid_pastry as pastry;

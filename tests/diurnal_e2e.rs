@@ -14,7 +14,7 @@ fn diurnal_run(alg: Algorithm, timezones: u32, seed: u64) -> dgrid::core::SimRep
     let mut workload = paper_scenario(PaperScenario::MixedLight, nodes, jobs, seed);
     for (i, sub) in workload.submissions.iter_mut().enumerate() {
         sub.arrival_secs = i as f64 * 2.0;
-        sub.profile.run_time_secs *= 30.0; // ~50 min chunks: the campaign spans the work day
+        sub.profile.run_time_secs *= 20.0; // ~30 min chunks: the campaign spans the work day
     }
     let schedule = diurnal_schedule(
         nodes,

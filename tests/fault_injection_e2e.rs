@@ -121,7 +121,7 @@ fn scheduled_crashes_rejoin_on_time() {
     // the node fails abruptly at the scheduled instant and rejoins later.
     let plan = FaultPlan::none()
         .with_crash(400.0, 2, Some(600.0))
-        .with_crash(900.0, 5, None);
+        .with_crash(600.0, 5, None);
     let workload = paper_scenario(PaperScenario::MixedLight, 32, 150, 47);
     let r = lossy(Algorithm::RnTree, &workload, 47, plan);
     assert_eq!(r.node_failures, 2, "both scheduled crashes fire");

@@ -1,0 +1,165 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the dgrid benches use — `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `bench_function` / `finish`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Each benchmark runs its closure `sample_size` times inside the
+//! measurement budget and prints a simple mean — no outlier statistics, no
+//! HTML reports, but the experiment binaries compile and produce numbers.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (best-effort without intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one benchmark's closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored beyond a minimal spin (kept for API compatibility).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Upper bound on how long one benchmark may measure.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measure one closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // One untimed pass to warm caches and page in code.
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+
+        let budget_start = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut runs = 0u64;
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            total += bencher.elapsed;
+            runs += bencher.iterations;
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let mean = if runs > 0 {
+            total / runs as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: mean {:?} over {} iterations",
+            self.name, id, mean, runs
+        );
+        self
+    }
+
+    /// End the group (formatting only here).
+    pub fn finish(&mut self) {
+        println!("— group {} done —", self.name);
+    }
+}
+
+/// The benchmark harness root.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            _criterion: self,
+        }
+    }
+
+    /// Measure one stand-alone closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut hits = 0u64;
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        g.bench_function("count", |b| b.iter(|| hits += 1));
+        g.finish();
+        assert!(hits >= 4, "warmup + samples should have run, got {hits}");
+    }
+}

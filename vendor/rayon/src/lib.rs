@@ -1,0 +1,61 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Every simulation replication in dgrid is already an independent,
+//! deterministic computation, so running them sequentially produces
+//! *identical* results to upstream rayon's work-stealing pool — only slower.
+//! This stand-in maps `into_par_iter()` straight onto `IntoIterator`,
+//! keeping the call sites and their determinism guarantees unchanged while
+//! the registry is unreachable.
+
+pub mod iter {
+    //! Sequential "parallel" iterator plumbing.
+
+    /// Mirror of rayon's `IntoParallelIterator`: anything iterable gains
+    /// `into_par_iter()`, yielding an ordinary sequential iterator (which
+    /// therefore supports the usual `map`/`filter`/`collect` chains).
+    pub trait IntoParallelIterator {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+
+        /// Iterate "in parallel" (sequentially here; results identical for
+        /// dgrid's independent per-seed work items).
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    //! What `use rayon::prelude::*` is expected to bring in.
+    pub use crate::iter::IntoParallelIterator;
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let par: Vec<u64> = (0..10u64).into_par_iter().map(|x| x * x).collect();
+        let ser: Vec<u64> = (0..10u64).map(|x| x * x).collect();
+        assert_eq!(par, ser);
+    }
+}

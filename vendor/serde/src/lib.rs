@@ -1,0 +1,540 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! value-model serialization framework with the same *spelling* as serde:
+//! `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`, `#[serde(default)]`,
+//! `#[serde(skip_serializing_if = "...")]`, and the `serde_json` front end.
+//! Instead of serde's streaming visitor architecture, everything round-trips
+//! through an in-memory [`Value`] tree — plenty for the report/trace sizes
+//! dgrid produces, and far simpler to audit.
+//!
+//! Behavioural notes (all serde-compatible for the shapes this repo uses):
+//! - structs → JSON objects with fields in declaration order;
+//! - newtype structs are transparent; multi-field tuple structs → arrays;
+//! - unit enum variants → `"Name"`; data-carrying variants → `{"Name": ...}`;
+//! - missing `Option` fields deserialize to `None`; unknown fields are
+//!   ignored; maps with integer keys use stringified keys.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{Map, Number, Value};
+
+pub mod de {
+    //! Deserialization error type.
+    use std::fmt;
+
+    /// Why a [`crate::Value`] could not be converted into the target type.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Build an error from any printable message.
+        pub fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+/// Convert `self` into the JSON-like [`Value`] model.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Build `Self` back from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Convert; errors carry a human-readable path-free message.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+
+    /// What to produce when a struct field is absent entirely.
+    ///
+    /// `None` means "absence is an error unless `#[serde(default)]`";
+    /// `Option<T>` overrides this to yield `Some(None)`, matching serde's
+    /// missing-optional-field behaviour.
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, de::Error> {
+    Err(de::Error::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+// --- primitives -----------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(Number::PosInt(n)) if *n <= <$t>::MAX as u64 => Ok(*n as $t),
+                    Value::Number(Number::NegInt(n)) if *n >= 0 && *n as u64 <= <$t>::MAX as u64 => {
+                        Ok(*n as $t)
+                    }
+                    other => type_err(stringify!($t), other),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::Number(Number::NegInt(n))
+                } else {
+                    Value::Number(Number::PosInt(n as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(Number::PosInt(n)) if *n <= <$t>::MAX as u64 => Ok(*n as $t),
+                    Value::Number(Number::NegInt(n))
+                        if *n >= <$t>::MIN as i64 && *n <= <$t>::MAX as i64 =>
+                    {
+                        Ok(*n as $t)
+                    }
+                    other => type_err(stringify!($t), other),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Float(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    Value::Null => Ok(<$t>::NAN), // serde_json emits null for non-finite
+                    other => type_err(stringify!($t), other),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_err("single-char string", other),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => type_err("null", other),
+        }
+    }
+}
+
+// --- references / smart pointers ------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+
+// --- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Vec::<T>::from_value(v).map(Into::into)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(de::Error::custom(format!(
+                                "expected {expected}-tuple, got array of {}", items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => type_err("tuple (array)", other),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// Render a serialized key for use in a JSON object (serde_json stringifies
+/// numeric map keys).
+fn object_key(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.to_json_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!(
+            "map key must serialize to a string or number, got {}",
+            other.kind()
+        ),
+    }
+}
+
+/// Parse an object key back: try the string form first, then numeric forms.
+fn key_from_str<K: Deserialize>(k: &str) -> Result<K, de::Error> {
+    if let Ok(key) = K::from_value(&Value::String(k.to_string())) {
+        return Ok(key);
+    }
+    if let Ok(n) = k.parse::<u64>() {
+        return K::from_value(&Value::Number(Number::PosInt(n)));
+    }
+    if let Ok(n) = k.parse::<i64>() {
+        return K::from_value(&Value::Number(Number::NegInt(n)));
+    }
+    if let Ok(n) = k.parse::<f64>() {
+        return K::from_value(&Value::Number(Number::Float(n)));
+    }
+    Err(de::Error::custom(format!("cannot parse map key {k:?}")))
+}
+
+macro_rules! impl_serde_map {
+    ($($map:ident: $($bound:path),+);*$(;)?) => {$(
+        impl<K: Serialize $(+ $bound)+, V: Serialize> Serialize for std::collections::$map<K, V> {
+            fn to_value(&self) -> Value {
+                let mut out = Map::new();
+                for (k, v) in self {
+                    out.insert(object_key(&k.to_value()), v.to_value());
+                }
+                out.sort_keys();
+                Value::Object(out)
+            }
+        }
+        impl<K: Deserialize $(+ $bound)+, V: Deserialize> Deserialize
+            for std::collections::$map<K, V>
+        {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Object(obj) => obj
+                        .iter()
+                        .map(|(k, v)| Ok((key_from_str::<K>(k)?, V::from_value(v)?)))
+                        .collect(),
+                    other => type_err("object", other),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_map! {
+    BTreeMap: Ord;
+    HashMap: std::hash::Hash, Eq;
+}
+
+macro_rules! impl_serde_set {
+    ($($set:ident: $($bound:path),+);*$(;)?) => {$(
+        impl<T: Serialize $(+ $bound)+> Serialize for std::collections::$set<T> {
+            fn to_value(&self) -> Value {
+                Value::Array(self.iter().map(Serialize::to_value).collect())
+            }
+        }
+        impl<T: Deserialize $(+ $bound)+> Deserialize for std::collections::$set<T> {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Array(items) => items.iter().map(T::from_value).collect(),
+                    other => type_err("array", other),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_set! {
+    BTreeSet: Ord;
+    HashSet: std::hash::Hash, Eq;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+// --- support for derive-generated code -------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers the derive macros expand to. Not a public API.
+    use super::{de, Deserialize, Value};
+
+    /// Read one named field out of an object, honouring `#[serde(default)]`
+    /// semantics and `Option`'s missing-is-`None` rule.
+    pub fn from_field<T: Deserialize>(
+        obj: &super::Map,
+        ty: &str,
+        name: &str,
+        use_default: Option<fn() -> T>,
+    ) -> Result<T, de::Error> {
+        match obj.get(name) {
+            Some(v) => T::from_value(v).map_err(|e| de::Error::custom(format!("{ty}.{name}: {e}"))),
+            None => {
+                if let Some(default) = use_default {
+                    return Ok(default());
+                }
+                T::from_missing()
+                    .ok_or_else(|| de::Error::custom(format!("{ty}: missing field {name:?}")))
+            }
+        }
+    }
+
+    /// Expect a JSON object (for struct / struct-variant bodies).
+    pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v super::Map, de::Error> {
+        match v {
+            Value::Object(obj) => Ok(obj),
+            other => Err(de::Error::custom(format!(
+                "{ty}: expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Expect an array of exactly `n` elements (for tuple struct bodies).
+    pub fn as_tuple<'v>(v: &'v Value, ty: &str, n: usize) -> Result<&'v [Value], de::Error> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(de::Error::custom(format!(
+                "{ty}: expected {n} elements, got {}",
+                items.len()
+            ))),
+            other => Err(de::Error::custom(format!(
+                "{ty}: expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, HashMap};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i32::from_value(&(-3i32).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "hi".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn option_missing_field_is_none() {
+        assert_eq!(<Option<u32> as Deserialize>::from_missing(), Some(None));
+        assert_eq!(<u32 as Deserialize>::from_missing(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&5u32.to_value()).unwrap(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn arrays_and_tuples_round_trip() {
+        let a = [1u64, 2, 3, 4, 5, 6];
+        assert_eq!(<[u64; 6]>::from_value(&a.to_value()).unwrap(), a);
+        let t = (1u32, 2.5f64, "x".to_string());
+        assert_eq!(<(u32, f64, String)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn integer_keyed_maps_stringify_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(4u32, "a".to_string());
+        m.insert(11u32, "b".to_string());
+        let v = m.to_value();
+        let obj = v.as_object().unwrap();
+        assert!(obj.get("4").is_some() && obj.get("11").is_some());
+        let back: BTreeMap<u32, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+
+        let mut h = HashMap::new();
+        h.insert("k".to_string(), 9u64);
+        let back: HashMap<String, u64> = Deserialize::from_value(&h.to_value()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+        assert!(u32::from_value(&(-1i32).to_value()).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! The in-memory JSON value model shared by the vendored `serde` and
+//! `serde_json` stand-ins.
+
+/// A JSON number: unsigned / signed integer or a double.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// A non-negative integer literal.
+    PosInt(u64),
+    /// A negative integer literal.
+    NegInt(i64),
+    /// A floating-point literal.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossless for the magnitudes dgrid produces).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Number::NegInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// JSON text for this number. Non-finite floats render as `null`
+    /// (serde_json behaviour).
+    pub fn to_json_string(&self) -> String {
+        match *self {
+            Number::PosInt(n) => n.to_string(),
+            Number::NegInt(n) => n.to_string(),
+            Number::Float(f) if f.is_finite() => {
+                // Rust's shortest-round-trip Display; integral values keep a
+                // trailing ".0" so the token re-parses as a float.
+                let s = f.to_string();
+                if s.contains('.') || s.contains('e') || s.contains("inf") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            Number::Float(_) => "null".to_string(),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Float(_), _) | (_, Number::Float(_)) => false,
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::PosInt(a), Number::NegInt(b)) | (Number::NegInt(b), Number::PosInt(a)) => {
+                *b >= 0 && *a == *b as u64
+            }
+        }
+    }
+}
+
+/// An order-preserving string-keyed map (JSON object).
+///
+/// Struct serialization inserts fields in declaration order, matching what
+/// real serde_json streams out; lookups are linear, which is fine at the
+/// object sizes dgrid produces.
+#[derive(Clone, Debug, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the object empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a key, replacing (in place) any existing entry.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        if let Some(slot) = self.get_mut(&key) {
+            return Some(std::mem::replace(slot, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Does the object have this key?
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Sort entries lexicographically by key (used for map-typed fields so
+    /// `HashMap` iteration order never leaks into the output bytes).
+    pub fn sort_keys(&mut self) {
+        self.entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+    }
+}
+
+impl PartialEq for Map {
+    /// Order-insensitive equality, like a real map.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A JSON document fragment.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The array, mutably.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object, if this is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The object, mutably.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object-field lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("b", Value::Bool(true));
+        m.insert("a", Value::Null);
+        m.insert("b", Value::Bool(false));
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(m.remove("b"), Some(Value::Bool(false)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn map_equality_ignores_order() {
+        let mut a = Map::new();
+        a.insert("x", Value::Null);
+        a.insert("y", Value::Bool(true));
+        let mut b = Map::new();
+        b.insert("y", Value::Bool(true));
+        b.insert("x", Value::Null);
+        assert_eq!(a, b);
+        b.insert("z", Value::Null);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn number_text_keeps_float_syntax() {
+        assert_eq!(Number::PosInt(3).to_json_string(), "3");
+        assert_eq!(Number::Float(3.0).to_json_string(), "3.0");
+        assert_eq!(Number::Float(0.25).to_json_string(), "0.25");
+        assert_eq!(Number::NegInt(-7).to_json_string(), "-7");
+        assert_eq!(Number::Float(f64::NAN).to_json_string(), "null");
+    }
+}

@@ -1,0 +1,536 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` available offline)
+//! and emits impls of the vendored value-model `serde::Serialize` /
+//! `serde::Deserialize` traits. Supports exactly the shapes this workspace
+//! uses: non-generic named/tuple/unit structs and enums with unit, tuple,
+//! and struct variants, plus the field attributes `#[serde(skip)]`,
+//! `#[serde(default)]`, and `#[serde(skip_serializing_if = "path")]`.
+//! Anything else panics with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// --- model -----------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+// --- parsing ---------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consume a run of `#[...]` attributes, extracting serde field attrs.
+    fn parse_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        while self.peek_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde derive: malformed attribute, got {other:?}"),
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.peek_ident("serde") {
+                inner.next();
+                let args = match inner.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    other => panic!("serde derive: malformed #[serde(...)], got {other:?}"),
+                };
+                parse_serde_args(args.stream(), &mut attrs);
+            }
+        }
+        attrs
+    }
+
+    /// Consume `pub`, `pub(crate)`, `pub(super)`, etc. if present.
+    fn skip_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level comma (angle-bracket aware), consuming
+    /// the comma. Groups are atomic token trees so only `<`/`>` need depth.
+    fn skip_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let mut cur = Cursor::new(stream);
+    while cur.peek().is_some() {
+        let key = cur.expect_ident("a serde attribute name");
+        match key.as_str() {
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = true,
+            "skip_serializing_if" => {
+                assert!(
+                    cur.peek_punct('='),
+                    "serde derive: skip_serializing_if needs = \"path\""
+                );
+                cur.next();
+                match cur.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let text = lit.to_string();
+                        let path = text
+                            .strip_prefix('"')
+                            .and_then(|t| t.strip_suffix('"'))
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "serde derive: skip_serializing_if wants a string, got {text}"
+                                )
+                            })
+                            .to_string();
+                        attrs.skip_serializing_if = Some(path);
+                    }
+                    other => panic!("serde derive: bad skip_serializing_if value {other:?}"),
+                }
+            }
+            other => panic!(
+                "serde derive (vendored): unsupported attribute #[serde({other})] — \
+                 only skip / default / skip_serializing_if are implemented"
+            ),
+        }
+        if cur.peek_punct(',') {
+            cur.next();
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = cur.parse_attrs();
+        cur.skip_visibility();
+        let name = cur.expect_ident("a field name");
+        assert!(
+            cur.peek_punct(':'),
+            "serde derive: expected `:` after field {name}"
+        );
+        cur.next();
+        cur.skip_until_comma();
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while cur.peek().is_some() {
+        // Each segment may carry attrs and visibility; skip, then consume
+        // the type up to the next top-level comma.
+        cur.parse_attrs();
+        cur.skip_visibility();
+        if cur.peek().is_none() {
+            break; // trailing comma
+        }
+        cur.skip_until_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.parse_attrs();
+        let name = cur.expect_ident("a variant name");
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional explicit discriminant: `= expr`.
+        if cur.peek_punct('=') {
+            cur.next();
+            cur.skip_until_comma();
+        } else if cur.peek_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    cur.parse_attrs(); // container attrs (docs etc.); serde container attrs unsupported and will panic
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("the type name");
+    assert!(
+        !cur.peek_punct('<'),
+        "serde derive (vendored): generic type {name} is not supported"
+    );
+    match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                kind: Kind::NamedStruct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                kind: Kind::TupleStruct(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input {
+                name,
+                kind: Kind::UnitStruct,
+            },
+            other => panic!("serde derive: malformed struct {name} body: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("serde derive: malformed enum {name} body: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+// --- code generation -------------------------------------------------------
+
+/// Turn a serde path string like `"Option::is_none"` into Rust source.
+fn predicate_source(path: &str) -> String {
+    path.to_string()
+}
+
+fn gen_named_serialize(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut body = String::from("let mut __obj = ::serde::Map::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let access = accessor(&f.name);
+        let insert = format!(
+            "__obj.insert(\"{name}\", ::serde::Serialize::to_value(&{access}));\n",
+            name = f.name
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            body.push_str(&format!(
+                "if !{pred}(&{access}) {{ {insert} }}\n",
+                pred = predicate_source(pred)
+            ));
+        } else {
+            body.push_str(&insert);
+        }
+    }
+    body.push_str("::serde::Value::Object(__obj)");
+    body
+}
+
+fn gen_named_deserialize(ty_label: &str, fields: &[Field], obj: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            inits.push_str(&format!(
+                "{name}: ::core::default::Default::default(),\n",
+                name = f.name
+            ));
+            continue;
+        }
+        let default_arg = if f.attrs.default {
+            "::core::option::Option::Some(::core::default::Default::default)"
+        } else {
+            "::core::option::Option::None"
+        };
+        inits.push_str(&format!(
+            "{name}: ::serde::__private::from_field({obj}, \"{ty_label}\", \"{name}\", {default_arg})?,\n",
+            name = f.name
+        ));
+    }
+    inits
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => gen_named_serialize(fields, |f| format!("self.{f}")),
+        Kind::TupleStruct(0) | Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vname}\", {inner});\n\
+                             ::serde::Value::Object(__outer)\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = gen_named_serialize(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let __variant_value = {{ {inner} }};\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(\"{vname}\", __variant_value);\n\
+                             ::serde::Value::Object(__outer)\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits = gen_named_deserialize(name, fields, "__obj");
+            format!(
+                "let __obj = ::serde::__private::as_object(__v, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => {
+            let ctor = if matches!(input.kind, Kind::UnitStruct) {
+                name.to_string()
+            } else {
+                format!("{name}()")
+            };
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Null => ::core::result::Result::Ok({ctor}),\n\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"{name}: expected null, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::__private::as_tuple(__v, \"{name}\", {n})?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = ::serde::__private::as_tuple(__inner, \"{name}::{vname}\", {n})?;\n\
+                             ::core::result::Result::Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits =
+                            gen_named_deserialize(&format!("{name}::{vname}"), fields, "__vobj");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __vobj = ::serde::__private::as_object(__inner, \"{name}::{vname}\")?;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{inits}\n}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown {name} variant {{:?}}\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__obj) if __obj.len() == 1 => {{\n\
+                 let (__tag, __inner) = __obj.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"unknown {name} variant {{:?}}\", __other))),\n\
+                 }}\n\
+                 }}\n\
+                 __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+                 format!(\"{name}: expected variant string or single-key object, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+         {body}\n}}\n\
+         }}\n"
+    )
+}
+
+// --- entry points ----------------------------------------------------------
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
