@@ -1,7 +1,8 @@
 //! `repro` — regenerate every figure and quantitative claim of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--nodes N] [--jobs M] [--reps R] [--seed S] [--json PATH]
+//! repro [EXPERIMENT] [--nodes N] [--jobs M] [--reps R] [--seed S]
+//!       [--threads T] [--json PATH]
 //!
 //! EXPERIMENT: fig2 | fig2a | fig2b | fig2c | fig2d | hops | push | robust
 //!           | tree | virt | ksweep | dht | dist | fair | overhead | tail | all
@@ -26,6 +27,7 @@ struct Opts {
     jobs: usize,
     reps: usize,
     seed: u64,
+    threads: Option<usize>,
     json: Option<String>,
 }
 
@@ -36,6 +38,7 @@ fn parse_args() -> Opts {
         jobs: 5000,
         reps: 3,
         seed: 42,
+        threads: None,
         json: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +59,10 @@ fn parse_args() -> Opts {
             }
             "--seed" => {
                 opts.seed = args[i + 1].parse().expect("--seed S");
+                i += 2;
+            }
+            "--threads" => {
+                opts.threads = Some(args[i + 1].parse().expect("--threads T"));
                 i += 2;
             }
             "--json" => {
@@ -83,45 +90,55 @@ fn json_row(experiment: &str, cell: &CellResult) -> Value {
 
 fn main() {
     let opts = parse_args();
+    match opts.threads {
+        // Replicated cells (`run_cell`) fan out over the work-stealing
+        // pool; results are order-stable, so the tables are identical at
+        // any thread count.
+        Some(t) => rayon::Pool::install(t, || run(&opts)),
+        None => run(&opts),
+    }
+}
+
+fn run(opts: &Opts) {
     let mut json_rows: Vec<Value> = Vec::new();
 
     let want = |name: &str| opts.experiment == "all" || opts.experiment.starts_with(name);
 
     if want("fig2") || opts.experiment == "all" {
-        fig2(&opts, &mut json_rows);
+        fig2(opts, &mut json_rows);
     }
     if want("hops") {
-        hops(&opts);
+        hops(opts);
     }
     if want("push") {
-        push(&opts, &mut json_rows);
+        push(opts, &mut json_rows);
     }
     if want("robust") {
-        robust(&opts);
+        robust(opts);
     }
     if want("tree") {
-        tree(&opts);
+        tree(opts);
     }
     if want("virt") {
-        virt(&opts, &mut json_rows);
+        virt(opts, &mut json_rows);
     }
     if want("ksweep") {
-        ksweep(&opts);
+        ksweep(opts);
     }
     if want("dht") {
-        dht(&opts);
+        dht(opts);
     }
     if want("dist") {
-        dist(&opts);
+        dist(opts);
     }
     if want("fair") {
-        fair(&opts);
+        fair(opts);
     }
     if want("overhead") {
-        overhead(&opts);
+        overhead(opts);
     }
     if want("tail") {
-        tail(&opts);
+        tail(opts);
     }
 
     if let Some(path) = &opts.json {

@@ -147,3 +147,79 @@ pub fn check_scenario(scenario: &Scenario, inject: Inject) -> ScenarioVerdict {
 
     ScenarioVerdict { runs, differential }
 }
+
+/// Outcome of a (possibly parallel) multi-seed sweep.
+///
+/// `Violation` carries the full scenario + verdict inline; a sweep produces
+/// at most one of these, so the size skew vs `AllClean` is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum SweepOutcome {
+    /// Every checked seed was clean.
+    AllClean {
+        /// How many seeds were checked.
+        checked: u64,
+    },
+    /// A violating seed was found; later seeds may be unchecked.
+    Violation {
+        /// The violating seed — always the **lowest** violating seed that a
+        /// sequential sweep stopping at the first violation would report.
+        seed: u64,
+        /// The generated scenario for that seed.
+        scenario: Scenario,
+        /// Its verdict (never clean).
+        verdict: ScenarioVerdict,
+        /// Seeds confirmed clean before the violation (`violating - start`).
+        clean_before: u64,
+    },
+}
+
+/// Check seeds `start..start + count` across the work-stealing pool,
+/// stopping at the first violation — with the **same outcome a sequential
+/// sweep would produce**. Seeds are processed in batches (a few per worker);
+/// within a violating batch the lowest violating seed wins, so the reported
+/// seed (and therefore the repro artifact and the shrinker's input) is
+/// independent of thread count and steal schedule. `progress` is invoked
+/// after each fully clean batch with the number of seeds cleared so far.
+pub fn sweep(
+    start: u64,
+    count: u64,
+    inject: Inject,
+    mut progress: impl FnMut(u64),
+) -> SweepOutcome {
+    use rayon::prelude::*;
+
+    let threads = rayon::Pool::current_threads() as u64;
+    // Small batches keep the early-exit cheap on a violation while still
+    // giving every worker a few seeds per round.
+    let batch = (threads * 4).max(1);
+    let mut done = 0u64;
+    while done < count {
+        let this_batch = batch.min(count - done);
+        let base = start + done;
+        let mut violations: Vec<(u64, Scenario, ScenarioVerdict)> = (0..this_batch)
+            .map(|i| base + i)
+            .into_par_iter()
+            .map(|seed| {
+                let scenario = Scenario::generate(seed);
+                let verdict = check_scenario(&scenario, inject);
+                (seed, scenario, verdict)
+            })
+            .filter(|(_, _, verdict)| !verdict.is_clean())
+            .collect();
+        if let Some((seed, scenario, verdict)) = violations.drain(..).next() {
+            // `filter` preserves input (= ascending seed) order, so the
+            // first entry is the lowest violating seed in this batch —
+            // exactly where a sequential sweep would have stopped.
+            return SweepOutcome::Violation {
+                clean_before: seed - start,
+                seed,
+                scenario,
+                verdict,
+            };
+        }
+        done += this_batch;
+        progress(done);
+    }
+    SweepOutcome::AllClean { checked: count }
+}

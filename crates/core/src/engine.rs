@@ -24,7 +24,7 @@
 //! *spurious* failure detections that exercise the same recovery protocol —
 //! including duplicate executions that the epoch mechanism must suppress.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use dgrid_resources::{JobId, JobProfile, NodeProfile};
 use dgrid_sim::fault::{Delivery, Endpoint, FaultPlan, Network};
@@ -179,7 +179,10 @@ pub struct Engine {
     rng_net: SimRng,
     net: Network,
     report: SimReport,
-    owner_jobs: HashMap<GridNodeId, HashSet<JobId>>,
+    // BTreeSet, not HashSet: a departure iterates the owned set, and with
+    // replications now running on pool workers a per-thread-seeded hash
+    // order would leak the thread schedule into the event stream.
+    owner_jobs: HashMap<GridNodeId, BTreeSet<JobId>>,
     dag: JobDag,
     dag_children: HashMap<JobId, Vec<JobId>>,
     unmet_deps: HashMap<JobId, usize>,
@@ -474,13 +477,16 @@ impl Engine {
             self.dispatch(now, ev);
             makespan = now;
         }
-        // Jobs still open at the horizon fail.
-        let open: Vec<JobId> = self
+        // Jobs still open at the horizon fail, in id order: `jobs` is a
+        // HashMap whose iteration order varies per thread, and the failure
+        // order is visible in the trace stream.
+        let mut open: Vec<JobId> = self
             .jobs
             .iter()
             .filter(|(_, r)| !r.state.is_terminal())
             .map(|(&id, _)| id)
             .collect();
+        open.sort_unstable();
         for id in open {
             self.fail_job(id, FailureReason::HorizonExceeded, makespan);
         }
@@ -1111,9 +1117,12 @@ impl Engine {
     /// each child with no remaining unmet parents is submitted (at its
     /// nominal arrival time if that is still in the future).
     fn release_dependents(&mut self, now: SimTime, parent: JobId) {
-        let children = match self.dag_children.get(&parent) {
-            Some(c) => c.clone(),
-            None => return,
+        // Take ownership instead of cloning: a parent releases its children
+        // at most once (later completions of the same job are superseded
+        // epochs that never reach here, and a re-run's release finds the
+        // unmet_deps entries already gone).
+        let Some(children) = self.dag_children.remove(&parent) else {
+            return;
         };
         for child in children {
             let Some(unmet) = self.unmet_deps.get_mut(&child) else {
@@ -1225,11 +1234,8 @@ impl Engine {
                 .chain(n.queue.iter().map(|q| q.job))
                 .collect()
         };
-        let owned: Vec<JobId> = self
-            .owner_jobs
-            .remove(&node)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
+        // Iterated directly below (ascending JobId) — no intermediate Vec.
+        let owned: BTreeSet<JobId> = self.owner_jobs.remove(&node).unwrap_or_default();
 
         self.nodes.mark_failed(node);
         self.mm.on_leave(&self.nodes, node, graceful);
@@ -1512,6 +1518,11 @@ impl Engine {
         self.outstanding -= 1;
         self.observer.on_event(now, TraceEvent::Failed { job });
         self.detach_owner(job);
+        if self.dag.is_empty() {
+            // The paper's base model: no dependencies, nothing to cascade.
+            // Skips rebuilding the children index on every failure.
+            return;
+        }
         // Descendants can never obtain this job's output: cascade.
         for d in self.dag.descendants_of(job) {
             let rec = self.jobs.get_mut(&d).expect("known job");

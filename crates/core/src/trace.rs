@@ -162,15 +162,24 @@ pub struct EventRecord {
 /// Streams every event as one JSON line (`{"t_ns":...,"event":...}`) with
 /// its virtual timestamp. The same seed produces a byte-identical stream,
 /// which the CI determinism job asserts with a plain `diff`.
+///
+/// Lines are rendered by [`write_event_line`] into a scratch buffer that is
+/// reused across events, so the per-event cost is one formatted line plus
+/// one `write_all` — no `Value` tree or fresh `String` per event (the
+/// vendored `serde_json::to_writer` builds both).
 pub struct JsonlObserver<W: Write> {
     sink: W,
+    scratch: String,
 }
 
 impl<W: Write> JsonlObserver<W> {
     /// Stream events into `sink`. Wrap files in a `BufWriter` — the
     /// observer writes one line per event.
     pub fn new(sink: W) -> Self {
-        JsonlObserver { sink }
+        JsonlObserver {
+            sink,
+            scratch: String::with_capacity(96),
+        }
     }
 
     /// Flush and return the sink.
@@ -182,13 +191,71 @@ impl<W: Write> JsonlObserver<W> {
 
 impl<W: Write> Observer for JsonlObserver<W> {
     fn on_event(&mut self, at: SimTime, event: TraceEvent) {
-        let record = EventRecord {
-            t_ns: at.as_nanos(),
-            event,
-        };
-        serde_json::to_writer(&mut self.sink, &record).expect("serialize trace event");
-        self.sink.write_all(b"\n").expect("write event stream");
+        self.scratch.clear();
+        write_event_line(&mut self.scratch, at.as_nanos(), &event);
+        self.sink
+            .write_all(self.scratch.as_bytes())
+            .expect("write event stream");
     }
+}
+
+/// Render one event as its JSONL line (including the trailing newline) into
+/// `buf`, byte-for-byte what `serde_json::to_string(&EventRecord)` produces
+/// (asserted by a test below) but without allocating per event. Every field
+/// is an integer, boolean, or bare variant name, so no string escaping is
+/// needed.
+pub fn write_event_line(buf: &mut String, t_ns: u64, event: &TraceEvent) {
+    use std::fmt::Write as _;
+    let _ = write!(buf, "{{\"t_ns\":{t_ns},\"event\":");
+    let _ = match *event {
+        TraceEvent::Submitted { job, resubmits } => write!(
+            buf,
+            "{{\"Submitted\":{{\"job\":{},\"resubmits\":{}}}}}",
+            job.0, resubmits
+        ),
+        TraceEvent::OwnerAssigned { job, owner } => {
+            let _ = write!(buf, "{{\"OwnerAssigned\":{{\"job\":{},\"owner\":", job.0);
+            let _ = match owner {
+                OwnerRef::Server => write!(buf, "\"Server\""),
+                OwnerRef::Peer(p) => write!(buf, "{{\"Peer\":{}}}", p.0),
+            };
+            write!(buf, "}}}}")
+        }
+        TraceEvent::Matched {
+            job,
+            run_node,
+            hops,
+        } => write!(
+            buf,
+            "{{\"Matched\":{{\"job\":{},\"run_node\":{},\"hops\":{}}}}}",
+            job.0, run_node.0, hops
+        ),
+        TraceEvent::Started { job, run_node } => write!(
+            buf,
+            "{{\"Started\":{{\"job\":{},\"run_node\":{}}}}}",
+            job.0, run_node.0
+        ),
+        TraceEvent::Completed { job, results_at } => write!(
+            buf,
+            "{{\"Completed\":{{\"job\":{},\"results_at\":{}}}}}",
+            job.0,
+            results_at.as_nanos()
+        ),
+        TraceEvent::Failed { job } => write!(buf, "{{\"Failed\":{{\"job\":{}}}}}", job.0),
+        TraceEvent::NodeDown { node, graceful } => write!(
+            buf,
+            "{{\"NodeDown\":{{\"node\":{},\"graceful\":{}}}}}",
+            node.0, graceful
+        ),
+        TraceEvent::NodeUp { node } => write!(buf, "{{\"NodeUp\":{{\"node\":{}}}}}", node.0),
+        TraceEvent::RunRecovery { job } => {
+            write!(buf, "{{\"RunRecovery\":{{\"job\":{}}}}}", job.0)
+        }
+        TraceEvent::OwnerRecovery { job } => {
+            write!(buf, "{{\"OwnerRecovery\":{{\"job\":{}}}}}", job.0)
+        }
+    };
+    buf.push_str("}\n");
 }
 
 /// Parse one JSONL line written by [`JsonlObserver`]. Empty lines yield
@@ -239,5 +306,99 @@ mod tests {
         assert_eq!(o.for_job(JobId(1)).len(), 2);
         assert_eq!(o.for_job(JobId(2)).len(), 1);
         assert_eq!(o.events.len(), 4);
+    }
+
+    /// The manual line renderer must stay byte-for-byte compatible with the
+    /// serde derive output (`dgrid report` and the repro artifacts parse
+    /// lines back through serde). One case per variant, covering both
+    /// `OwnerRef` shapes and both booleans.
+    #[test]
+    fn manual_serializer_matches_serde_for_every_variant() {
+        let cases: Vec<(u64, TraceEvent)> = vec![
+            (
+                0,
+                TraceEvent::Submitted {
+                    job: JobId(1),
+                    resubmits: 0,
+                },
+            ),
+            (
+                17,
+                TraceEvent::Submitted {
+                    job: JobId(u64::MAX),
+                    resubmits: 3,
+                },
+            ),
+            (
+                1_000_000_000,
+                TraceEvent::OwnerAssigned {
+                    job: JobId(2),
+                    owner: OwnerRef::Server,
+                },
+            ),
+            (
+                2_500_000_000,
+                TraceEvent::OwnerAssigned {
+                    job: JobId(3),
+                    owner: OwnerRef::Peer(GridNodeId(42)),
+                },
+            ),
+            (
+                3,
+                TraceEvent::Matched {
+                    job: JobId(4),
+                    run_node: GridNodeId(7),
+                    hops: 5,
+                },
+            ),
+            (
+                4,
+                TraceEvent::Started {
+                    job: JobId(5),
+                    run_node: GridNodeId(0),
+                },
+            ),
+            (
+                5,
+                TraceEvent::Completed {
+                    job: JobId(6),
+                    results_at: SimTime::from_secs(9),
+                },
+            ),
+            (6, TraceEvent::Failed { job: JobId(7) }),
+            (
+                7,
+                TraceEvent::NodeDown {
+                    node: GridNodeId(8),
+                    graceful: true,
+                },
+            ),
+            (
+                8,
+                TraceEvent::NodeDown {
+                    node: GridNodeId(9),
+                    graceful: false,
+                },
+            ),
+            (
+                9,
+                TraceEvent::NodeUp {
+                    node: GridNodeId(10),
+                },
+            ),
+            (10, TraceEvent::RunRecovery { job: JobId(11) }),
+            (11, TraceEvent::OwnerRecovery { job: JobId(12) }),
+        ];
+        let mut buf = String::new();
+        for (t_ns, event) in cases {
+            buf.clear();
+            write_event_line(&mut buf, t_ns, &event);
+            let via_serde =
+                serde_json::to_string(&EventRecord { t_ns, event }).expect("serde serializes");
+            assert_eq!(buf, format!("{via_serde}\n"), "mismatch for {event:?}");
+            // And it must round-trip through the line parser.
+            let parsed = parse_event_line(&buf).expect("parses").expect("non-empty");
+            assert_eq!(parsed, EventRecord { t_ns, event });
+        }
     }
 }

@@ -6,11 +6,15 @@
 //! dgrid report  --events events.jsonl [--timeseries series.json]
 //! dgrid check   [--seeds N] [--seed BASE] [--out PATH]
 //! dgrid check   --replay repro.json
+//! dgrid bench sweep [--replications N] [--json PATH]
 //!
 //! options:
 //!   --nodes N             grid size                      (default 200)
 //!   --jobs M              job count                      (default 1000)
 //!   --seed S              root seed                      (default 42)
+//!   --threads N           worker threads for replicated/sweep work
+//!                         (default: DGRID_THREADS env, else all cores)
+//!   --replications R      average R independent seeds    (default 1)
 //!   --mttf SECS           enable churn with this MTTF
 //!   --rejoin SECS         repair time after a departure
 //!   --graceful FRAC       fraction of graceful departures (default 0)
@@ -36,14 +40,25 @@
 //!   --replay PATH         re-run a previously written repro artifact
 //!   --inject-bug NAME     deliberately break the engine (self-test);
 //!                         names: epoch-dedup
+//!
+//! bench sweep options (defaults: 96 nodes, 400 jobs, 16 replications):
+//!   --replications R      replications per timed cell    (default 16)
+//!   --threads N           highest thread count to measure
+//!   --json PATH           write the sweep results as JSON
 //! ```
 //!
-//! `run` executes one cell and prints the report; `compare` runs every
-//! algorithm on the same workload and prints a comparison table; `report`
-//! renders a per-phase wait-time decomposition from a recorded event stream;
-//! `check` fuzzes randomized fault scenarios under every matchmaker against
-//! the invariant oracles in `dgrid-check`, shrinking any violation to a
-//! minimal replayable artifact.
+//! `run` executes one cell and prints the report (`--replications R` fans R
+//! seeds out over the work-stealing pool and averages them); `compare` runs
+//! every algorithm on the same workload and prints a comparison table;
+//! `report` renders a per-phase wait-time decomposition from a recorded
+//! event stream; `check` fuzzes randomized fault scenarios under every
+//! matchmaker against the invariant oracles in `dgrid-check` (seeds checked
+//! in parallel), shrinking any violation to a minimal replayable artifact;
+//! `bench sweep` times one replicated cell at increasing thread counts and
+//! reports the speedup over one thread, verifying byte-identical reports.
+//!
+//! All replicated work is deterministic: results are merged in input order,
+//! so the same seed yields the same bytes at any `--threads` setting.
 
 use std::io::{BufWriter, Write};
 
@@ -81,12 +96,15 @@ struct Opts {
     out: Option<String>,
     replay: Option<String>,
     inject_bug: Option<String>,
+    threads: Option<usize>,
+    replications: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dgrid <run|compare|report|check> [--algorithm A] [--scenario S] [--nodes N] \
-         [--jobs M] [--seed S] [--mttf SECS] [--rejoin SECS] [--graceful FRAC] \
+        "usage: dgrid <run|compare|report|check|bench sweep> [--algorithm A] [--scenario S] \
+         [--nodes N] [--jobs M] [--seed S] [--threads N] [--replications R] [--mttf SECS] \
+         [--rejoin SECS] [--graceful FRAC] \
          [--k K] [--loss P] [--partition START:END:IDS] [--events PATH] \
          [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH] \
          [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME]\n\
@@ -163,15 +181,29 @@ fn parse() -> Opts {
         out: None,
         replay: None,
         inject_bug: None,
+        threads: None,
+        replications: 1,
     };
     if opts.command != "run"
         && opts.command != "compare"
         && opts.command != "report"
         && opts.command != "check"
+        && opts.command != "bench"
     {
         usage();
     }
     let mut i = 1;
+    if opts.command == "bench" {
+        // Only `bench sweep` exists; flags follow the subcommand. Defaults
+        // drop to the quick bench scale so a sweep finishes in seconds.
+        if args.get(1).map(String::as_str) != Some("sweep") {
+            usage();
+        }
+        opts.nodes = 96;
+        opts.jobs = 400;
+        opts.replications = 16;
+        i = 2;
+    }
     while i < args.len() {
         let flag = args[i].as_str();
         let val = args.get(i + 1).unwrap_or_else(|| usage()).clone();
@@ -197,6 +229,20 @@ fn parse() -> Opts {
             "--out" => opts.out = Some(val),
             "--replay" => opts.replay = Some(val),
             "--inject-bug" => opts.inject_bug = Some(val),
+            "--threads" => {
+                let n: usize = val.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                opts.threads = Some(n);
+            }
+            "--replications" => {
+                let n: usize = val.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                opts.replications = n;
+            }
             _ => usage(),
         }
         i += 2;
@@ -221,9 +267,12 @@ fn fault_plan(opts: &Opts) -> Option<FaultPlan> {
     Some(plan)
 }
 
-fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload, tracing: bool) -> SimReport {
+/// Assemble one engine for `(opts, algorithm, workload)` with the options'
+/// churn, `--k`, and fault plan applied, but `seed` taken explicitly so
+/// replicated runs can vary it.
+fn build_engine(opts: &Opts, algorithm: Algorithm, workload: &Workload, seed: u64) -> Engine {
     let cfg = EngineConfig {
-        seed: opts.seed,
+        seed,
         max_sim_secs: 5_000_000.0,
         ..EngineConfig::default()
     };
@@ -250,6 +299,11 @@ fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload, tracing: bool
     if let Some(plan) = fault_plan(opts) {
         engine.set_fault_plan(plan);
     }
+    engine
+}
+
+fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload, tracing: bool) -> SimReport {
+    let mut engine = build_engine(opts, algorithm, workload, opts.seed);
     if tracing {
         if let Some(path) = &opts.events {
             let f = std::fs::File::create(path).expect("create events output");
@@ -260,6 +314,107 @@ fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload, tracing: bool
         }
     }
     engine.run()
+}
+
+/// A `Write` handle whose buffer survives the observer that consumes it, so
+/// a replication running on a pool worker can hand its event bytes back
+/// after the engine (and the `JsonlObserver` boxed inside it) is dropped.
+/// Never shared across threads — each replication builds its own.
+#[derive(Clone, Default)]
+struct SharedSink(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Run one replication with its own seed (workload regenerated from that
+/// seed, matching `harness::run_cell`), optionally capturing its JSONL
+/// event stream in memory.
+fn run_replication(
+    opts: &Opts,
+    algorithm: Algorithm,
+    seed: u64,
+    capture_events: bool,
+) -> (SimReport, Vec<u8>) {
+    let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
+    let mut engine = build_engine(opts, algorithm, &workload, seed);
+    let sink = SharedSink::default();
+    if capture_events {
+        engine.set_observer(Box::new(JsonlObserver::new(sink.clone())));
+    }
+    let report = engine.run();
+    let events = sink.0.take();
+    (report, events)
+}
+
+/// `run --replications R` (R > 1): fan R seeds (`seed ^ 1 ..= seed ^ R`,
+/// the `run_cell` scheme) out over the pool, print a per-replication table
+/// plus the averages, and write the concatenated event streams — in
+/// replication order, so the file is identical at any thread count.
+fn run_replicated(opts: &Opts) -> Vec<SimReport> {
+    use rayon::prelude::*;
+
+    let capture = opts.events.is_some();
+    let results: Vec<(SimReport, Vec<u8>)> = (0..opts.replications as u64)
+        .into_par_iter()
+        .map(|r| run_replication(opts, opts.algorithm, opts.seed ^ (r + 1), capture))
+        .collect();
+
+    println!(
+        "{:>4} {:>12} {:>10} {:>10} {:>10} {:>11}",
+        "rep", "seed", "mean wait", "std wait", "hops/job", "completion"
+    );
+    for (r, (report, _)) in results.iter().enumerate() {
+        println!(
+            "{:>4} {:>12} {:>9.1}s {:>9.1}s {:>10.1} {:>10.1}%",
+            r,
+            opts.seed ^ (r as u64 + 1),
+            report.mean_wait(),
+            report.std_wait(),
+            report.match_hops.mean() + report.owner_hops.mean(),
+            100.0 * report.completion_rate(),
+        );
+    }
+    let n = results.len() as f64;
+    println!(
+        "{:>4} {:>12} {:>9.1}s {:>9.1}s {:>10.1} {:>10.1}%",
+        "mean",
+        "-",
+        results.iter().map(|(r, _)| r.mean_wait()).sum::<f64>() / n,
+        results.iter().map(|(r, _)| r.std_wait()).sum::<f64>() / n,
+        results
+            .iter()
+            .map(|(r, _)| r.match_hops.mean() + r.owner_hops.mean())
+            .sum::<f64>()
+            / n,
+        100.0
+            * results
+                .iter()
+                .map(|(r, _)| r.completion_rate())
+                .sum::<f64>()
+            / n,
+    );
+
+    if let Some(path) = &opts.events {
+        let f = std::fs::File::create(path).expect("create events output");
+        let mut w = BufWriter::new(f);
+        for (_, events) in &results {
+            w.write_all(events).expect("write event stream");
+        }
+        w.flush().expect("flush event stream");
+        eprintln!(
+            "wrote {} concatenated event stream(s) to {path}",
+            results.len()
+        );
+    }
+    results.into_iter().map(|(r, _)| r).collect()
 }
 
 fn print_report(r: &SimReport) {
@@ -459,8 +614,7 @@ fn cmd_report(opts: &Opts) {
 /// minimal replayable artifact; or `--replay` a previously written artifact.
 fn cmd_check(opts: &Opts) {
     use dgrid::check::{
-        check_run, check_scenario, fault_event_count, shrink, Inject, ReproArtifact, Scenario,
-        Violation,
+        check_run, check_scenario, fault_event_count, shrink, Inject, ReproArtifact, Violation,
     };
     use std::path::Path;
 
@@ -502,78 +656,88 @@ fn cmd_check(opts: &Opts) {
 
     let base = opts.seed;
     println!(
-        "checking {} scenario(s) from seed {base}, 3 matchmakers each{}",
+        "checking {} scenario(s) from seed {base}, 3 matchmakers each, {} thread(s){}",
         opts.seeds,
+        rayon::Pool::current_threads(),
         if inject == Inject::default() {
             String::new()
         } else {
             format!(" [injected bug: {}]", opts.inject_bug.as_deref().unwrap())
         }
     );
-    for i in 0..opts.seeds {
-        let seed = base + i;
-        let scenario = Scenario::generate(seed);
-        let verdict = check_scenario(&scenario, inject);
-        if verdict.is_clean() {
-            if (i + 1) % 10 == 0 {
-                eprintln!("  ... {}/{} clean", i + 1, opts.seeds);
-            }
-            continue;
+    // The sweep fans seeds out over the work-stealing pool but reports the
+    // same (lowest) violating seed a sequential sweep would, so the repro
+    // artifact — and the shrink below, which stays sequential — are
+    // identical at any thread count.
+    let mut last_reported = 0;
+    let outcome = dgrid::check::sweep(base, opts.seeds, inject, |done| {
+        if done / 10 > last_reported / 10 && done < opts.seeds {
+            eprintln!("  ... {done}/{} clean", opts.seeds);
         }
+        last_reported = done;
+    });
+    match outcome {
+        dgrid::check::SweepOutcome::AllClean { .. } => {}
+        dgrid::check::SweepOutcome::Violation {
+            seed,
+            scenario,
+            verdict,
+            ..
+        } => {
+            println!(
+                "seed {seed}: {} violation(s)",
+                verdict.all_violations().len()
+            );
+            print_violations(&verdict.all_violations());
 
-        println!(
-            "seed {seed}: {} violation(s)",
-            verdict.all_violations().len()
-        );
-        print_violations(&verdict.all_violations());
+            // Shrink under the first violating matchmaker when one exists;
+            // differential-only violations re-check every matchmaker.
+            let failing_mm = verdict
+                .runs
+                .iter()
+                .find(|r| !r.violations.is_empty())
+                .map(|r| r.matchmaker);
+            let result = shrink(
+                &scenario,
+                |cand| match failing_mm {
+                    Some(mm) => !check_run(cand, mm, inject).violations.is_empty(),
+                    None => !check_scenario(cand, inject).is_clean(),
+                },
+                150,
+            );
+            let shrunk_violations = match failing_mm {
+                Some(mm) => check_run(&result.scenario, mm, inject).violations,
+                None => check_scenario(&result.scenario, inject).all_violations(),
+            };
+            println!(
+                "shrunk {} -> {} nodes, {} -> {} jobs, {} -> {} fault event(s) in {} run(s)",
+                scenario.nodes,
+                result.scenario.nodes,
+                scenario.jobs,
+                result.scenario.jobs,
+                fault_event_count(&scenario),
+                fault_event_count(&result.scenario),
+                result.runs_used,
+            );
 
-        // Shrink under the first violating matchmaker when one exists;
-        // differential-only violations re-check every matchmaker.
-        let failing_mm = verdict
-            .runs
-            .iter()
-            .find(|r| !r.violations.is_empty())
-            .map(|r| r.matchmaker);
-        let result = shrink(
-            &scenario,
-            |cand| match failing_mm {
-                Some(mm) => !check_run(cand, mm, inject).violations.is_empty(),
-                None => !check_scenario(cand, inject).is_clean(),
-            },
-            150,
-        );
-        let shrunk_violations = match failing_mm {
-            Some(mm) => check_run(&result.scenario, mm, inject).violations,
-            None => check_scenario(&result.scenario, inject).all_violations(),
-        };
-        println!(
-            "shrunk {} -> {} nodes, {} -> {} jobs, {} -> {} fault event(s) in {} run(s)",
-            scenario.nodes,
-            result.scenario.nodes,
-            scenario.jobs,
-            result.scenario.jobs,
-            fault_event_count(&scenario),
-            fault_event_count(&result.scenario),
-            result.runs_used,
-        );
-
-        let out = opts
-            .out
-            .clone()
-            .unwrap_or_else(|| "dgrid-check-repro.json".to_string());
-        let artifact = ReproArtifact {
-            scenario: result.scenario,
-            matchmaker: failing_mm,
-            inject,
-            violations: shrunk_violations,
-            original: Some(scenario),
-        };
-        artifact.write(Path::new(&out)).unwrap_or_else(|e| {
-            eprintln!("cannot write repro artifact {out}: {e}");
-            std::process::exit(2);
-        });
-        println!("wrote repro artifact to {out} (replay with: dgrid check --replay {out})");
-        std::process::exit(1);
+            let out = opts
+                .out
+                .clone()
+                .unwrap_or_else(|| "dgrid-check-repro.json".to_string());
+            let artifact = ReproArtifact {
+                scenario: result.scenario,
+                matchmaker: failing_mm,
+                inject,
+                violations: shrunk_violations,
+                original: Some(scenario),
+            };
+            artifact.write(Path::new(&out)).unwrap_or_else(|e| {
+                eprintln!("cannot write repro artifact {out}: {e}");
+                std::process::exit(2);
+            });
+            println!("wrote repro artifact to {out} (replay with: dgrid check --replay {out})");
+            std::process::exit(1);
+        }
     }
     println!(
         "check: {} scenario(s) x 3 matchmakers clean, all oracles passed",
@@ -581,14 +745,188 @@ fn cmd_check(opts: &Opts) {
     );
 }
 
+/// One timed point of the bench sweep.
+#[derive(serde::Serialize)]
+struct SweepPoint {
+    threads: usize,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+/// The full `bench sweep` result, as written to `--json`.
+#[derive(serde::Serialize)]
+struct SweepRecord {
+    algorithm: String,
+    scenario: String,
+    nodes: usize,
+    jobs: usize,
+    replications: usize,
+    seed: u64,
+    available_parallelism: usize,
+    reports_identical: bool,
+    runs: Vec<SweepPoint>,
+}
+
+/// Counts events without retaining them — the cheapest observer that still
+/// measures throughput, so the timed runs pay (almost) nothing for it.
+#[derive(Clone, Default)]
+struct CountingObserver(std::rc::Rc<std::cell::Cell<u64>>);
+
+impl dgrid::core::Observer for CountingObserver {
+    fn on_event(&mut self, _at: SimTime, _event: dgrid::core::TraceEvent) {
+        self.0.set(self.0.get() + 1);
+    }
+}
+
+/// `dgrid bench sweep`: time one replicated cell at increasing thread
+/// counts, report events/sec and the speedup over one thread, and verify
+/// the serialized reports are byte-identical at every count.
+fn cmd_bench_sweep(opts: &Opts) {
+    use rayon::prelude::*;
+
+    let max_threads = opts
+        .threads
+        .unwrap_or_else(rayon::Pool::current_threads)
+        // Always measure at least two threads so the cross-thread-count
+        // identity check runs even on a single-core box.
+        .max(2);
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    if *thread_counts.last().unwrap() != max_threads {
+        thread_counts.push(max_threads);
+    }
+
+    println!(
+        "bench sweep: {} x {} — {} nodes, {} jobs, {} replications, seed {}",
+        opts.algorithm.label(),
+        opts.scenario.label(),
+        opts.nodes,
+        opts.jobs,
+        opts.replications,
+        opts.seed
+    );
+
+    // One timed pass per thread count: every replication regenerates its
+    // workload from its own seed and counts its events.
+    let timed_pass = |threads: usize| -> (f64, u64, String) {
+        rayon::Pool::install(threads, || {
+            let started = std::time::Instant::now();
+            let results: Vec<(SimReport, u64)> = (0..opts.replications as u64)
+                .into_par_iter()
+                .map(|r| {
+                    let seed = opts.seed ^ (r + 1);
+                    let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
+                    let mut engine = build_engine(opts, opts.algorithm, &workload, seed);
+                    let counter = CountingObserver::default();
+                    engine.set_observer(Box::new(counter.clone()));
+                    let report = engine.run();
+                    (report, counter.0.get())
+                })
+                .collect();
+            let wall = started.elapsed().as_secs_f64();
+            let events: u64 = results.iter().map(|(_, e)| e).sum();
+            let reports: Vec<SimReport> = results.into_iter().map(|(r, _)| r).collect();
+            let serialized = serde_json::to_string(&reports).expect("serialize reports");
+            (wall, events, serialized)
+        })
+    };
+
+    // Warm-up (untimed): touch every code path once so the first timed
+    // pass doesn't also pay first-fault costs.
+    let _ = timed_pass(1);
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>12}",
+        "threads", "wall", "events", "events/sec", "speedup"
+    );
+    let mut runs: Vec<SweepPoint> = Vec::new();
+    let mut baseline_secs = 0.0;
+    let mut baseline_reports = String::new();
+    let mut reports_identical = true;
+    for &threads in &thread_counts {
+        let (wall_secs, events, serialized) = timed_pass(threads);
+        if threads == 1 {
+            baseline_secs = wall_secs;
+            baseline_reports = serialized;
+        } else if serialized != baseline_reports {
+            reports_identical = false;
+            eprintln!("WARNING: reports at {threads} thread(s) differ from 1 thread");
+        }
+        let speedup = if wall_secs > 0.0 {
+            baseline_secs / wall_secs
+        } else {
+            1.0
+        };
+        println!(
+            "{:>8} {:>9.2}s {:>12} {:>14.0} {:>11.2}x",
+            threads,
+            wall_secs,
+            events,
+            events as f64 / wall_secs.max(1e-9),
+            speedup,
+        );
+        runs.push(SweepPoint {
+            threads,
+            wall_secs,
+            events,
+            events_per_sec: events as f64 / wall_secs.max(1e-9),
+            speedup_vs_1: speedup,
+        });
+    }
+    if reports_identical {
+        println!("reports byte-identical across all thread counts");
+    }
+
+    if let Some(path) = &opts.json {
+        let record = SweepRecord {
+            algorithm: opts.algorithm.label().to_string(),
+            scenario: opts.scenario.label().to_string(),
+            nodes: opts.nodes,
+            jobs: opts.jobs,
+            replications: opts.replications,
+            seed: opts.seed,
+            available_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            reports_identical,
+            runs,
+        };
+        let f = std::fs::File::create(path).expect("create json output");
+        serde_json::to_writer_pretty(f, &record).expect("write json");
+        eprintln!("wrote bench sweep to {path}");
+    }
+    if !reports_identical {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse();
+    match opts.threads {
+        // `bench sweep` manages thread counts itself — `--threads` is its
+        // sweep ceiling, not a global override.
+        Some(t) if opts.command != "bench" => rayon::Pool::install(t, || dispatch(&opts)),
+        _ => dispatch(&opts),
+    }
+}
+
+fn dispatch(opts: &Opts) {
     if opts.command == "report" {
-        cmd_report(&opts);
+        cmd_report(opts);
         return;
     }
     if opts.command == "check" {
-        cmd_check(&opts);
+        cmd_check(opts);
+        return;
+    }
+    if opts.command == "bench" {
+        cmd_bench_sweep(opts);
         return;
     }
     let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, opts.seed);
@@ -603,8 +941,11 @@ fn main() {
 
     let mut reports = Vec::new();
     match opts.command.as_str() {
+        "run" if opts.replications > 1 => {
+            reports = run_replicated(opts);
+        }
         "run" => {
-            let mut r = run_one(&opts, opts.algorithm, &workload, true);
+            let mut r = run_one(opts, opts.algorithm, &workload, true);
             print_report(&r);
             if let Some(path) = &opts.events {
                 eprintln!("wrote event stream to {path}");
@@ -633,13 +974,19 @@ fn main() {
                 "fairness",
                 "completion"
             );
-            for alg in [
+            // The four algorithms fan out over the pool; results come back
+            // in input order, so the table rows are stable.
+            use rayon::prelude::*;
+            let compared: Vec<SimReport> = [
                 Algorithm::Central,
                 Algorithm::RnTree,
                 Algorithm::Can,
                 Algorithm::CanPush,
-            ] {
-                let r = run_one(&opts, alg, &workload, false);
+            ]
+            .into_par_iter()
+            .map(|alg| run_one(opts, alg, &workload, false))
+            .collect();
+            for r in compared {
                 let w = r.wait_stats.unwrap_or_default();
                 println!(
                     "{:<12} {:>9.1}s {:>9.1}s {:>8.1}s {:>8.1}s {:>8.1}s {:>10.1} {:>10.3} {:>10.1}%",

@@ -1,0 +1,145 @@
+//! End-to-end determinism under parallelism: running replications on the
+//! work-stealing pool must not change a single byte of any output, at any
+//! thread count. These tests deliberately include churn + network faults so
+//! the replications exercise the order-sensitive engine paths (owned-job
+//! iteration on a departure, horizon failure order) that would leak a
+//! per-thread hash seed if the engine used hash-ordered iteration there.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+use dgrid::core::{ChurnConfig, Engine, EngineConfig, FaultPlan, JsonlObserver};
+use dgrid::harness::{run_cell, Algorithm};
+use dgrid::workloads::{paper_scenario, PaperScenario};
+use rayon::prelude::*;
+use rayon::Pool;
+
+/// A `Write` sink that survives the engine consuming its observer.
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One traced replication under churn and message loss, returning its JSONL
+/// event stream.
+fn faulty_replication(alg: Algorithm, seed: u64) -> Vec<u8> {
+    let workload = paper_scenario(PaperScenario::MixedLight, 40, 120, seed);
+    let cfg = EngineConfig {
+        seed,
+        max_sim_secs: 3_000_000.0,
+        ..EngineConfig::default()
+    };
+    let churn = ChurnConfig {
+        mttf_secs: Some(40_000.0),
+        rejoin_after_secs: Some(900.0),
+        graceful_fraction: 0.25,
+    };
+    let buf = SharedBuf::default();
+    Engine::new(
+        cfg,
+        churn,
+        alg.matchmaker(),
+        workload.nodes,
+        workload.submissions,
+    )
+    .with_fault_plan(FaultPlan::with_loss(0.03))
+    .with_observer(Box::new(JsonlObserver::new(buf.clone())))
+    .run();
+    let bytes = buf.0.take();
+    assert!(!bytes.is_empty(), "traced run must emit events");
+    bytes
+}
+
+/// Concatenated event streams of `reps` replications, fanned out over the
+/// pool at the given thread count.
+fn replicated_streams(alg: Algorithm, base_seed: u64, reps: u64, threads: usize) -> Vec<u8> {
+    Pool::install(threads, || {
+        (0..reps)
+            .into_par_iter()
+            .map(|r| faulty_replication(alg, base_seed ^ (r + 1)))
+            .collect::<Vec<Vec<u8>>>()
+            .concat()
+    })
+}
+
+#[test]
+fn event_streams_byte_identical_across_thread_counts() {
+    for alg in [Algorithm::RnTree, Algorithm::Can, Algorithm::Central] {
+        let baseline = replicated_streams(alg, 1301, 6, 1);
+        for threads in [2, 8] {
+            let stream = replicated_streams(alg, 1301, 6, threads);
+            assert_eq!(
+                stream,
+                baseline,
+                "{}: {threads}-thread stream diverged from sequential",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn cell_results_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        Pool::install(threads, || {
+            Algorithm::FIGURE2.map(|alg| {
+                let cell = run_cell(alg, PaperScenario::ClusteredHeavy, 40, 120, 907, 5);
+                serde_json::to_string(&cell).expect("cell serializes")
+            })
+        })
+    };
+    let baseline = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), baseline, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn check_sweep_reports_the_same_violation_at_any_thread_count() {
+    use dgrid::check::{sweep, Inject, SweepOutcome};
+
+    // The epoch-dedup backdoor makes some seed in this window violate; the
+    // parallel sweep must report exactly the seed a sequential sweep finds.
+    let inject = Inject {
+        disable_epoch_dedup: true,
+    };
+    let outcome_at = |threads: usize| {
+        Pool::install(threads, || match sweep(42, 4, inject, |_| {}) {
+            SweepOutcome::Violation { seed, verdict, .. } => {
+                (Some(seed), verdict.all_violations().len())
+            }
+            SweepOutcome::AllClean { .. } => (None, 0),
+        })
+    };
+    let baseline = outcome_at(1);
+    assert!(
+        baseline.0.is_some(),
+        "the injected bug must trip within the seed window"
+    );
+    for threads in [2, 8] {
+        assert_eq!(outcome_at(threads), baseline, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn clean_check_sweep_is_clean_in_parallel() {
+    use dgrid::check::{sweep, Inject, SweepOutcome};
+
+    let checked = Pool::install(4, || match sweep(42, 6, Inject::default(), |_| {}) {
+        SweepOutcome::AllClean { checked } => checked,
+        SweepOutcome::Violation { seed, verdict, .. } => panic!(
+            "seed {seed} violated on a clean engine: {:?}",
+            verdict.all_violations()
+        ),
+    });
+    assert_eq!(checked, 6);
+}

@@ -1,61 +1,587 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — now a **real work-stealing thread pool**.
 //!
-//! Every simulation replication in dgrid is already an independent,
-//! deterministic computation, so running them sequentially produces
-//! *identical* results to upstream rayon's work-stealing pool — only slower.
-//! This stand-in maps `into_par_iter()` straight onto `IntoIterator`,
-//! keeping the call sites and their determinism guarantees unchanged while
-//! the registry is unreachable.
+//! Until PR 4 this crate mapped `into_par_iter()` onto a sequential
+//! iterator; every multi-seed sweep in dgrid therefore ran on one core.
+//! This rewrite keeps the exact call-site surface (`into_par_iter()`,
+//! `map`/`filter`/`collect`, `join`) but executes it on a work-stealing
+//! pool built from `std` only:
+//!
+//! * the input is split into one contiguous index range per worker;
+//! * each worker owns a chunked deque of ranges (guarded by one shared
+//!   `Mutex` + `Condvar` pair): it carves fixed-size chunks off the front
+//!   of its own ranges and pushes the remainder back where idle workers
+//!   can **steal** it from the back;
+//! * workers run on `std::thread::scope`, so closures may borrow from the
+//!   caller's stack and a worker panic propagates to the caller;
+//! * every produced value is tagged with its input index and results are
+//!   assembled **in input order**, so the output is byte-identical
+//!   regardless of thread count or steal schedule.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. the innermost enclosing [`Pool::install`] on this thread;
+//! 2. the `DGRID_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested parallel calls (a `par_iter` or `join` issued from inside a pool
+//! worker) run sequentially on the issuing worker: dgrid's work items are
+//! whole simulation replications, so one level of fan-out already saturates
+//! the machine and nesting would only oversubscribe it.
 
-pub mod iter {
-    //! Sequential "parallel" iterator plumbing.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
-    /// Mirror of rayon's `IntoParallelIterator`: anything iterable gains
-    /// `into_par_iter()`, yielding an ordinary sequential iterator (which
-    /// therefore supports the usual `map`/`filter`/`collect` chains).
-    pub trait IntoParallelIterator {
-        /// The iterator produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// The element type.
-        type Item;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::thread;
 
-        /// Iterate "in parallel" (sequentially here; results identical for
-        /// dgrid's independent per-seed work items).
-        fn into_par_iter(self) -> Self::Iter;
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "DGRID_THREADS";
+
+thread_local! {
+    /// Thread count forced by the innermost `Pool::install` on this thread.
+    static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True while this thread is executing inside a pool worker (nested
+    /// parallel calls must not fan out again).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `DGRID_THREADS` as a positive worker count, if set and parseable.
+pub fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+/// The work-stealing pool's configuration handle.
+///
+/// The pool itself is ephemeral — each parallel operation spawns its scoped
+/// workers and tears them down — so `Pool` only carries the thread count and
+/// the scoped override machinery.
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool handle pinned to `threads` workers.
+    ///
+    /// # Panics
+    /// If `threads` is zero.
+    pub fn new(threads: usize) -> Pool {
+        assert!(threads >= 1, "a pool needs at least one thread");
+        Pool { threads }
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
+    /// Run `f` with this handle's thread count installed (see
+    /// [`Pool::install`]).
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        Pool::install(self.threads, f)
+    }
+
+    /// Run `f` with every parallel operation on this thread using exactly
+    /// `threads` workers, restoring the previous setting afterwards (also
+    /// on unwind). `Pool::install(1, f)` forces sequential execution.
+    ///
+    /// # Panics
+    /// If `threads` is zero.
+    pub fn install<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        assert!(threads >= 1, "a pool needs at least one thread");
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED.set(self.0);
+            }
+        }
+        let _restore = Restore(INSTALLED.replace(Some(threads)));
+        f()
+    }
+
+    /// The worker count the next parallel operation on this thread will
+    /// use: the innermost [`Pool::install`], else `DGRID_THREADS`, else
+    /// [`std::thread::available_parallelism`] (1 inside a pool worker —
+    /// nested parallelism runs sequentially).
+    pub fn current_threads() -> usize {
+        if IN_WORKER.get() {
+            return 1;
+        }
+        if let Some(n) = INSTALLED.get() {
+            return n.max(1);
+        }
+        env_threads().unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Upstream-rayon-compatible alias for [`Pool::current_threads`].
+pub fn current_num_threads() -> usize {
+    Pool::current_threads()
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing core
+// ---------------------------------------------------------------------------
+
+/// Mutable scheduling state, all under one lock: per-worker chunk deques
+/// plus the count of items not yet fully processed.
+struct Coord {
+    /// `deques[w]` holds worker `w`'s unclaimed index ranges. Owners carve
+    /// chunks off the front; thieves steal whole ranges from the back.
+    deques: Vec<VecDeque<Range<usize>>>,
+    /// Items not yet processed (in deques or in a worker's current chunk).
+    remaining: usize,
+    /// A worker's closure panicked; everyone drains out immediately.
+    panicked: bool,
+}
+
+/// Everything the scoped workers share.
+struct Shared<T> {
+    coord: Mutex<Coord>,
+    /// Signalled when stealable work appears and when the run finishes.
+    work_ready: Condvar,
+    /// One slot per input item; the worker that owns an index takes the
+    /// item out exactly once.
+    items: Vec<Mutex<Option<T>>>,
+    /// First panic payload captured from a worker closure.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Items carved per deque pop: bounds lock traffic on tiny items while
+    /// keeping heavy items (whole simulations) stealable one by one.
+    chunk: usize,
+}
+
+/// Claim the next chunk for worker `w`: the front of its own deque first,
+/// else steal from another worker's back (scanning cyclically for fairness).
+/// When the claimed range exceeds `chunk`, the carve-off remainder goes back
+/// on `w`'s deque; the returned flag says stealable work was published and
+/// a waiter should be woken.
+fn claim(coord: &mut Coord, w: usize, chunk: usize) -> Option<(Range<usize>, bool)> {
+    let n = coord.deques.len();
+    let range = coord.deques[w]
+        .pop_front()
+        .or_else(|| (1..n).find_map(|off| coord.deques[(w + off) % n].pop_back()))?;
+    if range.len() > chunk {
+        let mine = range.start..range.start + chunk;
+        coord.deques[w].push_front(mine.end..range.end);
+        Some((mine, true))
+    } else {
+        Some((range, false))
+    }
+}
+
+/// One worker: claim chunks (own deque, then steal), apply `f` to each
+/// claimed item, and record `(input index, result)` pairs. Blocks on the
+/// condvar when no work is claimable but other workers still hold
+/// unfinished chunks; exits when everything is processed or a peer panicked.
+fn worker_loop<T, R, F>(shared: &Shared<T>, f: &F, w: usize) -> Vec<(usize, R)>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out = Vec::new();
+    loop {
+        let range = {
+            let mut coord = shared.coord.lock().expect("pool lock");
+            loop {
+                if coord.panicked || coord.remaining == 0 {
+                    return out;
+                }
+                if let Some((range, published)) = claim(&mut coord, w, shared.chunk) {
+                    if published {
+                        shared.work_ready.notify_one();
+                    }
+                    break range;
+                }
+                // All deques are empty but chunks are still in flight on
+                // other workers, which may publish remainders or finish.
+                coord = shared.work_ready.wait(coord).expect("pool lock");
+            }
+        };
+        let claimed = range.len();
+        for i in range {
+            let item = shared.items[i]
+                .lock()
+                .expect("item lock")
+                .take()
+                .expect("each index is claimed exactly once");
+            match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => out.push((i, r)),
+                Err(payload) => {
+                    let mut slot = shared.panic_payload.lock().expect("panic slot");
+                    slot.get_or_insert(payload);
+                    drop(slot);
+                    let mut coord = shared.coord.lock().expect("pool lock");
+                    coord.panicked = true;
+                    shared.work_ready.notify_all();
+                    return out;
+                }
+            }
+        }
+        let mut coord = shared.coord.lock().expect("pool lock");
+        coord.remaining -= claimed;
+        if coord.remaining == 0 {
+            shared.work_ready.notify_all();
+        }
+    }
+}
+
+/// Apply `f` to every item on the work-stealing pool and return the results
+/// **in input order**. Runs sequentially when one worker (or one item)
+/// makes parallelism pointless. Panics from `f` resurface here.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = Pool::current_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(&f).collect();
+    }
+
+    let chunk = (n / (threads * 8)).max(1);
+    let mut deques: Vec<VecDeque<Range<usize>>> = (0..threads).map(|_| VecDeque::new()).collect();
+    for (w, deque) in deques.iter_mut().enumerate() {
+        let (start, end) = (w * n / threads, (w + 1) * n / threads);
+        if start < end {
+            deque.push_back(start..end);
+        }
+    }
+    let shared = Shared {
+        coord: Mutex::new(Coord {
+            deques,
+            remaining: n,
+            panicked: false,
+        }),
+        work_ready: Condvar::new(),
+        items: items.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        panic_payload: Mutex::new(None),
+        chunk,
+    };
+
+    let shared_ref = &shared;
+    let f_ref = &f;
+    let mut pairs: Vec<(usize, R)> = thread::scope(|s| {
+        let handles: Vec<_> = (1..threads)
+            .map(|w| {
+                s.spawn(move || {
+                    IN_WORKER.set(true);
+                    worker_loop(shared_ref, f_ref, w)
+                })
+            })
+            .collect();
+        // The calling thread doubles as worker 0.
+        let was_worker = IN_WORKER.replace(true);
+        let own = worker_loop(shared_ref, f_ref, 0);
+        IN_WORKER.set(was_worker);
+
+        let mut pairs = own;
+        for h in handles {
+            match h.join() {
+                Ok(part) => pairs.extend(part),
+                // Worker bodies catch user panics; a join error would mean
+                // the pool machinery itself panicked — surface it.
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+        pairs
+    });
+
+    if let Some(payload) = shared.panic_payload.into_inner().expect("panic slot") {
+        panic::resume_unwind(payload);
+    }
+    // Input order, independent of which worker computed what.
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), n, "every input index produced one result");
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run `a` and `b`, potentially in parallel (`b` on a scoped helper
+/// thread), and return both results. Falls back to sequential execution
+/// when only one worker is configured or when called from inside a pool
+/// worker. A panic from either closure propagates to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if Pool::current_threads() <= 1 {
+        return (a(), b());
+    }
+    thread::scope(|s| {
+        let hb = s.spawn(|| {
+            IN_WORKER.set(true);
+            b()
+        });
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    })
+}
+
+pub mod iter {
+    //! Parallel iterator plumbing over the work-stealing pool.
+    //!
+    //! Unlike upstream rayon these adaptors are **eager**: `map`/`filter`
+    //! run their parallel pass immediately and hand the next adaptor a
+    //! materialized, input-ordered vector. For dgrid's call sites (seed
+    //! sweeps mapped once and collected) that is behaviorally identical
+    //! and keeps this stand-in small.
+
+    use super::par_map_vec;
+
+    /// Anything iterable gains [`into_par_iter`](IntoParallelIterator::into_par_iter).
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+
+        /// Materialize the input and hand it to the pool.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
         type Item = I::Item;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// An indexed parallel sequence; all combinators preserve input order.
+    pub struct ParIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Number of items remaining in the sequence.
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// True when no items remain.
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+
+        /// Apply `f` to every item on the pool; results keep input order.
+        pub fn map<R, F>(self, f: F) -> ParIter<R>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParIter {
+                items: par_map_vec(self.items, f),
+            }
+        }
+
+        /// Keep the items satisfying `pred` (evaluated on the pool),
+        /// preserving input order.
+        pub fn filter<F>(self, pred: F) -> ParIter<T>
+        where
+            F: Fn(&T) -> bool + Sync,
+        {
+            ParIter {
+                items: par_map_vec(self.items, |t| if pred(&t) { Some(t) } else { None })
+                    .into_iter()
+                    .flatten()
+                    .collect(),
+            }
+        }
+
+        /// Run `f` over every item on the pool, discarding results.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            par_map_vec(self.items, f);
+        }
+
+        /// Gather the sequence into a collection, in input order.
+        pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+            C::from_par_iter(self.items)
+        }
+    }
+
+    /// Collections a [`ParIter`] can be gathered into.
+    pub trait FromParallelIterator<T: Send> {
+        /// Build the collection from the input-ordered items.
+        fn from_par_iter(items: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter(items: Vec<T>) -> Self {
+            items
         }
     }
 }
 
 pub mod prelude {
     //! What `use rayon::prelude::*` is expected to bring in.
-    pub use crate::iter::IntoParallelIterator;
-}
-
-/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_matches_serial() {
-        let par: Vec<u64> = (0..10u64).into_par_iter().map(|x| x * x).collect();
-        let ser: Vec<u64> = (0..10u64).map(|x| x * x).collect();
+        let par: Vec<u64> =
+            Pool::install(4, || (0..100u64).into_par_iter().map(|x| x * x).collect());
+        let ser: Vec<u64> = (0..100u64).map(|x| x * x).collect();
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = Pool::install(4, || {
+            Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect()
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_sequentially() {
+        let out: Vec<u32> =
+            Pool::install(8, || vec![7u32].into_par_iter().map(|x| x * 3).collect());
+        assert_eq!(out, vec![21]);
+    }
+
+    #[test]
+    fn output_order_is_input_order_under_imbalance() {
+        // Early indices do far more work than late ones, so without the
+        // index-tagged merge the fast items would finish (and appear) first.
+        let out: Vec<u64> = Pool::install(4, || {
+            (0..64u64)
+                .into_par_iter()
+                .map(|i| {
+                    let spins = if i < 8 { 200_000 } else { 10 };
+                    let mut acc = i;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    // Only `i` matters for the assertion; acc defeats
+                    // the optimizer.
+                    std::hint::black_box(acc);
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..64u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let out: Vec<u32> = Pool::install(4, || {
+            (0..50u32).into_par_iter().filter(|x| x % 3 == 0).collect()
+        });
+        assert_eq!(out, (0..50u32).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::install(4, || {
+                (0..32u32)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 17 {
+                            panic!("boom at 17");
+                        }
+                        x
+                    })
+                    .collect::<Vec<u32>>()
+            })
+        });
+        let payload = result.expect_err("the worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 17"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = Pool::install(2, || join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+
+        let panicked = std::panic::catch_unwind(|| {
+            Pool::install(2, || join(|| 1, || -> u32 { panic!("right side") }))
+        });
+        assert!(panicked.is_err());
+    }
+
+    #[test]
+    fn nested_join_inside_par_iter_is_sequential_and_correct() {
+        let out: Vec<u32> = Pool::install(4, || {
+            (0..16u32)
+                .into_par_iter()
+                .map(|x| {
+                    // Inside a worker the nested join must not fan out, but
+                    // it must still compute both sides.
+                    let (a, b) = join(|| x * 2, || x * 3);
+                    assert_eq!(Pool::current_threads(), 1);
+                    a + b
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..16u32).map(|x| x * 5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_is_scoped_and_restored_on_unwind() {
+        Pool::install(3, || {
+            assert_eq!(Pool::current_threads(), 3);
+            Pool::install(1, || assert_eq!(Pool::current_threads(), 1));
+            assert_eq!(Pool::current_threads(), 3);
+            let _ = std::panic::catch_unwind(|| {
+                Pool::install(7, || -> () { panic!("unwind through install") })
+            });
+            assert_eq!(Pool::current_threads(), 3, "override restored after unwind");
+        });
+    }
+
+    #[test]
+    fn pool_handle_runs_with_its_thread_count() {
+        let pool = Pool::new(2);
+        let n = pool.run(Pool::current_threads);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| -> Vec<u64> {
+            Pool::install(threads, || {
+                (0..200u64)
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+                    .collect()
+            })
+        };
+        let base = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), base, "threads={threads} diverged");
+        }
     }
 }
