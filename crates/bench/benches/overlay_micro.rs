@@ -67,7 +67,7 @@ fn overlay_micro(c: &mut Criterion) {
     });
 
     // RN-Tree candidate search on a 1024-node tree.
-    let caps: HashMap<ChordId, Capabilities> = ids
+    let caps: HashMap<u64, Capabilities> = ids
         .iter()
         .enumerate()
         .map(|(i, &id)| {
@@ -77,7 +77,7 @@ fn overlay_micro(c: &mut Criterion) {
                 10.0 + (i % 50) as f64 * 9.0,
                 OsType::Linux,
             );
-            (id, c)
+            (id.0, c)
         })
         .collect();
     let index = RnTreeIndex::build(&ring, &caps);
@@ -87,7 +87,7 @@ fn overlay_micro(c: &mut Criterion) {
     g.bench_function("rntree_search/N=1024/k=4", |b| {
         b.iter(|| {
             let owner = ids[rng.gen_range(0..ids.len())];
-            black_box(index.find_candidates(owner, &req, 4))
+            black_box(index.find_candidates(owner.0, &req, 4))
         })
     });
 

@@ -433,33 +433,31 @@ impl CanNetwork {
         target: &[f64],
         retries: u32,
     ) -> Option<(Route, u32)> {
-        if let Some(r) = self.route(from, target) {
-            return Some((r, 0));
-        }
         let mut cur = from;
-        let mut used = 0u32;
-        let mut extra_hops = 0u32;
-        while used < retries {
-            let next = self
-                .slot(cur)
-                .neighbors
-                .iter()
-                .copied()
-                .filter(|&n| self.is_alive(n))
-                .min_by(|&a, &b| {
-                    let da = self.min_zone_dist(a, target);
-                    let db = self.min_zone_dist(b, target);
-                    da.partial_cmp(&db).unwrap().then(a.cmp(&b))
-                })?;
-            used += 1;
-            extra_hops += 1; // handing the query to the detour peer
-            if let Some(mut r) = self.route(next, target) {
-                r.hops += extra_hops;
-                return Some((r, used));
-            }
-            cur = next;
-        }
-        None
+        dgrid_sim::failover::route_with_detours(
+            retries,
+            || self.route(from, target),
+            |_| {
+                // Greedy detour: the live neighbor of the current origin
+                // whose zone is closest to the target; the cursor advances
+                // so a failed detour continues from where it handed off.
+                let next = self
+                    .slot(cur)
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.is_alive(n))
+                    .min_by(|&a, &b| {
+                        let da = self.min_zone_dist(a, target);
+                        let db = self.min_zone_dist(b, target);
+                        da.partial_cmp(&db).unwrap().then(a.cmp(&b))
+                    })?;
+                cur = next;
+                Some(next)
+            },
+            |&n| self.route(n, target),
+            |r, extra| r.hops += extra,
+        )
     }
 
     fn min_zone_dist(&self, id: CanNodeId, p: &[f64]) -> f64 {

@@ -12,8 +12,10 @@
 //!    monotonicity, and span-sum conservation.
 //! 2. **Scenario fuzzer** ([`scenario`]): a seeded generator composing
 //!    random grid sizes, workload presets, churn, partitions, message loss,
-//!    and crash schedules. Every scenario runs under all three matchmakers
-//!    and the oracle-visible outcomes are compared differentially.
+//!    and crash schedules. Every scenario runs under every matchmaker
+//!    variant ([`MatchmakerChoice::ALL`] — centralized, RN-Tree over Chord,
+//!    Pastry, and Tapestry, and CAN) and the oracle-visible outcomes are
+//!    compared differentially.
 //! 3. **Shrinker** ([`shrink`]): on violation, greedily shrink the scenario
 //!    (fewer nodes, jobs, fault events; shorter horizon) while the
 //!    violation still reproduces, and emit a minimal replayable artifact.
@@ -108,13 +110,24 @@ pub fn check_run(scenario: &Scenario, mm: MatchmakerChoice, inject: Inject) -> R
 }
 
 /// Run `scenario` under every matchmaker and compare oracle-visible
-/// outcomes differentially: all three matchmakers must drive the *same* job
+/// outcomes differentially: every matchmaker must drive the *same* job
 /// population to *some* terminal state. (Which jobs complete versus fail
 /// may legitimately differ — matchmakers place jobs differently, so a crash
 /// kills different victims — but a job that terminates under one matchmaker
 /// and vanishes under another betrays a protocol bug, not a policy choice.)
 pub fn check_scenario(scenario: &Scenario, inject: Inject) -> ScenarioVerdict {
-    let runs: Vec<RunVerdict> = MatchmakerChoice::ALL
+    check_scenario_with(scenario, inject, &MatchmakerChoice::ALL)
+}
+
+/// [`check_scenario`] restricted to a subset of matchmakers (the CI
+/// overlay-matrix sweeps run one substrate at a time). The differential
+/// comparison spans exactly the matchmakers given.
+pub fn check_scenario_with(
+    scenario: &Scenario,
+    inject: Inject,
+    matchmakers: &[MatchmakerChoice],
+) -> ScenarioVerdict {
+    let runs: Vec<RunVerdict> = matchmakers
         .iter()
         .map(|&mm| check_run(scenario, mm, inject))
         .collect();
@@ -181,10 +194,18 @@ pub enum SweepOutcome {
 /// seed (and therefore the repro artifact and the shrinker's input) is
 /// independent of thread count and steal schedule. `progress` is invoked
 /// after each fully clean batch with the number of seeds cleared so far.
-pub fn sweep(
+pub fn sweep(start: u64, count: u64, inject: Inject, progress: impl FnMut(u64)) -> SweepOutcome {
+    sweep_with(start, count, inject, &MatchmakerChoice::ALL, progress)
+}
+
+/// [`sweep`] restricted to a subset of matchmakers — same batched-parallel
+/// lowest-seed semantics, but each scenario only runs (and is differentially
+/// compared) across `matchmakers`.
+pub fn sweep_with(
     start: u64,
     count: u64,
     inject: Inject,
+    matchmakers: &[MatchmakerChoice],
     mut progress: impl FnMut(u64),
 ) -> SweepOutcome {
     use rayon::prelude::*;
@@ -202,7 +223,7 @@ pub fn sweep(
             .into_par_iter()
             .map(|seed| {
                 let scenario = Scenario::generate(seed);
-                let verdict = check_scenario(&scenario, inject);
+                let verdict = check_scenario_with(&scenario, inject, matchmakers);
                 (seed, scenario, verdict)
             })
             .filter(|(_, _, verdict)| !verdict.is_clean())

@@ -3,7 +3,8 @@
 //! Each oracle watches the [`TraceEvent`] stream of one simulation and, when
 //! the run ends, reports every invariant violation it saw. Oracles are
 //! deliberately *independent* of the engine's own bookkeeping: the overlay
-//! oracles maintain their own mirror CAN / Chord / RN-Tree instances driven
+//! oracles maintain their own mirror CAN / Chord / Pastry / Tapestry /
+//! RN-Tree instances driven
 //! purely by the membership events in the trace, so a bug that corrupts the
 //! engine's internal state still has to fool a second, separately-written
 //! implementation to escape detection.
@@ -13,6 +14,7 @@ use std::fmt;
 
 use dgrid_can::{CanConfig, CanNetwork, CanNodeId};
 use dgrid_chord::{ChordConfig, ChordId, ChordRing};
+use dgrid_core::router::{KeyRouter, PastryNetwork, TapestryNetwork};
 use dgrid_core::{SimReport, SpanAssembler, SpanOutcome, TraceEvent};
 use dgrid_resources::{Capabilities, JobId, OsType};
 use dgrid_rntree::RnTreeIndex;
@@ -437,25 +439,32 @@ impl TraceOracle for CanZoneOracle {
 }
 
 // ---------------------------------------------------------------------------
-// Chord ring successor consistency
+// Overlay routing-table consistency (Chord / Pastry / Tapestry)
 // ---------------------------------------------------------------------------
 
-/// Mirrors grid membership into an independent [`ChordRing`]. After every
-/// membership change the ring is stabilized (churn has quiesced from the
-/// ring's point of view) and every peer's successor/predecessor view must
-/// agree with the true ring order.
-pub struct ChordRingOracle {
-    ring: ChordRing,
-    ids: BTreeMap<u32, ChordId>,
+/// Mirrors grid membership into an independent overlay substrate. After
+/// every membership change the overlay is stabilized (churn has quiesced
+/// from the overlay's point of view) and the substrate's own
+/// [`table_violation`](KeyRouter::table_violation) debug check must pass:
+/// for Chord that means every peer's successor/predecessor view agrees with
+/// the true ring order; for Pastry and Tapestry, that leaf sets / neighbor
+/// maps are sound.
+pub struct SubstrateTableOracle<R: KeyRouter> {
+    net: R,
+    ids: BTreeMap<u32, u64>,
     state: u64,
     violations: Vec<Violation>,
 }
 
-impl ChordRingOracle {
+/// Mirrors membership into a Chord ring (the historical name of the
+/// substrate-generic oracle).
+pub type ChordRingOracle = SubstrateTableOracle<ChordRing>;
+
+impl<R: KeyRouter> SubstrateTableOracle<R> {
     /// Mirror a grid that starts with `nodes` live nodes.
     pub fn new(nodes: usize, seed: u64) -> Self {
-        let mut oracle = ChordRingOracle {
-            ring: ChordRing::new(ChordConfig::default()),
+        let mut oracle = SubstrateTableOracle {
+            net: R::default(),
             ids: BTreeMap::new(),
             state: seed ^ 0xC40D_0000_0000_0002,
             violations: Vec::new(),
@@ -463,15 +472,15 @@ impl ChordRingOracle {
         for node in 0..nodes as u32 {
             oracle.join(node);
         }
-        oracle.ring.stabilize();
+        oracle.net.stabilize();
         oracle.check();
         oracle
     }
 
-    fn fresh_id(&mut self) -> ChordId {
+    fn fresh_id(&mut self) -> u64 {
         loop {
-            let id = ChordId(splitmix_next(&mut self.state));
-            if !self.ring.is_alive(id) {
+            let id = splitmix_next(&mut self.state);
+            if !self.net.is_alive(id) {
                 return id;
             }
         }
@@ -479,23 +488,31 @@ impl ChordRingOracle {
 
     fn join(&mut self, node: u32) {
         let id = self.fresh_id();
-        self.ring.join(id);
+        self.net.join(id);
         self.ids.insert(node, id);
+    }
+
+    fn oracle_name() -> &'static str {
+        match R::SUBSTRATE {
+            "pastry" => "pastry-table",
+            "tapestry" => "tapestry-table",
+            _ => "chord-ring",
+        }
     }
 
     fn check(&mut self) {
         if self.violations.len() >= MAX_VIOLATIONS_PER_ORACLE {
             return;
         }
-        if let Some(v) = self.ring.consistency_violation() {
-            self.violations.push(violation("chord-ring", v));
+        if let Some(v) = self.net.table_violation() {
+            self.violations.push(violation(Self::oracle_name(), v));
         }
     }
 }
 
-impl TraceOracle for ChordRingOracle {
+impl<R: KeyRouter> TraceOracle for SubstrateTableOracle<R> {
     fn name(&self) -> &'static str {
-        "chord-ring"
+        Self::oracle_name()
     }
 
     fn on_event(&mut self, _at: SimTime, event: &TraceEvent) {
@@ -503,17 +520,17 @@ impl TraceOracle for ChordRingOracle {
             TraceEvent::NodeDown { node, graceful } => {
                 if let Some(id) = self.ids.remove(&node.0) {
                     if *graceful {
-                        self.ring.leave(id);
+                        self.net.leave(id);
                     } else {
-                        self.ring.fail(id);
+                        self.net.fail(id);
                     }
-                    self.ring.stabilize();
+                    self.net.stabilize();
                     self.check();
                 }
             }
             TraceEvent::NodeUp { node } if !self.ids.contains_key(&node.0) => {
                 self.join(node.0);
-                self.ring.stabilize();
+                self.net.stabilize();
                 self.check();
             }
             _ => {}
@@ -521,7 +538,7 @@ impl TraceOracle for ChordRingOracle {
     }
 
     fn finish(&mut self, _report: &SimReport) -> Vec<Violation> {
-        self.ring.stabilize();
+        self.net.stabilize();
         self.check();
         std::mem::take(&mut self.violations)
     }
@@ -538,7 +555,7 @@ impl TraceOracle for ChordRingOracle {
 /// counts sum exactly.
 pub struct RnTreeAggregateOracle {
     ring: ChordRing,
-    caps: HashMap<ChordId, Capabilities>,
+    caps: HashMap<u64, Capabilities>,
     ids: BTreeMap<u32, ChordId>,
     state: u64,
 }
@@ -572,7 +589,7 @@ impl RnTreeAggregateOracle {
             OsType::ALL[(splitmix_next(&mut self.state) % 4) as usize],
         );
         self.ring.join(id);
-        self.caps.insert(id, caps);
+        self.caps.insert(id.0, caps);
         self.ids.insert(node, id);
     }
 }
@@ -623,6 +640,8 @@ pub fn battery(nodes: usize, expected_jobs: usize, seed: u64) -> Vec<Box<dyn Tra
         Box::new(SpanConservation::new()),
         Box::new(CanZoneOracle::new(nodes, seed)),
         Box::new(ChordRingOracle::new(nodes, seed)),
+        Box::new(SubstrateTableOracle::<PastryNetwork>::new(nodes, seed)),
+        Box::new(SubstrateTableOracle::<TapestryNetwork>::new(nodes, seed)),
         Box::new(RnTreeAggregateOracle::new(nodes, seed)),
     ]
 }

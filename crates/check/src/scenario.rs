@@ -8,6 +8,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use dgrid_core::router::{PastryNetwork, TapestryNetwork};
 use dgrid_core::{
     CanMatchmaker, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, FaultPlan, Matchmaker,
     Observer, RnTreeConfig, RnTreeMatchmaker, SimReport, TraceEvent, VecObserver,
@@ -28,15 +29,21 @@ pub enum MatchmakerChoice {
     Central,
     /// RN-Tree over Chord.
     RnTree,
+    /// RN-Tree over Pastry.
+    RnTreePastry,
+    /// RN-Tree over Tapestry.
+    RnTreeTapestry,
     /// CAN with the virtual dimension.
     Can,
 }
 
 impl MatchmakerChoice {
     /// All checked matchmakers, in the order runs are reported.
-    pub const ALL: [MatchmakerChoice; 3] = [
+    pub const ALL: [MatchmakerChoice; 5] = [
         MatchmakerChoice::Central,
         MatchmakerChoice::RnTree,
+        MatchmakerChoice::RnTreePastry,
+        MatchmakerChoice::RnTreeTapestry,
         MatchmakerChoice::Can,
     ];
 
@@ -45,8 +52,20 @@ impl MatchmakerChoice {
         match self {
             MatchmakerChoice::Central => "central",
             MatchmakerChoice::RnTree => "rn-tree",
+            MatchmakerChoice::RnTreePastry => "rn-tree@pastry",
+            MatchmakerChoice::RnTreeTapestry => "rn-tree@tapestry",
             MatchmakerChoice::Can => "can",
         }
+    }
+
+    /// Parse a label back into a choice (`None` for unknown labels).
+    /// `rn-tree@chord` is accepted as an alias for `rn-tree`, mirroring the
+    /// CLI's algorithm parser.
+    pub fn from_label(label: &str) -> Option<MatchmakerChoice> {
+        if label == "rn-tree@chord" {
+            return Some(MatchmakerChoice::RnTree);
+        }
+        Self::ALL.into_iter().find(|m| m.label() == label)
     }
 
     /// Construct the matchmaker.
@@ -54,6 +73,12 @@ impl MatchmakerChoice {
         match self {
             MatchmakerChoice::Central => Box::new(CentralizedMatchmaker::new()),
             MatchmakerChoice::RnTree => Box::new(RnTreeMatchmaker::new(RnTreeConfig::default())),
+            MatchmakerChoice::RnTreePastry => Box::new(
+                RnTreeMatchmaker::<PastryNetwork>::on_substrate(RnTreeConfig::default()),
+            ),
+            MatchmakerChoice::RnTreeTapestry => Box::new(
+                RnTreeMatchmaker::<TapestryNetwork>::on_substrate(RnTreeConfig::default()),
+            ),
             MatchmakerChoice::Can => Box::new(CanMatchmaker::with_defaults()),
         }
     }

@@ -44,6 +44,7 @@
 
 mod id;
 mod ring;
+mod router;
 mod routing;
 
 pub use id::ChordId;

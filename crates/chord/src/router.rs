@@ -1,0 +1,113 @@
+//! Chord as a pluggable overlay substrate: the [`KeyRouter`] impl.
+//!
+//! Everything delegates to the ring's existing public surface; the only
+//! crate-private access is the successor list used for failover detours,
+//! which mirrors [`ChordRing::lookup_with_failover`] exactly.
+
+use dgrid_sim::router::{KeyRouter, RouteCost};
+
+use crate::id::ChordId;
+use crate::ring::ChordRing;
+
+impl KeyRouter for ChordRing {
+    const SUBSTRATE: &'static str = "chord";
+
+    fn key_of(raw: u64) -> u64 {
+        ChordId::hash_of(raw).0
+    }
+
+    fn join(&mut self, key: u64) {
+        ChordRing::join(self, ChordId(key));
+    }
+
+    fn leave(&mut self, key: u64) {
+        ChordRing::leave(self, ChordId(key));
+    }
+
+    fn fail(&mut self, key: u64) {
+        ChordRing::fail(self, ChordId(key));
+    }
+
+    fn is_alive(&self, key: u64) -> bool {
+        ChordRing::is_alive(self, ChordId(key))
+    }
+
+    fn len(&self) -> usize {
+        ChordRing::len(self)
+    }
+
+    fn alive_keys(&self) -> Vec<u64> {
+        self.alive_ids().into_iter().map(|id| id.0).collect()
+    }
+
+    fn owner_of(&self, key: u64) -> Option<u64> {
+        self.successor_of(ChordId(key)).map(|id| id.0)
+    }
+
+    fn lookup(&self, from: u64, key: u64) -> Option<RouteCost> {
+        ChordRing::lookup(self, ChordId(from), ChordId(key)).map(|l| RouteCost {
+            owner: l.owner.0,
+            hops: l.hops,
+            timeouts: l.timeouts,
+        })
+    }
+
+    fn failover_peers(&self, from: u64) -> Vec<u64> {
+        self.state(ChordId(from))
+            .map(|s| s.successors.iter().map(|id| id.0).collect())
+            .unwrap_or_default()
+    }
+
+    fn walk_step(&self, at: u64) -> Option<u64> {
+        let at = ChordId(at);
+        let v = self.peer_view(at)?;
+        (v.successor != at && ChordRing::is_alive(self, v.successor)).then_some(v.successor.0)
+    }
+
+    fn stabilize(&mut self) {
+        ChordRing::stabilize(self);
+    }
+
+    fn table_violation(&self) -> Option<String> {
+        self.consistency_violation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_failover_matches_the_inherent_failover() {
+        use dgrid_sim::rng::rng_for;
+        use rand::Rng;
+
+        let mut ring = ChordRing::default();
+        let mut rng = rng_for(31, 0);
+        let mut ids = Vec::new();
+        while ids.len() < 96 {
+            let id = ChordId(rng.gen());
+            if !ring.is_alive(id) {
+                ring.join(id);
+                ids.push(id);
+            }
+        }
+        ring.stabilize();
+        // Abrupt unstabilized failures so some routes need detours.
+        for &id in ids.iter().take(24) {
+            ring.fail(id);
+        }
+        let alive = ring.alive_ids();
+        for _ in 0..300 {
+            let key: u64 = rng.gen();
+            let from = alive[rng.gen_range(0..alive.len())];
+            let inherent = ring.lookup_with_failover(from, ChordId(key), 2);
+            let generic = KeyRouter::lookup_with_failover(&ring, from.0, key, 2);
+            assert_eq!(
+                inherent.map(|(l, r)| (l.owner.0, l.hops, l.timeouts, r)),
+                generic.map(|(c, r)| (c.owner, c.hops, c.timeouts, r)),
+                "generic KeyRouter failover must mirror Chord's native detours"
+            );
+        }
+    }
+}

@@ -145,27 +145,20 @@ impl ChordRing {
         key: ChordId,
         retries: u32,
     ) -> Option<(Lookup, u32)> {
-        if let Some(l) = self.lookup(from, key) {
-            return Some((l, 0));
-        }
-        let state = self.state(from)?;
-        let mut used = 0u32;
-        let mut extra_hops = 0u32;
-        for &s in &state.successors {
-            if used >= retries {
-                break;
-            }
-            if s == from || !self.is_alive(s) {
-                continue;
-            }
-            used += 1;
-            extra_hops += 1; // handing the query to the detour peer
-            if let Some(mut l) = self.lookup(s, key) {
-                l.hops += extra_hops;
-                return Some((l, used));
-            }
-        }
-        None
+        let successors: Vec<ChordId> = self
+            .state(from)
+            .map(|s| s.successors.clone())
+            .unwrap_or_default();
+        let mut detours = successors
+            .into_iter()
+            .filter(|&s| s != from && self.is_alive(s));
+        dgrid_sim::failover::route_with_detours(
+            retries,
+            || self.lookup(from, key),
+            |_| detours.next(),
+            |&s| self.lookup(s, key),
+            |l, extra| l.hops += extra,
+        )
     }
 }
 

@@ -774,6 +774,7 @@ impl Engine {
                 self.absorb_lookup_retries();
                 match reassigned {
                     Some((new_owner, hops)) => {
+                        self.report.owner_hops.push(f64::from(hops));
                         match self.send_message(
                             now,
                             Endpoint::External,
@@ -1409,7 +1410,11 @@ impl Engine {
         self.absorb_lookup_retries();
         // On `None` the overlay cannot name a replacement; since the old
         // owner is in fact alive, dropping the spurious detection is safe.
-        if let Some((new_owner, _hops)) = reassigned {
+        if let Some((new_owner, hops)) = reassigned {
+            // The replacement lookup pays overlay routing like the initial
+            // assignment did; count it in the same owner_hops series so the
+            // T-overhead message totals cover recovery traffic too.
+            self.report.owner_hops.push(f64::from(hops));
             self.report.owner_recoveries += 1;
             self.observer
                 .on_event(now, TraceEvent::OwnerRecovery { job });
@@ -1440,7 +1445,8 @@ impl Engine {
             .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
         self.absorb_lookup_retries();
         match reassigned {
-            Some((new_owner, _hops)) => {
+            Some((new_owner, hops)) => {
+                self.report.owner_hops.push(f64::from(hops));
                 self.report.owner_recoveries += 1;
                 self.observer
                     .on_event(now, TraceEvent::OwnerRecovery { job });

@@ -27,9 +27,10 @@
 //! Matchmaking is pluggable via the [`Matchmaker`] trait, with the paper's
 //! three schemes provided:
 //!
-//! * [`RnTreeMatchmaker`] — Rendezvous-Node-Tree search over Chord with a
-//!   limited random walk for initial owner placement and extended search to
-//!   `k` candidates (Section 3.1);
+//! * [`RnTreeMatchmaker`] — Rendezvous-Node-Tree search over a pluggable
+//!   [`KeyRouter`](router::KeyRouter) substrate (Chord by default, with
+//!   Pastry and Tapestry variants) with a limited random walk for initial
+//!   owner placement and extended search to `k` candidates (Section 3.1);
 //! * [`CanMatchmaker`] — CAN coordinate-space routing with the virtual
 //!   dimension, dominance-based candidate sets, stale neighbor load
 //!   exchange, and the "improved" load-pushing extension (Section 3.2-3.3);
@@ -50,6 +51,7 @@ mod match_rntree;
 mod matchmaker;
 mod metrics;
 mod node;
+pub mod router;
 mod security;
 mod span;
 mod trace;

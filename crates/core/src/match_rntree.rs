@@ -1,29 +1,35 @@
-//! RN-Tree matchmaking over Chord (Section 3.1).
+//! RN-Tree matchmaking over a pluggable overlay substrate (Section 3.1).
 //!
-//! * **Owner placement:** the job's GUID is looked up through Chord from the
-//!   injection node, then a *limited random walk* along successor pointers
-//!   spreads owners beyond the strict GUID mapping ("copes with dynamic load
-//!   balance issues by performing a limited random walk after the initial
-//!   mapping to an owner node").
+//! * **Owner placement:** the job's GUID is looked up through the overlay
+//!   from the injection node, then a *limited random walk* along overlay
+//!   neighbor pointers spreads owners beyond the strict GUID mapping ("copes
+//!   with dynamic load balance issues by performing a limited random walk
+//!   after the initial mapping to an owner node").
 //! * **Matchmaking:** the owner searches its RN-Tree subtree first, climbing
 //!   to ancestors only as needed, pruned by aggregated maximal-resource
 //!   information, and keeps going until at least `k` capable candidates are
 //!   found (extended search). The least-loaded candidate wins — candidates
 //!   report their queue length in their search replies, so this load reading
 //!   is fresh for exactly the nodes contacted and nothing else.
-//! * **Maintenance:** the Chord ring stabilizes and the tree + aggregates
+//! * **Maintenance:** the overlay stabilizes and the tree + aggregates
 //!   rebuild on the engine's maintenance tick whenever membership changed;
 //!   between ticks the overlay routes on stale state, as a real deployment
 //!   would.
+//!
+//! The paper builds this on Chord, but nothing here is Chord-specific: the
+//! matchmaker is generic over any [`KeyRouter`] substrate, so the same
+//! engine runs `rn-tree` (Chord), `rn-tree@pastry`, and `rn-tree@tapestry`
+//! variants differing only in the underlying routing geometry.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use dgrid_chord::{ChordId, ChordRing};
+use dgrid_chord::ChordRing;
 use dgrid_resources::{Capabilities, JobProfile};
 use dgrid_rntree::RnTreeIndex;
 use dgrid_sim::rng::SimRng;
+use dgrid_sim::router::KeyRouter;
 use dgrid_sim::telemetry::{NullHook, SharedHook};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -52,31 +58,46 @@ impl Default for RnTreeConfig {
     }
 }
 
-/// Failover budget for Chord lookups: how many successor-list detours a
-/// failed lookup may take before the caller's own retry/backoff machinery
-/// takes over.
+/// Failover budget for overlay lookups: how many detour peers a failed
+/// lookup may try before the caller's own retry/backoff machinery takes
+/// over.
 const LOOKUP_FAILOVER_RETRIES: u32 = 2;
 
-/// The Section 3.1 matchmaker.
-pub struct RnTreeMatchmaker {
+/// The Section 3.1 matchmaker, generic over the overlay substrate. The
+/// default substrate is Chord, matching the paper.
+pub struct RnTreeMatchmaker<R: KeyRouter = ChordRing> {
     cfg: RnTreeConfig,
-    ring: ChordRing,
-    chord_of: HashMap<GridNodeId, ChordId>,
-    grid_of: HashMap<ChordId, GridNodeId>,
+    router: R,
+    key_of: HashMap<GridNodeId, u64>,
+    grid_of: HashMap<u64, GridNodeId>,
     index: Option<RnTreeIndex>,
     dirty: bool,
     lookup_retries: u64,
     hook: SharedHook,
 }
 
-impl RnTreeMatchmaker {
-    /// An empty matchmaker; nodes arrive via [`Matchmaker::on_join`].
+impl RnTreeMatchmaker<ChordRing> {
+    /// An empty Chord-backed matchmaker; nodes arrive via
+    /// [`Matchmaker::on_join`].
     pub fn new(cfg: RnTreeConfig) -> Self {
+        Self::on_substrate(cfg)
+    }
+
+    /// With default parameters (k = 4, walk ≤ 3), on Chord.
+    pub fn with_defaults() -> Self {
+        Self::new(RnTreeConfig::default())
+    }
+}
+
+impl<R: KeyRouter> RnTreeMatchmaker<R> {
+    /// An empty matchmaker over substrate `R`; nodes arrive via
+    /// [`Matchmaker::on_join`].
+    pub fn on_substrate(cfg: RnTreeConfig) -> Self {
         assert!(cfg.k >= 1, "extended search needs k >= 1");
         RnTreeMatchmaker {
             cfg,
-            ring: ChordRing::default(),
-            chord_of: HashMap::new(),
+            router: R::default(),
+            key_of: HashMap::new(),
             grid_of: HashMap::new(),
             index: None,
             dirty: true,
@@ -85,35 +106,30 @@ impl RnTreeMatchmaker {
         }
     }
 
-    /// With default parameters (k = 4, walk ≤ 3).
-    pub fn with_defaults() -> Self {
-        Self::new(RnTreeConfig::default())
-    }
-
     /// The tree height of the current index (for the `T-tree` experiment).
     pub fn tree_height(&self) -> Option<u32> {
         self.index.as_ref().map(|i| i.tree().height())
     }
 
-    fn chord_id_for(node: GridNodeId, generation: u64) -> ChordId {
+    fn overlay_key_for(node: GridNodeId, generation: u64) -> u64 {
         // Fresh overlay identity per (node, join-generation).
-        ChordId::hash_of((u64::from(node.0) << 20) ^ generation)
+        R::key_of((u64::from(node.0) << 20) ^ generation)
     }
 
     fn rebuild_index(&mut self, nodes: &NodeTable) {
-        self.ring.stabilize();
-        if self.ring.is_empty() {
+        self.router.stabilize();
+        if self.router.is_empty() {
             self.index = None;
             self.dirty = false;
             return;
         }
-        let caps: HashMap<ChordId, Capabilities> = self
+        let caps: HashMap<u64, Capabilities> = self
             .grid_of
             .iter()
-            .filter(|(cid, _)| self.ring.is_alive(**cid))
-            .map(|(&cid, &gid)| (cid, nodes.get(gid).profile.capabilities))
+            .filter(|(key, _)| self.router.is_alive(**key))
+            .map(|(&key, &gid)| (key, nodes.get(gid).profile.capabilities))
             .collect();
-        self.index = Some(RnTreeIndex::build(&self.ring, &caps));
+        self.index = Some(RnTreeIndex::build(&self.router, &caps));
         self.dirty = false;
     }
 
@@ -135,35 +151,39 @@ impl RnTreeMatchmaker {
     }
 }
 
-impl Matchmaker for RnTreeMatchmaker {
+impl<R: KeyRouter> Matchmaker for RnTreeMatchmaker<R> {
     fn name(&self) -> &'static str {
-        "rn-tree"
+        match R::SUBSTRATE {
+            "pastry" => "rn-tree@pastry",
+            "tapestry" => "rn-tree@tapestry",
+            _ => "rn-tree",
+        }
     }
 
     fn on_join(&mut self, _nodes: &NodeTable, node: GridNodeId, _rng: &mut SimRng) {
         // Generation counter: how many identities this node has had.
         let mut generation = 0u64;
-        let mut cid = Self::chord_id_for(node, generation);
-        while self.ring.is_alive(cid) {
+        let mut key = Self::overlay_key_for(node, generation);
+        while self.router.is_alive(key) {
             generation += 1;
-            cid = Self::chord_id_for(node, generation);
+            key = Self::overlay_key_for(node, generation);
         }
-        self.ring.join(cid);
-        self.chord_of.insert(node, cid);
-        self.grid_of.insert(cid, node);
+        self.router.join(key);
+        self.key_of.insert(node, key);
+        self.grid_of.insert(key, node);
         self.dirty = true;
     }
 
     fn on_leave(&mut self, _nodes: &NodeTable, node: GridNodeId, graceful: bool) {
-        let cid = self
-            .chord_of
+        let key = self
+            .key_of
             .remove(&node)
             .expect("leave of node never joined");
-        self.grid_of.remove(&cid);
+        self.grid_of.remove(&key);
         if graceful {
-            self.ring.leave(cid); // neighbours repaired immediately
+            self.router.leave(key); // neighbours repaired immediately
         } else {
-            self.ring.fail(cid); // abrupt: stale state until stabilization
+            self.router.fail(key); // abrupt: stale state until stabilization
         }
         self.dirty = true;
     }
@@ -176,25 +196,25 @@ impl Matchmaker for RnTreeMatchmaker {
         injection: GridNodeId,
         rng: &mut SimRng,
     ) -> Option<(OwnerRef, u32)> {
-        let from = *self.chord_of.get(&injection)?;
-        if !self.ring.is_alive(from) {
+        let from = *self.key_of.get(&injection)?;
+        if !self.router.is_alive(from) {
             return None;
         }
         let (lookup, retries) =
-            self.ring
-                .lookup_with_failover(from, ChordId(guid), LOOKUP_FAILOVER_RETRIES)?;
+            self.router
+                .lookup_with_failover(from, guid, LOOKUP_FAILOVER_RETRIES)?;
         self.lookup_retries += u64::from(retries);
-        let mut hops = lookup.hops + lookup.timeouts;
-        // Limited random walk along successor pointers.
+        let mut hops = lookup.charged_hops();
+        // Limited random walk along overlay neighbor pointers.
         let mut owner = lookup.owner;
         let steps = rng.gen_range(0..=self.cfg.max_random_walk);
         for _ in 0..steps {
-            match self.ring.peer_view(owner) {
-                Some(v) if v.successor != owner && self.ring.is_alive(v.successor) => {
-                    owner = v.successor;
+            match self.router.walk_step(owner) {
+                Some(next) => {
+                    owner = next;
                     hops += 1;
                 }
-                _ => break,
+                None => break,
             }
         }
         let grid = *self.grid_of.get(&owner)?;
@@ -215,7 +235,7 @@ impl Matchmaker for RnTreeMatchmaker {
                 hops: 0,
             };
         };
-        let Some(&owner_chord) = self.chord_of.get(&owner_grid) else {
+        let Some(&owner_key) = self.key_of.get(&owner_grid) else {
             return MatchOutcome {
                 run_node: None,
                 hops: 0,
@@ -227,7 +247,7 @@ impl Matchmaker for RnTreeMatchmaker {
         let missing = self
             .index
             .as_ref()
-            .is_none_or(|i| !i.tree().contains(owner_chord));
+            .is_none_or(|i| !i.tree().contains(owner_key));
         if missing {
             self.dirty = true;
         }
@@ -237,13 +257,13 @@ impl Matchmaker for RnTreeMatchmaker {
                 hops: 0,
             };
         };
-        if !index.tree().contains(owner_chord) {
+        if !index.tree().contains(owner_key) {
             return MatchOutcome {
                 run_node: None,
                 hops: 0,
             };
         }
-        let res = index.find_candidates(owner_chord, &job.requirements, k);
+        let res = index.find_candidates(owner_key, &job.requirements, k);
         let mut hops = res.hops;
 
         // Candidates replied with their current queue length; pick the
@@ -251,8 +271,8 @@ impl Matchmaker for RnTreeMatchmaker {
         // candidates (stale tree) cost a timeout probe each.
         let mut best: Option<(usize, GridNodeId)> = None;
         let mut ties = 0u32;
-        for cid in res.candidates {
-            let Some(&gid) = self.grid_of.get(&cid) else {
+        for key in res.candidates {
+            let Some(&gid) = self.grid_of.get(&key) else {
                 continue;
             };
             if !nodes.is_alive(gid) {
@@ -293,23 +313,23 @@ impl Matchmaker for RnTreeMatchmaker {
         rng: &mut SimRng,
     ) -> Option<(OwnerRef, u32)> {
         // The run node (or client) looks the GUID up again; the live
-        // successor of the GUID becomes the new owner. Start the lookup at
-        // a random live peer (the contactor's own overlay position).
-        let ids = self.ring.alive_ids();
+        // overlay owner of the GUID becomes the new owner. Start the lookup
+        // at a random live peer (the contactor's own overlay position).
+        let ids = self.router.alive_keys();
         if ids.is_empty() {
             return None;
         }
         let from = ids[rng.gen_range(0..ids.len())];
         let (lookup, retries) =
-            self.ring
-                .lookup_with_failover(from, ChordId(guid), LOOKUP_FAILOVER_RETRIES)?;
+            self.router
+                .lookup_with_failover(from, guid, LOOKUP_FAILOVER_RETRIES)?;
         self.lookup_retries += u64::from(retries);
         let grid = *self.grid_of.get(&lookup.owner)?;
         if !nodes.is_alive(grid) {
             return None;
         }
-        self.report_lookup(lookup.hops + lookup.timeouts, retries);
-        Some((OwnerRef::Peer(grid), lookup.hops + lookup.timeouts))
+        self.report_lookup(lookup.charged_hops(), retries);
+        Some((OwnerRef::Peer(grid), lookup.charged_hops()))
     }
 
     fn tick(&mut self, nodes: &NodeTable) {
@@ -322,17 +342,17 @@ impl Matchmaker for RnTreeMatchmaker {
     }
 
     fn resolve_guid(&mut self, _nodes: &NodeTable, guid: u64, rng: &mut SimRng) -> Option<u32> {
-        let ids = self.ring.alive_ids();
+        let ids = self.router.alive_keys();
         if ids.is_empty() {
             return None;
         }
         let from = ids[rng.gen_range(0..ids.len())];
         let (lookup, retries) =
-            self.ring
-                .lookup_with_failover(from, ChordId(guid), LOOKUP_FAILOVER_RETRIES)?;
+            self.router
+                .lookup_with_failover(from, guid, LOOKUP_FAILOVER_RETRIES)?;
         self.lookup_retries += u64::from(retries);
-        self.report_lookup(lookup.hops + lookup.timeouts, retries);
-        Some(lookup.hops + lookup.timeouts)
+        self.report_lookup(lookup.charged_hops(), retries);
+        Some(lookup.charged_hops())
     }
 
     fn take_lookup_retries(&mut self) -> u64 {
@@ -348,13 +368,15 @@ impl Matchmaker for RnTreeMatchmaker {
 mod tests {
     use super::*;
     use crate::node::NodeTable;
+    use dgrid_pastry::PastryNetwork;
     use dgrid_resources::{
         Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType,
         ResourceKind,
     };
     use dgrid_sim::rng::rng_for;
+    use dgrid_tapestry::TapestryNetwork;
 
-    fn setup(n: usize) -> (RnTreeMatchmaker, NodeTable, SimRng) {
+    fn node_table(n: usize) -> NodeTable {
         let profiles: Vec<NodeProfile> = (0..n)
             .map(|i| {
                 NodeProfile::new(Capabilities::new(
@@ -365,9 +387,18 @@ mod tests {
                 ))
             })
             .collect();
-        let nodes = NodeTable::new(profiles);
+        NodeTable::new(profiles)
+    }
+
+    fn setup(n: usize) -> (RnTreeMatchmaker, NodeTable, SimRng) {
+        let (mm, nodes, rng) = setup_on::<ChordRing>(n);
+        (mm, nodes, rng)
+    }
+
+    fn setup_on<R: KeyRouter>(n: usize) -> (RnTreeMatchmaker<R>, NodeTable, SimRng) {
+        let nodes = node_table(n);
         let mut rng = rng_for(7, 7);
-        let mut mm = RnTreeMatchmaker::with_defaults();
+        let mut mm = RnTreeMatchmaker::<R>::on_substrate(RnTreeConfig::default());
         for id in nodes.alive_ids() {
             mm.on_join(&nodes, id, &mut rng);
         }
@@ -457,5 +488,47 @@ mod tests {
         let inj = nodes.alive_ids().next().unwrap();
         let (owner, _) = mm.assign_owner(&nodes, &p, 5, inj, &mut rng).unwrap();
         assert_eq!(mm.find_run_node(&nodes, owner, &p, &mut rng).run_node, None);
+    }
+
+    #[test]
+    fn substrate_variants_have_distinct_names() {
+        let chord = RnTreeMatchmaker::<ChordRing>::on_substrate(RnTreeConfig::default());
+        let pastry = RnTreeMatchmaker::<PastryNetwork>::on_substrate(RnTreeConfig::default());
+        let tapestry = RnTreeMatchmaker::<TapestryNetwork>::on_substrate(RnTreeConfig::default());
+        assert_eq!(chord.name(), "rn-tree");
+        assert_eq!(pastry.name(), "rn-tree@pastry");
+        assert_eq!(tapestry.name(), "rn-tree@tapestry");
+    }
+
+    #[test]
+    fn full_matchmaking_cycle_works_on_every_substrate() {
+        fn exercise<R: KeyRouter>() {
+            let (mut mm, mut nodes, mut rng) = setup_on::<R>(48);
+            let p = job(JobRequirements::unconstrained().with_min(ResourceKind::CpuSpeed, 2.0));
+            let inj = nodes.alive_ids().next().unwrap();
+            let (owner, hops) = mm
+                .assign_owner(&nodes, &p, 0xBEEF, inj, &mut rng)
+                .expect("owner assignment routes");
+            assert!(hops <= 48, "{}: hops {hops}", R::SUBSTRATE);
+            let out = mm.find_run_node(&nodes, owner, &p, &mut rng);
+            let run = out.run_node.expect("capable nodes exist");
+            assert!(p
+                .requirements
+                .satisfied_by(&nodes.get(run).profile.capabilities));
+
+            // Churn a node, then reassign and resolve still work.
+            let victim = nodes.alive_ids().nth(7).unwrap();
+            nodes.mark_failed(victim);
+            mm.on_leave(&nodes, victim, false);
+            mm.tick(&nodes);
+            let (new_owner, _) = mm
+                .reassign_owner(&nodes, &p, 0xBEEF, &mut rng)
+                .expect("reassignment finds a live owner");
+            assert!(nodes.is_alive(new_owner.peer().unwrap()));
+            assert!(mm.resolve_guid(&nodes, 0xF00D, &mut rng).is_some());
+        }
+        exercise::<ChordRing>();
+        exercise::<PastryNetwork>();
+        exercise::<TapestryNetwork>();
     }
 }

@@ -1,0 +1,23 @@
+//! The pluggable overlay substrate surface.
+//!
+//! The engine's matchmaking is generic over any structured overlay that can
+//! map keys to live owners: the [`KeyRouter`] trait (defined in `dgrid-sim`
+//! so the overlay crates can implement it without a dependency cycle) is
+//! re-exported here together with the three substrates that implement it —
+//! Chord (the paper's choice), Pastry, and Tapestry. Instantiate
+//! [`RnTreeMatchmaker`](crate::RnTreeMatchmaker) with any of them:
+//!
+//! ```
+//! use dgrid_core::router::{PastryNetwork, TapestryNetwork};
+//! use dgrid_core::{Matchmaker, RnTreeConfig, RnTreeMatchmaker};
+//!
+//! let mm = RnTreeMatchmaker::<PastryNetwork>::on_substrate(RnTreeConfig::default());
+//! assert_eq!(mm.name(), "rn-tree@pastry");
+//! let mm = RnTreeMatchmaker::<TapestryNetwork>::on_substrate(RnTreeConfig::default());
+//! assert_eq!(mm.name(), "rn-tree@tapestry");
+//! ```
+
+pub use dgrid_chord::ChordRing;
+pub use dgrid_pastry::PastryNetwork;
+pub use dgrid_sim::router::{KeyRouter, RouteCost};
+pub use dgrid_tapestry::TapestryNetwork;

@@ -524,6 +524,86 @@ fn in_circular_span(lo: u64, hi: u64, x: u64) -> bool {
     }
 }
 
+impl dgrid_sim::router::KeyRouter for PastryNetwork {
+    const SUBSTRATE: &'static str = "pastry";
+
+    fn key_of(raw: u64) -> u64 {
+        PastryId::hash_of(raw).0
+    }
+
+    fn join(&mut self, key: u64) {
+        PastryNetwork::join(self, PastryId(key));
+    }
+
+    fn leave(&mut self, key: u64) {
+        PastryNetwork::leave(self, PastryId(key));
+    }
+
+    fn fail(&mut self, key: u64) {
+        PastryNetwork::fail(self, PastryId(key));
+    }
+
+    fn is_alive(&self, key: u64) -> bool {
+        PastryNetwork::is_alive(self, PastryId(key))
+    }
+
+    fn len(&self) -> usize {
+        PastryNetwork::len(self)
+    }
+
+    fn alive_keys(&self) -> Vec<u64> {
+        self.alive_ids().into_iter().map(|id| id.0).collect()
+    }
+
+    fn owner_of(&self, key: u64) -> Option<u64> {
+        PastryNetwork::owner_of(self, PastryId(key)).map(|id| id.0)
+    }
+
+    fn lookup(&self, from: u64, key: u64) -> Option<dgrid_sim::router::RouteCost> {
+        self.route(PastryId(from), PastryId(key))
+            .map(|r| dgrid_sim::router::RouteCost {
+                owner: r.owner.0,
+                hops: r.hops,
+                timeouts: r.timeouts,
+            })
+    }
+
+    fn failover_peers(&self, from: u64) -> Vec<u64> {
+        // Leaf-set members, clockwise then counter-clockwise — the peers a
+        // Pastry node knows best. Deduped: tiny rings wrap, so the two
+        // directions can list the same nodes.
+        let Some(st) = self.peers.get(&from) else {
+            return Vec::new();
+        };
+        let mut out: Vec<u64> = Vec::with_capacity(st.leaf_cw.len() + st.leaf_ccw.len());
+        for id in st.leaf_cw.iter().chain(st.leaf_ccw.iter()) {
+            if !out.contains(&id.0) {
+                out.push(id.0);
+            }
+        }
+        out
+    }
+
+    fn walk_step(&self, at: u64) -> Option<u64> {
+        // The clockwise ring neighbor, like Chord's successor step: first
+        // live clockwise leaf.
+        let st = self.peers.get(&at)?;
+        st.leaf_cw
+            .iter()
+            .copied()
+            .find(|&n| n.0 != at && PastryNetwork::is_alive(self, n))
+            .map(|n| n.0)
+    }
+
+    fn stabilize(&mut self) {
+        PastryNetwork::stabilize(self);
+    }
+
+    fn table_violation(&self) -> Option<String> {
+        PastryNetwork::table_violation(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

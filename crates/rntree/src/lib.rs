@@ -1,7 +1,10 @@
 //! # dgrid-rntree — the Rendezvous Node Tree
 //!
 //! Section 3.1 of the paper describes a matchmaking structure "built on top
-//! of an underlying Chord DHT": every participating node is a vertex of a
+//! of an underlying Chord DHT" — but nothing in the construction is
+//! Chord-specific, so this crate builds it over any
+//! [`KeyRouter`](dgrid_sim::router::KeyRouter) substrate (Chord, Pastry,
+//! Tapestry). In the tree, every participating node is a vertex of a
 //! tree; each node picks its parent **using only local information**; the
 //! tree's expected height is **O(log N)** because node GUIDs are uniformly
 //! distributed; subtree *maximal resource* information is aggregated up the
@@ -15,12 +18,14 @@
 //! satisfies every property the paper states (see `DESIGN.md`):
 //!
 //! * node `x`'s **level** is the shortest bit-prefix `ℓ` of `x` whose
-//!   truncation `trunc(x, ℓ)` still falls in `x`'s own ownership interval
-//!   `(predecessor(x), x]` — a purely **local** computation;
-//! * `x`'s **parent** is the Chord owner of `trunc(x, ℓ − 1)` — found with a
-//!   single DHT lookup;
-//! * the node owning key `0` is the unique **root**; parent ids strictly
-//!   decrease along every chain, so the structure is always a tree;
+//!   truncation `trunc(x, ℓ)` is still **owned by `x`** in the overlay — a
+//!   purely **local** computation;
+//! * `x`'s **parent** is the overlay owner of `trunc(x, ℓ − 1)` — found with
+//!   a single DHT lookup;
+//! * the node owning key `0` is the unique **root**; under Chord's interval
+//!   ownership parent ids strictly decrease along every chain, so the
+//!   structure is always a tree (for other ownership rules a cheap repair
+//!   pass restores acyclicity);
 //! * with uniform random GUIDs each parent step roughly halves the candidate
 //!   prefix region, giving expected height `O(log N)` (asserted empirically
 //!   in the tests and reproduced as experiment `T-tree`).

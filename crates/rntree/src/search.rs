@@ -8,7 +8,6 @@
 //! job, the search proceeds until at least k capable nodes are found for
 //! better load balancing (extended search)." (Section 3.1.)
 
-use dgrid_chord::ChordId;
 use dgrid_resources::JobRequirements;
 
 use crate::tree::RnTreeIndex;
@@ -19,7 +18,7 @@ pub struct SearchResult {
     /// Capable nodes found, in discovery order. May be shorter than `k`
     /// (the system simply has fewer capable nodes), or slightly longer
     /// (the final subtree expansion is not cut mid-node).
-    pub candidates: Vec<ChordId>,
+    pub candidates: Vec<u64>,
     /// Tree-edge messages spent on the search (descents, returns, and
     /// ancestor climbs), the paper's "matchmaking cost" for the RN-Tree.
     pub hops: u32,
@@ -33,7 +32,7 @@ impl RnTreeIndex {
     ///
     /// # Panics
     /// If `owner` is not in the tree or `k == 0`.
-    pub fn find_candidates(&self, owner: ChordId, req: &JobRequirements, k: usize) -> SearchResult {
+    pub fn find_candidates(&self, owner: u64, req: &JobRequirements, k: usize) -> SearchResult {
         assert!(k > 0, "extended search needs k >= 1");
         let mut out = SearchResult {
             candidates: Vec::with_capacity(k.min(64)),
@@ -72,13 +71,7 @@ impl RnTreeIndex {
     /// Charges one hop to enter the subtree and one hop per further descent
     /// edge; results return to the requester directly (the paper uses
     /// direct connections for replies).
-    fn search_subtree(
-        &self,
-        root: ChordId,
-        req: &JobRequirements,
-        k: usize,
-        out: &mut SearchResult,
-    ) {
+    fn search_subtree(&self, root: u64, req: &JobRequirements, k: usize, out: &mut SearchResult) {
         if !self.subtree_info(root).may_satisfy(req) {
             return; // pruned: the request message is never sent
         }
@@ -112,7 +105,7 @@ mod tests {
     use std::collections::HashMap;
 
     /// Ring + capability map with a known mix of weak/strong nodes.
-    fn build_index(n: usize, seed: u64) -> (RnTreeIndex, HashMap<ChordId, Capabilities>) {
+    fn build_index(n: usize, seed: u64) -> (RnTreeIndex, HashMap<u64, Capabilities>) {
         let mut rng = rng_for(seed, streams::NODE_IDS);
         let mut ring = ChordRing::default();
         let mut caps = HashMap::new();
@@ -129,7 +122,7 @@ mod tests {
             } else {
                 Capabilities::new(1.0, 1.0, 40.0, OsType::Linux)
             };
-            caps.insert(id, c);
+            caps.insert(id.0, c);
             count += 1;
         }
         ring.stabilize();

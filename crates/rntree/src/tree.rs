@@ -1,9 +1,14 @@
-//! Tree construction from Chord membership, and the combined index.
+//! Tree construction from overlay membership, and the combined index.
+//!
+//! The build is generic over any [`KeyRouter`] substrate (Chord, Pastry,
+//! Tapestry): it needs only ground-truth key ownership for the level rule
+//! and one cost-counted lookup per node for the parent pointer — exactly
+//! the `successor(k)` interface the paper assumes of the underlying DHT.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use dgrid_chord::{ChordId, ChordRing};
 use dgrid_resources::Capabilities;
+use dgrid_sim::router::KeyRouter;
 
 use crate::aggregate::SubtreeInfo;
 
@@ -16,38 +21,38 @@ fn trunc(x: u64, level: u32) -> u64 {
     }
 }
 
-/// The Rendezvous Node Tree over a snapshot of Chord membership.
+/// The Rendezvous Node Tree over a snapshot of overlay membership.
 ///
-/// Rebuilt from the ring on churn; in a deployment every node maintains its
-/// own parent pointer with one local computation plus one DHT lookup, so a
-/// full rebuild here corresponds to each node independently refreshing its
+/// Rebuilt from the overlay on churn; in a deployment every node maintains
+/// its own parent pointer with one local computation plus one DHT lookup, so
+/// a full rebuild here corresponds to each node independently refreshing its
 /// pointer (what the paper's periodic soft-state maintenance converges to).
 #[derive(Clone, Debug)]
 pub struct RnTree {
-    root: ChordId,
-    parent: HashMap<ChordId, Option<ChordId>>,
-    children: HashMap<ChordId, Vec<ChordId>>,
+    root: u64,
+    parent: HashMap<u64, Option<u64>>,
+    children: HashMap<u64, Vec<u64>>,
 }
 
 impl RnTree {
-    /// Build the tree for all live peers of `ring`.
+    /// Build the tree for all live nodes of `router`.
     ///
     /// # Panics
-    /// If the ring is empty.
-    pub fn build(ring: &ChordRing) -> RnTree {
-        Self::build_counting(ring).0
+    /// If the overlay is empty.
+    pub fn build<R: KeyRouter>(router: &R) -> RnTree {
+        Self::build_counting(router).0
     }
 
-    /// Build the tree and report the total Chord-lookup hop cost the peers
-    /// would pay to (re)establish their parent pointers — one lookup per
-    /// non-root node.
-    pub fn build_counting(ring: &ChordRing) -> (RnTree, u64) {
-        let ids = ring.alive_ids();
-        assert!(!ids.is_empty(), "RN-Tree over an empty ring");
-        let root = ring.successor_of(ChordId(0)).expect("non-empty ring");
+    /// Build the tree and report the total overlay-lookup hop cost the
+    /// nodes would pay to (re)establish their parent pointers — one lookup
+    /// per non-root node.
+    pub fn build_counting<R: KeyRouter>(router: &R) -> (RnTree, u64) {
+        let ids = router.alive_keys();
+        assert!(!ids.is_empty(), "RN-Tree over an empty overlay");
+        let root = router.owner_of(0).expect("non-empty overlay");
 
-        let mut parent: HashMap<ChordId, Option<ChordId>> = HashMap::with_capacity(ids.len());
-        let mut children: HashMap<ChordId, Vec<ChordId>> = HashMap::with_capacity(ids.len());
+        let mut parent: HashMap<u64, Option<u64>> = HashMap::with_capacity(ids.len());
+        let mut children: HashMap<u64, Vec<u64>> = HashMap::with_capacity(ids.len());
         let mut lookup_hops = 0u64;
 
         for &id in &ids {
@@ -57,20 +62,53 @@ impl RnTree {
                 continue;
             }
             // Local step: the shortest prefix of our id we still own.
-            let pred = ring.predecessor_of(id).expect("multi-node ring");
             let level = (0..=64u32)
-                .find(|&l| ChordId(trunc(id.0, l)).in_open_closed(pred, id))
+                .find(|&l| router.owner_of(trunc(id, l)) == Some(id))
                 .expect("level 64 always owns the id itself");
             debug_assert!(level > 0, "only the root owns key 0");
             // One DHT lookup: the owner of the next-shorter prefix.
-            let key = ChordId(trunc(id.0, level - 1));
-            let res = ring.lookup(id, key).expect("stable ring routes");
+            let key = trunc(id, level - 1);
+            let res = router.lookup(id, key).expect("stable overlay routes");
             lookup_hops += u64::from(res.hops);
-            let p = res.owner;
-            debug_assert_ne!(p, id);
+            let mut p = res.owner;
+            if p == id {
+                // Stale routing delivered the query back to the asker; the
+                // level rule guarantees the shorter prefix is *not* ours, so
+                // fall back to ground truth. (Chord routes never do this.)
+                p = router.owner_of(key).expect("non-empty overlay");
+            }
             parent.insert(id, Some(p));
             children.entry(p).or_default().push(id);
         }
+
+        // Acyclicity repair. Chord's interval ownership makes parent ids
+        // strictly decrease, so every chain reaches the root; numeric-
+        // closeness (Pastry) and surrogate (Tapestry) ownership admit rare
+        // parent cycles on stale snapshots. Detach any node that cannot
+        // reach the root and graft it onto the root directly, in ascending
+        // id order — a no-op for Chord.
+        let mut reached: HashSet<u64> = HashSet::with_capacity(ids.len());
+        let mut stack = vec![root];
+        reached.insert(root);
+        while let Some(x) = stack.pop() {
+            if let Some(kids) = children.get(&x) {
+                for &c in kids {
+                    if reached.insert(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        for &id in ids.iter().filter(|id| !reached.contains(id)) {
+            if let Some(Some(old)) = parent.get(&id).copied() {
+                if let Some(kids) = children.get_mut(&old) {
+                    kids.retain(|&k| k != id);
+                }
+            }
+            parent.insert(id, Some(root));
+            children.entry(root).or_default().push(id);
+        }
+
         for kids in children.values_mut() {
             kids.sort_unstable();
         }
@@ -84,8 +122,8 @@ impl RnTree {
         )
     }
 
-    /// The tree root (the Chord owner of key 0).
-    pub fn root(&self) -> ChordId {
+    /// The tree root (the overlay owner of key 0).
+    pub fn root(&self) -> u64 {
         self.root
     }
 
@@ -100,7 +138,7 @@ impl RnTree {
     }
 
     /// Is `id` in the tree?
-    pub fn contains(&self, id: ChordId) -> bool {
+    pub fn contains(&self, id: u64) -> bool {
         self.parent.contains_key(&id)
     }
 
@@ -108,7 +146,7 @@ impl RnTree {
     ///
     /// # Panics
     /// If `id` is not in the tree.
-    pub fn parent(&self, id: ChordId) -> Option<ChordId> {
+    pub fn parent(&self, id: u64) -> Option<u64> {
         *self
             .parent
             .get(&id)
@@ -116,7 +154,7 @@ impl RnTree {
     }
 
     /// Children of `id`, ascending.
-    pub fn children(&self, id: ChordId) -> &[ChordId] {
+    pub fn children(&self, id: u64) -> &[u64] {
         self.children
             .get(&id)
             .map(Vec::as_slice)
@@ -124,13 +162,13 @@ impl RnTree {
     }
 
     /// Depth of `id` (root is 0).
-    pub fn depth_of(&self, id: ChordId) -> u32 {
+    pub fn depth_of(&self, id: u64) -> u32 {
         let mut d = 0;
         let mut cur = id;
         while let Some(p) = self.parent(cur) {
             cur = p;
             d += 1;
-            assert!(d <= 64 + 1, "cycle in tree");
+            assert!(d as usize <= self.parent.len(), "cycle in tree");
         }
         d
     }
@@ -145,8 +183,8 @@ impl RnTree {
     }
 
     /// All node ids, ascending.
-    pub fn ids(&self) -> Vec<ChordId> {
-        let mut v: Vec<ChordId> = self.parent.keys().copied().collect();
+    pub fn ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.parent.keys().copied().collect();
         v.sort_unstable();
         v
     }
@@ -158,18 +196,18 @@ impl RnTree {
 #[derive(Clone, Debug)]
 pub struct RnTreeIndex {
     tree: RnTree,
-    caps: HashMap<ChordId, Capabilities>,
-    info: HashMap<ChordId, SubtreeInfo>,
+    caps: HashMap<u64, Capabilities>,
+    info: HashMap<u64, SubtreeInfo>,
 }
 
 impl RnTreeIndex {
-    /// Build the index over `ring` using each peer's advertised
+    /// Build the index over `router` using each node's advertised
     /// capabilities. Aggregation is computed immediately (fresh).
     ///
     /// # Panics
-    /// If any live peer is missing from `caps`.
-    pub fn build(ring: &ChordRing, caps: &HashMap<ChordId, Capabilities>) -> RnTreeIndex {
-        let tree = RnTree::build(ring);
+    /// If any live node is missing from `caps`.
+    pub fn build<R: KeyRouter>(router: &R, caps: &HashMap<u64, Capabilities>) -> RnTreeIndex {
+        let tree = RnTree::build(router);
         let mut index = RnTreeIndex {
             caps: tree
                 .ids()
@@ -194,12 +232,12 @@ impl RnTreeIndex {
     }
 
     /// A node's own capabilities.
-    pub fn capabilities(&self, id: ChordId) -> &Capabilities {
+    pub fn capabilities(&self, id: u64) -> &Capabilities {
         &self.caps[&id]
     }
 
     /// The aggregated information for the subtree rooted at `id`.
-    pub fn subtree_info(&self, id: ChordId) -> &SubtreeInfo {
+    pub fn subtree_info(&self, id: u64) -> &SubtreeInfo {
         &self.info[&id]
     }
 
@@ -211,9 +249,9 @@ impl RnTreeIndex {
         self.aggregate_rec(self.tree.root());
     }
 
-    fn aggregate_rec(&mut self, id: ChordId) -> SubtreeInfo {
+    fn aggregate_rec(&mut self, id: u64) -> SubtreeInfo {
         let mut acc = SubtreeInfo::leaf(&self.caps[&id]);
-        let kids: Vec<ChordId> = self.tree.children(id).to_vec();
+        let kids: Vec<u64> = self.tree.children(id).to_vec();
         for k in kids {
             let sub = self.aggregate_rec(k);
             acc.absorb(&sub);
@@ -276,8 +314,10 @@ impl RnTreeIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgrid_chord::ChordRing;
+    use dgrid_chord::{ChordId, ChordRing};
+    use dgrid_pastry::PastryNetwork;
     use dgrid_sim::rng::{rng_for, streams};
+    use dgrid_tapestry::TapestryNetwork;
     use rand::Rng;
 
     fn ring_of(n: usize, seed: u64) -> ChordRing {
@@ -295,6 +335,22 @@ mod tests {
         ring
     }
 
+    /// Any substrate filled with `n` random nodes, stabilized.
+    fn overlay_of<R: KeyRouter>(n: usize, seed: u64) -> R {
+        let mut rng = rng_for(seed, streams::NODE_IDS);
+        let mut net = R::default();
+        let mut count = 0;
+        while count < n {
+            let id: u64 = rng.gen();
+            if !net.is_alive(id) {
+                net.join(id);
+                count += 1;
+            }
+        }
+        net.stabilize();
+        net
+    }
+
     #[test]
     fn trunc_masks_low_bits() {
         assert_eq!(trunc(0xFFFF_FFFF_FFFF_FFFF, 0), 0);
@@ -308,7 +364,7 @@ mod tests {
         let mut ring = ChordRing::default();
         ring.join(ChordId(12345));
         let tree = RnTree::build(&ring);
-        assert_eq!(tree.root(), ChordId(12345));
+        assert_eq!(tree.root(), 12345);
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.parent(tree.root()), None);
         assert_eq!(tree.height(), 0);
@@ -320,13 +376,13 @@ mod tests {
         let tree = RnTree::build(&ring);
         assert_eq!(tree.len(), 200);
         // Exactly one root, and it owns key 0.
-        let roots: Vec<ChordId> = tree
+        let roots: Vec<u64> = tree
             .ids()
             .into_iter()
             .filter(|&id| tree.parent(id).is_none())
             .collect();
         assert_eq!(roots, vec![tree.root()]);
-        assert_eq!(Some(tree.root()), ring.successor_of(ChordId(0)));
+        assert_eq!(Some(ChordId(tree.root())), ring.successor_of(ChordId(0)));
     }
 
     #[test]
@@ -343,6 +399,39 @@ mod tests {
                 assert!(steps <= 65);
             }
             assert_eq!(cur, tree.root());
+        }
+    }
+
+    #[test]
+    fn every_substrate_builds_a_rooted_covering_tree() {
+        fn check<R: KeyRouter>(n: usize, seed: u64) {
+            let net: R = overlay_of(n, seed);
+            let tree = RnTree::build(&net);
+            assert_eq!(tree.len(), n, "{}: tree covers membership", R::SUBSTRATE);
+            assert_eq!(
+                Some(tree.root()),
+                net.owner_of(0),
+                "{}: root owns key 0",
+                R::SUBSTRATE
+            );
+            for id in tree.ids() {
+                // Terminates and ends at the root (depth_of panics on
+                // cycles), and links are mutual.
+                let _ = tree.depth_of(id);
+                let mut cur = id;
+                while let Some(p) = tree.parent(cur) {
+                    cur = p;
+                }
+                assert_eq!(cur, tree.root(), "{}: chain reaches root", R::SUBSTRATE);
+                for &c in tree.children(id) {
+                    assert_eq!(tree.parent(c), Some(id));
+                }
+            }
+        }
+        for seed in [91u64, 92, 93] {
+            check::<ChordRing>(96, seed);
+            check::<PastryNetwork>(96, seed);
+            check::<TapestryNetwork>(96, seed);
         }
     }
 
@@ -402,7 +491,7 @@ mod tests {
         let tree = RnTree::build(&ring);
         assert_eq!(tree.len(), 70);
         for id in tree.ids() {
-            assert!(ring.is_alive(id));
+            assert!(ring.is_alive(ChordId(id)));
         }
     }
 }

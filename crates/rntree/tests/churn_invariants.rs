@@ -1,0 +1,115 @@
+//! Shared churn-invariant harness over the [`KeyRouter`] trait.
+//!
+//! One property, three substrates: arbitrary join/leave/fail histories
+//! followed by stabilization must leave every overlay's routing tables
+//! clean (`table_violation() == None`, idempotently), with membership
+//! bookkeeping consistent and lookups agreeing with ground-truth ownership.
+//! This replaces the near-identical `churn_preserves_table_invariants`
+//! proptests that used to be duplicated in `dgrid-pastry` and
+//! `dgrid-tapestry`; overlay-specific properties (leaf-set ring checks,
+//! surrogate-root uniqueness, ...) stay in their own crates.
+
+use dgrid_chord::ChordRing;
+use dgrid_pastry::PastryNetwork;
+use dgrid_sim::router::KeyRouter;
+use dgrid_tapestry::TapestryNetwork;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Join(u64),
+    Leave(usize),
+    Fail(usize),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => any::<u64>().prop_map(Step::Join),
+        1 => any::<usize>().prop_map(Step::Leave),
+        1 => any::<usize>().prop_map(Step::Fail),
+    ]
+}
+
+/// Apply a churn history and check the trait-level invariants every
+/// substrate must uphold.
+fn churn_preserves_invariants<R: KeyRouter>(
+    initial: &std::collections::HashSet<u64>,
+    steps: &[Step],
+) -> Result<(), TestCaseError> {
+    let mut net = R::default();
+    let mut live: Vec<u64> = Vec::new();
+    for &id in initial {
+        net.join(id);
+        live.push(id);
+    }
+    for s in steps {
+        match *s {
+            Step::Join(id) if !net.is_alive(id) => {
+                net.join(id);
+                live.push(id);
+            }
+            Step::Leave(i) if live.len() > 1 => {
+                let id = live.swap_remove(i % live.len());
+                net.leave(id);
+            }
+            Step::Fail(i) if live.len() > 1 => {
+                let id = live.swap_remove(i % live.len());
+                net.fail(id);
+            }
+            _ => {}
+        }
+    }
+    net.stabilize();
+
+    // Routing tables are clean, and stabilization is idempotent.
+    prop_assert_eq!(net.table_violation(), None);
+    net.stabilize();
+    prop_assert_eq!(net.table_violation(), None);
+
+    // Membership bookkeeping agrees with the history.
+    live.sort_unstable();
+    prop_assert_eq!(net.len(), live.len());
+    prop_assert_eq!(net.alive_keys(), live.clone());
+
+    // Lookups from a sample of live nodes agree with ground-truth
+    // ownership and report no timeout probes after stabilization.
+    for &key in live.iter().take(3) {
+        let probe = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let owner = net.owner_of(probe).expect("non-empty overlay");
+        prop_assert!(net.is_alive(owner));
+        for &from in live.iter().take(4) {
+            let res = net.lookup(from, probe).expect("stable overlay routes");
+            prop_assert_eq!(res.owner, owner);
+            prop_assert_eq!(res.timeouts, 0);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chord_churn_preserves_table_invariants(
+        initial in proptest::collection::hash_set(any::<u64>(), 2..40),
+        steps in proptest::collection::vec(step(), 0..30),
+    ) {
+        churn_preserves_invariants::<ChordRing>(&initial, &steps)?;
+    }
+
+    #[test]
+    fn pastry_churn_preserves_table_invariants(
+        initial in proptest::collection::hash_set(any::<u64>(), 2..40),
+        steps in proptest::collection::vec(step(), 0..30),
+    ) {
+        churn_preserves_invariants::<PastryNetwork>(&initial, &steps)?;
+    }
+
+    #[test]
+    fn tapestry_churn_preserves_table_invariants(
+        initial in proptest::collection::hash_set(any::<u64>(), 2..40),
+        steps in proptest::collection::vec(step(), 0..30),
+    ) {
+        churn_preserves_invariants::<TapestryNetwork>(&initial, &steps)?;
+    }
+}

@@ -18,7 +18,7 @@ fn ring_from_ids(ids: &HashSet<u64>) -> ChordRing {
     ring
 }
 
-fn caps_for(ids: &HashSet<u64>) -> HashMap<ChordId, Capabilities> {
+fn caps_for(ids: &HashSet<u64>) -> HashMap<u64, Capabilities> {
     ids.iter()
         .map(|&id| {
             let c = Capabilities::new(
@@ -27,7 +27,7 @@ fn caps_for(ids: &HashSet<u64>) -> HashMap<ChordId, Capabilities> {
                 10.0 + (id % 50) as f64 * 9.5,
                 OsType::ALL[(id % 4) as usize],
             );
-            (ChordId(id), c)
+            (id, c)
         })
         .collect()
 }
@@ -88,14 +88,14 @@ proptest! {
         }
 
         let req = JobRequirements::unconstrained().with_min(ResourceKind::CpuSpeed, cpu_min);
-        let expected: HashSet<ChordId> = caps
+        let expected: HashSet<u64> = caps
             .iter()
             .filter(|(_, c)| req.satisfied_by(c))
             .map(|(&id, _)| id)
             .collect();
         let all = index.tree().ids();
         let owner = all[owner_pick % all.len()];
-        let found: HashSet<ChordId> = index
+        let found: HashSet<u64> = index
             .find_candidates(owner, &req, usize::MAX)
             .candidates
             .into_iter()

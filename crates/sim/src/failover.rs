@@ -1,0 +1,90 @@
+//! Shared detour skeleton for overlay lookup failover.
+//!
+//! Every overlay in the workspace retries a failed lookup the same way:
+//! Chord hands the query to entries of its successor list, CAN hands it to
+//! the live neighbor whose zone is closest to the target, and the generic
+//! [`KeyRouter`](crate::router::KeyRouter) substrates hand it to their
+//! `failover_peers`. The loop is identical in all three — one plain attempt,
+//! then up to `retries` detours, each handoff charged as one extra hop onto
+//! the successful result — so it lives here once instead of being
+//! re-implemented per overlay.
+
+/// Run `first()` and fall back to detour peers when it fails.
+///
+/// `next_detour(i)` yields the `i`-th detour peer, advancing whatever cursor
+/// the policy keeps (CAN walks its greedy frontier forward, Chord scans a
+/// static successor list); returning `None` abandons the operation. Each
+/// yielded peer consumes one retry and one extra hop *before* the attempt,
+/// matching the cost of handing the query over. On a successful `attempt`,
+/// `charge` folds the accumulated handoff hops into the result.
+///
+/// Returns the result plus the number of detours consumed (0 when the first
+/// attempt succeeded), or `None` when the budget is exhausted or no detour
+/// peer remains.
+pub fn route_with_detours<P, R>(
+    retries: u32,
+    first: impl FnOnce() -> Option<R>,
+    mut next_detour: impl FnMut(u32) -> Option<P>,
+    mut attempt: impl FnMut(&P) -> Option<R>,
+    charge: impl Fn(&mut R, u32),
+) -> Option<(R, u32)> {
+    if let Some(r) = first() {
+        return Some((r, 0));
+    }
+    let mut used = 0u32;
+    let mut extra_hops = 0u32;
+    while used < retries {
+        let peer = next_detour(used)?;
+        used += 1;
+        extra_hops += 1; // handing the query to the detour peer
+        if let Some(mut r) = attempt(&peer) {
+            charge(&mut r, extra_hops);
+            return Some((r, used));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_costs_nothing() {
+        let out = route_with_detours(
+            3,
+            || Some(10u32),
+            |_| -> Option<u32> { panic!("no detour on success") },
+            |_| None,
+            |r, extra| *r += extra,
+        );
+        assert_eq!(out, Some((10, 0)));
+    }
+
+    #[test]
+    fn detours_charge_one_hop_each() {
+        // First attempt fails; peers 7 and 8 fail; peer 9 succeeds with a
+        // base cost of 5 hops, plus 3 handoffs.
+        let peers = [7u32, 8, 9];
+        let mut it = peers.iter().copied();
+        let out = route_with_detours(
+            5,
+            || None,
+            |_| it.next(),
+            |&p| (p == 9).then_some(5u32),
+            |r, extra| *r += extra,
+        );
+        assert_eq!(out, Some((8, 3)));
+    }
+
+    #[test]
+    fn budget_exhaustion_and_peer_exhaustion_both_fail() {
+        let mut it = [1u32, 2, 3].into_iter();
+        let capped = route_with_detours(2, || None, |_| it.next(), |_| None::<u32>, |_, _| {});
+        assert_eq!(capped, None);
+
+        let mut empty = std::iter::empty::<u32>();
+        let dry = route_with_detours(9, || None, |_| empty.next(), |_| None::<u32>, |_, _| {});
+        assert_eq!(dry, None);
+    }
+}

@@ -24,6 +24,13 @@
 //! * [`telemetry`] — named metric registries, virtual-time series
 //!   sampling, and the hook interface overlay code uses to report lookup
 //!   telemetry without threading values through every call.
+//! * [`router`] — the [`KeyRouter`](router::KeyRouter) trait: the
+//!   substrate-agnostic key-routing surface (membership, ownership,
+//!   cost-counted lookup, maintenance, debug checks) that Chord, Pastry,
+//!   and Tapestry implement and the matchmaking layer builds on.
+//! * [`failover`] — the shared detour skeleton behind every overlay's
+//!   lookup failover (Chord successor lists, CAN neighbor handoffs, generic
+//!   `KeyRouter` retries).
 //!
 //! Everything here is allocation-light and single-threaded by design;
 //! parallelism in the workspace happens *across* replications (one simulator
@@ -53,10 +60,12 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod failover;
 pub mod fault;
 pub mod hist;
 pub mod net;
 pub mod rng;
+pub mod router;
 pub mod stats;
 pub mod telemetry;
 mod time;
@@ -70,6 +79,7 @@ pub mod prelude {
     pub use crate::hist::LogHistogram;
     pub use crate::net::LatencyModel;
     pub use crate::rng::{rng_for, SimRng};
+    pub use crate::router::{KeyRouter, RouteCost};
     pub use crate::stats::{OnlineStats, SampleSet, SampleSummary};
     pub use crate::telemetry::{
         MetricsRegistry, NullHook, RegistryHook, SharedHook, SharedRegistry, TelemetryHook,

@@ -1,0 +1,110 @@
+//! Substrate-agnostic key routing: the [`KeyRouter`] trait.
+//!
+//! The paper's RN-Tree needs only a DHT's `successor(k)` mapping and
+//! O(log N) routing (Section 3.1), so the matchmaking layer should not care
+//! *which* structured overlay provides them. `KeyRouter` captures exactly
+//! that surface over a 64-bit key space: membership (`join`/`leave`/`fail`),
+//! ground-truth ownership, cost-counted routing, detour failover, a
+//! maintenance tick, and a routing-table debug check. Chord, Pastry, and
+//! Tapestry implement it in their own crates; `dgrid-core` re-exports the
+//! trait as its overlay abstraction and builds the generic RN-Tree
+//! matchmaker on top.
+//!
+//! CAN is deliberately **not** a `KeyRouter`: it routes points in a
+//! d-dimensional resource space rather than 64-bit keys, and its matchmaker
+//! uses the geometry directly. Its failover does share the same detour
+//! skeleton, via [`crate::failover::route_with_detours`].
+
+use crate::failover::route_with_detours;
+
+/// Cost-annotated result of routing to a key's owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteCost {
+    /// Key of the node responsible for the routed key.
+    pub owner: u64,
+    /// Forwarding hops the query took.
+    pub hops: u32,
+    /// Timed-out probes of dead nodes along the way.
+    pub timeouts: u32,
+}
+
+impl RouteCost {
+    /// Hops as charged to the requester: forwarding plus timeout probes.
+    pub fn charged_hops(self) -> u32 {
+        self.hops + self.timeouts
+    }
+}
+
+/// A structured overlay that can own and locate 64-bit keys.
+///
+/// Implementations must be deterministic: every method's result is a pure
+/// function of the membership/maintenance history, never of hash-map
+/// iteration order or real time. `alive_keys` must return ascending order
+/// so callers can draw random peers reproducibly.
+pub trait KeyRouter: Default {
+    /// Substrate name used in matchmaker labels: "chord", "pastry", ...
+    const SUBSTRATE: &'static str;
+
+    /// Hash an arbitrary value onto the substrate's key space.
+    fn key_of(raw: u64) -> u64;
+
+    /// Add a live node under `key`. Must not already be present and alive.
+    fn join(&mut self, key: u64);
+
+    /// Graceful departure: the node repairs its neighborhood on the way out.
+    fn leave(&mut self, key: u64);
+
+    /// Abrupt failure: routing state stays stale until maintenance.
+    fn fail(&mut self, key: u64);
+
+    /// Whether `key` is a live member.
+    fn is_alive(&self, key: u64) -> bool;
+
+    /// Number of live members.
+    fn len(&self) -> usize;
+
+    /// Whether the overlay has no live members.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live keys, ascending.
+    fn alive_keys(&self) -> Vec<u64>;
+
+    /// Ground-truth owner of `key` (no routing, no cost).
+    fn owner_of(&self, key: u64) -> Option<u64>;
+
+    /// Route from the live node `from` to the owner of `key`, counting
+    /// forwarding hops and timeout probes. `None` when routing stalls.
+    fn lookup(&self, from: u64, key: u64) -> Option<RouteCost>;
+
+    /// Detour peers to try, in order, when a lookup from `from` fails.
+    /// Entries may be stale or dead; [`KeyRouter::lookup_with_failover`]
+    /// skips dead ones without consuming retries.
+    fn failover_peers(&self, from: u64) -> Vec<u64>;
+
+    /// One deterministic neighbor step away from `at` — the RN-Tree
+    /// random-walk primitive. `None` when no live neighbor is available.
+    fn walk_step(&self, at: u64) -> Option<u64>;
+
+    /// One maintenance round (periodic stabilization).
+    fn stabilize(&mut self);
+
+    /// Debug check of the routing-table invariants; `None` when clean.
+    fn table_violation(&self) -> Option<String>;
+
+    /// [`KeyRouter::lookup`] with detour failover: on a stalled lookup,
+    /// hand the query to up to `retries` live `failover_peers`, charging
+    /// one extra hop per handoff. Returns the route and the retries spent.
+    fn lookup_with_failover(&self, from: u64, key: u64, retries: u32) -> Option<(RouteCost, u32)> {
+        let peers = self.failover_peers(from);
+        let mut candidates = peers.into_iter().filter(|&s| s != from && self.is_alive(s));
+        route_with_detours(
+            retries,
+            || self.lookup(from, key),
+            |_| candidates.next(),
+            |&peer| self.lookup(peer, key),
+            |r, extra| r.hops += extra,
+        )
+    }
+}

@@ -398,6 +398,88 @@ impl TapestryNetwork {
     }
 }
 
+impl dgrid_sim::router::KeyRouter for TapestryNetwork {
+    const SUBSTRATE: &'static str = "tapestry";
+
+    fn key_of(raw: u64) -> u64 {
+        TapestryId::hash_of(raw).0
+    }
+
+    fn join(&mut self, key: u64) {
+        TapestryNetwork::join(self, TapestryId(key));
+    }
+
+    fn leave(&mut self, key: u64) {
+        TapestryNetwork::leave(self, TapestryId(key));
+    }
+
+    fn fail(&mut self, key: u64) {
+        TapestryNetwork::fail(self, TapestryId(key));
+    }
+
+    fn is_alive(&self, key: u64) -> bool {
+        TapestryNetwork::is_alive(self, TapestryId(key))
+    }
+
+    fn len(&self) -> usize {
+        TapestryNetwork::len(self)
+    }
+
+    fn alive_keys(&self) -> Vec<u64> {
+        self.alive_ids().into_iter().map(|id| id.0).collect()
+    }
+
+    fn owner_of(&self, key: u64) -> Option<u64> {
+        self.root_of(TapestryId(key)).map(|id| id.0)
+    }
+
+    fn lookup(&self, from: u64, key: u64) -> Option<dgrid_sim::router::RouteCost> {
+        self.route(TapestryId(from), TapestryId(key))
+            .map(|r| dgrid_sim::router::RouteCost {
+                owner: r.owner.0,
+                hops: r.hops,
+                timeouts: r.timeouts,
+            })
+    }
+
+    fn failover_peers(&self, from: u64) -> Vec<u64> {
+        // Neighbor-map entries in level-major order — the closest-known
+        // peers first — deduped since one node can fill several slots.
+        let Some(st) = self.peers.get(&from) else {
+            return Vec::new();
+        };
+        let mut out: Vec<u64> = Vec::new();
+        for row in &st.maps {
+            for entry in row.iter().flatten() {
+                if entry.0 != from && !out.contains(&entry.0) {
+                    out.push(entry.0);
+                }
+            }
+        }
+        out
+    }
+
+    fn walk_step(&self, at: u64) -> Option<u64> {
+        // First live neighbor-map entry: Tapestry has no ring successor, so
+        // the walk follows the closest known distinct neighbor.
+        let st = self.peers.get(&at)?;
+        st.maps
+            .iter()
+            .flat_map(|row| row.iter().flatten())
+            .copied()
+            .find(|&n| n.0 != at && TapestryNetwork::is_alive(self, n))
+            .map(|n| n.0)
+    }
+
+    fn stabilize(&mut self) {
+        TapestryNetwork::stabilize(self);
+    }
+
+    fn table_violation(&self) -> Option<String> {
+        TapestryNetwork::table_violation(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,9 +4,10 @@
 //! dgrid run     --algorithm rn-tree --scenario mixed/light [options]
 //! dgrid compare --scenario clustered/heavy [options]
 //! dgrid report  --events events.jsonl [--timeseries series.json]
-//! dgrid check   [--seeds N] [--seed BASE] [--out PATH]
+//! dgrid check   [--seeds N] [--seed BASE] [--out PATH] [--matchmaker M[,M...]]
 //! dgrid check   --replay repro.json
 //! dgrid bench sweep [--replications N] [--json PATH]
+//! dgrid bench overlays [--replications N] [--json PATH]
 //!
 //! options:
 //!   --nodes N             grid size                      (default 200)
@@ -40,11 +41,18 @@
 //!   --replay PATH         re-run a previously written repro artifact
 //!   --inject-bug NAME     deliberately break the engine (self-test);
 //!                         names: epoch-dedup
+//!   --matchmaker M[,M...] only sweep the listed matchmaker labels
+//!                         (default: all five variants)
 //!
 //! bench sweep options (defaults: 96 nodes, 400 jobs, 16 replications):
 //!   --replications R      replications per timed cell    (default 16)
 //!   --threads N           highest thread count to measure
 //!   --json PATH           write the sweep results as JSON
+//!
+//! bench overlays options (same defaults): time the RN-Tree matchmaker on
+//! every overlay substrate (chord, pastry, tapestry) over one replicated
+//! cell and compare lookup hops, wait times, and wall time per substrate;
+//! `--json` writes the comparison for the CI artifact.
 //! ```
 //!
 //! `run` executes one cell and prints the report (`--replications R` fans R
@@ -62,6 +70,7 @@
 
 use std::io::{BufWriter, Write};
 
+use dgrid::core::router::{PastryNetwork, TapestryNetwork};
 use dgrid::core::{
     parse_event_line, phase_samples, ChurnConfig, Engine, EngineConfig, FaultPlan, JobSpan,
     JsonlObserver, Phase, RnTreeConfig, RnTreeMatchmaker, SimReport, SpanAssembler, SpanOutcome,
@@ -96,6 +105,7 @@ struct Opts {
     out: Option<String>,
     replay: Option<String>,
     inject_bug: Option<String>,
+    matchmakers: Option<String>,
     threads: Option<usize>,
     replications: usize,
 }
@@ -107,8 +117,8 @@ fn usage() -> ! {
          [--rejoin SECS] [--graceful FRAC] \
          [--k K] [--loss P] [--partition START:END:IDS] [--events PATH] \
          [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH] \
-         [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME]\n\
-         algorithms: rn-tree can can-push can-novirt central\n\
+         [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME] [--matchmaker M[,M...]]\n\
+         algorithms: rn-tree rn-tree@pastry rn-tree@tapestry can can-push can-novirt central\n\
          scenarios : clustered/light clustered/heavy mixed/light mixed/heavy"
     );
     std::process::exit(2)
@@ -116,7 +126,9 @@ fn usage() -> ! {
 
 fn parse_algorithm(s: &str) -> Algorithm {
     match s {
-        "rn-tree" | "rntree" => Algorithm::RnTree,
+        "rn-tree" | "rntree" | "rn-tree@chord" => Algorithm::RnTree,
+        "rn-tree@pastry" | "rntree@pastry" => Algorithm::RnTreePastry,
+        "rn-tree@tapestry" | "rntree@tapestry" => Algorithm::RnTreeTapestry,
         "can" => Algorithm::Can,
         "can-push" => Algorithm::CanPush,
         "can-novirt" => Algorithm::CanNoVirtualDim,
@@ -181,6 +193,7 @@ fn parse() -> Opts {
         out: None,
         replay: None,
         inject_bug: None,
+        matchmakers: None,
         threads: None,
         replications: 1,
     };
@@ -194,10 +207,11 @@ fn parse() -> Opts {
     }
     let mut i = 1;
     if opts.command == "bench" {
-        // Only `bench sweep` exists; flags follow the subcommand. Defaults
-        // drop to the quick bench scale so a sweep finishes in seconds.
-        if args.get(1).map(String::as_str) != Some("sweep") {
-            usage();
+        // Flags follow the subcommand. Defaults drop to the quick bench
+        // scale so a sweep finishes in seconds.
+        match args.get(1).map(String::as_str) {
+            Some(sub @ ("sweep" | "overlays")) => opts.command = format!("bench-{sub}"),
+            _ => usage(),
         }
         opts.nodes = 96;
         opts.jobs = 400;
@@ -229,6 +243,7 @@ fn parse() -> Opts {
             "--out" => opts.out = Some(val),
             "--replay" => opts.replay = Some(val),
             "--inject-bug" => opts.inject_bug = Some(val),
+            "--matchmaker" => opts.matchmakers = Some(val),
             "--threads" => {
                 let n: usize = val.parse().unwrap_or_else(|_| usage());
                 if n == 0 {
@@ -281,13 +296,19 @@ fn build_engine(opts: &Opts, algorithm: Algorithm, workload: &Workload, seed: u6
         rejoin_after_secs: opts.rejoin,
         graceful_fraction: opts.graceful,
     };
-    let mm = if algorithm == Algorithm::RnTree {
-        Box::new(RnTreeMatchmaker::new(RnTreeConfig {
-            k: opts.k,
-            ..RnTreeConfig::default()
-        })) as Box<dyn dgrid::core::Matchmaker>
-    } else {
-        algorithm.matchmaker()
+    let rn_cfg = RnTreeConfig {
+        k: opts.k,
+        ..RnTreeConfig::default()
+    };
+    let mm: Box<dyn dgrid::core::Matchmaker> = match algorithm {
+        Algorithm::RnTree => Box::new(RnTreeMatchmaker::new(rn_cfg)),
+        Algorithm::RnTreePastry => {
+            Box::new(RnTreeMatchmaker::<PastryNetwork>::on_substrate(rn_cfg))
+        }
+        Algorithm::RnTreeTapestry => {
+            Box::new(RnTreeMatchmaker::<TapestryNetwork>::on_substrate(rn_cfg))
+        }
+        _ => algorithm.matchmaker(),
     };
     let mut engine = Engine::new(
         cfg,
@@ -614,7 +635,8 @@ fn cmd_report(opts: &Opts) {
 /// minimal replayable artifact; or `--replay` a previously written artifact.
 fn cmd_check(opts: &Opts) {
     use dgrid::check::{
-        check_run, check_scenario, fault_event_count, shrink, Inject, ReproArtifact, Violation,
+        check_run, check_scenario, check_scenario_with, fault_event_count, shrink, Inject,
+        MatchmakerChoice, ReproArtifact, Violation,
     };
     use std::path::Path;
 
@@ -628,6 +650,30 @@ fn cmd_check(opts: &Opts) {
             std::process::exit(2);
         }
     };
+
+    // `--matchmaker a,b` restricts the sweep (the CI overlay-matrix job runs
+    // one substrate per shard); default is every variant.
+    let selected: Vec<MatchmakerChoice> = match opts.matchmakers.as_deref() {
+        None => MatchmakerChoice::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|label| {
+                MatchmakerChoice::from_label(label).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown --matchmaker {label:?} (known: {})",
+                        MatchmakerChoice::ALL.map(|m| m.label()).join(", ")
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    };
+    if selected.is_empty() {
+        eprintln!("--matchmaker selected no matchmakers");
+        std::process::exit(2);
+    }
 
     fn print_violations(violations: &[Violation]) {
         for v in violations {
@@ -655,9 +701,15 @@ fn cmd_check(opts: &Opts) {
     }
 
     let base = opts.seed;
+    let mm_labels = selected
+        .iter()
+        .map(|m| m.label())
+        .collect::<Vec<_>>()
+        .join(", ");
     println!(
-        "checking {} scenario(s) from seed {base}, 3 matchmakers each, {} thread(s){}",
+        "checking {} scenario(s) from seed {base}, {} matchmaker(s) [{mm_labels}], {} thread(s){}",
         opts.seeds,
+        selected.len(),
         rayon::Pool::current_threads(),
         if inject == Inject::default() {
             String::new()
@@ -670,7 +722,7 @@ fn cmd_check(opts: &Opts) {
     // artifact — and the shrink below, which stays sequential — are
     // identical at any thread count.
     let mut last_reported = 0;
-    let outcome = dgrid::check::sweep(base, opts.seeds, inject, |done| {
+    let outcome = dgrid::check::sweep_with(base, opts.seeds, inject, &selected, |done| {
         if done / 10 > last_reported / 10 && done < opts.seeds {
             eprintln!("  ... {done}/{} clean", opts.seeds);
         }
@@ -701,13 +753,13 @@ fn cmd_check(opts: &Opts) {
                 &scenario,
                 |cand| match failing_mm {
                     Some(mm) => !check_run(cand, mm, inject).violations.is_empty(),
-                    None => !check_scenario(cand, inject).is_clean(),
+                    None => !check_scenario_with(cand, inject, &selected).is_clean(),
                 },
                 150,
             );
             let shrunk_violations = match failing_mm {
                 Some(mm) => check_run(&result.scenario, mm, inject).violations,
-                None => check_scenario(&result.scenario, inject).all_violations(),
+                None => check_scenario_with(&result.scenario, inject, &selected).all_violations(),
             };
             println!(
                 "shrunk {} -> {} nodes, {} -> {} jobs, {} -> {} fault event(s) in {} run(s)",
@@ -740,8 +792,9 @@ fn cmd_check(opts: &Opts) {
         }
     }
     println!(
-        "check: {} scenario(s) x 3 matchmakers clean, all oracles passed",
-        opts.seeds
+        "check: {} scenario(s) x {} matchmaker(s) clean, all oracles passed",
+        opts.seeds,
+        selected.len()
     );
 }
 
@@ -906,12 +959,114 @@ fn cmd_bench_sweep(opts: &Opts) {
     }
 }
 
+/// One overlay row of `bench overlays`, as written to `--json`.
+#[derive(serde::Serialize)]
+struct OverlayPoint {
+    algorithm: String,
+    mean_wait: f64,
+    std_wait: f64,
+    match_hops: f64,
+    owner_hops: f64,
+    hops_per_job: f64,
+    completion_rate: f64,
+    wall_secs: f64,
+}
+
+/// The full `bench overlays` result, as written to `--json`.
+#[derive(serde::Serialize)]
+struct OverlayRecord {
+    scenario: String,
+    nodes: usize,
+    jobs: usize,
+    replications: usize,
+    seed: u64,
+    threads: usize,
+    overlays: Vec<OverlayPoint>,
+}
+
+/// `dgrid bench overlays`: time the RN-Tree matchmaker on every overlay
+/// substrate over the same replicated workload and compare lookup-hop cost
+/// against the paper's wait-time metric (experiment `T-overlay`).
+fn cmd_bench_overlays(opts: &Opts) {
+    use rayon::prelude::*;
+
+    println!(
+        "bench overlays: {} — {} nodes, {} jobs, {} replications, seed {}",
+        opts.scenario.label(),
+        opts.nodes,
+        opts.jobs,
+        opts.replications,
+        opts.seed
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>11} {:>11} {:>11} {:>9}",
+        "algorithm", "mean wait", "std wait", "match hops", "owner hops", "completion", "wall"
+    );
+
+    let mut overlays: Vec<OverlayPoint> = Vec::new();
+    for alg in Algorithm::OVERLAYS {
+        let started = std::time::Instant::now();
+        // Same replication scheme as `bench sweep`: each replication
+        // regenerates its workload from its own derived seed.
+        let reports: Vec<SimReport> = (0..opts.replications as u64)
+            .into_par_iter()
+            .map(|r| {
+                let seed = opts.seed ^ (r + 1);
+                let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
+                build_engine(opts, alg, &workload, seed).run()
+            })
+            .collect();
+        let wall_secs = started.elapsed().as_secs_f64();
+        let n = reports.len() as f64;
+        let point = OverlayPoint {
+            algorithm: alg.label().to_string(),
+            mean_wait: reports.iter().map(SimReport::mean_wait).sum::<f64>() / n,
+            std_wait: reports.iter().map(SimReport::std_wait).sum::<f64>() / n,
+            match_hops: reports.iter().map(|r| r.match_hops.mean()).sum::<f64>() / n,
+            owner_hops: reports.iter().map(|r| r.owner_hops.mean()).sum::<f64>() / n,
+            hops_per_job: reports
+                .iter()
+                .map(|r| r.match_hops.mean() + r.owner_hops.mean())
+                .sum::<f64>()
+                / n,
+            completion_rate: reports.iter().map(SimReport::completion_rate).sum::<f64>() / n,
+            wall_secs,
+        };
+        println!(
+            "{:<16} {:>9.1}s {:>9.1}s {:>11.2} {:>11.2} {:>10.1}% {:>8.2}s",
+            point.algorithm,
+            point.mean_wait,
+            point.std_wait,
+            point.match_hops,
+            point.owner_hops,
+            100.0 * point.completion_rate,
+            point.wall_secs,
+        );
+        overlays.push(point);
+    }
+
+    if let Some(path) = &opts.json {
+        let record = OverlayRecord {
+            scenario: opts.scenario.label().to_string(),
+            nodes: opts.nodes,
+            jobs: opts.jobs,
+            replications: opts.replications,
+            seed: opts.seed,
+            threads: rayon::Pool::current_threads(),
+            overlays,
+        };
+        let f = std::fs::File::create(path).expect("create json output");
+        serde_json::to_writer_pretty(f, &record).expect("write json");
+        eprintln!("wrote bench overlays to {path}");
+    }
+}
+
 fn main() {
     let opts = parse();
     match opts.threads {
         // `bench sweep` manages thread counts itself — `--threads` is its
         // sweep ceiling, not a global override.
-        Some(t) if opts.command != "bench" => rayon::Pool::install(t, || dispatch(&opts)),
+        Some(t) if opts.command != "bench-sweep" => rayon::Pool::install(t, || dispatch(&opts)),
         _ => dispatch(&opts),
     }
 }
@@ -925,8 +1080,12 @@ fn dispatch(opts: &Opts) {
         cmd_check(opts);
         return;
     }
-    if opts.command == "bench" {
+    if opts.command == "bench-sweep" {
         cmd_bench_sweep(opts);
+        return;
+    }
+    if opts.command == "bench-overlays" {
+        cmd_bench_overlays(opts);
         return;
     }
     let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, opts.seed);
@@ -963,7 +1122,7 @@ fn dispatch(opts: &Opts) {
         }
         "compare" => {
             println!(
-                "{:<12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11}",
+                "{:<16} {:>10} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>11}",
                 "algorithm",
                 "mean wait",
                 "std wait",
@@ -974,12 +1133,14 @@ fn dispatch(opts: &Opts) {
                 "fairness",
                 "completion"
             );
-            // The four algorithms fan out over the pool; results come back
+            // The algorithms fan out over the pool; results come back
             // in input order, so the table rows are stable.
             use rayon::prelude::*;
             let compared: Vec<SimReport> = [
                 Algorithm::Central,
                 Algorithm::RnTree,
+                Algorithm::RnTreePastry,
+                Algorithm::RnTreeTapestry,
                 Algorithm::Can,
                 Algorithm::CanPush,
             ]
@@ -989,7 +1150,7 @@ fn dispatch(opts: &Opts) {
             for r in compared {
                 let w = r.wait_stats.unwrap_or_default();
                 println!(
-                    "{:<12} {:>9.1}s {:>9.1}s {:>8.1}s {:>8.1}s {:>8.1}s {:>10.1} {:>10.3} {:>10.1}%",
+                    "{:<16} {:>9.1}s {:>9.1}s {:>8.1}s {:>8.1}s {:>8.1}s {:>10.1} {:>10.3} {:>10.1}%",
                     r.algorithm,
                     r.mean_wait(),
                     r.std_wait(),

@@ -7,6 +7,7 @@
 //! rayon — each replication is an independent, deterministic simulation
 //! with its own seed, so parallelism never changes results.
 
+use dgrid_core::router::{PastryNetwork, TapestryNetwork};
 use dgrid_core::{
     CanMatchmaker, CanMmConfig, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig,
     FaultPlan, Matchmaker, RnTreeConfig, RnTreeMatchmaker, SimReport,
@@ -21,6 +22,10 @@ use serde::{Deserialize, Serialize};
 pub enum Algorithm {
     /// Rendezvous Node Tree over Chord (Section 3.1).
     RnTree,
+    /// Rendezvous Node Tree over a Pastry substrate (overlay ablation).
+    RnTreePastry,
+    /// Rendezvous Node Tree over a Tapestry substrate (overlay ablation).
+    RnTreeTapestry,
     /// Basic CAN matchmaking with the virtual dimension (Section 3.2).
     Can,
     /// Improved CAN with load pushing (Section 3.3's ongoing work).
@@ -35,10 +40,20 @@ impl Algorithm {
     /// The three algorithms Figure 2 compares.
     pub const FIGURE2: [Algorithm; 3] = [Algorithm::Can, Algorithm::RnTree, Algorithm::Central];
 
+    /// The RN-Tree matchmaker on every overlay substrate (experiment
+    /// `T-overlay`).
+    pub const OVERLAYS: [Algorithm; 3] = [
+        Algorithm::RnTree,
+        Algorithm::RnTreePastry,
+        Algorithm::RnTreeTapestry,
+    ];
+
     /// Short label used in tables.
     pub fn label(self) -> &'static str {
         match self {
             Algorithm::RnTree => "rn-tree",
+            Algorithm::RnTreePastry => "rn-tree@pastry",
+            Algorithm::RnTreeTapestry => "rn-tree@tapestry",
             Algorithm::Can => "can",
             Algorithm::CanPush => "can-push",
             Algorithm::CanNoVirtualDim => "can-novirt",
@@ -50,6 +65,12 @@ impl Algorithm {
     pub fn matchmaker(self) -> Box<dyn Matchmaker> {
         match self {
             Algorithm::RnTree => Box::new(RnTreeMatchmaker::new(RnTreeConfig::default())),
+            Algorithm::RnTreePastry => Box::new(RnTreeMatchmaker::<PastryNetwork>::on_substrate(
+                RnTreeConfig::default(),
+            )),
+            Algorithm::RnTreeTapestry => Box::new(
+                RnTreeMatchmaker::<TapestryNetwork>::on_substrate(RnTreeConfig::default()),
+            ),
             Algorithm::Can => Box::new(CanMatchmaker::with_defaults()),
             Algorithm::CanPush => Box::new(CanMatchmaker::with_push()),
             Algorithm::CanNoVirtualDim => Box::new(CanMatchmaker::new(
@@ -189,6 +210,8 @@ mod tests {
     fn labels_are_unique() {
         let labels: std::collections::HashSet<_> = [
             Algorithm::RnTree,
+            Algorithm::RnTreePastry,
+            Algorithm::RnTreeTapestry,
             Algorithm::Can,
             Algorithm::CanPush,
             Algorithm::CanNoVirtualDim,
@@ -197,7 +220,7 @@ mod tests {
         .iter()
         .map(|a| a.label())
         .collect();
-        assert_eq!(labels.len(), 5);
+        assert_eq!(labels.len(), 7);
     }
 
     #[test]

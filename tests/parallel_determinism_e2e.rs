@@ -88,6 +88,25 @@ fn event_streams_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn overlay_matrix_streams_byte_identical_across_thread_counts() {
+    // The overlay ablation: the RN-Tree matchmaker on every KeyRouter
+    // substrate, under the same churn + message loss, must stay bit-exact
+    // at any thread count — new substrates get no determinism discount.
+    for alg in Algorithm::OVERLAYS {
+        let baseline = replicated_streams(alg, 2203, 4, 1);
+        for threads in [2, 8] {
+            let stream = replicated_streams(alg, 2203, 4, threads);
+            assert_eq!(
+                stream,
+                baseline,
+                "{}: {threads}-thread stream diverged from sequential",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn cell_results_identical_across_thread_counts() {
     let run = |threads: usize| {
         Pool::install(threads, || {

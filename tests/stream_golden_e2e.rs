@@ -1,0 +1,119 @@
+//! Golden-stream regression: the per-seed JSONL event stream of every
+//! pre-existing matchmaker variant is pinned by content hash. A refactor
+//! that claims to be behavior-preserving — like the `KeyRouter` substrate
+//! extraction — must not move a single byte of these streams.
+//!
+//! The pinned constants were recorded from the tree *before* the refactor
+//! landed; re-pinning is only legitimate when a PR deliberately changes the
+//! event stream (new event kind, different RNG draw order) and says so.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+use dgrid::core::{ChurnConfig, Engine, EngineConfig, FaultPlan, JsonlObserver};
+use dgrid::harness::Algorithm;
+use dgrid::workloads::{paper_scenario, PaperScenario};
+
+/// A `Write` sink that survives the engine consuming its observer.
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// FNV-1a over the stream bytes: stable, dependency-free, and sensitive to
+/// every byte and position.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One traced run under churn and message loss — the same order-sensitive
+/// configuration the parallel-determinism e2e tests use.
+fn stream(alg: Algorithm, seed: u64) -> Vec<u8> {
+    let workload = paper_scenario(PaperScenario::MixedLight, 40, 120, seed);
+    let cfg = EngineConfig {
+        seed,
+        max_sim_secs: 3_000_000.0,
+        ..EngineConfig::default()
+    };
+    let churn = ChurnConfig {
+        mttf_secs: Some(40_000.0),
+        rejoin_after_secs: Some(900.0),
+        graceful_fraction: 0.25,
+    };
+    let buf = SharedBuf::default();
+    Engine::new(
+        cfg,
+        churn,
+        alg.matchmaker(),
+        workload.nodes,
+        workload.submissions,
+    )
+    .with_fault_plan(FaultPlan::with_loss(0.03))
+    .with_observer(Box::new(JsonlObserver::new(buf.clone())))
+    .run();
+    let bytes = buf.0.take();
+    assert!(!bytes.is_empty(), "traced run must emit events");
+    bytes
+}
+
+const SEED: u64 = 1993;
+
+/// `(variant, fnv1a, byte length)` recorded before the KeyRouter refactor.
+const PINNED: &[(Algorithm, u64, usize)] = &[
+    (Algorithm::RnTree, 0xc27b93d5c4666b3a, 44_666),
+    (Algorithm::Can, 0xcd99c1924fe56479, 44_802),
+    (Algorithm::CanPush, 0xcb962c1e160b0a09, 44_655),
+    (Algorithm::CanNoVirtualDim, 0xeedac32629bc6f6b, 44_707),
+    (Algorithm::Central, 0x659c34daabb90735, 44_289),
+];
+
+#[test]
+fn legacy_variant_streams_match_pinned_hashes() {
+    for &(alg, hash, len) in PINNED {
+        let bytes = stream(alg, SEED);
+        assert_eq!(
+            (fnv1a(&bytes), bytes.len()),
+            (hash, len),
+            "{}: event stream drifted from the pinned pre-refactor bytes \
+             (got hash {:#x}, len {})",
+            alg.label(),
+            fnv1a(&bytes),
+            bytes.len()
+        );
+    }
+}
+
+/// Harvest helper for deliberate re-pins: `cargo test -q --test
+/// stream_golden_e2e -- --ignored --nocapture print_stream_hashes`.
+#[test]
+#[ignore]
+fn print_stream_hashes() {
+    for alg in [
+        Algorithm::RnTree,
+        Algorithm::Can,
+        Algorithm::CanPush,
+        Algorithm::CanNoVirtualDim,
+        Algorithm::Central,
+    ] {
+        let bytes = stream(alg, SEED);
+        println!(
+            "    (Algorithm::{alg:?}, {:#x}, {}),",
+            fnv1a(&bytes),
+            bytes.len()
+        );
+    }
+}
