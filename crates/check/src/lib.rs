@@ -38,8 +38,8 @@ pub mod scenario;
 pub mod shrink;
 
 pub use artifact::ReproArtifact;
-pub use oracle::{battery, TraceOracle, Violation};
-pub use scenario::{fault_event_count, Inject, MatchmakerChoice, Scenario};
+pub use oracle::{battery, battery_with_lease, NoOrphanOracle, TraceOracle, Violation};
+pub use scenario::{fault_event_count, Inject, LeaseSpec, MatchmakerChoice, Scenario};
 pub use shrink::{shrink, ShrinkResult};
 
 /// Oracle verdict for one `(scenario, matchmaker)` run.
@@ -85,7 +85,12 @@ impl ScenarioVerdict {
 /// Run `scenario` once under `mm` and evaluate the full oracle battery.
 pub fn check_run(scenario: &Scenario, mm: MatchmakerChoice, inject: Inject) -> RunVerdict {
     let (events, report) = scenario.run(mm, inject);
-    let mut oracles = battery(scenario.nodes, scenario.jobs, scenario.seed);
+    let mut oracles = battery_with_lease(
+        scenario.nodes,
+        scenario.jobs,
+        scenario.seed,
+        scenario.lease.map(|l| l.bound_secs()),
+    );
     let mut terminal: BTreeMap<u64, bool> = BTreeMap::new();
     for (at, event) in &events {
         match event {
@@ -158,6 +163,65 @@ pub fn check_scenario_with(
         }
     }
 
+    // Lease differential: the lease machinery is a *recovery policy*, not a
+    // semantics change — so the same scenario with leases stripped (falling
+    // back to reassign-on-death recovery) must drive the identical job
+    // population to some terminal state under every matchmaker. A job that
+    // terminates with leases off but is lost with leases on (or vice versa)
+    // means lease expiry dropped or duplicated ownership.
+    if scenario.lease.is_some() {
+        let mut baseline = scenario.clone();
+        baseline.lease = None;
+        for run in &runs {
+            let base = check_run(&baseline, run.matchmaker, inject);
+            for v in base.violations.iter().take(2) {
+                differential.push(Violation {
+                    oracle: "lease-differential".to_string(),
+                    detail: format!(
+                        "reassign-on-death baseline under {} is itself violating: {v}",
+                        run.matchmaker.label(),
+                    ),
+                });
+            }
+            let lost: Vec<JobId> = base
+                .terminal
+                .keys()
+                .filter(|j| !run.terminal.contains_key(j))
+                .map(|&j| JobId(j))
+                .collect();
+            if !lost.is_empty() {
+                differential.push(Violation {
+                    oracle: "lease-differential".to_string(),
+                    detail: format!(
+                        "{} job(s) terminal under reassign-on-death never terminated \
+                         with leases under {} (e.g. {:?})",
+                        lost.len(),
+                        run.matchmaker.label(),
+                        &lost[..lost.len().min(3)],
+                    ),
+                });
+            }
+            let extra: Vec<JobId> = run
+                .terminal
+                .keys()
+                .filter(|j| !base.terminal.contains_key(j))
+                .map(|&j| JobId(j))
+                .collect();
+            if !extra.is_empty() {
+                differential.push(Violation {
+                    oracle: "lease-differential".to_string(),
+                    detail: format!(
+                        "{} job(s) terminal with leases never terminated under \
+                         reassign-on-death under {} (e.g. {:?})",
+                        extra.len(),
+                        run.matchmaker.label(),
+                        &extra[..extra.len().min(3)],
+                    ),
+                });
+            }
+        }
+    }
+
     ScenarioVerdict { runs, differential }
 }
 
@@ -206,6 +270,21 @@ pub fn sweep_with(
     count: u64,
     inject: Inject,
     matchmakers: &[MatchmakerChoice],
+    progress: impl FnMut(u64),
+) -> SweepOutcome {
+    sweep_with_lease(start, count, inject, None, matchmakers, progress)
+}
+
+/// [`sweep_with`] with every generated scenario additionally running under
+/// `lease` (when `Some`): the no-orphan oracle joins the battery and each
+/// scenario is differentially compared against its own reassign-on-death
+/// baseline.
+pub fn sweep_with_lease(
+    start: u64,
+    count: u64,
+    inject: Inject,
+    lease: Option<LeaseSpec>,
+    matchmakers: &[MatchmakerChoice],
     mut progress: impl FnMut(u64),
 ) -> SweepOutcome {
     use rayon::prelude::*;
@@ -222,7 +301,10 @@ pub fn sweep_with(
             .map(|i| base + i)
             .into_par_iter()
             .map(|seed| {
-                let scenario = Scenario::generate(seed);
+                let mut scenario = Scenario::generate(seed);
+                if let Some(l) = lease {
+                    scenario.lease = Some(l);
+                }
                 let verdict = check_scenario_with(&scenario, inject, matchmakers);
                 (seed, scenario, verdict)
             })

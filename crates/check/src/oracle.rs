@@ -15,7 +15,7 @@ use std::fmt;
 use dgrid_can::{CanConfig, CanNetwork, CanNodeId};
 use dgrid_chord::{ChordConfig, ChordId, ChordRing};
 use dgrid_core::router::{KeyRouter, PastryNetwork, TapestryNetwork};
-use dgrid_core::{SimReport, SpanAssembler, SpanOutcome, TraceEvent};
+use dgrid_core::{OwnerRef, SimReport, SpanAssembler, SpanOutcome, TraceEvent};
 use dgrid_resources::{Capabilities, JobId, OsType};
 use dgrid_rntree::RnTreeIndex;
 use dgrid_sim::SimTime;
@@ -630,11 +630,178 @@ impl TraceOracle for RnTreeAggregateOracle {
     }
 }
 
+// ---------------------------------------------------------------------------
+// No-orphan liveness (lease mode)
+// ---------------------------------------------------------------------------
+
+/// The lease subsystem's liveness bound: *no job remains unowned longer
+/// than `ttl + grace` while any live candidate node exists.* A job becomes
+/// an orphan when its peer owner dies; the pending lease expiry must then
+/// fire and transfer ownership within the bound — or, if the grid was empty
+/// when the lease ran out, within the bound of the first node rejoining.
+/// Server-owned jobs (the centralized baseline) never orphan.
+pub struct NoOrphanOracle {
+    bound_secs: f64,
+    alive: BTreeSet<u32>,
+    /// Jobs currently owned by a live peer, keyed by job → owner node.
+    owner: BTreeMap<JobId, u32>,
+    /// Orphans: job → virtual time its no-orphan clock (re)started. The
+    /// clock restarts when an empty grid becomes non-empty again, mirroring
+    /// the engine's re-armed expiry.
+    orphan_since: BTreeMap<JobId, SimTime>,
+    violations: Vec<Violation>,
+}
+
+impl NoOrphanOracle {
+    /// Oracle for a grid starting with `nodes` live nodes and a lease
+    /// expiry bound of `bound_secs` (= ttl + grace).
+    pub fn new(nodes: usize, bound_secs: f64) -> Self {
+        NoOrphanOracle {
+            bound_secs,
+            alive: (0..nodes as u32).collect(),
+            owner: BTreeMap::new(),
+            orphan_since: BTreeMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Slack on top of the bound: transfers are synchronous at the expiry
+    /// event, so anything beyond float noise is a real liveness breach.
+    const EPSILON_SECS: f64 = 1e-3;
+
+    fn check_deadlines(&mut self, at: SimTime) {
+        if self.alive.is_empty() {
+            return; // no candidate owner exists; the clock is paused
+        }
+        let now = at.as_secs_f64();
+        let bound = self.bound_secs + Self::EPSILON_SECS;
+        let expired: Vec<(JobId, SimTime)> = self
+            .orphan_since
+            .iter()
+            .filter(|(_, since)| now - since.as_secs_f64() > bound)
+            .map(|(j, s)| (*j, *s))
+            .collect();
+        for (job, since) in expired {
+            self.orphan_since.remove(&job);
+            if self.violations.len() < MAX_VIOLATIONS_PER_ORACLE {
+                self.violations.push(violation(
+                    "no-orphan",
+                    format!(
+                        "{job:?} unowned since t={:.1}s, still unowned at t={now:.1}s \
+                         with {} live node(s) — exceeds the ttl+grace bound of {:.1}s",
+                        since.as_secs_f64(),
+                        self.alive.len(),
+                        self.bound_secs,
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn close_job(&mut self, job: JobId) {
+        self.owner.remove(&job);
+        self.orphan_since.remove(&job);
+    }
+}
+
+impl TraceOracle for NoOrphanOracle {
+    fn name(&self) -> &'static str {
+        "no-orphan"
+    }
+
+    fn on_event(&mut self, at: SimTime, event: &TraceEvent) {
+        // Deadlines are checked against each event's timestamp *before* the
+        // event applies, so a transfer arriving exactly at the bound clears
+        // its orphan rather than tripping the oracle.
+        self.check_deadlines(at);
+        match event {
+            TraceEvent::Submitted { job, .. } => {
+                // (Re)submission puts the job back in the client's hands.
+                self.close_job(*job);
+            }
+            TraceEvent::OwnerAssigned { job, owner } => {
+                self.orphan_since.remove(job);
+                match owner {
+                    OwnerRef::Peer(p) => {
+                        self.owner.insert(*job, p.0);
+                    }
+                    OwnerRef::Server => {
+                        self.owner.remove(job);
+                    }
+                }
+            }
+            TraceEvent::LeaseTransferred { job, owner } => {
+                self.orphan_since.remove(job);
+                self.owner.insert(*job, owner.0);
+            }
+            TraceEvent::OwnerRecovery { job } => {
+                // A replacement owner was installed through the overlay;
+                // the trace does not say which, so stop tracking the job.
+                self.close_job(*job);
+            }
+            TraceEvent::Completed { job, .. } | TraceEvent::Failed { job } => {
+                self.close_job(*job);
+            }
+            TraceEvent::NodeDown { node, .. } => {
+                self.alive.remove(&node.0);
+                let orphaned: Vec<JobId> = self
+                    .owner
+                    .iter()
+                    .filter(|(_, &o)| o == node.0)
+                    .map(|(j, _)| *j)
+                    .collect();
+                for job in orphaned {
+                    self.owner.remove(&job);
+                    self.orphan_since.entry(job).or_insert(at);
+                }
+            }
+            TraceEvent::NodeUp { node } => {
+                if self.alive.is_empty() {
+                    // The grid was empty: every orphan's clock restarts now,
+                    // matching the engine's re-armed expiry.
+                    for since in self.orphan_since.values_mut() {
+                        *since = at;
+                    }
+                }
+                self.alive.insert(node.0);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, _report: &SimReport) -> Vec<Violation> {
+        // Every job must be terminal by end of run (the horizon failsafe),
+        // and terminal events close their orphan entries — so any orphan
+        // still open here outlived even the engine's own shutdown.
+        for job in std::mem::take(&mut self.orphan_since).into_keys() {
+            if self.violations.len() >= MAX_VIOLATIONS_PER_ORACLE {
+                break;
+            }
+            self.violations.push(violation(
+                "no-orphan",
+                format!("{job:?} still unowned (and non-terminal) at end of run"),
+            ));
+        }
+        std::mem::take(&mut self.violations)
+    }
+}
+
 /// The full oracle battery for a grid of `nodes` nodes expecting
 /// `expected_jobs` submissions, with mirror-overlay identities derived from
 /// `seed`.
 pub fn battery(nodes: usize, expected_jobs: usize, seed: u64) -> Vec<Box<dyn TraceOracle>> {
-    vec![
+    battery_with_lease(nodes, expected_jobs, seed, None)
+}
+
+/// [`battery`] plus, when `lease_bound_secs` is set (= ttl + grace of a
+/// leased run), the [`NoOrphanOracle`] liveness check.
+pub fn battery_with_lease(
+    nodes: usize,
+    expected_jobs: usize,
+    seed: u64,
+    lease_bound_secs: Option<f64>,
+) -> Vec<Box<dyn TraceOracle>> {
+    let mut out: Vec<Box<dyn TraceOracle>> = vec![
         Box::new(JobConservation::new(expected_jobs)),
         Box::new(AtMostOnceCommit::new()),
         Box::new(SpanConservation::new()),
@@ -643,7 +810,11 @@ pub fn battery(nodes: usize, expected_jobs: usize, seed: u64) -> Vec<Box<dyn Tra
         Box::new(SubstrateTableOracle::<PastryNetwork>::new(nodes, seed)),
         Box::new(SubstrateTableOracle::<TapestryNetwork>::new(nodes, seed)),
         Box::new(RnTreeAggregateOracle::new(nodes, seed)),
-    ]
+    ];
+    if let Some(bound) = lease_bound_secs {
+        out.push(Box::new(NoOrphanOracle::new(nodes, bound)));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -714,6 +885,99 @@ mod tests {
             .iter()
             .any(|v| v.detail.contains("committed results 2 times")));
         assert!(v.iter().any(|v| v.detail.contains("distinct jobs")));
+    }
+
+    #[test]
+    fn no_orphan_flags_job_unowned_past_bound() {
+        // Owner dies at t=10; bound is 70s; a live candidate (node 1) exists
+        // the whole time, yet no transfer ever happens.
+        let mut o = NoOrphanOracle::new(2, 70.0);
+        o.on_event(
+            t(0.0),
+            &TraceEvent::OwnerAssigned {
+                job: JobId(1),
+                owner: OwnerRef::Peer(GridNodeId(0)),
+            },
+        );
+        o.on_event(
+            t(10.0),
+            &TraceEvent::NodeDown {
+                node: GridNodeId(0),
+                graceful: false,
+            },
+        );
+        // Some unrelated event well past the bound trips the deadline check.
+        o.on_event(
+            t(200.0),
+            &TraceEvent::NodeUp {
+                node: GridNodeId(0),
+            },
+        );
+        let v = o.finish(&SimReport::default());
+        assert!(
+            v.iter().any(|v| v.detail.contains("exceeds the ttl+grace")),
+            "expected a no-orphan violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn no_orphan_accepts_transfer_within_bound_and_pauses_on_empty_grid() {
+        let mut o = NoOrphanOracle::new(2, 70.0);
+        o.on_event(
+            t(0.0),
+            &TraceEvent::OwnerAssigned {
+                job: JobId(1),
+                owner: OwnerRef::Peer(GridNodeId(0)),
+            },
+        );
+        o.on_event(
+            t(10.0),
+            &TraceEvent::NodeDown {
+                node: GridNodeId(0),
+                graceful: false,
+            },
+        );
+        // Transferred at t=75 — within the 70s bound of the t=10 orphaning.
+        o.on_event(
+            t(75.0),
+            &TraceEvent::LeaseTransferred {
+                job: JobId(1),
+                owner: GridNodeId(1),
+            },
+        );
+        // New owner dies too, and then the *whole grid* goes empty: the
+        // no-orphan clock must pause until somebody rejoins.
+        o.on_event(
+            t(80.0),
+            &TraceEvent::NodeDown {
+                node: GridNodeId(1),
+                graceful: false,
+            },
+        );
+        // Node 0 rejoins only at t=500 — far past 80+70, but legal because
+        // the grid was empty; the clock restarts at t=500.
+        o.on_event(
+            t(500.0),
+            &TraceEvent::NodeUp {
+                node: GridNodeId(0),
+            },
+        );
+        o.on_event(
+            t(540.0),
+            &TraceEvent::LeaseTransferred {
+                job: JobId(1),
+                owner: GridNodeId(0),
+            },
+        );
+        o.on_event(
+            t(560.0),
+            &TraceEvent::Completed {
+                job: JobId(1),
+                results_at: t(560.0),
+            },
+        );
+        let v = o.finish(&SimReport::default());
+        assert!(v.is_empty(), "unexpected violations {v:?}");
     }
 
     #[test]

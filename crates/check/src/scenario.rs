@@ -11,7 +11,7 @@ use std::rc::Rc;
 use dgrid_core::router::{PastryNetwork, TapestryNetwork};
 use dgrid_core::{
     CanMatchmaker, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, FaultPlan, Matchmaker,
-    Observer, RnTreeConfig, RnTreeMatchmaker, SimReport, TraceEvent, VecObserver,
+    Observer, PlacementPolicy, RnTreeConfig, RnTreeMatchmaker, SimReport, TraceEvent, VecObserver,
 };
 use dgrid_sim::SimTime;
 use dgrid_workloads::{paper_scenario, PaperScenario};
@@ -93,6 +93,42 @@ pub struct Inject {
     pub disable_epoch_dedup: bool,
 }
 
+/// Lease knobs a leased scenario threads into the engine. Mirrors the
+/// `EngineConfig` lease fields, but packaged so a scenario either runs
+/// fully leased (`Some`) or with the classic reassign-on-death recovery
+/// (`None`) — the pair the lease differential compares.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeaseSpec {
+    /// Lease time-to-live in seconds.
+    pub ttl_secs: f64,
+    /// Owner renewal period.
+    pub renew_secs: f64,
+    /// Grace on top of the TTL before expiry.
+    pub grace_secs: f64,
+    /// Owner placement policy for grants and transfers.
+    pub placement: PlacementPolicy,
+}
+
+impl LeaseSpec {
+    /// The no-orphan bound: a job may stay unowned at most this long while
+    /// a live candidate node exists.
+    pub fn bound_secs(&self) -> f64 {
+        self.ttl_secs + self.grace_secs
+    }
+
+    /// The knobs the check sweeps use: short enough that scheduled crashes
+    /// and partitions (all within the first ~2000 virtual seconds) overlap
+    /// several renew/expiry cycles.
+    pub fn for_check(placement: PlacementPolicy) -> Self {
+        LeaseSpec {
+            ttl_secs: 60.0,
+            renew_secs: 15.0,
+            grace_secs: 10.0,
+            placement,
+        }
+    }
+}
+
 /// One randomized model-checking scenario. Everything is serializable so a
 /// failing scenario round-trips through the repro artifact.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -111,6 +147,13 @@ pub struct Scenario {
     pub faults: FaultPlan,
     /// Hard horizon: jobs still unfinished at this virtual time are failed.
     pub horizon_secs: f64,
+    /// Lease configuration: `Some` runs the engine with epoch-tagged job
+    /// leases (and arms the no-orphan oracle plus the lease-vs-reassign
+    /// differential); `None` — the generator's default, and the default for
+    /// artifacts serialized before leases existed — runs the classic
+    /// reassign-on-death recovery.
+    #[serde(default)]
+    pub lease: Option<LeaseSpec>,
 }
 
 /// Number of discrete scheduled fault events in a scenario (the shrink
@@ -180,7 +223,16 @@ impl Scenario {
             churn,
             faults,
             horizon_secs: 400_000.0,
+            lease: None,
         }
+    }
+
+    /// The same scenario with leases switched on. Generation stays pure —
+    /// lease mode is injected after the fact so leased and unleased sweeps
+    /// of a seed agree on everything except the recovery protocol.
+    pub fn with_lease(mut self, lease: LeaseSpec) -> Scenario {
+        self.lease = Some(lease);
+        self
     }
 
     /// Run the scenario under `mm`, recording the full trace.
@@ -194,6 +246,10 @@ impl Scenario {
             seed: self.seed,
             max_sim_secs: self.horizon_secs,
             check_disable_epoch_dedup: inject.disable_epoch_dedup,
+            lease_ttl_secs: self.lease.map(|l| l.ttl_secs),
+            lease_renew_secs: self.lease.map_or(30.0, |l| l.renew_secs),
+            lease_grace_secs: self.lease.map_or(30.0, |l| l.grace_secs),
+            placement: self.lease.map(|l| l.placement),
             ..EngineConfig::default()
         };
         let mut engine = Engine::new(
@@ -246,6 +302,33 @@ mod tests {
         let json = serde_json::to_string(&sc).expect("serialize");
         let back: Scenario = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn lease_spec_roundtrips_and_defaults_to_none() {
+        let sc = Scenario::generate(23).with_lease(LeaseSpec::for_check(PlacementPolicy::Hash));
+        let json = serde_json::to_string(&sc).expect("serialize");
+        let back: Scenario = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(sc, back);
+        assert!((back.lease.unwrap().bound_secs() - 70.0).abs() < 1e-12);
+        // Artifacts serialized before leases existed must still load.
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        v.as_object_mut().unwrap().remove("lease");
+        let legacy: Scenario = serde_json::from_value(v).expect("legacy deserialize");
+        assert_eq!(legacy.lease, None);
+    }
+
+    #[test]
+    fn leased_run_still_terminates_every_job() {
+        let mut sc = Scenario::generate(5);
+        sc.nodes = 10;
+        sc.jobs = 20;
+        sc.faults = FaultPlan::none().with_crash(120.0, 3, None);
+        sc.churn = ChurnConfig::none();
+        sc.lease = Some(LeaseSpec::for_check(PlacementPolicy::LoadAware));
+        let (events, report) = sc.run(MatchmakerChoice::RnTree, Inject::default());
+        assert_eq!(report.jobs_completed + report.jobs_failed, 20);
+        assert!(!events.is_empty());
     }
 
     #[test]

@@ -28,6 +28,42 @@ impl ChurnConfig {
     }
 }
 
+/// How a new owner is chosen when a job lease must be (re-)placed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Rehash to the substrate owner of the job's GUID (the overlay's
+    /// deterministic choice, however skewed it is).
+    Hash,
+    /// Probe the substrate owner *and* its failover peers and take the one
+    /// with the shallowest queue (`GridNode::load()`), breaking ties by the
+    /// overlay's own preference order.
+    LoadAware,
+}
+
+impl PlacementPolicy {
+    /// CLI/JSON label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::Hash => "hash",
+            PlacementPolicy::LoadAware => "load-aware",
+        }
+    }
+}
+
+impl std::str::FromStr for PlacementPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hash" => Ok(PlacementPolicy::Hash),
+            "load-aware" | "load_aware" => Ok(PlacementPolicy::LoadAware),
+            other => Err(format!(
+                "unknown placement policy '{other}' (expected hash|load-aware)"
+            )),
+        }
+    }
+}
+
 /// All engine tunables. Defaults follow the paper's experimental setup
 /// where stated, and conservative desktop-grid practice elsewhere.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -84,6 +120,29 @@ pub struct EngineConfig {
     /// Consecutive lost-RPC retries before the sender gives up and falls
     /// back to the end-to-end safety net (client resubmission).
     pub max_rpc_retries: u32,
+    /// Lease time-to-live in seconds: an owner that has not renewed its
+    /// lease on a job for this long (plus [`EngineConfig::lease_grace_secs`])
+    /// loses it, and the lease transfers to a freshly placed owner. `None`
+    /// — or a non-finite TTL — disables the lease subsystem entirely and
+    /// the engine falls back to reactive reassign-on-death recovery,
+    /// bit-for-bit identical to the pre-lease engine.
+    #[serde(default)]
+    pub lease_ttl_secs: Option<f64>,
+    /// How often the owner renews its lease at the registrar (must be
+    /// shorter than the TTL or every lease would expire spuriously).
+    /// Deserializes to `0.0` when absent, which `validate` only rejects
+    /// when leases are actually enabled.
+    #[serde(default)]
+    pub lease_renew_secs: f64,
+    /// Slack added on top of the TTL before an unrenewed lease is declared
+    /// expired (absorbs renewal-message latency; zero is legal).
+    #[serde(default)]
+    pub lease_grace_secs: f64,
+    /// Owner placement policy used when granting or transferring leases.
+    /// Required whenever leases are enabled; irrelevant (and ignored)
+    /// otherwise.
+    #[serde(default)]
+    pub placement: Option<PlacementPolicy>,
     /// Fault-injection backdoor for the model checker's self-test: when
     /// set, completions arriving under a superseded epoch are committed
     /// instead of discarded, deliberately breaking the at-most-once result
@@ -116,6 +175,10 @@ impl Default for EngineConfig {
             backoff_cap_secs: 120.0,
             backoff_jitter: 0.25,
             max_rpc_retries: 6,
+            lease_ttl_secs: None,
+            lease_renew_secs: 30.0,
+            lease_grace_secs: 30.0,
+            placement: None,
             check_disable_epoch_dedup: false,
         }
     }
@@ -131,6 +194,21 @@ impl EngineConfig {
     /// The client resubmission timeout as a duration.
     pub fn client_resubmit_delay(&self) -> SimDuration {
         SimDuration::from_secs_f64(self.client_resubmit_secs)
+    }
+
+    /// Whether the lease subsystem is active. An absent *or infinite* TTL
+    /// disables it — `ttl = ∞` is the documented spelling for "a lease that
+    /// never expires", which degenerates to reassign-on-death.
+    pub fn leases_enabled(&self) -> bool {
+        matches!(self.lease_ttl_secs, Some(ttl) if ttl.is_finite())
+    }
+
+    /// The orphan bound the no-orphan liveness oracle enforces: an expired
+    /// lease is re-placed within `ttl + grace` of the owner's death, as
+    /// long as any live candidate node exists.
+    pub fn lease_expiry_bound_secs(&self) -> Option<f64> {
+        self.leases_enabled()
+            .then(|| self.lease_ttl_secs.unwrap_or(f64::INFINITY) + self.lease_grace_secs)
     }
 
     /// Validate invariants; call before running. Panics on nonsense values.
@@ -164,6 +242,27 @@ impl EngineConfig {
             "backoff jitter out of range"
         );
         assert!(self.max_rpc_retries >= 1);
+        if self.leases_enabled() {
+            let ttl = self.lease_ttl_secs.unwrap_or(f64::INFINITY);
+            assert!(ttl > 0.0, "lease ttl must be positive");
+            assert!(
+                self.lease_renew_secs > 0.0,
+                "lease renew interval must be positive"
+            );
+            assert!(
+                ttl > self.lease_renew_secs,
+                "lease ttl must exceed the renew interval, else every lease expires \
+                 before its owner ever renews"
+            );
+            assert!(
+                self.lease_grace_secs >= 0.0 && self.lease_grace_secs.is_finite(),
+                "lease grace must be finite and nonnegative"
+            );
+            assert!(
+                self.placement.is_some(),
+                "leases require an explicit placement policy (hash|load-aware)"
+            );
+        }
     }
 }
 
@@ -217,6 +316,69 @@ mod tests {
             ..Default::default()
         }
         .validate();
+    }
+
+    fn leased(ttl: f64, renew: f64, grace: f64) -> EngineConfig {
+        EngineConfig {
+            lease_ttl_secs: Some(ttl),
+            lease_renew_secs: renew,
+            lease_grace_secs: grace,
+            placement: Some(PlacementPolicy::Hash),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn lease_configs_validate() {
+        leased(120.0, 30.0, 30.0).validate();
+        // Zero grace is legal: expiry fires exactly at the TTL boundary.
+        leased(120.0, 30.0, 0.0).validate();
+        // An infinite TTL disables the subsystem, so the other knobs are
+        // never inspected.
+        let cfg = EngineConfig {
+            lease_ttl_secs: Some(f64::INFINITY),
+            lease_renew_secs: -1.0,
+            placement: None,
+            ..Default::default()
+        };
+        assert!(!cfg.leases_enabled());
+        cfg.validate();
+        assert!(leased(120.0, 30.0, 30.0).leases_enabled());
+        assert_eq!(
+            leased(120.0, 30.0, 15.0).lease_expiry_bound_secs(),
+            Some(135.0)
+        );
+        assert_eq!(EngineConfig::default().lease_expiry_bound_secs(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl must exceed the renew interval")]
+    fn lease_ttl_not_beyond_renew_is_rejected() {
+        leased(30.0, 30.0, 10.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "grace must be finite and nonnegative")]
+    fn negative_lease_grace_is_rejected() {
+        leased(120.0, 30.0, -1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "explicit placement policy")]
+    fn leases_without_placement_are_rejected() {
+        EngineConfig {
+            lease_ttl_secs: Some(120.0),
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn placement_policy_parses_and_labels() {
+        assert_eq!("hash".parse(), Ok(PlacementPolicy::Hash));
+        assert_eq!("load-aware".parse(), Ok(PlacementPolicy::LoadAware));
+        assert!("nearest".parse::<PlacementPolicy>().is_err());
+        assert_eq!(PlacementPolicy::LoadAware.label(), "load-aware");
     }
 
     #[test]

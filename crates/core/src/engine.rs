@@ -126,6 +126,20 @@ enum Event {
         job: JobId,
         epoch: u32,
     },
+    /// The owner's periodic lease-renewal heartbeat (lease mode only).
+    /// Carries the lease seq it was scheduled under; a stale seq means the
+    /// lease was re-granted meanwhile and the event is ignored.
+    LeaseRenew {
+        job: JobId,
+        seq: u64,
+    },
+    /// A lease reached `ttl + grace` without a successful renewal. Stale
+    /// seqs (the lease was renewed or re-granted) are ignored; a live seq
+    /// expires the lease and transfers it to a freshly placed owner.
+    LeaseExpire {
+        job: JobId,
+        seq: u64,
+    },
     NodeFail {
         node: GridNodeId,
     },
@@ -260,6 +274,10 @@ impl Engine {
     ) -> Self {
         cfg.validate();
         assert!(!node_profiles.is_empty(), "a grid needs at least one node");
+        if cfg.leases_enabled() {
+            // validate() guarantees a policy is present when leases are on.
+            matchmaker.set_placement(cfg.placement.expect("validated placement"));
+        }
 
         let nodes = NodeTable::new(node_profiles);
         let mut rng_mm = rng::rng_for(cfg.seed, rng::streams::MATCHMAKER);
@@ -542,6 +560,8 @@ impl Engine {
                 self.handle_owner_failure_detected(now, job, epoch)
             }
             Event::ClientResubmit { job, epoch } => self.handle_client_resubmit(now, job, epoch),
+            Event::LeaseRenew { job, seq } => self.handle_lease_renew(now, job, seq),
+            Event::LeaseExpire { job, seq } => self.handle_lease_expire(now, job, seq),
             Event::NodeFail { node } => self.handle_node_depart(now, node, false),
             Event::NodeLeave { node } => self.handle_node_depart(now, node, true),
             Event::NodeRejoin { node } => self.handle_node_rejoin(now, node),
@@ -604,6 +624,28 @@ impl Engine {
             .is_some_and(|r| !r.state.is_terminal() && r.epoch == epoch)
     }
 
+    /// Checked job lookup for the recovery paths. A missing record means an
+    /// engine invariant broke; instead of aborting the whole replication
+    /// with a panic, the breach is counted (`unknown_job_events`) and the
+    /// event dropped — the conservation oracle then reports the stuck job,
+    /// the same way the `was_terminal` guard surfaces double commits.
+    fn job_mut(&mut self, job: JobId) -> Option<&mut JobRecord> {
+        if !self.jobs.contains_key(&job) {
+            self.report.unknown_job_events += 1;
+            return None;
+        }
+        self.jobs.get_mut(&job)
+    }
+
+    /// Shared-reference variant of [`Engine::job_mut`].
+    fn job_ref(&mut self, job: JobId) -> Option<&JobRecord> {
+        if !self.jobs.contains_key(&job) {
+            self.report.unknown_job_events += 1;
+            return None;
+        }
+        self.jobs.get(&job)
+    }
+
     fn guid_of(&self, job: JobId, resubmits: u32) -> u64 {
         rng::splitmix64(job.0.wrapping_add(u64::from(resubmits) << 48))
     }
@@ -653,7 +695,7 @@ impl Engine {
     /// back to client resubmission once the retry budget is spent.
     fn note_rpc_loss(&mut self, now: SimTime, job: JobId, epoch: u32, via_submit: bool) {
         let attempts = {
-            let rec = self.jobs.get_mut(&job).expect("known job");
+            let Some(rec) = self.job_mut(job) else { return };
             rec.rpc_attempts += 1;
             rec.rpc_attempts
         };
@@ -696,21 +738,216 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // Lease subsystem: one grant/renew/expire/transfer state machine.
+    //
+    // When `cfg.leases_enabled()`, every peer owner holds a renewable lease
+    // on each job it owns, registered (conceptually) at the job's DHT key.
+    // The owner renews every `lease_renew_secs` with a message to the
+    // registrar; a lease not renewed for `ttl + grace` expires and is
+    // transferred to a freshly *placed* owner — which weighs reported node
+    // load under `PlacementPolicy::LoadAware` instead of rehashing into the
+    // substrate's skew. Owner-death recovery then needs no heartbeat
+    // detection at all: expiry is the detection. With leases off none of
+    // this schedules anything, draws nothing, and the engine is bit-exact
+    // the pre-lease engine.
+    // ------------------------------------------------------------------
+
+    /// Grant (or re-grant) the lease on `job` to its freshly installed peer
+    /// owner: bump the per-job lease seq — invalidating every in-flight
+    /// renew/expire for older grants — and schedule the first renewal plus
+    /// the ttl+grace expiry under the new seq. Server owners (the reliable
+    /// centralized baseline) hold an implicit permanent lease.
+    fn grant_lease(&mut self, now: SimTime, job: JobId) {
+        if !self.cfg.leases_enabled() {
+            return;
+        }
+        let Some(rec) = self.job_mut(job) else { return };
+        if rec.state.is_terminal() {
+            return;
+        }
+        if !matches!(rec.owner, Some(OwnerRef::Peer(_))) {
+            rec.lease = None;
+            return;
+        }
+        rec.lease_seq += 1;
+        let seq = rec.lease_seq;
+        rec.lease = Some(seq);
+        self.queue.schedule(
+            now + SimDuration::from_secs_f64(self.cfg.lease_renew_secs),
+            Event::LeaseRenew { job, seq },
+        );
+        self.schedule_lease_expiry(now, job, seq);
+    }
+
+    /// Arm the expiry clock for lease `seq`: it fires `ttl + grace` after
+    /// the grant or last successful renewal.
+    fn schedule_lease_expiry(&mut self, now: SimTime, job: JobId, seq: u64) {
+        let bound = self
+            .cfg
+            .lease_expiry_bound_secs()
+            .expect("only called in lease mode");
+        self.queue.schedule(
+            now + SimDuration::from_secs_f64(bound),
+            Event::LeaseExpire { job, seq },
+        );
+    }
+
+    /// The owner's renewal heartbeat. A delivered renewal re-arms both the
+    /// renewal and expiry clocks under a fresh seq (the pending expiry goes
+    /// stale); a lost one retries at the next heartbeat under the *same*
+    /// seq, so the expiry armed by the last successful renewal stands — a
+    /// partition outlasting `ttl + grace` therefore expires the lease.
+    fn handle_lease_renew(&mut self, now: SimTime, job: JobId, seq: u64) {
+        let Some(rec) = self.job_ref(job) else { return };
+        if rec.state.is_terminal() || rec.lease != Some(seq) {
+            return;
+        }
+        let Some(OwnerRef::Peer(owner)) = rec.owner else {
+            return;
+        };
+        let resubmits = rec.resubmits;
+        if !self.nodes.is_alive(owner) {
+            // A dead owner renews nothing; the pending expiry stands and
+            // will transfer the lease — this *is* the failure detection.
+            return;
+        }
+        let guid = self.guid_of(job, resubmits);
+        let registrar = self.mm.lease_registrar(&self.nodes, guid);
+        // Renew at the substrate owner of the job's key; when the overlay
+        // has no live registrar, fall back to the reliable registry.
+        let to = registrar.map_or(Endpoint::External, |g| Endpoint::Node(g.0));
+        let renew_in = SimDuration::from_secs_f64(self.cfg.lease_renew_secs);
+        match self.send_message(now, Endpoint::Node(owner.0), to, 1) {
+            Delivery::Delivered(_) => {
+                self.report.lease_renewals += 1;
+                let Some(rec) = self.job_mut(job) else { return };
+                rec.lease_seq += 1;
+                let seq = rec.lease_seq;
+                rec.lease = Some(seq);
+                self.queue
+                    .schedule(now + renew_in, Event::LeaseRenew { job, seq });
+                self.schedule_lease_expiry(now, job, seq);
+            }
+            _ => {
+                self.queue
+                    .schedule(now + renew_in, Event::LeaseRenew { job, seq });
+            }
+        }
+    }
+
+    /// A lease ran out its `ttl + grace`: the holder — dead, partitioned,
+    /// or silently gone — loses ownership and the lease transfers.
+    fn handle_lease_expire(&mut self, now: SimTime, job: JobId, seq: u64) {
+        let Some(rec) = self.job_ref(job) else { return };
+        if rec.state.is_terminal() || rec.lease != Some(seq) {
+            return;
+        }
+        self.report.lease_expiries += 1;
+        self.observer
+            .on_event(now, TraceEvent::LeaseExpired { job });
+        self.detach_owner(job);
+        let Some(rec) = self.job_mut(job) else { return };
+        rec.owner = None;
+        rec.lease = None;
+        self.transfer_lease(now, job);
+    }
+
+    /// Place a new owner for an expired lease. The overlay's
+    /// `reassign_owner` (honouring the configured placement policy) is
+    /// asked first; if it cannot name a live peer the engine falls back to
+    /// the deterministic least-loaded live node (lowest id on ties), so a
+    /// transfer succeeds whenever *any* live candidate exists — the
+    /// property the no-orphan oracle checks. With an empty grid the expiry
+    /// clock is simply re-armed.
+    fn transfer_lease(&mut self, now: SimTime, job: JobId) {
+        let Some(rec) = self.job_ref(job) else { return };
+        let resubmits = rec.resubmits;
+        let profile = rec.profile;
+        let guid = self.guid_of(job, resubmits);
+        let mut choice: Option<(GridNodeId, u32)> = None;
+        if self.nodes.alive_count() > 0 {
+            let reassigned = self
+                .mm
+                .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
+            self.absorb_lookup_retries();
+            choice = match reassigned {
+                Some((OwnerRef::Peer(p), hops)) if self.nodes.is_alive(p) => Some((p, hops)),
+                _ => None,
+            };
+            if choice.is_none() {
+                let mut best: Option<(usize, GridNodeId)> = None;
+                for id in self.nodes.alive_ids() {
+                    let load = self.nodes.get(id).load();
+                    if best.is_none_or(|(b, _)| load < b) {
+                        best = Some((load, id));
+                    }
+                }
+                choice = best.map(|(_, id)| (id, 0));
+            }
+        }
+        match choice {
+            Some((new_owner, hops)) => {
+                self.report.owner_hops.push(f64::from(hops));
+                self.report.lease_transfers += 1;
+                let Some(rec) = self.job_mut(job) else { return };
+                rec.owner = Some(OwnerRef::Peer(new_owner));
+                self.owner_jobs.entry(new_owner).or_default().insert(job);
+                self.observer.on_event(
+                    now,
+                    TraceEvent::LeaseTransferred {
+                        job,
+                        owner: new_owner,
+                    },
+                );
+                self.grant_lease(now, job);
+                // Execution in progress survives the transfer untouched
+                // (no epoch bump — the at-most-once argument is the same
+                // as for spurious owner recovery). An idle job resumes
+                // matchmaking under its new owner immediately.
+                let idle = self.jobs[&job]
+                    .run_node
+                    .is_none_or(|r| !self.nodes.is_alive(r));
+                if idle {
+                    let Some(rec) = self.job_mut(job) else { return };
+                    rec.state = JobState::Recovering;
+                    rec.run_node = None;
+                    rec.invalidate();
+                    rec.match_attempts = 0;
+                    rec.rpc_attempts = 0;
+                    self.try_match(now, job);
+                }
+            }
+            None => {
+                // No live candidate anywhere: hold the lease vacant and
+                // re-arm the clock; the bound restarts once nodes rejoin.
+                let Some(rec) = self.job_mut(job) else { return };
+                rec.lease_seq += 1;
+                let seq = rec.lease_seq;
+                rec.lease = Some(seq);
+                self.schedule_lease_expiry(now, job, seq);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Lifecycle handlers
     // ------------------------------------------------------------------
 
     fn handle_submit(&mut self, now: SimTime, job: JobId) {
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_ref(job) else { return };
         if rec.state.is_terminal() {
             return;
         }
         self.detach_owner(job);
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_mut(job) else { return };
         rec.state = JobState::Matching;
         rec.match_attempts = 0;
         rec.rpc_attempts = 0;
         rec.owner = None;
         rec.run_node = None;
+        // Any lease from an earlier life of this job is abandoned: pending
+        // renew/expire events find `lease == None` and drop themselves.
+        rec.lease = None;
         rec.invalidate();
         let epoch = rec.epoch;
         let resubmits = rec.resubmits;
@@ -723,7 +960,7 @@ impl Engine {
     /// injection node to the owner-to-be. A lost send backs off and retries
     /// via [`Event::ResendSubmit`].
     fn route_submission(&mut self, now: SimTime, job: JobId, epoch: u32) {
-        let rec = &self.jobs[&job];
+        let Some(rec) = self.job_ref(job) else { return };
         let resubmits = rec.resubmits;
         let profile = rec.profile;
         let Some(injection) = self.nodes.random_alive(&mut self.rng_engine) else {
@@ -744,7 +981,9 @@ impl Engine {
                 match self.send_message(now, Endpoint::External, Self::endpoint_of(owner), hops + 1)
                 {
                     Delivery::Delivered(d) => {
-                        self.jobs.get_mut(&job).expect("known job").rpc_attempts = 0;
+                        if let Some(rec) = self.job_mut(job) {
+                            rec.rpc_attempts = 0;
+                        }
                         self.queue
                             .schedule(now + d, Event::OwnerAssigned { job, epoch, owner });
                     }
@@ -765,9 +1004,10 @@ impl Engine {
         // The designated owner may have died while the job was in transit.
         if let OwnerRef::Peer(p) = owner {
             if !self.nodes.is_alive(p) {
-                let rec = &self.jobs[&job];
-                let guid = self.guid_of(job, rec.resubmits);
+                let Some(rec) = self.job_ref(job) else { return };
+                let resubmits = rec.resubmits;
                 let profile = rec.profile;
+                let guid = self.guid_of(job, resubmits);
                 let reassigned =
                     self.mm
                         .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
@@ -782,7 +1022,9 @@ impl Engine {
                             hops,
                         ) {
                             Delivery::Delivered(d) => {
-                                self.jobs.get_mut(&job).expect("known job").rpc_attempts = 0;
+                                if let Some(rec) = self.job_mut(job) {
+                                    rec.rpc_attempts = 0;
+                                }
                                 self.queue.schedule(
                                     now + d,
                                     Event::OwnerAssigned {
@@ -800,38 +1042,45 @@ impl Engine {
                 return;
             }
         }
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_mut(job) else { return };
         rec.owner = Some(owner);
         if let OwnerRef::Peer(p) = owner {
             self.owner_jobs.entry(p).or_default().insert(job);
         }
         self.observer
             .on_event(now, TraceEvent::OwnerAssigned { job, owner });
+        self.grant_lease(now, job);
         self.try_match(now, job);
     }
 
     /// Figure 1, step 3: the owner searches for a run node.
     fn try_match(&mut self, now: SimTime, job: JobId) {
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_mut(job) else { return };
         if rec.state.is_terminal() {
             return;
         }
         let Some(owner) = rec.owner else {
             // Owner lost before matching; the epoch-valid path that led here
-            // guarantees a resubmission or detection event is pending.
+            // guarantees a resubmission, detection, or lease-expiry event is
+            // pending.
             return;
         };
+        let epoch = rec.epoch;
         // Owner must be alive to conduct matchmaking.
         if let OwnerRef::Peer(p) = owner {
             if !self.nodes.is_alive(p) {
-                let epoch = rec.epoch;
+                if self.cfg.leases_enabled() {
+                    // The dead owner's lease expires and transfers the job;
+                    // no client involvement needed.
+                    return;
+                }
                 self.schedule_client_resubmit(job, epoch);
                 return;
             }
         }
+        let Some(rec) = self.job_mut(job) else { return };
         rec.state = JobState::Matching;
         rec.match_attempts += 1;
-        let epoch = rec.epoch;
         let profile = rec.profile;
         let outcome = self
             .mm
@@ -856,7 +1105,7 @@ impl Engine {
                     outcome.hops + 1,
                 ) {
                     Delivery::Delivered(d) => {
-                        let rec = self.jobs.get_mut(&job).expect("known job");
+                        let Some(rec) = self.job_mut(job) else { return };
                         rec.run_node = Some(run);
                         rec.state = JobState::Queued;
                         rec.invalidate();
@@ -876,8 +1125,9 @@ impl Engine {
 
     fn note_match_failure(&mut self, now: SimTime, job: JobId, epoch: u32) {
         self.report.match_failures += 1;
-        let rec = self.jobs.get_mut(&job).expect("known job");
-        if rec.match_attempts >= self.cfg.max_match_attempts {
+        let Some(rec) = self.job_mut(job) else { return };
+        let attempts = rec.match_attempts;
+        if attempts >= self.cfg.max_match_attempts {
             self.fail_job(job, FailureReason::NoMatch, now);
         } else {
             self.queue.schedule(
@@ -892,21 +1142,29 @@ impl Engine {
         if !self.epoch_valid(job, epoch) {
             return;
         }
-        let rec = &self.jobs[&job];
-        let run = rec.run_node.expect("arrival implies assignment");
+        let Some(rec) = self.job_ref(job) else { return };
+        let profile = rec.profile;
+        let Some(run) = rec.run_node else {
+            // Arrival without an assignment is the same invariant breach as
+            // an unknown job: count it and drop the event.
+            self.report.unknown_job_events += 1;
+            return;
+        };
         if !self.nodes.is_alive(run) {
             // Died while the job was in transit: the owner's heartbeat
             // timeout fires as if the job had been accepted.
             self.begin_run_failure_recovery(now, job);
             return;
         }
-        if self.cfg.sandbox.rejects_at_admission(&rec.profile) {
+        if self.cfg.sandbox.rejects_at_admission(&profile) {
             self.report.sandbox_kills += 1;
             self.fail_job(job, FailureReason::SandboxKilled, now);
             return;
         }
         let runtime = self.effective_runtime(job, run);
-        self.jobs.get_mut(&job).expect("known job").queued_at = Some(now);
+        if let Some(rec) = self.job_mut(job) {
+            rec.queued_at = Some(now);
+        }
         let node = self.nodes.get_mut(run);
         if node.running.is_none() {
             self.start_job(now, job, run, runtime);
@@ -915,8 +1173,9 @@ impl Engine {
                 job,
                 runtime_secs: runtime,
             });
-            let rec = self.jobs.get_mut(&job).expect("known job");
-            rec.state = JobState::Queued;
+            if let Some(rec) = self.job_mut(job) {
+                rec.state = JobState::Queued;
+            }
         }
     }
 
@@ -937,16 +1196,17 @@ impl Engine {
     }
 
     fn start_job(&mut self, now: SimTime, job: JobId, run: GridNodeId, runtime: f64) {
-        self.observer
-            .on_event(now, TraceEvent::Started { job, run_node: run });
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_mut(job) else { return };
         rec.state = JobState::Running;
         if rec.started_at.is_none() {
             rec.started_at = Some(now);
         }
         rec.invalidate();
         let epoch = rec.epoch;
-        let kill_after = self.cfg.sandbox.kill_after_secs(&rec.profile);
+        let profile = rec.profile;
+        self.observer
+            .on_event(now, TraceEvent::Started { job, run_node: run });
+        let kill_after = self.cfg.sandbox.kill_after_secs(&profile);
 
         let node = self.nodes.get_mut(run);
         node.running = Some(QueuedJob {
@@ -994,7 +1254,7 @@ impl Engine {
         run: GridNodeId,
         runtime: f64,
     ) {
-        let rec = &self.jobs[&job];
+        let Some(rec) = self.job_ref(job) else { return };
         let Some(owner) = rec.owner else { return };
         let epoch = rec.epoch;
         let owner_ep = Self::endpoint_of(owner);
@@ -1011,7 +1271,13 @@ impl Engine {
                 .schedule(t, Event::SpuriousRunFailure { job, epoch });
         }
         // Owner -> run node acks: the run node spuriously detects an owner
-        // failure and installs a replacement through the overlay.
+        // failure and installs a replacement through the overlay. In lease
+        // mode the owner's liveness is judged solely by its renewals — a
+        // partitioned owner loses the lease instead of being replaced by
+        // its run node, so the spurious owner path is never scheduled.
+        if self.cfg.leases_enabled() {
+            return;
+        }
         if let Some(t) = self
             .net
             .first_consecutive_losses(now, owner_ep, run_ep, period, misses, runtime)
@@ -1072,7 +1338,10 @@ impl Engine {
             n.busy_secs += done.runtime_secs;
             n.completed_jobs += 1;
         }
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_mut(job) else {
+            self.start_next_on(now, node);
+            return;
+        };
         // Only one completion per epoch exists and stale epochs were
         // rejected above, so the job can never already be terminal here —
         // except when the checker's dedup backdoor lets a stale completion
@@ -1082,13 +1351,16 @@ impl Engine {
         let was_terminal = rec.state.is_terminal();
         rec.state = JobState::Completed;
         rec.finished_at = Some(finished);
-        if let Some(q) = rec.queued_at {
+        let queued_at = rec.queued_at;
+        let client = rec.profile.client;
+        let wait = rec.wait_secs();
+        let turnaround = rec.turnaround_secs();
+        if let Some(q) = queued_at {
             let held = now.since(q).as_secs_f64();
             self.report.heartbeat_messages += (held / self.cfg.heartbeat_secs).ceil() as u64;
         }
-        let client = rec.profile.client;
         self.report.jobs_completed += 1;
-        if let Some(w) = rec.wait_secs() {
+        if let Some(w) = wait {
             self.report.wait_time.push(w);
             self.report
                 .client_waits
@@ -1096,7 +1368,7 @@ impl Engine {
                 .or_default()
                 .push(w);
         }
-        if let Some(t) = rec.turnaround_secs() {
+        if let Some(t) = turnaround {
             self.report.turnaround.push(t);
         }
         if !was_terminal {
@@ -1201,7 +1473,7 @@ impl Engine {
         let next = self.nodes.get_mut(node).queue.pop_front();
         if let Some(q) = next {
             // Skip jobs that terminated while queued (e.g. sandbox-failed).
-            if self.jobs[&q.job].state.is_terminal() {
+            if self.jobs.get(&q.job).is_none_or(|r| r.state.is_terminal()) {
                 self.start_next_on(now, node);
             } else {
                 self.start_job(now, q.job, node, q.runtime_secs);
@@ -1253,7 +1525,9 @@ impl Engine {
             self.cfg.detection_delay()
         };
         for job in victims {
-            let rec = self.jobs.get_mut(&job).expect("known job");
+            let Some(rec) = self.job_mut(job) else {
+                continue;
+            };
             if rec.state.is_terminal() {
                 continue;
             }
@@ -1261,7 +1535,8 @@ impl Engine {
             rec.run_node = None;
             rec.invalidate();
             let epoch = rec.epoch;
-            let owner_alive = match rec.owner {
+            let owner = rec.owner;
+            let owner_alive = match owner {
                 Some(OwnerRef::Server) => true,
                 Some(OwnerRef::Peer(p)) => p != node && self.nodes.is_alive(p),
                 None => false,
@@ -1269,19 +1544,36 @@ impl Engine {
             if owner_alive {
                 self.queue
                     .schedule(now + detect, Event::RunFailureDetected { job, epoch });
-            } else {
+            } else if !self.cfg.leases_enabled() {
                 self.schedule_client_resubmit(job, epoch);
             }
+            // In lease mode a dead (or already detached) owner's pending
+            // lease expiry transfers ownership and rematches the job — the
+            // client is never involved in owner-death recovery.
         }
 
         for job in owned {
-            let rec = self.jobs.get_mut(&job).expect("known job");
+            let Some(rec) = self.job_mut(job) else {
+                continue;
+            };
             if rec.state.is_terminal() {
                 continue;
             }
             // The job keeps running/queued elsewhere; do NOT invalidate.
             let epoch = rec.epoch;
-            match rec.run_node {
+            let run_node = rec.run_node;
+            let state = rec.state;
+            if self.cfg.leases_enabled() {
+                // The dead owner stops renewing, so its lease will run out
+                // `ttl + grace` after the last renewal and transfer. Detach
+                // ownership now: if the node rejoins before the expiry
+                // fires, it must not resume renewing a lease it lost.
+                if let Some(rec) = self.job_mut(job) {
+                    rec.owner = None;
+                }
+                continue;
+            }
+            match run_node {
                 Some(run) if self.nodes.is_alive(run) => {
                     self.queue
                         .schedule(now + detect, Event::OwnerFailureDetected { job, epoch });
@@ -1291,7 +1583,10 @@ impl Engine {
                 // purely owner-held (matching in progress), resubmit.
                 Some(_) => {} // handled via the victim path
                 None => {
-                    if rec.state == JobState::Matching {
+                    if state == JobState::Matching {
+                        let Some(rec) = self.job_mut(job) else {
+                            continue;
+                        };
                         rec.state = JobState::Recovering;
                         rec.invalidate();
                         let epoch = rec.epoch;
@@ -1310,12 +1605,13 @@ impl Engine {
     }
 
     fn begin_run_failure_recovery(&mut self, now: SimTime, job: JobId) {
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_mut(job) else { return };
         rec.state = JobState::Recovering;
         rec.run_node = None;
         rec.invalidate();
         let epoch = rec.epoch;
-        let owner_alive = match rec.owner {
+        let owner = rec.owner;
+        let owner_alive = match owner {
             Some(OwnerRef::Server) => true,
             Some(OwnerRef::Peer(p)) => self.nodes.is_alive(p),
             None => false,
@@ -1324,29 +1620,35 @@ impl Engine {
             let detect = self.cfg.detection_delay();
             self.queue
                 .schedule(now + detect, Event::RunFailureDetected { job, epoch });
-        } else {
+        } else if !self.cfg.leases_enabled() {
             self.schedule_client_resubmit(job, epoch);
         }
+        // Lease mode: the dead owner's lease expiry transfers the job.
     }
 
     fn handle_run_failure_detected(&mut self, now: SimTime, job: JobId, epoch: u32) {
         if !self.epoch_valid(job, epoch) {
             return;
         }
-        let rec = self.jobs.get_mut(&job).expect("known job");
-        let owner_alive = match rec.owner {
+        let Some(rec) = self.job_ref(job) else { return };
+        let owner = rec.owner;
+        let epoch = rec.epoch;
+        let owner_alive = match owner {
             Some(OwnerRef::Server) => true,
             Some(OwnerRef::Peer(p)) => self.nodes.is_alive(p),
             None => false,
         };
         if !owner_alive {
-            // Owner died during the detection window: dual failure.
-            let epoch = rec.epoch;
-            self.schedule_client_resubmit(job, epoch);
+            // Owner died during the detection window: dual failure — unless
+            // leases are on, in which case the expiry transfers the job.
+            if !self.cfg.leases_enabled() {
+                self.schedule_client_resubmit(job, epoch);
+            }
             return;
         }
         self.report.run_recoveries += 1;
         self.observer.on_event(now, TraceEvent::RunRecovery { job });
+        let Some(rec) = self.job_mut(job) else { return };
         rec.match_attempts = 0; // fresh matchmaking round
         rec.rpc_attempts = 0;
         self.try_match(now, job);
@@ -1360,11 +1662,13 @@ impl Engine {
         if !self.epoch_valid(job, epoch) {
             return;
         }
-        let rec = &self.jobs[&job];
+        let Some(rec) = self.job_ref(job) else { return };
         // Spurious means both sides are in fact alive; a real failure in the
         // meantime is handled by the real detection path.
-        let run_alive = rec.run_node.is_some_and(|r| self.nodes.is_alive(r));
-        let owner_alive = match rec.owner {
+        let run_node = rec.run_node;
+        let owner = rec.owner;
+        let run_alive = run_node.is_some_and(|r| self.nodes.is_alive(r));
+        let owner_alive = match owner {
             Some(OwnerRef::Server) => true,
             Some(OwnerRef::Peer(p)) => self.nodes.is_alive(p),
             None => false,
@@ -1375,7 +1679,7 @@ impl Engine {
         self.report.spurious_detections += 1;
         self.report.run_recoveries += 1;
         self.observer.on_event(now, TraceEvent::RunRecovery { job });
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_mut(job) else { return };
         rec.state = JobState::Recovering;
         rec.run_node = None;
         rec.invalidate();
@@ -1391,9 +1695,13 @@ impl Engine {
         if !self.epoch_valid(job, epoch) {
             return;
         }
-        let rec = &self.jobs[&job];
-        let run_alive = rec.run_node.is_some_and(|r| self.nodes.is_alive(r));
-        let owner_alive = match rec.owner {
+        let Some(rec) = self.job_ref(job) else { return };
+        let run_node = rec.run_node;
+        let owner = rec.owner;
+        let resubmits = rec.resubmits;
+        let profile = rec.profile;
+        let run_alive = run_node.is_some_and(|r| self.nodes.is_alive(r));
+        let owner_alive = match owner {
             Some(OwnerRef::Server) => true,
             Some(OwnerRef::Peer(p)) => self.nodes.is_alive(p),
             None => false,
@@ -1402,8 +1710,7 @@ impl Engine {
             return;
         }
         self.report.spurious_detections += 1;
-        let guid = self.guid_of(job, rec.resubmits);
-        let profile = rec.profile;
+        let guid = self.guid_of(job, resubmits);
         let reassigned = self
             .mm
             .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
@@ -1419,7 +1726,7 @@ impl Engine {
             self.observer
                 .on_event(now, TraceEvent::OwnerRecovery { job });
             self.detach_owner(job);
-            let rec = self.jobs.get_mut(&job).expect("known job");
+            let Some(rec) = self.job_mut(job) else { return };
             rec.owner = Some(new_owner);
             if let OwnerRef::Peer(p) = new_owner {
                 self.owner_jobs.entry(p).or_default().insert(job);
@@ -1431,15 +1738,17 @@ impl Engine {
         if !self.epoch_valid(job, epoch) {
             return;
         }
-        let rec = &self.jobs[&job];
-        let run_alive = rec.run_node.is_some_and(|r| self.nodes.is_alive(r));
+        let Some(rec) = self.job_ref(job) else { return };
+        let run_node = rec.run_node;
+        let resubmits = rec.resubmits;
+        let profile = rec.profile;
+        let run_alive = run_node.is_some_and(|r| self.nodes.is_alive(r));
         if !run_alive {
             // Both sides gone: the run-failure path or resubmission handles
             // it; nothing for the (dead) run node to do.
             return;
         }
-        let guid = self.guid_of(job, rec.resubmits);
-        let profile = rec.profile;
+        let guid = self.guid_of(job, resubmits);
         let reassigned = self
             .mm
             .reassign_owner(&self.nodes, &profile, guid, &mut self.rng_mm);
@@ -1450,7 +1759,7 @@ impl Engine {
                 self.report.owner_recoveries += 1;
                 self.observer
                     .on_event(now, TraceEvent::OwnerRecovery { job });
-                let rec = self.jobs.get_mut(&job).expect("known job");
+                let Some(rec) = self.job_mut(job) else { return };
                 rec.owner = Some(new_owner);
                 if let OwnerRef::Peer(p) = new_owner {
                     self.owner_jobs.entry(p).or_default().insert(job);
@@ -1478,9 +1787,10 @@ impl Engine {
             return;
         }
         self.report.client_resubmits += 1;
-        let rec = self.jobs.get_mut(&job).expect("known job");
+        let Some(rec) = self.job_mut(job) else { return };
         rec.resubmits += 1;
-        if rec.resubmits > self.cfg.max_resubmits {
+        let resubmits = rec.resubmits;
+        if resubmits > self.cfg.max_resubmits {
             self.fail_job(job, FailureReason::ResubmitsExhausted, now);
         } else {
             self.handle_submit(now, job);
@@ -1511,13 +1821,14 @@ impl Engine {
 
     fn fail_job(&mut self, job: JobId, reason: FailureReason, now: SimTime) {
         {
-            let rec = self.jobs.get_mut(&job).expect("known job");
+            let Some(rec) = self.job_mut(job) else { return };
             if rec.state.is_terminal() {
                 return;
             }
             rec.state = JobState::Failed;
             rec.failure = Some(reason);
             rec.finished_at = Some(now);
+            rec.lease = None;
             rec.invalidate();
         }
         self.report.jobs_failed += 1;
@@ -1531,13 +1842,14 @@ impl Engine {
         }
         // Descendants can never obtain this job's output: cascade.
         for d in self.dag.descendants_of(job) {
-            let rec = self.jobs.get_mut(&d).expect("known job");
+            let Some(rec) = self.job_mut(d) else { continue };
             if rec.state.is_terminal() {
                 continue;
             }
             rec.state = JobState::Failed;
             rec.failure = Some(FailureReason::DependencyFailed);
             rec.finished_at = Some(now);
+            rec.lease = None;
             rec.invalidate();
             self.report.jobs_failed += 1;
             self.report.dependency_failures += 1;
@@ -1550,7 +1862,10 @@ impl Engine {
     }
 
     fn detach_owner(&mut self, job: JobId) {
-        if let Some(OwnerRef::Peer(p)) = self.jobs[&job].owner {
+        let Some(rec) = self.jobs.get(&job) else {
+            return;
+        };
+        if let Some(OwnerRef::Peer(p)) = rec.owner {
             if let Some(set) = self.owner_jobs.get_mut(&p) {
                 set.remove(&job);
             }

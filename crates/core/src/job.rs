@@ -91,6 +91,13 @@ pub(crate) struct JobRecord {
     pub rpc_attempts: u32,
     /// Times the client had to resubmit after dual failure.
     pub resubmits: u32,
+    /// Sequence number of the currently active ownership lease, if any.
+    /// Renew/expire events carry the seq they were scheduled under and are
+    /// discarded when it no longer matches (the lease analogue of `epoch`).
+    pub lease: Option<u64>,
+    /// Monotonic lease grant/renewal counter; never reset, so a reissued
+    /// lease can never collide with a stale in-flight event.
+    pub lease_seq: u64,
     pub first_submitted_at: SimTime,
     /// When the job last entered a run node's queue (heartbeats start).
     pub queued_at: Option<SimTime>,
@@ -111,6 +118,8 @@ impl JobRecord {
             match_attempts: 0,
             rpc_attempts: 0,
             resubmits: 0,
+            lease: None,
+            lease_seq: 0,
             first_submitted_at: submitted_at,
             queued_at: None,
             started_at: None,

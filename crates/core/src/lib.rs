@@ -56,7 +56,7 @@ mod security;
 mod span;
 mod trace;
 
-pub use config::{ChurnConfig, EngineConfig};
+pub use config::{ChurnConfig, EngineConfig, PlacementPolicy};
 pub use dag::JobDag;
 pub use dgrid_sim::fault::{Delivery, Endpoint, FaultPlan, LatencySpike, NodeCrash, Partition};
 pub use engine::{AvailabilityEvent, Engine, JobSubmission};

@@ -34,6 +34,7 @@ use dgrid_sim::telemetry::{NullHook, SharedHook};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::config::PlacementPolicy;
 use crate::job::OwnerRef;
 use crate::matchmaker::{MatchOutcome, Matchmaker};
 use crate::node::{GridNodeId, NodeTable};
@@ -74,6 +75,7 @@ pub struct RnTreeMatchmaker<R: KeyRouter = ChordRing> {
     dirty: bool,
     lookup_retries: u64,
     hook: SharedHook,
+    placement: PlacementPolicy,
 }
 
 impl RnTreeMatchmaker<ChordRing> {
@@ -103,6 +105,7 @@ impl<R: KeyRouter> RnTreeMatchmaker<R> {
             dirty: true,
             lookup_retries: 0,
             hook: Rc::new(RefCell::new(NullHook)),
+            placement: PlacementPolicy::Hash,
         }
     }
 
@@ -138,6 +141,35 @@ impl<R: KeyRouter> RnTreeMatchmaker<R> {
             self.rebuild_index(nodes);
         }
         self.index.as_ref()
+    }
+
+    /// Load-aware owner placement: probe the mapped key *and* its failover
+    /// peers, and keep the live candidate with the shallowest queue
+    /// (`GridNode::load()`), each extra probe costing one hop. Ties keep
+    /// the earliest candidate — the overlay's own preference order — so
+    /// placement stays deterministic without consuming RNG draws. Falls
+    /// back to the mapped key when no probe improves on it.
+    fn place_load_aware(&self, nodes: &NodeTable, mapped: u64, hops: &mut u32) -> u64 {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, key) in std::iter::once(mapped)
+            .chain(self.router.failover_peers(mapped))
+            .enumerate()
+        {
+            let Some(&gid) = self.grid_of.get(&key) else {
+                continue;
+            };
+            if !nodes.is_alive(gid) {
+                continue;
+            }
+            if i > 0 {
+                *hops += 1; // load probe of one failover peer
+            }
+            let load = nodes.get(gid).load();
+            if best.is_none_or(|(b, _)| load < b) {
+                best = Some((load, key));
+            }
+        }
+        best.map_or(mapped, |(_, key)| key)
     }
 
     /// Report one finished overlay operation to the telemetry hook.
@@ -190,7 +222,7 @@ impl<R: KeyRouter> Matchmaker for RnTreeMatchmaker<R> {
 
     fn assign_owner(
         &mut self,
-        _nodes: &NodeTable,
+        nodes: &NodeTable,
         _job: &JobProfile,
         guid: u64,
         injection: GridNodeId,
@@ -216,6 +248,9 @@ impl<R: KeyRouter> Matchmaker for RnTreeMatchmaker<R> {
                 }
                 None => break,
             }
+        }
+        if self.placement == PlacementPolicy::LoadAware {
+            owner = self.place_load_aware(nodes, owner, &mut hops);
         }
         let grid = *self.grid_of.get(&owner)?;
         self.report_lookup(hops, retries);
@@ -324,12 +359,17 @@ impl<R: KeyRouter> Matchmaker for RnTreeMatchmaker<R> {
             self.router
                 .lookup_with_failover(from, guid, LOOKUP_FAILOVER_RETRIES)?;
         self.lookup_retries += u64::from(retries);
-        let grid = *self.grid_of.get(&lookup.owner)?;
+        let mut hops = lookup.charged_hops();
+        let mut owner_key = lookup.owner;
+        if self.placement == PlacementPolicy::LoadAware {
+            owner_key = self.place_load_aware(nodes, owner_key, &mut hops);
+        }
+        let grid = *self.grid_of.get(&owner_key)?;
         if !nodes.is_alive(grid) {
             return None;
         }
-        self.report_lookup(lookup.charged_hops(), retries);
-        Some((OwnerRef::Peer(grid), lookup.charged_hops()))
+        self.report_lookup(hops, retries);
+        Some((OwnerRef::Peer(grid), hops))
     }
 
     fn tick(&mut self, nodes: &NodeTable) {
@@ -361,6 +401,18 @@ impl<R: KeyRouter> Matchmaker for RnTreeMatchmaker<R> {
 
     fn set_telemetry_hook(&mut self, hook: SharedHook) {
         self.hook = hook;
+    }
+
+    fn set_placement(&mut self, placement: PlacementPolicy) {
+        self.placement = placement;
+    }
+
+    fn lease_registrar(&mut self, nodes: &NodeTable, guid: u64) -> Option<GridNodeId> {
+        // Ground truth, no routing cost: the registrar *is* the substrate
+        // owner of the job's DHT key (renewals ride on its direct address).
+        let key = self.router.owner_of(guid)?;
+        let gid = *self.grid_of.get(&key)?;
+        nodes.is_alive(gid).then_some(gid)
     }
 }
 
@@ -488,6 +540,67 @@ mod tests {
         let inj = nodes.alive_ids().next().unwrap();
         let (owner, _) = mm.assign_owner(&nodes, &p, 5, inj, &mut rng).unwrap();
         assert_eq!(mm.find_run_node(&nodes, owner, &p, &mut rng).run_node, None);
+    }
+
+    #[test]
+    fn load_aware_placement_avoids_deep_queues() {
+        use crate::node::QueuedJob;
+
+        // No random walk, so under hash placement the owner is exactly the
+        // substrate mapping of the GUID and the comparison is direct.
+        let cfg = RnTreeConfig {
+            max_random_walk: 0,
+            ..RnTreeConfig::default()
+        };
+        let nodes = node_table(48);
+        let mut rng = rng_for(7, 7);
+        let mut mm = RnTreeMatchmaker::<ChordRing>::on_substrate(cfg);
+        for id in nodes.alive_ids() {
+            mm.on_join(&nodes, id, &mut rng);
+        }
+        mm.tick(&nodes);
+        let p = job(JobRequirements::unconstrained());
+        let inj = nodes.alive_ids().next().unwrap();
+        let (hash_owner, _) = mm.assign_owner(&nodes, &p, 0xABCD, inj, &mut rng).unwrap();
+        let hash_gid = hash_owner.peer().unwrap();
+
+        // Bury the hash owner under a deep queue; load-aware placement
+        // must route around it to a failover peer.
+        let mut loaded = node_table(48);
+        for i in 0..10 {
+            loaded.get_mut(hash_gid).queue.push_back(QueuedJob {
+                job: JobId(1000 + i),
+                runtime_secs: 10.0,
+            });
+        }
+        mm.set_placement(PlacementPolicy::LoadAware);
+        let (aware_owner, hops) = mm.assign_owner(&loaded, &p, 0xABCD, inj, &mut rng).unwrap();
+        assert_ne!(
+            aware_owner.peer().unwrap(),
+            hash_gid,
+            "a buried hash owner must lose the placement"
+        );
+        assert!(hops > 0, "load probes are not free");
+    }
+
+    #[test]
+    fn lease_registrar_is_the_live_substrate_owner() {
+        let (mut mm, mut nodes, _rng) = setup(32);
+        let guid = 0x5EED;
+        let registrar = mm
+            .lease_registrar(&nodes, guid)
+            .expect("live grid has a registrar");
+        assert!(nodes.is_alive(registrar));
+        // Registrar lookup is ground truth: asking twice costs nothing and
+        // answers the same.
+        assert_eq!(mm.lease_registrar(&nodes, guid), Some(registrar));
+
+        // Kill the registrar: the role moves to another live peer.
+        nodes.mark_failed(registrar);
+        mm.on_leave(&nodes, registrar, false);
+        mm.tick(&nodes);
+        let next = mm.lease_registrar(&nodes, guid);
+        assert_ne!(next, Some(registrar), "dead registrar must be replaced");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use dgrid_resources::JobProfile;
 use dgrid_sim::rng::SimRng;
 use dgrid_sim::telemetry::SharedHook;
 
+use crate::config::PlacementPolicy;
 use crate::job::OwnerRef;
 use crate::node::{GridNodeId, NodeTable};
 
@@ -105,5 +106,26 @@ pub trait Matchmaker {
     /// does nothing, so not installing one costs nothing.
     fn set_telemetry_hook(&mut self, hook: SharedHook) {
         let _ = hook;
+    }
+
+    /// Install the owner [`PlacementPolicy`] the lease subsystem selected.
+    /// Under [`PlacementPolicy::LoadAware`] overlay matchmakers probe the
+    /// substrate owner *and* its failover peers and place the job on the
+    /// least-loaded live candidate instead of blindly accepting the hash
+    /// mapping. The default ignores the policy (the centralized baseline
+    /// has no placement freedom), and the engine only calls this when
+    /// leases are enabled, so the legacy paths never see it.
+    fn set_placement(&mut self, placement: PlacementPolicy) {
+        let _ = placement;
+    }
+
+    /// The lease registrar for `guid`: the ground-truth substrate owner of
+    /// the job's DHT key, where the job owner's renewals are recorded.
+    /// `None` means the overlay has no live registrar (or the matchmaker
+    /// has no overlay at all) and renewals fall back to the reliable
+    /// external registry.
+    fn lease_registrar(&mut self, nodes: &NodeTable, guid: u64) -> Option<GridNodeId> {
+        let _ = (nodes, guid);
+        None
     }
 }

@@ -67,6 +67,21 @@ pub struct SimReport {
     /// (at-least-once duplicates whose results were discarded).
     #[serde(default)]
     pub duplicate_executions: u64,
+    /// Successful lease renewals recorded at registrars (lease mode only).
+    #[serde(default)]
+    pub lease_renewals: u64,
+    /// Leases that ran out their `ttl + grace` without a renewal.
+    #[serde(default)]
+    pub lease_expiries: u64,
+    /// Expired leases re-granted to a freshly placed owner.
+    #[serde(default)]
+    pub lease_transfers: u64,
+    /// Engine events that referenced a job the engine no longer knows —
+    /// an internal invariant breach surfaced as a counter (and a trace
+    /// oracle violation) instead of a panic, so one corrupted record
+    /// cannot abort a whole replication.
+    #[serde(default)]
+    pub unknown_job_events: u64,
     /// Percentile summary (p50/p95/p99 and friends) of the wait times,
     /// computed once at the end of the run.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -219,9 +234,15 @@ mod tests {
         map.remove("lookup_retries");
         map.remove("spurious_detections");
         map.remove("duplicate_executions");
+        map.remove("lease_renewals");
+        map.remove("lease_expiries");
+        map.remove("lease_transfers");
+        map.remove("unknown_job_events");
         let back: SimReport = serde_json::from_value(v).unwrap();
         assert_eq!(back.messages_lost, 0);
         assert_eq!(back.spurious_detections, 0);
+        assert_eq!(back.lease_expiries, 0);
+        assert_eq!(back.unknown_job_events, 0);
     }
 
     #[test]

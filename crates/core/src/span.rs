@@ -168,7 +168,9 @@ fn job_of(event: &TraceEvent) -> Option<JobId> {
         | TraceEvent::Completed { job, .. }
         | TraceEvent::Failed { job }
         | TraceEvent::RunRecovery { job }
-        | TraceEvent::OwnerRecovery { job } => Some(*job),
+        | TraceEvent::OwnerRecovery { job }
+        | TraceEvent::LeaseExpired { job }
+        | TraceEvent::LeaseTransferred { job, .. } => Some(*job),
         TraceEvent::NodeDown { .. } | TraceEvent::NodeUp { .. } => None,
     }
 }
@@ -177,7 +179,10 @@ fn job_of(event: &TraceEvent) -> Option<JobId> {
 fn segment_phase(prev: &TraceEvent, next: &TraceEvent) -> Phase {
     match next {
         // The later event reveals the interval was failure handling.
-        TraceEvent::RunRecovery { .. } | TraceEvent::OwnerRecovery { .. } => Phase::Recovery,
+        TraceEvent::RunRecovery { .. }
+        | TraceEvent::OwnerRecovery { .. }
+        | TraceEvent::LeaseExpired { .. }
+        | TraceEvent::LeaseTransferred { .. } => Phase::Recovery,
         TraceEvent::Submitted { resubmits, .. } if *resubmits > 0 => Phase::Recovery,
         TraceEvent::Failed { .. } => Phase::Recovery,
         // Otherwise the earlier event names the work in progress.
@@ -192,6 +197,11 @@ fn segment_phase(prev: &TraceEvent, next: &TraceEvent) -> Phase {
             // already reattributed by its own closing event.
             TraceEvent::RunRecovery { .. } => Phase::Matchmaking,
             TraceEvent::OwnerRecovery { .. } => Phase::Execution,
+            // An expired lease waits for its transfer; once transferred
+            // the job either resumes executing (run node untouched) or the
+            // next closing event reattributes the segment itself.
+            TraceEvent::LeaseExpired { .. } => Phase::Recovery,
+            TraceEvent::LeaseTransferred { .. } => Phase::Execution,
             _ => Phase::Recovery,
         },
     }
@@ -236,7 +246,9 @@ impl SpanAssembler {
             TraceEvent::Submitted { resubmits, .. } => {
                 span.resubmits = span.resubmits.max(resubmits)
             }
-            TraceEvent::RunRecovery { .. } | TraceEvent::OwnerRecovery { .. } => {
+            TraceEvent::RunRecovery { .. }
+            | TraceEvent::OwnerRecovery { .. }
+            | TraceEvent::LeaseTransferred { .. } => {
                 span.recoveries += 1;
             }
             TraceEvent::Completed { results_at, .. } => {

@@ -96,6 +96,18 @@ pub enum TraceEvent {
         /// The affected job.
         job: JobId,
     },
+    /// The owner's lease on a job ran out (no renewal within ttl + grace).
+    LeaseExpired {
+        /// The affected job.
+        job: JobId,
+    },
+    /// An expired lease was granted to a freshly placed owner.
+    LeaseTransferred {
+        /// The affected job.
+        job: JobId,
+        /// The new owner peer.
+        owner: GridNodeId,
+    },
 }
 
 /// Receives lifecycle events in virtual-time order.
@@ -140,7 +152,9 @@ impl VecObserver {
                     | TraceEvent::Completed { job: j, .. }
                     | TraceEvent::Failed { job: j }
                     | TraceEvent::RunRecovery { job: j }
-                    | TraceEvent::OwnerRecovery { job: j } if *j == job
+                    | TraceEvent::OwnerRecovery { job: j }
+                    | TraceEvent::LeaseExpired { job: j }
+                    | TraceEvent::LeaseTransferred { job: j, .. } if *j == job
                 )
             })
             .map(|(_, e)| e)
@@ -254,6 +268,14 @@ pub fn write_event_line(buf: &mut String, t_ns: u64, event: &TraceEvent) {
         TraceEvent::OwnerRecovery { job } => {
             write!(buf, "{{\"OwnerRecovery\":{{\"job\":{}}}}}", job.0)
         }
+        TraceEvent::LeaseExpired { job } => {
+            write!(buf, "{{\"LeaseExpired\":{{\"job\":{}}}}}", job.0)
+        }
+        TraceEvent::LeaseTransferred { job, owner } => write!(
+            buf,
+            "{{\"LeaseTransferred\":{{\"job\":{},\"owner\":{}}}}}",
+            job.0, owner.0
+        ),
     };
     buf.push_str("}\n");
 }
@@ -388,6 +410,14 @@ mod tests {
             ),
             (10, TraceEvent::RunRecovery { job: JobId(11) }),
             (11, TraceEvent::OwnerRecovery { job: JobId(12) }),
+            (12, TraceEvent::LeaseExpired { job: JobId(13) }),
+            (
+                13,
+                TraceEvent::LeaseTransferred {
+                    job: JobId(14),
+                    owner: GridNodeId(15),
+                },
+            ),
         ];
         let mut buf = String::new();
         for (t_ns, event) in cases {

@@ -4,7 +4,7 @@
 
 use dgrid_core::{
     CanMatchmaker, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, JobDag, JobSubmission,
-    Matchmaker, RnTreeMatchmaker,
+    Matchmaker, PlacementPolicy, RnTreeMatchmaker,
 };
 use dgrid_resources::{
     Capabilities, ClientId, JobId, JobProfile, JobRequirements, NodeProfile, OsType, ResourceKind,
@@ -252,5 +252,79 @@ proptest! {
             consistent,
             "validate must accept exactly the consistent backoff configs"
         );
+    }
+
+    /// Lease knobs: `validate` must accept exactly the configs where the ttl
+    /// strictly exceeds the renew interval (a lease that cannot outlive one
+    /// renewal period expires while its owner is still healthy), the grace
+    /// is finite and non-negative (zero grace is a legal edge: expiry fires
+    /// the instant the ttl lapses), and a placement policy is present.
+    #[test]
+    fn validate_accepts_exactly_coherent_lease_knobs(
+        ttl in 0.5f64..400.0,
+        renew in 0.5f64..400.0,
+        grace in proptest::option::of(0.0f64..120.0),
+        placement_set in any::<bool>(),
+    ) {
+        let cfg = EngineConfig {
+            lease_ttl_secs: Some(ttl),
+            lease_renew_secs: renew,
+            lease_grace_secs: grace.unwrap_or(0.0),
+            placement: placement_set.then_some(PlacementPolicy::LoadAware),
+            ..EngineConfig::default()
+        };
+        let consistent = ttl > renew && placement_set;
+        let accepted =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cfg.validate())).is_ok();
+        prop_assert_eq!(
+            accepted,
+            consistent,
+            "validate must accept exactly ttl > renew with a placement policy \
+             (ttl {ttl}, renew {renew}, grace {grace:?}, placement {placement_set})"
+        );
+    }
+
+    /// With leases disabled (`lease_ttl_secs: None`), the lease knobs are
+    /// inert: any leftover renew/grace/placement values — even incoherent
+    /// ones — must not affect validation.
+    #[test]
+    fn validate_ignores_lease_knobs_when_disabled(
+        renew in -50.0f64..400.0,
+        grace in -50.0f64..400.0,
+        placement_set in any::<bool>(),
+    ) {
+        let cfg = EngineConfig {
+            lease_ttl_secs: None,
+            lease_renew_secs: renew,
+            lease_grace_secs: grace,
+            placement: placement_set.then_some(PlacementPolicy::Hash),
+            ..EngineConfig::default()
+        };
+        let accepted =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cfg.validate())).is_ok();
+        prop_assert!(accepted, "disabled leases must not validate lease knobs");
+    }
+
+    /// An infinite ttl is the documented spelling for "a lease that never
+    /// expires": it *disables* the subsystem (reassign-on-death, bit-exact),
+    /// so — like `None` — it must validate no matter what the other lease
+    /// knobs hold, placement included.
+    #[test]
+    fn validate_accepts_infinite_ttl_as_disabled(
+        renew in -50.0f64..400.0,
+        grace in -50.0f64..400.0,
+        placement_set in any::<bool>(),
+    ) {
+        let cfg = EngineConfig {
+            lease_ttl_secs: Some(f64::INFINITY),
+            lease_renew_secs: renew,
+            lease_grace_secs: grace,
+            placement: placement_set.then_some(PlacementPolicy::Hash),
+            ..EngineConfig::default()
+        };
+        prop_assert!(!cfg.leases_enabled(), "infinite ttl must disable leases");
+        let accepted =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cfg.validate())).is_ok();
+        prop_assert!(accepted, "infinite ttl must validate like disabled leases");
     }
 }

@@ -8,6 +8,7 @@
 //! dgrid check   --replay repro.json
 //! dgrid bench sweep [--replications N] [--json PATH]
 //! dgrid bench overlays [--replications N] [--json PATH]
+//! dgrid bench leases [--replications N] [--json PATH]
 //!
 //! options:
 //!   --nodes N             grid size                      (default 200)
@@ -23,6 +24,12 @@
 //!   --loss P              drop each message with probability P
 //!   --partition S:E:IDS   partition nodes IDS (comma-sep) from SECS S to E
 //!                         (repeatable)
+//!   --lease-ttl SECS      enable owner leases with this ttl (`inf` = leases
+//!                         armed but never expiring)
+//!   --lease-renew SECS    heartbeat-driven renewal cadence (default 30)
+//!   --lease-grace SECS    post-ttl grace before expiry     (default 30)
+//!   --placement P         owner placement under leases: hash | load-aware
+//!                         (default hash for run/compare, load-aware for check)
 //!   --events PATH         stream the lifecycle trace as JSON Lines
 //!   --timeseries PATH     write sampled grid gauges as JSON
 //!   --sample-secs SECS    gauge sampling cadence          (default 60)
@@ -53,6 +60,12 @@
 //! every overlay substrate (chord, pastry, tapestry) over one replicated
 //! cell and compare lookup hops, wait times, and wall time per substrate;
 //! `--json` writes the comparison for the CI artifact.
+//!
+//! bench leases options (same defaults): the `T-lease` experiment — run
+//! RN-Tree on the Tapestry substrate (the most placement-skewed overlay)
+//! three ways: reassign-on-death, leases + hash placement, and leases +
+//! load-aware placement; compares load fairness and wait times. `--lease-*`
+//! override the default ttl 600 / renew 150 / grace 60.
 //! ```
 //!
 //! `run` executes one cell and prints the report (`--replications R` fans R
@@ -73,7 +86,8 @@ use std::io::{BufWriter, Write};
 use dgrid::core::router::{PastryNetwork, TapestryNetwork};
 use dgrid::core::{
     parse_event_line, phase_samples, ChurnConfig, Engine, EngineConfig, FaultPlan, JobSpan,
-    JsonlObserver, Phase, RnTreeConfig, RnTreeMatchmaker, SimReport, SpanAssembler, SpanOutcome,
+    JsonlObserver, Phase, PlacementPolicy, RnTreeConfig, RnTreeMatchmaker, SimReport,
+    SpanAssembler, SpanOutcome,
 };
 use dgrid::harness::Algorithm;
 use dgrid::sim::hist::LogHistogram;
@@ -108,14 +122,21 @@ struct Opts {
     matchmakers: Option<String>,
     threads: Option<usize>,
     replications: usize,
+    lease_ttl: Option<f64>,
+    lease_renew: Option<f64>,
+    lease_grace: Option<f64>,
+    placement: Option<PlacementPolicy>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dgrid <run|compare|report|check|bench sweep> [--algorithm A] [--scenario S] \
+        "usage: dgrid <run|compare|report|check|bench sweep|bench overlays|bench leases> \
+         [--algorithm A] [--scenario S] \
          [--nodes N] [--jobs M] [--seed S] [--threads N] [--replications R] [--mttf SECS] \
          [--rejoin SECS] [--graceful FRAC] \
-         [--k K] [--loss P] [--partition START:END:IDS] [--events PATH] \
+         [--k K] [--loss P] [--partition START:END:IDS] \
+         [--lease-ttl SECS] [--lease-renew SECS] [--lease-grace SECS] \
+         [--placement hash|load-aware] [--events PATH] \
          [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH] \
          [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME] [--matchmaker M[,M...]]\n\
          algorithms: rn-tree rn-tree@pastry rn-tree@tapestry can can-push can-novirt central\n\
@@ -196,6 +217,10 @@ fn parse() -> Opts {
         matchmakers: None,
         threads: None,
         replications: 1,
+        lease_ttl: None,
+        lease_renew: None,
+        lease_grace: None,
+        placement: None,
     };
     if opts.command != "run"
         && opts.command != "compare"
@@ -210,7 +235,7 @@ fn parse() -> Opts {
         // Flags follow the subcommand. Defaults drop to the quick bench
         // scale so a sweep finishes in seconds.
         match args.get(1).map(String::as_str) {
-            Some(sub @ ("sweep" | "overlays")) => opts.command = format!("bench-{sub}"),
+            Some(sub @ ("sweep" | "overlays" | "leases")) => opts.command = format!("bench-{sub}"),
             _ => usage(),
         }
         opts.nodes = 96;
@@ -244,6 +269,10 @@ fn parse() -> Opts {
             "--replay" => opts.replay = Some(val),
             "--inject-bug" => opts.inject_bug = Some(val),
             "--matchmaker" => opts.matchmakers = Some(val),
+            "--lease-ttl" => opts.lease_ttl = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--lease-renew" => opts.lease_renew = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--lease-grace" => opts.lease_grace = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--placement" => opts.placement = Some(val.parse().unwrap_or_else(|_| usage())),
             "--threads" => {
                 let n: usize = val.parse().unwrap_or_else(|_| usage());
                 if n == 0 {
@@ -286,11 +315,19 @@ fn fault_plan(opts: &Opts) -> Option<FaultPlan> {
 /// churn, `--k`, and fault plan applied, but `seed` taken explicitly so
 /// replicated runs can vary it.
 fn build_engine(opts: &Opts, algorithm: Algorithm, workload: &Workload, seed: u64) -> Engine {
-    let cfg = EngineConfig {
+    let mut cfg = EngineConfig {
         seed,
         max_sim_secs: 5_000_000.0,
         ..EngineConfig::default()
     };
+    if let Some(ttl) = opts.lease_ttl {
+        cfg.lease_ttl_secs = Some(ttl);
+        cfg.lease_renew_secs = opts.lease_renew.unwrap_or(cfg.lease_renew_secs);
+        cfg.lease_grace_secs = opts.lease_grace.unwrap_or(cfg.lease_grace_secs);
+        // Leases require an explicit placement policy; default the CLI to
+        // the paper-faithful hash placement unless --placement says otherwise.
+        cfg.placement = Some(opts.placement.unwrap_or(PlacementPolicy::Hash));
+    }
     let churn = ChurnConfig {
         mttf_secs: opts.mttf,
         rejoin_after_secs: opts.rejoin,
@@ -482,6 +519,12 @@ fn print_report(r: &SimReport) {
             r.run_recoveries, r.owner_recoveries, r.client_resubmits
         );
     }
+    if r.lease_renewals + r.lease_expiries + r.lease_transfers > 0 {
+        println!(
+            "leases           : {} renewals, {} expiries, {} transfers",
+            r.lease_renewals, r.lease_expiries, r.lease_transfers
+        );
+    }
 }
 
 /// Load spans back out of a JSONL event stream.
@@ -636,9 +679,21 @@ fn cmd_report(opts: &Opts) {
 fn cmd_check(opts: &Opts) {
     use dgrid::check::{
         check_run, check_scenario, check_scenario_with, fault_event_count, shrink, Inject,
-        MatchmakerChoice, ReproArtifact, Violation,
+        LeaseSpec, MatchmakerChoice, ReproArtifact, Violation,
     };
     use std::path::Path;
+
+    // `--lease-ttl` turns every generated scenario into a leased run: the
+    // no-orphan oracle joins the battery and each scenario is additionally
+    // compared against its own reassign-on-death baseline. Unspecified
+    // companion knobs default to the standard check lease (renew 15s,
+    // grace 10s, load-aware placement).
+    let lease = opts.lease_ttl.map(|ttl| LeaseSpec {
+        ttl_secs: ttl,
+        renew_secs: opts.lease_renew.unwrap_or(15.0),
+        grace_secs: opts.lease_grace.unwrap_or(10.0),
+        placement: opts.placement.unwrap_or(PlacementPolicy::LoadAware),
+    });
 
     let inject = match opts.inject_bug.as_deref() {
         None => Inject::default(),
@@ -707,10 +762,20 @@ fn cmd_check(opts: &Opts) {
         .collect::<Vec<_>>()
         .join(", ");
     println!(
-        "checking {} scenario(s) from seed {base}, {} matchmaker(s) [{mm_labels}], {} thread(s){}",
+        "checking {} scenario(s) from seed {base}, {} matchmaker(s) [{mm_labels}], {} thread(s){}{}",
         opts.seeds,
         selected.len(),
         rayon::Pool::current_threads(),
+        match lease {
+            Some(l) => format!(
+                " [leases: ttl {:.0}s renew {:.0}s grace {:.0}s, {} placement]",
+                l.ttl_secs,
+                l.renew_secs,
+                l.grace_secs,
+                l.placement.label()
+            ),
+            None => String::new(),
+        },
         if inject == Inject::default() {
             String::new()
         } else {
@@ -722,12 +787,13 @@ fn cmd_check(opts: &Opts) {
     // artifact — and the shrink below, which stays sequential — are
     // identical at any thread count.
     let mut last_reported = 0;
-    let outcome = dgrid::check::sweep_with(base, opts.seeds, inject, &selected, |done| {
-        if done / 10 > last_reported / 10 && done < opts.seeds {
-            eprintln!("  ... {done}/{} clean", opts.seeds);
-        }
-        last_reported = done;
-    });
+    let outcome =
+        dgrid::check::sweep_with_lease(base, opts.seeds, inject, lease, &selected, |done| {
+            if done / 10 > last_reported / 10 && done < opts.seeds {
+                eprintln!("  ... {done}/{} clean", opts.seeds);
+            }
+            last_reported = done;
+        });
     match outcome {
         dgrid::check::SweepOutcome::AllClean { .. } => {}
         dgrid::check::SweepOutcome::Violation {
@@ -1061,6 +1127,150 @@ fn cmd_bench_overlays(opts: &Opts) {
     }
 }
 
+/// One configuration row of `bench leases`, as written to `--json`.
+#[derive(serde::Serialize)]
+struct LeasePoint {
+    config: String,
+    mean_wait: f64,
+    std_wait: f64,
+    load_fairness: f64,
+    hops_per_job: f64,
+    completion_rate: f64,
+    lease_renewals: u64,
+    lease_expiries: u64,
+    lease_transfers: u64,
+    wall_secs: f64,
+}
+
+/// The full `bench leases` result, as written to `--json`.
+#[derive(serde::Serialize)]
+struct LeaseRecord {
+    algorithm: String,
+    scenario: String,
+    nodes: usize,
+    jobs: usize,
+    replications: usize,
+    seed: u64,
+    lease_ttl_secs: f64,
+    lease_renew_secs: f64,
+    lease_grace_secs: f64,
+    configs: Vec<LeasePoint>,
+}
+
+/// `dgrid bench leases`: the `T-lease` experiment. Run the RN-Tree
+/// matchmaker on the Tapestry substrate — the most placement-skewed overlay
+/// — three ways over the same replicated workload: reassign-on-death (no
+/// leases), leases with the paper-faithful hash placement, and leases with
+/// load-aware re-placement. Compares load fairness and wait times to show
+/// what load-aware placement buys back from the substrate's key skew.
+fn cmd_bench_leases(opts: &Opts) {
+    use rayon::prelude::*;
+
+    let alg = Algorithm::RnTreeTapestry;
+    let ttl = opts.lease_ttl.unwrap_or(600.0);
+    let renew = opts.lease_renew.unwrap_or(150.0);
+    let grace = opts.lease_grace.unwrap_or(60.0);
+
+    println!(
+        "bench leases: {} x {} — {} nodes, {} jobs, {} replications, seed {}, \
+         ttl {:.0}s renew {:.0}s grace {:.0}s",
+        alg.label(),
+        opts.scenario.label(),
+        opts.nodes,
+        opts.jobs,
+        opts.replications,
+        opts.seed,
+        ttl,
+        renew,
+        grace,
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>9} {:>10} {:>11} {:>9} {:>9}",
+        "config", "mean wait", "std wait", "fairness", "hops/job", "completion", "renewals", "wall"
+    );
+
+    let configs: [(&str, Option<PlacementPolicy>); 3] = [
+        ("reassign (no leases)", None),
+        ("leases / hash", Some(PlacementPolicy::Hash)),
+        ("leases / load-aware", Some(PlacementPolicy::LoadAware)),
+    ];
+    let mut points: Vec<LeasePoint> = Vec::new();
+    for (label, placement) in configs {
+        let mut cfg_opts = opts.clone();
+        match placement {
+            Some(p) => {
+                cfg_opts.lease_ttl = Some(ttl);
+                cfg_opts.lease_renew = Some(renew);
+                cfg_opts.lease_grace = Some(grace);
+                cfg_opts.placement = Some(p);
+            }
+            None => {
+                cfg_opts.lease_ttl = None;
+                cfg_opts.lease_renew = None;
+                cfg_opts.lease_grace = None;
+                cfg_opts.placement = None;
+            }
+        }
+        let started = std::time::Instant::now();
+        let reports: Vec<SimReport> = (0..opts.replications as u64)
+            .into_par_iter()
+            .map(|r| {
+                let seed = opts.seed ^ (r + 1);
+                let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
+                build_engine(&cfg_opts, alg, &workload, seed).run()
+            })
+            .collect();
+        let wall_secs = started.elapsed().as_secs_f64();
+        let n = reports.len() as f64;
+        let point = LeasePoint {
+            config: label.to_string(),
+            mean_wait: reports.iter().map(SimReport::mean_wait).sum::<f64>() / n,
+            std_wait: reports.iter().map(SimReport::std_wait).sum::<f64>() / n,
+            load_fairness: reports.iter().map(SimReport::load_fairness).sum::<f64>() / n,
+            hops_per_job: reports
+                .iter()
+                .map(|r| r.match_hops.mean() + r.owner_hops.mean())
+                .sum::<f64>()
+                / n,
+            completion_rate: reports.iter().map(SimReport::completion_rate).sum::<f64>() / n,
+            lease_renewals: reports.iter().map(|r| r.lease_renewals).sum(),
+            lease_expiries: reports.iter().map(|r| r.lease_expiries).sum(),
+            lease_transfers: reports.iter().map(|r| r.lease_transfers).sum(),
+            wall_secs,
+        };
+        println!(
+            "{:<22} {:>9.1}s {:>9.1}s {:>9.3} {:>10.2} {:>10.1}% {:>9} {:>8.2}s",
+            point.config,
+            point.mean_wait,
+            point.std_wait,
+            point.load_fairness,
+            point.hops_per_job,
+            100.0 * point.completion_rate,
+            point.lease_renewals,
+            point.wall_secs,
+        );
+        points.push(point);
+    }
+
+    if let Some(path) = &opts.json {
+        let record = LeaseRecord {
+            algorithm: alg.label().to_string(),
+            scenario: opts.scenario.label().to_string(),
+            nodes: opts.nodes,
+            jobs: opts.jobs,
+            replications: opts.replications,
+            seed: opts.seed,
+            lease_ttl_secs: ttl,
+            lease_renew_secs: renew,
+            lease_grace_secs: grace,
+            configs: points,
+        };
+        let f = std::fs::File::create(path).expect("create json output");
+        serde_json::to_writer_pretty(f, &record).expect("write json");
+        eprintln!("wrote bench leases to {path}");
+    }
+}
+
 fn main() {
     let opts = parse();
     match opts.threads {
@@ -1086,6 +1296,10 @@ fn dispatch(opts: &Opts) {
     }
     if opts.command == "bench-overlays" {
         cmd_bench_overlays(opts);
+        return;
+    }
+    if opts.command == "bench-leases" {
+        cmd_bench_leases(opts);
         return;
     }
     let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, opts.seed);

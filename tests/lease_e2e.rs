@@ -1,0 +1,197 @@
+//! End-to-end lease robustness: a partition that outlives the lease ttl
+//! forces deterministic expiry and re-placement, exactly once per affected
+//! job, with at-most-once result commit preserved throughout.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dgrid::core::{
+    ChurnConfig, Engine, EngineConfig, FaultPlan, Observer, PlacementPolicy, SimReport, TraceEvent,
+};
+use dgrid::harness::Algorithm;
+use dgrid::sim::SimTime;
+use dgrid::workloads::{paper_scenario, PaperScenario};
+
+/// Shared in-memory event sink that survives the engine consuming the
+/// observer box.
+#[derive(Clone, Default)]
+struct SharedEvents(Rc<RefCell<Vec<(SimTime, TraceEvent)>>>);
+
+impl Observer for SharedEvents {
+    fn on_event(&mut self, at: SimTime, event: TraceEvent) {
+        self.0.borrow_mut().push((at, event));
+    }
+}
+
+const TTL: f64 = 60.0;
+const RENEW: f64 = 15.0;
+const GRACE: f64 = 10.0;
+/// Partition window: 100 s spans more than six renew intervals and exceeds
+/// the ttl + grace bound of 70 s, so every cross-partition lease must lapse.
+const PART_START: f64 = 300.0;
+const PART_END: f64 = 400.0;
+
+fn leased_cfg(seed: u64, placement: PlacementPolicy) -> EngineConfig {
+    EngineConfig {
+        seed,
+        max_sim_secs: 3_000_000.0,
+        lease_ttl_secs: Some(TTL),
+        lease_renew_secs: RENEW,
+        lease_grace_secs: GRACE,
+        placement: Some(placement),
+        ..EngineConfig::default()
+    }
+}
+
+/// One leased run with nodes `0..island` partitioned from the rest during
+/// `[PART_START, PART_END]` — no churn, no message loss, so partition-starved
+/// renewals are the *only* possible cause of lease expiry.
+fn partitioned_run(
+    alg: Algorithm,
+    seed: u64,
+    placement: PlacementPolicy,
+) -> (Vec<(SimTime, TraceEvent)>, SimReport) {
+    let workload = paper_scenario(PaperScenario::MixedLight, 32, 100, seed);
+    let island: Vec<u32> = (0..10).collect();
+    let sink = SharedEvents::default();
+    let report = Engine::new(
+        leased_cfg(seed, placement),
+        ChurnConfig::none(),
+        alg.matchmaker(),
+        workload.nodes,
+        workload.submissions,
+    )
+    .with_fault_plan(FaultPlan::none().with_partition(PART_START, PART_END, island))
+    .with_observer(Box::new(sink.clone()))
+    .run();
+    (sink.0.take(), report)
+}
+
+#[test]
+fn partition_past_ttl_expires_and_transfers_each_affected_lease_exactly_once() {
+    for alg in [Algorithm::RnTree, Algorithm::RnTreeTapestry] {
+        let (events, report) = partitioned_run(alg, 71, PlacementPolicy::Hash);
+
+        // The partition must actually starve some renewals into expiry, and
+        // live candidates always exist (nobody dies), so every expiry must
+        // transfer synchronously.
+        assert!(
+            report.lease_expiries >= 1,
+            "{}: the 100s partition must expire at least one lease (got {})",
+            alg.label(),
+            report.lease_expiries
+        );
+        assert_eq!(
+            report.lease_expiries,
+            report.lease_transfers,
+            "{}: with live candidates, every expiry transfers",
+            alg.label()
+        );
+
+        use std::collections::BTreeMap;
+        let mut expired: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut transferred: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut completed: BTreeMap<u64, u32> = BTreeMap::new();
+        for (at, e) in &events {
+            match e {
+                TraceEvent::LeaseExpired { job } => {
+                    *expired.entry(job.0).or_default() += 1;
+                    // No churn, no loss: only the partition can starve a
+                    // renewal, so every expiry lands inside its window.
+                    let t = at.as_secs_f64();
+                    assert!(
+                        (PART_START..=PART_END).contains(&t),
+                        "{}: lease expiry at {t:.1}s outside the partition window",
+                        alg.label()
+                    );
+                }
+                TraceEvent::LeaseTransferred { job, .. } => {
+                    *transferred.entry(job.0).or_default() += 1;
+                }
+                TraceEvent::Completed { job, .. } => {
+                    *completed.entry(job.0).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        // Exactly once per affected lease: the partition heals well before a
+        // transferred lease's next expiry bound, so the new owner's first
+        // post-heal renewal always saves it.
+        for (job, n) in &expired {
+            assert_eq!(*n, 1, "{}: job {job} expired {n} times", alg.label());
+            assert_eq!(
+                transferred.get(job),
+                Some(&1),
+                "{}: job {job} expired without exactly one transfer",
+                alg.label()
+            );
+        }
+        assert_eq!(
+            expired.len(),
+            transferred.len(),
+            "{}: transfers only ever follow expiries",
+            alg.label()
+        );
+        // At-most-once result commit survives the ownership handoffs.
+        for (job, n) in &completed {
+            assert_eq!(*n, 1, "{}: job {job} committed {n} times", alg.label());
+        }
+        assert_eq!(
+            report.jobs_completed + report.jobs_failed,
+            100,
+            "{}: conservation",
+            alg.label()
+        );
+    }
+}
+
+#[test]
+fn leased_partition_runs_are_deterministic() {
+    for placement in [PlacementPolicy::Hash, PlacementPolicy::LoadAware] {
+        let (a, ra) = partitioned_run(Algorithm::RnTree, 71, placement);
+        let (b, rb) = partitioned_run(Algorithm::RnTree, 71, placement);
+        assert_eq!(a, b, "{placement:?}: event streams must be identical");
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap(),
+            "{placement:?}: reports must be identical"
+        );
+    }
+}
+
+#[test]
+fn leases_survive_churn_with_conservation() {
+    // Leases + real node deaths: expiry-driven transfers replace the
+    // reactive owner-recovery path and jobs still all terminate.
+    let workload = paper_scenario(PaperScenario::MixedLight, 48, 200, 29);
+    let churn = ChurnConfig {
+        mttf_secs: Some(3_000.0),
+        rejoin_after_secs: Some(500.0),
+        graceful_fraction: 0.0,
+    };
+    for placement in [PlacementPolicy::Hash, PlacementPolicy::LoadAware] {
+        let r = Engine::new(
+            leased_cfg(29, placement),
+            churn,
+            Algorithm::RnTree.matchmaker(),
+            workload.nodes.clone(),
+            workload.submissions.clone(),
+        )
+        .run();
+        assert_eq!(
+            r.jobs_completed + r.jobs_failed,
+            200,
+            "{placement:?}: conservation under churn"
+        );
+        assert!(r.node_failures > 0, "{placement:?}: churn must fire");
+        assert!(
+            r.lease_transfers >= 1,
+            "{placement:?}: owner deaths under leases must surface as transfers"
+        );
+        assert!(
+            r.completion_rate() > 0.9,
+            "{placement:?}: lease recovery must save ≥90% of jobs (got {:.3})",
+            r.completion_rate()
+        );
+    }
+}

@@ -43,11 +43,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// One traced run under churn and message loss — the same order-sensitive
 /// configuration the parallel-determinism e2e tests use.
 fn stream(alg: Algorithm, seed: u64) -> Vec<u8> {
+    stream_with(alg, seed, EngineConfig::default())
+}
+
+fn stream_with(alg: Algorithm, seed: u64, base_cfg: EngineConfig) -> Vec<u8> {
     let workload = paper_scenario(PaperScenario::MixedLight, 40, 120, seed);
     let cfg = EngineConfig {
         seed,
         max_sim_secs: 3_000_000.0,
-        ..EngineConfig::default()
+        ..base_cfg
     };
     let churn = ChurnConfig {
         mttf_secs: Some(40_000.0),
@@ -90,6 +94,34 @@ fn legacy_variant_streams_match_pinned_hashes() {
             (hash, len),
             "{}: event stream drifted from the pinned pre-refactor bytes \
              (got hash {:#x}, len {})",
+            alg.label(),
+            fnv1a(&bytes),
+            bytes.len()
+        );
+    }
+}
+
+/// `lease_ttl = ∞` is the documented spelling for "leases that never
+/// expire", which must degenerate to reassign-on-death recovery — not
+/// approximately, but *byte-for-byte*: no lease event is scheduled, no RNG
+/// stream advances, and every pinned golden stream stays identical.
+#[test]
+fn infinite_ttl_reproduces_reassign_on_death_streams_byte_identically() {
+    use dgrid::core::PlacementPolicy;
+    for &(alg, hash, len) in PINNED {
+        let cfg = EngineConfig {
+            lease_ttl_secs: Some(f64::INFINITY),
+            lease_renew_secs: 15.0,
+            lease_grace_secs: 10.0,
+            placement: Some(PlacementPolicy::LoadAware),
+            ..EngineConfig::default()
+        };
+        let bytes = stream_with(alg, SEED, cfg);
+        assert_eq!(
+            (fnv1a(&bytes), bytes.len()),
+            (hash, len),
+            "{}: lease_ttl = inf must leave the reassign-on-death stream \
+             byte-identical (got hash {:#x}, len {})",
             alg.label(),
             fnv1a(&bytes),
             bytes.len()
