@@ -24,11 +24,15 @@
 //!    baseline first so the comparison is same-machine.
 //!
 //! The instrumented-path median is also measured and printed so the cost of
-//! telemetry *when enabled* is visible in every CI log.
+//! telemetry *when enabled* is visible in every CI log, and a third check
+//! compares the two stream writers: [`BinaryObserver`] must write strictly
+//! fewer bytes than [`JsonlObserver`] and must not be slower beyond a small
+//! tolerance — the binary format exists to make tracing cheaper, and this
+//! guard keeps that claim honest.
 
 use std::time::Instant;
 
-use dgrid::core::{ChurnConfig, Engine, EngineConfig, JsonlObserver, SimReport};
+use dgrid::core::{BinaryObserver, ChurnConfig, Engine, EngineConfig, JsonlObserver, SimReport};
 use dgrid::harness::Algorithm;
 use dgrid::sim::telemetry::shared_registry;
 use dgrid::sim::SimDuration;
@@ -129,6 +133,7 @@ fn median_ms(mut xs: Vec<f64>) -> f64 {
 /// Strip the payload that only exists when telemetry is on, then serialize.
 fn fingerprint(mut report: SimReport) -> String {
     report.timeseries = None;
+    report.stream_bytes_written = 0;
     serde_json::to_string(&report).expect("report serializes")
 }
 
@@ -161,6 +166,27 @@ fn timed_instrumented(opts: &Opts, workload: &Workload) -> (f64, String) {
     (median_ms(times), fp)
 }
 
+/// Median wall time and bytes written for a run streaming to `std::io::sink`
+/// through the given observer constructor.
+fn timed_stream(
+    opts: &Opts,
+    workload: &Workload,
+    make: fn() -> Box<dyn dgrid::core::Observer>,
+) -> (f64, u64, String) {
+    let mut times = Vec::with_capacity(opts.reps);
+    let mut bytes = 0;
+    let mut fp = String::new();
+    for _ in 0..opts.reps {
+        let eng = engine(opts, workload).with_observer(make());
+        let start = Instant::now();
+        let report = eng.run();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        bytes = report.stream_bytes_written;
+        fp = fingerprint(report);
+    }
+    (median_ms(times), bytes, fp)
+}
+
 fn main() {
     let opts = parse_args();
     let workload = paper_scenario(PaperScenario::MixedLight, opts.nodes, opts.jobs, opts.seed);
@@ -182,6 +208,43 @@ fn main() {
         std::process::exit(1);
     }
     println!("  fingerprint        : identical (telemetry does not perturb)");
+
+    // Check 3: the binary stream writer must be cheaper than JSONL — strictly
+    // fewer bytes, and no slower beyond a noise tolerance (median over reps;
+    // override with DGRID_STREAM_FACTOR).
+    let (jsonl_ms, jsonl_bytes, jsonl_fp) = timed_stream(&opts, &workload, || {
+        Box::new(JsonlObserver::new(std::io::sink()))
+    });
+    let (bin_ms, bin_bytes, bin_fp) = timed_stream(&opts, &workload, || {
+        Box::new(BinaryObserver::new(std::io::sink()))
+    });
+    println!("  jsonl stream       : median {jsonl_ms:.1} ms, {jsonl_bytes} bytes");
+    println!(
+        "  binary stream      : median {bin_ms:.1} ms, {bin_bytes} bytes ({:.2}x smaller)",
+        jsonl_bytes as f64 / bin_bytes.max(1) as f64
+    );
+    if jsonl_fp != null_fp || bin_fp != null_fp {
+        eprintln!("FAIL: a stream observer perturbed the simulation");
+        std::process::exit(1);
+    }
+    if bin_bytes >= jsonl_bytes {
+        eprintln!(
+            "FAIL: binary stream wrote {bin_bytes} bytes, not strictly fewer than JSONL's {jsonl_bytes}"
+        );
+        std::process::exit(1);
+    }
+    let stream_factor: f64 = std::env::var("DGRID_STREAM_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.25);
+    if bin_ms > jsonl_ms * stream_factor {
+        eprintln!(
+            "FAIL: binary stream took {bin_ms:.1} ms, over {:.1} ms ({stream_factor:.2}x JSONL); \
+             the binary observer must not cost more than JSONL",
+            jsonl_ms * stream_factor
+        );
+        std::process::exit(1);
+    }
 
     if opts.write_baseline {
         let baseline = Baseline {

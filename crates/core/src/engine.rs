@@ -519,6 +519,7 @@ impl Engine {
         self.report.wait_stats = Some(self.report.wait_time.summary());
         self.report.turnaround_stats = Some(self.report.turnaround.summary());
         self.report.timeseries = self.timeseries.take();
+        self.report.stream_bytes_written = self.observer.bytes_written().unwrap_or(0);
         self.report
     }
 

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analytics;
 mod config;
 mod dag;
 mod engine;
@@ -54,8 +55,9 @@ mod node;
 pub mod router;
 mod security;
 mod span;
-mod trace;
+pub mod trace;
 
+pub use analytics::{AnalyticsSnapshot, SketchStats, StreamAnalytics, WINDOW_COUNTER_ARITY};
 pub use config::{ChurnConfig, EngineConfig, PlacementPolicy};
 pub use dag::JobDag;
 pub use dgrid_sim::fault::{Delivery, Endpoint, FaultPlan, LatencySpike, NodeCrash, Partition};
@@ -69,6 +71,11 @@ pub use metrics::SimReport;
 pub use node::{GridNode, GridNodeId, NodeTable};
 pub use security::SandboxPolicy;
 pub use span::{phase_samples, JobSpan, Phase, SpanAssembler, SpanOutcome};
+pub use trace::binary::{
+    binary_to_jsonl, decode_stream, encode_events, jsonl_to_binary, sniff_format, BinaryEncoder,
+    BinaryObserver, StreamDecoder, StreamError, StreamFormat,
+};
 pub use trace::{
-    parse_event_line, EventRecord, JsonlObserver, NullObserver, Observer, TraceEvent, VecObserver,
+    parse_jsonl_line, EventKind, EventRecord, JsonlObserver, NullObserver, Observer, TraceEvent,
+    VecObserver,
 };

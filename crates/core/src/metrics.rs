@@ -82,6 +82,11 @@ pub struct SimReport {
     /// cannot abort a whole replication.
     #[serde(default)]
     pub unknown_job_events: u64,
+    /// Bytes the installed stream observer wrote (0 when tracing is off or
+    /// the observer is not a stream writer) — the raw material for the
+    /// JSONL-vs-binary size ratio `dgrid bench stream` reports.
+    #[serde(default)]
+    pub stream_bytes_written: u64,
     /// Percentile summary (p50/p95/p99 and friends) of the wait times,
     /// computed once at the end of the run.
     #[serde(default, skip_serializing_if = "Option::is_none")]

@@ -9,9 +9,13 @@
 //! Beyond in-memory collection ([`VecObserver`]) the stream can be exported
 //! as JSON Lines ([`JsonlObserver`]) — one event per line with its virtual
 //! timestamp in integer nanoseconds, so a fixed seed replays a byte-identical
-//! file — and assembled into per-job phase spans
+//! file — or as the compact [`binary`] frame format
+//! ([`BinaryObserver`](binary::BinaryObserver), `dgrid events convert`), and
+//! assembled into per-job phase spans
 //! ([`SpanAssembler`](crate::SpanAssembler)) that decompose Figure 2's wait
 //! time into routing, matchmaking, dispatch, and recovery segments.
+
+pub mod binary;
 
 use std::io::Write;
 
@@ -114,6 +118,13 @@ pub enum TraceEvent {
 pub trait Observer {
     /// Called once per event, in nondecreasing `at` order.
     fn on_event(&mut self, at: SimTime, event: TraceEvent);
+
+    /// How many stream bytes this observer has written so far, if it is a
+    /// stream writer. Lets the engine report `stream_bytes_written` without
+    /// owning the observer.
+    fn bytes_written(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The default no-op observer.
@@ -143,20 +154,7 @@ impl VecObserver {
     pub fn for_job(&self, job: JobId) -> Vec<&TraceEvent> {
         self.events
             .iter()
-            .filter(|(_, e)| {
-                matches!(e,
-                    TraceEvent::Submitted { job: j, .. }
-                    | TraceEvent::OwnerAssigned { job: j, .. }
-                    | TraceEvent::Matched { job: j, .. }
-                    | TraceEvent::Started { job: j, .. }
-                    | TraceEvent::Completed { job: j, .. }
-                    | TraceEvent::Failed { job: j }
-                    | TraceEvent::RunRecovery { job: j }
-                    | TraceEvent::OwnerRecovery { job: j }
-                    | TraceEvent::LeaseExpired { job: j }
-                    | TraceEvent::LeaseTransferred { job: j, .. } if *j == job
-                )
-            })
+            .filter(|(_, e)| e.job() == Some(job))
             .map(|(_, e)| e)
             .collect()
     }
@@ -184,6 +182,7 @@ pub struct EventRecord {
 pub struct JsonlObserver<W: Write> {
     sink: W,
     scratch: String,
+    bytes: u64,
 }
 
 impl<W: Write> JsonlObserver<W> {
@@ -193,6 +192,7 @@ impl<W: Write> JsonlObserver<W> {
         JsonlObserver {
             sink,
             scratch: String::with_capacity(96),
+            bytes: 0,
         }
     }
 
@@ -210,6 +210,11 @@ impl<W: Write> Observer for JsonlObserver<W> {
         self.sink
             .write_all(self.scratch.as_bytes())
             .expect("write event stream");
+        self.bytes += self.scratch.len() as u64;
+    }
+
+    fn bytes_written(&self) -> Option<u64> {
+        Some(self.bytes)
     }
 }
 
@@ -281,13 +286,125 @@ pub fn write_event_line(buf: &mut String, t_ns: u64, event: &TraceEvent) {
 }
 
 /// Parse one JSONL line written by [`JsonlObserver`]. Empty lines yield
-/// `None`; malformed lines return the serde error.
-pub fn parse_event_line(line: &str) -> Result<Option<EventRecord>, serde_json::Error> {
+/// `None`; any malformed or truncated line returns a typed
+/// [`StreamError`](binary::StreamError) — never a panic, which the fuzz
+/// proptests assert over arbitrary input.
+pub fn parse_jsonl_line(line: &str) -> Result<Option<EventRecord>, binary::StreamError> {
     let line = line.trim();
     if line.is_empty() {
         return Ok(None);
     }
-    serde_json::from_str(line).map(Some)
+    serde_json::from_str(line)
+        .map(Some)
+        .map_err(|e| binary::StreamError::Json { msg: e.to_string() })
+}
+
+/// The twelve lifecycle event shapes, as a dense index for per-kind
+/// counters (windowed rates, watch dashboards).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// [`TraceEvent::Submitted`].
+    Submitted,
+    /// [`TraceEvent::OwnerAssigned`].
+    OwnerAssigned,
+    /// [`TraceEvent::Matched`].
+    Matched,
+    /// [`TraceEvent::Started`].
+    Started,
+    /// [`TraceEvent::Completed`].
+    Completed,
+    /// [`TraceEvent::Failed`].
+    Failed,
+    /// [`TraceEvent::NodeDown`].
+    NodeDown,
+    /// [`TraceEvent::NodeUp`].
+    NodeUp,
+    /// [`TraceEvent::RunRecovery`].
+    RunRecovery,
+    /// [`TraceEvent::OwnerRecovery`].
+    OwnerRecovery,
+    /// [`TraceEvent::LeaseExpired`].
+    LeaseExpired,
+    /// [`TraceEvent::LeaseTransferred`].
+    LeaseTransferred,
+}
+
+impl EventKind {
+    /// Every kind, in [`EventKind::index`] order.
+    pub const ALL: [EventKind; 12] = [
+        EventKind::Submitted,
+        EventKind::OwnerAssigned,
+        EventKind::Matched,
+        EventKind::Started,
+        EventKind::Completed,
+        EventKind::Failed,
+        EventKind::NodeDown,
+        EventKind::NodeUp,
+        EventKind::RunRecovery,
+        EventKind::OwnerRecovery,
+        EventKind::LeaseExpired,
+        EventKind::LeaseTransferred,
+    ];
+
+    /// Dense index into per-kind counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Display label (matches the JSONL variant spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Submitted => "Submitted",
+            EventKind::OwnerAssigned => "OwnerAssigned",
+            EventKind::Matched => "Matched",
+            EventKind::Started => "Started",
+            EventKind::Completed => "Completed",
+            EventKind::Failed => "Failed",
+            EventKind::NodeDown => "NodeDown",
+            EventKind::NodeUp => "NodeUp",
+            EventKind::RunRecovery => "RunRecovery",
+            EventKind::OwnerRecovery => "OwnerRecovery",
+            EventKind::LeaseExpired => "LeaseExpired",
+            EventKind::LeaseTransferred => "LeaseTransferred",
+        }
+    }
+}
+
+impl TraceEvent {
+    /// This event's [`EventKind`].
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::Submitted { .. } => EventKind::Submitted,
+            TraceEvent::OwnerAssigned { .. } => EventKind::OwnerAssigned,
+            TraceEvent::Matched { .. } => EventKind::Matched,
+            TraceEvent::Started { .. } => EventKind::Started,
+            TraceEvent::Completed { .. } => EventKind::Completed,
+            TraceEvent::Failed { .. } => EventKind::Failed,
+            TraceEvent::NodeDown { .. } => EventKind::NodeDown,
+            TraceEvent::NodeUp { .. } => EventKind::NodeUp,
+            TraceEvent::RunRecovery { .. } => EventKind::RunRecovery,
+            TraceEvent::OwnerRecovery { .. } => EventKind::OwnerRecovery,
+            TraceEvent::LeaseExpired { .. } => EventKind::LeaseExpired,
+            TraceEvent::LeaseTransferred { .. } => EventKind::LeaseTransferred,
+        }
+    }
+
+    /// The job this event concerns, if it is job-scoped.
+    pub fn job(&self) -> Option<JobId> {
+        match *self {
+            TraceEvent::Submitted { job, .. }
+            | TraceEvent::OwnerAssigned { job, .. }
+            | TraceEvent::Matched { job, .. }
+            | TraceEvent::Started { job, .. }
+            | TraceEvent::Completed { job, .. }
+            | TraceEvent::Failed { job }
+            | TraceEvent::RunRecovery { job }
+            | TraceEvent::OwnerRecovery { job }
+            | TraceEvent::LeaseExpired { job }
+            | TraceEvent::LeaseTransferred { job, .. } => Some(job),
+            TraceEvent::NodeDown { .. } | TraceEvent::NodeUp { .. } => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -427,7 +544,7 @@ mod tests {
                 serde_json::to_string(&EventRecord { t_ns, event }).expect("serde serializes");
             assert_eq!(buf, format!("{via_serde}\n"), "mismatch for {event:?}");
             // And it must round-trip through the line parser.
-            let parsed = parse_event_line(&buf).expect("parses").expect("non-empty");
+            let parsed = parse_jsonl_line(&buf).expect("parses").expect("non-empty");
             assert_eq!(parsed, EventRecord { t_ns, event });
         }
     }

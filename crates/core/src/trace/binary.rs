@@ -1,0 +1,1076 @@
+//! Compact binary event-stream format.
+//!
+//! The JSONL stream ([`JsonlObserver`](crate::JsonlObserver)) is the
+//! per-event hot path: at simulation-kernel scale it costs ~45 integer
+//! formats and ~100 bytes *per event*. This module is the wire format that
+//! keeps tracing affordable — length-prefixed binary frames with
+//! varint-delta virtual timestamps and interned node/job ids — plus a
+//! lossless bidirectional converter to and from the JSONL text form.
+//!
+//! # Format
+//!
+//! A stream is an 8-byte magic header followed by frames:
+//!
+//! ```text
+//! stream  := MAGIC frame*            MAGIC = b"DGEVS01\n"
+//! frame   := varint(len) payload     len = payload byte length
+//! payload := DEF_JOB  raw_job_id               (tag 0x01)
+//!          | DEF_NODE raw_node_id              (tag 0x02)
+//!          | event_tag zigzag(dt) field*       (tags 0x10..=0x1d)
+//! ```
+//!
+//! Varints are LEB128 over `u64`. Event timestamps are encoded as the
+//! zigzag-varint delta from the previous event's timestamp — observers emit
+//! in nondecreasing time order, so deltas are tiny, but the zigzag keeps
+//! the format lossless for *any* record sequence (a concatenated
+//! multi-replication JSONL file jumps backwards at replication boundaries).
+//! Job and node ids are interned: the first reference to an id emits a
+//! `DEF_JOB`/`DEF_NODE` frame binding the next table index to the raw id,
+//! and every event field carries the (small) table index. The intern table
+//! therefore travels *inside* the stream and the whole encoding is a pure
+//! function of the event sequence — the same seed still produces a
+//! byte-identical stream, which CI asserts with a plain `diff`.
+//!
+//! Concatenating streams is legal: a decoder meeting the magic at a frame
+//! boundary resets its intern tables and time base, which is exactly what
+//! `dgrid run --replications R` produces (one stream per replication,
+//! concatenated in replication order).
+//!
+//! Decoding is push-based ([`StreamDecoder`]) so `dgrid watch` can tail a
+//! file that is still being written; [`decode_stream`] is the whole-buffer
+//! convenience wrapper. Every malformed input maps to a typed
+//! [`StreamError`] — the decoder never panics, which the fuzz proptests
+//! assert over arbitrary byte soup and mutilated valid streams.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use dgrid_resources::JobId;
+
+use crate::job::OwnerRef;
+use crate::node::GridNodeId;
+use crate::trace::{parse_jsonl_line, write_event_line, EventRecord, Observer, TraceEvent};
+use dgrid_sim::SimTime;
+
+/// The 8-byte stream header.
+pub const MAGIC: [u8; 8] = *b"DGEVS01\n";
+
+/// Frames longer than this are rejected as malformed (a legitimate frame is
+/// a tag plus at most five varints — under 60 bytes).
+pub const MAX_FRAME_LEN: u64 = 4096;
+
+const TAG_DEF_JOB: u8 = 0x01;
+const TAG_DEF_NODE: u8 = 0x02;
+const TAG_SUBMITTED: u8 = 0x10;
+const TAG_OWNER_SERVER: u8 = 0x11;
+const TAG_OWNER_PEER: u8 = 0x12;
+const TAG_MATCHED: u8 = 0x13;
+const TAG_STARTED: u8 = 0x14;
+const TAG_COMPLETED: u8 = 0x15;
+const TAG_FAILED: u8 = 0x16;
+const TAG_NODE_DOWN: u8 = 0x17;
+const TAG_NODE_DOWN_GRACEFUL: u8 = 0x18;
+const TAG_NODE_UP: u8 = 0x19;
+const TAG_RUN_RECOVERY: u8 = 0x1a;
+const TAG_OWNER_RECOVERY: u8 = 0x1b;
+const TAG_LEASE_EXPIRED: u8 = 0x1c;
+const TAG_LEASE_TRANSFERRED: u8 = 0x1d;
+
+/// Which intern table a dangling reference pointed into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefKind {
+    /// The job id table.
+    Job,
+    /// The node id table.
+    Node,
+}
+
+/// Every way a recorded stream (JSONL or binary) can be malformed. The
+/// decoders return these instead of panicking, so one corrupt or truncated
+/// file can never take down a report, a watch session, or a conversion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// The stream does not start with [`MAGIC`].
+    BadMagic {
+        /// Byte offset of the failed header check.
+        at: usize,
+    },
+    /// A varint ran past 10 bytes or past the end of its frame.
+    BadVarint {
+        /// Byte offset where the varint started.
+        at: usize,
+    },
+    /// A frame declared a length over [`MAX_FRAME_LEN`].
+    FrameTooLong {
+        /// Byte offset of the length prefix.
+        at: usize,
+        /// The declared length.
+        len: u64,
+    },
+    /// A frame declared a zero-byte payload (every frame carries a tag).
+    EmptyFrame {
+        /// Byte offset of the length prefix.
+        at: usize,
+    },
+    /// A frame payload began with an unassigned tag byte.
+    UnknownTag {
+        /// Byte offset of the tag.
+        at: usize,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A frame payload had bytes left over after its last field.
+    TrailingFrameBytes {
+        /// Byte offset of the first unconsumed byte.
+        at: usize,
+        /// How many bytes were left.
+        extra: usize,
+    },
+    /// An event referenced an intern index never defined by a `DEF_*` frame.
+    BadRef {
+        /// Byte offset of the reference.
+        at: usize,
+        /// Which table.
+        kind: RefKind,
+        /// The dangling index.
+        idx: u64,
+    },
+    /// A field value exceeded its domain (node ids and hop/resubmit counts
+    /// are 32-bit).
+    FieldOverflow {
+        /// Byte offset of the field.
+        at: usize,
+        /// Which field.
+        what: &'static str,
+    },
+    /// The stream ended mid-frame (or mid-header).
+    Truncated {
+        /// Byte offset where the undecodable tail starts.
+        at: usize,
+    },
+    /// A JSONL line failed to parse as an [`EventRecord`].
+    Json {
+        /// The parser's message.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::BadMagic { at } => {
+                write!(f, "byte {at}: not a dgrid binary event stream (bad magic)")
+            }
+            StreamError::BadVarint { at } => write!(f, "byte {at}: malformed varint"),
+            StreamError::FrameTooLong { at, len } => {
+                write!(f, "byte {at}: frame length {len} exceeds {MAX_FRAME_LEN}")
+            }
+            StreamError::EmptyFrame { at } => write!(f, "byte {at}: zero-length frame"),
+            StreamError::UnknownTag { at, tag } => {
+                write!(f, "byte {at}: unknown frame tag {tag:#04x}")
+            }
+            StreamError::TrailingFrameBytes { at, extra } => {
+                write!(f, "byte {at}: {extra} unconsumed byte(s) at end of frame")
+            }
+            StreamError::BadRef { at, kind, idx } => {
+                let table = match kind {
+                    RefKind::Job => "job",
+                    RefKind::Node => "node",
+                };
+                write!(f, "byte {at}: reference to undefined {table} index {idx}")
+            }
+            StreamError::FieldOverflow { at, what } => {
+                write!(f, "byte {at}: {what} out of range")
+            }
+            StreamError::Truncated { at } => {
+                write!(f, "byte {at}: stream truncated mid-frame")
+            }
+            StreamError::Json { msg } => write!(f, "bad JSONL event line: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// The two on-disk spellings of an event stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamFormat {
+    /// One JSON object per line ([`JsonlObserver`](crate::JsonlObserver)).
+    Jsonl,
+    /// Length-prefixed binary frames ([`BinaryObserver`]).
+    Binary,
+}
+
+impl StreamFormat {
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamFormat::Jsonl => "jsonl",
+            StreamFormat::Binary => "binary",
+        }
+    }
+}
+
+impl std::str::FromStr for StreamFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "jsonl" | "json" => Ok(StreamFormat::Jsonl),
+            "binary" | "bin" => Ok(StreamFormat::Binary),
+            other => Err(format!("unknown stream format {other:?} (jsonl | binary)")),
+        }
+    }
+}
+
+/// Decide what format a stream is in from its first bytes. Binary streams
+/// are identified by the [`MAGIC`] header (a truncated prefix of it also
+/// counts — no JSONL stream can start with `DG`); everything else,
+/// including the empty stream, is treated as JSONL.
+pub fn sniff_format(prefix: &[u8]) -> StreamFormat {
+    let n = prefix.len().min(MAGIC.len());
+    if n > 0 && prefix[..n] == MAGIC[..n] {
+        StreamFormat::Binary
+    } else {
+        StreamFormat::Jsonl
+    }
+}
+
+// --- varint primitives -----------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a varint from `bytes`. `Ok(None)` means the buffer ended inside a
+/// still-plausible varint (need more data); `Err` means no continuation can
+/// ever make it valid. `at` is only used for error offsets.
+fn read_varint(bytes: &[u8], at: usize) -> Result<Option<(u64, usize)>, StreamError> {
+    let mut v: u64 = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if i == 10 {
+            return Err(StreamError::BadVarint { at });
+        }
+        let part = u64::from(b & 0x7f);
+        // The 10th byte may only contribute the final bit.
+        if i == 9 && part > 1 {
+            return Err(StreamError::BadVarint { at });
+        }
+        v |= part << (7 * i);
+        if b & 0x80 == 0 {
+            return Ok(Some((v, i + 1)));
+        }
+    }
+    if bytes.len() >= 10 {
+        return Err(StreamError::BadVarint { at });
+    }
+    Ok(None)
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// --- encoder ---------------------------------------------------------------
+
+/// Ids below this index directly into the dense intern table; anything
+/// larger (never produced by the engine, but legal in a hand-built stream)
+/// falls back to a hash map. Bounds the dense table at 512 KiB.
+const DENSE_INTERN_CAP: u64 = 1 << 16;
+
+/// First-appearance intern table on the encoder hot path. Engine job and
+/// node ids are small sequential integers, so the common case is a direct
+/// vector index — no hashing per event. Intern indices are assigned in
+/// first-appearance order either way, so the fallback does not change the
+/// encoding.
+#[derive(Default)]
+struct InternMap {
+    dense: Vec<u64>, // id -> intern index + 1; 0 = unassigned
+    sparse: HashMap<u64, u64>,
+    next: u64,
+}
+
+impl InternMap {
+    /// Intern index for `id`, plus whether this is its first appearance.
+    fn get_or_insert(&mut self, id: u64) -> (u64, bool) {
+        if id < DENSE_INTERN_CAP {
+            let i = id as usize;
+            if i >= self.dense.len() {
+                self.dense.resize(i + 1, 0);
+            }
+            if self.dense[i] != 0 {
+                return (self.dense[i] - 1, false);
+            }
+            let idx = self.next;
+            self.next += 1;
+            self.dense[i] = idx + 1;
+            (idx, true)
+        } else if let Some(&idx) = self.sparse.get(&id) {
+            (idx, false)
+        } else {
+            let idx = self.next;
+            self.next += 1;
+            self.sparse.insert(id, idx);
+            (idx, true)
+        }
+    }
+}
+
+/// Stateful encoder: turns an event sequence into binary stream bytes.
+///
+/// The encoding is a pure function of the `(t_ns, event)` sequence — intern
+/// indices are assigned in first-appearance order and timestamps are deltas
+/// from the previous event — so two identical event sequences always
+/// produce identical bytes.
+#[derive(Default)]
+pub struct BinaryEncoder {
+    started: bool,
+    prev_t: u64,
+    jobs: InternMap,
+    nodes: InternMap,
+}
+
+/// Begin a frame in `out`: push a one-byte length placeholder and return
+/// its position. Every frame this encoder emits is a tag plus at most five
+/// ten-byte varints — well under 128 bytes — so the LEB128 length prefix is
+/// always a single byte and the payload can be encoded straight into `out`
+/// with no intermediate buffer, then the placeholder patched.
+#[inline]
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    out.push(0);
+    out.len() - 1
+}
+
+/// Patch the length byte written by [`begin_frame`].
+#[inline]
+fn end_frame(out: &mut [u8], len_at: usize) {
+    let len = out.len() - len_at - 1;
+    debug_assert!(len < 0x80, "frame payload must fit a one-byte varint");
+    out[len_at] = len as u8;
+}
+
+impl BinaryEncoder {
+    /// A fresh encoder (writes the magic header before its first event).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern_job(&mut self, out: &mut Vec<u8>, job: JobId) -> u64 {
+        let (idx, fresh) = self.jobs.get_or_insert(job.0);
+        if fresh {
+            let at = begin_frame(out);
+            out.push(TAG_DEF_JOB);
+            write_varint(out, job.0);
+            end_frame(out, at);
+        }
+        idx
+    }
+
+    fn intern_node(&mut self, out: &mut Vec<u8>, node: GridNodeId) -> u64 {
+        let (idx, fresh) = self.nodes.get_or_insert(u64::from(node.0));
+        if fresh {
+            let at = begin_frame(out);
+            out.push(TAG_DEF_NODE);
+            write_varint(out, u64::from(node.0));
+            end_frame(out, at);
+        }
+        idx
+    }
+
+    /// Append the frames for one event (its `DEF_*` frames first, if any id
+    /// is new) to `out`. The magic header is appended before the first
+    /// event, so encoding zero events yields zero bytes.
+    pub fn encode_into(&mut self, out: &mut Vec<u8>, t_ns: u64, event: &TraceEvent) {
+        if !self.started {
+            out.extend_from_slice(&MAGIC);
+            self.started = true;
+        }
+        // Intern pass first: DEF frames precede the event that needs them.
+        let (tag, job_idx, node_idx): (u8, Option<u64>, Option<u64>) = match *event {
+            TraceEvent::Submitted { job, .. } => {
+                (TAG_SUBMITTED, Some(self.intern_job(out, job)), None)
+            }
+            TraceEvent::OwnerAssigned { job, owner } => match owner {
+                OwnerRef::Server => (TAG_OWNER_SERVER, Some(self.intern_job(out, job)), None),
+                OwnerRef::Peer(p) => {
+                    let j = self.intern_job(out, job);
+                    let n = self.intern_node(out, p);
+                    (TAG_OWNER_PEER, Some(j), Some(n))
+                }
+            },
+            TraceEvent::Matched { job, run_node, .. } => {
+                let j = self.intern_job(out, job);
+                let n = self.intern_node(out, run_node);
+                (TAG_MATCHED, Some(j), Some(n))
+            }
+            TraceEvent::Started { job, run_node } => {
+                let j = self.intern_job(out, job);
+                let n = self.intern_node(out, run_node);
+                (TAG_STARTED, Some(j), Some(n))
+            }
+            TraceEvent::Completed { job, .. } => {
+                (TAG_COMPLETED, Some(self.intern_job(out, job)), None)
+            }
+            TraceEvent::Failed { job } => (TAG_FAILED, Some(self.intern_job(out, job)), None),
+            TraceEvent::NodeDown { node, graceful } => {
+                let tag = if graceful {
+                    TAG_NODE_DOWN_GRACEFUL
+                } else {
+                    TAG_NODE_DOWN
+                };
+                (tag, None, Some(self.intern_node(out, node)))
+            }
+            TraceEvent::NodeUp { node } => (TAG_NODE_UP, None, Some(self.intern_node(out, node))),
+            TraceEvent::RunRecovery { job } => {
+                (TAG_RUN_RECOVERY, Some(self.intern_job(out, job)), None)
+            }
+            TraceEvent::OwnerRecovery { job } => {
+                (TAG_OWNER_RECOVERY, Some(self.intern_job(out, job)), None)
+            }
+            TraceEvent::LeaseExpired { job } => {
+                (TAG_LEASE_EXPIRED, Some(self.intern_job(out, job)), None)
+            }
+            TraceEvent::LeaseTransferred { job, owner } => {
+                let j = self.intern_job(out, job);
+                let n = self.intern_node(out, owner);
+                (TAG_LEASE_TRANSFERRED, Some(j), Some(n))
+            }
+        };
+
+        let at = begin_frame(out);
+        out.push(tag);
+        let dt = zigzag(t_ns.wrapping_sub(self.prev_t) as i64);
+        self.prev_t = t_ns;
+        write_varint(out, dt);
+        if let Some(j) = job_idx {
+            write_varint(out, j);
+        }
+        if let Some(n) = node_idx {
+            write_varint(out, n);
+        }
+        match *event {
+            TraceEvent::Submitted { resubmits, .. } => write_varint(out, u64::from(resubmits)),
+            TraceEvent::Matched { hops, .. } => write_varint(out, u64::from(hops)),
+            TraceEvent::Completed { results_at, .. } => write_varint(out, results_at.as_nanos()),
+            _ => {}
+        }
+        end_frame(out, at);
+    }
+}
+
+/// Encode a whole event sequence as one binary stream.
+pub fn encode_events<'a, I: IntoIterator<Item = &'a EventRecord>>(events: I) -> Vec<u8> {
+    let mut enc = BinaryEncoder::new();
+    let mut out = Vec::new();
+    for rec in events {
+        enc.encode_into(&mut out, rec.t_ns, &rec.event);
+    }
+    out
+}
+
+/// Streams every event as binary frames into a writer — the drop-in
+/// replacement for [`JsonlObserver`](crate::JsonlObserver) when the stream
+/// is consumed by tools rather than eyes. Wrap files in a `BufWriter`.
+pub struct BinaryObserver<W: Write> {
+    sink: W,
+    encoder: BinaryEncoder,
+    scratch: Vec<u8>,
+    bytes: u64,
+}
+
+impl<W: Write> BinaryObserver<W> {
+    /// Stream events into `sink`.
+    pub fn new(sink: W) -> Self {
+        BinaryObserver {
+            sink,
+            encoder: BinaryEncoder::new(),
+            scratch: Vec::with_capacity(64),
+            bytes: 0,
+        }
+    }
+
+    /// Flush and return the sink.
+    pub fn into_inner(mut self) -> W {
+        self.sink.flush().expect("flush event stream");
+        self.sink
+    }
+}
+
+impl<W: Write> Observer for BinaryObserver<W> {
+    fn on_event(&mut self, at: SimTime, event: TraceEvent) {
+        self.scratch.clear();
+        self.encoder
+            .encode_into(&mut self.scratch, at.as_nanos(), &event);
+        self.sink
+            .write_all(&self.scratch)
+            .expect("write event stream");
+        self.bytes += self.scratch.len() as u64;
+    }
+
+    fn bytes_written(&self) -> Option<u64> {
+        Some(self.bytes)
+    }
+}
+
+// --- decoder ---------------------------------------------------------------
+
+/// Push-based binary stream decoder.
+///
+/// Feed it bytes as they arrive ([`StreamDecoder::push`]) and drain decoded
+/// events ([`StreamDecoder::next_event`]); `Ok(None)` means "need more
+/// bytes", which is what lets `dgrid watch --follow` tail a file mid-write.
+/// Call [`StreamDecoder::finish`] at end-of-input to distinguish a clean
+/// boundary from a truncated tail. All errors are typed [`StreamError`]s;
+/// no input can make the decoder panic.
+#[derive(Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    consumed: usize,
+    in_stream: bool,
+    jobs: Vec<u64>,
+    nodes: Vec<u32>,
+    prev_t: u64,
+}
+
+impl StreamDecoder {
+    /// A decoder expecting the start of a stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append newly available bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Drop the consumed prefix before growing, keeping the buffer
+        // bounded by one partial frame plus one read chunk.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Absolute stream offset of the next undecoded byte.
+    pub fn offset(&self) -> usize {
+        self.consumed
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.pos += n;
+        self.consumed += n;
+    }
+
+    /// Decode the next event, or `Ok(None)` if the buffered bytes end at a
+    /// clean boundary (more input may still arrive).
+    pub fn next_event(&mut self) -> Result<Option<EventRecord>, StreamError> {
+        loop {
+            let avail = &self.buf[self.pos..];
+            if avail.is_empty() {
+                return Ok(None);
+            }
+            let at = self.consumed;
+            if !self.in_stream {
+                if avail.len() < MAGIC.len() {
+                    return if MAGIC.starts_with(avail) {
+                        Ok(None)
+                    } else {
+                        Err(StreamError::BadMagic { at })
+                    };
+                }
+                if avail[..MAGIC.len()] != MAGIC {
+                    return Err(StreamError::BadMagic { at });
+                }
+                self.consume(MAGIC.len());
+                self.in_stream = true;
+                self.jobs.clear();
+                self.nodes.clear();
+                self.prev_t = 0;
+                continue;
+            }
+            // A concatenated stream restarts with the magic at a frame
+            // boundary (valid frame tags never collide with it).
+            if avail[0] == MAGIC[0] {
+                if avail.len() < MAGIC.len() {
+                    if MAGIC.starts_with(avail) {
+                        return Ok(None);
+                    }
+                } else if avail[..MAGIC.len()] == MAGIC {
+                    self.in_stream = false;
+                    continue;
+                }
+            }
+            let Some((len, n)) = read_varint(avail, at)? else {
+                return Ok(None);
+            };
+            if len > MAX_FRAME_LEN {
+                return Err(StreamError::FrameTooLong { at, len });
+            }
+            if len == 0 {
+                return Err(StreamError::EmptyFrame { at });
+            }
+            let len = len as usize;
+            if avail.len() < n + len {
+                return Ok(None);
+            }
+            let payload_at = at + n;
+            let payload: Vec<u8> = avail[n..n + len].to_vec();
+            self.consume(n + len);
+            if let Some(rec) = self.decode_payload(&payload, payload_at)? {
+                return Ok(Some(rec));
+            }
+        }
+    }
+
+    /// Signal end-of-input: errors if bytes are left undecoded (a frame or
+    /// header was cut off mid-write).
+    pub fn finish(&self) -> Result<(), StreamError> {
+        if self.pos < self.buf.len() {
+            Err(StreamError::Truncated { at: self.consumed })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Decode one complete frame payload. `Ok(None)` for definition frames
+    /// (they only update the intern tables).
+    fn decode_payload(
+        &mut self,
+        payload: &[u8],
+        at: usize,
+    ) -> Result<Option<EventRecord>, StreamError> {
+        let tag = payload[0];
+        let mut cur = Cursor {
+            bytes: &payload[1..],
+            pos: 0,
+            at: at + 1,
+        };
+        let rec = match tag {
+            TAG_DEF_JOB => {
+                let raw = cur.varint()?;
+                self.jobs.push(raw);
+                None
+            }
+            TAG_DEF_NODE => {
+                let raw = cur.varint()?;
+                let raw = u32::try_from(raw).map_err(|_| StreamError::FieldOverflow {
+                    at: cur.at,
+                    what: "node id",
+                })?;
+                self.nodes.push(raw);
+                None
+            }
+            TAG_SUBMITTED..=TAG_LEASE_TRANSFERRED => {
+                let dt = cur.varint()?;
+                let t_ns = self.prev_t.wrapping_add(unzigzag(dt) as u64);
+                let event = self.decode_event(tag, &mut cur)?;
+                self.prev_t = t_ns;
+                Some(EventRecord { t_ns, event })
+            }
+            tag => return Err(StreamError::UnknownTag { at, tag }),
+        };
+        if cur.pos < cur.bytes.len() {
+            return Err(StreamError::TrailingFrameBytes {
+                at: cur.at + cur.pos,
+                extra: cur.bytes.len() - cur.pos,
+            });
+        }
+        Ok(rec)
+    }
+
+    fn job_ref(&self, cur: &mut Cursor<'_>) -> Result<JobId, StreamError> {
+        let at = cur.at + cur.pos;
+        let idx = cur.varint()?;
+        self.jobs
+            .get(idx as usize)
+            .map(|&raw| JobId(raw))
+            .ok_or(StreamError::BadRef {
+                at,
+                kind: RefKind::Job,
+                idx,
+            })
+    }
+
+    fn node_ref(&self, cur: &mut Cursor<'_>) -> Result<GridNodeId, StreamError> {
+        let at = cur.at + cur.pos;
+        let idx = cur.varint()?;
+        self.nodes
+            .get(idx as usize)
+            .map(|&raw| GridNodeId(raw))
+            .ok_or(StreamError::BadRef {
+                at,
+                kind: RefKind::Node,
+                idx,
+            })
+    }
+
+    fn decode_event(&self, tag: u8, cur: &mut Cursor<'_>) -> Result<TraceEvent, StreamError> {
+        Ok(match tag {
+            TAG_SUBMITTED => {
+                let job = self.job_ref(cur)?;
+                let resubmits = cur.varint_u32("resubmits")?;
+                TraceEvent::Submitted { job, resubmits }
+            }
+            TAG_OWNER_SERVER => TraceEvent::OwnerAssigned {
+                job: self.job_ref(cur)?,
+                owner: OwnerRef::Server,
+            },
+            TAG_OWNER_PEER => {
+                let job = self.job_ref(cur)?;
+                let peer = self.node_ref(cur)?;
+                TraceEvent::OwnerAssigned {
+                    job,
+                    owner: OwnerRef::Peer(peer),
+                }
+            }
+            TAG_MATCHED => {
+                let job = self.job_ref(cur)?;
+                let run_node = self.node_ref(cur)?;
+                let hops = cur.varint_u32("hops")?;
+                TraceEvent::Matched {
+                    job,
+                    run_node,
+                    hops,
+                }
+            }
+            TAG_STARTED => {
+                let job = self.job_ref(cur)?;
+                let run_node = self.node_ref(cur)?;
+                TraceEvent::Started { job, run_node }
+            }
+            TAG_COMPLETED => {
+                let job = self.job_ref(cur)?;
+                let results_at = cur.varint()?;
+                TraceEvent::Completed {
+                    job,
+                    results_at: SimTime::from_nanos(results_at),
+                }
+            }
+            TAG_FAILED => TraceEvent::Failed {
+                job: self.job_ref(cur)?,
+            },
+            TAG_NODE_DOWN => TraceEvent::NodeDown {
+                node: self.node_ref(cur)?,
+                graceful: false,
+            },
+            TAG_NODE_DOWN_GRACEFUL => TraceEvent::NodeDown {
+                node: self.node_ref(cur)?,
+                graceful: true,
+            },
+            TAG_NODE_UP => TraceEvent::NodeUp {
+                node: self.node_ref(cur)?,
+            },
+            TAG_RUN_RECOVERY => TraceEvent::RunRecovery {
+                job: self.job_ref(cur)?,
+            },
+            TAG_OWNER_RECOVERY => TraceEvent::OwnerRecovery {
+                job: self.job_ref(cur)?,
+            },
+            TAG_LEASE_EXPIRED => TraceEvent::LeaseExpired {
+                job: self.job_ref(cur)?,
+            },
+            TAG_LEASE_TRANSFERRED => {
+                let job = self.job_ref(cur)?;
+                let owner = self.node_ref(cur)?;
+                TraceEvent::LeaseTransferred { job, owner }
+            }
+            _ => unreachable!("caller matched the event tag range"),
+        })
+    }
+}
+
+/// A bounds-checked reader over one frame payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn varint(&mut self) -> Result<u64, StreamError> {
+        let at = self.at + self.pos;
+        match read_varint(&self.bytes[self.pos..], at)? {
+            Some((v, n)) => {
+                self.pos += n;
+                Ok(v)
+            }
+            // Inside a complete frame "need more bytes" means the frame
+            // lied about its length.
+            None => Err(StreamError::BadVarint { at }),
+        }
+    }
+
+    fn varint_u32(&mut self, what: &'static str) -> Result<u32, StreamError> {
+        let at = self.at + self.pos;
+        u32::try_from(self.varint()?).map_err(|_| StreamError::FieldOverflow { at, what })
+    }
+}
+
+/// Decode a complete in-memory binary stream (including concatenations of
+/// streams) into its event records.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<EventRecord>, StreamError> {
+    let mut dec = StreamDecoder::new();
+    dec.push(bytes);
+    let mut out = Vec::new();
+    while let Some(rec) = dec.next_event()? {
+        out.push(rec);
+    }
+    dec.finish()?;
+    Ok(out)
+}
+
+/// Convert a JSONL event stream to the binary format (one header, even if
+/// the text was a concatenation of runs — the zigzag time deltas absorb the
+/// backward jumps). Blank lines are skipped, exactly as the JSONL readers
+/// skip them.
+pub fn jsonl_to_binary(text: &str) -> Result<Vec<u8>, StreamError> {
+    let mut enc = BinaryEncoder::new();
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(rec) = parse_jsonl_line(line)? {
+            enc.encode_into(&mut out, rec.t_ns, &rec.event);
+        }
+    }
+    Ok(out)
+}
+
+/// Convert a binary event stream back to its JSONL text. Converting
+/// `jsonl_to_binary` output reproduces the original text byte for byte
+/// (modulo skipped blank lines); the round-trip golden test pins this for
+/// every matchmaker variant.
+pub fn binary_to_jsonl(bytes: &[u8]) -> Result<String, StreamError> {
+    let records = decode_stream(bytes)?;
+    let mut out = String::new();
+    for rec in &records {
+        write_event_line(&mut out, rec.t_ns, &rec.event);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<EventRecord> {
+        let job = JobId(7);
+        let node = GridNodeId(3);
+        vec![
+            EventRecord {
+                t_ns: 5,
+                event: TraceEvent::Submitted { job, resubmits: 0 },
+            },
+            EventRecord {
+                t_ns: 5,
+                event: TraceEvent::OwnerAssigned {
+                    job,
+                    owner: OwnerRef::Peer(node),
+                },
+            },
+            EventRecord {
+                t_ns: 9,
+                event: TraceEvent::Matched {
+                    job,
+                    run_node: GridNodeId(11),
+                    hops: 4,
+                },
+            },
+            EventRecord {
+                t_ns: 100,
+                event: TraceEvent::Started {
+                    job,
+                    run_node: GridNodeId(11),
+                },
+            },
+            EventRecord {
+                t_ns: 2_000_000_000,
+                event: TraceEvent::Completed {
+                    job,
+                    results_at: SimTime::from_secs(3),
+                },
+            },
+            EventRecord {
+                t_ns: 2_000_000_001,
+                event: TraceEvent::NodeDown {
+                    node,
+                    graceful: true,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, n) = read_varint(&buf, 0).unwrap().unwrap();
+            assert_eq!((back, n), (v, buf.len()));
+        }
+        // Incomplete: all continuation bits set.
+        assert_eq!(read_varint(&[0x80, 0x80], 0).unwrap(), None);
+        // Non-minimal but in-range encodings still decode.
+        assert_eq!(read_varint(&[0x80, 0x00], 0).unwrap(), Some((0, 2)));
+        // Too long to ever be a u64.
+        assert!(read_varint(&[0xff; 11], 0).is_err());
+        // 10th byte overflowing the final bit.
+        let mut eleven = vec![0xff; 9];
+        eleven.push(0x02);
+        assert!(read_varint(&eleven, 0).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 12345, -12345, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let records = sample_records();
+        let bytes = encode_events(&records);
+        assert_eq!(&bytes[..8], &MAGIC);
+        let back = decode_stream(&bytes).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_bytes() {
+        assert!(encode_events([].iter()).is_empty());
+        assert!(decode_stream(&[]).unwrap().is_empty());
+        assert_eq!(jsonl_to_binary("").unwrap(), Vec::<u8>::new());
+        assert_eq!(binary_to_jsonl(&[]).unwrap(), "");
+    }
+
+    #[test]
+    fn concatenated_streams_decode_with_reset() {
+        let records = sample_records();
+        let mut bytes = encode_events(&records);
+        bytes.extend_from_slice(&encode_events(&records));
+        let back = decode_stream(&bytes).unwrap();
+        assert_eq!(back.len(), records.len() * 2);
+        assert_eq!(&back[..records.len()], &records[..]);
+        assert_eq!(&back[records.len()..], &records[..]);
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_byte_identical() {
+        let records = sample_records();
+        let mut text = String::new();
+        for rec in &records {
+            write_event_line(&mut text, rec.t_ns, &rec.event);
+        }
+        let bin = jsonl_to_binary(&text).unwrap();
+        assert!(bin.len() < text.len(), "binary must be smaller than JSONL");
+        assert_eq!(binary_to_jsonl(&bin).unwrap(), text);
+        // And binary -> jsonl -> binary is stable for single streams.
+        assert_eq!(
+            jsonl_to_binary(&binary_to_jsonl(&bin).unwrap()).unwrap(),
+            bin
+        );
+    }
+
+    #[test]
+    fn observer_counts_bytes() {
+        let records = sample_records();
+        let mut obs = BinaryObserver::new(Vec::new());
+        for rec in &records {
+            obs.on_event(SimTime::from_nanos(rec.t_ns), rec.event);
+        }
+        let n = obs.bytes_written().unwrap();
+        let sink = obs.into_inner();
+        assert_eq!(n as usize, sink.len());
+        assert_eq!(decode_stream(&sink).unwrap(), records);
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let bytes = encode_events(&sample_records());
+        for cut in 1..bytes.len() {
+            let mut dec = StreamDecoder::new();
+            dec.push(&bytes[..cut]);
+            let mut events = 0usize;
+            loop {
+                match dec.next_event() {
+                    Ok(Some(_)) => events += 1,
+                    Ok(None) => {
+                        // Clean pause point; only `finish` may complain.
+                        if cut < bytes.len() {
+                            let _ = dec.finish();
+                        }
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+            assert!(events <= sample_records().len());
+        }
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        // Bad magic.
+        assert!(matches!(
+            decode_stream(b"not a stream"),
+            Err(StreamError::BadMagic { .. })
+        ));
+        // Unknown tag.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[1, 0x7f]);
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(StreamError::UnknownTag { tag: 0x7f, .. })
+        ));
+        // Dangling intern reference: Failed { job idx 5 } with empty table.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[3, TAG_FAILED, 0, 5]);
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(StreamError::BadRef {
+                kind: RefKind::Job,
+                idx: 5,
+                ..
+            })
+        ));
+        // Oversized frame length.
+        let mut bytes = MAGIC.to_vec();
+        write_varint(&mut bytes, MAX_FRAME_LEN + 1);
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(StreamError::FrameTooLong { .. })
+        ));
+        // Zero-length frame.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(StreamError::EmptyFrame { .. })
+        ));
+        // Trailing payload bytes.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[4, TAG_DEF_JOB, 1, 0, 0]);
+        assert!(matches!(
+            decode_stream(&bytes),
+            Err(StreamError::TrailingFrameBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn sniffing_identifies_formats() {
+        assert_eq!(sniff_format(&MAGIC), StreamFormat::Binary);
+        assert_eq!(sniff_format(b"DGEV"), StreamFormat::Binary);
+        assert_eq!(sniff_format(b"{\"t_ns\":0}"), StreamFormat::Jsonl);
+        assert_eq!(sniff_format(b""), StreamFormat::Jsonl);
+    }
+}

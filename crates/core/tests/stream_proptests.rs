@@ -1,0 +1,183 @@
+//! Adversarial-input property tests on both event-stream parsers: for
+//! arbitrary, truncated, and bit-flipped input, `parse_jsonl_line` and the
+//! binary decoder must return typed errors — never panic — and the binary
+//! codec must round-trip *arbitrary* record sequences (non-monotonic
+//! timestamps, sparse ids) byte-exactly.
+
+use dgrid_core::{
+    decode_stream, encode_events, parse_jsonl_line, EventRecord, GridNodeId, OwnerRef,
+    StreamDecoder, TraceEvent,
+};
+use dgrid_resources::JobId;
+use dgrid_sim::SimTime;
+use proptest::prelude::*;
+
+/// Arbitrary trace events, including ids past the dense-interning cap so
+/// the encoder's sparse fallback is exercised.
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    let job = (0u64..u64::MAX).prop_map(JobId);
+    let node = (0u32..u32::MAX).prop_map(GridNodeId);
+    (
+        job,
+        node,
+        any::<u64>(),
+        any::<u32>(),
+        any::<bool>(),
+        0u8..12,
+    )
+        .prop_map(|(job, node, t, small, flag, kind)| match kind {
+            0 => TraceEvent::Submitted {
+                job,
+                resubmits: small,
+            },
+            1 => TraceEvent::OwnerAssigned {
+                job,
+                owner: if flag {
+                    OwnerRef::Server
+                } else {
+                    OwnerRef::Peer(node)
+                },
+            },
+            2 => TraceEvent::Matched {
+                job,
+                run_node: node,
+                hops: small,
+            },
+            3 => TraceEvent::Started {
+                job,
+                run_node: node,
+            },
+            4 => TraceEvent::Completed {
+                job,
+                results_at: SimTime::from_nanos(t),
+            },
+            5 => TraceEvent::Failed { job },
+            6 => TraceEvent::NodeDown {
+                node,
+                graceful: flag,
+            },
+            7 => TraceEvent::NodeUp { node },
+            8 => TraceEvent::RunRecovery { job },
+            9 => TraceEvent::OwnerRecovery { job },
+            10 => TraceEvent::LeaseExpired { job },
+            _ => TraceEvent::LeaseTransferred { job, owner: node },
+        })
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<EventRecord>> {
+    proptest::collection::vec(
+        (any::<u64>(), arb_event()).prop_map(|(t_ns, event)| EventRecord { t_ns, event }),
+        0..40,
+    )
+}
+
+/// A deeply nested JSON line must come back as a typed error — the vendored
+/// parser's recursion is depth-limited, so hostile nesting cannot blow the
+/// stack out from under `dgrid report` or `dgrid watch`.
+#[test]
+fn hostile_jsonl_nesting_is_a_typed_error() {
+    let deep = format!("{{\"t_ns\":0,\"event\":{}", "[".repeat(100_000));
+    assert!(matches!(
+        parse_jsonl_line(&deep),
+        Err(dgrid_core::StreamError::Json { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The JSONL parser returns `Ok` or a typed error on any input; it
+    /// must never panic, whatever the bytes.
+    #[test]
+    fn jsonl_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_jsonl_line(&line);
+    }
+
+    /// Truncating a *valid* JSONL line at any byte yields `Ok(None)` (blank)
+    /// or a typed error — and parsing the whole line round-trips.
+    #[test]
+    fn truncated_jsonl_lines_error_cleanly(rec in (any::<u64>(), arb_event()), cut in 0usize..200) {
+        let records = [EventRecord { t_ns: rec.0, event: rec.1 }];
+        let jsonl = dgrid_core::binary_to_jsonl(&encode_events(&records)).unwrap();
+        let line = jsonl.trim_end();
+        prop_assert_eq!(parse_jsonl_line(line).unwrap(), Some(records[0]));
+        let cut = cut.min(line.len());
+        if line.is_char_boundary(cut) && cut < line.len() {
+            // Whatever comes back, it must come back (no panic) and a
+            // strict prefix must never silently parse as the full record.
+            if let Ok(Some(parsed)) = parse_jsonl_line(&line[..cut]) {
+                prop_assert_ne!(parsed, records[0]);
+            }
+        }
+    }
+
+    /// The binary decoder returns `Ok` or a typed error on arbitrary bytes.
+    #[test]
+    fn binary_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_stream(&bytes);
+    }
+
+    /// Arbitrary record sequences — backwards time, duplicate ids, ids past
+    /// the dense-interning cap — encode and decode losslessly, and the
+    /// re-encoding is byte-identical (canonical form).
+    #[test]
+    fn binary_codec_round_trips_arbitrary_records(records in arb_records()) {
+        let bytes = encode_events(&records);
+        let decoded = decode_stream(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &records);
+        prop_assert_eq!(encode_events(&decoded), bytes);
+    }
+
+    /// Truncating a valid binary stream at any byte either errors (typed)
+    /// or yields a strict prefix of the original records; `finish()` flags
+    /// a mid-frame cut as `Truncated`.
+    #[test]
+    fn truncated_binary_streams_error_or_prefix(records in arb_records(), cut in 0usize..2000) {
+        let bytes = encode_events(&records);
+        let cut = cut.min(bytes.len());
+        // A typed error is the expected outcome mid-frame; on success the
+        // decoding must be a strict prefix of what was encoded.
+        if let Ok(decoded) = decode_stream(&bytes[..cut]) {
+            prop_assert!(
+                decoded.len() <= records.len() && decoded == records[..decoded.len()],
+                "truncation must never invent or reorder records"
+            );
+        }
+    }
+
+    /// Flipping one bit of a valid stream never panics the decoder, and
+    /// never makes it return *more* records than were encoded plus the
+    /// corrupted tail (no unbounded amplification).
+    #[test]
+    fn bit_flipped_binary_streams_error_cleanly(records in arb_records(), pos in any::<usize>(), bit in 0u8..8) {
+        let mut bytes = encode_events(&records);
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let _ = decode_stream(&bytes);
+    }
+
+    /// Push-based decoding is split-invariant: feeding the stream in
+    /// arbitrary chunks yields exactly the one-shot decoding.
+    #[test]
+    fn chunked_decoding_is_split_invariant(records in arb_records(), splits in proptest::collection::vec(any::<usize>(), 0..8)) {
+        let bytes = encode_events(&records);
+        let mut cuts: Vec<usize> = splits.iter().map(|&s| if bytes.is_empty() { 0 } else { s % (bytes.len() + 1) }).collect();
+        cuts.push(0);
+        cuts.push(bytes.len());
+        cuts.sort_unstable();
+        let mut dec = StreamDecoder::new();
+        let mut decoded = Vec::new();
+        for pair in cuts.windows(2) {
+            dec.push(&bytes[pair[0]..pair[1]]);
+            while let Some(rec) = dec.next_event().expect("valid stream decodes") {
+                decoded.push(rec);
+            }
+        }
+        dec.finish().expect("stream ends at a frame boundary");
+        prop_assert_eq!(decoded, records);
+    }
+}

@@ -20,6 +20,12 @@
 //!
 //! Everything here is single-threaded by design (like the simulator
 //! itself), so sharing happens through `Rc<RefCell<...>>`.
+//!
+//! The [`sketch`] submodule adds the *streaming* half of the story:
+//! fixed-footprint online percentile sketches and windowed aggregates that
+//! run during a replication instead of post-hoc over a recorded stream.
+
+pub mod sketch;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -1,0 +1,376 @@
+//! Deterministic online sketches for streaming analytics.
+//!
+//! Post-hoc percentile computation ([`SampleSet`](crate::stats::SampleSet))
+//! retains every observation, which is exactly what a million-node run
+//! cannot afford. The types here bound memory to a fixed footprint while
+//! staying bit-for-bit deterministic — integer arithmetic only, no
+//! platform-dependent float ordering — so they can run *inside* a
+//! replication without perturbing it and merge across replications without
+//! caring about merge order:
+//!
+//! * [`QuantileSketch`] — a fixed array of power-of-two buckets over `u64`
+//!   observations (virtual nanoseconds, hop counts, byte sizes). Any
+//!   quantile is answered as a bucket range; the true sample quantile is
+//!   guaranteed to lie inside the returned bucket, i.e. the answer is exact
+//!   up to one log₂ bucket.
+//! * [`Windowed`] — per-window counters over virtual time: events per
+//!   window, completions per window, lease transfers per window — the live
+//!   rates a `dgrid watch` view renders while the run is still going.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Number of buckets in a [`QuantileSketch`]: one for zero plus one per
+/// possible bit length of a `u64` observation.
+pub const SKETCH_BUCKETS: usize = 65;
+
+/// A fixed-footprint log₂-bucket quantile sketch over `u64` observations.
+///
+/// Bucket 0 holds exact zeros; bucket `i >= 1` holds values with bit length
+/// `i`, i.e. the half-open range `[2^(i-1), 2^i)`. Recording is one
+/// `leading_zeros` and one increment — no allocation, no floats — and two
+/// sketches merge by adding counts, so replications can sketch
+/// independently and combine in any order with the same result.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    counts: Vec<u64>,
+    total: u64,
+    // Exact sum of observations, kept as a split u128 because the vendored
+    // serde stand-in has no u128 support.
+    sum_lo: u64,
+    sum_hi: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            counts: vec![0; SKETCH_BUCKETS],
+            total: 0,
+            sum_lo: 0,
+            sum_hi: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in.
+    fn bucket_of(x: u64) -> usize {
+        (u64::BITS - x.leading_zeros()) as usize
+    }
+
+    /// The half-open value range `[lo, hi)` of bucket `i` (bucket 0 is the
+    /// exact-zero bucket `[0, 1)`; the top bucket saturates at `u64::MAX`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        assert!(i < SKETCH_BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: u64) {
+        self.counts[Self::bucket_of(x)] += 1;
+        self.total += 1;
+        self.add_to_sum(u128::from(x));
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    fn sum(&self) -> u128 {
+        (u128::from(self.sum_hi) << 64) | u128::from(self.sum_lo)
+    }
+
+    fn add_to_sum(&mut self, x: u128) {
+        let s = self.sum().wrapping_add(x);
+        self.sum_lo = s as u64;
+        self.sum_hi = (s >> 64) as u64;
+    }
+
+    /// Mean of all observations (0 if empty). The sum is tracked exactly in
+    /// `u128`, so the mean is not subject to bucket error.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / self.total as f64
+        }
+    }
+
+    /// The bucket `[lo, hi)` containing the `q`-th sample quantile
+    /// (0 ≤ q ≤ 1), or `None` if the sketch is empty. The true sample
+    /// quantile is guaranteed to lie in the returned range.
+    ///
+    /// # Panics
+    /// If `q` is outside `[0, 1]`.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_range(i));
+            }
+        }
+        unreachable!("total is the sum of bucket counts");
+    }
+
+    /// Point estimate of the `q`-th quantile: the upper edge of the bucket
+    /// containing it (`None` if empty). Matches the convention of
+    /// [`LogHistogram::quantile`](crate::hist::LogHistogram::quantile).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    /// Merge another sketch into this one (order-independent).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.add_to_sum(other.sum());
+        self.max = self.max.max(other.max);
+    }
+
+    /// Per-bucket counts, bucket 0 (exact zero) first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// One closed window of a [`Windowed`] accumulator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowRow {
+    /// Window start, nanoseconds of virtual time.
+    pub start_ns: u64,
+    /// One count per counter index, in the arity order.
+    pub counts: Vec<u64>,
+}
+
+/// Fixed-arity per-window counters over virtual time.
+///
+/// The caller assigns meaning to each counter index (the analytics layer
+/// labels them); this type only does the deterministic bookkeeping: bump a
+/// counter at a virtual instant, close windows as time advances, keep the
+/// most recent `history` closed windows plus exact cumulative totals.
+/// Counts are attributed to the window containing their timestamp, so the
+/// result is a pure function of the `(at, index)` call sequence.
+#[derive(Clone, Debug)]
+pub struct Windowed {
+    window_ns: u64,
+    arity: usize,
+    history: usize,
+    start_ns: u64,
+    current: Vec<u64>,
+    rows: std::collections::VecDeque<WindowRow>,
+    totals: Vec<u64>,
+}
+
+impl Windowed {
+    /// A windowed accumulator with `arity` counters per window, keeping the
+    /// last `history` closed windows.
+    ///
+    /// # Panics
+    /// If the window is zero or `arity` is zero.
+    pub fn new(window: SimDuration, arity: usize, history: usize) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        assert!(arity > 0, "need at least one counter");
+        Windowed {
+            window_ns: window.as_nanos(),
+            arity,
+            history: history.max(1),
+            start_ns: 0,
+            current: vec![0; arity],
+            rows: std::collections::VecDeque::new(),
+            totals: vec![0; arity],
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> SimDuration {
+        SimDuration::from_nanos(self.window_ns)
+    }
+
+    /// Close windows until `at` falls inside the current one. Intermediate
+    /// empty windows are emitted (then capped by `history`), so rates read
+    /// zero through quiet stretches instead of skipping them.
+    pub fn advance_to(&mut self, at: SimTime) {
+        let t = at.as_nanos();
+        loop {
+            let end = self.start_ns.saturating_add(self.window_ns);
+            if t < end {
+                break;
+            }
+            let counts = std::mem::replace(&mut self.current, vec![0; self.arity]);
+            self.rows.push_back(WindowRow {
+                start_ns: self.start_ns,
+                counts,
+            });
+            while self.rows.len() > self.history {
+                self.rows.pop_front();
+            }
+            self.start_ns = end;
+            // An idle gap longer than the retained history would close one
+            // evicted-on-arrival zero window at a time; every row but the
+            // last `history` is unobservable, so jump straight to them.
+            let gap_windows = (t - self.start_ns) / self.window_ns;
+            if gap_windows > self.history as u64 {
+                self.start_ns += (gap_windows - self.history as u64) * self.window_ns;
+            }
+        }
+    }
+
+    /// Count one occurrence of counter `idx` at virtual instant `at`.
+    ///
+    /// # Panics
+    /// If `idx` is out of range.
+    pub fn bump(&mut self, at: SimTime, idx: usize) {
+        assert!(idx < self.arity, "counter {idx} out of range");
+        self.advance_to(at);
+        self.current[idx] += 1;
+        self.totals[idx] += 1;
+    }
+
+    /// Closed windows, oldest first (at most `history` of them).
+    pub fn rows(&self) -> impl Iterator<Item = &WindowRow> {
+        self.rows.iter()
+    }
+
+    /// The still-open window: its start and current counts.
+    pub fn current(&self) -> (SimTime, &[u64]) {
+        (
+            SimTime::ZERO + SimDuration::from_nanos(self.start_ns),
+            &self.current,
+        )
+    }
+
+    /// Exact cumulative totals per counter, across every window ever seen.
+    pub fn totals(&self) -> &[u64] {
+        &self.totals
+    }
+
+    /// Per-second rate of counter `idx` in a closed row.
+    pub fn rate_per_sec(&self, row: &WindowRow, idx: usize) -> f64 {
+        row.counts[idx] as f64 / SimDuration::from_nanos(self.window_ns).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_buckets_are_powers_of_two() {
+        assert_eq!(QuantileSketch::bucket_range(0), (0, 1));
+        assert_eq!(QuantileSketch::bucket_range(1), (1, 2));
+        assert_eq!(QuantileSketch::bucket_range(5), (16, 32));
+        assert_eq!(QuantileSketch::bucket_range(64).0, 1u64 << 63);
+        assert_eq!(QuantileSketch::bucket_range(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn sketch_quantiles_bound_true_values() {
+        let mut s = QuantileSketch::new();
+        let xs: Vec<u64> = (1..=1000).collect();
+        for &x in &xs {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 1000);
+        // True p50 = 500, inside [256, 512); true p99 = 990, inside [512, 1024).
+        let (lo, hi) = s.quantile_bounds(0.5).unwrap();
+        assert!(lo <= 500 && 500 <= hi, "p50 bucket [{lo},{hi})");
+        let (lo, hi) = s.quantile_bounds(0.99).unwrap();
+        assert!(lo <= 990 && 990 <= hi, "p99 bucket [{lo},{hi})");
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        assert_eq!(s.max(), 1000);
+    }
+
+    #[test]
+    fn sketch_zero_and_empty() {
+        let mut s = QuantileSketch::new();
+        assert_eq!(s.quantile(0.5), None);
+        s.record(0);
+        assert_eq!(s.quantile_bounds(0.5), Some((0, 1)));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn sketch_merge_is_order_independent() {
+        let xs = [3u64, 17, 0, 999, 128, 64, 1 << 40];
+        let mut all = QuantileSketch::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let (mut a, mut b) = (QuantileSketch::new(), QuantileSketch::new());
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+    }
+
+    #[test]
+    fn windows_close_in_order_with_gaps() {
+        let mut w = Windowed::new(SimDuration::from_secs(10), 2, 8);
+        w.bump(SimTime::from_secs(1), 0);
+        w.bump(SimTime::from_secs(3), 1);
+        w.bump(SimTime::from_secs(25), 0); // closes [0,10) and [10,20)
+        let rows: Vec<&WindowRow> = w.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].counts, vec![1, 1]);
+        assert_eq!(rows[1].counts, vec![0, 0]);
+        assert_eq!(w.current().1, &[1, 0]);
+        assert_eq!(w.totals(), &[2, 1]);
+        assert!((w.rate_per_sec(rows[0], 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_idle_gap_does_not_scan_every_window() {
+        let mut w = Windowed::new(SimDuration::from_millis(1), 1, 4);
+        w.bump(SimTime::from_secs(0), 0);
+        // Jump ~3e12 windows ahead; must return promptly and keep totals.
+        w.bump(SimTime::from_secs(3_000_000), 0);
+        assert_eq!(w.totals(), &[2]);
+        assert!(w.rows().count() <= 4);
+    }
+
+    #[test]
+    fn history_is_capped() {
+        let mut w = Windowed::new(SimDuration::from_secs(1), 1, 3);
+        for s in 0..10 {
+            w.bump(SimTime::from_secs(s), 0);
+        }
+        assert_eq!(w.rows().count(), 3);
+        assert_eq!(w.totals(), &[10]);
+    }
+}

@@ -39,6 +39,12 @@ impl SimTime {
         SimTime(millis * NANOS_PER_MILLI)
     }
 
+    /// Instant from a raw nanosecond count — the exact inverse of
+    /// [`SimTime::as_nanos`], used when rehydrating recorded streams.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
     /// Instant from fractional seconds. Panics on negative or non-finite input.
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(

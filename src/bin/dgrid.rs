@@ -3,12 +3,15 @@
 //! ```text
 //! dgrid run     --algorithm rn-tree --scenario mixed/light [options]
 //! dgrid compare --scenario clustered/heavy [options]
-//! dgrid report  --events events.jsonl [--timeseries series.json]
+//! dgrid report  --events events.{jsonl|bin} [--timeseries series.json]
+//! dgrid watch   --events events.{jsonl|bin} [--follow] [--window SECS]
+//! dgrid events convert --events IN --out OUT [--to jsonl|binary]
 //! dgrid check   [--seeds N] [--seed BASE] [--out PATH] [--matchmaker M[,M...]]
 //! dgrid check   --replay repro.json
 //! dgrid bench sweep [--replications N] [--json PATH]
 //! dgrid bench overlays [--replications N] [--json PATH]
 //! dgrid bench leases [--replications N] [--json PATH]
+//! dgrid bench stream [--replications N] [--json PATH]
 //!
 //! options:
 //!   --nodes N             grid size                      (default 200)
@@ -30,16 +33,34 @@
 //!   --lease-grace SECS    post-ttl grace before expiry     (default 30)
 //!   --placement P         owner placement under leases: hash | load-aware
 //!                         (default hash for run/compare, load-aware for check)
-//!   --events PATH         stream the lifecycle trace as JSON Lines
+//!   --events PATH         stream the lifecycle trace to a file
+//!   --format F            event stream format: jsonl | binary (default jsonl)
 //!   --timeseries PATH     write sampled grid gauges as JSON
 //!   --sample-secs SECS    gauge sampling cadence          (default 60)
 //!   --json PATH           also write the full report(s) as JSON
 //!
 //! report options:
-//!   --events PATH         the JSONL stream to analyze (required)
+//!   --events PATH         the recorded stream to analyze (required); the
+//!                         format is sniffed from the magic bytes, so both
+//!                         JSONL and binary streams work unchanged
 //!   --timeseries PATH     render sparklines from a gauge series file
 //!   --timeline N          show per-job timelines for the first N jobs (default 10)
 //!   --width W             sparkline/timeline width        (default 48)
+//!
+//! watch options (tail a live or recorded stream, either format):
+//!   --events PATH         the stream to watch (required)
+//!   --follow              poll the file for growth and refresh the view
+//!                         (Ctrl-C to stop; default renders once and exits)
+//!   --window SECS         virtual-time window for rates   (default 60)
+//!   --refresh SECS        wall-clock poll cadence with --follow (default 0.5)
+//!   --idle-exit SECS      with --follow, exit after this long without growth
+//!   --width W             sparkline width                 (default 48)
+//!
+//! events convert options (lossless either direction):
+//!   --events PATH         input stream (format sniffed)
+//!   --out PATH            output stream
+//!   --to F                target format: jsonl | binary (default: the
+//!                         opposite of the input's format)
 //!
 //! check options:
 //!   --seeds N             scenarios to sweep              (default 50)
@@ -66,6 +87,13 @@
 //! three ways: reassign-on-death, leases + hash placement, and leases +
 //! load-aware placement; compares load fairness and wait times. `--lease-*`
 //! override the default ttl 600 / renew 150 / grace 60.
+//!
+//! bench stream options (same defaults): the `T-stream` experiment — run the
+//! same replicated cell under the Null, JSONL, and binary observers, report
+//! events/sec, bytes, and the JSONL-vs-binary size ratio, assert the binary
+//! stream is strictly cheaper than JSONL (bytes and wall time), and verify
+//! the online sketch percentiles match the post-hoc report within one
+//! log₂ bucket; `--json` writes the comparison for the CI artifact.
 //! ```
 //!
 //! `run` executes one cell and prints the report (`--replications R` fans R
@@ -85,9 +113,10 @@ use std::io::{BufWriter, Write};
 
 use dgrid::core::router::{PastryNetwork, TapestryNetwork};
 use dgrid::core::{
-    parse_event_line, phase_samples, ChurnConfig, Engine, EngineConfig, FaultPlan, JobSpan,
-    JsonlObserver, Phase, PlacementPolicy, RnTreeConfig, RnTreeMatchmaker, SimReport,
-    SpanAssembler, SpanOutcome,
+    binary_to_jsonl, decode_stream, jsonl_to_binary, parse_jsonl_line, phase_samples, sniff_format,
+    BinaryObserver, ChurnConfig, Engine, EngineConfig, FaultPlan, JobSpan, JsonlObserver, Phase,
+    PlacementPolicy, RnTreeConfig, RnTreeMatchmaker, SimReport, SpanAssembler, SpanOutcome,
+    StreamAnalytics, StreamDecoder, StreamFormat,
 };
 use dgrid::harness::Algorithm;
 use dgrid::sim::hist::LogHistogram;
@@ -110,6 +139,12 @@ struct Opts {
     loss: f64,
     partitions: Vec<(f64, f64, Vec<u32>)>,
     events: Option<String>,
+    format: StreamFormat,
+    to_format: Option<StreamFormat>,
+    follow: bool,
+    window_secs: f64,
+    refresh_secs: f64,
+    idle_exit: Option<f64>,
     timeseries: Option<String>,
     sample_secs: f64,
     timeline: usize,
@@ -130,13 +165,15 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dgrid <run|compare|report|check|bench sweep|bench overlays|bench leases> \
+        "usage: dgrid <run|compare|report|watch|events convert|check|bench \
+         sweep|bench overlays|bench leases|bench stream> \
          [--algorithm A] [--scenario S] \
          [--nodes N] [--jobs M] [--seed S] [--threads N] [--replications R] [--mttf SECS] \
          [--rejoin SECS] [--graceful FRAC] \
          [--k K] [--loss P] [--partition START:END:IDS] \
          [--lease-ttl SECS] [--lease-renew SECS] [--lease-grace SECS] \
-         [--placement hash|load-aware] [--events PATH] \
+         [--placement hash|load-aware] [--events PATH] [--format jsonl|binary] \
+         [--to jsonl|binary] [--follow] [--window SECS] [--refresh SECS] [--idle-exit SECS] \
          [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH] \
          [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME] [--matchmaker M[,M...]]\n\
          algorithms: rn-tree rn-tree@pastry rn-tree@tapestry can can-push can-novirt central\n\
@@ -205,6 +242,12 @@ fn parse() -> Opts {
         loss: 0.0,
         partitions: Vec::new(),
         events: None,
+        format: StreamFormat::Jsonl,
+        to_format: None,
+        follow: false,
+        window_secs: 60.0,
+        refresh_secs: 0.5,
+        idle_exit: None,
         timeseries: None,
         sample_secs: 60.0,
         timeline: 10,
@@ -225,6 +268,8 @@ fn parse() -> Opts {
     if opts.command != "run"
         && opts.command != "compare"
         && opts.command != "report"
+        && opts.command != "watch"
+        && opts.command != "events"
         && opts.command != "check"
         && opts.command != "bench"
     {
@@ -235,7 +280,9 @@ fn parse() -> Opts {
         // Flags follow the subcommand. Defaults drop to the quick bench
         // scale so a sweep finishes in seconds.
         match args.get(1).map(String::as_str) {
-            Some(sub @ ("sweep" | "overlays" | "leases")) => opts.command = format!("bench-{sub}"),
+            Some(sub @ ("sweep" | "overlays" | "leases" | "stream")) => {
+                opts.command = format!("bench-{sub}")
+            }
             _ => usage(),
         }
         opts.nodes = 96;
@@ -243,8 +290,21 @@ fn parse() -> Opts {
         opts.replications = 16;
         i = 2;
     }
+    if opts.command == "events" {
+        match args.get(1).map(String::as_str) {
+            Some("convert") => opts.command = "events-convert".to_string(),
+            _ => usage(),
+        }
+        i = 2;
+    }
     while i < args.len() {
         let flag = args[i].as_str();
+        // Boolean flags take no value.
+        if flag == "--follow" {
+            opts.follow = true;
+            i += 1;
+            continue;
+        }
         let val = args.get(i + 1).unwrap_or_else(|| usage()).clone();
         match flag {
             "--algorithm" => opts.algorithm = parse_algorithm(&val),
@@ -259,6 +319,11 @@ fn parse() -> Opts {
             "--loss" => opts.loss = val.parse().unwrap_or_else(|_| usage()),
             "--partition" => opts.partitions.push(parse_partition(&val)),
             "--events" => opts.events = Some(val),
+            "--format" => opts.format = val.parse().unwrap_or_else(|_| usage()),
+            "--to" => opts.to_format = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--window" => opts.window_secs = val.parse().unwrap_or_else(|_| usage()),
+            "--refresh" => opts.refresh_secs = val.parse().unwrap_or_else(|_| usage()),
+            "--idle-exit" => opts.idle_exit = Some(val.parse().unwrap_or_else(|_| usage())),
             "--timeseries" => opts.timeseries = Some(val),
             "--sample-secs" => opts.sample_secs = val.parse().unwrap_or_else(|_| usage()),
             "--timeline" => opts.timeline = val.parse().unwrap_or_else(|_| usage()),
@@ -360,12 +425,23 @@ fn build_engine(opts: &Opts, algorithm: Algorithm, workload: &Workload, seed: u6
     engine
 }
 
+/// The stream observer `--format` selects, writing into `sink`.
+fn stream_observer<W: Write + 'static>(
+    format: StreamFormat,
+    sink: W,
+) -> Box<dyn dgrid::core::Observer> {
+    match format {
+        StreamFormat::Jsonl => Box::new(JsonlObserver::new(sink)),
+        StreamFormat::Binary => Box::new(BinaryObserver::new(sink)),
+    }
+}
+
 fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload, tracing: bool) -> SimReport {
     let mut engine = build_engine(opts, algorithm, workload, opts.seed);
     if tracing {
         if let Some(path) = &opts.events {
             let f = std::fs::File::create(path).expect("create events output");
-            engine.set_observer(Box::new(JsonlObserver::new(BufWriter::new(f))));
+            engine.set_observer(stream_observer(opts.format, BufWriter::new(f)));
         }
         if opts.timeseries.is_some() {
             engine.set_timeseries_sampling(SimDuration::from_secs_f64(opts.sample_secs));
@@ -393,8 +469,8 @@ impl Write for SharedSink {
 }
 
 /// Run one replication with its own seed (workload regenerated from that
-/// seed, matching `harness::run_cell`), optionally capturing its JSONL
-/// event stream in memory.
+/// seed, matching `harness::run_cell`), optionally capturing its event
+/// stream (in the `--format` of choice) in memory.
 fn run_replication(
     opts: &Opts,
     algorithm: Algorithm,
@@ -405,7 +481,7 @@ fn run_replication(
     let mut engine = build_engine(opts, algorithm, &workload, seed);
     let sink = SharedSink::default();
     if capture_events {
-        engine.set_observer(Box::new(JsonlObserver::new(sink.clone())));
+        engine.set_observer(stream_observer(opts.format, sink.clone()));
     }
     let report = engine.run();
     let events = sink.0.take();
@@ -527,19 +603,37 @@ fn print_report(r: &SimReport) {
     }
 }
 
-/// Load spans back out of a JSONL event stream.
+/// Load spans back out of a recorded event stream, either format (sniffed
+/// from the magic bytes), so every existing `report` recipe keeps working
+/// when the stream was recorded with `--format binary`.
 fn spans_from_events(path: &str) -> Vec<JobSpan> {
-    let text = std::fs::read_to_string(path).expect("read events file");
+    let bytes = std::fs::read(path).expect("read events file");
     let mut assembler = SpanAssembler::new();
-    for (lineno, line) in text.lines().enumerate() {
-        match parse_event_line(line) {
-            Ok(Some(rec)) => {
-                assembler.observe(SimTime::ZERO + SimDuration::from_nanos(rec.t_ns), rec.event)
-            }
-            Ok(None) => {}
-            Err(e) => {
-                eprintln!("{path}:{}: bad event line: {e}", lineno + 1);
+    match sniff_format(&bytes) {
+        StreamFormat::Binary => {
+            let records = decode_stream(&bytes).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
                 std::process::exit(1);
+            });
+            for rec in records {
+                assembler.observe(SimTime::ZERO + SimDuration::from_nanos(rec.t_ns), rec.event);
+            }
+        }
+        StreamFormat::Jsonl => {
+            let text = String::from_utf8(bytes).unwrap_or_else(|_| {
+                eprintln!("{path}: not valid UTF-8 (and not a binary event stream)");
+                std::process::exit(1);
+            });
+            for (lineno, line) in text.lines().enumerate() {
+                match parse_jsonl_line(line) {
+                    Ok(Some(rec)) => assembler
+                        .observe(SimTime::ZERO + SimDuration::from_nanos(rec.t_ns), rec.event),
+                    Ok(None) => {}
+                    Err(e) => {
+                        eprintln!("{path}:{}: {e}", lineno + 1);
+                        std::process::exit(1);
+                    }
+                }
             }
         }
     }
@@ -670,6 +764,309 @@ fn cmd_report(opts: &Opts) {
                 max
             );
         }
+    }
+}
+
+/// `dgrid events convert`: lossless conversion between the JSONL and binary
+/// stream formats. The input format is sniffed; the target defaults to the
+/// opposite format. Same-format conversion re-encodes through the record
+/// layer, which validates the stream and normalizes a concatenated
+/// multi-replication binary file down to a single header.
+fn cmd_events_convert(opts: &Opts) {
+    let Some(input) = &opts.events else {
+        eprintln!("dgrid events convert requires --events IN");
+        usage();
+    };
+    let Some(output) = &opts.out else {
+        eprintln!("dgrid events convert requires --out OUT");
+        usage();
+    };
+    let bytes = std::fs::read(input).expect("read input stream");
+    let from = sniff_format(&bytes);
+    let to = opts.to_format.unwrap_or(match from {
+        StreamFormat::Jsonl => StreamFormat::Binary,
+        StreamFormat::Binary => StreamFormat::Jsonl,
+    });
+    let fail = |e: dgrid::core::StreamError| -> ! {
+        eprintln!("{input}: {e}");
+        std::process::exit(1);
+    };
+    let as_text = |bytes: Vec<u8>| -> String {
+        String::from_utf8(bytes).unwrap_or_else(|_| {
+            eprintln!("{input}: not valid UTF-8 (and not a binary event stream)");
+            std::process::exit(1);
+        })
+    };
+    let out_bytes: Vec<u8> = match (from, to) {
+        (StreamFormat::Jsonl, StreamFormat::Binary) => {
+            jsonl_to_binary(&as_text(bytes)).unwrap_or_else(|e| fail(e))
+        }
+        (StreamFormat::Binary, StreamFormat::Jsonl) => binary_to_jsonl(&bytes)
+            .unwrap_or_else(|e| fail(e))
+            .into_bytes(),
+        (StreamFormat::Binary, StreamFormat::Binary) => {
+            let records = decode_stream(&bytes).unwrap_or_else(|e| fail(e));
+            dgrid::core::encode_events(&records)
+        }
+        (StreamFormat::Jsonl, StreamFormat::Jsonl) => {
+            let bin = jsonl_to_binary(&as_text(bytes)).unwrap_or_else(|e| fail(e));
+            binary_to_jsonl(&bin)
+                .unwrap_or_else(|e| fail(e))
+                .into_bytes()
+        }
+    };
+    let in_len = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    std::fs::write(output, &out_bytes).expect("write output stream");
+    eprintln!(
+        "converted {input} ({}) -> {output} ({}): {} -> {} bytes ({:.2}x)",
+        from.label(),
+        to.label(),
+        in_len,
+        out_bytes.len(),
+        in_len as f64 / (out_bytes.len().max(1)) as f64,
+    );
+}
+
+/// Incremental feeder for `dgrid watch`: sniffs the stream format from the
+/// first bytes, then routes chunks through the matching incremental decoder
+/// into a [`StreamAnalytics`]. Partial frames / partial lines at a chunk
+/// boundary are held until more bytes arrive, which is what makes tailing a
+/// file mid-write safe.
+struct StreamTail {
+    analytics: StreamAnalytics,
+    fmt: Option<StreamFormat>,
+    head: Vec<u8>,
+    dec: StreamDecoder,
+    line_buf: Vec<u8>,
+    events: u64,
+}
+
+impl StreamTail {
+    fn new(window: SimDuration, history: usize) -> Self {
+        StreamTail {
+            analytics: StreamAnalytics::new(window, history),
+            fmt: None,
+            head: Vec::new(),
+            dec: StreamDecoder::new(),
+            line_buf: Vec::new(),
+            events: 0,
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8], eof: bool) -> Result<(), String> {
+        let bytes = if self.fmt.is_none() {
+            // Hold bytes until the format is decidable (8 bytes settles it).
+            self.head.extend_from_slice(bytes);
+            if self.head.len() < 8 && !eof {
+                return Ok(());
+            }
+            self.fmt = Some(sniff_format(&self.head));
+            std::mem::take(&mut self.head)
+        } else {
+            bytes.to_vec()
+        };
+        match self.fmt {
+            Some(StreamFormat::Binary) => {
+                self.dec.push(&bytes);
+                loop {
+                    match self.dec.next_event() {
+                        Ok(Some(rec)) => {
+                            self.analytics.feed_record(&rec);
+                            self.events += 1;
+                        }
+                        Ok(None) => break,
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+                if eof {
+                    self.dec.finish().map_err(|e| e.to_string())?;
+                }
+            }
+            Some(StreamFormat::Jsonl) => {
+                self.line_buf.extend_from_slice(&bytes);
+                let mut start = 0;
+                while let Some(nl) = self.line_buf[start..].iter().position(|&b| b == b'\n') {
+                    let line = &self.line_buf[start..start + nl];
+                    start += nl + 1;
+                    let line = std::str::from_utf8(line).map_err(|_| "non-UTF-8 event line")?;
+                    match parse_jsonl_line(line) {
+                        Ok(Some(rec)) => {
+                            self.analytics.feed_record(&rec);
+                            self.events += 1;
+                        }
+                        Ok(None) => {}
+                        Err(e) => return Err(e.to_string()),
+                    }
+                }
+                self.line_buf.drain(..start);
+                if eof && !self.line_buf.is_empty() {
+                    return Err("stream truncated mid-line".to_string());
+                }
+            }
+            None => unreachable!("format was just decided"),
+        }
+        Ok(())
+    }
+}
+
+/// Render a slice of per-window values as a fixed-width sparkline (last
+/// `width` windows, scaled to the slice maximum).
+fn sparkline(xs: &[f64], width: usize) -> String {
+    const GLYPHS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
+    let tail = &xs[xs.len().saturating_sub(width)..];
+    let max = tail.iter().copied().fold(0.0f64, f64::max);
+    tail.iter()
+        .map(|&x| {
+            if max <= 0.0 {
+                GLYPHS[0]
+            } else {
+                let idx = ((x / max) * 7.0).round() as usize;
+                GLYPHS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+fn fmt_ns_secs(ns: u64) -> String {
+    format!("{:.1}s", ns as f64 / 1e9)
+}
+
+/// Render one refresh of the watch dashboard.
+fn render_watch(tail: &StreamTail, path: &str, opts: &Opts, clear: bool) {
+    use dgrid::core::EventKind;
+
+    let snap = tail.analytics.snapshot();
+    let mut out = String::new();
+    if clear {
+        out.push_str("\x1b[2J\x1b[H");
+    }
+    let fmt = tail.fmt.map(StreamFormat::label).unwrap_or("?");
+    out.push_str(&format!(
+        "watch {path} ({fmt})  {} events  t = {:.1}s virtual\n",
+        snap.events_total,
+        snap.last_t_ns as f64 / 1e9
+    ));
+    out.push_str(&format!(
+        "jobs: {} inflight, {} executing, {} completed, {} failed\n",
+        snap.inflight,
+        snap.executing,
+        snap.per_kind[EventKind::Completed.index()],
+        snap.per_kind[EventKind::Failed.index()]
+    ));
+    for (label, stats) in [("wait", &snap.wait), ("turnaround", &snap.turnaround)] {
+        match stats {
+            Some(s) => out.push_str(&format!(
+                "{label:<10} p50 {:>8} p95 {:>8} p99 {:>8} max {:>8} (n={})\n",
+                fmt_ns_secs(s.p50_ns),
+                fmt_ns_secs(s.p95_ns),
+                fmt_ns_secs(s.p99_ns),
+                fmt_ns_secs(s.max_ns),
+                s.count
+            )),
+            None => out.push_str(&format!("{label:<10} (no samples yet)\n")),
+        }
+    }
+    // Per-window rates over the retained history plus the open window.
+    let window_secs = snap.window_ns as f64 / 1e9;
+    let mut all_rows: Vec<&[u64]> = snap.recent.iter().map(|r| r.counts.as_slice()).collect();
+    all_rows.push(&snap.current);
+    let series = |pick: &dyn Fn(&[u64]) -> u64| -> Vec<f64> {
+        all_rows
+            .iter()
+            .map(|c| pick(c) as f64 / window_secs)
+            .collect()
+    };
+    let rows: [(&str, Vec<f64>); 3] = [
+        ("events/s", series(&|c| c.iter().sum())),
+        (
+            "completions/s",
+            series(&|c| c[EventKind::Completed.index()]),
+        ),
+        (
+            "lease xfers/s",
+            series(&|c| c[EventKind::LeaseTransferred.index()]),
+        ),
+    ];
+    out.push_str(&format!("per-{window_secs:.0}s-window rates:\n"));
+    for (label, xs) in rows {
+        let max = xs.iter().copied().fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "  {label:<14} {} [0..{max:.2}]\n",
+            sparkline(&xs, opts.width)
+        ));
+    }
+    out.push_str("kinds:");
+    for kind in EventKind::ALL {
+        let n = snap.per_kind[kind.index()];
+        if n > 0 {
+            out.push_str(&format!(" {}={n}", kind.label()));
+        }
+    }
+    out.push('\n');
+    print!("{out}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+}
+
+/// `dgrid watch`: tail a live or recorded event stream (either format) and
+/// render a refreshing terminal dashboard of window rates, percentile
+/// sketches, and per-kind counters — observability that works *while* the
+/// run is still writing, not just post-hoc.
+fn cmd_watch(opts: &Opts) {
+    let Some(path) = &opts.events else {
+        eprintln!("dgrid watch requires --events PATH");
+        usage();
+    };
+    let window = SimDuration::from_secs_f64(opts.window_secs);
+    let mut tail = StreamTail::new(window, 512);
+
+    if !opts.follow {
+        let bytes = std::fs::read(path).expect("read events file");
+        if let Err(e) = tail.push(&bytes, true) {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+        render_watch(&tail, path, opts, false);
+        return;
+    }
+
+    use std::io::{IsTerminal, Read, Seek, SeekFrom};
+    let clear = std::io::stdout().is_terminal();
+    let mut pos: u64 = 0;
+    let mut idle_secs = 0.0f64;
+    loop {
+        let mut grew = false;
+        if let Ok(mut f) = std::fs::File::open(path) {
+            let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+            if len > pos {
+                f.seek(SeekFrom::Start(pos)).expect("seek events file");
+                let mut buf = Vec::with_capacity((len - pos) as usize);
+                f.take(len - pos)
+                    .read_to_end(&mut buf)
+                    .expect("read events file");
+                pos += buf.len() as u64;
+                if let Err(e) = tail.push(&buf, false) {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                }
+                grew = true;
+            }
+        }
+        render_watch(&tail, path, opts, clear);
+        if grew {
+            idle_secs = 0.0;
+        } else {
+            idle_secs += opts.refresh_secs;
+            if opts.idle_exit.is_some_and(|limit| idle_secs >= limit) {
+                return;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(
+            opts.refresh_secs.max(0.01),
+        ));
     }
 }
 
@@ -1271,6 +1668,303 @@ fn cmd_bench_leases(opts: &Opts) {
     }
 }
 
+/// An [`StreamAnalytics`] handle that survives the engine that consumes it,
+/// so the online sketches can be compared against the post-hoc report after
+/// the run. Never shared across threads — one replication builds its own.
+#[derive(Clone)]
+struct SharedAnalytics(std::rc::Rc<std::cell::RefCell<StreamAnalytics>>);
+
+impl dgrid::core::Observer for SharedAnalytics {
+    fn on_event(&mut self, at: SimTime, event: dgrid::core::TraceEvent) {
+        self.0.borrow_mut().feed(at.as_nanos(), &event);
+    }
+}
+
+/// Records the full event sequence of a replication, so the serializer
+/// replay can time each format over *identical* input with the engine
+/// itself out of the measurement.
+#[derive(Clone, Default)]
+struct CaptureObserver(std::rc::Rc<std::cell::RefCell<Vec<(SimTime, dgrid::core::TraceEvent)>>>);
+
+impl dgrid::core::Observer for CaptureObserver {
+    fn on_event(&mut self, at: SimTime, event: dgrid::core::TraceEvent) {
+        self.0.borrow_mut().push((at, event));
+    }
+}
+
+/// One observer row of `bench stream`, as written to `--json`.
+#[derive(serde::Serialize)]
+struct StreamPoint {
+    observer: String,
+    wall_secs: f64,
+    serialize_secs: f64,
+    serialize_ns_per_event: f64,
+    events: u64,
+    events_per_sec: f64,
+    bytes: u64,
+}
+
+/// One online-vs-post-hoc percentile comparison of `bench stream`.
+#[derive(serde::Serialize)]
+struct OnlineCheck {
+    metric: String,
+    quantile: f64,
+    post_hoc_ns: u64,
+    bucket_lo_ns: u64,
+    bucket_hi_ns: u64,
+    ok: bool,
+}
+
+/// The full `bench stream` result, as written to `--json`.
+#[derive(serde::Serialize)]
+struct StreamRecord {
+    algorithm: String,
+    scenario: String,
+    nodes: usize,
+    jobs: usize,
+    replications: usize,
+    seed: u64,
+    threads: usize,
+    jsonl_bytes: u64,
+    binary_bytes: u64,
+    bytes_ratio: f64,
+    binary_cheaper_bytes: bool,
+    binary_cheaper_wall: bool,
+    online_ok: bool,
+    observers: Vec<StreamPoint>,
+    online_checks: Vec<OnlineCheck>,
+}
+
+/// `dgrid bench stream`: the `T-stream` experiment. Time the replicated
+/// cell under three observers — Null (no tracing), JSONL, and binary, each
+/// streaming to `std::io::sink` — and report events/sec plus bytes written.
+/// The per-format serialization cost (a few milliseconds) sits under tens
+/// of milliseconds of simulation, so the strict wall-time comparison
+/// replays the captured event sequence through each serializer directly.
+/// The binary format must be strictly cheaper than JSONL in both bytes and
+/// serialization wall time, and the online percentile sketches must agree
+/// with the post-hoc report within one log₂ bucket; either failure exits
+/// non-zero.
+fn cmd_bench_stream(opts: &Opts) {
+    use rayon::prelude::*;
+
+    const REPEATS: usize = 5;
+    const SER_REPEATS: usize = 16;
+
+    println!(
+        "bench stream: {} x {} — {} nodes, {} jobs, {} replications, seed {}, {} thread(s)",
+        opts.algorithm.label(),
+        opts.scenario.label(),
+        opts.nodes,
+        opts.jobs,
+        opts.replications,
+        opts.seed,
+        rayon::Pool::current_threads(),
+    );
+
+    // Warm-up pass that doubles as event capture: every observer sees the
+    // exact same deterministic event sequence, so recording it once gives
+    // both the event count and the input for the serializer replay below.
+    let captured: Vec<Vec<(SimTime, dgrid::core::TraceEvent)>> = (0..opts.replications as u64)
+        .into_par_iter()
+        .map(|r| {
+            let seed = opts.seed ^ (r + 1);
+            let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
+            let mut engine = build_engine(opts, opts.algorithm, &workload, seed);
+            let cap = CaptureObserver::default();
+            engine.set_observer(Box::new(cap.clone()));
+            engine.run();
+            cap.0.take()
+        })
+        .collect();
+    let events: u64 = captured.iter().map(|rep| rep.len() as u64).sum();
+
+    // Best-of-REPEATS wall time per observer; bytes come from the summed
+    // `stream_bytes_written` counters (identical across repeats).
+    let timed = |mode: &str| -> (f64, u64) {
+        let mut best = f64::INFINITY;
+        let mut bytes = 0u64;
+        for _ in 0..REPEATS {
+            let started = std::time::Instant::now();
+            let reports: Vec<SimReport> = (0..opts.replications as u64)
+                .into_par_iter()
+                .map(|r| {
+                    let seed = opts.seed ^ (r + 1);
+                    let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
+                    let mut engine = build_engine(opts, opts.algorithm, &workload, seed);
+                    match mode {
+                        "jsonl" => {
+                            engine.set_observer(Box::new(JsonlObserver::new(std::io::sink())))
+                        }
+                        "binary" => {
+                            engine.set_observer(Box::new(BinaryObserver::new(std::io::sink())))
+                        }
+                        _ => {}
+                    }
+                    engine.run()
+                })
+                .collect();
+            best = best.min(started.elapsed().as_secs_f64());
+            bytes = reports.iter().map(|r| r.stream_bytes_written).sum();
+        }
+        (best, bytes)
+    };
+
+    // Best-of-SER_REPEATS replay of the captured event sequence through a
+    // fresh serializer per replication: identical input for every format,
+    // and no simulation noise drowning a few milliseconds of encoding.
+    let serialize = |mode: &str| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..SER_REPEATS {
+            let started = std::time::Instant::now();
+            for rep in &captured {
+                let mut obs: Box<dyn dgrid::core::Observer> = match mode {
+                    "jsonl" => Box::new(JsonlObserver::new(std::io::sink())),
+                    "binary" => Box::new(BinaryObserver::new(std::io::sink())),
+                    _ => Box::new(CountingObserver::default()),
+                };
+                for &(at, event) in rep {
+                    obs.on_event(at, event);
+                }
+            }
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    println!(
+        "{:<10} {:>10} {:>11} {:>9} {:>12} {:>14} {:>12}",
+        "observer", "wall", "serialize", "ns/event", "events", "events/sec", "bytes"
+    );
+    let mut points: Vec<StreamPoint> = Vec::new();
+    for mode in ["null", "jsonl", "binary"] {
+        let (wall_secs, bytes) = timed(mode);
+        let serialize_secs = serialize(mode);
+        let serialize_ns_per_event = serialize_secs * 1e9 / (events as f64).max(1.0);
+        println!(
+            "{:<10} {:>9.3}s {:>10.4}s {:>9.1} {:>12} {:>14.0} {:>12}",
+            mode,
+            wall_secs,
+            serialize_secs,
+            serialize_ns_per_event,
+            events,
+            events as f64 / wall_secs.max(1e-9),
+            bytes,
+        );
+        points.push(StreamPoint {
+            observer: mode.to_string(),
+            wall_secs,
+            serialize_secs,
+            serialize_ns_per_event,
+            events,
+            events_per_sec: events as f64 / wall_secs.max(1e-9),
+            bytes,
+        });
+    }
+    let (jsonl_ser, jsonl_bytes) = (points[1].serialize_secs, points[1].bytes);
+    let (bin_ser, bin_bytes) = (points[2].serialize_secs, points[2].bytes);
+    let bytes_ratio = jsonl_bytes as f64 / bin_bytes.max(1) as f64;
+    let binary_cheaper_bytes = bin_bytes < jsonl_bytes;
+    let binary_cheaper_wall = bin_ser < jsonl_ser;
+    println!(
+        "binary vs jsonl: {bytes_ratio:.2}x smaller, {:.1}x faster serialization",
+        jsonl_ser / bin_ser.max(1e-12)
+    );
+
+    // Online-vs-post-hoc: replay the first replication through the
+    // streaming-analytics observer and require each post-hoc percentile to
+    // land inside the sketch's bucket, widened one log₂ bucket either way.
+    let seed = opts.seed ^ 1;
+    let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
+    let mut engine = build_engine(opts, opts.algorithm, &workload, seed);
+    let shared = SharedAnalytics(std::rc::Rc::new(std::cell::RefCell::new(
+        StreamAnalytics::new(SimDuration::from_secs_f64(opts.window_secs), 64),
+    )));
+    engine.set_observer(Box::new(shared.clone()));
+    let report = engine.run();
+    let analytics = shared.0.borrow();
+
+    let mut online_checks: Vec<OnlineCheck> = Vec::new();
+    let mut online_ok = true;
+    let pairs = [
+        ("wait", analytics.wait_sketch(), report.wait_stats.as_ref()),
+        (
+            "turnaround",
+            analytics.turnaround_sketch(),
+            report.turnaround_stats.as_ref(),
+        ),
+    ];
+    for (metric, sketch, stats) in pairs {
+        let Some(stats) = stats else { continue };
+        if stats.count == 0 {
+            continue;
+        }
+        for (q, post_secs) in [(0.50, stats.p50), (0.95, stats.p95), (0.99, stats.p99)] {
+            let Some((lo, hi)) = sketch.quantile_bounds(q) else {
+                continue;
+            };
+            let post_ns = (post_secs * 1e9).round() as u64;
+            let lo_ns = lo / 2;
+            let hi_ns = hi.saturating_mul(2);
+            let ok = post_ns >= lo_ns && post_ns <= hi_ns;
+            online_ok &= ok;
+            online_checks.push(OnlineCheck {
+                metric: metric.to_string(),
+                quantile: q,
+                post_hoc_ns: post_ns,
+                bucket_lo_ns: lo_ns,
+                bucket_hi_ns: hi_ns,
+                ok,
+            });
+        }
+    }
+    println!(
+        "online sketches vs post-hoc report: {}/{} percentiles within one log2 bucket",
+        online_checks.iter().filter(|c| c.ok).count(),
+        online_checks.len(),
+    );
+
+    if let Some(path) = &opts.json {
+        let record = StreamRecord {
+            algorithm: opts.algorithm.label().to_string(),
+            scenario: opts.scenario.label().to_string(),
+            nodes: opts.nodes,
+            jobs: opts.jobs,
+            replications: opts.replications,
+            seed: opts.seed,
+            threads: rayon::Pool::current_threads(),
+            jsonl_bytes,
+            binary_bytes: bin_bytes,
+            bytes_ratio,
+            binary_cheaper_bytes,
+            binary_cheaper_wall,
+            online_ok,
+            observers: points,
+            online_checks,
+        };
+        let f = std::fs::File::create(path).expect("create json output");
+        serde_json::to_writer_pretty(f, &record).expect("write json");
+        eprintln!("wrote bench stream to {path}");
+    }
+
+    if !binary_cheaper_bytes {
+        eprintln!("FAIL: binary stream wrote {bin_bytes} bytes, not strictly fewer than JSONL's {jsonl_bytes}");
+        std::process::exit(1);
+    }
+    if !binary_cheaper_wall {
+        eprintln!(
+            "FAIL: binary serialization took {:.2}ms, not strictly faster than JSONL's {:.2}ms",
+            bin_ser * 1e3,
+            jsonl_ser * 1e3,
+        );
+        std::process::exit(1);
+    }
+    if !online_ok {
+        eprintln!("FAIL: an online percentile sketch disagrees with the post-hoc report");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse();
     match opts.threads {
@@ -1286,8 +1980,20 @@ fn dispatch(opts: &Opts) {
         cmd_report(opts);
         return;
     }
+    if opts.command == "watch" {
+        cmd_watch(opts);
+        return;
+    }
+    if opts.command == "events-convert" {
+        cmd_events_convert(opts);
+        return;
+    }
     if opts.command == "check" {
         cmd_check(opts);
+        return;
+    }
+    if opts.command == "bench-stream" {
+        cmd_bench_stream(opts);
         return;
     }
     if opts.command == "bench-sweep" {

@@ -9,7 +9,9 @@ use std::cell::RefCell;
 use std::io::Write;
 use std::rc::Rc;
 
-use dgrid::core::{ChurnConfig, Engine, EngineConfig, FaultPlan, JsonlObserver};
+use dgrid::core::{
+    BinaryObserver, ChurnConfig, Engine, EngineConfig, FaultPlan, JsonlObserver, StreamFormat,
+};
 use dgrid::harness::{run_cell, Algorithm};
 use dgrid::workloads::{paper_scenario, PaperScenario};
 use rayon::prelude::*;
@@ -29,9 +31,9 @@ impl Write for SharedBuf {
     }
 }
 
-/// One traced replication under churn and message loss, returning its JSONL
-/// event stream.
-fn faulty_replication(alg: Algorithm, seed: u64) -> Vec<u8> {
+/// One traced replication under churn and message loss, returning its event
+/// stream in the requested format.
+fn faulty_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8> {
     let workload = paper_scenario(PaperScenario::MixedLight, 40, 120, seed);
     let cfg = EngineConfig {
         seed,
@@ -44,6 +46,10 @@ fn faulty_replication(alg: Algorithm, seed: u64) -> Vec<u8> {
         graceful_fraction: 0.25,
     };
     let buf = SharedBuf::default();
+    let observer: Box<dyn dgrid::core::Observer> = match format {
+        StreamFormat::Jsonl => Box::new(JsonlObserver::new(buf.clone())),
+        StreamFormat::Binary => Box::new(BinaryObserver::new(buf.clone())),
+    };
     Engine::new(
         cfg,
         churn,
@@ -52,7 +58,7 @@ fn faulty_replication(alg: Algorithm, seed: u64) -> Vec<u8> {
         workload.submissions,
     )
     .with_fault_plan(FaultPlan::with_loss(0.03))
-    .with_observer(Box::new(JsonlObserver::new(buf.clone())))
+    .with_observer(observer)
     .run();
     let bytes = buf.0.take();
     assert!(!bytes.is_empty(), "traced run must emit events");
@@ -62,10 +68,20 @@ fn faulty_replication(alg: Algorithm, seed: u64) -> Vec<u8> {
 /// Concatenated event streams of `reps` replications, fanned out over the
 /// pool at the given thread count.
 fn replicated_streams(alg: Algorithm, base_seed: u64, reps: u64, threads: usize) -> Vec<u8> {
+    replicated_streams_in(alg, base_seed, reps, threads, StreamFormat::Jsonl)
+}
+
+fn replicated_streams_in(
+    alg: Algorithm,
+    base_seed: u64,
+    reps: u64,
+    threads: usize,
+    format: StreamFormat,
+) -> Vec<u8> {
     Pool::install(threads, || {
         (0..reps)
             .into_par_iter()
-            .map(|r| faulty_replication(alg, base_seed ^ (r + 1)))
+            .map(|r| faulty_replication(alg, base_seed ^ (r + 1), format))
             .collect::<Vec<Vec<u8>>>()
             .concat()
     })
@@ -84,6 +100,38 @@ fn event_streams_byte_identical_across_thread_counts() {
                 alg.label()
             );
         }
+    }
+}
+
+#[test]
+fn binary_streams_byte_identical_across_thread_counts() {
+    // The binary encoder is stateful (intern tables, time deltas), which is
+    // exactly the kind of state a work-stealing pool would scramble if it
+    // were shared; each replication owns its encoder, so concatenated
+    // binary streams must be bit-exact at any thread count — and each
+    // replication restarts at the magic header, which the decoder must
+    // accept mid-stream.
+    for alg in [Algorithm::RnTree, Algorithm::Central] {
+        let baseline = replicated_streams_in(alg, 1301, 6, 1, StreamFormat::Binary);
+        for threads in [2, 8] {
+            let stream = replicated_streams_in(alg, 1301, 6, threads, StreamFormat::Binary);
+            assert_eq!(
+                stream,
+                baseline,
+                "{}: {threads}-thread binary stream diverged from sequential",
+                alg.label()
+            );
+        }
+        // The concatenated multi-header stream decodes cleanly end to end,
+        // and carries the same records as the JSONL twin of the same run.
+        let records = dgrid::core::decode_stream(&baseline).expect("concatenated stream decodes");
+        let jsonl = replicated_streams_in(alg, 1301, 6, 1, StreamFormat::Jsonl);
+        let jsonl_records: Vec<_> = std::str::from_utf8(&jsonl)
+            .expect("jsonl is utf-8")
+            .lines()
+            .filter_map(|l| dgrid::core::parse_jsonl_line(l).expect("golden line parses"))
+            .collect();
+        assert_eq!(records, jsonl_records, "{}: formats disagree", alg.label());
     }
 }
 

@@ -129,6 +129,49 @@ fn infinite_ttl_reproduces_reassign_on_death_streams_byte_identically() {
     }
 }
 
+/// The binary format must be a *lossless* re-encoding of the JSONL stream:
+/// JSONL → binary → JSONL reproduces every pinned golden stream
+/// byte-for-byte, for every matchmaker variant. The binary intermediate
+/// must also be strictly smaller, and re-encoding the decoded records must
+/// reproduce the identical binary bytes (encode ∘ decode is the identity
+/// on canonical streams).
+#[test]
+fn golden_streams_round_trip_through_binary_byte_identically() {
+    use dgrid::core::{binary_to_jsonl, decode_stream, encode_events, jsonl_to_binary};
+    for &(alg, hash, len) in PINNED {
+        let jsonl = stream(alg, SEED);
+        assert_eq!(
+            (fnv1a(&jsonl), jsonl.len()),
+            (hash, len),
+            "{}: precondition",
+            alg.label()
+        );
+        let text = std::str::from_utf8(&jsonl).expect("jsonl is utf-8");
+        let bin = jsonl_to_binary(text).expect("golden stream encodes");
+        assert!(
+            bin.len() < jsonl.len(),
+            "{}: binary ({} bytes) must be strictly smaller than JSONL ({} bytes)",
+            alg.label(),
+            bin.len(),
+            jsonl.len()
+        );
+        let back = binary_to_jsonl(&bin).expect("binary stream decodes");
+        assert_eq!(
+            back.as_bytes(),
+            &jsonl[..],
+            "{}: JSONL -> binary -> JSONL must be byte-identical",
+            alg.label()
+        );
+        let records = decode_stream(&bin).expect("binary stream decodes to records");
+        assert_eq!(
+            encode_events(&records),
+            bin,
+            "{}: decode -> encode must reproduce the binary bytes",
+            alg.label()
+        );
+    }
+}
+
 /// Harvest helper for deliberate re-pins: `cargo test -q --test
 /// stream_golden_e2e -- --ignored --nocapture print_stream_hashes`.
 #[test]

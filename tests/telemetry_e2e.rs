@@ -7,7 +7,7 @@ use std::io::Write;
 use std::rc::Rc;
 
 use dgrid::core::{
-    parse_event_line, ChurnConfig, Engine, EngineConfig, FaultPlan, JobSpan, JsonlObserver, Phase,
+    parse_jsonl_line, ChurnConfig, Engine, EngineConfig, FaultPlan, JobSpan, JsonlObserver, Phase,
     SimReport, SpanAssembler, SpanOutcome,
 };
 use dgrid::harness::Algorithm;
@@ -72,7 +72,7 @@ fn spans_of(bytes: &[u8]) -> Vec<JobSpan> {
     let text = std::str::from_utf8(bytes).expect("stream is utf-8");
     let mut assembler = SpanAssembler::new();
     for line in text.lines() {
-        let rec = parse_event_line(line)
+        let rec = parse_jsonl_line(line)
             .expect("well-formed event line")
             .expect("no blank lines in stream");
         assembler.observe(SimTime::ZERO + SimDuration::from_nanos(rec.t_ns), rec.event);

@@ -188,9 +188,16 @@ pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T> {
 
 // --- parsing ---------------------------------------------------------------
 
+/// Deepest container nesting the recursive-descent parser accepts. The
+/// parser recurses once per `[`/`{`, so without a ceiling a short hostile
+/// input like `"[[[[…"` overflows the stack; no legitimate dgrid document
+/// nests more than a handful of levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -198,11 +205,25 @@ impl<'a> Parser<'a> {
         Parser {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
     fn err(&self, msg: &str) -> Error {
         Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    /// Count one level of container nesting; errors (instead of blowing the
+    /// stack) past [`MAX_DEPTH`]. The matching decrement happens at each
+    /// container's closing bracket — error paths abandon the whole parse,
+    /// so they never need to unwind the counter.
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err("nesting deeper than 128 levels"))
+        } else {
+            Ok(())
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -264,10 +285,12 @@ impl<'a> Parser<'a> {
             Some(b'"') => self.parse_string().map(Value::String),
             Some(b'[') => {
                 self.pos += 1;
+                self.enter()?;
                 let mut items = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 loop {
@@ -279,6 +302,7 @@ impl<'a> Parser<'a> {
                         }
                         Some(b']') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Value::Array(items));
                         }
                         _ => return Err(self.err("expected , or ] in array")),
@@ -287,10 +311,12 @@ impl<'a> Parser<'a> {
             }
             Some(b'{') => {
                 self.pos += 1;
+                self.enter()?;
                 let mut map = Map::new();
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(map));
                 }
                 loop {
@@ -307,6 +333,7 @@ impl<'a> Parser<'a> {
                         }
                         Some(b'}') => {
                             self.pos += 1;
+                            self.depth -= 1;
                             return Ok(Value::Object(map));
                         }
                         _ => return Err(self.err("expected , or } in object")),
@@ -456,5 +483,20 @@ mod tests {
         assert!(from_str::<Value>("[1,]").is_err());
         assert!(from_str::<u32>("\"nope\"").is_err());
         assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        // One recursion level per bracket: without the depth ceiling this
+        // ~100 KiB input blows the stack instead of returning an error.
+        let deep = "[".repeat(100_000);
+        assert!(from_str::<Value>(&deep).is_err());
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(from_str::<Value>(&deep_obj).is_err());
+        // Depth at the ceiling still parses.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(from_str::<Value>(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        assert!(from_str::<Value>(&too_deep).is_err());
     }
 }
