@@ -1,6 +1,7 @@
 //! Ring membership, per-peer routing state, and churn.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -26,18 +27,37 @@ impl Default for ChordConfig {
     }
 }
 
+/// One lazily-materialized component of a peer's routing state.
+///
+/// `Canon` means the component was last refreshed by a full
+/// [`ChordRing::stabilize`] and is therefore a pure function of the sorted
+/// alive-key snapshot taken then — so it is *computed on demand* by binary
+/// search instead of being stored. A million-peer ring holds one shared
+/// 8-byte-per-peer snapshot instead of ~72 materialized ids per peer, and
+/// stabilization itself becomes O(N) flag resets. `Mat` holds state
+/// materialized by an individual refresh since the last stabilize (join
+/// notifications, graceful-leave repairs).
+#[derive(Clone, Debug)]
+pub(crate) enum Lazy<T> {
+    Canon,
+    Mat(T),
+}
+
 /// Per-peer routing state, as the peer itself believes it to be.
 ///
 /// Entries go stale under churn until the next [`ChordRing::stabilize`],
 /// which is exactly the window in which routing pays timeout penalties.
+/// A `Canon` component stays pinned to the snapshot of the last stabilize
+/// even as membership changes afterwards — byte-identical staleness to the
+/// materialized vectors it replaces.
 #[derive(Clone, Debug)]
 pub(crate) struct PeerState {
     pub(crate) alive: bool,
-    pub(crate) predecessor: Option<ChordId>,
+    pub(crate) predecessor: Lazy<Option<ChordId>>,
     /// First `r` alive successors at last refresh, clockwise.
-    pub(crate) successors: Vec<ChordId>,
+    pub(crate) successors: Lazy<Vec<ChordId>>,
     /// `fingers[k] = successor(self + 2^k)` at last refresh.
-    pub(crate) fingers: Vec<ChordId>,
+    pub(crate) fingers: Lazy<Vec<ChordId>>,
 }
 
 /// Read-only snapshot of one peer's position on the ring.
@@ -57,7 +77,24 @@ pub struct ChordRing {
     cfg: ChordConfig,
     peers: BTreeMap<u64, PeerState>,
     alive_count: usize,
+    /// Sorted alive keys at the last [`ChordRing::stabilize`]: the snapshot
+    /// every `Canon` component is computed from.
+    canon: Vec<u64>,
+    /// Memoized canonical finger tables. A peer's canonical fingers are a
+    /// pure function of (`canon`, peer id), so entries stay valid until the
+    /// next [`ChordRing::stabilize`] rebuilds `canon` — the only place this
+    /// is cleared. Mutations between stabilizes flip the affected peer to
+    /// [`Lazy::Mat`], which bypasses the cache. Bounded by
+    /// [`FINGER_CACHE_CAP`] so a million-peer route burst cannot
+    /// re-materialize the whole ring.
+    finger_cache: RefCell<HashMap<u64, Vec<ChordId>>>,
 }
+
+/// Peers whose canonical finger tables may be memoized at once. Routing is
+/// heavily biased toward hub peers (each hop lands just behind the key),
+/// so a small cache absorbs most of the O(`ID_BITS` · log N) finger
+/// recomputation during lookup storms like an RN-tree index rebuild.
+const FINGER_CACHE_CAP: usize = 8192;
 
 impl Default for ChordRing {
     fn default() -> Self {
@@ -76,6 +113,8 @@ impl ChordRing {
             cfg,
             peers: BTreeMap::new(),
             alive_count: 0,
+            canon: Vec::new(),
+            finger_cache: RefCell::new(HashMap::new()),
         }
     }
 
@@ -186,18 +225,7 @@ impl ChordRing {
     /// # Panics
     /// If a live peer with this id already exists.
     pub fn join(&mut self, id: ChordId) {
-        let existing_alive = self.peers.get(&id.0).is_some_and(|p| p.alive);
-        assert!(!existing_alive, "duplicate join of live peer {id}");
-        self.peers.insert(
-            id.0,
-            PeerState {
-                alive: true,
-                predecessor: None,
-                successors: Vec::new(),
-                fingers: Vec::new(),
-            },
-        );
-        self.alive_count += 1;
+        self.admit(id);
         self.refresh_peer(id);
         // Notify immediate neighbours.
         let pred = self.predecessor_of(id);
@@ -210,10 +238,38 @@ impl ChordRing {
         if let Some(s) = succ {
             if s != id {
                 if let Some(state) = self.peers.get_mut(&s.0) {
-                    state.predecessor = Some(id);
+                    state.predecessor = Lazy::Mat(Some(id));
                 }
             }
         }
+    }
+
+    /// Membership-only join used during bulk construction: the peer is
+    /// admitted but nobody's routing state is built or repaired. Until the
+    /// next [`ChordRing::stabilize`] the peer's own views resolve against
+    /// current ground truth on demand, so a stabilize must follow before
+    /// any churn for the ring to behave as if every peer had joined
+    /// individually.
+    ///
+    /// # Panics
+    /// If a live peer with this id already exists.
+    pub fn join_deferred(&mut self, id: ChordId) {
+        self.admit(id);
+    }
+
+    fn admit(&mut self, id: ChordId) {
+        let existing_alive = self.peers.get(&id.0).is_some_and(|p| p.alive);
+        assert!(!existing_alive, "duplicate join of live peer {id}");
+        self.peers.insert(
+            id.0,
+            PeerState {
+                alive: true,
+                predecessor: Lazy::Canon,
+                successors: Lazy::Canon,
+                fingers: Lazy::Canon,
+            },
+        );
+        self.alive_count += 1;
     }
 
     /// Graceful departure: the peer tells its neighbours before leaving, so
@@ -231,7 +287,7 @@ impl ChordRing {
         }
         if let (Some(p), Some(s)) = (pred, succ) {
             if let Some(state) = self.peers.get_mut(&s.0) {
-                state.predecessor = Some(p);
+                state.predecessor = Lazy::Mat(Some(p));
             }
         }
     }
@@ -274,9 +330,9 @@ impl ChordRing {
             })
             .collect();
         let state = self.peers.get_mut(&id.0).expect("peer exists");
-        state.successors = successors;
-        state.predecessor = predecessor;
-        state.fingers = fingers;
+        state.successors = Lazy::Mat(successors);
+        state.predecessor = Lazy::Mat(predecessor);
+        state.fingers = Lazy::Mat(fingers);
     }
 
     fn refresh_successors_of(&mut self, id: ChordId) {
@@ -285,27 +341,127 @@ impl ChordRing {
         }
         let successors = self.true_successor_list(id, self.cfg.successor_list_len);
         let state = self.peers.get_mut(&id.0).expect("peer exists");
-        state.successors = successors;
+        state.successors = Lazy::Mat(successors);
     }
 
     /// Run a full stabilization round: every live peer refreshes its state,
     /// and records of dead peers are garbage-collected (no stale pointers
     /// can remain afterwards).
+    ///
+    /// Post-stabilize every peer's state is a pure function of the sorted
+    /// alive-key snapshot, so instead of materializing ~`ID_BITS + r` ids
+    /// per peer this takes the snapshot once and flips every peer to
+    /// [`Lazy::Canon`] — O(N) total, with views computed on demand.
     pub fn stabilize(&mut self) {
-        let ids = self.alive_ids();
-        for id in &ids {
-            self.refresh_peer(*id);
-        }
         self.peers.retain(|_, p| p.alive);
+        self.canon = self.peers.keys().copied().collect();
+        self.finger_cache.borrow_mut().clear();
+        for p in self.peers.values_mut() {
+            p.predecessor = Lazy::Canon;
+            p.successors = Lazy::Canon;
+            p.fingers = Lazy::Canon;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy state resolution
+    // ------------------------------------------------------------------
+
+    /// Position of `id` in the canonical snapshot, if it was alive at the
+    /// last stabilize.
+    fn canon_pos(&self, id: ChordId) -> Option<usize> {
+        self.canon.binary_search(&id.0).ok()
+    }
+
+    /// First snapshot key at or clockwise after `key` — `successor_of`
+    /// evaluated against the membership of the last stabilize.
+    fn canon_successor(&self, key: u64) -> ChordId {
+        debug_assert!(!self.canon.is_empty());
+        let i = self.canon.partition_point(|&x| x < key);
+        ChordId(self.canon[if i == self.canon.len() { 0 } else { i }])
+    }
+
+    /// The peer's believed predecessor (possibly stale).
+    pub(crate) fn peer_predecessor(&self, id: ChordId) -> Option<ChordId> {
+        match &self.peers.get(&id.0).expect("known peer").predecessor {
+            Lazy::Mat(p) => *p,
+            Lazy::Canon => match self.canon_pos(id) {
+                Some(pos) => {
+                    let n = self.canon.len();
+                    Some(ChordId(self.canon[(pos + n - 1) % n]))
+                }
+                // Deferred join not yet stabilized: resolve from ground
+                // truth, as an eager join would have.
+                None => self.predecessor_of(id),
+            },
+        }
+    }
+
+    /// The peer's believed successor list (possibly stale), into `out`.
+    pub(crate) fn peer_successors_into(&self, id: ChordId, out: &mut Vec<ChordId>) {
+        out.clear();
+        match &self.peers.get(&id.0).expect("known peer").successors {
+            Lazy::Mat(v) => out.extend_from_slice(v),
+            Lazy::Canon => match self.canon_pos(id) {
+                Some(pos) => {
+                    let n = self.canon.len();
+                    for j in 1..=self.cfg.successor_list_len.min(n) {
+                        let s = ChordId(self.canon[(pos + j) % n]);
+                        out.push(s);
+                        if s == id {
+                            break; // wrapped all the way around
+                        }
+                    }
+                }
+                None => out.extend(self.true_successor_list(id, self.cfg.successor_list_len)),
+            },
+        }
+    }
+
+    /// The peer's believed finger table (possibly stale), into `out`.
+    pub(crate) fn peer_fingers_into(&self, id: ChordId, out: &mut Vec<ChordId>) {
+        out.clear();
+        match &self.peers.get(&id.0).expect("known peer").fingers {
+            Lazy::Mat(v) => out.extend_from_slice(v),
+            Lazy::Canon => {
+                if self.canon_pos(id).is_some() {
+                    if let Some(cached) = self.finger_cache.borrow().get(&id.0) {
+                        out.extend_from_slice(cached);
+                        return;
+                    }
+                    out.extend((0..ID_BITS).map(|k| self.canon_successor(id.finger_start(k).0)));
+                    let mut cache = self.finger_cache.borrow_mut();
+                    if cache.len() < FINGER_CACHE_CAP {
+                        cache.insert(id.0, out.clone());
+                    }
+                } else {
+                    out.extend((0..ID_BITS).map(|k| {
+                        self.successor_of(id.finger_start(k))
+                            .expect("ring is non-empty")
+                    }));
+                }
+            }
+        }
     }
 
     /// Snapshot one live peer's ring position.
     pub fn peer_view(&self, id: ChordId) -> Option<PeerView> {
         let state = self.peers.get(&id.0).filter(|p| p.alive)?;
+        let successor = match &state.successors {
+            Lazy::Mat(v) => v.first().copied().unwrap_or(id),
+            Lazy::Canon => match self.canon_pos(id) {
+                Some(pos) => ChordId(self.canon[(pos + 1) % self.canon.len()]),
+                None => self
+                    .true_successor_list(id, 1)
+                    .first()
+                    .copied()
+                    .unwrap_or(id),
+            },
+        };
         Some(PeerView {
             id,
-            successor: state.successors.first().copied().unwrap_or(id),
-            predecessor: state.predecessor.unwrap_or(id),
+            successor,
+            predecessor: self.peer_predecessor(id).unwrap_or(id),
         })
     }
 
@@ -479,14 +635,89 @@ mod tests {
     fn successor_lists_have_configured_length() {
         let mut r = ring_with(&(0..20u64).map(|i| i * 100).collect::<Vec<_>>());
         r.stabilize();
+        let mut succ = Vec::new();
         for id in r.alive_ids() {
-            let st = r.state(id).unwrap();
-            assert_eq!(st.successors.len(), r.config().successor_list_len);
+            r.peer_successors_into(id, &mut succ);
+            assert_eq!(succ.len(), r.config().successor_list_len);
             // Entries are the k nearest live successors in clockwise order.
             let mut prev = id;
-            for &s in &st.successors {
+            for &s in &succ {
                 assert_eq!(r.successor_of(ChordId(prev.0.wrapping_add(1))), Some(s));
                 prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_views_match_materialized_refresh() {
+        // After stabilize every component is Canon; an explicit refresh_peer
+        // re-materializes the same peer from the same membership. The two
+        // representations must resolve identically.
+        let ids: Vec<u64> = (0..33u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut r = ring_with(&ids);
+        r.stabilize();
+        let (mut canon_s, mut mat_s) = (Vec::new(), Vec::new());
+        let (mut canon_f, mut mat_f) = (Vec::new(), Vec::new());
+        for id in r.alive_ids() {
+            r.peer_successors_into(id, &mut canon_s);
+            r.peer_fingers_into(id, &mut canon_f);
+            let canon_p = r.peer_predecessor(id);
+            let canon_v = r.peer_view(id);
+            r.refresh_peer(id); // flips this peer to Mat
+            r.peer_successors_into(id, &mut mat_s);
+            r.peer_fingers_into(id, &mut mat_f);
+            assert_eq!(canon_s, mat_s, "successors of {id}");
+            assert_eq!(canon_f, mat_f, "fingers of {id}");
+            assert_eq!(canon_p, r.peer_predecessor(id), "predecessor of {id}");
+            assert_eq!(canon_v, r.peer_view(id), "view of {id}");
+        }
+    }
+
+    #[test]
+    fn canonical_views_stay_pinned_to_the_snapshot_under_churn() {
+        let mut r = ring_with(&[10, 20, 30, 40]);
+        r.stabilize();
+        // Abrupt failure after stabilize: canonical views must still
+        // reference the dead peer (stale, exactly like materialized state).
+        r.fail(ChordId(20));
+        let v10 = r.peer_view(ChordId(10)).unwrap();
+        assert_eq!(v10.successor, ChordId(20), "stale canonical successor");
+        let mut succ = Vec::new();
+        r.peer_successors_into(ChordId(10), &mut succ);
+        assert_eq!(succ.first(), Some(&ChordId(20)));
+        r.stabilize();
+        let v10 = r.peer_view(ChordId(10)).unwrap();
+        assert_eq!(v10.successor, ChordId(30), "repaired by stabilization");
+    }
+
+    #[test]
+    fn deferred_bulk_join_matches_eager_joins_after_stabilize() {
+        let ids: Vec<u64> = (1..=40u64)
+            .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .collect();
+        let mut eager = ChordRing::default();
+        for &i in &ids {
+            eager.join(ChordId(i));
+        }
+        eager.stabilize();
+        let mut lazy = ChordRing::default();
+        for &i in &ids {
+            lazy.join_deferred(ChordId(i));
+        }
+        lazy.stabilize();
+        assert_eq!(eager.alive_ids(), lazy.alive_ids());
+        for id in eager.alive_ids() {
+            assert_eq!(eager.peer_view(id), lazy.peer_view(id), "view of {id}");
+        }
+        for probe in ids.iter().map(|&i| ChordId(i ^ 0x5555)) {
+            for &from in ids.iter().take(7) {
+                assert_eq!(
+                    eager.lookup(ChordId(from), probe),
+                    lazy.lookup(ChordId(from), probe),
+                    "lookup({from:x}, {probe}) diverged"
+                );
             }
         }
     }
@@ -532,10 +763,11 @@ mod finger_tests {
             }
         }
         ring.stabilize();
+        let mut fingers = Vec::new();
         for id in ring.alive_ids() {
-            let st = ring.state(id).unwrap();
-            assert_eq!(st.fingers.len(), crate::id::ID_BITS as usize);
-            for (k, &f) in st.fingers.iter().enumerate() {
+            ring.peer_fingers_into(id, &mut fingers);
+            assert_eq!(fingers.len(), crate::id::ID_BITS as usize);
+            for (k, &f) in fingers.iter().enumerate() {
                 let start = id.finger_start(k as u32);
                 assert_eq!(
                     Some(f),
@@ -562,10 +794,11 @@ mod finger_tests {
         }
         ring.stabilize();
         let mut total_span = 0u128;
+        let mut fingers = Vec::new();
         let ids = ring.alive_ids();
         for &id in &ids {
-            let st = ring.state(id).unwrap();
-            let top = st.fingers[crate::id::ID_BITS as usize - 1];
+            ring.peer_fingers_into(id, &mut fingers);
+            let top = fingers[crate::id::ID_BITS as usize - 1];
             total_span += u128::from(id.distance_to(top));
         }
         let mean_span = total_span / ids.len() as u128;

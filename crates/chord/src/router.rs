@@ -52,10 +52,20 @@ impl KeyRouter for ChordRing {
         })
     }
 
+    fn bulk_join(&mut self, keys: &[u64]) {
+        for &k in keys {
+            self.join_deferred(ChordId(k));
+        }
+    }
+
     fn failover_peers(&self, from: u64) -> Vec<u64> {
-        self.state(ChordId(from))
-            .map(|s| s.successors.iter().map(|id| id.0).collect())
-            .unwrap_or_default()
+        let id = ChordId(from);
+        if self.state(id).is_none() {
+            return Vec::new();
+        }
+        let mut succ = Vec::new();
+        self.peer_successors_into(id, &mut succ);
+        succ.into_iter().map(|id| id.0).collect()
     }
 
     fn walk_step(&self, at: u64) -> Option<u64> {

@@ -32,6 +32,10 @@ impl ChordRing {
         let mut cur = from;
         let mut hops = 0u32;
         let mut timeouts = 0u32;
+        // Reused across hops; refilled from the current peer's (lazily
+        // resolved, possibly stale) local state.
+        let mut successors: Vec<ChordId> = Vec::new();
+        let mut fingers: Vec<ChordId> = Vec::new();
 
         loop {
             if hops > self.config().max_route_hops {
@@ -47,13 +51,12 @@ impl ChordRing {
                 });
             }
 
-            let state = self.state(cur).expect("routing through known peer");
-            debug_assert!(state.alive);
+            debug_assert!(self.is_alive(cur), "routing through dead peer");
 
             // Ownership check: a node owns (predecessor, self]. A stale
             // predecessor that has *died* only widens this interval towards
             // the true one, so the check stays safe under failures.
-            if let Some(pred) = state.predecessor {
+            if let Some(pred) = self.peer_predecessor(cur) {
                 if key.in_open_closed(pred, cur) {
                     return Some(Lookup {
                         owner: cur,
@@ -65,8 +68,9 @@ impl ChordRing {
 
             // First alive entry in the successor list, charging a timeout
             // for each dead entry we must probe first.
+            self.peer_successors_into(cur, &mut successors);
             let mut succ = None;
-            for &s in &state.successors {
+            for &s in &successors {
                 if self.is_alive(s) {
                     succ = Some(s);
                     break;
@@ -95,18 +99,44 @@ impl ChordRing {
             // Closest preceding alive node: candidates strictly inside
             // (cur, key), tried from closest-to-key backwards, charging a
             // timeout per dead candidate probed.
-            let mut candidates: Vec<ChordId> = state
-                .fingers
-                .iter()
-                .chain(state.successors.iter())
-                .copied()
-                .filter(|f| f.in_open_open(cur, key))
-                .collect();
-            candidates.sort_unstable_by_key(|f| std::cmp::Reverse(cur.distance_to(*f)));
-            candidates.dedup();
-
+            //
+            // Both lists are already ascending in clockwise distance from
+            // `cur` — finger `k` targets the first peer at distance ≥ 2^k,
+            // the successor list walks the ring in order — except for a
+            // possible trailing run of `cur` itself (top fingers of a
+            // sparse ring, a fully-wrapped successor list), which the open
+            // interval rejects anyway. The closest-first scan is therefore
+            // a descending two-way merge: the same candidate order the
+            // filter + sort + dedup spelling yields, without a per-hop
+            // allocation and sort.
+            self.peer_fingers_into(cur, &mut fingers);
+            let mut fi = fingers.len();
+            while fi > 0 && fingers[fi - 1] == cur {
+                fi -= 1;
+            }
+            let mut si = successors.len();
+            while si > 0 && successors[si - 1] == cur {
+                si -= 1;
+            }
             let mut next = None;
-            for cand in candidates {
+            let mut last = cur; // sentinel: `cur` never passes the filter
+            while fi > 0 || si > 0 {
+                let take_finger = match (fi, si) {
+                    (0, _) => false,
+                    (_, 0) => true,
+                    _ => cur.distance_to(fingers[fi - 1]) >= cur.distance_to(successors[si - 1]),
+                };
+                let cand = if take_finger {
+                    fi -= 1;
+                    fingers[fi]
+                } else {
+                    si -= 1;
+                    successors[si]
+                };
+                if cand == last || !cand.in_open_open(cur, key) {
+                    continue;
+                }
+                last = cand;
                 if self.is_alive(cand) {
                     next = Some(cand);
                     break;
@@ -145,10 +175,10 @@ impl ChordRing {
         key: ChordId,
         retries: u32,
     ) -> Option<(Lookup, u32)> {
-        let successors: Vec<ChordId> = self
-            .state(from)
-            .map(|s| s.successors.clone())
-            .unwrap_or_default();
+        let mut successors: Vec<ChordId> = Vec::new();
+        if self.state(from).is_some() {
+            self.peer_successors_into(from, &mut successors);
+        }
         let mut detours = successors
             .into_iter()
             .filter(|&s| s != from && self.is_alive(s));

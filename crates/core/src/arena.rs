@@ -1,0 +1,285 @@
+//! Generational index arenas for the simulation kernel's hot state.
+//!
+//! A million-node replication cannot afford hash lookups and pointer-chased
+//! maps on its per-event paths, so node and job records live in dense,
+//! index-addressed arenas. An [`ArenaIdx`] is a `(slot, generation)` pair:
+//! slots are recycled through a free-list when a record is removed, and the
+//! slot's generation is bumped on every removal, so a stale index from a
+//! previous occupant can never silently alias the new one — `get` returns
+//! `None` instead. That is the same staleness discipline job epochs give
+//! the recovery protocol, applied to memory.
+//!
+//! Iteration visits occupied slots in ascending slot order, which is a
+//! deterministic function of the insertion/removal history — never of hash
+//! state — so arena walks are safe on byte-identity-sensitive paths.
+
+use std::marker::PhantomData;
+
+/// A generational handle into an [`Arena`].
+///
+/// `I` is a zero-sized tag type so node and job indices are distinct types
+/// (`NodeIdx` vs `JobIdx`) and cannot be swapped by accident.
+pub struct ArenaIdx<I> {
+    slot: u32,
+    generation: u32,
+    _tag: PhantomData<I>,
+}
+
+// Manual impls: `derive` would bound them on `I`, which is only a tag.
+impl<I> Clone for ArenaIdx<I> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<I> Copy for ArenaIdx<I> {}
+impl<I> PartialEq for ArenaIdx<I> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.slot, self.generation) == (other.slot, other.generation)
+    }
+}
+impl<I> Eq for ArenaIdx<I> {}
+impl<I> std::hash::Hash for ArenaIdx<I> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.slot, self.generation).hash(state);
+    }
+}
+impl<I> std::fmt::Debug for ArenaIdx<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "idx{}g{}", self.slot, self.generation)
+    }
+}
+
+impl<I> ArenaIdx<I> {
+    /// The dense slot number (stable for the lifetime of the occupant).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// The slot's generation when this handle was issued.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+/// Tag type for node indices.
+pub enum NodeTag {}
+/// Tag type for job indices.
+pub enum JobTag {}
+
+/// Generational index of a node record.
+pub type NodeIdx = ArenaIdx<NodeTag>;
+/// Generational index of a job record.
+pub type JobIdx = ArenaIdx<JobTag>;
+
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A dense generational arena: O(1) insert/remove/get, free-list slot
+/// reuse, and deterministic ascending-slot iteration.
+pub struct Arena<T, I = ()> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+    _tag: PhantomData<I>,
+}
+
+impl<T, I> Default for Arena<T, I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, I> Arena<T, I> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            _tag: PhantomData,
+        }
+    }
+
+    /// An empty arena with room for `cap` records before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+            _tag: PhantomData,
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots ever allocated (live + free).
+    pub fn capacity_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert `value`, reusing the most recently freed slot if one exists.
+    pub fn insert(&mut self, value: T) -> ArenaIdx<I> {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.value.is_none(), "free-list handed out a live slot");
+            s.value = Some(value);
+            return ArenaIdx {
+                slot,
+                generation: s.generation,
+                _tag: PhantomData,
+            };
+        }
+        let slot = u32::try_from(self.slots.len()).expect("arena capped at 2^32 slots");
+        self.slots.push(Slot {
+            generation: 0,
+            value: Some(value),
+        });
+        ArenaIdx {
+            slot,
+            generation: 0,
+            _tag: PhantomData,
+        }
+    }
+
+    /// Remove the record at `idx`, bumping the slot's generation and
+    /// returning the value. A stale (already removed) index returns `None`
+    /// and changes nothing.
+    pub fn remove(&mut self, idx: ArenaIdx<I>) -> Option<T> {
+        let s = self.slots.get_mut(idx.slot as usize)?;
+        if s.generation != idx.generation {
+            return None;
+        }
+        let value = s.value.take()?;
+        // The bump is what invalidates every outstanding handle to the old
+        // occupant; wrap-around after 2^32 churns of one slot is accepted.
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(idx.slot);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// True iff `idx` refers to a live record of the same generation.
+    pub fn contains(&self, idx: ArenaIdx<I>) -> bool {
+        self.get(idx).is_some()
+    }
+
+    /// Shared access; `None` if the index is stale or the slot is free.
+    pub fn get(&self, idx: ArenaIdx<I>) -> Option<&T> {
+        let s = self.slots.get(idx.slot as usize)?;
+        if s.generation != idx.generation {
+            return None;
+        }
+        s.value.as_ref()
+    }
+
+    /// Mutable access; `None` if the index is stale or the slot is free.
+    pub fn get_mut(&mut self, idx: ArenaIdx<I>) -> Option<&mut T> {
+        let s = self.slots.get_mut(idx.slot as usize)?;
+        if s.generation != idx.generation {
+            return None;
+        }
+        s.value.as_mut()
+    }
+
+    /// Shared access by raw slot number, ignoring generations — for dense
+    /// side tables that shadow the arena. `None` on free slots.
+    pub fn get_slot(&self, slot: u32) -> Option<&T> {
+        self.slots.get(slot as usize)?.value.as_ref()
+    }
+
+    /// Mutable access by raw slot number, ignoring generations.
+    pub fn get_slot_mut(&mut self, slot: u32) -> Option<&mut T> {
+        self.slots.get_mut(slot as usize)?.value.as_mut()
+    }
+
+    /// Live records in ascending slot order — deterministic, independent of
+    /// any hash state.
+    pub fn iter(&self) -> impl Iterator<Item = (ArenaIdx<I>, &T)> {
+        self.slots.iter().enumerate().filter_map(|(slot, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    ArenaIdx {
+                        slot: slot as u32,
+                        generation: s.generation,
+                        _tag: PhantomData,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Mutable variant of [`Arena::iter`], same deterministic order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ArenaIdx<I>, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(slot, s)| {
+            let generation = s.generation;
+            s.value.as_mut().map(move |v| {
+                (
+                    ArenaIdx {
+                        slot: slot as u32,
+                        generation,
+                        _tag: PhantomData,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type TestArena = Arena<&'static str, NodeTag>;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut a = TestArena::new();
+        let i = a.insert("a");
+        let j = a.insert("b");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(i), Some(&"a"));
+        assert_eq!(a.get(j), Some(&"b"));
+        assert_eq!(a.remove(i), Some("a"));
+        assert_eq!(a.get(i), None);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn stale_index_is_rejected_after_slot_reuse() {
+        let mut a = TestArena::new();
+        let i = a.insert("old");
+        assert_eq!(a.remove(i), Some("old"));
+        let k = a.insert("new");
+        // Same slot, new generation: the stale handle must not alias.
+        assert_eq!(k.slot(), i.slot());
+        assert_ne!(k.generation(), i.generation());
+        assert_eq!(a.get(i), None);
+        assert_eq!(a.remove(i), None);
+        assert_eq!(a.get(k), Some(&"new"));
+    }
+
+    #[test]
+    fn iteration_is_ascending_slot_order() {
+        let mut a = TestArena::new();
+        let i0 = a.insert("x");
+        let _i1 = a.insert("y");
+        let _i2 = a.insert("z");
+        a.remove(i0);
+        a.insert("w"); // reuses slot 0
+        let order: Vec<_> = a.iter().map(|(idx, v)| (idx.slot(), *v)).collect();
+        assert_eq!(order, vec![(0, "w"), (1, "y"), (2, "z")]);
+    }
+}

@@ -35,7 +35,7 @@ use rand::Rng;
 
 use crate::config::{ChurnConfig, EngineConfig};
 use crate::dag::JobDag;
-use crate::job::{FailureReason, JobRecord, JobState, OwnerRef};
+use crate::job::{FailureReason, JobRecord, JobState, JobTable, OwnerRef};
 use crate::matchmaker::Matchmaker;
 use crate::metrics::SimReport;
 use crate::node::{GridNodeId, NodeTable, QueuedJob};
@@ -184,7 +184,7 @@ pub struct Engine {
     cfg: EngineConfig,
     churn: ChurnConfig,
     nodes: NodeTable,
-    jobs: HashMap<JobId, JobRecord>,
+    jobs: JobTable,
     mm: Box<dyn Matchmaker>,
     queue: EventQueue<Event>,
     rng_engine: SimRng,
@@ -199,8 +199,6 @@ pub struct Engine {
     owner_jobs: HashMap<GridNodeId, BTreeSet<JobId>>,
     dag: JobDag,
     dag_children: HashMap<JobId, Vec<JobId>>,
-    unmet_deps: HashMap<JobId, usize>,
-    held_arrivals: HashMap<JobId, SimTime>,
     observer: Box<dyn Observer>,
     outstanding: usize,
     registry: Option<SharedRegistry>,
@@ -284,36 +282,29 @@ impl Engine {
         let mut rng_fail = rng::rng_for(cfg.seed, rng::streams::FAILURES);
         let mut queue = EventQueue::new();
 
-        for id in nodes.alive_ids() {
-            matchmaker.on_join(&nodes, id, &mut rng_mm);
-        }
+        matchmaker.bootstrap(&nodes, &mut rng_mm);
         matchmaker.tick(&nodes);
 
         let known: HashSet<JobId> = submissions.iter().map(|s| s.profile.id).collect();
         dag.validate(&known);
         let dag_children = dag.children_index();
 
-        let mut jobs = HashMap::with_capacity(submissions.len());
-        let mut unmet_deps: HashMap<JobId, usize> = HashMap::new();
-        let mut held_arrivals: HashMap<JobId, SimTime> = HashMap::new();
+        let mut jobs = JobTable::with_capacity(submissions.len());
         for sub in &submissions {
             let actual = sub.actual_runtime_secs.unwrap_or(sub.profile.run_time_secs);
             assert!(actual > 0.0, "non-positive runtime for {}", sub.profile.id);
             let at = SimTime::from_secs_f64(sub.arrival_secs);
-            let prev = jobs.insert(sub.profile.id, JobRecord::new(sub.profile, actual, at));
-            assert!(prev.is_none(), "duplicate job id {}", sub.profile.id);
-            let parents = dag.parents_of(sub.profile.id).len();
+            let id = sub.profile.id;
+            let fresh = jobs.insert(id, JobRecord::new(sub.profile, actual, at));
+            assert!(fresh, "duplicate job id {id}");
+            let parents = dag.parents_of(id).len();
             if parents == 0 {
-                queue.schedule(
-                    at,
-                    Event::Submit {
-                        job: sub.profile.id,
-                    },
-                );
+                queue.schedule(at, Event::Submit { job: id });
             } else {
                 // Held back until the last parent completes.
-                unmet_deps.insert(sub.profile.id, parents);
-                held_arrivals.insert(sub.profile.id, at);
+                let rec = jobs.get_mut(id).expect("just inserted");
+                rec.unmet_parents = parents as u32;
+                rec.held_arrival = Some(at);
             }
         }
 
@@ -378,8 +369,6 @@ impl Engine {
             owner_jobs: HashMap::new(),
             dag,
             dag_children,
-            unmet_deps,
-            held_arrivals,
             observer: Box::new(NullObserver),
             outstanding,
             registry: None,
@@ -495,14 +484,14 @@ impl Engine {
             self.dispatch(now, ev);
             makespan = now;
         }
-        // Jobs still open at the horizon fail, in id order: `jobs` is a
-        // HashMap whose iteration order varies per thread, and the failure
-        // order is visible in the trace stream.
+        // Jobs still open at the horizon fail, in id order: the table
+        // iterates in insertion order, and the failure order is visible in
+        // the trace stream, so it is pinned by an explicit sort.
         let mut open: Vec<JobId> = self
             .jobs
             .iter()
             .filter(|(_, r)| !r.state.is_terminal())
-            .map(|(&id, _)| id)
+            .map(|(id, _)| id)
             .collect();
         open.sort_unstable();
         for id in open {
@@ -587,15 +576,10 @@ impl Engine {
         let Some(ts) = self.timeseries.as_mut() else {
             return;
         };
-        let mut queue_depth = 0usize;
-        let mut free_nodes = 0usize;
-        for id in self.nodes.alive_ids() {
-            let load = self.nodes.get(id).load();
-            queue_depth += load;
-            if load == 0 {
-                free_nodes += 1;
-            }
-        }
+        // O(1) from the node table's SoA aggregates — identical values to
+        // the historical per-node walk.
+        let queue_depth = self.nodes.total_alive_load() as usize;
+        let free_nodes = self.nodes.idle_alive_count();
         // Cumulative retries as already folded into the report (overlay
         // failovers drained from the matchmaker plus engine RPC resends).
         let retries = self.report.lookup_retries;
@@ -621,7 +605,7 @@ impl Engine {
 
     fn epoch_valid(&self, job: JobId, epoch: u32) -> bool {
         self.jobs
-            .get(&job)
+            .get(job)
             .is_some_and(|r| !r.state.is_terminal() && r.epoch == epoch)
     }
 
@@ -631,20 +615,20 @@ impl Engine {
     /// event dropped — the conservation oracle then reports the stuck job,
     /// the same way the `was_terminal` guard surfaces double commits.
     fn job_mut(&mut self, job: JobId) -> Option<&mut JobRecord> {
-        if !self.jobs.contains_key(&job) {
+        if !self.jobs.contains(job) {
             self.report.unknown_job_events += 1;
             return None;
         }
-        self.jobs.get_mut(&job)
+        self.jobs.get_mut(job)
     }
 
     /// Shared-reference variant of [`Engine::job_mut`].
     fn job_ref(&mut self, job: JobId) -> Option<&JobRecord> {
-        if !self.jobs.contains_key(&job) {
+        if !self.jobs.contains(job) {
             self.report.unknown_job_events += 1;
             return None;
         }
-        self.jobs.get(&job)
+        self.jobs.get(job)
     }
 
     fn guid_of(&self, job: JobId, resubmits: u32) -> u64 {
@@ -876,14 +860,10 @@ impl Engine {
                 _ => None,
             };
             if choice.is_none() {
-                let mut best: Option<(usize, GridNodeId)> = None;
-                for id in self.nodes.alive_ids() {
-                    let load = self.nodes.get(id).load();
-                    if best.is_none_or(|(b, _)| load < b) {
-                        best = Some((load, id));
-                    }
-                }
-                choice = best.map(|(_, id)| (id, 0));
+                // Least loaded live node, lowest id on ties — served by the
+                // node table's min-load index in O(1) instead of the old
+                // full-table scan (`node.rs` proves the choices identical).
+                choice = self.nodes.least_loaded_alive().map(|id| (id, 0));
             }
         }
         match choice {
@@ -905,7 +885,10 @@ impl Engine {
                 // (no epoch bump — the at-most-once argument is the same
                 // as for spurious owner recovery). An idle job resumes
                 // matchmaking under its new owner immediately.
-                let idle = self.jobs[&job]
+                let idle = self
+                    .jobs
+                    .get(job)
+                    .expect("lease transfer of known job")
                     .run_node
                     .is_none_or(|r| !self.nodes.is_alive(r));
                 if idle {
@@ -1166,14 +1149,16 @@ impl Engine {
         if let Some(rec) = self.job_mut(job) {
             rec.queued_at = Some(now);
         }
-        let node = self.nodes.get_mut(run);
-        if node.running.is_none() {
+        if self.nodes.get(run).running_job().is_none() {
             self.start_job(now, job, run, runtime);
         } else {
-            node.queue.push_back(QueuedJob {
-                job,
-                runtime_secs: runtime,
-            });
+            self.nodes.enqueue(
+                run,
+                QueuedJob {
+                    job,
+                    runtime_secs: runtime,
+                },
+            );
             if let Some(rec) = self.job_mut(job) {
                 rec.state = JobState::Queued;
             }
@@ -1181,7 +1166,7 @@ impl Engine {
     }
 
     fn effective_runtime(&self, job: JobId, run: GridNodeId) -> f64 {
-        let rec = &self.jobs[&job];
+        let rec = self.jobs.get(job).expect("runtime of known job");
         if self.cfg.scale_runtime_by_cpu {
             let cpu = self
                 .nodes
@@ -1209,12 +1194,14 @@ impl Engine {
             .on_event(now, TraceEvent::Started { job, run_node: run });
         let kill_after = self.cfg.sandbox.kill_after_secs(&profile);
 
-        let node = self.nodes.get_mut(run);
-        node.running = Some(QueuedJob {
-            job,
-            runtime_secs: runtime,
-        });
-        node.running_finish_at = now + SimDuration::from_secs_f64(runtime);
+        self.nodes.set_running(
+            run,
+            QueuedJob {
+                job,
+                runtime_secs: runtime,
+            },
+            now + SimDuration::from_secs_f64(runtime),
+        );
 
         match kill_after {
             Some(k) if runtime > k => {
@@ -1302,8 +1289,7 @@ impl Engine {
             let held = self
                 .nodes
                 .get(node)
-                .running
-                .as_ref()
+                .running_job()
                 .is_some_and(|q| q.job == job);
             if !(self.cfg.check_disable_epoch_dedup && held) {
                 self.release_stale_execution(now, job, node, true);
@@ -1333,9 +1319,12 @@ impl Engine {
         };
         let finished = now + result_delay;
         {
-            let n = self.nodes.get_mut(node);
-            let done = n.running.take().expect("completion of running job");
+            let done = self
+                .nodes
+                .take_running(node)
+                .expect("completion of running job");
             debug_assert_eq!(done.job, job);
+            let n = self.nodes.get_mut(node);
             n.busy_secs += done.runtime_secs;
             n.completed_jobs += 1;
         }
@@ -1394,19 +1383,22 @@ impl Engine {
         // Take ownership instead of cloning: a parent releases its children
         // at most once (later completions of the same job are superseded
         // epochs that never reach here, and a re-run's release finds the
-        // unmet_deps entries already gone).
+        // children entry already gone). Bookkeeping goes through
+        // `jobs.get_mut` directly, not `job_mut`: a child zeroed by a failure
+        // cascade is ordinary, not an unknown-job invariant breach.
         let Some(children) = self.dag_children.remove(&parent) else {
             return;
         };
         for child in children {
-            let Some(unmet) = self.unmet_deps.get_mut(&child) else {
+            let Some(rec) = self.jobs.get_mut(child) else {
                 continue;
             };
-            debug_assert!(*unmet > 0);
-            *unmet -= 1;
-            if *unmet == 0 {
-                self.unmet_deps.remove(&child);
-                let arrival = self.held_arrivals.remove(&child).unwrap_or(now);
+            if rec.unmet_parents == 0 {
+                continue;
+            }
+            rec.unmet_parents -= 1;
+            if rec.unmet_parents == 0 {
+                let arrival = rec.held_arrival.take().unwrap_or(now);
                 self.queue
                     .schedule(arrival.max(now), Event::Submit { job: child });
             }
@@ -1424,13 +1416,13 @@ impl Engine {
             return;
         }
         {
-            let n = self.nodes.get_mut(node);
-            let killed = n.running.take().expect("kill of running job");
+            let finish_at = self.nodes.get(node).running_finish_at();
+            let killed = self.nodes.take_running(node).expect("kill of running job");
             debug_assert_eq!(killed.job, job);
             // The node did burn the time up to the kill: the job's full
             // runtime minus whatever would have remained past `now`.
-            let remaining = n.running_finish_at.since(now).as_secs_f64();
-            n.busy_secs += (killed.runtime_secs - remaining).max(0.0);
+            let remaining = finish_at.since(now).as_secs_f64();
+            self.nodes.get_mut(node).busy_secs += (killed.runtime_secs - remaining).max(0.0);
         }
         self.report.sandbox_kills += 1;
         self.fail_job(job, FailureReason::SandboxKilled, now);
@@ -1452,29 +1444,29 @@ impl Engine {
         let held = self
             .nodes
             .get(node)
-            .running
-            .as_ref()
+            .running_job()
             .is_some_and(|q| q.job == job);
         if !held {
             return;
         }
-        let n = self.nodes.get_mut(node);
-        let stale = n.running.take().expect("checked above");
-        if ran_to_completion {
-            n.busy_secs += stale.runtime_secs;
+        let finish_at = self.nodes.get(node).running_finish_at();
+        let stale = self.nodes.take_running(node).expect("checked above");
+        let credit = if ran_to_completion {
+            stale.runtime_secs
         } else {
-            let remaining = n.running_finish_at.since(now).as_secs_f64();
-            n.busy_secs += (stale.runtime_secs - remaining).max(0.0);
-        }
+            let remaining = finish_at.since(now).as_secs_f64();
+            (stale.runtime_secs - remaining).max(0.0)
+        };
+        self.nodes.get_mut(node).busy_secs += credit;
         self.report.duplicate_executions += 1;
         self.start_next_on(now, node);
     }
 
     fn start_next_on(&mut self, now: SimTime, node: GridNodeId) {
-        let next = self.nodes.get_mut(node).queue.pop_front();
+        let next = self.nodes.pop_queue(node);
         if let Some(q) = next {
             // Skip jobs that terminated while queued (e.g. sandbox-failed).
-            if self.jobs.get(&q.job).is_none_or(|r| r.state.is_terminal()) {
+            if self.jobs.get(q.job).is_none_or(|r| r.state.is_terminal()) {
                 self.start_next_on(now, node);
             } else {
                 self.start_job(now, q.job, node, q.runtime_secs);
@@ -1502,10 +1494,10 @@ impl Engine {
         // the table clears them.
         let victims: Vec<JobId> = {
             let n = self.nodes.get(node);
-            n.running
-                .iter()
+            n.running_job()
                 .map(|q| q.job)
-                .chain(n.queue.iter().map(|q| q.job))
+                .into_iter()
+                .chain(n.queued_jobs())
                 .collect()
         };
         // Iterated directly below (ascending JobId) — no intermediate Vec.
@@ -1852,18 +1844,20 @@ impl Engine {
             rec.finished_at = Some(now);
             rec.lease = None;
             rec.invalidate();
+            // The descendant will never be released: clear its hold state so
+            // a later parent completion cannot resurrect it.
+            rec.unmet_parents = 0;
+            rec.held_arrival = None;
             self.report.jobs_failed += 1;
             self.report.dependency_failures += 1;
             self.outstanding -= 1;
             self.observer.on_event(now, TraceEvent::Failed { job: d });
             self.detach_owner(d);
-            self.unmet_deps.remove(&d);
-            self.held_arrivals.remove(&d);
         }
     }
 
     fn detach_owner(&mut self, job: JobId) {
-        let Some(rec) = self.jobs.get(&job) else {
+        let Some(rec) = self.jobs.get(job) else {
             return;
         };
         if let Some(OwnerRef::Peer(p)) = rec.owner {

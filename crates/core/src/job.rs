@@ -1,9 +1,12 @@
 //! Per-job lifecycle state.
 
-use dgrid_resources::JobProfile;
+use std::collections::HashMap;
+
+use dgrid_resources::{JobId, JobProfile};
 use dgrid_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::arena::{Arena, JobIdx, JobTag};
 use crate::node::GridNodeId;
 
 /// Who currently plays the *owner* role for a job.
@@ -104,6 +107,12 @@ pub(crate) struct JobRecord {
     pub started_at: Option<SimTime>,
     pub finished_at: Option<SimTime>,
     pub failure: Option<FailureReason>,
+    /// DAG parents that have not completed yet; the job is held back from
+    /// submission while this is non-zero (Section 5 dependencies).
+    pub unmet_parents: u32,
+    /// Nominal arrival time of a held-back job, consumed when the last
+    /// parent completes.
+    pub held_arrival: Option<SimTime>,
 }
 
 impl JobRecord {
@@ -125,6 +134,8 @@ impl JobRecord {
             started_at: None,
             finished_at: None,
             failure: None,
+            unmet_parents: 0,
+            held_arrival: None,
         }
     }
 
@@ -144,6 +155,83 @@ impl JobRecord {
     pub fn turnaround_secs(&self) -> Option<f64> {
         self.finished_at
             .map(|f| f.since(self.first_submitted_at).as_secs_f64())
+    }
+}
+
+/// Ids with a value below this use the dense direct-index column; anything
+/// larger (hash-shaped test ids) falls back to the sparse map.
+const DENSE_ID_LIMIT: u64 = 1 << 21;
+
+/// The engine's job store: records live in a generational [`Arena`] (dense,
+/// insertion-ordered, cache-friendly at 10⁶ jobs), addressed by [`JobId`]
+/// through a direct-index column with a sparse fallback — the same
+/// dense/sparse split the binary trace format uses for id interning.
+///
+/// Records are never removed during a replication: a terminal record must
+/// keep answering lookups, because a *missing* record is how the engine
+/// detects (and counts, via `unknown_job_events`) a broken invariant.
+pub(crate) struct JobTable {
+    arena: Arena<JobRecord, JobTag>,
+    /// `dense[id]` for ids below [`DENSE_ID_LIMIT`].
+    dense: Vec<Option<JobIdx>>,
+    sparse: HashMap<u64, JobIdx>,
+}
+
+impl JobTable {
+    pub fn with_capacity(cap: usize) -> Self {
+        JobTable {
+            arena: Arena::with_capacity(cap),
+            dense: Vec::new(),
+            sparse: HashMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn idx_of(&self, id: JobId) -> Option<JobIdx> {
+        if id.0 < DENSE_ID_LIMIT {
+            self.dense.get(id.0 as usize).copied().flatten()
+        } else {
+            self.sparse.get(&id.0).copied()
+        }
+    }
+
+    /// Insert a record; `false` (and no change) if the id already exists.
+    pub fn insert(&mut self, id: JobId, record: JobRecord) -> bool {
+        if self.idx_of(id).is_some() {
+            return false;
+        }
+        let idx = self.arena.insert(record);
+        if id.0 < DENSE_ID_LIMIT {
+            let slot = id.0 as usize;
+            if slot >= self.dense.len() {
+                self.dense.resize(slot + 1, None);
+            }
+            self.dense[slot] = Some(idx);
+        } else {
+            self.sparse.insert(id.0, idx);
+        }
+        true
+    }
+
+    pub fn get(&self, id: JobId) -> Option<&JobRecord> {
+        self.arena.get(self.idx_of(id)?)
+    }
+
+    pub fn get_mut(&mut self, id: JobId) -> Option<&mut JobRecord> {
+        let idx = self.idx_of(id)?;
+        self.arena.get_mut(idx)
+    }
+
+    pub fn contains(&self, id: JobId) -> bool {
+        self.idx_of(id).is_some()
+    }
+
+    /// Records in insertion order (deterministic arena slot order).
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, &JobRecord)> {
+        self.arena.iter().map(|(_, r)| (r.profile.id, r))
     }
 }
 
@@ -192,5 +280,34 @@ mod tests {
     fn owner_ref_peer() {
         assert_eq!(OwnerRef::Server.peer(), None);
         assert_eq!(OwnerRef::Peer(GridNodeId(3)).peer(), Some(GridNodeId(3)));
+    }
+
+    fn record_for(id: u64) -> JobRecord {
+        let profile = JobProfile::new(
+            JobId(id),
+            ClientId(0),
+            JobRequirements::unconstrained(),
+            50.0,
+        );
+        JobRecord::new(profile, 50.0, SimTime::ZERO)
+    }
+
+    #[test]
+    fn job_table_dense_and_sparse_ids() {
+        let mut t = JobTable::with_capacity(4);
+        // Dense id, sparse (hash-shaped) id, and a duplicate rejection.
+        assert!(t.insert(JobId(3), record_for(3)));
+        assert!(t.insert(JobId(u64::MAX - 7), record_for(u64::MAX - 7)));
+        assert!(!t.insert(JobId(3), record_for(3)));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(JobId(3)));
+        assert!(t.contains(JobId(u64::MAX - 7)));
+        assert!(!t.contains(JobId(4)));
+        assert!(t.get(JobId(4)).is_none());
+        t.get_mut(JobId(3)).unwrap().resubmits = 9;
+        assert_eq!(t.get(JobId(3)).unwrap().resubmits, 9);
+        // Insertion order, not id order.
+        let order: Vec<JobId> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![JobId(3), JobId(u64::MAX - 7)]);
     }
 }

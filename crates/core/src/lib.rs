@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod analytics;
+pub mod arena;
 mod config;
 mod dag;
 mod engine;
@@ -58,6 +59,7 @@ mod span;
 pub mod trace;
 
 pub use analytics::{AnalyticsSnapshot, SketchStats, StreamAnalytics, WINDOW_COUNTER_ARITY};
+pub use arena::{Arena, ArenaIdx, JobIdx, NodeIdx};
 pub use config::{ChurnConfig, EngineConfig, PlacementPolicy};
 pub use dag::JobDag;
 pub use dgrid_sim::fault::{Delivery, Endpoint, FaultPlan, LatencySpike, NodeCrash, Partition};

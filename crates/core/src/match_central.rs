@@ -120,9 +120,7 @@ impl Matchmaker for CentralizedMatchmaker {
 /// the remainder, applied identically to every node, so the ordering is
 /// fair).
 fn pending_estimate(n: &crate::node::GridNode) -> f64 {
-    let queued: f64 = n.queue.iter().map(|q| q.runtime_secs).sum();
-    let running = n.running.map(|q| q.runtime_secs).unwrap_or(0.0);
-    queued + running
+    n.committed_work_secs()
 }
 
 #[cfg(test)]

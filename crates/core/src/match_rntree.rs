@@ -206,6 +206,29 @@ impl<R: KeyRouter> Matchmaker for RnTreeMatchmaker<R> {
         self.dirty = true;
     }
 
+    fn bootstrap(&mut self, nodes: &NodeTable, _rng: &mut SimRng) {
+        // Same key choices as on_join in ascending node order — collisions
+        // are checked against the keys admitted so far (`grid_of` mirrors
+        // the substrate membership exactly while bootstrapping) — but the
+        // substrate defers routing-state construction to the first
+        // stabilize instead of building tables once per join.
+        debug_assert!(self.router.is_empty(), "bootstrap of a populated overlay");
+        let mut keys = Vec::with_capacity(nodes.len());
+        for node in nodes.alive_ids() {
+            let mut generation = 0u64;
+            let mut key = Self::overlay_key_for(node, generation);
+            while self.grid_of.contains_key(&key) || self.router.is_alive(key) {
+                generation += 1;
+                key = Self::overlay_key_for(node, generation);
+            }
+            keys.push(key);
+            self.key_of.insert(node, key);
+            self.grid_of.insert(key, node);
+        }
+        self.router.bulk_join(&keys);
+        self.dirty = true;
+    }
+
     fn on_leave(&mut self, _nodes: &NodeTable, node: GridNodeId, graceful: bool) {
         let key = self
             .key_of
@@ -568,10 +591,13 @@ mod tests {
         // must route around it to a failover peer.
         let mut loaded = node_table(48);
         for i in 0..10 {
-            loaded.get_mut(hash_gid).queue.push_back(QueuedJob {
-                job: JobId(1000 + i),
-                runtime_secs: 10.0,
-            });
+            loaded.enqueue(
+                hash_gid,
+                QueuedJob {
+                    job: JobId(1000 + i),
+                    runtime_secs: 10.0,
+                },
+            );
         }
         mm.set_placement(PlacementPolicy::LoadAware);
         let (aware_owner, hops) = mm.assign_owner(&loaded, &p, 0xABCD, inj, &mut rng).unwrap();

@@ -32,6 +32,23 @@ pub trait Matchmaker {
     /// A node joined the grid (initial population and rejoin after repair).
     fn on_join(&mut self, nodes: &NodeTable, node: GridNodeId, rng: &mut SimRng);
 
+    /// Admit the entire initial population at once — called exactly once by
+    /// the engine constructor, before any events run and before the first
+    /// maintenance [`Matchmaker::tick`].
+    ///
+    /// Must be observably equivalent to calling [`Matchmaker::on_join`] for
+    /// every alive node in ascending id order (including any RNG draws, so
+    /// the event stream stays byte-identical). Overlay matchmakers override
+    /// it to bulk-build the substrate via
+    /// [`KeyRouter::bulk_join`](dgrid_sim::router::KeyRouter::bulk_join),
+    /// skipping the per-join routing-table work that makes naive
+    /// construction of a 10⁶-node overlay O(N log N).
+    fn bootstrap(&mut self, nodes: &NodeTable, rng: &mut SimRng) {
+        for id in nodes.alive_ids() {
+            self.on_join(nodes, id, rng);
+        }
+    }
+
     /// A node left the grid. `graceful` distinguishes an announced
     /// departure (the peer notifies its overlay neighbours and the owners
     /// of jobs it holds before going away) from an abrupt failure

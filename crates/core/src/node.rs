@@ -1,6 +1,26 @@
 //! Grid nodes and the node table.
+//!
+//! The table is the kernel's hottest state, so it is laid out for
+//! million-node replications: the `GridNode` records sit in one dense
+//! slot-addressed vector (the node arena — `GridNodeId` *is* the slot), and
+//! the per-event scan fields are mirrored struct-of-arrays style:
+//!
+//! * `loads` — each node's `load()` as a dense `u32` column, kept in sync
+//!   by the table's mutation methods;
+//! * a Fenwick tree over the alive bits, so [`NodeTable::random_alive`]
+//!   selects the n-th live node in O(log N) while drawing the *same* RNG
+//!   value and returning the *same* node as the old O(N) `nth()` walk;
+//! * a min-load bucket index (`Vec<BTreeSet<GridNodeId>>`), so "least
+//!   loaded live node, lowest id on ties" — the lease re-placement
+//!   fallback — is O(1) instead of a full-table scan;
+//! * O(1) aggregates (total live load, count of idle live nodes) for the
+//!   telemetry sampler.
+//!
+//! To keep the mirrors honest, the execution-state fields (`queue`,
+//! `running`) are private to this module: every mutation goes through a
+//! `NodeTable` method that updates the columns in the same step.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 use dgrid_resources::{JobId, NodeProfile};
@@ -43,9 +63,9 @@ pub struct GridNode {
     pub profile: NodeProfile,
     /// Is the node currently up?
     pub alive: bool,
-    pub(crate) queue: VecDeque<QueuedJob>,
-    pub(crate) running: Option<QueuedJob>,
-    pub(crate) running_finish_at: SimTime,
+    queue: VecDeque<QueuedJob>,
+    running: Option<QueuedJob>,
+    running_finish_at: SimTime,
     /// Total seconds this node has spent executing jobs (for utilization
     /// and load-balance reporting).
     pub busy_secs: f64,
@@ -81,6 +101,121 @@ impl GridNode {
         };
         running + self.queue.iter().map(|q| q.runtime_secs).sum::<f64>()
     }
+
+    /// Queued runtimes plus the running job's *full* runtime — the
+    /// instant-independent committed-work estimate the centralized
+    /// baseline ranks nodes by.
+    pub(crate) fn committed_work_secs(&self) -> f64 {
+        let queued: f64 = self.queue.iter().map(|q| q.runtime_secs).sum();
+        queued + self.running.map(|q| q.runtime_secs).unwrap_or(0.0)
+    }
+
+    /// The currently executing job, if any.
+    pub(crate) fn running_job(&self) -> Option<QueuedJob> {
+        self.running
+    }
+
+    /// When the running job will finish (stale if nothing is running).
+    pub(crate) fn running_finish_at(&self) -> SimTime {
+        self.running_finish_at
+    }
+
+    /// Ids of the queued jobs, FIFO order.
+    pub(crate) fn queued_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.queue.iter().map(|q| q.job)
+    }
+}
+
+/// Fenwick (binary indexed) tree over the alive bits: O(log N) rank/select
+/// so a uniformly random live node can be drawn without walking the table.
+struct AliveTree {
+    tree: Vec<u32>,
+}
+
+impl AliveTree {
+    /// All `n` nodes alive.
+    fn all_ones(n: usize) -> Self {
+        let mut tree = vec![1u32; n + 1];
+        tree[0] = 0;
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                tree[parent] += tree[i];
+            }
+        }
+        AliveTree { tree }
+    }
+
+    fn add(&mut self, index: usize, delta: i32) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (i64::from(self.tree[i]) + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Index of the `k`-th (0-based) set bit in ascending order.
+    fn select(&self, k: usize) -> usize {
+        let n = self.tree.len() - 1;
+        let mut pos = 0usize;
+        let mut rem = (k + 1) as u32;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] < rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos
+    }
+}
+
+/// Buckets of live node ids keyed by current load, with a monotone floor
+/// hint: answers "least loaded live node, lowest id on ties" — exactly the
+/// old full-table scan's choice — without the scan.
+struct MinLoadIndex {
+    buckets: Vec<BTreeSet<GridNodeId>>,
+    /// Lower bound on the least occupied bucket (no live node has a load
+    /// below it). Queries advance from here past empty buckets.
+    floor: usize,
+}
+
+impl MinLoadIndex {
+    fn all_idle(n: u32) -> Self {
+        MinLoadIndex {
+            buckets: vec![(0..n).map(GridNodeId).collect()],
+            floor: 0,
+        }
+    }
+
+    fn insert(&mut self, id: GridNodeId, load: usize) {
+        if load >= self.buckets.len() {
+            self.buckets.resize_with(load + 1, BTreeSet::new);
+        }
+        self.buckets[load].insert(id);
+        self.floor = self.floor.min(load);
+    }
+
+    fn remove(&mut self, id: GridNodeId, load: usize) {
+        let present = self.buckets[load].remove(&id);
+        debug_assert!(present, "min-load index out of sync for {id}");
+    }
+
+    fn reclassify(&mut self, id: GridNodeId, old: usize, new: usize) {
+        self.remove(id, old);
+        self.insert(id, new);
+    }
+
+    /// `(id, load)` of the least loaded live node, lowest id on ties.
+    fn least(&self) -> Option<(GridNodeId, usize)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .skip(self.floor)
+            .find_map(|(load, b)| b.first().map(|&id| (id, load)))
+    }
 }
 
 /// The engine's table of all nodes, alive and dead.
@@ -93,6 +228,14 @@ impl GridNode {
 pub struct NodeTable {
     nodes: Vec<GridNode>,
     alive: usize,
+    /// SoA mirror of each node's `load()` (zero for dead nodes).
+    loads: Vec<u32>,
+    alive_tree: AliveTree,
+    min_load: MinLoadIndex,
+    /// Sum of `loads` over live nodes.
+    total_load: u64,
+    /// Live nodes with load 0.
+    idle_alive: usize,
 }
 
 impl NodeTable {
@@ -101,6 +244,11 @@ impl NodeTable {
         NodeTable {
             nodes: profiles.into_iter().map(GridNode::new).collect(),
             alive,
+            loads: vec![0; alive],
+            alive_tree: AliveTree::all_ones(alive),
+            min_load: MinLoadIndex::all_idle(alive as u32),
+            total_load: 0,
+            idle_alive: alive,
         }
     }
 
@@ -124,8 +272,32 @@ impl NodeTable {
         &self.nodes[id.0 as usize]
     }
 
+    /// Mutable access to a node's *statistics* fields. The execution-state
+    /// fields that back the load mirrors are module-private; mutate them
+    /// through the table methods below.
     pub(crate) fn get_mut(&mut self, id: GridNodeId) -> &mut GridNode {
         &mut self.nodes[id.0 as usize]
+    }
+
+    /// A node's current load from the SoA column (no record deref).
+    pub fn load_of(&self, id: GridNodeId) -> usize {
+        self.loads[id.0 as usize] as usize
+    }
+
+    /// Sum of loads over live nodes (the telemetry `queue_depth` gauge).
+    pub fn total_alive_load(&self) -> u64 {
+        self.total_load
+    }
+
+    /// Number of live nodes with nothing queued or running.
+    pub fn idle_alive_count(&self) -> usize {
+        self.idle_alive
+    }
+
+    /// Least loaded live node, lowest id on ties — the deterministic
+    /// fallback target for lease re-placement. O(1) amortized.
+    pub fn least_loaded_alive(&self) -> Option<GridNodeId> {
+        self.min_load.least().map(|(id, _)| id)
     }
 
     /// Is the node up?
@@ -143,17 +315,78 @@ impl NodeTable {
     }
 
     /// A uniformly random live node.
+    ///
+    /// Draws the same `gen_range(0..alive)` value and returns the same
+    /// (n-th smallest live) id as the historical linear walk, via the
+    /// Fenwick select — byte-identity depends on both halves.
     pub fn random_alive<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<GridNodeId> {
         if self.alive == 0 {
             return None;
         }
         let n = rng.gen_range(0..self.alive);
-        self.alive_ids().nth(n)
+        Some(GridNodeId(self.alive_tree.select(n) as u32))
+    }
+
+    /// Apply a load delta to a live node, keeping every mirror in sync.
+    fn shift_load(&mut self, id: GridNodeId, delta: i64) {
+        let old = self.loads[id.0 as usize] as usize;
+        let new = (old as i64 + delta) as usize;
+        self.loads[id.0 as usize] = new as u32;
+        self.min_load.reclassify(id, old, new);
+        self.total_load = (self.total_load as i64 + delta) as u64;
+        match (old, new) {
+            (0, n) if n > 0 => self.idle_alive -= 1,
+            (o, 0) if o > 0 => self.idle_alive += 1,
+            _ => {}
+        }
+        debug_assert_eq!(new, self.nodes[id.0 as usize].load());
+    }
+
+    /// FIFO-queue a job on a live node.
+    pub(crate) fn enqueue(&mut self, id: GridNodeId, q: QueuedJob) {
+        self.nodes[id.0 as usize].queue.push_back(q);
+        self.shift_load(id, 1);
+    }
+
+    /// Dequeue the next job from a node's FIFO queue.
+    pub(crate) fn pop_queue(&mut self, id: GridNodeId) -> Option<QueuedJob> {
+        let q = self.nodes[id.0 as usize].queue.pop_front();
+        if q.is_some() {
+            self.shift_load(id, -1);
+        }
+        q
+    }
+
+    /// Begin executing a job on an idle live node.
+    pub(crate) fn set_running(&mut self, id: GridNodeId, q: QueuedJob, finish_at: SimTime) {
+        let n = &mut self.nodes[id.0 as usize];
+        debug_assert!(n.running.is_none(), "{id} already running a job");
+        n.running = Some(q);
+        n.running_finish_at = finish_at;
+        self.shift_load(id, 1);
+    }
+
+    /// Release a node's running job (completion, kill, or stale release).
+    pub(crate) fn take_running(&mut self, id: GridNodeId) -> Option<QueuedJob> {
+        let q = self.nodes[id.0 as usize].running.take();
+        if q.is_some() {
+            self.shift_load(id, -1);
+        }
+        q
     }
 
     pub(crate) fn mark_failed(&mut self, id: GridNodeId) {
-        let n = self.get_mut(id);
-        assert!(n.alive, "failing dead node {id}");
+        let slot = id.0 as usize;
+        assert!(self.nodes[slot].alive, "failing dead node {id}");
+        let load = self.loads[slot] as usize;
+        self.min_load.remove(id, load);
+        self.alive_tree.add(slot, -1);
+        self.total_load -= load as u64;
+        if load == 0 {
+            self.idle_alive -= 1;
+        }
+        self.loads[slot] = 0;
+        let n = &mut self.nodes[slot];
         n.alive = false;
         n.queue.clear();
         n.running = None;
@@ -161,10 +394,15 @@ impl NodeTable {
     }
 
     pub(crate) fn mark_rejoined(&mut self, id: GridNodeId) {
-        let n = self.get_mut(id);
-        assert!(!n.alive, "rejoining live node {id}");
-        n.alive = true;
+        let slot = id.0 as usize;
+        assert!(!self.nodes[slot].alive, "rejoining live node {id}");
+        self.nodes[slot].alive = true;
         self.alive += 1;
+        self.alive_tree.add(slot, 1);
+        // The failure cleared its queue, so it returns idle.
+        debug_assert_eq!(self.loads[slot], 0);
+        self.min_load.insert(id, 0);
+        self.idle_alive += 1;
     }
 }
 
@@ -173,38 +411,34 @@ mod tests {
     use super::*;
     use dgrid_resources::{Capabilities, OsType};
     use dgrid_sim::SimDuration;
+    use proptest::prelude::*;
 
     fn profile() -> NodeProfile {
         NodeProfile::new(Capabilities::new(2.0, 4.0, 100.0, OsType::Linux))
+    }
+
+    fn qj(job: u64, runtime_secs: f64) -> QueuedJob {
+        QueuedJob {
+            job: JobId(job),
+            runtime_secs,
+        }
     }
 
     #[test]
     fn load_counts_running_and_queued() {
         let mut n = GridNode::new(profile());
         assert_eq!(n.load(), 0);
-        n.running = Some(QueuedJob {
-            job: JobId(1),
-            runtime_secs: 10.0,
-        });
-        n.queue.push_back(QueuedJob {
-            job: JobId(2),
-            runtime_secs: 5.0,
-        });
+        n.running = Some(qj(1, 10.0));
+        n.queue.push_back(qj(2, 5.0));
         assert_eq!(n.load(), 2);
     }
 
     #[test]
     fn pending_work_includes_remaining_runtime() {
         let mut n = GridNode::new(profile());
-        n.running = Some(QueuedJob {
-            job: JobId(1),
-            runtime_secs: 10.0,
-        });
+        n.running = Some(qj(1, 10.0));
         n.running_finish_at = SimTime::ZERO + SimDuration::from_secs(8);
-        n.queue.push_back(QueuedJob {
-            job: JobId(2),
-            runtime_secs: 5.0,
-        });
+        n.queue.push_back(qj(2, 5.0));
         let now = SimTime::from_secs(2);
         assert!((n.pending_work_secs(now) - 11.0).abs() < 1e-9);
     }
@@ -232,6 +466,90 @@ mod tests {
         let mut rng = dgrid_sim::rng::rng_for(1, 1);
         for _ in 0..10 {
             assert_eq!(t.random_alive(&mut rng), Some(GridNodeId(1)));
+        }
+    }
+
+    #[test]
+    fn mutation_methods_keep_mirrors_in_sync() {
+        let mut t = NodeTable::new(vec![profile(), profile()]);
+        assert_eq!(t.idle_alive_count(), 2);
+        t.set_running(GridNodeId(0), qj(1, 10.0), SimTime::from_secs(10));
+        t.enqueue(GridNodeId(0), qj(2, 5.0));
+        assert_eq!(t.load_of(GridNodeId(0)), 2);
+        assert_eq!(t.total_alive_load(), 2);
+        assert_eq!(t.idle_alive_count(), 1);
+        assert_eq!(t.least_loaded_alive(), Some(GridNodeId(1)));
+        let done = t.take_running(GridNodeId(0)).unwrap();
+        assert_eq!(done.job, JobId(1));
+        let next = t.pop_queue(GridNodeId(0)).unwrap();
+        assert_eq!(next.job, JobId(2));
+        assert_eq!(t.load_of(GridNodeId(0)), 0);
+        assert_eq!(t.total_alive_load(), 0);
+        assert_eq!(t.idle_alive_count(), 2);
+        assert_eq!(t.least_loaded_alive(), Some(GridNodeId(0)));
+    }
+
+    /// The naive references the SoA structures must agree with.
+    fn scan_least_loaded(t: &NodeTable) -> Option<GridNodeId> {
+        let mut best: Option<(usize, GridNodeId)> = None;
+        for id in t.alive_ids() {
+            let load = t.get(id).load();
+            if best.is_none_or(|(b, _)| load < b) {
+                best = Some((load, id));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Regression for the lease re-placement fallback: under arbitrary
+        /// enqueue/start/finish/fail/rejoin histories, the min-load index
+        /// picks exactly the node the old O(N) scan picked (least loaded,
+        /// lowest id on ties), and the O(log N) random-alive select returns
+        /// the same node as the old `alive_ids().nth(n)` walk.
+        #[test]
+        fn indexes_match_naive_scans(
+            ops in proptest::collection::vec((0u8..6, 0u32..12, 0usize..32), 1..300),
+        ) {
+            let mut t = NodeTable::new((0..12).map(|_| profile()).collect());
+            let mut job = 0u64;
+            for (op, raw_id, pick) in ops {
+                let id = GridNodeId(raw_id);
+                match op {
+                    0 if t.is_alive(id) => {
+                        job += 1;
+                        t.enqueue(id, qj(job, 1.0));
+                    }
+                    1 if t.is_alive(id) && t.get(id).running_job().is_none() => {
+                        job += 1;
+                        t.set_running(id, qj(job, 1.0), SimTime::from_secs(1));
+                    }
+                    2 if t.is_alive(id) => {
+                        t.take_running(id);
+                    }
+                    3 if t.is_alive(id) => {
+                        t.pop_queue(id);
+                    }
+                    4 if t.is_alive(id) => t.mark_failed(id),
+                    5 if !t.is_alive(id) => t.mark_rejoined(id),
+                    _ => {}
+                }
+                prop_assert_eq!(t.least_loaded_alive(), scan_least_loaded(&t));
+                let total: u64 = t.alive_ids().map(|i| t.get(i).load() as u64).sum();
+                prop_assert_eq!(t.total_alive_load(), total);
+                let idle = t.alive_ids().filter(|&i| t.get(i).load() == 0).count();
+                prop_assert_eq!(t.idle_alive_count(), idle);
+                for i in 0..t.len() {
+                    prop_assert_eq!(t.load_of(GridNodeId(i as u32)), t.get(GridNodeId(i as u32)).load());
+                }
+                if t.alive_count() > 0 {
+                    let n = pick % t.alive_count();
+                    let via_select = GridNodeId(t.alive_tree.select(n) as u32);
+                    prop_assert_eq!(t.alive_ids().nth(n), Some(via_select));
+                }
+            }
         }
     }
 }

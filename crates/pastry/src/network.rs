@@ -173,18 +173,7 @@ impl PastryNetwork {
     /// # Panics
     /// If a live node with this id already exists.
     pub fn join(&mut self, id: PastryId) {
-        let existing = self.peers.get(&id.0).is_some_and(|p| p.alive);
-        assert!(!existing, "duplicate join of live node {id}");
-        self.peers.insert(
-            id.0,
-            PeerState {
-                alive: true,
-                leaf_cw: Vec::new(),
-                leaf_ccw: Vec::new(),
-                table: Vec::new(),
-            },
-        );
-        self.alive_count += 1;
+        self.admit(id);
         self.refresh_node(id);
         // Notify the leaf neighbourhood (Pastry's join broadcast to the
         // leaf set).
@@ -201,6 +190,32 @@ impl PastryNetwork {
                 self.refresh_leaves_of(n);
             }
         }
+    }
+
+    /// Membership-only join used during bulk construction: the node is
+    /// admitted but no leaf sets or routing tables are built or repaired —
+    /// a [`PastryNetwork::stabilize`] must follow before any routing. The
+    /// post-stabilize state is identical to having joined one by one.
+    ///
+    /// # Panics
+    /// If a live node with this id already exists.
+    pub fn join_deferred(&mut self, id: PastryId) {
+        self.admit(id);
+    }
+
+    fn admit(&mut self, id: PastryId) {
+        let existing = self.peers.get(&id.0).is_some_and(|p| p.alive);
+        assert!(!existing, "duplicate join of live node {id}");
+        self.peers.insert(
+            id.0,
+            PeerState {
+                alive: true,
+                leaf_cw: Vec::new(),
+                leaf_ccw: Vec::new(),
+                table: Vec::new(),
+            },
+        );
+        self.alive_count += 1;
     }
 
     /// Graceful departure: the node's leaf set is told, so their leaf sets
@@ -535,6 +550,12 @@ impl dgrid_sim::router::KeyRouter for PastryNetwork {
         PastryNetwork::join(self, PastryId(key));
     }
 
+    fn bulk_join(&mut self, keys: &[u64]) {
+        for &k in keys {
+            self.join_deferred(PastryId(k));
+        }
+    }
+
     fn leave(&mut self, key: u64) {
         PastryNetwork::leave(self, PastryId(key));
     }
@@ -744,6 +765,28 @@ mod tests {
         let mut net = PastryNetwork::default();
         net.join(PastryId(1));
         net.join(PastryId(1));
+    }
+
+    #[test]
+    fn deferred_bulk_join_matches_eager_joins_after_stabilize() {
+        use dgrid_sim::router::KeyRouter;
+        let mut rng = rng_for(21, streams::NODE_IDS);
+        let keys: Vec<u64> = (0..48).map(|_| rng.gen()).collect();
+        let mut eager = PastryNetwork::default();
+        for &k in &keys {
+            eager.join(PastryId(k));
+        }
+        eager.stabilize();
+        let mut lazy = PastryNetwork::default();
+        KeyRouter::bulk_join(&mut lazy, &keys);
+        lazy.stabilize();
+        assert_eq!(eager.alive_ids(), lazy.alive_ids());
+        for _ in 0..200 {
+            let key = PastryId(rng.gen());
+            let from = PastryId(keys[rng.gen_range(0..keys.len())]);
+            assert_eq!(eager.route(from, key), lazy.route(from, key));
+        }
+        assert_eq!(lazy.table_violation(), None);
     }
 
     #[test]

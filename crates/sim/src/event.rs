@@ -3,9 +3,24 @@
 //! The queue orders events by `(time, sequence number)`, so events scheduled
 //! for the same simulated instant are delivered in FIFO order. This stability
 //! is what makes a whole simulation a pure function of its seed.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! Internally this is a *calendar queue* (Brown 1988): pending events are
+//! hashed into `nbuckets` power-of-two-width time buckets ("days") and the
+//! dequeue cursor walks days in order, so the common near-future schedule
+//! pattern of a discrete-event simulation pays O(1) amortized per operation
+//! instead of the binary heap's O(log n). Two properties are load-bearing:
+//!
+//! * **Byte-identity.** `pop` always returns the global minimum under the
+//!   total `(time, seq)` order — the selection scans candidate entries and
+//!   compares the full key, so the pop sequence is exactly the one the old
+//!   `BinaryHeap` implementation produced, regardless of bucket layout,
+//!   resize history, or insertion order. `tests/queue_proptests.rs` checks
+//!   this differentially against a reference heap.
+//! * **Graceful sparse degradation.** When the next event is far in the
+//!   future (low event density), the cursor would have to walk many empty
+//!   days; after one fruitless lap over the calendar the queue falls back to
+//!   a direct O(n) search for the minimum and jumps the cursor there, so a
+//!   sparse queue costs a linear scan per pop instead of an unbounded walk.
 
 use crate::time::{SimDuration, SimTime};
 
@@ -15,32 +30,38 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    // Reversed so that the std max-heap pops the *earliest* entry first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
+/// Smallest calendar size; also the resize hysteresis floor.
+const MIN_BUCKETS: usize = 16;
+/// Largest calendar size (2^20 buckets ≈ 8 MiB of headers).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Widest permitted bucket (2^40 ns ≈ 18.3 simulated minutes).
+const MAX_SHIFT: u32 = 40;
+/// Initial bucket width of 2^30 ns ≈ 1.07 s — the natural spacing of
+/// heartbeat/maintenance traffic this queue mostly carries.
+const INITIAL_SHIFT: u32 = 30;
+/// How many head-of-queue events a resize samples to pick the bucket
+/// width. Sizing from the head instead of the full span keeps a backlog
+/// of far-future stragglers — e.g. 10⁴ node-failure times drawn from a
+/// long-tailed MTTF — from stretching every bucket to the cap and
+/// cramming the whole active near-term schedule into one giant bucket
+/// that every pop would then re-scan.
+const WIDTH_SAMPLE: usize = 64;
 
 /// A discrete-event priority queue with a built-in virtual clock.
 ///
 /// Popping an event advances [`EventQueue::now`] to that event's timestamp;
 /// scheduling into the past is a logic error and panics.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// `buckets[day & (nbuckets - 1)]` holds every pending event whose
+    /// `at >> bucket_shift` is congruent to that index; a bucket can mix
+    /// events from different calendar "years".
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Bucket width is `1 << bucket_shift` nanoseconds.
+    bucket_shift: u32,
+    /// First day the dequeue scan considers. Invariant: no pending event
+    /// lives on an earlier day (`at >> bucket_shift >= cursor_day`).
+    cursor_day: u64,
+    len: usize,
     seq: u64,
     now: SimTime,
 }
@@ -55,7 +76,10 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_shift: INITIAL_SHIFT,
+            cursor_day: 0,
+            len: 0,
             seq: 0,
             now: SimTime::ZERO,
         }
@@ -68,12 +92,20 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True iff no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    fn day_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() >> self.bucket_shift
+    }
+
+    fn bucket_of(&self, day: u64) -> usize {
+        (day as usize) & (self.buckets.len() - 1)
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -89,7 +121,16 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let day = self.day_of(at);
+        debug_assert!(day >= self.cursor_day);
+        let idx = self.bucket_of(day);
+        self.buckets[idx].push(Entry { at, seq, event });
+        self.len += 1;
+        // The cap keeps a huge backlog from rebuilding on every push once
+        // the calendar can no longer grow.
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.resize();
+        }
     }
 
     /// Schedule `event` to fire `delay` after the current time.
@@ -98,23 +139,112 @@ impl<E> EventQueue<E> {
         self.schedule(at, event);
     }
 
+    /// Locate the next entry to deliver: `(bucket index, position in bucket)`.
+    ///
+    /// Walks one calendar lap of days starting at `cursor_day`; each visited
+    /// day selects the minimum `(at, seq)` among that day's entries, which is
+    /// the *global* minimum because no pending entry lives on an earlier day.
+    /// If a whole lap comes up empty (sparse far-future events), falls back
+    /// to a direct scan of every bucket for the global minimum.
+    fn locate_min(&self) -> Option<(u64, usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len() as u64;
+        for offset in 0..nbuckets {
+            let day = self.cursor_day + offset;
+            let idx = self.bucket_of(day);
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (pos, e) in self.buckets[idx].iter().enumerate() {
+                if self.day_of(e.at) == day
+                    && best.is_none_or(|(at, seq, _)| (e.at, e.seq) < (at, seq))
+                {
+                    best = Some((e.at, e.seq, pos));
+                }
+            }
+            if let Some((_, _, pos)) = best {
+                return Some((day, idx, pos));
+            }
+        }
+        // Sparse fallback: one lap found nothing, so every pending event is
+        // at least a full calendar year past the cursor. Direct-search the
+        // global minimum and jump there.
+        let mut best: Option<(SimTime, u64, usize, usize)> = None;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            for (pos, e) in bucket.iter().enumerate() {
+                if best.is_none_or(|(at, seq, _, _)| (e.at, e.seq) < (at, seq)) {
+                    best = Some((e.at, e.seq, idx, pos));
+                }
+            }
+        }
+        best.map(|(at, _, idx, pos)| (self.day_of(at), idx, pos))
+    }
+
     /// Remove and return the next event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| {
-            debug_assert!(e.at >= self.now);
-            self.now = e.at;
-            (e.at, e.event)
-        })
+        let (day, idx, pos) = self.locate_min()?;
+        let e = self.buckets[idx].swap_remove(pos);
+        self.len -= 1;
+        self.cursor_day = day;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize();
+        }
+        Some((e.at, e.event))
     }
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.locate_min()
+            .map(|(_, idx, pos)| self.buckets[idx][pos].at)
     }
 
     /// Drop all pending events (the clock is left unchanged).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Rebuild the calendar: pick a bucket count proportional to the live
+    /// event count and a power-of-two bucket width near the mean spacing
+    /// of the nearest [`WIDTH_SAMPLE`] events, then redistribute.
+    /// Deterministic — the choice depends only on the pending set — though
+    /// correctness never depends on layout.
+    fn resize(&mut self) {
+        let target = self.len.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            entries.append(b);
+        }
+        let shift = if entries.len() < 2 {
+            INITIAL_SHIFT
+        } else {
+            // Mean inter-event spacing over the nearest WIDTH_SAMPLE
+            // events, rounded down to a power of two.
+            let k = WIDTH_SAMPLE.min(entries.len());
+            let mut times: Vec<u64> = entries.iter().map(|e| e.at.as_nanos()).collect();
+            let (head, kth, _) = times.select_nth_unstable(k - 1);
+            let lo = head.iter().copied().min().unwrap_or(*kth);
+            let hi = *kth;
+            if hi <= lo {
+                INITIAL_SHIFT
+            } else {
+                let spacing = (hi - lo) / k as u64;
+                spacing.max(1).ilog2().min(MAX_SHIFT)
+            }
+        };
+        self.bucket_shift = shift;
+        self.cursor_day = self.now.as_nanos() >> shift;
+        if self.buckets.len() != target {
+            self.buckets = (0..target).map(|_| Vec::new()).collect();
+        }
+        for e in entries {
+            let idx = self.bucket_of(self.day_of(e.at));
+            self.buckets[idx].push(e);
+        }
     }
 }
 
@@ -188,5 +318,64 @@ mod tests {
         q.schedule(SimTime::from_secs(2), 3);
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn far_future_event_is_found_by_sparse_fallback() {
+        // One event many calendar years past the cursor: the lap scan fails
+        // and the direct search must find it (and jump the cursor there).
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "near");
+        q.schedule(SimTime::from_secs(1_000_000_000), "far");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1_000_000_000)));
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.now(), SimTime::from_secs(1_000_000_000));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn grow_resize_preserves_order() {
+        // Push well past the grow threshold (2 × nbuckets) with a spread of
+        // timestamps, forcing at least one rebuild mid-stream.
+        let mut q = EventQueue::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            // Deterministic shuffle of distinct timestamps.
+            let t = (i * 7919) % n;
+            q.schedule(SimTime::from_millis(t * 13), t);
+        }
+        let mut last = None;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            assert!(last.is_none_or(|prev| prev <= at));
+            last = Some(at);
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn shrink_resize_keeps_fifo_ties() {
+        // Grow the calendar, drain to trigger shrink resizes, and verify the
+        // same-timestamp FIFO tie-break survives every rebuild.
+        let mut q = EventQueue::new();
+        for i in 0..2_000u64 {
+            q.schedule(SimTime::from_secs(5 + i / 100), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..2_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_one_epoch_stays_fifo_through_resizes() {
+        // Every event on the same calendar day: selection degrades to a
+        // bucket scan but the (at, seq) order must be exact.
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::from_secs(42), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..1_000).collect::<Vec<_>>());
     }
 }

@@ -51,6 +51,20 @@ pub trait KeyRouter: Default {
     /// Add a live node under `key`. Must not already be present and alive.
     fn join(&mut self, key: u64);
 
+    /// Bulk-admit `keys` during initial construction, deferring per-node
+    /// routing-state building to the next [`KeyRouter::stabilize`] — the
+    /// hook that lets a 10⁶-node overlay come up without paying a full
+    /// routing-table build per join. Callers must stabilize before routing.
+    ///
+    /// The default simply joins each key in order; substrates override it
+    /// with a membership-only insert. Either way, the state after the
+    /// following `stabilize` is identical to having joined one by one.
+    fn bulk_join(&mut self, keys: &[u64]) {
+        for &k in keys {
+            self.join(k);
+        }
+    }
+
     /// Graceful departure: the node repairs its neighborhood on the way out.
     fn leave(&mut self, key: u64);
 

@@ -1,0 +1,170 @@
+//! Differential property battery for the calendar event queue.
+//!
+//! The queue's contract is *byte-identity*: for any interleaving of
+//! schedules and pops, the pop sequence must be exactly what a reference
+//! `(time, seq)`-ordered binary heap produces — same times, same FIFO
+//! tie-breaks among equal timestamps, same clock trajectory. These tests
+//! drive both implementations with arbitrary operation sequences, including
+//! the calendar's resize edge cases: thousands of events on one calendar
+//! day (all-one-epoch) and sparse events flung far into the future (the
+//! direct-search fallback path).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dgrid_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+/// The pre-calendar implementation, kept verbatim as the ground truth:
+/// a max-heap on `Reverse((at, seq))` with the same clock semantics.
+struct ReferenceQueue<E> {
+    heap: BinaryHeap<(Reverse<(SimTime, u64)>, E)>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E: Ord> ReferenceQueue<E> {
+    fn new() -> Self {
+        ReferenceQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push((Reverse((at, seq)), event));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|(Reverse((at, _)), e)| {
+            self.now = at;
+            (at, e)
+        })
+    }
+}
+
+/// One step of an interleaved workload: schedule an event `offset_nanos`
+/// past the current clock, or pop `pops` events.
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule { offset_nanos: u64 },
+    Pop { pops: u8 },
+}
+
+fn arb_op(max_offset: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..max_offset).prop_map(|offset_nanos| Op::Schedule { offset_nanos }),
+        1 => (1u8..4).prop_map(|pops| Op::Pop { pops }),
+    ]
+}
+
+/// Run the same op sequence through both queues and demand identical
+/// observable behavior at every step.
+fn run_differential(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut cal = EventQueue::new();
+    let mut reference = ReferenceQueue::new();
+    let mut payload = 0u64;
+    for op in ops {
+        match *op {
+            Op::Schedule { offset_nanos } => {
+                let at = SimTime::from_nanos(cal.now().as_nanos() + offset_nanos);
+                cal.schedule(at, payload);
+                reference.schedule(at, payload);
+                payload += 1;
+            }
+            Op::Pop { pops } => {
+                for _ in 0..pops {
+                    let got = cal.pop();
+                    let want = reference.pop();
+                    prop_assert_eq!(got, want, "pop diverged from reference heap");
+                    prop_assert_eq!(cal.now(), reference.now, "clock diverged");
+                }
+            }
+        }
+        prop_assert_eq!(cal.len(), reference.heap.len());
+        prop_assert_eq!(
+            cal.peek_time(),
+            reference.heap.peek().map(|(Reverse((at, _)), _)| *at)
+        );
+    }
+    // Drain: the full remaining pop order must match too.
+    loop {
+        let got = cal.pop();
+        let want = reference.pop();
+        prop_assert_eq!(got, want, "drain diverged from reference heap");
+        if got.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary interleaved push/pop sequences with near-future offsets —
+    /// the simulation's common case, crossing grow and shrink thresholds.
+    #[test]
+    fn interleaved_ops_match_reference(
+        ops in proptest::collection::vec(arb_op(5_000_000_000), 1..400),
+    ) {
+        run_differential(&ops)?;
+    }
+
+    /// Heavy same-timestamp pressure: offsets drawn from {0, 1} nanoseconds
+    /// pile many events onto identical instants, so every pop exercises the
+    /// FIFO tie-break.
+    #[test]
+    fn same_timestamp_fifo_matches_reference(
+        ops in proptest::collection::vec(arb_op(2), 1..400),
+    ) {
+        run_differential(&ops)?;
+    }
+
+    /// All-one-epoch resize edge case: hundreds of events land on a single
+    /// calendar day, then interleaved pops shrink the calendar back down.
+    #[test]
+    fn all_one_epoch_matches_reference(
+        times in proptest::collection::vec(Just(0u64), 64..512),
+        extra in proptest::collection::vec(0u64..1_000, 0..64),
+    ) {
+        let mut ops: Vec<Op> = times
+            .iter()
+            .chain(extra.iter())
+            .map(|&offset_nanos| Op::Schedule { offset_nanos })
+            .collect();
+        ops.push(Op::Pop { pops: 3 });
+        ops.extend(std::iter::repeat_n(Op::Pop { pops: 3 }, 250));
+        run_differential(&ops)?;
+    }
+
+    /// Sparse far-future events: offsets up to thousands of simulated years
+    /// force the one-lap scan to fail and the direct-search fallback (with
+    /// its cursor jump) to take over, across repeated resizes.
+    #[test]
+    fn sparse_far_future_matches_reference(
+        ops in proptest::collection::vec(arb_op(u64::MAX / 4096), 1..200),
+    ) {
+        run_differential(&ops)?;
+    }
+
+    /// Mixed density: a cluster of near events plus a handful of far-future
+    /// stragglers, popped dry — the cursor must jump forward over the gap
+    /// and still respect (time, seq) order on the far side.
+    #[test]
+    fn near_cluster_with_far_stragglers_matches_reference(
+        near in proptest::collection::vec(0u64..1_000_000, 1..100),
+        far in proptest::collection::vec(1u64 << 50..1u64 << 60, 1..8),
+    ) {
+        let ops: Vec<Op> = near
+            .iter()
+            .chain(far.iter())
+            .map(|&offset_nanos| Op::Schedule { offset_nanos })
+            .collect();
+        run_differential(&ops)?;
+    }
+}

@@ -216,6 +216,22 @@ impl TapestryNetwork {
     /// # Panics
     /// If a live node with this id already exists.
     pub fn join(&mut self, id: TapestryId) {
+        self.admit(id);
+        self.refresh_node(id);
+    }
+
+    /// Membership-only join used during bulk construction: the node is
+    /// admitted with empty neighbor maps — a [`TapestryNetwork::stabilize`]
+    /// must follow before any routing. The post-stabilize state is
+    /// identical to having joined one by one.
+    ///
+    /// # Panics
+    /// If a live node with this id already exists.
+    pub fn join_deferred(&mut self, id: TapestryId) {
+        self.admit(id);
+    }
+
+    fn admit(&mut self, id: TapestryId) {
         let existing = self.peers.get(&id.0).is_some_and(|p| p.alive);
         assert!(!existing, "duplicate join of live node {id}");
         self.peers.insert(
@@ -226,7 +242,6 @@ impl TapestryNetwork {
             },
         );
         self.alive_count += 1;
-        self.refresh_node(id);
     }
 
     /// Graceful departure: the node's immediate prefix neighbourhood is
@@ -407,6 +422,12 @@ impl dgrid_sim::router::KeyRouter for TapestryNetwork {
 
     fn join(&mut self, key: u64) {
         TapestryNetwork::join(self, TapestryId(key));
+    }
+
+    fn bulk_join(&mut self, keys: &[u64]) {
+        for &k in keys {
+            self.join_deferred(TapestryId(k));
+        }
     }
 
     fn leave(&mut self, key: u64) {
@@ -613,6 +634,28 @@ mod tests {
         let mut net = TapestryNetwork::default();
         net.join(TapestryId(1));
         net.join(TapestryId(1));
+    }
+
+    #[test]
+    fn deferred_bulk_join_matches_eager_joins_after_stabilize() {
+        use dgrid_sim::router::KeyRouter;
+        let mut rng = rng_for(23, streams::NODE_IDS);
+        let keys: Vec<u64> = (0..48).map(|_| rng.gen()).collect();
+        let mut eager = TapestryNetwork::default();
+        for &k in &keys {
+            eager.join(TapestryId(k));
+        }
+        eager.stabilize();
+        let mut lazy = TapestryNetwork::default();
+        KeyRouter::bulk_join(&mut lazy, &keys);
+        lazy.stabilize();
+        assert_eq!(eager.alive_ids(), lazy.alive_ids());
+        for _ in 0..200 {
+            let key = TapestryId(rng.gen());
+            let from = TapestryId(keys[rng.gen_range(0..keys.len())]);
+            assert_eq!(eager.route(from, key), lazy.route(from, key));
+        }
+        assert_eq!(lazy.table_violation(), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! dgrid bench overlays [--replications N] [--json PATH]
 //! dgrid bench leases [--replications N] [--json PATH]
 //! dgrid bench stream [--replications N] [--json PATH]
+//! dgrid bench scale [--nodes N[,N...]] [--min-events-per-sec F] [--json PATH]
 //!
 //! options:
 //!   --nodes N             grid size                      (default 200)
@@ -94,6 +95,17 @@
 //! stream is strictly cheaper than JSONL (bytes and wall time), and verify
 //! the online sketch percentiles match the post-hoc report within one
 //! log₂ bucket; `--json` writes the comparison for the CI artifact.
+//!
+//! bench scale options (defaults: sizes 1k/10k/100k, 1 replication): the
+//! `T-scale` experiment — measure the simulation kernel at increasing grid
+//! sizes, reporting setup time (workload + engine construction including
+//! overlay bootstrap), steady-state events/sec, peak RSS, and the ratio
+//! over the 96-node `bench sweep` baseline extrapolated linearly to each
+//! size. `--nodes` takes a single size or a comma-separated ladder
+//! (e.g. `--nodes 1000,10000,100000,1000000`); `--jobs` pins the job
+//! count (default: nodes/10, at least 400); `--min-events-per-sec` makes
+//! the run exit non-zero if any size falls below the floor (the CI
+//! regression guard); `--json` writes the points for the CI artifact.
 //! ```
 //!
 //! `run` executes one cell and prints the report (`--replications R` fans R
@@ -157,6 +169,10 @@ struct Opts {
     matchmakers: Option<String>,
     threads: Option<usize>,
     replications: usize,
+    /// `bench scale` only: the grid-size ladder from `--nodes N[,N...]`.
+    sizes: Option<Vec<usize>>,
+    /// `bench scale` only: the regression-guard throughput floor.
+    min_events_per_sec: Option<f64>,
     lease_ttl: Option<f64>,
     lease_renew: Option<f64>,
     lease_grace: Option<f64>,
@@ -166,7 +182,7 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: dgrid <run|compare|report|watch|events convert|check|bench \
-         sweep|bench overlays|bench leases|bench stream> \
+         sweep|bench overlays|bench leases|bench stream|bench scale> \
          [--algorithm A] [--scenario S] \
          [--nodes N] [--jobs M] [--seed S] [--threads N] [--replications R] [--mttf SECS] \
          [--rejoin SECS] [--graceful FRAC] \
@@ -175,7 +191,8 @@ fn usage() -> ! {
          [--placement hash|load-aware] [--events PATH] [--format jsonl|binary] \
          [--to jsonl|binary] [--follow] [--window SECS] [--refresh SECS] [--idle-exit SECS] \
          [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH] \
-         [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME] [--matchmaker M[,M...]]\n\
+         [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME] [--matchmaker M[,M...]] \
+         [--min-events-per-sec F]\n\
          algorithms: rn-tree rn-tree@pastry rn-tree@tapestry can can-push can-novirt central\n\
          scenarios : clustered/light clustered/heavy mixed/light mixed/heavy"
     );
@@ -260,6 +277,8 @@ fn parse() -> Opts {
         matchmakers: None,
         threads: None,
         replications: 1,
+        sizes: None,
+        min_events_per_sec: None,
         lease_ttl: None,
         lease_renew: None,
         lease_grace: None,
@@ -280,7 +299,7 @@ fn parse() -> Opts {
         // Flags follow the subcommand. Defaults drop to the quick bench
         // scale so a sweep finishes in seconds.
         match args.get(1).map(String::as_str) {
-            Some(sub @ ("sweep" | "overlays" | "leases" | "stream")) => {
+            Some(sub @ ("sweep" | "overlays" | "leases" | "stream" | "scale")) => {
                 opts.command = format!("bench-{sub}")
             }
             _ => usage(),
@@ -288,6 +307,12 @@ fn parse() -> Opts {
         opts.nodes = 96;
         opts.jobs = 400;
         opts.replications = 16;
+        if opts.command == "bench-scale" {
+            // Scale points run sequentially over the size ladder; `jobs == 0`
+            // means "scale the job count with the grid" (nodes/10, min 400).
+            opts.jobs = 0;
+            opts.replications = 1;
+        }
         i = 2;
     }
     if opts.command == "events" {
@@ -309,6 +334,13 @@ fn parse() -> Opts {
         match flag {
             "--algorithm" => opts.algorithm = parse_algorithm(&val),
             "--scenario" => opts.scenario = parse_scenario(&val),
+            "--nodes" if opts.command == "bench-scale" => {
+                opts.sizes = Some(
+                    val.split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                )
+            }
             "--nodes" => opts.nodes = val.parse().unwrap_or_else(|_| usage()),
             "--jobs" => opts.jobs = val.parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = val.parse().unwrap_or_else(|_| usage()),
@@ -338,6 +370,9 @@ fn parse() -> Opts {
             "--lease-renew" => opts.lease_renew = Some(val.parse().unwrap_or_else(|_| usage())),
             "--lease-grace" => opts.lease_grace = Some(val.parse().unwrap_or_else(|_| usage())),
             "--placement" => opts.placement = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--min-events-per-sec" => {
+                opts.min_events_per_sec = Some(val.parse().unwrap_or_else(|_| usage()))
+            }
             "--threads" => {
                 let n: usize = val.parse().unwrap_or_else(|_| usage());
                 if n == 0 {
@@ -1422,6 +1457,175 @@ fn cmd_bench_sweep(opts: &Opts) {
     }
 }
 
+/// Threads-1 throughput of `bench sweep` at its 96-node cell (pinned in
+/// `results/BENCH_sweep.json`). `bench scale` extrapolates it linearly —
+/// events/sec × 96/N — as the "what the old keyed-map kernel would do"
+/// reference each scale point is compared against.
+const SWEEP_BASELINE_EVENTS_PER_SEC: f64 = 518_682.0;
+const SWEEP_BASELINE_NODES: f64 = 96.0;
+
+/// Peak resident set size (VmHWM) in KiB from `/proc/self/status`, or 0
+/// where procfs is unavailable. The high-water mark is process-wide and
+/// monotone, so on an ascending size ladder each point's reading is the
+/// peak of the largest grid built so far.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|line| line.starts_with("VmHWM:"))
+                .and_then(|line| line.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One measured grid size of `bench scale`.
+#[derive(serde::Serialize)]
+struct ScalePoint {
+    nodes: usize,
+    jobs: usize,
+    setup_secs: f64,
+    run_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    /// The 96-node sweep baseline extrapolated linearly to this size.
+    baseline_events_per_sec: f64,
+    speedup_vs_baseline: f64,
+    peak_rss_kb: u64,
+}
+
+/// The full `bench scale` result, as written to `--json`.
+#[derive(serde::Serialize)]
+struct ScaleRecord {
+    algorithm: String,
+    scenario: String,
+    replications: usize,
+    seed: u64,
+    min_events_per_sec: Option<f64>,
+    sizes: Vec<ScalePoint>,
+}
+
+/// `dgrid bench scale`: measure the kernel at increasing grid sizes —
+/// setup time (workload generation + engine construction, including the
+/// bulk overlay bootstrap), steady-state events/sec, and peak RSS — and
+/// compare each size against the linear extrapolation of the 96-node
+/// `bench sweep` baseline. With `--min-events-per-sec` the run doubles as
+/// a regression guard, exiting non-zero if any size falls below the floor.
+fn cmd_bench_scale(opts: &Opts) {
+    let sizes = opts
+        .sizes
+        .clone()
+        .unwrap_or_else(|| vec![1_000, 10_000, 100_000]);
+    // `--jobs` pins the workload; the default scales it with the grid so
+    // the timed phase stays dominated by matchmaking, not by idle ticks.
+    let jobs_for = |nodes: usize| {
+        if opts.jobs > 0 {
+            opts.jobs
+        } else {
+            (nodes / 10).max(400)
+        }
+    };
+
+    println!(
+        "bench scale: {} x {} — sizes {:?}, {} replication(s), seed {}",
+        opts.algorithm.label(),
+        opts.scenario.label(),
+        sizes,
+        opts.replications,
+        opts.seed
+    );
+
+    // Warm-up (untimed): touch every code path once at a small size so the
+    // first timed point doesn't also pay first-fault costs.
+    {
+        let workload = paper_scenario(opts.scenario, 256, 400, opts.seed);
+        let mut engine = build_engine(opts, opts.algorithm, &workload, opts.seed);
+        engine.set_observer(Box::new(CountingObserver::default()));
+        let _ = engine.run();
+    }
+
+    println!(
+        "{:>10} {:>9} {:>10} {:>10} {:>10} {:>12} {:>11} {:>10}",
+        "nodes", "jobs", "setup", "run", "events", "events/sec", "xbaseline", "peak rss"
+    );
+    let mut points: Vec<ScalePoint> = Vec::new();
+    let mut below_floor = false;
+    for &nodes in &sizes {
+        let jobs = jobs_for(nodes);
+        let mut setup_secs = 0.0;
+        let mut run_secs = 0.0;
+        let mut events = 0u64;
+        for r in 0..opts.replications as u64 {
+            let seed = opts.seed ^ (r + 1);
+            let started = std::time::Instant::now();
+            let workload = paper_scenario(opts.scenario, nodes, jobs, seed);
+            let mut engine = build_engine(opts, opts.algorithm, &workload, seed);
+            setup_secs += started.elapsed().as_secs_f64();
+            let counter = CountingObserver::default();
+            engine.set_observer(Box::new(counter.clone()));
+            let started = std::time::Instant::now();
+            let _ = engine.run();
+            run_secs += started.elapsed().as_secs_f64();
+            events += counter.0.get();
+        }
+        let events_per_sec = events as f64 / run_secs.max(1e-9);
+        let baseline_events_per_sec =
+            SWEEP_BASELINE_EVENTS_PER_SEC * SWEEP_BASELINE_NODES / nodes as f64;
+        let speedup_vs_baseline = events_per_sec / baseline_events_per_sec;
+        let peak_rss_kb = peak_rss_kb();
+        println!(
+            "{:>10} {:>9} {:>9.2}s {:>9.2}s {:>10} {:>12.0} {:>10.1}x {:>8}MB",
+            nodes,
+            jobs,
+            setup_secs,
+            run_secs,
+            events,
+            events_per_sec,
+            speedup_vs_baseline,
+            peak_rss_kb / 1024,
+        );
+        if let Some(floor) = opts.min_events_per_sec {
+            if events_per_sec < floor {
+                below_floor = true;
+                eprintln!(
+                    "REGRESSION: {nodes} nodes ran at {events_per_sec:.0} events/sec, \
+                     below the --min-events-per-sec floor {floor:.0}"
+                );
+            }
+        }
+        points.push(ScalePoint {
+            nodes,
+            jobs,
+            setup_secs,
+            run_secs,
+            events,
+            events_per_sec,
+            baseline_events_per_sec,
+            speedup_vs_baseline,
+            peak_rss_kb,
+        });
+    }
+
+    if let Some(path) = &opts.json {
+        let record = ScaleRecord {
+            algorithm: opts.algorithm.label().to_string(),
+            scenario: opts.scenario.label().to_string(),
+            replications: opts.replications,
+            seed: opts.seed,
+            min_events_per_sec: opts.min_events_per_sec,
+            sizes: points,
+        };
+        let f = std::fs::File::create(path).expect("create json output");
+        serde_json::to_writer_pretty(f, &record).expect("write json");
+        eprintln!("wrote bench scale to {path}");
+    }
+    if below_floor {
+        std::process::exit(1);
+    }
+}
+
 /// One overlay row of `bench overlays`, as written to `--json`.
 #[derive(serde::Serialize)]
 struct OverlayPoint {
@@ -2006,6 +2210,10 @@ fn dispatch(opts: &Opts) {
     }
     if opts.command == "bench-leases" {
         cmd_bench_leases(opts);
+        return;
+    }
+    if opts.command == "bench-scale" {
+        cmd_bench_scale(opts);
         return;
     }
     let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, opts.seed);

@@ -87,6 +87,68 @@ fn replicated_streams_in(
     })
 }
 
+/// One traced replication at kernel scale: 10,000 nodes under the same
+/// churn + message loss, horizon pulled in so the case stays suite-cheap.
+/// This is the size where the arena/calendar-queue kernel actually carries
+/// the run — a 40-node case would never notice a kernel that leaked
+/// allocator addresses or hash order only under load.
+fn ten_k_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8> {
+    let workload = paper_scenario(PaperScenario::MixedLight, 10_000, 2_000, seed);
+    let cfg = EngineConfig {
+        seed,
+        max_sim_secs: 8_000.0,
+        ..EngineConfig::default()
+    };
+    let churn = ChurnConfig {
+        mttf_secs: Some(400_000.0),
+        rejoin_after_secs: Some(900.0),
+        graceful_fraction: 0.25,
+    };
+    let buf = SharedBuf::default();
+    let observer: Box<dyn dgrid::core::Observer> = match format {
+        StreamFormat::Jsonl => Box::new(JsonlObserver::new(buf.clone())),
+        StreamFormat::Binary => Box::new(BinaryObserver::new(buf.clone())),
+    };
+    Engine::new(
+        cfg,
+        churn,
+        alg.matchmaker(),
+        workload.nodes,
+        workload.submissions,
+    )
+    .with_fault_plan(FaultPlan::with_loss(0.03))
+    .with_observer(observer)
+    .run();
+    let bytes = buf.0.take();
+    assert!(!bytes.is_empty(), "traced run must emit events");
+    bytes
+}
+
+#[test]
+fn ten_thousand_node_streams_byte_identical_across_thread_counts() {
+    // The 10k-node kernel run on the work-stealing pool at 1, 2, and 8
+    // threads: the arena slot assignment, calendar-queue bucket layout,
+    // and lazy overlay snapshots must depend only on the seed, never on
+    // which worker thread drives the replication.
+    let run = |threads: usize| -> Vec<u8> {
+        Pool::install(threads, || {
+            (0..1u64)
+                .into_par_iter()
+                .map(|_| ten_k_replication(Algorithm::RnTree, 1993, StreamFormat::Binary))
+                .collect::<Vec<Vec<u8>>>()
+                .concat()
+        })
+    };
+    let baseline = run(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "rn-tree: {threads}-thread 10k-node stream diverged from sequential"
+        );
+    }
+}
+
 #[test]
 fn event_streams_byte_identical_across_thread_counts() {
     for alg in [Algorithm::RnTree, Algorithm::Can, Algorithm::Central] {

@@ -74,6 +74,38 @@ fn stream_with(alg: Algorithm, seed: u64, base_cfg: EngineConfig) -> Vec<u8> {
     bytes
 }
 
+/// One traced run at kernel scale: 10,000 nodes under churn and message
+/// loss, with the sim horizon pulled in so the case stays test-suite
+/// cheap. This is the size where the arena/calendar-queue kernel carries
+/// the run — a keyed-map kernel survives the 40-node goldens unnoticed.
+fn ten_k_stream(alg: Algorithm, seed: u64) -> Vec<u8> {
+    let workload = paper_scenario(PaperScenario::MixedLight, 10_000, 2_000, seed);
+    let cfg = EngineConfig {
+        seed,
+        max_sim_secs: 8_000.0,
+        ..EngineConfig::default()
+    };
+    let churn = ChurnConfig {
+        mttf_secs: Some(400_000.0),
+        rejoin_after_secs: Some(900.0),
+        graceful_fraction: 0.25,
+    };
+    let buf = SharedBuf::default();
+    Engine::new(
+        cfg,
+        churn,
+        alg.matchmaker(),
+        workload.nodes,
+        workload.submissions,
+    )
+    .with_fault_plan(FaultPlan::with_loss(0.03))
+    .with_observer(Box::new(JsonlObserver::new(buf.clone())))
+    .run();
+    let bytes = buf.0.take();
+    assert!(!bytes.is_empty(), "traced run must emit events");
+    bytes
+}
+
 const SEED: u64 = 1993;
 
 /// `(variant, fnv1a, byte length)` recorded before the KeyRouter refactor.
@@ -168,6 +200,45 @@ fn golden_streams_round_trip_through_binary_byte_identically() {
             bin,
             "{}: decode -> encode must reproduce the binary bytes",
             alg.label()
+        );
+    }
+}
+
+/// `(variant, fnv1a, byte length)` of the 10,000-node runs, pinned when
+/// the kernel landed. Two variants bound the suite's runtime: RN-Tree
+/// exercises the overlay-backed path, Central the overlay-free one.
+const PINNED_10K: &[(Algorithm, u64, usize)] = &[
+    (Algorithm::RnTree, 0xd04004fd7cc07c7d, 762_263),
+    (Algorithm::Central, 0xdab563c9363b4965, 751_837),
+];
+
+#[test]
+fn ten_thousand_node_streams_match_pinned_hashes() {
+    for &(alg, hash, len) in PINNED_10K {
+        let bytes = ten_k_stream(alg, SEED);
+        assert_eq!(
+            (fnv1a(&bytes), bytes.len()),
+            (hash, len),
+            "{}: 10k-node event stream drifted from the pinned bytes \
+             (got hash {:#x}, len {})",
+            alg.label(),
+            fnv1a(&bytes),
+            bytes.len()
+        );
+    }
+}
+
+/// Harvest helper for deliberate re-pins of the 10k goldens: `cargo test
+/// -q --test stream_golden_e2e -- --ignored --nocapture print_10k_hashes`.
+#[test]
+#[ignore]
+fn print_10k_hashes() {
+    for &(alg, ..) in PINNED_10K {
+        let bytes = ten_k_stream(alg, SEED);
+        println!(
+            "    (Algorithm::{alg:?}, {:#x}, {}),",
+            fnv1a(&bytes),
+            bytes.len()
         );
     }
 }
