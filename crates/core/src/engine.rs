@@ -41,6 +41,8 @@ use crate::metrics::SimReport;
 use crate::node::{GridNodeId, NodeTable, QueuedJob};
 use crate::trace::{NullObserver, Observer, TraceEvent};
 
+mod shard;
+
 /// A scheduled availability transition for one node (deterministic churn,
 /// e.g. a diurnal desktop-availability trace: the machine leaves when its
 /// user arrives in the morning and rejoins at night).
@@ -204,6 +206,17 @@ pub struct Engine {
     registry: Option<SharedRegistry>,
     timeseries: Option<TimeSeries>,
     sample_every: SimDuration,
+    /// `Some(S)` switches [`Engine::run`] to the sharded conservative-window
+    /// kernel with `S` node shards. See [`Engine::set_sharded_execution`].
+    shards: Option<usize>,
+    /// Per-shard RNG/network state, created lazily on the first window (so
+    /// it sees the final fault plan). Lives here rather than in the run
+    /// loop so the shard count is pinned for the whole run.
+    shard_states: Vec<Option<shard::ShardState>>,
+    /// While a conservative window is open, emissions buffer here and flush
+    /// sorted by `(time, commit order)` at the barrier; `None` (the
+    /// sequential kernel) forwards straight to the observer.
+    window_obs: Option<Vec<(SimTime, TraceEvent)>>,
 }
 
 impl Engine {
@@ -374,7 +387,37 @@ impl Engine {
             registry: None,
             timeseries: None,
             sample_every: SimDuration::ZERO,
+            shards: None,
+            shard_states: Vec::new(),
+            window_obs: None,
         }
+    }
+
+    /// Switch [`Engine::run`] to the space-parallel conservative-window
+    /// kernel with `shards` node shards (see the module docs of
+    /// [`shard`](self) internals): events execute against shard-local state
+    /// inside windows bounded by the network's minimum latency, and a
+    /// deterministic barrier merges their effects in `(time, seq)` order.
+    ///
+    /// The output is a pure function of the configuration **and of `S`**:
+    /// for a fixed shard count the event stream and report are byte-identical
+    /// at every worker-thread count (including one), but they are *not* the
+    /// sequential kernel's bytes — sharding gives each shard its own derived
+    /// network RNG stream. Callers that compare runs must therefore compare
+    /// sharded-to-sharded with equal `S` (the CLI pins
+    /// [`DEFAULT_SHARDS`](Engine::DEFAULT_SHARDS)).
+    ///
+    /// # Panics
+    /// If `shards` is zero.
+    pub fn set_sharded_execution(&mut self, shards: usize) {
+        assert!(shards > 0, "shard count must be positive");
+        self.shards = Some(shards);
+    }
+
+    /// Enable sharded execution, builder-style.
+    pub fn with_sharded_execution(mut self, shards: usize) -> Self {
+        self.set_sharded_execution(shards);
+        self
     }
 
     /// Install a lifecycle [`Observer`] (tracing, test assertions,
@@ -470,20 +513,31 @@ impl Engine {
         self
     }
 
+    /// The shard count the CLI pins when `run --threads` enables sharded
+    /// execution. One fixed value for every thread count is what keeps the
+    /// streams comparable across `--threads 1/2/8`; 64 shards keep all
+    /// plausible worker counts busy without fragmenting the windows.
+    pub const DEFAULT_SHARDS: usize = 64;
+
+    /// Forward a lifecycle event to the observer — or, while a conservative
+    /// window is open, into the window buffer that the barrier flushes in
+    /// `(time, commit order)` sorted order. Every emission in the engine
+    /// goes through here so the two kernels share one code path.
+    fn emit(&mut self, at: SimTime, event: TraceEvent) {
+        match &mut self.window_obs {
+            Some(buf) => buf.push((at, event)),
+            None => self.observer.on_event(at, event),
+        }
+    }
+
     /// Run to completion and return the report.
     pub fn run(mut self) -> SimReport {
         let horizon = SimTime::from_secs_f64(self.cfg.max_sim_secs);
-        let mut makespan = SimTime::ZERO;
-        while self.outstanding > 0 {
-            let Some((now, ev)) = self.queue.pop() else {
-                break;
-            };
-            if now > horizon {
-                break;
-            }
-            self.dispatch(now, ev);
-            makespan = now;
-        }
+        let makespan = if self.shards.is_some() {
+            self.run_sharded_loop(horizon)
+        } else {
+            self.run_sequential_loop(horizon)
+        };
         // Jobs still open at the horizon fail, in id order: the table
         // iterates in insertion order, and the failure order is visible in
         // the trace stream, so it is pinned by an explicit sort.
@@ -510,6 +564,22 @@ impl Engine {
         self.report.timeseries = self.timeseries.take();
         self.report.stream_bytes_written = self.observer.bytes_written().unwrap_or(0);
         self.report
+    }
+
+    /// The classic one-event-at-a-time kernel.
+    fn run_sequential_loop(&mut self, horizon: SimTime) -> SimTime {
+        let mut makespan = SimTime::ZERO;
+        while self.outstanding > 0 {
+            let Some((now, ev)) = self.queue.pop() else {
+                break;
+            };
+            if now > horizon {
+                break;
+            }
+            self.dispatch(now, ev);
+            makespan = now;
+        }
+        makespan
     }
 
     // ------------------------------------------------------------------
@@ -558,8 +628,11 @@ impl Engine {
             Event::Maintenance => {
                 self.mm.tick(&self.nodes);
                 if self.outstanding > 0 {
-                    self.queue.schedule_in(
-                        SimDuration::from_secs_f64(self.cfg.maintenance_secs),
+                    // Relative to the event's own time, not the queue clock:
+                    // under the windowed kernel the clock sits at the window
+                    // start while this dispatches at the barrier.
+                    self.queue.schedule(
+                        now + SimDuration::from_secs_f64(self.cfg.maintenance_secs),
                         Event::Maintenance,
                     );
                 }
@@ -599,7 +672,7 @@ impl Engine {
         }
         if self.outstanding > 0 {
             self.queue
-                .schedule_in(self.sample_every, Event::TelemetrySample);
+                .schedule(now + self.sample_every, Event::TelemetrySample);
         }
     }
 
@@ -685,7 +758,7 @@ impl Engine {
             rec.rpc_attempts
         };
         if attempts > self.cfg.max_rpc_retries {
-            self.schedule_client_resubmit(job, epoch);
+            self.schedule_client_resubmit(now, job, epoch);
             return;
         }
         let d = self.backoff_delay(attempts - 1);
@@ -828,8 +901,7 @@ impl Engine {
             return;
         }
         self.report.lease_expiries += 1;
-        self.observer
-            .on_event(now, TraceEvent::LeaseExpired { job });
+        self.emit(now, TraceEvent::LeaseExpired { job });
         self.detach_owner(job);
         let Some(rec) = self.job_mut(job) else { return };
         rec.owner = None;
@@ -873,7 +945,7 @@ impl Engine {
                 let Some(rec) = self.job_mut(job) else { return };
                 rec.owner = Some(OwnerRef::Peer(new_owner));
                 self.owner_jobs.entry(new_owner).or_default().insert(job);
-                self.observer.on_event(
+                self.emit(
                     now,
                     TraceEvent::LeaseTransferred {
                         job,
@@ -935,8 +1007,7 @@ impl Engine {
         rec.invalidate();
         let epoch = rec.epoch;
         let resubmits = rec.resubmits;
-        self.observer
-            .on_event(now, TraceEvent::Submitted { job, resubmits });
+        self.emit(now, TraceEvent::Submitted { job, resubmits });
         self.route_submission(now, job, epoch);
     }
 
@@ -950,7 +1021,7 @@ impl Engine {
         let Some(injection) = self.nodes.random_alive(&mut self.rng_engine) else {
             // Empty grid: retry after the resubmit timeout, like a client
             // that cannot find an entry point.
-            self.schedule_client_resubmit(job, epoch);
+            self.schedule_client_resubmit(now, job, epoch);
             return;
         };
         let guid = self.guid_of(job, resubmits);
@@ -1031,8 +1102,7 @@ impl Engine {
         if let OwnerRef::Peer(p) = owner {
             self.owner_jobs.entry(p).or_default().insert(job);
         }
-        self.observer
-            .on_event(now, TraceEvent::OwnerAssigned { job, owner });
+        self.emit(now, TraceEvent::OwnerAssigned { job, owner });
         self.grant_lease(now, job);
         self.try_match(now, job);
     }
@@ -1058,7 +1128,7 @@ impl Engine {
                     // no client involvement needed.
                     return;
                 }
-                self.schedule_client_resubmit(job, epoch);
+                self.schedule_client_resubmit(now, job, epoch);
                 return;
             }
         }
@@ -1073,7 +1143,7 @@ impl Engine {
         match outcome.run_node {
             Some(run) if self.nodes.is_alive(run) => {
                 self.report.match_hops.push(f64::from(outcome.hops));
-                self.observer.on_event(
+                self.emit(
                     now,
                     TraceEvent::Matched {
                         job,
@@ -1190,8 +1260,7 @@ impl Engine {
         rec.invalidate();
         let epoch = rec.epoch;
         let profile = rec.profile;
-        self.observer
-            .on_event(now, TraceEvent::Started { job, run_node: run });
+        self.emit(now, TraceEvent::Started { job, run_node: run });
         let kill_after = self.cfg.sandbox.kill_after_secs(&profile);
 
         self.nodes.set_running(
@@ -1364,7 +1433,7 @@ impl Engine {
         if !was_terminal {
             self.outstanding -= 1;
         }
-        self.observer.on_event(
+        self.emit(
             now,
             TraceEvent::Completed {
                 job,
@@ -1487,8 +1556,7 @@ impl Engine {
         } else {
             self.report.node_failures += 1;
         }
-        self.observer
-            .on_event(now, TraceEvent::NodeDown { node, graceful });
+        self.emit(now, TraceEvent::NodeDown { node, graceful });
 
         // Victim jobs held by the node (running + queued), gathered before
         // the table clears them.
@@ -1538,7 +1606,7 @@ impl Engine {
                 self.queue
                     .schedule(now + detect, Event::RunFailureDetected { job, epoch });
             } else if !self.cfg.leases_enabled() {
-                self.schedule_client_resubmit(job, epoch);
+                self.schedule_client_resubmit(now, job, epoch);
             }
             // In lease mode a dead (or already detached) owner's pending
             // lease expiry transfers ownership and rematches the job — the
@@ -1583,7 +1651,7 @@ impl Engine {
                         rec.state = JobState::Recovering;
                         rec.invalidate();
                         let epoch = rec.epoch;
-                        self.schedule_client_resubmit(job, epoch);
+                        self.schedule_client_resubmit(now, job, epoch);
                     }
                 }
             }
@@ -1614,7 +1682,7 @@ impl Engine {
             self.queue
                 .schedule(now + detect, Event::RunFailureDetected { job, epoch });
         } else if !self.cfg.leases_enabled() {
-            self.schedule_client_resubmit(job, epoch);
+            self.schedule_client_resubmit(now, job, epoch);
         }
         // Lease mode: the dead owner's lease expiry transfers the job.
     }
@@ -1635,12 +1703,12 @@ impl Engine {
             // Owner died during the detection window: dual failure — unless
             // leases are on, in which case the expiry transfers the job.
             if !self.cfg.leases_enabled() {
-                self.schedule_client_resubmit(job, epoch);
+                self.schedule_client_resubmit(now, job, epoch);
             }
             return;
         }
         self.report.run_recoveries += 1;
-        self.observer.on_event(now, TraceEvent::RunRecovery { job });
+        self.emit(now, TraceEvent::RunRecovery { job });
         let Some(rec) = self.job_mut(job) else { return };
         rec.match_attempts = 0; // fresh matchmaking round
         rec.rpc_attempts = 0;
@@ -1671,7 +1739,7 @@ impl Engine {
         }
         self.report.spurious_detections += 1;
         self.report.run_recoveries += 1;
-        self.observer.on_event(now, TraceEvent::RunRecovery { job });
+        self.emit(now, TraceEvent::RunRecovery { job });
         let Some(rec) = self.job_mut(job) else { return };
         rec.state = JobState::Recovering;
         rec.run_node = None;
@@ -1716,8 +1784,7 @@ impl Engine {
             // T-overhead message totals cover recovery traffic too.
             self.report.owner_hops.push(f64::from(hops));
             self.report.owner_recoveries += 1;
-            self.observer
-                .on_event(now, TraceEvent::OwnerRecovery { job });
+            self.emit(now, TraceEvent::OwnerRecovery { job });
             self.detach_owner(job);
             let Some(rec) = self.job_mut(job) else { return };
             rec.owner = Some(new_owner);
@@ -1750,8 +1817,7 @@ impl Engine {
             Some((new_owner, hops)) => {
                 self.report.owner_hops.push(f64::from(hops));
                 self.report.owner_recoveries += 1;
-                self.observer
-                    .on_event(now, TraceEvent::OwnerRecovery { job });
+                self.emit(now, TraceEvent::OwnerRecovery { job });
                 let Some(rec) = self.job_mut(job) else { return };
                 rec.owner = Some(new_owner);
                 if let OwnerRef::Peer(p) = new_owner {
@@ -1768,9 +1834,11 @@ impl Engine {
         }
     }
 
-    fn schedule_client_resubmit(&mut self, job: JobId, epoch: u32) {
-        self.queue.schedule_in(
-            self.cfg.client_resubmit_delay(),
+    fn schedule_client_resubmit(&mut self, now: SimTime, job: JobId, epoch: u32) {
+        // `now` is the caller's event time — equal to the queue clock in the
+        // sequential kernel, ahead of it at the windowed kernel's barrier.
+        self.queue.schedule(
+            now + self.cfg.client_resubmit_delay(),
             Event::ClientResubmit { job, epoch },
         );
     }
@@ -1795,7 +1863,7 @@ impl Engine {
             return;
         }
         self.nodes.mark_rejoined(node);
-        self.observer.on_event(now, TraceEvent::NodeUp { node });
+        self.emit(now, TraceEvent::NodeUp { node });
         self.mm.on_join(&self.nodes, node, &mut self.rng_mm);
         if let Some(mttf) = self.churn.mttf_secs {
             let dt = SimDuration::from_secs_f64(rng::sample_exp(&mut self.rng_fail, mttf));
@@ -1826,7 +1894,7 @@ impl Engine {
         }
         self.report.jobs_failed += 1;
         self.outstanding -= 1;
-        self.observer.on_event(now, TraceEvent::Failed { job });
+        self.emit(now, TraceEvent::Failed { job });
         self.detach_owner(job);
         if self.dag.is_empty() {
             // The paper's base model: no dependencies, nothing to cascade.
@@ -1851,7 +1919,7 @@ impl Engine {
             self.report.jobs_failed += 1;
             self.report.dependency_failures += 1;
             self.outstanding -= 1;
-            self.observer.on_event(now, TraceEvent::Failed { job: d });
+            self.emit(now, TraceEvent::Failed { job: d });
             self.detach_owner(d);
         }
     }

@@ -1,0 +1,768 @@
+//! Space-parallel execution of a single replication: the sharded
+//! conservative-window kernel.
+//!
+//! The sequential kernel dispatches one event at a time against global
+//! state. This module executes *windows* of events instead: nodes are
+//! partitioned into `S` shards by a stable hash of their index, the
+//! calendar queue batch-pops every event inside a conservative virtual-time
+//! window ([`EventQueue::drain_window`](dgrid_sim::EventQueue::drain_window)),
+//! and the events whose effects are provably confined to one run node —
+//! arrivals at the run-node queue, completions, sandbox kills — execute in
+//! parallel against shard-local copies of that state. Everything a shard
+//! cannot prove local (matchmaking, leases, owner recovery, node churn,
+//! cross-shard messages) is emitted as a timestamped *envelope operation*
+//! and applied at a deterministic barrier that walks the window in
+//! `(virtual_time, seq)` order.
+//!
+//! The window width is the network's minimum one-hop latency
+//! ([`Network::min_latency`]): no effect of an event at time `t` can reach
+//! another entity before `t + lookahead`, so events inside one window are
+//! causally independent across shards. Latency spikes only stretch
+//! deliveries (their factor is validated `>= 1`), so they shrink nothing —
+//! the lookahead is sound under every fault plan.
+//!
+//! # Determinism contract
+//!
+//! For a fixed shard count `S`, the observer byte stream and every
+//! [`SimReport`](crate::SimReport) counter are **identical at every worker
+//! thread count**, including one: shard assignment is a pure hash of the
+//! node index, each shard owns derived RNG streams keyed by its shard index
+//! (never by a thread id), shards never read each other's state inside a
+//! window, and the barrier merges results in `(virtual_time, seq)` order
+//! regardless of which thread produced them. `S` itself is part of the
+//! configuration: runs with different shard counts are different (equally
+//! valid) simulations, which is why the CLI pins
+//! [`Engine::DEFAULT_SHARDS`] for every thread count.
+//!
+//! # How locality is proven, per window round
+//!
+//! An event is executed on a shard only when classification — a read-only,
+//! strictly deterministic pass over the batch — shows its effects stay on
+//! its *home node*:
+//!
+//! * `ArriveAtRunNode` with a valid epoch, an assigned, live run node;
+//! * `Complete`/`SandboxKill` on a live node (valid epoch ⇒ full commit,
+//!   superseded epoch ⇒ stale-execution release), except the by-reference
+//!   result path (it consults the matchmaker) and the checker's
+//!   epoch-dedup backdoor;
+//! * additionally the home node must be *clean*: every job in its FIFO
+//!   queue is terminal, unknown, or assigned to this node — so the chain of
+//!   `start_next_on` starts the event can trigger touches only records this
+//!   shard checked out. (A valid event's record always satisfies
+//!   `run_node == home`, so a job can never be claimed by two shards.)
+//!
+//! Everything else — and every event on an unclean node — dispatches
+//! through the ordinary sequential handlers during the barrier walk, which
+//! runs after shard state commits back, so the two execution paths never
+//! observe half-merged state.
+
+use std::collections::HashMap;
+
+use dgrid_resources::{ClientId, JobId};
+use dgrid_sim::fault::{Delivery, Endpoint, Network};
+use dgrid_sim::rng::{self, SimRng};
+use dgrid_sim::{SimDuration, SimTime};
+use rand::Rng;
+use rayon::prelude::*;
+
+use super::{Engine, Event};
+use crate::config::EngineConfig;
+use crate::job::{FailureReason, JobRecord, JobState};
+use crate::node::{GridNode, GridNodeId, QueuedJob};
+use crate::trace::TraceEvent;
+
+/// Below this many local events in a round, dispatching to the pool costs
+/// more than it saves; run the shards inline (in shard order, which by
+/// construction produces the identical result).
+const PARALLEL_DISPATCH_FLOOR: usize = 32;
+
+/// The shard a node's events execute on: a stable hash of the node index,
+/// independent of thread count, event history, and everything else.
+pub(super) fn shard_of(node: GridNodeId, shards: usize) -> usize {
+    (rng::splitmix64(u64::from(node.0)) % shards as u64) as usize
+}
+
+/// Per-shard mutable context that persists across windows: the shard's own
+/// network-latency RNG stream and fault-network facade, both derived from
+/// the root seed and the *shard index* so the draw sequence is a pure
+/// function of the configuration.
+pub(super) struct ShardState {
+    rng_net: SimRng,
+    net: Network,
+}
+
+/// One shard-confined event, post-classification.
+#[derive(Clone, Copy)]
+enum LocalEv {
+    /// Valid-epoch arrival at a live assigned run node.
+    Arrive { job: JobId },
+    /// Completion on a live node; `valid` distinguishes a current-epoch
+    /// commit from a superseded duplicate execution winding down.
+    Complete { job: JobId, valid: bool },
+    /// Sandbox kill on a live node, same `valid` split.
+    Kill { job: JobId, valid: bool },
+}
+
+/// Everything a shard may not do itself, emitted in execution order and
+/// applied by the barrier at the item's virtual time.
+enum EnvOp {
+    /// Observer emission (buffered, flushed time-sorted at window close).
+    Emit(TraceEvent),
+    /// Future event for the global calendar.
+    Schedule { at: SimTime, event: Event },
+    /// Report-counter mutation.
+    Report(ReportOp),
+    /// One job left the in-flight set (completion commit).
+    OutstandingDec,
+    /// Terminal failure: runs the full sequential `fail_job` (terminal
+    /// guard, DAG cascade, owner detach) against committed state.
+    FailJob { job: JobId, reason: FailureReason },
+    /// Remove the job from its peer owner's owned set.
+    DetachOwner(JobId),
+    /// DAG children of a completed parent become submittable.
+    ReleaseDependents(JobId),
+}
+
+/// The [`SimReport`](crate::SimReport) mutations shard handlers perform,
+/// replayed in barrier order so histogram push order stays deterministic.
+enum ReportOp {
+    MessagesLost,
+    DuplicateExecution,
+    SandboxKill,
+    HeartbeatMessages(u64),
+    JobCompleted,
+    WaitPush { client: ClientId, wait: f64 },
+    TurnaroundPush(f64),
+}
+
+/// Checked-out state one shard mutates during a window round.
+struct ShardWork {
+    shard: usize,
+    state: ShardState,
+    /// `(batch index, virtual time, event)` in `(time, seq)` order.
+    events: Vec<(usize, SimTime, LocalEv, GridNodeId)>,
+    nodes: HashMap<u32, GridNode>,
+    jobs: HashMap<JobId, JobRecord>,
+}
+
+impl Engine {
+    /// The windowed outer loop: returns the makespan (time of the last
+    /// processed event), like the sequential loop.
+    pub(super) fn run_sharded_loop(&mut self, horizon: SimTime) -> SimTime {
+        let shards = self.shards.expect("sharded loop without shard count");
+        self.init_shard_states(shards);
+        // A zero floor (per-hop latency 0, or full jitter) degenerates to
+        // one-instant windows — still correct, just minimal batching.
+        let lookahead = self.net.min_latency().max(SimDuration::from_nanos(1));
+        let hard_end = horizon + SimDuration::from_nanos(1);
+        let mut makespan = SimTime::ZERO;
+        self.window_obs = Some(Vec::new());
+        while self.outstanding > 0 {
+            let Some(t0) = self.queue.peek_time() else {
+                break;
+            };
+            if t0 > horizon {
+                break;
+            }
+            let wend = (t0 + lookahead).min(hard_end);
+            // Fixpoint rounds: effects landing inside the still-open window
+            // (job starts chaining on a node, zero-delay retries) drain in
+            // follow-up rounds at the same horizon until none remain.
+            while self.outstanding > 0 {
+                let batch = self.queue.drain_window(wend);
+                let Some(&(last_at, _, _)) = batch.last() else {
+                    break;
+                };
+                makespan = makespan.max(last_at);
+                self.run_window_round(batch, shards);
+            }
+            self.flush_window();
+        }
+        // The horizon sweep and final accounting emit directly.
+        if let Some(buf) = self.window_obs.take() {
+            debug_assert!(buf.is_empty(), "unflushed window emissions");
+        }
+        makespan
+    }
+
+    fn init_shard_states(&mut self, shards: usize) {
+        if !self.shard_states.is_empty() {
+            return;
+        }
+        for s in 0..shards {
+            // Salted high above the engine's stream ids so no shard stream
+            // collides with a global one (or with another shard's).
+            let salt = (s as u64 + 1) << 32;
+            self.shard_states.push(Some(ShardState {
+                rng_net: rng::rng_for(self.cfg.seed, rng::streams::NETWORK ^ salt),
+                net: Network::new(
+                    self.cfg.latency,
+                    self.net.plan().clone(),
+                    rng::rng_for(self.cfg.seed, rng::streams::FAULT_INJECTION ^ salt),
+                ),
+            }));
+        }
+    }
+
+    /// Flush the window's buffered emissions to the observer, sorted by
+    /// `(time, commit order)` — the sort is stable, so same-instant events
+    /// keep their barrier order and the stream stays nondecreasing in time.
+    fn flush_window(&mut self) {
+        let Some(buf) = self.window_obs.as_mut() else {
+            return;
+        };
+        if buf.is_empty() {
+            return;
+        }
+        let mut events = std::mem::take(buf);
+        events.sort_by_key(|&(at, _)| at);
+        for (at, ev) in events {
+            self.observer.on_event(at, ev);
+        }
+    }
+
+    /// True iff every job queued on `home` is terminal, unknown, or
+    /// assigned to `home` — the condition under which a shard's
+    /// `start_next_on` chain can only touch records it checked out.
+    fn node_clean(&self, home: GridNodeId) -> bool {
+        self.nodes.get(home).queued_jobs().all(|j| {
+            self.jobs
+                .get(j)
+                .is_none_or(|r| r.state.is_terminal() || r.run_node == Some(home))
+        })
+    }
+
+    /// Classify → shard-execute → barrier-merge one drained batch.
+    fn run_window_round(&mut self, batch: Vec<(SimTime, u64, Event)>, shards: usize) {
+        // ---- Classification (sequential, read-only) ----
+        let mut per_shard: Vec<Vec<(usize, SimTime, LocalEv, GridNodeId)>> =
+            vec![Vec::new(); shards];
+        let mut clean_cache: HashMap<u32, bool> = HashMap::new();
+        for (i, (at, _seq, ev)) in batch.iter().enumerate() {
+            let candidate = match *ev {
+                Event::ArriveAtRunNode { job, epoch } => {
+                    if !self.epoch_valid(job, epoch) {
+                        None
+                    } else {
+                        let rec = self.jobs.get(job).expect("valid epoch implies record");
+                        match rec.run_node {
+                            Some(run) if self.nodes.is_alive(run) => {
+                                Some((run, LocalEv::Arrive { job }))
+                            }
+                            _ => None,
+                        }
+                    }
+                }
+                Event::Complete { job, epoch, node } => {
+                    if !self.nodes.is_alive(node) || self.cfg.return_results_by_reference {
+                        None
+                    } else if self.epoch_valid(job, epoch) {
+                        let running = self
+                            .nodes
+                            .get(node)
+                            .running_job()
+                            .is_some_and(|q| q.job == job);
+                        // A valid completion not matching the running job is
+                        // an invariant breach; the sequential handler owns
+                        // reporting it.
+                        running.then_some((node, LocalEv::Complete { job, valid: true }))
+                    } else if self.cfg.check_disable_epoch_dedup {
+                        // The backdoor may double-commit; keep it sequential.
+                        None
+                    } else {
+                        Some((node, LocalEv::Complete { job, valid: false }))
+                    }
+                }
+                Event::SandboxKill { job, epoch, node } => {
+                    if !self.nodes.is_alive(node) {
+                        None
+                    } else if self.epoch_valid(job, epoch) {
+                        let running = self
+                            .nodes
+                            .get(node)
+                            .running_job()
+                            .is_some_and(|q| q.job == job);
+                        running.then_some((node, LocalEv::Kill { job, valid: true }))
+                    } else {
+                        Some((node, LocalEv::Kill { job, valid: false }))
+                    }
+                }
+                _ => None,
+            };
+            let Some((home, lev)) = candidate else {
+                continue;
+            };
+            let clean = match clean_cache.get(&home.0) {
+                Some(&c) => c,
+                None => {
+                    let c = self.node_clean(home);
+                    clean_cache.insert(home.0, c);
+                    c
+                }
+            };
+            if !clean {
+                continue; // dispatch sequentially at the barrier
+            }
+            per_shard[shard_of(home, shards)].push((i, *at, lev, home));
+        }
+
+        // ---- Checkout: move home nodes and job records into shard work ----
+        let mut works: Vec<ShardWork> = Vec::new();
+        for (s, events) in per_shard.into_iter().enumerate() {
+            if events.is_empty() {
+                continue;
+            }
+            let state = self.shard_states[s].take().expect("shard state in place");
+            let mut work = ShardWork {
+                shard: s,
+                state,
+                events,
+                nodes: HashMap::new(),
+                jobs: HashMap::new(),
+            };
+            for &(_, _, lev, home) in &work.events {
+                if !work.nodes.contains_key(&home.0) {
+                    let node = self.nodes.checkout_node(home);
+                    // Everything startable in the FIFO queue rides along so
+                    // start_next_on can run entirely shard-side; cleanliness
+                    // guarantees these records belong to this node.
+                    for j in node.queued_jobs() {
+                        if let Some(r) = self.jobs.get(j) {
+                            if !r.state.is_terminal() && !work.jobs.contains_key(&j) {
+                                debug_assert_eq!(r.run_node, Some(home));
+                                work.jobs.insert(j, r.clone());
+                            }
+                        }
+                    }
+                    work.nodes.insert(home.0, node);
+                }
+                let event_job = match lev {
+                    LocalEv::Arrive { job } => Some(job),
+                    LocalEv::Complete { job, valid: true } => Some(job),
+                    _ => None,
+                };
+                if let Some(job) = event_job {
+                    if !work.jobs.contains_key(&job) {
+                        let r = self.jobs.get(job).expect("classified record");
+                        debug_assert_eq!(r.run_node, Some(home));
+                        work.jobs.insert(job, r.clone());
+                    }
+                }
+            }
+            works.push(work);
+        }
+
+        // ---- Phase A: independent shard execution ----
+        let total_local: usize = works.iter().map(|w| w.events.len()).sum();
+        let cfg = &self.cfg;
+        let run_one = |mut w: ShardWork| {
+            let ops = exec_shard(cfg, &mut w);
+            (w, ops)
+        };
+        let results: Vec<(ShardWork, Vec<(usize, Vec<EnvOp>)>)> =
+            if total_local >= PARALLEL_DISPATCH_FLOOR && rayon::Pool::current_threads() > 1 {
+                works.into_par_iter().map(run_one).collect()
+            } else {
+                works.into_iter().map(run_one).collect()
+            };
+
+        // ---- Commit shard state back (disjoint slots; sorted for a
+        // deterministic walk even though order cannot affect the outcome) --
+        let n = batch.len();
+        let mut ops_by_item: Vec<Option<Vec<EnvOp>>> = (0..n).map(|_| None).collect();
+        for (mut w, ops) in results {
+            let mut nodes: Vec<(u32, GridNode)> = w.nodes.drain().collect();
+            nodes.sort_unstable_by_key(|e| e.0);
+            for (id, node) in nodes {
+                self.nodes.commit_node(GridNodeId(id), node);
+            }
+            let mut jobs: Vec<(JobId, JobRecord)> = w.jobs.drain().collect();
+            jobs.sort_unstable_by_key(|e| e.0);
+            for (id, rec) in jobs {
+                *self.jobs.get_mut(id).expect("checked-out job exists") = rec;
+            }
+            self.shard_states[w.shard] = Some(w.state);
+            for (idx, o) in ops {
+                ops_by_item[idx] = Some(o);
+            }
+        }
+
+        // ---- Barrier walk: apply envelopes and dispatch global events in
+        // (time, seq) order ----
+        for (i, (at, _seq, ev)) in batch.into_iter().enumerate() {
+            match ops_by_item[i].take() {
+                Some(ops) => {
+                    for op in ops {
+                        self.apply_env_op(at, op);
+                    }
+                }
+                None => self.dispatch(at, ev),
+            }
+        }
+    }
+
+    fn apply_env_op(&mut self, at: SimTime, op: EnvOp) {
+        match op {
+            EnvOp::Emit(ev) => self.emit(at, ev),
+            EnvOp::Schedule { at, event } => self.queue.schedule(at, event),
+            EnvOp::Report(r) => match r {
+                ReportOp::MessagesLost => self.report.messages_lost += 1,
+                ReportOp::DuplicateExecution => self.report.duplicate_executions += 1,
+                ReportOp::SandboxKill => self.report.sandbox_kills += 1,
+                ReportOp::HeartbeatMessages(n) => self.report.heartbeat_messages += n,
+                ReportOp::JobCompleted => self.report.jobs_completed += 1,
+                ReportOp::WaitPush { client, wait } => {
+                    self.report.wait_time.push(wait);
+                    self.report
+                        .client_waits
+                        .entry(client.0)
+                        .or_default()
+                        .push(wait);
+                }
+                ReportOp::TurnaroundPush(t) => self.report.turnaround.push(t),
+            },
+            EnvOp::OutstandingDec => self.outstanding -= 1,
+            EnvOp::FailJob { job, reason } => self.fail_job(job, reason, at),
+            EnvOp::DetachOwner(job) => self.detach_owner(job),
+            EnvOp::ReleaseDependents(job) => self.release_dependents(at, job),
+        }
+    }
+}
+
+/// Run one shard's events, in `(time, seq)` order, against its checked-out
+/// state. Returns each event's envelope operations by batch index.
+fn exec_shard(cfg: &EngineConfig, work: &mut ShardWork) -> Vec<(usize, Vec<EnvOp>)> {
+    let events = std::mem::take(&mut work.events);
+    let mut out = Vec::with_capacity(events.len());
+    for (idx, at, lev, home) in events {
+        let mut node = work.nodes.remove(&home.0).expect("checked-out node");
+        let mut exec = ShardExec {
+            cfg,
+            state: &mut work.state,
+            jobs: &mut work.jobs,
+            ops: Vec::new(),
+        };
+        match lev {
+            LocalEv::Arrive { job } => exec.arrive(at, job, home, &mut node),
+            LocalEv::Complete { job, valid: true } => {
+                exec.complete_valid(at, job, home, &mut node)
+            }
+            LocalEv::Complete { job, valid: false } => {
+                exec.release_stale(at, job, home, &mut node, true)
+            }
+            LocalEv::Kill { job, valid: true } => exec.kill_valid(at, job, home, &mut node),
+            LocalEv::Kill { job, valid: false } => {
+                exec.release_stale(at, job, home, &mut node, false)
+            }
+        }
+        let ops = exec.ops;
+        work.nodes.insert(home.0, node);
+        out.push((idx, ops));
+    }
+    out
+}
+
+/// Shard-side mirror of the engine's run-node handlers. Each method is the
+/// sequential handler of the same name restricted to home-node state, with
+/// every global effect pushed as an [`EnvOp`] in the sequential handler's
+/// execution order.
+struct ShardExec<'a> {
+    cfg: &'a EngineConfig,
+    state: &'a mut ShardState,
+    jobs: &'a mut HashMap<JobId, JobRecord>,
+    ops: Vec<EnvOp>,
+}
+
+impl ShardExec<'_> {
+    /// Mirror of `Engine::send_message` on the shard's own network state.
+    fn send_message(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        hops: u32,
+    ) -> Delivery {
+        let d = self.state.net.send(&mut self.state.rng_net, now, from, to, hops);
+        if !d.is_delivered() {
+            self.ops.push(EnvOp::Report(ReportOp::MessagesLost));
+        }
+        d
+    }
+
+    /// Mirror of `Engine::backoff_delay` (fault-path only).
+    fn backoff_delay(&mut self, attempt: u32) -> SimDuration {
+        let backoff = (self.cfg.backoff_base_secs * 2f64.powi(attempt.min(16) as i32))
+            .min(self.cfg.backoff_cap_secs);
+        let jitter = self.cfg.backoff_jitter;
+        let factor = if jitter > 0.0 {
+            1.0 + jitter * (self.state.net.fault_rng().gen::<f64>() * 2.0 - 1.0)
+        } else {
+            1.0
+        };
+        SimDuration::from_secs_f64(self.cfg.rpc_timeout_secs + backoff * factor)
+    }
+
+    /// Mirror of `Engine::deliver_with_retries`.
+    fn deliver_with_retries(
+        &mut self,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        hops: u32,
+    ) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            if let Delivery::Delivered(d) = self.send_message(now + total, from, to, hops) {
+                return total + d;
+            }
+            if attempt >= self.cfg.max_rpc_retries {
+                return total + SimDuration::from_secs_f64(self.cfg.backoff_cap_secs);
+            }
+            total += self.backoff_delay(attempt);
+            attempt += 1;
+        }
+    }
+
+    /// Mirror of `Engine::handle_arrive` past the checks classification
+    /// already performed (valid epoch, assigned live run node).
+    fn arrive(&mut self, now: SimTime, job: JobId, home: GridNodeId, node: &mut GridNode) {
+        let (profile, actual_runtime) = {
+            let rec = self.jobs.get(&job).expect("checked-out record");
+            (rec.profile, rec.actual_runtime_secs)
+        };
+        if self.cfg.sandbox.rejects_at_admission(&profile) {
+            self.ops.push(EnvOp::Report(ReportOp::SandboxKill));
+            self.ops.push(EnvOp::FailJob {
+                job,
+                reason: FailureReason::SandboxKilled,
+            });
+            return;
+        }
+        let runtime = if self.cfg.scale_runtime_by_cpu {
+            let cpu = node
+                .profile
+                .capabilities
+                .get(dgrid_resources::ResourceKind::CpuSpeed)
+                .max(0.1);
+            actual_runtime * self.cfg.reference_cpu_ghz / cpu
+        } else {
+            actual_runtime
+        };
+        self.jobs.get_mut(&job).expect("checked-out record").queued_at = Some(now);
+        if node.running_job().is_none() {
+            self.start_job(now, job, home, node, runtime);
+        } else {
+            node.enqueue_local(QueuedJob {
+                job,
+                runtime_secs: runtime,
+            });
+            self.jobs.get_mut(&job).expect("checked-out record").state = JobState::Queued;
+        }
+    }
+
+    /// Mirror of `Engine::start_job`.
+    fn start_job(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        home: GridNodeId,
+        node: &mut GridNode,
+        runtime: f64,
+    ) {
+        let (epoch, profile, owner) = {
+            let rec = self.jobs.get_mut(&job).expect("checked-out record");
+            rec.state = JobState::Running;
+            if rec.started_at.is_none() {
+                rec.started_at = Some(now);
+            }
+            rec.invalidate();
+            (rec.epoch, rec.profile, rec.owner)
+        };
+        self.ops.push(EnvOp::Emit(TraceEvent::Started {
+            job,
+            run_node: home,
+        }));
+        let kill_after = self.cfg.sandbox.kill_after_secs(&profile);
+        node.set_running_local(
+            QueuedJob {
+                job,
+                runtime_secs: runtime,
+            },
+            now + SimDuration::from_secs_f64(runtime),
+        );
+        match kill_after {
+            Some(k) if runtime > k => self.ops.push(EnvOp::Schedule {
+                at: now + SimDuration::from_secs_f64(k),
+                event: Event::SandboxKill {
+                    job,
+                    epoch,
+                    node: home,
+                },
+            }),
+            _ => self.ops.push(EnvOp::Schedule {
+                at: now + SimDuration::from_secs_f64(runtime),
+                event: Event::Complete {
+                    job,
+                    epoch,
+                    node: home,
+                },
+            }),
+        }
+        if self.state.net.faulty() {
+            self.schedule_spurious_detections(now, job, home, runtime, epoch, owner);
+        }
+    }
+
+    /// Mirror of `Engine::schedule_spurious_detections` on the shard's
+    /// fault network (the scans draw from the shard's fault RNG).
+    fn schedule_spurious_detections(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        run: GridNodeId,
+        runtime: f64,
+        epoch: u32,
+        owner: Option<crate::job::OwnerRef>,
+    ) {
+        let Some(owner) = owner else { return };
+        let owner_ep = Engine::endpoint_of(owner);
+        let run_ep = Endpoint::Node(run.0);
+        let period = self.cfg.heartbeat_secs;
+        let misses = self.cfg.heartbeat_misses;
+        if let Some(t) = self
+            .state
+            .net
+            .first_consecutive_losses(now, run_ep, owner_ep, period, misses, runtime)
+        {
+            self.ops.push(EnvOp::Schedule {
+                at: t,
+                event: Event::SpuriousRunFailure { job, epoch },
+            });
+        }
+        if self.cfg.leases_enabled() {
+            return;
+        }
+        if let Some(t) = self
+            .state
+            .net
+            .first_consecutive_losses(now, owner_ep, run_ep, period, misses, runtime)
+        {
+            self.ops.push(EnvOp::Schedule {
+                at: t,
+                event: Event::SpuriousOwnerFailure { job, epoch },
+            });
+        }
+    }
+
+    /// Mirror of `Engine::handle_complete`'s valid-epoch direct-result
+    /// commit (the by-reference path never classifies local).
+    fn complete_valid(&mut self, now: SimTime, job: JobId, home: GridNodeId, node: &mut GridNode) {
+        let result_delay =
+            self.deliver_with_retries(now, Endpoint::Node(home.0), Endpoint::External, 1);
+        let finished = now + result_delay;
+        {
+            let done = node
+                .take_running_local()
+                .expect("completion of running job");
+            debug_assert_eq!(done.job, job);
+            node.busy_secs += done.runtime_secs;
+            node.completed_jobs += 1;
+        }
+        let (was_terminal, queued_at, client, wait, turnaround) = {
+            let rec = self.jobs.get_mut(&job).expect("checked-out record");
+            let was_terminal = rec.state.is_terminal();
+            rec.state = JobState::Completed;
+            rec.finished_at = Some(finished);
+            (
+                was_terminal,
+                rec.queued_at,
+                rec.profile.client,
+                rec.wait_secs(),
+                rec.turnaround_secs(),
+            )
+        };
+        if let Some(q) = queued_at {
+            let held = now.since(q).as_secs_f64();
+            self.ops.push(EnvOp::Report(ReportOp::HeartbeatMessages(
+                (held / self.cfg.heartbeat_secs).ceil() as u64,
+            )));
+        }
+        self.ops.push(EnvOp::Report(ReportOp::JobCompleted));
+        if let Some(w) = wait {
+            self.ops
+                .push(EnvOp::Report(ReportOp::WaitPush { client, wait: w }));
+        }
+        if let Some(t) = turnaround {
+            self.ops.push(EnvOp::Report(ReportOp::TurnaroundPush(t)));
+        }
+        if !was_terminal {
+            self.ops.push(EnvOp::OutstandingDec);
+        }
+        self.ops.push(EnvOp::Emit(TraceEvent::Completed {
+            job,
+            results_at: finished,
+        }));
+        self.ops.push(EnvOp::DetachOwner(job));
+        self.ops.push(EnvOp::ReleaseDependents(job));
+        self.start_next_on(now, home, node);
+    }
+
+    /// Mirror of `Engine::handle_sandbox_kill`'s valid-epoch path.
+    fn kill_valid(&mut self, now: SimTime, job: JobId, home: GridNodeId, node: &mut GridNode) {
+        let finish_at = node.running_finish_at();
+        let killed = node.take_running_local().expect("kill of running job");
+        debug_assert_eq!(killed.job, job);
+        let remaining = finish_at.since(now).as_secs_f64();
+        node.busy_secs += (killed.runtime_secs - remaining).max(0.0);
+        self.ops.push(EnvOp::Report(ReportOp::SandboxKill));
+        self.ops.push(EnvOp::FailJob {
+            job,
+            reason: FailureReason::SandboxKilled,
+        });
+        self.start_next_on(now, home, node);
+    }
+
+    /// Mirror of `Engine::release_stale_execution`.
+    fn release_stale(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        home: GridNodeId,
+        node: &mut GridNode,
+        ran_to_completion: bool,
+    ) {
+        let held = node.running_job().is_some_and(|q| q.job == job);
+        if !held {
+            return;
+        }
+        let finish_at = node.running_finish_at();
+        let stale = node.take_running_local().expect("checked above");
+        let credit = if ran_to_completion {
+            stale.runtime_secs
+        } else {
+            let remaining = finish_at.since(now).as_secs_f64();
+            (stale.runtime_secs - remaining).max(0.0)
+        };
+        node.busy_secs += credit;
+        self.ops.push(EnvOp::Report(ReportOp::DuplicateExecution));
+        self.start_next_on(now, home, node);
+    }
+
+    /// Mirror of `Engine::start_next_on`. A queued job missing from the
+    /// checked-out records is terminal or unknown (classification would
+    /// not have marked the node clean otherwise) — skipped, exactly like
+    /// the sequential skip rule.
+    fn start_next_on(&mut self, now: SimTime, home: GridNodeId, node: &mut GridNode) {
+        while let Some(q) = node.pop_queue_local() {
+            let startable = self
+                .jobs
+                .get(&q.job)
+                .is_some_and(|r| !r.state.is_terminal());
+            if startable {
+                self.start_job(now, q.job, home, node, q.runtime_secs);
+                return;
+            }
+        }
+    }
+}

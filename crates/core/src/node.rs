@@ -124,6 +124,36 @@ impl GridNode {
     pub(crate) fn queued_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
         self.queue.iter().map(|q| q.job)
     }
+
+    // Shard-local mutators, mirroring the `NodeTable` methods of the same
+    // name minus the load-mirror bookkeeping. They exist for the
+    // conservative-window kernel, which checks a node's record out of the
+    // table (`NodeTable::checkout_node`), mutates the copy on a worker
+    // thread, and commits it back — the table reconciles the mirrors once
+    // at commit instead of per mutation.
+
+    /// FIFO-queue a job (shard-local copy of [`NodeTable::enqueue`]).
+    pub(crate) fn enqueue_local(&mut self, q: QueuedJob) {
+        self.queue.push_back(q);
+    }
+
+    /// Dequeue the next job (shard-local copy of [`NodeTable::pop_queue`]).
+    pub(crate) fn pop_queue_local(&mut self) -> Option<QueuedJob> {
+        self.queue.pop_front()
+    }
+
+    /// Begin executing a job (shard-local copy of [`NodeTable::set_running`]).
+    pub(crate) fn set_running_local(&mut self, q: QueuedJob, finish_at: SimTime) {
+        debug_assert!(self.running.is_none(), "node already running a job");
+        self.running = Some(q);
+        self.running_finish_at = finish_at;
+    }
+
+    /// Release the running job (shard-local copy of
+    /// [`NodeTable::take_running`]).
+    pub(crate) fn take_running_local(&mut self) -> Option<QueuedJob> {
+        self.running.take()
+    }
 }
 
 /// Fenwick (binary indexed) tree over the alive bits: O(log N) rank/select
@@ -375,6 +405,33 @@ impl NodeTable {
         q
     }
 
+    /// Clone a live node's record out of the table for exclusive
+    /// shard-local mutation during one conservative window. The caller owns
+    /// the copy; nothing else may touch the slot until
+    /// [`commit_node`](Self::commit_node) writes it back. Aliveness cannot
+    /// change while a record is checked out (failures and rejoins are
+    /// barrier-phase events).
+    pub(crate) fn checkout_node(&mut self, id: GridNodeId) -> GridNode {
+        debug_assert!(self.nodes[id.0 as usize].alive, "checkout of dead {id}");
+        self.nodes[id.0 as usize].clone()
+    }
+
+    /// Write a checked-out record back, reconciling every load mirror with
+    /// whatever the shard did to the copy in one step.
+    pub(crate) fn commit_node(&mut self, id: GridNodeId, node: GridNode) {
+        let slot = id.0 as usize;
+        debug_assert!(
+            self.nodes[slot].alive && node.alive,
+            "commit must not change {id} aliveness"
+        );
+        let old = self.loads[slot] as i64;
+        let new = node.load() as i64;
+        self.nodes[slot] = node;
+        if new != old {
+            self.shift_load(id, new - old);
+        }
+    }
+
     pub(crate) fn mark_failed(&mut self, id: GridNodeId) {
         let slot = id.0 as usize;
         assert!(self.nodes[slot].alive, "failing dead node {id}");
@@ -483,6 +540,30 @@ mod tests {
         assert_eq!(done.job, JobId(1));
         let next = t.pop_queue(GridNodeId(0)).unwrap();
         assert_eq!(next.job, JobId(2));
+        assert_eq!(t.load_of(GridNodeId(0)), 0);
+        assert_eq!(t.total_alive_load(), 0);
+        assert_eq!(t.idle_alive_count(), 2);
+        assert_eq!(t.least_loaded_alive(), Some(GridNodeId(0)));
+    }
+
+    #[test]
+    fn checkout_commit_reconciles_mirrors() {
+        let mut t = NodeTable::new(vec![profile(), profile()]);
+        let mut n = t.checkout_node(GridNodeId(0));
+        n.set_running_local(qj(1, 10.0), SimTime::from_secs(10));
+        n.enqueue_local(qj(2, 5.0));
+        n.enqueue_local(qj(3, 5.0));
+        t.commit_node(GridNodeId(0), n);
+        assert_eq!(t.load_of(GridNodeId(0)), 3);
+        assert_eq!(t.total_alive_load(), 3);
+        assert_eq!(t.idle_alive_count(), 1);
+        assert_eq!(t.least_loaded_alive(), Some(GridNodeId(1)));
+        // Drain it back down through another checkout.
+        let mut n = t.checkout_node(GridNodeId(0));
+        assert_eq!(n.take_running_local().unwrap().job, JobId(1));
+        assert_eq!(n.pop_queue_local().unwrap().job, JobId(2));
+        assert_eq!(n.pop_queue_local().unwrap().job, JobId(3));
+        t.commit_node(GridNodeId(0), n);
         assert_eq!(t.load_of(GridNodeId(0)), 0);
         assert_eq!(t.total_alive_load(), 0);
         assert_eq!(t.idle_alive_count(), 2);

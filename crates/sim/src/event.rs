@@ -200,6 +200,71 @@ impl<E> EventQueue<E> {
             .map(|(_, idx, pos)| self.buckets[idx][pos].at)
     }
 
+    /// Remove and return every pending event strictly before `until`,
+    /// sorted by the same total `(time, seq)` order `pop` follows — the
+    /// batch is exactly the sequence that many repeated `pop` calls would
+    /// have produced, with each event's sequence number alongside.
+    ///
+    /// This is the conservative-window primitive: the caller processes the
+    /// whole batch at one barrier, so the clock advances only to the
+    /// *first* drained timestamp (the window's opening event). Follow-up
+    /// work scheduled while merging the batch targets times at or after
+    /// the event that caused it — all `>=` that first timestamp — and
+    /// anything landing before `until` is picked up by the next
+    /// `drain_window` call at the same horizon (the fixpoint round).
+    ///
+    /// Returns an empty batch (and leaves the queue untouched) when no
+    /// pending event precedes `until`.
+    pub fn drain_window(&mut self, until: SimTime) -> Vec<(SimTime, u64, E)> {
+        if self.len == 0 || until <= self.now {
+            return Vec::new();
+        }
+        let last_day = self.day_of(SimTime::from_nanos(until.as_nanos() - 1));
+        let mut drained: Vec<Entry<E>> = Vec::new();
+        if last_day - self.cursor_day + 1 >= self.buckets.len() as u64 {
+            // The window spans at least one full calendar lap: every bucket
+            // can hold eligible entries, so scan them all.
+            for bucket in &mut self.buckets {
+                let mut pos = 0;
+                while pos < bucket.len() {
+                    if bucket[pos].at < until {
+                        drained.push(bucket.swap_remove(pos));
+                    } else {
+                        pos += 1;
+                    }
+                }
+            }
+        } else {
+            // Narrow window: only the buckets of days `cursor_day..=last_day`
+            // can hold eligible entries (no pending event lives on an earlier
+            // day), and the range is shorter than a lap so each bucket is
+            // visited at most once.
+            for day in self.cursor_day..=last_day {
+                let idx = self.bucket_of(day);
+                let mut pos = 0;
+                while pos < self.buckets[idx].len() {
+                    if self.buckets[idx][pos].at < until {
+                        let e = self.buckets[idx].swap_remove(pos);
+                        drained.push(e);
+                    } else {
+                        pos += 1;
+                    }
+                }
+            }
+        }
+        self.len -= drained.len();
+        drained.sort_unstable_by_key(|e| (e.at, e.seq));
+        if let Some(first) = drained.first() {
+            debug_assert!(first.at >= self.now);
+            self.now = first.at;
+            self.cursor_day = self.day_of(first.at);
+        }
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize();
+        }
+        drained.into_iter().map(|e| (e.at, e.seq, e.event)).collect()
+    }
+
     /// Drop all pending events (the clock is left unchanged).
     pub fn clear(&mut self) {
         for b in &mut self.buckets {
@@ -365,6 +430,99 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..2_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_window_matches_repeated_pops() {
+        let mk = || {
+            let mut q = EventQueue::new();
+            for i in 0..500u64 {
+                let t = (i * 7919) % 500;
+                q.schedule(SimTime::from_millis(t * 3), i);
+            }
+            q
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let until = SimTime::from_millis(700);
+        let batch = a.drain_window(until);
+        let mut want = Vec::new();
+        while b.peek_time().is_some_and(|t| t < until) {
+            let (at, e) = b.pop().unwrap();
+            want.push((at, e));
+        }
+        assert_eq!(
+            batch.iter().map(|&(at, _, e)| (at, e)).collect::<Vec<_>>(),
+            want
+        );
+        // The clock sits at the window's first event, and the remainder
+        // pops identically from both queues.
+        assert_eq!(a.now(), batch.first().map(|&(at, _, _)| at).unwrap());
+        loop {
+            let x = a.pop();
+            assert_eq!(x, b.pop());
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn drain_window_empty_cases() {
+        let mut q = EventQueue::new();
+        assert!(q.drain_window(SimTime::from_secs(10)).is_empty());
+        q.schedule(SimTime::from_secs(5), ());
+        // Horizon at or before the clock drains nothing.
+        assert!(q.drain_window(SimTime::ZERO).is_empty());
+        // Horizon before the earliest event drains nothing and keeps it.
+        assert!(q.drain_window(SimTime::from_secs(5)).is_empty());
+        assert_eq!(q.len(), 1);
+        let batch = q.drain_window(SimTime::from_nanos(SimTime::from_secs(5).as_nanos() + 1));
+        assert_eq!(batch.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_window_allows_merge_phase_schedules_at_event_times() {
+        // After draining [t0, until), scheduling follow-ups at each drained
+        // event's own timestamp must be legal (the barrier's merge phase
+        // does exactly this), and a second drain at the same horizon picks
+        // them up — the fixpoint round.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 0);
+        q.schedule(SimTime::from_secs(2), 1);
+        q.schedule(SimTime::from_secs(9), 2);
+        let until = SimTime::from_secs(3);
+        let batch = q.drain_window(until);
+        assert_eq!(batch.len(), 2);
+        for &(at, _, e) in &batch {
+            q.schedule(at, e + 10);
+        }
+        let round2 = q.drain_window(until);
+        assert_eq!(
+            round2.iter().map(|&(at, _, e)| (at, e)).collect::<Vec<_>>(),
+            vec![
+                (SimTime::from_secs(1), 10),
+                (SimTime::from_secs(2), 11)
+            ]
+        );
+        assert!(q.drain_window(until).is_empty());
+        assert_eq!(q.pop(), Some((SimTime::from_secs(9), 2)));
+    }
+
+    #[test]
+    fn drain_window_far_horizon_spans_whole_calendar() {
+        // A horizon beyond every pending event takes the full-scan path and
+        // still returns the exact (time, seq) order.
+        let mut q = EventQueue::new();
+        for i in 0..200u64 {
+            q.schedule(SimTime::from_secs((i * 37) % 100), i);
+        }
+        q.schedule(SimTime::from_secs(1_000_000_000), 999);
+        let batch = q.drain_window(SimTime::from_secs(2_000_000_000));
+        assert_eq!(batch.len(), 201);
+        assert!(batch.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        assert!(q.is_empty());
     }
 
     #[test]

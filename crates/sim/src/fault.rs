@@ -280,6 +280,21 @@ impl Network {
         &self.plan
     }
 
+    /// The installed latency model.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Lower bound on any cross-entity message delay under this network:
+    /// the latency model's one-hop floor. Sound under every fault the plan
+    /// can inject — latency spikes multiply delays by a factor `>= 1`
+    /// (validated), so they can only stretch deliveries, and losses remove
+    /// messages rather than accelerate them. This is the conservative
+    /// parallel-execution lookahead.
+    pub fn min_latency(&self) -> SimDuration {
+        self.latency.min_hop()
+    }
+
     /// True iff any fault can ever fire (the engine skips fault-only
     /// bookkeeping entirely when this is false).
     pub fn faulty(&self) -> bool {
@@ -400,6 +415,31 @@ mod tests {
             plan,
             rng_for(7, streams::FAULT_INJECTION),
         )
+    }
+
+    #[test]
+    fn min_latency_survives_spikes_and_loss() {
+        let mut plan = FaultPlan::with_loss(0.2);
+        plan.spikes.push(LatencySpike {
+            start_secs: 0.0,
+            end_secs: 1e9,
+            factor: 5.0,
+        });
+        let mut n = net(plan);
+        let floor = n.min_latency();
+        assert_eq!(floor, LatencyModel::default().min_hop());
+        let mut rng = rng_for(7, streams::NETWORK);
+        for i in 0..500 {
+            if let Delivery::Delivered(d) = n.send(
+                &mut rng,
+                SimTime::from_secs(i),
+                Endpoint::External,
+                Endpoint::Node(0),
+                1,
+            ) {
+                assert!(d >= floor, "delivered below the lookahead floor");
+            }
+        }
     }
 
     #[test]

@@ -96,6 +96,17 @@ impl LatencyModel {
     pub fn direct<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
         self.sample(rng, 1)
     }
+
+    /// Lower bound on the latency of any one-hop message: the per-hop base
+    /// scaled by the worst-case downward jitter factor `1 - j`.
+    ///
+    /// This is the conservative-window *lookahead*: no effect of an event at
+    /// time `t` can land before `t + min_hop()` (zero-hop local deliveries
+    /// never cross entities), so events inside a window of that width are
+    /// causally independent across shards.
+    pub fn min_hop(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.per_hop.0 * (1.0 - self.jitter))
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +155,32 @@ mod tests {
             let d = m.sample(&mut rng, 1).as_secs_f64();
             assert!((0.05..=0.15).contains(&d), "latency {d} out of bounds");
         }
+    }
+
+    #[test]
+    fn min_hop_bounds_every_sample() {
+        let m = LatencyModel {
+            per_hop: SimDurationSecs(0.1),
+            jitter: 0.7,
+        };
+        let floor = m.min_hop();
+        let mut rng = rng_for(4, 4);
+        for hops in 1..4u32 {
+            for _ in 0..500 {
+                assert!(m.sample(&mut rng, hops) >= floor);
+            }
+        }
+        // Full jitter degenerates the floor to zero; the default keeps a
+        // usable 30 ms window.
+        let full = LatencyModel {
+            per_hop: SimDurationSecs(0.1),
+            jitter: 1.0,
+        };
+        assert_eq!(full.min_hop(), SimDuration::ZERO);
+        assert_eq!(
+            LatencyModel::default().min_hop(),
+            SimDuration::from_secs_f64(0.050 * 0.6)
+        );
     }
 
     #[test]

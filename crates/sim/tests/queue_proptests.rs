@@ -45,6 +45,25 @@ impl<E: Ord> ReferenceQueue<E> {
             (at, e)
         })
     }
+
+    /// Reference semantics for `drain_window`: repeated sequential pops of
+    /// everything before `until`, except the clock advances only to the
+    /// *first* drained timestamp (the window's opening event), matching the
+    /// calendar's conservative-window contract.
+    fn drain_window(&mut self, until: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        let start = self.now;
+        while self
+            .heap
+            .peek()
+            .is_some_and(|(Reverse((at, _)), _)| *at < until)
+        {
+            let (at, e) = self.pop().unwrap();
+            out.push((at, e));
+        }
+        self.now = out.first().map_or(start, |&(at, _)| at);
+        out
+    }
 }
 
 /// One step of an interleaved workload: schedule an event `offset_nanos`
@@ -53,12 +72,26 @@ impl<E: Ord> ReferenceQueue<E> {
 enum Op {
     Schedule { offset_nanos: u64 },
     Pop { pops: u8 },
+    DrainWindow { horizon_nanos: u64 },
 }
 
 fn arb_op(max_offset: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
         3 => (0u64..max_offset).prop_map(|offset_nanos| Op::Schedule { offset_nanos }),
         1 => (1u8..4).prop_map(|pops| Op::Pop { pops }),
+    ]
+}
+
+/// Like [`arb_op`] but with conservative-window batch drains interleaved:
+/// horizons drawn past the current clock so windows of every width — empty,
+/// one-event, spanning multiple calendar days, and beyond the whole pending
+/// set — all occur.
+fn arb_op_with_drains(max_offset: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..max_offset).prop_map(|offset_nanos| Op::Schedule { offset_nanos }),
+        1 => (1u8..4).prop_map(|pops| Op::Pop { pops }),
+        2 => (0u64..max_offset.saturating_mul(2).max(1))
+            .prop_map(|horizon_nanos| Op::DrainWindow { horizon_nanos }),
     ]
 }
 
@@ -83,6 +116,19 @@ fn run_differential(ops: &[Op]) -> Result<(), TestCaseError> {
                     prop_assert_eq!(got, want, "pop diverged from reference heap");
                     prop_assert_eq!(cal.now(), reference.now, "clock diverged");
                 }
+            }
+            Op::DrainWindow { horizon_nanos } => {
+                let until = SimTime::from_nanos(
+                    cal.now().as_nanos().saturating_add(horizon_nanos),
+                );
+                let got: Vec<_> = cal
+                    .drain_window(until)
+                    .into_iter()
+                    .map(|(at, _, e)| (at, e))
+                    .collect();
+                let want = reference.drain_window(until);
+                prop_assert_eq!(got, want, "drain_window diverged from repeated pops");
+                prop_assert_eq!(cal.now(), reference.now, "clock diverged after drain");
             }
         }
         prop_assert_eq!(cal.len(), reference.heap.len());
@@ -165,6 +211,36 @@ proptest! {
             .chain(far.iter())
             .map(|&offset_nanos| Op::Schedule { offset_nanos })
             .collect();
+        run_differential(&ops)?;
+    }
+
+    /// Conservative-window batch drains interleaved with schedules and
+    /// single pops: every drained batch must equal the sequence repeated
+    /// sequential pops before the horizon would produce, with the clock at
+    /// the window's first event afterwards.
+    #[test]
+    fn drain_window_matches_repeated_pops_interleaved(
+        ops in proptest::collection::vec(arb_op_with_drains(5_000_000_000), 1..400),
+    ) {
+        run_differential(&ops)?;
+    }
+
+    /// Same-instant pressure under drains: horizons of 0–2 ns mean windows
+    /// frequently split FIFO runs of identical timestamps, which must land
+    /// on the correct side of the horizon in the correct order.
+    #[test]
+    fn drain_window_same_timestamp_fifo(
+        ops in proptest::collection::vec(arb_op_with_drains(2), 1..400),
+    ) {
+        run_differential(&ops)?;
+    }
+
+    /// Sparse far-future drains: huge horizons sweep most of a sparse
+    /// calendar in one batch (the full-scan path) across repeated resizes.
+    #[test]
+    fn drain_window_sparse_far_future(
+        ops in proptest::collection::vec(arb_op_with_drains(u64::MAX / 4096), 1..200),
+    ) {
         run_differential(&ops)?;
     }
 }

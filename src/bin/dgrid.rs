@@ -12,13 +12,17 @@
 //! dgrid bench overlays [--replications N] [--json PATH]
 //! dgrid bench leases [--replications N] [--json PATH]
 //! dgrid bench stream [--replications N] [--json PATH]
-//! dgrid bench scale [--nodes N[,N...]] [--min-events-per-sec F] [--json PATH]
+//! dgrid bench scale [--nodes N[,N...]] [--threads T[,T...]]
+//!                   [--min-events-per-sec F] [--min-speedup X] [--json PATH]
 //!
 //! options:
 //!   --nodes N             grid size                      (default 200)
 //!   --jobs M              job count                      (default 1000)
 //!   --seed S              root seed                      (default 42)
-//!   --threads N           worker threads for replicated/sweep work
+//!   --threads N           worker threads for replicated/sweep work; for
+//!                         `run` also parallelizes *inside* each
+//!                         replication (sharded kernel); for `bench scale`
+//!                         a comma ladder `1,2,4,8` to measure
 //!                         (default: DGRID_THREADS env, else all cores)
 //!   --replications R      average R independent seeds    (default 1)
 //!   --mttf SECS           enable churn with this MTTF
@@ -106,6 +110,11 @@
 //! count (default: nodes/10, at least 400); `--min-events-per-sec` makes
 //! the run exit non-zero if any size falls below the floor (the CI
 //! regression guard); `--json` writes the points for the CI artifact.
+//! `--threads 1,2,4,8` additionally measures each size on the sharded
+//! conservative-window kernel at every listed worker count, recording
+//! events/sec and the parallel speedup over the one-thread sharded run;
+//! `--min-speedup X` exits non-zero when the highest thread count falls
+//! below `X`× (speedup floors only make sense on multi-core runners).
 //! ```
 //!
 //! `run` executes one cell and prints the report (`--replications R` fans R
@@ -168,11 +177,17 @@ struct Opts {
     inject_bug: Option<String>,
     matchmakers: Option<String>,
     threads: Option<usize>,
+    /// `bench scale` only: the worker-thread ladder from
+    /// `--threads N[,N...]` (a bare `--threads N` is a one-point ladder).
+    thread_axis: Option<Vec<usize>>,
     replications: usize,
     /// `bench scale` only: the grid-size ladder from `--nodes N[,N...]`.
     sizes: Option<Vec<usize>>,
     /// `bench scale` only: the regression-guard throughput floor.
     min_events_per_sec: Option<f64>,
+    /// `bench scale` only: the regression-guard floor on the sharded
+    /// kernel's parallel speedup at the highest measured thread count.
+    min_speedup: Option<f64>,
     lease_ttl: Option<f64>,
     lease_renew: Option<f64>,
     lease_grace: Option<f64>,
@@ -192,7 +207,7 @@ fn usage() -> ! {
          [--to jsonl|binary] [--follow] [--window SECS] [--refresh SECS] [--idle-exit SECS] \
          [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH] \
          [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME] [--matchmaker M[,M...]] \
-         [--min-events-per-sec F]\n\
+         [--min-events-per-sec F] [--min-speedup X]\n\
          algorithms: rn-tree rn-tree@pastry rn-tree@tapestry can can-push can-novirt central\n\
          scenarios : clustered/light clustered/heavy mixed/light mixed/heavy"
     );
@@ -276,9 +291,11 @@ fn parse() -> Opts {
         inject_bug: None,
         matchmakers: None,
         threads: None,
+        thread_axis: None,
         replications: 1,
         sizes: None,
         min_events_per_sec: None,
+        min_speedup: None,
         lease_ttl: None,
         lease_renew: None,
         lease_grace: None,
@@ -373,12 +390,20 @@ fn parse() -> Opts {
             "--min-events-per-sec" => {
                 opts.min_events_per_sec = Some(val.parse().unwrap_or_else(|_| usage()))
             }
+            "--min-speedup" => opts.min_speedup = Some(val.parse().unwrap_or_else(|_| usage())),
             "--threads" => {
-                let n: usize = val.parse().unwrap_or_else(|_| usage());
-                if n == 0 {
+                // A comma list is the `bench scale` thread ladder; a bare
+                // count drives every other command. Either way `threads`
+                // carries the highest count for the pool install.
+                let axis: Vec<usize> = val
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if axis.is_empty() || axis.contains(&0) {
                     usage();
                 }
-                opts.threads = Some(n);
+                opts.threads = Some(*axis.iter().max().expect("non-empty axis"));
+                opts.thread_axis = Some(axis);
             }
             "--replications" => {
                 let n: usize = val.parse().unwrap_or_else(|_| usage());
@@ -473,6 +498,12 @@ fn stream_observer<W: Write + 'static>(
 
 fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload, tracing: bool) -> SimReport {
     let mut engine = build_engine(opts, algorithm, workload, opts.seed);
+    // `run --threads N` parallelizes *inside* the replication: the sharded
+    // conservative-window kernel with the pinned shard count, so the same
+    // seed yields the same bytes at any N.
+    if opts.command == "run" && opts.threads.is_some() {
+        engine.set_sharded_execution(Engine::DEFAULT_SHARDS);
+    }
     if tracing {
         if let Some(path) = &opts.events {
             let f = std::fs::File::create(path).expect("create events output");
@@ -514,6 +545,11 @@ fn run_replication(
 ) -> (SimReport, Vec<u8>) {
     let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
     let mut engine = build_engine(opts, algorithm, &workload, seed);
+    // With `--threads`, replication-level fan-out and shard-level execution
+    // share the pool (each nested shard batch gets a slice of the budget).
+    if opts.command == "run" && opts.threads.is_some() {
+        engine.set_sharded_execution(Engine::DEFAULT_SHARDS);
+    }
     let sink = SharedSink::default();
     if capture_events {
         engine.set_observer(stream_observer(opts.format, sink.clone()));
@@ -889,20 +925,27 @@ impl StreamTail {
     }
 
     fn push(&mut self, bytes: &[u8], eof: bool) -> Result<(), String> {
-        let bytes = if self.fmt.is_none() {
-            // Hold bytes until the format is decidable (8 bytes settles it).
+        if self.fmt.is_none() {
+            // Hold bytes until the format is decidable (8 bytes settles it);
+            // the format is sniffed exactly once per stream.
             self.head.extend_from_slice(bytes);
             if self.head.len() < 8 && !eof {
                 return Ok(());
             }
             self.fmt = Some(sniff_format(&self.head));
-            std::mem::take(&mut self.head)
-        } else {
-            bytes.to_vec()
-        };
+            let held = std::mem::take(&mut self.head);
+            return self.consume(&held, eof);
+        }
+        // Steady state (every later `--follow` poll): consume the slice in
+        // place — the decoders buffer partial frames/lines themselves, so
+        // no intermediate copy of the chunk is needed.
+        self.consume(bytes, eof)
+    }
+
+    fn consume(&mut self, bytes: &[u8], eof: bool) -> Result<(), String> {
         match self.fmt {
             Some(StreamFormat::Binary) => {
-                self.dec.push(&bytes);
+                self.dec.push(bytes);
                 loop {
                     match self.dec.next_event() {
                         Ok(Some(rec)) => {
@@ -918,7 +961,7 @@ impl StreamTail {
                 }
             }
             Some(StreamFormat::Jsonl) => {
-                self.line_buf.extend_from_slice(&bytes);
+                self.line_buf.extend_from_slice(bytes);
                 let mut start = 0;
                 while let Some(nl) = self.line_buf[start..].iter().position(|&b| b == b'\n') {
                     let line = &self.line_buf[start..start + nl];
@@ -1494,6 +1537,22 @@ struct ScalePoint {
     baseline_events_per_sec: f64,
     speedup_vs_baseline: f64,
     peak_rss_kb: u64,
+    /// Sharded-kernel throughput at each `--threads` ladder point (empty
+    /// unless a thread ladder was requested).
+    threads: Vec<ThreadPoint>,
+}
+
+/// One `--threads` ladder point of `bench scale`: the same single
+/// replication executed by the sharded conservative-window kernel at this
+/// worker-thread count. `speedup_vs_1` compares against the sharded run at
+/// one thread, so it isolates parallel efficiency from kernel overhead.
+#[derive(serde::Serialize)]
+struct ThreadPoint {
+    threads: usize,
+    run_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    speedup_vs_1: f64,
 }
 
 /// The full `bench scale` result, as written to `--json`.
@@ -1504,6 +1563,8 @@ struct ScaleRecord {
     replications: usize,
     seed: u64,
     min_events_per_sec: Option<f64>,
+    min_speedup: Option<f64>,
+    available_parallelism: usize,
     sizes: Vec<ScalePoint>,
 }
 
@@ -1595,6 +1656,68 @@ fn cmd_bench_scale(opts: &Opts) {
                 );
             }
         }
+
+        // The `--threads` ladder: the same replication(s) on the sharded
+        // conservative-window kernel at each requested worker count.
+        // Speedup is sharded-vs-sharded (t vs 1), so it measures parallel
+        // efficiency, not the windowing overhead against the sequential
+        // kernel above.
+        let mut thread_points: Vec<ThreadPoint> = Vec::new();
+        if let Some(requested) = &opts.thread_axis {
+            let mut axis = requested.clone();
+            axis.sort_unstable();
+            axis.dedup();
+            if axis[0] != 1 {
+                axis.insert(0, 1); // the speedup baseline is always measured
+            }
+            let mut base_eps = 0.0;
+            for &t in &axis {
+                let (t_run_secs, t_events) = rayon::Pool::install(t, || {
+                    let mut run_secs = 0.0;
+                    let mut events = 0u64;
+                    for r in 0..opts.replications as u64 {
+                        let seed = opts.seed ^ (r + 1);
+                        let workload = paper_scenario(opts.scenario, nodes, jobs, seed);
+                        let mut engine = build_engine(opts, opts.algorithm, &workload, seed);
+                        engine.set_sharded_execution(Engine::DEFAULT_SHARDS);
+                        let counter = CountingObserver::default();
+                        engine.set_observer(Box::new(counter.clone()));
+                        let started = std::time::Instant::now();
+                        let _ = engine.run();
+                        run_secs += started.elapsed().as_secs_f64();
+                        events += counter.0.get();
+                    }
+                    (run_secs, events)
+                });
+                let eps = t_events as f64 / t_run_secs.max(1e-9);
+                if t == axis[0] {
+                    base_eps = eps;
+                }
+                let speedup = eps / base_eps.max(1e-9);
+                println!(
+                    "{:>10} {:>9} {:>10} {:>9.2}s {:>10} {:>12.0} {:>10.2}x",
+                    "", "sharded", format!("t={t}"), t_run_secs, t_events, eps, speedup,
+                );
+                thread_points.push(ThreadPoint {
+                    threads: t,
+                    run_secs: t_run_secs,
+                    events: t_events,
+                    events_per_sec: eps,
+                    speedup_vs_1: speedup,
+                });
+            }
+            if let (Some(floor), Some(top)) = (opts.min_speedup, thread_points.last()) {
+                if top.threads > 1 && top.speedup_vs_1 < floor {
+                    below_floor = true;
+                    eprintln!(
+                        "REGRESSION: {nodes} nodes at {} threads reached only \
+                         {:.2}x over 1 thread, below the --min-speedup floor {floor:.2}",
+                        top.threads, top.speedup_vs_1
+                    );
+                }
+            }
+        }
+
         points.push(ScalePoint {
             nodes,
             jobs,
@@ -1605,6 +1728,7 @@ fn cmd_bench_scale(opts: &Opts) {
             baseline_events_per_sec,
             speedup_vs_baseline,
             peak_rss_kb,
+            threads: thread_points,
         });
     }
 
@@ -1615,6 +1739,10 @@ fn cmd_bench_scale(opts: &Opts) {
             replications: opts.replications,
             seed: opts.seed,
             min_events_per_sec: opts.min_events_per_sec,
+            min_speedup: opts.min_speedup,
+            available_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
             sizes: points,
         };
         let f = std::fs::File::create(path).expect("create json output");
@@ -2172,9 +2300,11 @@ fn cmd_bench_stream(opts: &Opts) {
 fn main() {
     let opts = parse();
     match opts.threads {
-        // `bench sweep` manages thread counts itself — `--threads` is its
-        // sweep ceiling, not a global override.
-        Some(t) if opts.command != "bench-sweep" => rayon::Pool::install(t, || dispatch(&opts)),
+        // `bench sweep` and `bench scale` manage thread counts themselves —
+        // their `--threads` is a measurement axis, not a global override.
+        Some(t) if opts.command != "bench-sweep" && opts.command != "bench-scale" => {
+            rayon::Pool::install(t, || dispatch(&opts))
+        }
         _ => dispatch(&opts),
     }
 }

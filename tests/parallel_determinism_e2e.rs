@@ -32,8 +32,14 @@ impl Write for SharedBuf {
 }
 
 /// One traced replication under churn and message loss, returning its event
-/// stream in the requested format.
-fn faulty_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8> {
+/// stream in the requested format. `shards: Some(s)` runs it on the sharded
+/// conservative-window kernel instead of the sequential one.
+fn faulty_replication_sharded(
+    alg: Algorithm,
+    seed: u64,
+    format: StreamFormat,
+    shards: Option<usize>,
+) -> Vec<u8> {
     let workload = paper_scenario(PaperScenario::MixedLight, 40, 120, seed);
     let cfg = EngineConfig {
         seed,
@@ -50,7 +56,7 @@ fn faulty_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8
         StreamFormat::Jsonl => Box::new(JsonlObserver::new(buf.clone())),
         StreamFormat::Binary => Box::new(BinaryObserver::new(buf.clone())),
     };
-    Engine::new(
+    let mut engine = Engine::new(
         cfg,
         churn,
         alg.matchmaker(),
@@ -58,11 +64,19 @@ fn faulty_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8
         workload.submissions,
     )
     .with_fault_plan(FaultPlan::with_loss(0.03))
-    .with_observer(observer)
-    .run();
+    .with_observer(observer);
+    if let Some(s) = shards {
+        engine.set_sharded_execution(s);
+    }
+    engine.run();
     let bytes = buf.0.take();
     assert!(!bytes.is_empty(), "traced run must emit events");
     bytes
+}
+
+/// Sequential-kernel variant of [`faulty_replication_sharded`].
+fn faulty_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8> {
+    faulty_replication_sharded(alg, seed, format, None)
 }
 
 /// Concatenated event streams of `reps` replications, fanned out over the
@@ -93,6 +107,17 @@ fn replicated_streams_in(
 /// the run — a 40-node case would never notice a kernel that leaked
 /// allocator addresses or hash order only under load.
 fn ten_k_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8> {
+    ten_k_replication_sharded(alg, seed, format, None)
+}
+
+/// [`ten_k_replication`] with an optional shard count for the
+/// conservative-window kernel.
+fn ten_k_replication_sharded(
+    alg: Algorithm,
+    seed: u64,
+    format: StreamFormat,
+    shards: Option<usize>,
+) -> Vec<u8> {
     let workload = paper_scenario(PaperScenario::MixedLight, 10_000, 2_000, seed);
     let cfg = EngineConfig {
         seed,
@@ -109,7 +134,7 @@ fn ten_k_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8>
         StreamFormat::Jsonl => Box::new(JsonlObserver::new(buf.clone())),
         StreamFormat::Binary => Box::new(BinaryObserver::new(buf.clone())),
     };
-    Engine::new(
+    let mut engine = Engine::new(
         cfg,
         churn,
         alg.matchmaker(),
@@ -117,8 +142,11 @@ fn ten_k_replication(alg: Algorithm, seed: u64, format: StreamFormat) -> Vec<u8>
         workload.submissions,
     )
     .with_fault_plan(FaultPlan::with_loss(0.03))
-    .with_observer(observer)
-    .run();
+    .with_observer(observer);
+    if let Some(s) = shards {
+        engine.set_sharded_execution(s);
+    }
+    engine.run();
     let bytes = buf.0.take();
     assert!(!bytes.is_empty(), "traced run must emit events");
     bytes
@@ -271,4 +299,106 @@ fn clean_check_sweep_is_clean_in_parallel() {
         ),
     });
     assert_eq!(checked, 6);
+}
+
+// ---------------------------------------------------------------------
+// Space-parallel single-replication execution: the sharded
+// conservative-window kernel must be byte-identical at every worker
+// thread count for a fixed shard count, in both stream formats.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sharded_ten_k_streams_byte_identical_across_thread_counts() {
+    // ONE 10k-node churny replication executed space-parallel: the node
+    // shards of a single engine run on the pool. Unlike the replication
+    // fan-out above, every thread mutates state of the same simulation,
+    // so this is the test that would catch a shard reading half-merged
+    // state, a thread-dependent RNG stream, or an unordered barrier.
+    for format in [StreamFormat::Jsonl, StreamFormat::Binary] {
+        let run = |threads: usize| -> Vec<u8> {
+            Pool::install(threads, || {
+                ten_k_replication_sharded(
+                    Algorithm::RnTree,
+                    1993,
+                    format,
+                    Some(Engine::DEFAULT_SHARDS),
+                )
+            })
+        };
+        let baseline = run(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                run(threads),
+                baseline,
+                "rn-tree: {threads}-thread sharded 10k {format:?} stream diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_streams_byte_identical_for_every_matchmaker() {
+    // All five matchmaker variants on the sharded kernel: matchmaking
+    // itself stays on the barrier (it is global by design), but each
+    // variant steers different jobs onto different nodes and therefore
+    // different shards — no variant gets a determinism discount.
+    for alg in [
+        Algorithm::RnTree,
+        Algorithm::Can,
+        Algorithm::CanPush,
+        Algorithm::CanNoVirtualDim,
+        Algorithm::Central,
+    ] {
+        let run = |threads: usize| -> Vec<u8> {
+            Pool::install(threads, || {
+                faulty_replication_sharded(
+                    alg,
+                    4111,
+                    StreamFormat::Jsonl,
+                    Some(Engine::DEFAULT_SHARDS),
+                )
+            })
+        };
+        let baseline = run(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                run(threads),
+                baseline,
+                "{}: {threads}-thread sharded stream diverged",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_replications_compose_with_replication_parallelism() {
+    // Both parallelism levels at once: replications fan out over the pool
+    // AND each replication runs the sharded kernel, so the shard-level
+    // par_iter nests inside the replication-level one. The nested pool
+    // budget split must neither deadlock nor change a byte.
+    let run = |threads: usize| -> Vec<u8> {
+        Pool::install(threads, || {
+            (0..4u64)
+                .into_par_iter()
+                .map(|r| {
+                    faulty_replication_sharded(
+                        Algorithm::RnTree,
+                        6007 ^ (r + 1),
+                        StreamFormat::Binary,
+                        Some(Engine::DEFAULT_SHARDS),
+                    )
+                })
+                .collect::<Vec<Vec<u8>>>()
+                .concat()
+        })
+    };
+    let baseline = run(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            run(threads),
+            baseline,
+            "threads={threads}: nested replication x shard parallelism diverged"
+        );
+    }
 }

@@ -24,9 +24,17 @@
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! Nested parallel calls (a `par_iter` or `join` issued from inside a pool
-//! worker) run sequentially on the issuing worker: dgrid's work items are
-//! whole simulation replications, so one level of fan-out already saturates
-//! the machine and nesting would only oversubscribe it.
+//! worker) **split the thread budget** instead of oversubscribing or going
+//! fully sequential: a parallel operation with budget `T` that fans out
+//! over `W ≤ T` workers hands each worker a nested budget of `max(1, T/W)`.
+//! When the outer fan-out already saturates the machine (`W == T`, the
+//! common whole-replication sweep) every nested call sees a budget of 1 and
+//! runs sequentially on its worker, exactly as before; when the outer level
+//! is narrow (say 2 replications on 8 threads, or one sharded engine under
+//! `Pool::install`) the idle budget flows down to the inner level (each
+//! replication's shard batches run 4-wide). The split is pure bookkeeping
+//! on scoped threads — there is no fixed worker set to starve, so nesting
+//! can never deadlock, and results remain input-ordered at every level.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,11 +50,19 @@ use std::thread;
 pub const THREADS_ENV: &str = "DGRID_THREADS";
 
 thread_local! {
-    /// Thread count forced by the innermost `Pool::install` on this thread.
+    /// Thread count forced by the innermost `Pool::install` on this thread,
+    /// or the nested budget handed to this thread by the enclosing parallel
+    /// operation (workers install their slice of the caller's budget).
     static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
-    /// True while this thread is executing inside a pool worker (nested
-    /// parallel calls must not fan out again).
-    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Restores the previous `INSTALLED` value on drop (also on unwind).
+struct Restore(Option<usize>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        INSTALLED.set(self.0);
+    }
 }
 
 /// `DGRID_THREADS` as a positive worker count, if set and parseable.
@@ -92,24 +108,15 @@ impl Pool {
     /// If `threads` is zero.
     pub fn install<R>(threads: usize, f: impl FnOnce() -> R) -> R {
         assert!(threads >= 1, "a pool needs at least one thread");
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                INSTALLED.set(self.0);
-            }
-        }
         let _restore = Restore(INSTALLED.replace(Some(threads)));
         f()
     }
 
     /// The worker count the next parallel operation on this thread will
-    /// use: the innermost [`Pool::install`], else `DGRID_THREADS`, else
-    /// [`std::thread::available_parallelism`] (1 inside a pool worker —
-    /// nested parallelism runs sequentially).
+    /// use: the innermost [`Pool::install`] (or the nested budget the
+    /// enclosing parallel operation handed this worker), else
+    /// `DGRID_THREADS`, else [`std::thread::available_parallelism`].
     pub fn current_threads() -> usize {
-        if IN_WORKER.get() {
-            return 1;
-        }
         if let Some(n) = INSTALLED.get() {
             return n.max(1);
         }
@@ -243,10 +250,15 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = Pool::current_threads().min(n);
+    let total = Pool::current_threads();
+    let threads = total.min(n);
     if threads <= 1 {
         return items.into_iter().map(&f).collect();
     }
+    // Each worker inherits an equal slice of this operation's budget, so a
+    // narrow fan-out (fewer items than threads) hands its surplus to nested
+    // parallel calls instead of leaving cores idle.
+    let nested_budget = (total / threads).max(1);
 
     let chunk = (n / (threads * 8)).max(1);
     let mut deques: Vec<VecDeque<Range<usize>>> = (0..threads).map(|_| VecDeque::new()).collect();
@@ -274,15 +286,16 @@ where
         let handles: Vec<_> = (1..threads)
             .map(|w| {
                 s.spawn(move || {
-                    IN_WORKER.set(true);
+                    INSTALLED.set(Some(nested_budget));
                     worker_loop(shared_ref, f_ref, w)
                 })
             })
             .collect();
-        // The calling thread doubles as worker 0.
-        let was_worker = IN_WORKER.replace(true);
-        let own = worker_loop(shared_ref, f_ref, 0);
-        IN_WORKER.set(was_worker);
+        // The calling thread doubles as worker 0, on the same budget slice.
+        let own = {
+            let _restore = Restore(INSTALLED.replace(Some(nested_budget)));
+            worker_loop(shared_ref, f_ref, 0)
+        };
 
         let mut pairs = own;
         for h in handles {
@@ -306,9 +319,11 @@ where
 }
 
 /// Run `a` and `b`, potentially in parallel (`b` on a scoped helper
-/// thread), and return both results. Falls back to sequential execution
-/// when only one worker is configured or when called from inside a pool
-/// worker. A panic from either closure propagates to the caller.
+/// thread), and return both results. With a budget of `T` threads the two
+/// sides split it — `b` gets `T/2`, `a` keeps the rest — so nested parallel
+/// work inside either side fans out without oversubscribing. Falls back to
+/// sequential execution when the budget is one thread. A panic from either
+/// closure propagates to the caller.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -316,15 +331,18 @@ where
     RA: Send,
     RB: Send,
 {
-    if Pool::current_threads() <= 1 {
+    let total = Pool::current_threads();
+    if total <= 1 {
         return (a(), b());
     }
+    let helper_budget = total / 2; // >= 1, since total >= 2
+    let caller_budget = total - helper_budget;
     thread::scope(|s| {
-        let hb = s.spawn(|| {
-            IN_WORKER.set(true);
+        let hb = s.spawn(move || {
+            INSTALLED.set(Some(helper_budget));
             b()
         });
-        let ra = a();
+        let ra = Pool::install(caller_budget, a);
         match hb.join() {
             Ok(rb) => (ra, rb),
             Err(payload) => panic::resume_unwind(payload),
@@ -538,8 +556,10 @@ mod tests {
             (0..16u32)
                 .into_par_iter()
                 .map(|x| {
-                    // Inside a worker the nested join must not fan out, but
-                    // it must still compute both sides.
+                    // A saturated outer fan-out (16 items, 4 workers) hands
+                    // each worker a budget of 4/4 = 1, so the nested join
+                    // must not fan out — but it must still compute both
+                    // sides.
                     let (a, b) = join(|| x * 2, || x * 3);
                     assert_eq!(Pool::current_threads(), 1);
                     a + b
@@ -547,6 +567,75 @@ mod tests {
                 .collect()
         });
         assert_eq!(out, (0..16u32).map(|x| x * 5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn narrow_outer_fan_out_passes_surplus_budget_to_nested_calls() {
+        // 2 outer items on an 8-thread budget: each worker inherits
+        // 8/2 = 4 threads, and the inner par_iter (8 items, budget 4)
+        // hands its own workers 4/4 = 1. The composition must neither
+        // deadlock nor reorder results.
+        let out: Vec<Vec<u32>> = Pool::install(8, || {
+            (0..2u32)
+                .into_par_iter()
+                .map(|outer| {
+                    assert_eq!(Pool::current_threads(), 4);
+                    (0..8u32)
+                        .into_par_iter()
+                        .map(|inner| {
+                            assert_eq!(Pool::current_threads(), 1);
+                            outer * 100 + inner
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        let want: Vec<Vec<u32>> = (0..2u32)
+            .map(|outer| (0..8u32).map(|inner| outer * 100 + inner).collect())
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn join_splits_the_budget_between_both_sides() {
+        Pool::install(8, || {
+            let (a, b) = join(Pool::current_threads, Pool::current_threads);
+            assert_eq!((a, b), (4, 4), "even budget halves");
+        });
+        Pool::install(5, || {
+            let (a, b) = join(Pool::current_threads, Pool::current_threads);
+            assert_eq!((a, b), (3, 2), "odd budget: caller keeps the extra");
+        });
+        // The budget is restored after the join so sibling operations on
+        // the same thread see the full installed count again.
+        Pool::install(6, || {
+            let _ = join(|| 0, || 0);
+            assert_eq!(Pool::current_threads(), 6);
+        });
+    }
+
+    #[test]
+    fn nested_replication_and_shard_shapes_compose_at_any_thread_count() {
+        // The dgrid composition: an outer replication fan-out whose items
+        // each run inner parallel batches. Results must be identical for
+        // every thread count, including counts that do not divide evenly.
+        let run = |threads: usize| -> Vec<Vec<u64>> {
+            Pool::install(threads, || {
+                (0..3u64)
+                    .into_par_iter()
+                    .map(|rep| {
+                        (0..17u64)
+                            .into_par_iter()
+                            .map(|i| (rep << 32 | i).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                            .collect()
+                    })
+                    .collect()
+            })
+        };
+        let base = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run(threads), base, "threads={threads} diverged");
+        }
     }
 
     #[test]
