@@ -38,8 +38,10 @@ pub mod scenario;
 pub mod shrink;
 
 pub use artifact::ReproArtifact;
-pub use oracle::{battery, battery_with_lease, NoOrphanOracle, TraceOracle, Violation};
-pub use scenario::{fault_event_count, Inject, LeaseSpec, MatchmakerChoice, Scenario};
+pub use oracle::{
+    battery, battery_with_lease, FairnessOracle, NoOrphanOracle, TraceOracle, Violation,
+};
+pub use scenario::{fault_event_count, run_spec, Inject, LeaseSpec, MatchmakerChoice, Scenario};
 pub use shrink::{shrink, ShrinkResult};
 
 /// Oracle verdict for one `(scenario, matchmaker)` run.
@@ -82,17 +84,20 @@ impl ScenarioVerdict {
     }
 }
 
-/// Run `scenario` once under `mm` and evaluate the full oracle battery.
-pub fn check_run(scenario: &Scenario, mm: MatchmakerChoice, inject: Inject) -> RunVerdict {
-    let (events, report) = scenario.run(mm, inject);
-    let mut oracles = battery_with_lease(
-        scenario.nodes,
-        scenario.jobs,
-        scenario.seed,
-        scenario.lease.map(|l| l.bound_secs()),
-    );
+/// Feed a recorded trace through a fresh oracle battery and collect the
+/// verdict — the shared tail of [`check_run`] and [`check_spec_run`].
+fn judge_trace(
+    nodes: usize,
+    jobs: usize,
+    seed: u64,
+    lease_bound_secs: Option<f64>,
+    events: &[(dgrid_sim::SimTime, dgrid_core::TraceEvent)],
+    report: &dgrid_core::SimReport,
+    mm: MatchmakerChoice,
+) -> RunVerdict {
+    let mut oracles = battery_with_lease(nodes, jobs, seed, lease_bound_secs);
     let mut terminal: BTreeMap<u64, bool> = BTreeMap::new();
-    for (at, event) in &events {
+    for (at, event) in events {
         match event {
             dgrid_core::TraceEvent::Completed { job, .. } => {
                 terminal.insert(job.0, true);
@@ -106,12 +111,86 @@ pub fn check_run(scenario: &Scenario, mm: MatchmakerChoice, inject: Inject) -> R
             oracle.on_event(*at, event);
         }
     }
-    let violations = oracles.iter_mut().flat_map(|o| o.finish(&report)).collect();
+    let violations = oracles.iter_mut().flat_map(|o| o.finish(report)).collect();
     RunVerdict {
         matchmaker: mm,
         violations,
         terminal,
     }
+}
+
+/// Run `scenario` once under `mm` and evaluate the full oracle battery.
+pub fn check_run(scenario: &Scenario, mm: MatchmakerChoice, inject: Inject) -> RunVerdict {
+    let (events, report) = scenario.run(mm, inject);
+    judge_trace(
+        scenario.nodes,
+        scenario.jobs,
+        scenario.seed,
+        scenario.lease.map(|l| l.bound_secs()),
+        &events,
+        &report,
+        mm,
+    )
+}
+
+/// Run a declarative [`ScenarioSpec`](dgrid_workloads::ScenarioSpec)
+/// compiled at `seed` once under `mm` and evaluate the full oracle battery
+/// (including the report-level [`FairnessOracle`]).
+pub fn check_spec_run(
+    spec: &dgrid_workloads::ScenarioSpec,
+    seed: u64,
+    mm: MatchmakerChoice,
+) -> RunVerdict {
+    let (events, report) = run_spec(spec, seed, mm);
+    judge_trace(spec.nodes, spec.jobs, seed, None, &events, &report, mm)
+}
+
+/// Cross-matchmaker differential over terminal job populations: every
+/// matchmaker must drive the *same* job population to *some* terminal state.
+fn population_differential(runs: &[RunVerdict]) -> Vec<Violation> {
+    let mut differential = Vec::new();
+    let mut universe: BTreeMap<u64, &'static str> = BTreeMap::new();
+    for run in runs {
+        for &job in run.terminal.keys() {
+            universe.entry(job).or_insert(run.matchmaker.label());
+        }
+    }
+    for run in runs {
+        let missing: Vec<JobId> = universe
+            .keys()
+            .filter(|j| !run.terminal.contains_key(j))
+            .map(|&j| JobId(j))
+            .collect();
+        if !missing.is_empty() {
+            differential.push(Violation {
+                oracle: "differential".to_string(),
+                detail: format!(
+                    "{} job(s) terminal under other matchmakers never terminated under {} (e.g. {:?})",
+                    missing.len(),
+                    run.matchmaker.label(),
+                    &missing[..missing.len().min(3)],
+                ),
+            });
+        }
+    }
+    differential
+}
+
+/// Differentially check a declarative scenario: compile `spec` at `seed`,
+/// run it under every matchmaker in `matchmakers`, and require the same job
+/// population to reach some terminal state everywhere — the scenario-file
+/// analog of [`check_scenario_with`].
+pub fn check_spec_with(
+    spec: &dgrid_workloads::ScenarioSpec,
+    seed: u64,
+    matchmakers: &[MatchmakerChoice],
+) -> ScenarioVerdict {
+    let runs: Vec<RunVerdict> = matchmakers
+        .iter()
+        .map(|&mm| check_spec_run(spec, seed, mm))
+        .collect();
+    let differential = population_differential(&runs);
+    ScenarioVerdict { runs, differential }
 }
 
 /// Run `scenario` under every matchmaker and compare oracle-visible
@@ -137,31 +216,7 @@ pub fn check_scenario_with(
         .map(|&mm| check_run(scenario, mm, inject))
         .collect();
 
-    let mut differential = Vec::new();
-    let mut universe: BTreeMap<u64, &'static str> = BTreeMap::new();
-    for run in &runs {
-        for &job in run.terminal.keys() {
-            universe.entry(job).or_insert(run.matchmaker.label());
-        }
-    }
-    for run in &runs {
-        let missing: Vec<JobId> = universe
-            .keys()
-            .filter(|j| !run.terminal.contains_key(j))
-            .map(|&j| JobId(j))
-            .collect();
-        if !missing.is_empty() {
-            differential.push(Violation {
-                oracle: "differential".to_string(),
-                detail: format!(
-                    "{} job(s) terminal under other matchmakers never terminated under {} (e.g. {:?})",
-                    missing.len(),
-                    run.matchmaker.label(),
-                    &missing[..missing.len().min(3)],
-                ),
-            });
-        }
-    }
+    let mut differential = population_differential(&runs);
 
     // Lease differential: the lease machinery is a *recovery policy*, not a
     // semantics change — so the same scenario with leases stripped (falling

@@ -786,6 +786,75 @@ impl TraceOracle for NoOrphanOracle {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tenant fairness consistency
+// ---------------------------------------------------------------------------
+
+/// Report-level fairness invariants. The trace cannot attribute waits to
+/// clients (`Submitted` carries no client id), so this oracle audits the
+/// report's own books instead: the finalized [`SimReport::tenant_fairness`]
+/// must equal Jain's index recomputed from the per-client wait summaries,
+/// every fairness index must lie in the Jain range `(0, 1]`, and the
+/// per-client wait counts must tile the global wait sample set exactly —
+/// no wait sample unattributed, none double-counted.
+#[derive(Default)]
+pub struct FairnessOracle;
+
+impl FairnessOracle {
+    /// Fresh oracle.
+    pub fn new() -> Self {
+        FairnessOracle
+    }
+}
+
+impl TraceOracle for FairnessOracle {
+    fn name(&self) -> &'static str {
+        "tenant-fairness"
+    }
+
+    fn on_event(&mut self, _at: SimTime, _event: &TraceEvent) {}
+
+    fn finish(&mut self, report: &SimReport) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let recomputed = report.client_fairness();
+        for (label, value) in [
+            ("client_fairness", recomputed),
+            ("load_fairness", report.load_fairness()),
+            ("tenant_fairness", report.tenant_fairness()),
+        ] {
+            if !value.is_finite() || value <= 0.0 || value > 1.0 + 1e-9 {
+                out.push(violation(
+                    self.name(),
+                    format!("{label} = {value} is outside the Jain index range (0, 1]"),
+                ));
+            }
+        }
+        if let Some(finalized) = report.tenant_fairness {
+            if (finalized - recomputed).abs() > 1e-9 {
+                out.push(violation(
+                    self.name(),
+                    format!(
+                        "finalized tenant_fairness = {finalized} but Jain over the \
+                         per-client wait means recomputes to {recomputed}"
+                    ),
+                ));
+            }
+        }
+        let attributed: u64 = report.client_waits.values().map(|s| s.count()).sum();
+        if attributed != report.wait_time.len() as u64 {
+            out.push(violation(
+                self.name(),
+                format!(
+                    "per-client wait counts sum to {attributed} but the report \
+                     holds {} wait samples — per-tenant accounting leaks",
+                    report.wait_time.len()
+                ),
+            ));
+        }
+        out
+    }
+}
+
 /// The full oracle battery for a grid of `nodes` nodes expecting
 /// `expected_jobs` submissions, with mirror-overlay identities derived from
 /// `seed`.
@@ -810,6 +879,7 @@ pub fn battery_with_lease(
         Box::new(SubstrateTableOracle::<PastryNetwork>::new(nodes, seed)),
         Box::new(SubstrateTableOracle::<TapestryNetwork>::new(nodes, seed)),
         Box::new(RnTreeAggregateOracle::new(nodes, seed)),
+        Box::new(FairnessOracle::new()),
     ];
     if let Some(bound) = lease_bound_secs {
         out.push(Box::new(NoOrphanOracle::new(nodes, bound)));
@@ -978,6 +1048,31 @@ mod tests {
         );
         let v = o.finish(&SimReport::default());
         assert!(v.is_empty(), "unexpected violations {v:?}");
+    }
+
+    #[test]
+    fn fairness_oracle_flags_drift_and_leaky_accounting() {
+        let mut r = SimReport::default();
+        r.wait_time.push(4.0);
+        r.wait_time.push(8.0);
+        r.client_waits.entry(0).or_default().push(4.0);
+        r.client_waits.entry(1).or_default().push(8.0);
+        r.tenant_fairness = Some(r.client_fairness());
+        let v = FairnessOracle::new().finish(&r);
+        assert!(v.is_empty(), "clean report flagged: {v:?}");
+
+        // Finalized index drifting from the per-client books is a violation.
+        let mut drifted = r.clone();
+        drifted.tenant_fairness = Some(1.0);
+        let v = FairnessOracle::new().finish(&drifted);
+        assert!(v.iter().any(|v| v.detail.contains("recomputes")), "{v:?}");
+
+        // A wait sample with no client attribution is a violation.
+        let mut leaky = r.clone();
+        leaky.wait_time.push(6.0);
+        leaky.tenant_fairness = Some(leaky.client_fairness());
+        let v = FairnessOracle::new().finish(&leaky);
+        assert!(v.iter().any(|v| v.detail.contains("leaks")), "{v:?}");
     }
 
     #[test]

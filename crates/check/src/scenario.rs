@@ -9,12 +9,14 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dgrid_core::router::{PastryNetwork, TapestryNetwork};
+use dgrid_core::JobDag;
 use dgrid_core::{
     CanMatchmaker, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig, FaultPlan, Matchmaker,
-    Observer, PlacementPolicy, RnTreeConfig, RnTreeMatchmaker, SimReport, TraceEvent, VecObserver,
+    Observer, PlacementPolicy, PubSubMatchmaker, RnTreeConfig, RnTreeMatchmaker, SimReport,
+    TraceEvent, VecObserver,
 };
 use dgrid_sim::SimTime;
-use dgrid_workloads::{paper_scenario, PaperScenario};
+use dgrid_workloads::{paper_scenario, PaperScenario, ScenarioSpec};
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -35,16 +37,19 @@ pub enum MatchmakerChoice {
     RnTreeTapestry,
     /// CAN with the virtual dimension.
     Can,
+    /// Publish/subscribe discovery over rendezvous brokers.
+    PubSub,
 }
 
 impl MatchmakerChoice {
     /// All checked matchmakers, in the order runs are reported.
-    pub const ALL: [MatchmakerChoice; 5] = [
+    pub const ALL: [MatchmakerChoice; 6] = [
         MatchmakerChoice::Central,
         MatchmakerChoice::RnTree,
         MatchmakerChoice::RnTreePastry,
         MatchmakerChoice::RnTreeTapestry,
         MatchmakerChoice::Can,
+        MatchmakerChoice::PubSub,
     ];
 
     /// Stable label for reports and artifacts.
@@ -55,6 +60,7 @@ impl MatchmakerChoice {
             MatchmakerChoice::RnTreePastry => "rn-tree@pastry",
             MatchmakerChoice::RnTreeTapestry => "rn-tree@tapestry",
             MatchmakerChoice::Can => "can",
+            MatchmakerChoice::PubSub => "pub-sub",
         }
     }
 
@@ -80,6 +86,7 @@ impl MatchmakerChoice {
                 RnTreeMatchmaker::<TapestryNetwork>::on_substrate(RnTreeConfig::default()),
             ),
             MatchmakerChoice::Can => Box::new(CanMatchmaker::with_defaults()),
+            MatchmakerChoice::PubSub => Box::new(PubSubMatchmaker::new()),
         }
     }
 }
@@ -268,6 +275,42 @@ impl Scenario {
         let events = std::mem::take(&mut sink.borrow_mut().events);
         (events, report)
     }
+}
+
+/// Run a declarative [`ScenarioSpec`] compiled at `seed` under `mm`,
+/// recording the full trace — the scenario subsystem's analog of
+/// [`Scenario::run`]. The compiled workload, fault plan, churn, and
+/// availability schedule are handed to the engine unchanged, so whatever
+/// the checker observes here is exactly what `dgrid run --scenario-file`
+/// executes.
+pub fn run_spec(
+    spec: &ScenarioSpec,
+    seed: u64,
+    mm: MatchmakerChoice,
+) -> (Vec<(SimTime, TraceEvent)>, SimReport) {
+    let compiled = spec.compile(seed);
+    let cfg = EngineConfig {
+        seed,
+        max_sim_secs: compiled.horizon_secs,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::with_dag_and_schedule(
+        cfg,
+        compiled.churn,
+        mm.build(),
+        compiled.workload.nodes,
+        compiled.workload.submissions,
+        JobDag::none(),
+        compiled.schedule,
+    );
+    if !compiled.fault_plan.is_none() {
+        engine.set_fault_plan(compiled.fault_plan);
+    }
+    let sink: Rc<RefCell<VecObserver>> = Rc::default();
+    engine.set_observer(Box::new(SharedObserver(Rc::clone(&sink))));
+    let report = engine.run();
+    let events = std::mem::take(&mut sink.borrow_mut().events);
+    (events, report)
 }
 
 /// An [`Observer`] that tees events into a shared buffer the caller keeps,

@@ -4,8 +4,10 @@
 //! oracles and shrunk to a small repro.
 
 use dgrid_check::{
-    check_run, check_scenario, fault_event_count, shrink, Inject, MatchmakerChoice, Scenario,
+    check_run, check_scenario, check_spec_with, fault_event_count, shrink, Inject,
+    MatchmakerChoice, Scenario,
 };
+use dgrid_workloads::{ArrivalProcess, DomainFailure, FailureDomain, ScenarioSpec, TenantSpec};
 
 /// Pinned seed range for the in-tree sweep; CI sweeps a wider range.
 const SWEEP_SEEDS: u64 = 6;
@@ -21,6 +23,45 @@ fn clean_sweep_over_pinned_seeds() {
             verdict.all_violations()
         );
     }
+}
+
+#[test]
+fn declarative_scenario_checks_clean_across_all_matchmakers() {
+    // A miniature production-shaped spec exercising every scenario feature:
+    // a flash crowd, weighted tenants with a quota, a correlated crash
+    // domain, and message loss — differentially checked under all six
+    // matchmakers, with the fairness oracle auditing per-tenant accounting.
+    let spec = ScenarioSpec {
+        name: "check-mini".into(),
+        nodes: 16,
+        jobs: 48,
+        arrivals: ArrivalProcess::FlashCrowd {
+            base_interarrival_secs: 2.0,
+            peak_multiplier: 10.0,
+            flash_at_secs: 30.0,
+            flash_duration_secs: 20.0,
+        },
+        tenants: vec![
+            TenantSpec::new("sweep", 3.0).with_quota(30),
+            TenantSpec::new("lab", 1.0),
+        ],
+        failure_domains: vec![FailureDomain {
+            name: "rack-0".into(),
+            fraction: 0.2,
+            outage_at_secs: 60.0,
+            outage_duration_secs: 60.0,
+            failure: DomainFailure::Crash { rejoin: true },
+        }],
+        loss_prob: 0.02,
+        ..ScenarioSpec::default()
+    };
+    let verdict = check_spec_with(&spec, 7, &MatchmakerChoice::ALL);
+    assert_eq!(verdict.runs.len(), MatchmakerChoice::ALL.len());
+    assert!(
+        verdict.is_clean(),
+        "declarative scenario violated: {:?}",
+        verdict.all_violations()
+    );
 }
 
 #[test]

@@ -561,6 +561,7 @@ impl Engine {
         self.report.makespan_secs = makespan.as_secs_f64();
         self.report.wait_stats = Some(self.report.wait_time.summary());
         self.report.turnaround_stats = Some(self.report.turnaround.summary());
+        self.report.tenant_fairness = Some(self.report.client_fairness());
         self.report.timeseries = self.timeseries.take();
         self.report.stream_bytes_written = self.observer.bytes_written().unwrap_or(0);
         self.report
@@ -1198,6 +1199,7 @@ impl Engine {
         }
         let Some(rec) = self.job_ref(job) else { return };
         let profile = rec.profile;
+        let arrival_epoch = rec.epoch;
         let Some(run) = rec.run_node else {
             // Arrival without an assignment is the same invariant breach as
             // an unknown job: count it and drop the event.
@@ -1227,6 +1229,7 @@ impl Engine {
                 QueuedJob {
                     job,
                     runtime_secs: runtime,
+                    epoch: arrival_epoch,
                 },
             );
             if let Some(rec) = self.job_mut(job) {
@@ -1268,6 +1271,7 @@ impl Engine {
             QueuedJob {
                 job,
                 runtime_secs: runtime,
+                epoch,
             },
             now + SimDuration::from_secs_f64(runtime),
         );
@@ -1359,9 +1363,9 @@ impl Engine {
                 .nodes
                 .get(node)
                 .running_job()
-                .is_some_and(|q| q.job == job);
+                .is_some_and(|q| q.job == job && q.epoch == epoch);
             if !(self.cfg.check_disable_epoch_dedup && held) {
-                self.release_stale_execution(now, job, node, true);
+                self.release_stale_execution(now, job, epoch, node, true);
                 return;
             }
         }
@@ -1481,7 +1485,7 @@ impl Engine {
         if !self.epoch_valid(job, epoch) {
             // A duplicate execution was sandbox-killed after its epoch was
             // superseded: just free the node.
-            self.release_stale_execution(now, job, node, false);
+            self.release_stale_execution(now, job, epoch, node, false);
             return;
         }
         {
@@ -1507,14 +1511,18 @@ impl Engine {
         &mut self,
         now: SimTime,
         job: JobId,
+        epoch: u32,
         node: GridNodeId,
         ran_to_completion: bool,
     ) {
+        // Match on (job, epoch), not job alone: after a crash + rejoin the
+        // node may be re-running the same job under its current epoch, and
+        // the pre-crash execution's completion must not steal that slot.
         let held = self
             .nodes
             .get(node)
             .running_job()
-            .is_some_and(|q| q.job == job);
+            .is_some_and(|q| q.job == job && q.epoch == epoch);
         if !held {
             return;
         }

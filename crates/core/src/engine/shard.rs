@@ -97,10 +97,12 @@ enum LocalEv {
     /// Valid-epoch arrival at a live assigned run node.
     Arrive { job: JobId },
     /// Completion on a live node; `valid` distinguishes a current-epoch
-    /// commit from a superseded duplicate execution winding down.
-    Complete { job: JobId, valid: bool },
+    /// commit from a superseded duplicate execution winding down. `epoch`
+    /// is the event's epoch, needed by the stale path to release only its
+    /// own execution.
+    Complete { job: JobId, epoch: u32, valid: bool },
     /// Sandbox kill on a live node, same `valid` split.
-    Kill { job: JobId, valid: bool },
+    Kill { job: JobId, epoch: u32, valid: bool },
 }
 
 /// Everything a shard may not do itself, emitted in execution order and
@@ -134,6 +136,10 @@ enum ReportOp {
     WaitPush { client: ClientId, wait: f64 },
     TurnaroundPush(f64),
 }
+
+/// One shard's round output: its checked-out state plus the per-batch
+/// global effects it emitted.
+type ShardRunResult = (ShardWork, Vec<(usize, Vec<EnvOp>)>);
 
 /// Checked-out state one shard mutates during a window round.
 struct ShardWork {
@@ -265,12 +271,26 @@ impl Engine {
                         // A valid completion not matching the running job is
                         // an invariant breach; the sequential handler owns
                         // reporting it.
-                        running.then_some((node, LocalEv::Complete { job, valid: true }))
+                        running.then_some((
+                            node,
+                            LocalEv::Complete {
+                                job,
+                                epoch,
+                                valid: true,
+                            },
+                        ))
                     } else if self.cfg.check_disable_epoch_dedup {
                         // The backdoor may double-commit; keep it sequential.
                         None
                     } else {
-                        Some((node, LocalEv::Complete { job, valid: false }))
+                        Some((
+                            node,
+                            LocalEv::Complete {
+                                job,
+                                epoch,
+                                valid: false,
+                            },
+                        ))
                     }
                 }
                 Event::SandboxKill { job, epoch, node } => {
@@ -282,9 +302,23 @@ impl Engine {
                             .get(node)
                             .running_job()
                             .is_some_and(|q| q.job == job);
-                        running.then_some((node, LocalEv::Kill { job, valid: true }))
+                        running.then_some((
+                            node,
+                            LocalEv::Kill {
+                                job,
+                                epoch,
+                                valid: true,
+                            },
+                        ))
                     } else {
-                        Some((node, LocalEv::Kill { job, valid: false }))
+                        Some((
+                            node,
+                            LocalEv::Kill {
+                                job,
+                                epoch,
+                                valid: false,
+                            },
+                        ))
                     }
                 }
                 _ => None,
@@ -338,14 +372,16 @@ impl Engine {
                 }
                 let event_job = match lev {
                     LocalEv::Arrive { job } => Some(job),
-                    LocalEv::Complete { job, valid: true } => Some(job),
+                    LocalEv::Complete {
+                        job, valid: true, ..
+                    } => Some(job),
                     _ => None,
                 };
                 if let Some(job) = event_job {
-                    if !work.jobs.contains_key(&job) {
+                    if let std::collections::hash_map::Entry::Vacant(slot) = work.jobs.entry(job) {
                         let r = self.jobs.get(job).expect("classified record");
                         debug_assert_eq!(r.run_node, Some(home));
-                        work.jobs.insert(job, r.clone());
+                        slot.insert(r.clone());
                     }
                 }
             }
@@ -359,7 +395,7 @@ impl Engine {
             let ops = exec_shard(cfg, &mut w);
             (w, ops)
         };
-        let results: Vec<(ShardWork, Vec<(usize, Vec<EnvOp>)>)> =
+        let results: Vec<ShardRunResult> =
             if total_local >= PARALLEL_DISPATCH_FLOOR && rayon::Pool::current_threads() > 1 {
                 works.into_par_iter().map(run_one).collect()
             } else {
@@ -444,16 +480,22 @@ fn exec_shard(cfg: &EngineConfig, work: &mut ShardWork) -> Vec<(usize, Vec<EnvOp
         };
         match lev {
             LocalEv::Arrive { job } => exec.arrive(at, job, home, &mut node),
-            LocalEv::Complete { job, valid: true } => {
-                exec.complete_valid(at, job, home, &mut node)
-            }
-            LocalEv::Complete { job, valid: false } => {
-                exec.release_stale(at, job, home, &mut node, true)
-            }
-            LocalEv::Kill { job, valid: true } => exec.kill_valid(at, job, home, &mut node),
-            LocalEv::Kill { job, valid: false } => {
-                exec.release_stale(at, job, home, &mut node, false)
-            }
+            LocalEv::Complete {
+                job, valid: true, ..
+            } => exec.complete_valid(at, job, home, &mut node),
+            LocalEv::Complete {
+                job,
+                epoch,
+                valid: false,
+            } => exec.release_stale(at, job, epoch, home, &mut node, true),
+            LocalEv::Kill {
+                job, valid: true, ..
+            } => exec.kill_valid(at, job, home, &mut node),
+            LocalEv::Kill {
+                job,
+                epoch,
+                valid: false,
+            } => exec.release_stale(at, job, epoch, home, &mut node, false),
         }
         let ops = exec.ops;
         work.nodes.insert(home.0, node);
@@ -475,14 +517,11 @@ struct ShardExec<'a> {
 
 impl ShardExec<'_> {
     /// Mirror of `Engine::send_message` on the shard's own network state.
-    fn send_message(
-        &mut self,
-        now: SimTime,
-        from: Endpoint,
-        to: Endpoint,
-        hops: u32,
-    ) -> Delivery {
-        let d = self.state.net.send(&mut self.state.rng_net, now, from, to, hops);
+    fn send_message(&mut self, now: SimTime, from: Endpoint, to: Endpoint, hops: u32) -> Delivery {
+        let d = self
+            .state
+            .net
+            .send(&mut self.state.rng_net, now, from, to, hops);
         if !d.is_delivered() {
             self.ops.push(EnvOp::Report(ReportOp::MessagesLost));
         }
@@ -527,9 +566,9 @@ impl ShardExec<'_> {
     /// Mirror of `Engine::handle_arrive` past the checks classification
     /// already performed (valid epoch, assigned live run node).
     fn arrive(&mut self, now: SimTime, job: JobId, home: GridNodeId, node: &mut GridNode) {
-        let (profile, actual_runtime) = {
+        let (profile, actual_runtime, arrival_epoch) = {
             let rec = self.jobs.get(&job).expect("checked-out record");
-            (rec.profile, rec.actual_runtime_secs)
+            (rec.profile, rec.actual_runtime_secs, rec.epoch)
         };
         if self.cfg.sandbox.rejects_at_admission(&profile) {
             self.ops.push(EnvOp::Report(ReportOp::SandboxKill));
@@ -549,13 +588,17 @@ impl ShardExec<'_> {
         } else {
             actual_runtime
         };
-        self.jobs.get_mut(&job).expect("checked-out record").queued_at = Some(now);
+        self.jobs
+            .get_mut(&job)
+            .expect("checked-out record")
+            .queued_at = Some(now);
         if node.running_job().is_none() {
             self.start_job(now, job, home, node, runtime);
         } else {
             node.enqueue_local(QueuedJob {
                 job,
                 runtime_secs: runtime,
+                epoch: arrival_epoch,
             });
             self.jobs.get_mut(&job).expect("checked-out record").state = JobState::Queued;
         }
@@ -588,6 +631,7 @@ impl ShardExec<'_> {
             QueuedJob {
                 job,
                 runtime_secs: runtime,
+                epoch,
             },
             now + SimDuration::from_secs_f64(runtime),
         );
@@ -723,16 +767,20 @@ impl ShardExec<'_> {
         self.start_next_on(now, home, node);
     }
 
-    /// Mirror of `Engine::release_stale_execution`.
+    /// Mirror of `Engine::release_stale_execution`: a stale event may only
+    /// release an execution of its own (job, epoch).
     fn release_stale(
         &mut self,
         now: SimTime,
         job: JobId,
+        epoch: u32,
         home: GridNodeId,
         node: &mut GridNode,
         ran_to_completion: bool,
     ) {
-        let held = node.running_job().is_some_and(|q| q.job == job);
+        let held = node
+            .running_job()
+            .is_some_and(|q| q.job == job && q.epoch == epoch);
         if !held {
             return;
         }

@@ -49,6 +49,7 @@ mod engine;
 mod job;
 mod match_can;
 mod match_central;
+mod match_pubsub;
 mod match_rntree;
 mod matchmaker;
 mod metrics;
@@ -67,6 +68,7 @@ pub use engine::{AvailabilityEvent, Engine, JobSubmission};
 pub use job::{JobState, OwnerRef};
 pub use match_can::{CanMatchmaker, CanMmConfig};
 pub use match_central::CentralizedMatchmaker;
+pub use match_pubsub::PubSubMatchmaker;
 pub use match_rntree::{RnTreeConfig, RnTreeMatchmaker};
 pub use matchmaker::{MatchOutcome, Matchmaker};
 pub use metrics::SimReport;

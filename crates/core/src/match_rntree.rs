@@ -299,7 +299,17 @@ impl<R: KeyRouter> Matchmaker for RnTreeMatchmaker<R> {
                 hops: 0,
             };
         };
-        let k = self.cfg.k;
+        // Load-aware placement widens the run-node probe: the owner asks
+        // the tree for twice as many candidates and resolves load ties
+        // deterministically (earliest reply wins, no RNG draw), matching
+        // the `place_load_aware` convention on the owner path. Hash
+        // placement keeps the paper's k-candidate search byte-for-byte.
+        let load_aware = self.placement == PlacementPolicy::LoadAware;
+        let k = if load_aware {
+            self.cfg.k.saturating_mul(2)
+        } else {
+            self.cfg.k
+        };
         // The index may lag membership; if the owner is missing, rebuild
         // (the owner refreshes its own tree state before searching).
         let missing = self
@@ -349,7 +359,7 @@ impl<R: KeyRouter> Matchmaker for RnTreeMatchmaker<R> {
                 }
                 Some((b, _)) if load == b => {
                     ties += 1;
-                    if rng.gen_range(0..ties) == 0 {
+                    if !load_aware && rng.gen_range(0..ties) == 0 {
                         best = Some((load, gid));
                     }
                 }
@@ -596,6 +606,7 @@ mod tests {
                 QueuedJob {
                     job: JobId(1000 + i),
                     runtime_secs: 10.0,
+                    epoch: 0,
                 },
             );
         }

@@ -102,6 +102,11 @@ pub struct SimReport {
     /// Per-client wait-time summaries (key = client id) — the raw material
     /// for the fairness question Section 5 leaves as future work.
     pub client_waits: std::collections::BTreeMap<u32, OnlineStats>,
+    /// Jain's fairness index over per-tenant mean wait times, computed once
+    /// at the end of the run (scenario tenants map 1:1 onto client ids).
+    /// `None` on reports that predate the scenario subsystem.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tenant_fairness: Option<f64>,
     /// Per-node busy seconds (index = node id), for load-balance analysis.
     pub node_busy_secs: Vec<f64>,
     /// Per-node completed-job counts.
@@ -123,6 +128,14 @@ impl SimReport {
     pub fn client_fairness(&self) -> f64 {
         let means: Vec<f64> = self.client_waits.values().map(OnlineStats::mean).collect();
         jains_fairness(&means)
+    }
+
+    /// Per-tenant fairness: the finalized [`SimReport::tenant_fairness`]
+    /// when present, else recomputed from the per-client wait summaries
+    /// (tenants are clients — a scenario assigns tenant `i` client id `i`).
+    pub fn tenant_fairness(&self) -> f64 {
+        self.tenant_fairness
+            .unwrap_or_else(|| self.client_fairness())
     }
 
     /// Fraction of submitted jobs that completed.

@@ -51,6 +51,12 @@ pub(crate) struct QueuedJob {
     pub job: JobId,
     /// Wall-clock the job will occupy the node for.
     pub runtime_secs: f64,
+    /// Job epoch this execution belongs to. A stale completion may only
+    /// release an execution of its *own* epoch: after a crash + rejoin the
+    /// same node can be re-running the same job under a newer epoch, and a
+    /// job-id-only match would let the old epoch's completion steal the
+    /// current execution's slot.
+    pub epoch: u32,
 }
 
 /// One participating peer: its advertised profile plus execution state.
@@ -478,6 +484,7 @@ mod tests {
         QueuedJob {
             job: JobId(job),
             runtime_secs,
+            epoch: 0,
         }
     }
 

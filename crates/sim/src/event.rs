@@ -262,7 +262,10 @@ impl<E> EventQueue<E> {
         if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
             self.resize();
         }
-        drained.into_iter().map(|e| (e.at, e.seq, e.event)).collect()
+        drained
+            .into_iter()
+            .map(|e| (e.at, e.seq, e.event))
+            .collect()
     }
 
     /// Drop all pending events (the clock is left unchanged).
@@ -501,10 +504,7 @@ mod tests {
         let round2 = q.drain_window(until);
         assert_eq!(
             round2.iter().map(|&(at, _, e)| (at, e)).collect::<Vec<_>>(),
-            vec![
-                (SimTime::from_secs(1), 10),
-                (SimTime::from_secs(2), 11)
-            ]
+            vec![(SimTime::from_secs(1), 10), (SimTime::from_secs(2), 11)]
         );
         assert!(q.drain_window(until).is_empty());
         assert_eq!(q.pop(), Some((SimTime::from_secs(9), 2)));
@@ -521,7 +521,9 @@ mod tests {
         q.schedule(SimTime::from_secs(1_000_000_000), 999);
         let batch = q.drain_window(SimTime::from_secs(2_000_000_000));
         assert_eq!(batch.len(), 201);
-        assert!(batch.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        assert!(batch
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
         assert!(q.is_empty());
     }
 

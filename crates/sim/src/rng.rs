@@ -59,6 +59,12 @@ pub mod streams {
     pub const NETWORK: u64 = 9;
     /// Message-fault injection: loss draws and retry-backoff jitter.
     pub const FAULT_INJECTION: u64 = 10;
+    /// Tenant assignment and per-tenant quota spill in scenario specs.
+    pub const TENANTS: u64 = 11;
+    /// Modulated arrival processes (MMPP state dwell and rate draws).
+    pub const MODULATION: u64 = 12;
+    /// Correlated-failure domain sampling (rack / AS group membership).
+    pub const CORRELATED_FAULTS: u64 = 13;
 }
 
 /// Sample an exponential variate with the given mean.

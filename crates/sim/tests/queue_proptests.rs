@@ -118,9 +118,7 @@ fn run_differential(ops: &[Op]) -> Result<(), TestCaseError> {
                 }
             }
             Op::DrainWindow { horizon_nanos } => {
-                let until = SimTime::from_nanos(
-                    cal.now().as_nanos().saturating_add(horizon_nanos),
-                );
+                let until = SimTime::from_nanos(cal.now().as_nanos().saturating_add(horizon_nanos));
                 let got: Vec<_> = cal
                     .drain_window(until)
                     .into_iter()

@@ -1,0 +1,374 @@
+//! Composable arrival processes for scenario specs.
+//!
+//! The paper's evaluation drives every cell with a homogeneous Poisson
+//! stream. Production desktop grids do not look like that: submission rates
+//! follow the working day (diurnal waves), and a popular result or deadline
+//! produces a flash crowd — a short burst at many times the base rate. All
+//! four processes here compile deterministically from one seeded RNG
+//! stream, so scenario-driven runs keep the engine's byte-identical
+//! guarantees.
+
+use dgrid_sim::rng::{sample_exp, SimRng};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One state of a Markov-modulated Poisson process.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MmppState {
+    /// Arrival rate while in this state, jobs per second.
+    pub rate_per_sec: f64,
+    /// Mean dwell time in this state, seconds (exponentially distributed).
+    pub mean_dwell_secs: f64,
+}
+
+/// A composable arrival process: how job submission times are drawn.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson stream (the paper's base model).
+    Poisson {
+        /// Mean inter-arrival time, seconds.
+        mean_interarrival_secs: f64,
+    },
+    /// Markov-modulated Poisson process: the rate switches between states
+    /// visited round-robin, each held for an exponentially distributed
+    /// dwell. Two states (quiet night, busy day) give a diurnal wave;
+    /// more states give richer burst structure.
+    Mmpp {
+        /// States visited in round-robin order.
+        states: Vec<MmppState>,
+    },
+    /// A Poisson base rate with one deterministic burst window during
+    /// which the rate is multiplied (a release deadline, a popular
+    /// result): the flash crowd.
+    FlashCrowd {
+        /// Mean inter-arrival time outside the burst, seconds.
+        base_interarrival_secs: f64,
+        /// Rate multiplier inside the burst window (≥ 1).
+        peak_multiplier: f64,
+        /// Burst window start, seconds.
+        flash_at_secs: f64,
+        /// Burst window length, seconds.
+        flash_duration_secs: f64,
+    },
+    /// Sinusoidally modulated Poisson rate with the given period: a
+    /// smooth diurnal wave, sampled by thinning against the peak rate.
+    DiurnalWave {
+        /// Mean inter-arrival time at the *trough*, seconds.
+        base_interarrival_secs: f64,
+        /// One full wave, seconds (a day).
+        period_secs: f64,
+        /// Peak rate as a multiple of the trough rate (≥ 1).
+        peak_multiplier: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Check the process parameters, with a message a CLI user can act on.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = |v: f64, what: &str| {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{what} must be positive and finite, got {v}"))
+            }
+        };
+        match self {
+            ArrivalProcess::Poisson {
+                mean_interarrival_secs,
+            } => positive(*mean_interarrival_secs, "mean_interarrival_secs"),
+            ArrivalProcess::Mmpp { states } => {
+                if states.is_empty() {
+                    return Err("Mmpp needs at least one state".into());
+                }
+                for (i, s) in states.iter().enumerate() {
+                    positive(s.rate_per_sec, &format!("state {i} rate_per_sec"))?;
+                    positive(s.mean_dwell_secs, &format!("state {i} mean_dwell_secs"))?;
+                }
+                Ok(())
+            }
+            ArrivalProcess::FlashCrowd {
+                base_interarrival_secs,
+                peak_multiplier,
+                flash_at_secs,
+                flash_duration_secs,
+            } => {
+                positive(*base_interarrival_secs, "base_interarrival_secs")?;
+                positive(*flash_duration_secs, "flash_duration_secs")?;
+                if !(*peak_multiplier >= 1.0 && peak_multiplier.is_finite()) {
+                    return Err(format!(
+                        "peak_multiplier must be ≥ 1, got {peak_multiplier}"
+                    ));
+                }
+                if !(*flash_at_secs >= 0.0 && flash_at_secs.is_finite()) {
+                    return Err(format!("flash_at_secs must be ≥ 0, got {flash_at_secs}"));
+                }
+                Ok(())
+            }
+            ArrivalProcess::DiurnalWave {
+                base_interarrival_secs,
+                period_secs,
+                peak_multiplier,
+            } => {
+                positive(*base_interarrival_secs, "base_interarrival_secs")?;
+                positive(*period_secs, "period_secs")?;
+                if !(*peak_multiplier >= 1.0 && peak_multiplier.is_finite()) {
+                    return Err(format!(
+                        "peak_multiplier must be ≥ 1, got {peak_multiplier}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Long-run mean arrival rate, jobs per second. For MMPP this is the
+    /// dwell-weighted average of the state rates; for the flash crowd it is
+    /// the base rate (the burst is a transient, not a change in the long-run
+    /// rate); for the sinusoidal wave it is the time-average of the rate.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson {
+                mean_interarrival_secs,
+            } => 1.0 / mean_interarrival_secs,
+            ArrivalProcess::Mmpp { states } => {
+                let weighted: f64 = states
+                    .iter()
+                    .map(|s| s.rate_per_sec * s.mean_dwell_secs)
+                    .sum();
+                let dwell: f64 = states.iter().map(|s| s.mean_dwell_secs).sum();
+                weighted / dwell
+            }
+            ArrivalProcess::FlashCrowd {
+                base_interarrival_secs,
+                ..
+            } => 1.0 / base_interarrival_secs,
+            ArrivalProcess::DiurnalWave {
+                base_interarrival_secs,
+                peak_multiplier,
+                ..
+            } => (1.0 + peak_multiplier) / 2.0 / base_interarrival_secs,
+        }
+    }
+
+    /// Draw `jobs` arrival times (non-decreasing, seconds) from `rng`.
+    ///
+    /// Deterministic per seed: the same process and RNG stream reproduce
+    /// the same times bit-for-bit.
+    pub fn generate(&self, jobs: usize, rng: &mut SimRng) -> Vec<f64> {
+        self.validate().expect("invalid arrival process");
+        match self {
+            ArrivalProcess::Poisson {
+                mean_interarrival_secs,
+            } => {
+                let mut t = 0.0;
+                (0..jobs)
+                    .map(|_| {
+                        t += sample_exp(rng, *mean_interarrival_secs);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Mmpp { states } => {
+                // Round-robin state machine. Inside a state, arrivals are
+                // Poisson at the state rate; at a state boundary the
+                // in-flight draw is discarded (the exponential is
+                // memoryless, so restarting in the new state is exact).
+                let mut times = Vec::with_capacity(jobs);
+                let mut t = 0.0;
+                let mut state = 0usize;
+                let mut state_end = sample_exp(rng, states[0].mean_dwell_secs);
+                while times.len() < jobs {
+                    let mean_ia = 1.0 / states[state].rate_per_sec;
+                    let next = t + sample_exp(rng, mean_ia);
+                    if next <= state_end {
+                        t = next;
+                        times.push(t);
+                    } else {
+                        t = state_end;
+                        state = (state + 1) % states.len();
+                        state_end = t + sample_exp(rng, states[state].mean_dwell_secs);
+                    }
+                }
+                times
+            }
+            ArrivalProcess::FlashCrowd {
+                base_interarrival_secs,
+                peak_multiplier,
+                flash_at_secs,
+                flash_duration_secs,
+            } => {
+                // Piecewise-homogeneous Poisson: same boundary-restart
+                // argument as MMPP, with deterministic window edges.
+                let flash_end = flash_at_secs + flash_duration_secs;
+                let mut times = Vec::with_capacity(jobs);
+                let mut t = 0.0;
+                while times.len() < jobs {
+                    let in_flash = t >= *flash_at_secs && t < flash_end;
+                    let mean_ia = if in_flash {
+                        base_interarrival_secs / peak_multiplier
+                    } else {
+                        *base_interarrival_secs
+                    };
+                    let next = t + sample_exp(rng, mean_ia);
+                    let boundary = if t < *flash_at_secs {
+                        *flash_at_secs
+                    } else if in_flash {
+                        flash_end
+                    } else {
+                        f64::INFINITY
+                    };
+                    if next <= boundary {
+                        t = next;
+                        times.push(t);
+                    } else {
+                        t = boundary;
+                    }
+                }
+                times
+            }
+            ArrivalProcess::DiurnalWave {
+                base_interarrival_secs,
+                period_secs,
+                peak_multiplier,
+            } => {
+                // Thinning (Lewis–Shedler): draw a homogeneous stream at
+                // the peak rate, accept each point with probability
+                // rate(t) / peak_rate. Exact for any bounded rate function.
+                let trough = 1.0 / base_interarrival_secs;
+                let peak = trough * peak_multiplier;
+                let mut times = Vec::with_capacity(jobs);
+                let mut t = 0.0;
+                while times.len() < jobs {
+                    t += sample_exp(rng, 1.0 / peak);
+                    let phase = (t / period_secs) * std::f64::consts::TAU;
+                    // Trough at phase 0, peak mid-period.
+                    let rate = trough + (peak - trough) * 0.5 * (1.0 - phase.cos());
+                    if rng.gen_bool((rate / peak).clamp(0.0, 1.0)) {
+                        times.push(t);
+                    }
+                }
+                times
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_sim::rng::{rng_for, streams};
+
+    fn arrivals(p: &ArrivalProcess, jobs: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rng_for(seed, streams::MODULATION);
+        p.generate(jobs, &mut rng)
+    }
+
+    #[test]
+    fn all_processes_are_non_decreasing_and_deterministic() {
+        let procs = [
+            ArrivalProcess::Poisson {
+                mean_interarrival_secs: 0.5,
+            },
+            ArrivalProcess::Mmpp {
+                states: vec![
+                    MmppState {
+                        rate_per_sec: 0.5,
+                        mean_dwell_secs: 400.0,
+                    },
+                    MmppState {
+                        rate_per_sec: 8.0,
+                        mean_dwell_secs: 100.0,
+                    },
+                ],
+            },
+            ArrivalProcess::FlashCrowd {
+                base_interarrival_secs: 1.0,
+                peak_multiplier: 20.0,
+                flash_at_secs: 100.0,
+                flash_duration_secs: 50.0,
+            },
+            ArrivalProcess::DiurnalWave {
+                base_interarrival_secs: 1.0,
+                period_secs: 500.0,
+                peak_multiplier: 6.0,
+            },
+        ];
+        for p in &procs {
+            let a = arrivals(p, 2000, 9);
+            let b = arrivals(p, 2000, 9);
+            assert_eq!(a, b, "{p:?} must be deterministic per seed");
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{p:?} must sort");
+            assert!(a[0] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_arrivals_in_the_window() {
+        let p = ArrivalProcess::FlashCrowd {
+            base_interarrival_secs: 1.0,
+            peak_multiplier: 30.0,
+            flash_at_secs: 200.0,
+            flash_duration_secs: 60.0,
+        };
+        let times = arrivals(&p, 3000, 3);
+        let in_flash = times
+            .iter()
+            .filter(|&&t| (200.0..260.0).contains(&t))
+            .count();
+        // 60 s at 30× ≈ 1800 arrivals vs ~1/s outside: most of the
+        // stream lands inside the window.
+        assert!(
+            in_flash > 1200,
+            "flash window holds {in_flash} of 3000 arrivals"
+        );
+    }
+
+    #[test]
+    fn diurnal_wave_modulates_rate_by_phase() {
+        let p = ArrivalProcess::DiurnalWave {
+            base_interarrival_secs: 1.0,
+            period_secs: 1000.0,
+            peak_multiplier: 8.0,
+        };
+        let times = arrivals(&p, 4000, 5);
+        // Compare the first trough quarter (phase around 0) with the
+        // mid-period peak quarter over the first full wave.
+        let trough = times
+            .iter()
+            .filter(|&&t| t < 125.0 || (875.0..1000.0).contains(&t))
+            .count();
+        let peak = times
+            .iter()
+            .filter(|&&t| (375.0..625.0).contains(&t))
+            .count();
+        assert!(
+            peak as f64 > 2.0 * trough as f64,
+            "peak quarter {peak} vs trough quarter {trough}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ArrivalProcess::Poisson {
+            mean_interarrival_secs: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Mmpp { states: vec![] }.validate().is_err());
+        assert!(ArrivalProcess::FlashCrowd {
+            base_interarrival_secs: 1.0,
+            peak_multiplier: 0.5,
+            flash_at_secs: 0.0,
+            flash_duration_secs: 10.0,
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::DiurnalWave {
+            base_interarrival_secs: 1.0,
+            period_secs: -3.0,
+            peak_multiplier: 2.0,
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -49,17 +49,59 @@ impl Default for DiurnalConfig {
     }
 }
 
+/// Check a diurnal config, with a message a CLI user can act on.
+///
+/// The interesting edge cases are spelled out rather than left to debug
+/// asserts: `timezones == 0` would divide by zero in the work-day offset,
+/// and `busy_fraction >= 1.0` would mean the user never releases the
+/// machine — a node that is *never* on the grid, which the model expresses
+/// as "don't include that node", not as a degenerate schedule.
+pub fn validate_diurnal(cfg: &DiurnalConfig) -> Result<(), String> {
+    if !(cfg.day_secs > 0.0 && cfg.day_secs.is_finite()) {
+        return Err(format!(
+            "day_secs must be positive and finite, got {}",
+            cfg.day_secs
+        ));
+    }
+    if cfg.days == 0 {
+        return Err("days must be at least 1".into());
+    }
+    if cfg.timezones == 0 {
+        return Err("timezones must be at least 1 (0 would leave nodes with no work day)".into());
+    }
+    if !(0.0..1.0).contains(&cfg.busy_fraction) {
+        return Err(format!(
+            "busy_fraction must be in [0, 1), got {} (a machine busy the whole day is \
+             never on the grid — omit it instead)",
+            cfg.busy_fraction
+        ));
+    }
+    if !(0.0..=1.0).contains(&cfg.dedicated_fraction) {
+        return Err(format!(
+            "dedicated_fraction must be in [0, 1], got {}",
+            cfg.dedicated_fraction
+        ));
+    }
+    if !(cfg.jitter_fraction >= 0.0 && cfg.jitter_fraction.is_finite()) {
+        return Err(format!(
+            "jitter_fraction must be non-negative and finite, got {}",
+            cfg.jitter_fraction
+        ));
+    }
+    Ok(())
+}
+
 /// Generate the availability trace for `nodes` nodes.
 ///
 /// Nodes start the simulation *online* (midnight, local time of timezone
 /// group 0); each non-dedicated node then leaves when its local work day
-/// starts and rejoins when it ends, every day.
+/// starts and rejoins when it ends, every day. Panics with the
+/// [`validate_diurnal`] message on a malformed config.
 pub fn diurnal_schedule(nodes: usize, cfg: &DiurnalConfig) -> Vec<AvailabilityEvent> {
-    assert!(nodes > 0);
-    assert!(cfg.day_secs > 0.0 && cfg.days > 0);
-    assert!((0.0..1.0).contains(&cfg.busy_fraction));
-    assert!((0.0..=1.0).contains(&cfg.dedicated_fraction));
-    assert!(cfg.timezones >= 1);
+    assert!(nodes > 0, "diurnal schedule needs at least one node");
+    if let Err(e) = validate_diurnal(cfg) {
+        panic!("invalid DiurnalConfig: {e}");
+    }
 
     let mut rng: SimRng = rng_for(cfg.seed, 0xD1A7);
     let mut events = Vec::new();
@@ -176,6 +218,54 @@ mod tests {
             ..cfg()
         };
         assert!(diurnal_schedule(50, &all_dedicated).is_empty());
+    }
+
+    #[test]
+    fn zero_timezones_is_rejected_with_a_clear_error() {
+        let bad = DiurnalConfig {
+            timezones: 0,
+            ..cfg()
+        };
+        let err = validate_diurnal(&bad).unwrap_err();
+        assert!(err.contains("timezones"), "{err}");
+        let panic = std::panic::catch_unwind(|| diurnal_schedule(10, &bad))
+            .expect_err("schedule must reject timezones = 0");
+        let msg = panic.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("timezones"), "{msg}");
+    }
+
+    #[test]
+    fn full_day_busy_fraction_is_rejected_with_a_clear_error() {
+        for bf in [1.0, 1.5, f64::INFINITY, f64::NAN] {
+            let bad = DiurnalConfig {
+                busy_fraction: bf,
+                ..cfg()
+            };
+            let err = validate_diurnal(&bad).unwrap_err();
+            assert!(err.contains("busy_fraction"), "{err}");
+            let panic = std::panic::catch_unwind(|| diurnal_schedule(10, &bad))
+                .expect_err("schedule must reject busy_fraction >= 1");
+            let msg = panic.downcast_ref::<String>().expect("string panic");
+            assert!(msg.contains("busy_fraction"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn boundary_valid_configs_still_validate() {
+        assert!(validate_diurnal(&cfg()).is_ok());
+        // busy_fraction = 0 is legal: the user never sits down, the node
+        // still emits (trivially adjacent) leave/return pairs.
+        let idle = DiurnalConfig {
+            busy_fraction: 0.0,
+            ..cfg()
+        };
+        assert!(validate_diurnal(&idle).is_ok());
+        assert!(!diurnal_schedule(10, &idle).is_empty());
+        let one_tz = DiurnalConfig {
+            timezones: 1,
+            ..cfg()
+        };
+        assert!(validate_diurnal(&one_tz).is_ok());
     }
 
     #[test]

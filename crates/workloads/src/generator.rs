@@ -70,7 +70,7 @@ pub enum RuntimeDistribution {
 }
 
 impl RuntimeDistribution {
-    fn sample(self, mean: f64, rng: &mut SimRng) -> f64 {
+    pub(crate) fn sample(self, mean: f64, rng: &mut SimRng) -> f64 {
         match self {
             RuntimeDistribution::Exponential => sample_exp(rng, mean),
             RuntimeDistribution::Fixed => mean,
@@ -183,7 +183,7 @@ impl WorkloadConfig {
         Workload { nodes, submissions }
     }
 
-    fn generate_nodes(&self, rng: &mut SimRng) -> Vec<NodeProfile> {
+    pub(crate) fn generate_nodes(&self, rng: &mut SimRng) -> Vec<NodeProfile> {
         match self.node_population {
             NodePopulation::Mixed => (0..self.nodes).map(|_| random_node(rng)).collect(),
             NodePopulation::Clustered { classes } => {
@@ -275,7 +275,7 @@ fn random_node(rng: &mut SimRng) -> NodeProfile {
 /// Random requirements anchored at a random node so the job is satisfiable:
 /// each dimension is constrained with the level's probability, to the
 /// anchor's exact capability (`exact`) or a random fraction (30–100%) of it.
-fn random_requirements(
+pub(crate) fn random_requirements(
     nodes: &[NodeProfile],
     level: ConstraintLevel,
     exact: bool,

@@ -25,13 +25,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod availability;
 mod generator;
 mod presets;
+mod scenario;
+mod tenants;
 
-pub use availability::{diurnal_schedule, online_fraction, DiurnalConfig};
+pub use arrivals::{ArrivalProcess, MmppState};
+pub use availability::{diurnal_schedule, online_fraction, validate_diurnal, DiurnalConfig};
 pub use generator::{
     ClientDemand, ConstraintLevel, JobMix, NodePopulation, RuntimeDistribution, Workload,
     WorkloadConfig,
 };
 pub use presets::{astronomy_sweep, paper_scenario, PaperScenario};
+pub use scenario::{
+    diurnal_wave, flash_crowd, scenario_preset, CompiledScenario, DomainFailure, FailureDomain,
+    ScenarioSpec, SCENARIO_PRESETS,
+};
+pub use tenants::{assign_tenants, validate_tenants, TenantSpec};

@@ -43,6 +43,14 @@ impl PaperScenario {
         }
     }
 
+    /// Resolve a table label back to its quadrant; `None` for unknown
+    /// labels. This is the registry the CLI's `--scenario` parser and
+    /// usage text are generated from — labels can't drift out of sync
+    /// with the help text because both come from `ALL`/`label()`.
+    pub fn from_label(label: &str) -> Option<PaperScenario> {
+        PaperScenario::ALL.into_iter().find(|s| s.label() == label)
+    }
+
     /// Is this a clustered-population scenario?
     pub fn clustered(self) -> bool {
         matches!(
@@ -167,6 +175,14 @@ mod tests {
                 assert!(distinct.len() > 50, "{s:?}");
             }
         }
+    }
+
+    #[test]
+    fn labels_round_trip_through_the_registry() {
+        for s in PaperScenario::ALL {
+            assert_eq!(PaperScenario::from_label(s.label()), Some(s));
+        }
+        assert_eq!(PaperScenario::from_label("nope"), None);
     }
 
     #[test]

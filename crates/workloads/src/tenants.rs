@@ -1,0 +1,163 @@
+//! Multi-tenant submission: weighted tenants with per-user quotas.
+//!
+//! A scenario's tenants map 1:1 onto the engine's `ClientId`s (tenant `i`
+//! is client `i`), so the per-client wait statistics the report already
+//! tracks become per-tenant fairness data with no engine changes.
+
+use dgrid_resources::ClientId;
+use dgrid_sim::rng::SimRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One tenant (submitting user or project) in a scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Display name (reports and bench tables).
+    pub name: String,
+    /// Relative share of the submission stream (any positive scale).
+    pub weight: f64,
+    /// Hard cap on this tenant's submissions; `None` = unlimited. Jobs a
+    /// full tenant would have drawn spill deterministically to the tenant
+    /// with the most remaining headroom.
+    pub quota: Option<usize>,
+}
+
+impl TenantSpec {
+    /// An unlimited tenant with the given name and weight.
+    pub fn new(name: &str, weight: f64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight,
+            quota: None,
+        }
+    }
+
+    /// Cap this tenant at `quota` submissions.
+    pub fn with_quota(mut self, quota: usize) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+}
+
+/// Check a tenant list, with a message a CLI user can act on.
+pub fn validate_tenants(tenants: &[TenantSpec]) -> Result<(), String> {
+    if tenants.is_empty() {
+        return Err("a scenario needs at least one tenant".into());
+    }
+    for (i, t) in tenants.iter().enumerate() {
+        if !(t.weight > 0.0 && t.weight.is_finite()) {
+            return Err(format!(
+                "tenant {i} ({}): weight must be positive and finite, got {}",
+                t.name, t.weight
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Assign each of `jobs` submissions to a tenant, deterministically.
+///
+/// Each job draws a tenant by weight. A tenant at its quota redirects the
+/// job to the tenant with the most remaining headroom (unlimited tenants
+/// count as infinite headroom; ties keep the lowest index). If every
+/// tenant is at quota, the remainder is distributed round-robin — quotas
+/// bound a tenant's *share*, they never drop jobs.
+pub fn assign_tenants(tenants: &[TenantSpec], jobs: usize, rng: &mut SimRng) -> Vec<ClientId> {
+    validate_tenants(tenants).expect("invalid tenants");
+    let total: f64 = tenants.iter().map(|t| t.weight).sum();
+    let mut counts = vec![0usize; tenants.len()];
+    let headroom = |counts: &[usize], i: usize| -> Option<usize> {
+        match tenants[i].quota {
+            None => Some(usize::MAX),
+            Some(q) => q.checked_sub(counts[i]).filter(|&h| h > 0),
+        }
+    };
+    (0..jobs)
+        .map(|job| {
+            let mut u = rng.gen_range(0.0..total);
+            let mut pick = tenants.len() - 1;
+            for (i, t) in tenants.iter().enumerate() {
+                if u < t.weight {
+                    pick = i;
+                    break;
+                }
+                u -= t.weight;
+            }
+            if headroom(&counts, pick).is_none() {
+                // Spill: most headroom wins, earliest index breaks ties.
+                pick = match (0..tenants.len())
+                    .filter_map(|i| headroom(&counts, i).map(|h| (h, i)))
+                    .max_by_key(|&(h, i)| (h, std::cmp::Reverse(i)))
+                {
+                    Some((_, i)) => i,
+                    None => job % tenants.len(), // all full: round-robin
+                };
+            }
+            counts[pick] += 1;
+            ClientId(pick as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgrid_sim::rng::{rng_for, streams};
+
+    fn rng(seed: u64) -> SimRng {
+        rng_for(seed, streams::TENANTS)
+    }
+
+    #[test]
+    fn weighted_assignment_tracks_weights() {
+        let tenants = [TenantSpec::new("big", 3.0), TenantSpec::new("small", 1.0)];
+        let ids = assign_tenants(&tenants, 4000, &mut rng(1));
+        let big = ids.iter().filter(|c| c.0 == 0).count();
+        let share = big as f64 / 4000.0;
+        assert!((0.70..0.80).contains(&share), "big share {share:.2}");
+    }
+
+    #[test]
+    fn quota_caps_and_spills_without_dropping_jobs() {
+        let tenants = [
+            TenantSpec::new("capped", 10.0).with_quota(50),
+            TenantSpec::new("open", 1.0),
+        ];
+        let ids = assign_tenants(&tenants, 1000, &mut rng(2));
+        assert_eq!(ids.len(), 1000);
+        let capped = ids.iter().filter(|c| c.0 == 0).count();
+        assert_eq!(capped, 50, "quota is a hard cap");
+        assert_eq!(ids.iter().filter(|c| c.0 == 1).count(), 950);
+    }
+
+    #[test]
+    fn all_full_falls_back_to_round_robin() {
+        let tenants = [
+            TenantSpec::new("a", 1.0).with_quota(5),
+            TenantSpec::new("b", 1.0).with_quota(5),
+        ];
+        let ids = assign_tenants(&tenants, 30, &mut rng(3));
+        assert_eq!(ids.len(), 30);
+        // 10 under quota, 20 round-robin: both tenants keep receiving.
+        assert!(ids.iter().filter(|c| c.0 == 0).count() >= 10);
+        assert!(ids.iter().filter(|c| c.0 == 1).count() >= 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tenants = [
+            TenantSpec::new("x", 2.0).with_quota(100),
+            TenantSpec::new("y", 1.0),
+        ];
+        let a = assign_tenants(&tenants, 500, &mut rng(7));
+        let b = assign_tenants(&tenants, 500, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_nonpositive() {
+        assert!(validate_tenants(&[]).is_err());
+        assert!(validate_tenants(&[TenantSpec::new("z", 0.0)]).is_err());
+        assert!(validate_tenants(&[TenantSpec::new("n", -1.0)]).is_err());
+    }
+}

@@ -2,7 +2,9 @@
 //! every generated job must be satisfiable, counts must match, and the
 //! statistical targets must hold for any seed.
 
-use dgrid_workloads::{ConstraintLevel, JobMix, NodePopulation, WorkloadConfig};
+use dgrid_workloads::{
+    ArrivalProcess, ConstraintLevel, JobMix, MmppState, NodePopulation, WorkloadConfig,
+};
 use proptest::prelude::*;
 
 fn arb_population() -> impl Strategy<Value = NodePopulation> {
@@ -87,6 +89,47 @@ proptest! {
             .map(|s| format!("{:?}", s.profile.requirements))
             .collect();
         prop_assert!(job_classes.len() <= classes);
+    }
+
+    /// MMPP arrivals: for any seed and any round-robin state machine, the
+    /// empirical rate over a long stream must track the dwell-weighted
+    /// mean rate, and the stream must replay bit-for-bit per seed.
+    #[test]
+    fn mmpp_mean_rate_and_determinism_hold(
+        seed in any::<u64>(),
+        quiet_rate in 0.2f64..1.0,
+        busy_mult in 2.0f64..8.0,
+        quiet_dwell in 20.0f64..100.0,
+        busy_dwell in 20.0f64..100.0,
+    ) {
+        use dgrid_sim::rng::{rng_for, streams};
+        let p = ArrivalProcess::Mmpp {
+            states: vec![
+                MmppState { rate_per_sec: quiet_rate, mean_dwell_secs: quiet_dwell },
+                MmppState { rate_per_sec: quiet_rate * busy_mult, mean_dwell_secs: busy_dwell },
+            ],
+        };
+        // Measure the rate over a horizon spanning ~60 state cycles so the
+        // dwell-time mixing converges; draw enough arrivals to cover it.
+        let horizon = 60.0 * (quiet_dwell + busy_dwell);
+        let max_rate = quiet_rate * busy_mult;
+        let jobs = (max_rate * horizon * 1.3) as usize + 200;
+        let a = p.generate(jobs, &mut rng_for(seed, streams::MODULATION));
+        let b = p.generate(jobs, &mut rng_for(seed, streams::MODULATION));
+        prop_assert_eq!(&a, &b, "MMPP stream must replay bit-for-bit per seed");
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals are monotone");
+        prop_assert!(
+            *a.last().unwrap() >= horizon,
+            "oversampled stream must span the measurement horizon"
+        );
+        let count = a.iter().filter(|&&t| t <= horizon).count();
+        let empirical = count as f64 / horizon;
+        let expected = p.mean_rate();
+        // ~60 cycles ⇒ occupancy noise ≈ 13%; the band is a ±4σ pin.
+        prop_assert!(
+            (0.6..1.67).contains(&(empirical / expected)),
+            "empirical rate {empirical:.3}/s vs dwell-weighted mean {expected:.3}/s"
+        );
     }
 
     #[test]

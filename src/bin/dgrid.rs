@@ -14,6 +14,7 @@
 //! dgrid bench stream [--replications N] [--json PATH]
 //! dgrid bench scale [--nodes N[,N...]] [--threads T[,T...]]
 //!                   [--min-events-per-sec F] [--min-speedup X] [--json PATH]
+//! dgrid bench scenarios [--scenario-file S] [--replications N] [--json PATH]
 //!
 //! options:
 //!   --nodes N             grid size                      (default 200)
@@ -38,6 +39,13 @@
 //!   --lease-grace SECS    post-ttl grace before expiry     (default 30)
 //!   --placement P         owner placement under leases: hash | load-aware
 //!                         (default hash for run/compare, load-aware for check)
+//!   --scenario-file S     a declarative scenario: a preset label
+//!                         (flash-crowd, diurnal-wave) or a path to a JSON
+//!                         ScenarioSpec; run/compare/check build their
+//!                         engines from the compiled spec (arrivals,
+//!                         tenants, failure domains, churn, diurnal
+//!                         availability, horizon) instead of the classic
+//!                         --scenario/--nodes/--jobs/--mttf/--loss knobs
 //!   --events PATH         stream the lifecycle trace to a file
 //!   --format F            event stream format: jsonl | binary (default jsonl)
 //!   --timeseries PATH     write sampled grid gauges as JSON
@@ -75,7 +83,12 @@
 //!   --inject-bug NAME     deliberately break the engine (self-test);
 //!                         names: epoch-dedup
 //!   --matchmaker M[,M...] only sweep the listed matchmaker labels
-//!                         (default: all five variants)
+//!                         (default: all six variants)
+//!   --scenario-file S     sweep the declarative spec instead of generated
+//!                         scenarios: each seed compiles the spec and runs
+//!                         it under every selected matchmaker (oracles +
+//!                         per-tenant fairness + cross-matchmaker
+//!                         differential; no shrinking — specs are small)
 //!
 //! bench sweep options (defaults: 96 nodes, 400 jobs, 16 replications):
 //!   --replications R      replications per timed cell    (default 16)
@@ -115,6 +128,14 @@
 //! events/sec and the parallel speedup over the one-thread sharded run;
 //! `--min-speedup X` exits non-zero when the highest thread count falls
 //! below `X`× (speedup floors only make sense on multi-core runners).
+//!
+//! bench scenarios options (defaults: 16 replications): the `T-scenario`
+//! experiment — run every matchmaker family (central, rn-tree on each
+//! substrate, can, pub-sub) over the production-shaped scenario presets
+//! (or the one spec `--scenario-file` names) and compare wait times,
+//! completion, and per-tenant fairness under flash crowds, correlated
+//! outages, and diurnal load; `--json` writes the comparison (including
+//! the per-tenant breakdown) for the CI artifact.
 //! ```
 //!
 //! `run` executes one cell and prints the report (`--replications R` fans R
@@ -135,15 +156,17 @@ use std::io::{BufWriter, Write};
 use dgrid::core::router::{PastryNetwork, TapestryNetwork};
 use dgrid::core::{
     binary_to_jsonl, decode_stream, jsonl_to_binary, parse_jsonl_line, phase_samples, sniff_format,
-    BinaryObserver, ChurnConfig, Engine, EngineConfig, FaultPlan, JobSpan, JsonlObserver, Phase,
-    PlacementPolicy, RnTreeConfig, RnTreeMatchmaker, SimReport, SpanAssembler, SpanOutcome,
+    BinaryObserver, ChurnConfig, Engine, EngineConfig, FaultPlan, JobDag, JobSpan, JsonlObserver,
+    Phase, PlacementPolicy, RnTreeConfig, RnTreeMatchmaker, SimReport, SpanAssembler, SpanOutcome,
     StreamAnalytics, StreamDecoder, StreamFormat,
 };
 use dgrid::harness::Algorithm;
 use dgrid::sim::hist::LogHistogram;
 use dgrid::sim::telemetry::TimeSeries;
 use dgrid::sim::{SimDuration, SimTime};
-use dgrid::workloads::{paper_scenario, PaperScenario, Workload};
+use dgrid::workloads::{
+    paper_scenario, scenario_preset, PaperScenario, ScenarioSpec, Workload, SCENARIO_PRESETS,
+};
 
 #[derive(Clone, Debug)]
 struct Opts {
@@ -192,13 +215,22 @@ struct Opts {
     lease_renew: Option<f64>,
     lease_grace: Option<f64>,
     placement: Option<PlacementPolicy>,
+    /// A declarative scenario from `--scenario-file` (a preset label or a
+    /// JSON spec path); when set, run/compare/check build their engines
+    /// from the compiled spec instead of the classic paper workload.
+    scenario_spec: Option<ScenarioSpec>,
 }
 
 fn usage() -> ! {
+    // The scenario and preset lines are generated from the workload
+    // registries, so the help text cannot drift from what the parsers
+    // accept.
+    let scenarios = PaperScenario::ALL.map(PaperScenario::label).join(" ");
+    let presets = SCENARIO_PRESETS.join(" ");
     eprintln!(
         "usage: dgrid <run|compare|report|watch|events convert|check|bench \
-         sweep|bench overlays|bench leases|bench stream|bench scale> \
-         [--algorithm A] [--scenario S] \
+         sweep|bench overlays|bench leases|bench stream|bench scale|bench scenarios> \
+         [--algorithm A] [--scenario S] [--scenario-file PRESET|SPEC.json] \
          [--nodes N] [--jobs M] [--seed S] [--threads N] [--replications R] [--mttf SECS] \
          [--rejoin SECS] [--graceful FRAC] \
          [--k K] [--loss P] [--partition START:END:IDS] \
@@ -208,8 +240,9 @@ fn usage() -> ! {
          [--timeseries PATH] [--sample-secs SECS] [--timeline N] [--width W] [--json PATH] \
          [--seeds N] [--out PATH] [--replay PATH] [--inject-bug NAME] [--matchmaker M[,M...]] \
          [--min-events-per-sec F] [--min-speedup X]\n\
-         algorithms: rn-tree rn-tree@pastry rn-tree@tapestry can can-push can-novirt central\n\
-         scenarios : clustered/light clustered/heavy mixed/light mixed/heavy"
+         algorithms: rn-tree rn-tree@pastry rn-tree@tapestry can can-push can-novirt central pub-sub\n\
+         scenarios : {scenarios}\n\
+         presets   : {presets} (for --scenario-file; or a JSON spec path)"
     );
     std::process::exit(2)
 }
@@ -223,18 +256,40 @@ fn parse_algorithm(s: &str) -> Algorithm {
         "can-push" => Algorithm::CanPush,
         "can-novirt" => Algorithm::CanNoVirtualDim,
         "central" | "centralized" => Algorithm::Central,
+        "pub-sub" | "pubsub" => Algorithm::PubSub,
         _ => usage(),
     }
 }
 
+/// Resolve `--scenario` against the [`PaperScenario`] registry, so the
+/// accepted labels (and the error text) always match `PaperScenario::ALL`.
 fn parse_scenario(s: &str) -> PaperScenario {
-    match s {
-        "clustered/light" => PaperScenario::ClusteredLight,
-        "clustered/heavy" => PaperScenario::ClusteredHeavy,
-        "mixed/light" => PaperScenario::MixedLight,
-        "mixed/heavy" => PaperScenario::MixedHeavy,
-        _ => usage(),
+    PaperScenario::from_label(s).unwrap_or_else(|| {
+        eprintln!(
+            "unknown --scenario {s:?} (known: {})",
+            PaperScenario::ALL.map(PaperScenario::label).join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Resolve `--scenario-file`: a preset label from the scenario registry, or
+/// a path to a JSON [`ScenarioSpec`] (sparse — absent fields take defaults).
+fn parse_scenario_file(val: &str) -> ScenarioSpec {
+    if let Some(spec) = scenario_preset(val) {
+        return spec;
     }
+    let json = std::fs::read_to_string(val).unwrap_or_else(|e| {
+        eprintln!(
+            "--scenario-file {val:?}: not a preset (known: {}) and not a readable file: {e}",
+            SCENARIO_PRESETS.join(", ")
+        );
+        std::process::exit(2);
+    });
+    ScenarioSpec::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("--scenario-file {val}: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// `START:END:ID[,ID...]` — a scheduled partition isolating the listed nodes.
@@ -300,6 +355,7 @@ fn parse() -> Opts {
         lease_renew: None,
         lease_grace: None,
         placement: None,
+        scenario_spec: None,
     };
     if opts.command != "run"
         && opts.command != "compare"
@@ -316,7 +372,7 @@ fn parse() -> Opts {
         // Flags follow the subcommand. Defaults drop to the quick bench
         // scale so a sweep finishes in seconds.
         match args.get(1).map(String::as_str) {
-            Some(sub @ ("sweep" | "overlays" | "leases" | "stream" | "scale")) => {
+            Some(sub @ ("sweep" | "overlays" | "leases" | "stream" | "scale" | "scenarios")) => {
                 opts.command = format!("bench-{sub}")
             }
             _ => usage(),
@@ -351,6 +407,7 @@ fn parse() -> Opts {
         match flag {
             "--algorithm" => opts.algorithm = parse_algorithm(&val),
             "--scenario" => opts.scenario = parse_scenario(&val),
+            "--scenario-file" => opts.scenario_spec = Some(parse_scenario_file(&val)),
             "--nodes" if opts.command == "bench-scale" => {
                 opts.sizes = Some(
                     val.split(',')
@@ -436,6 +493,37 @@ fn fault_plan(opts: &Opts) -> Option<FaultPlan> {
     Some(plan)
 }
 
+/// Apply the `--lease-*` / `--placement` flags onto an engine config.
+fn apply_lease_flags(opts: &Opts, cfg: &mut EngineConfig) {
+    if let Some(ttl) = opts.lease_ttl {
+        cfg.lease_ttl_secs = Some(ttl);
+        cfg.lease_renew_secs = opts.lease_renew.unwrap_or(cfg.lease_renew_secs);
+        cfg.lease_grace_secs = opts.lease_grace.unwrap_or(cfg.lease_grace_secs);
+        // Leases require an explicit placement policy; default the CLI to
+        // the paper-faithful hash placement unless --placement says otherwise.
+        cfg.placement = Some(opts.placement.unwrap_or(PlacementPolicy::Hash));
+    }
+}
+
+/// The matchmaker `(algorithm, --k)` selects: RN-Tree variants honor the
+/// extended-search width, everything else builds its defaults.
+fn matchmaker_for(opts: &Opts, algorithm: Algorithm) -> Box<dyn dgrid::core::Matchmaker> {
+    let rn_cfg = RnTreeConfig {
+        k: opts.k,
+        ..RnTreeConfig::default()
+    };
+    match algorithm {
+        Algorithm::RnTree => Box::new(RnTreeMatchmaker::new(rn_cfg)),
+        Algorithm::RnTreePastry => {
+            Box::new(RnTreeMatchmaker::<PastryNetwork>::on_substrate(rn_cfg))
+        }
+        Algorithm::RnTreeTapestry => {
+            Box::new(RnTreeMatchmaker::<TapestryNetwork>::on_substrate(rn_cfg))
+        }
+        _ => algorithm.matchmaker(),
+    }
+}
+
 /// Assemble one engine for `(opts, algorithm, workload)` with the options'
 /// churn, `--k`, and fault plan applied, but `seed` taken explicitly so
 /// replicated runs can vary it.
@@ -445,37 +533,16 @@ fn build_engine(opts: &Opts, algorithm: Algorithm, workload: &Workload, seed: u6
         max_sim_secs: 5_000_000.0,
         ..EngineConfig::default()
     };
-    if let Some(ttl) = opts.lease_ttl {
-        cfg.lease_ttl_secs = Some(ttl);
-        cfg.lease_renew_secs = opts.lease_renew.unwrap_or(cfg.lease_renew_secs);
-        cfg.lease_grace_secs = opts.lease_grace.unwrap_or(cfg.lease_grace_secs);
-        // Leases require an explicit placement policy; default the CLI to
-        // the paper-faithful hash placement unless --placement says otherwise.
-        cfg.placement = Some(opts.placement.unwrap_or(PlacementPolicy::Hash));
-    }
+    apply_lease_flags(opts, &mut cfg);
     let churn = ChurnConfig {
         mttf_secs: opts.mttf,
         rejoin_after_secs: opts.rejoin,
         graceful_fraction: opts.graceful,
     };
-    let rn_cfg = RnTreeConfig {
-        k: opts.k,
-        ..RnTreeConfig::default()
-    };
-    let mm: Box<dyn dgrid::core::Matchmaker> = match algorithm {
-        Algorithm::RnTree => Box::new(RnTreeMatchmaker::new(rn_cfg)),
-        Algorithm::RnTreePastry => {
-            Box::new(RnTreeMatchmaker::<PastryNetwork>::on_substrate(rn_cfg))
-        }
-        Algorithm::RnTreeTapestry => {
-            Box::new(RnTreeMatchmaker::<TapestryNetwork>::on_substrate(rn_cfg))
-        }
-        _ => algorithm.matchmaker(),
-    };
     let mut engine = Engine::new(
         cfg,
         churn,
-        mm,
+        matchmaker_for(opts, algorithm),
         workload.nodes.clone(),
         workload.submissions.clone(),
     );
@@ -483,6 +550,47 @@ fn build_engine(opts: &Opts, algorithm: Algorithm, workload: &Workload, seed: u6
         engine.set_fault_plan(plan);
     }
     engine
+}
+
+/// Assemble one engine from a declarative [`ScenarioSpec`] compiled at
+/// `seed`: the spec supplies the workload, churn, fault plan, availability
+/// schedule, and horizon; the CLI's `--k` and `--lease-*` flags still
+/// apply. Mirrors `dgrid_check::run_spec`, so what the checker judges is
+/// exactly what `run --scenario-file` executes.
+fn build_spec_engine(opts: &Opts, algorithm: Algorithm, spec: &ScenarioSpec, seed: u64) -> Engine {
+    let compiled = spec.compile(seed);
+    let mut cfg = EngineConfig {
+        seed,
+        max_sim_secs: compiled.horizon_secs,
+        ..EngineConfig::default()
+    };
+    apply_lease_flags(opts, &mut cfg);
+    let mut engine = Engine::with_dag_and_schedule(
+        cfg,
+        compiled.churn,
+        matchmaker_for(opts, algorithm),
+        compiled.workload.nodes,
+        compiled.workload.submissions,
+        JobDag::none(),
+        compiled.schedule,
+    );
+    if !compiled.fault_plan.is_none() {
+        engine.set_fault_plan(compiled.fault_plan);
+    }
+    engine
+}
+
+/// One engine for `(opts, algorithm, seed)`: compiled from the declarative
+/// spec when `--scenario-file` was given, otherwise generated from the
+/// classic paper scenario knobs.
+fn engine_for(opts: &Opts, algorithm: Algorithm, seed: u64) -> Engine {
+    match &opts.scenario_spec {
+        Some(spec) => build_spec_engine(opts, algorithm, spec, seed),
+        None => {
+            let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
+            build_engine(opts, algorithm, &workload, seed)
+        }
+    }
 }
 
 /// The stream observer `--format` selects, writing into `sink`.
@@ -496,8 +604,8 @@ fn stream_observer<W: Write + 'static>(
     }
 }
 
-fn run_one(opts: &Opts, algorithm: Algorithm, workload: &Workload, tracing: bool) -> SimReport {
-    let mut engine = build_engine(opts, algorithm, workload, opts.seed);
+fn run_one(opts: &Opts, algorithm: Algorithm, tracing: bool) -> SimReport {
+    let mut engine = engine_for(opts, algorithm, opts.seed);
     // `run --threads N` parallelizes *inside* the replication: the sharded
     // conservative-window kernel with the pinned shard count, so the same
     // seed yields the same bytes at any N.
@@ -543,8 +651,7 @@ fn run_replication(
     seed: u64,
     capture_events: bool,
 ) -> (SimReport, Vec<u8>) {
-    let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, seed);
-    let mut engine = build_engine(opts, algorithm, &workload, seed);
+    let mut engine = engine_for(opts, algorithm, seed);
     // With `--threads`, replication-level fan-out and shard-level execution
     // share the pool (each nested shard batch gets a slice of the budget).
     if opts.command == "run" && opts.threads.is_some() {
@@ -670,6 +777,23 @@ fn print_report(r: &SimReport) {
         println!(
             "leases           : {} renewals, {} expiries, {} transfers",
             r.lease_renewals, r.lease_expiries, r.lease_transfers
+        );
+    }
+}
+
+/// Per-tenant wait breakdown for a scenario run. Tenant `i` submits as
+/// engine client `i`, so the report's per-client accumulators are the
+/// per-tenant accumulators under their spec names.
+fn print_tenant_breakdown(r: &SimReport, spec: &ScenarioSpec) {
+    println!("tenant fairness  : {:>10.3}", r.tenant_fairness());
+    for (i, t) in spec.tenants.iter().enumerate() {
+        let (jobs, mean) = r
+            .client_waits
+            .get(&(i as u32))
+            .map_or((0, 0.0), |s| (s.count(), s.mean()));
+        println!(
+            "  {:<15}: {:>6} job(s) waited, mean wait {:.1} s (weight {})",
+            t.name, jobs, mean, t.weight
         );
     }
 }
@@ -1153,8 +1277,8 @@ fn cmd_watch(opts: &Opts) {
 /// minimal replayable artifact; or `--replay` a previously written artifact.
 fn cmd_check(opts: &Opts) {
     use dgrid::check::{
-        check_run, check_scenario, check_scenario_with, fault_event_count, shrink, Inject,
-        LeaseSpec, MatchmakerChoice, ReproArtifact, Violation,
+        check_run, check_scenario, check_scenario_with, check_spec_with, fault_event_count, shrink,
+        Inject, LeaseSpec, MatchmakerChoice, ReproArtifact, ScenarioVerdict, Violation,
     };
     use std::path::Path;
 
@@ -1236,6 +1360,54 @@ fn cmd_check(opts: &Opts) {
         .map(|m| m.label())
         .collect::<Vec<_>>()
         .join(", ");
+
+    // `--scenario-file`: differentially check the declarative spec itself,
+    // compiled at every sweep seed and run under every selected matchmaker
+    // — the scenario-file analog of the generated-scenario sweep. Specs
+    // are hand-written and already small, so violations are reported
+    // without shrinking.
+    if let Some(spec) = &opts.scenario_spec {
+        use rayon::prelude::*;
+        if inject != Inject::default() || lease.is_some() {
+            eprintln!("--scenario-file checks do not support --inject-bug or --lease-ttl");
+            std::process::exit(2);
+        }
+        println!(
+            "checking scenario '{}' at {} seed(s) from {base}, {} matchmaker(s) [{mm_labels}], \
+             {} thread(s)",
+            spec.name,
+            opts.seeds,
+            selected.len(),
+            rayon::Pool::current_threads(),
+        );
+        // Seeds fan out over the pool but come back in seed order, so the
+        // first violating seed reported is thread-count independent.
+        let verdicts: Vec<(u64, ScenarioVerdict)> = (0..opts.seeds)
+            .into_par_iter()
+            .map(|i| {
+                let seed = base.wrapping_add(i);
+                (seed, check_spec_with(spec, seed, &selected))
+            })
+            .collect();
+        for (seed, verdict) in &verdicts {
+            if !verdict.is_clean() {
+                println!(
+                    "seed {seed}: {} violation(s)",
+                    verdict.all_violations().len()
+                );
+                print_violations(&verdict.all_violations());
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "check: scenario '{}' x {} seed(s) x {} matchmaker(s) clean, all oracles passed",
+            spec.name,
+            opts.seeds,
+            selected.len()
+        );
+        return;
+    }
+
     println!(
         "checking {} scenario(s) from seed {base}, {} matchmaker(s) [{mm_labels}], {} thread(s){}{}",
         opts.seeds,
@@ -1696,7 +1868,13 @@ fn cmd_bench_scale(opts: &Opts) {
                 let speedup = eps / base_eps.max(1e-9);
                 println!(
                     "{:>10} {:>9} {:>10} {:>9.2}s {:>10} {:>12.0} {:>10.2}x",
-                    "", "sharded", format!("t={t}"), t_run_secs, t_events, eps, speedup,
+                    "",
+                    "sharded",
+                    format!("t={t}"),
+                    t_run_secs,
+                    t_events,
+                    eps,
+                    speedup,
                 );
                 thread_points.push(ThreadPoint {
                     threads: t,
@@ -1997,6 +2175,191 @@ fn cmd_bench_leases(opts: &Opts) {
         let f = std::fs::File::create(path).expect("create json output");
         serde_json::to_writer_pretty(f, &record).expect("write json");
         eprintln!("wrote bench leases to {path}");
+    }
+}
+
+/// One tenant row of one algorithm point of `bench scenarios`: per-tenant
+/// accumulators pooled across replications (counts add, means combine
+/// count-weighted).
+#[derive(serde::Serialize)]
+struct TenantPoint {
+    tenant: String,
+    jobs: u64,
+    mean_wait: f64,
+}
+
+/// One algorithm row of one scenario cell of `bench scenarios`.
+#[derive(serde::Serialize)]
+struct ScenarioAlgoPoint {
+    algorithm: String,
+    mean_wait: f64,
+    std_wait: f64,
+    hops_per_job: f64,
+    completion_rate: f64,
+    tenant_fairness: f64,
+    tenants: Vec<TenantPoint>,
+    wall_secs: f64,
+}
+
+/// One scenario cell of `bench scenarios`.
+#[derive(serde::Serialize)]
+struct ScenarioCell {
+    scenario: String,
+    nodes: usize,
+    jobs: usize,
+    tenants: Vec<String>,
+    algorithms: Vec<ScenarioAlgoPoint>,
+}
+
+/// The full `bench scenarios` result, as written to `--json`.
+#[derive(serde::Serialize)]
+struct ScenarioBenchRecord {
+    replications: usize,
+    seed: u64,
+    threads: usize,
+    scenarios: Vec<ScenarioCell>,
+}
+
+/// `dgrid bench scenarios`: the `T-scenario` experiment. Run every
+/// matchmaker family — including the pub/sub discovery baseline — over the
+/// production-shaped scenario presets (or the one spec `--scenario-file`
+/// names) and compare wait times, completion, and per-tenant fairness
+/// under flash crowds, correlated outages, and diurnal load.
+fn cmd_bench_scenarios(opts: &Opts) {
+    use rayon::prelude::*;
+
+    // The six matchmaker families the differential checker sweeps, in the
+    // `MatchmakerChoice::ALL` reporting order.
+    const FAMILIES: [Algorithm; 6] = [
+        Algorithm::Central,
+        Algorithm::RnTree,
+        Algorithm::RnTreePastry,
+        Algorithm::RnTreeTapestry,
+        Algorithm::Can,
+        Algorithm::PubSub,
+    ];
+
+    let specs: Vec<ScenarioSpec> = match &opts.scenario_spec {
+        Some(spec) => vec![spec.clone()],
+        None => SCENARIO_PRESETS
+            .iter()
+            .map(|l| scenario_preset(l).expect("registry preset resolves"))
+            .collect(),
+    };
+
+    let mut cells: Vec<ScenarioCell> = Vec::new();
+    for spec in &specs {
+        println!(
+            "bench scenarios: {} — {} nodes, {} jobs, tenants [{}], {} replications, seed {}",
+            spec.name,
+            spec.nodes,
+            spec.jobs,
+            spec.tenants
+                .iter()
+                .map(|t| t.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+            opts.replications,
+            opts.seed,
+        );
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>11} {:>9} {:>9}",
+            "algorithm", "mean wait", "std wait", "hops/job", "completion", "fairness", "wall"
+        );
+        let mut algos: Vec<ScenarioAlgoPoint> = Vec::new();
+        for alg in FAMILIES {
+            let started = std::time::Instant::now();
+            // Same replication scheme as every other bench: replication r
+            // recompiles the spec from its own derived seed.
+            let reports: Vec<SimReport> = (0..opts.replications as u64)
+                .into_par_iter()
+                .map(|r| {
+                    let seed = opts.seed ^ (r + 1);
+                    build_spec_engine(opts, alg, spec, seed).run()
+                })
+                .collect();
+            let wall_secs = started.elapsed().as_secs_f64();
+            let n = reports.len() as f64;
+            let tenants: Vec<TenantPoint> = spec
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let (jobs, weighted) = reports
+                        .iter()
+                        .filter_map(|r| r.client_waits.get(&(i as u32)))
+                        .fold((0u64, 0.0f64), |(c, w), s| {
+                            (c + s.count(), w + s.mean() * s.count() as f64)
+                        });
+                    TenantPoint {
+                        tenant: t.name.clone(),
+                        jobs,
+                        mean_wait: if jobs > 0 {
+                            weighted / jobs as f64
+                        } else {
+                            0.0
+                        },
+                    }
+                })
+                .collect();
+            let point = ScenarioAlgoPoint {
+                algorithm: alg.label().to_string(),
+                mean_wait: reports.iter().map(SimReport::mean_wait).sum::<f64>() / n,
+                std_wait: reports.iter().map(SimReport::std_wait).sum::<f64>() / n,
+                hops_per_job: reports
+                    .iter()
+                    .map(|r| r.match_hops.mean() + r.owner_hops.mean())
+                    .sum::<f64>()
+                    / n,
+                completion_rate: reports.iter().map(SimReport::completion_rate).sum::<f64>() / n,
+                tenant_fairness: reports.iter().map(SimReport::tenant_fairness).sum::<f64>() / n,
+                tenants,
+                wall_secs,
+            };
+            println!(
+                "{:<16} {:>9.1}s {:>9.1}s {:>10.2} {:>10.1}% {:>9.3} {:>8.2}s",
+                point.algorithm,
+                point.mean_wait,
+                point.std_wait,
+                point.hops_per_job,
+                100.0 * point.completion_rate,
+                point.tenant_fairness,
+                point.wall_secs,
+            );
+            let detail = point
+                .tenants
+                .iter()
+                .map(|t| format!("{} {} @ {:.1}s", t.tenant, t.jobs, t.mean_wait))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!("{:<16}   tenants: {detail}", "");
+            algos.push(point);
+        }
+        cells.push(ScenarioCell {
+            scenario: spec.name.clone(),
+            nodes: spec.nodes,
+            jobs: spec.jobs,
+            tenants: spec.tenants.iter().map(|t| t.name.clone()).collect(),
+            algorithms: algos,
+        });
+        println!();
+    }
+
+    if let Some(path) = &opts.json {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create json output directory");
+            }
+        }
+        let record = ScenarioBenchRecord {
+            replications: opts.replications,
+            seed: opts.seed,
+            threads: rayon::Pool::current_threads(),
+            scenarios: cells,
+        };
+        let f = std::fs::File::create(path).expect("create json output");
+        serde_json::to_writer_pretty(f, &record).expect("write json");
+        eprintln!("wrote bench scenarios to {path}");
     }
 }
 
@@ -2342,18 +2705,35 @@ fn dispatch(opts: &Opts) {
         cmd_bench_leases(opts);
         return;
     }
+    if opts.command == "bench-scenarios" {
+        cmd_bench_scenarios(opts);
+        return;
+    }
     if opts.command == "bench-scale" {
         cmd_bench_scale(opts);
         return;
     }
-    let workload = paper_scenario(opts.scenario, opts.nodes, opts.jobs, opts.seed);
-    println!(
-        "workload: {} — {} nodes, {} jobs, seed {}",
-        opts.scenario.label(),
-        opts.nodes,
-        opts.jobs,
-        opts.seed
-    );
+    match &opts.scenario_spec {
+        Some(spec) => println!(
+            "scenario: {} — {} nodes, {} jobs, tenants [{}], seed {}",
+            spec.name,
+            spec.nodes,
+            spec.jobs,
+            spec.tenants
+                .iter()
+                .map(|t| t.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+            opts.seed
+        ),
+        None => println!(
+            "workload: {} — {} nodes, {} jobs, seed {}",
+            opts.scenario.label(),
+            opts.nodes,
+            opts.jobs,
+            opts.seed
+        ),
+    }
     println!();
 
     let mut reports = Vec::new();
@@ -2362,8 +2742,11 @@ fn dispatch(opts: &Opts) {
             reports = run_replicated(opts);
         }
         "run" => {
-            let mut r = run_one(opts, opts.algorithm, &workload, true);
+            let mut r = run_one(opts, opts.algorithm, true);
             print_report(&r);
+            if let Some(spec) = &opts.scenario_spec {
+                print_tenant_breakdown(&r, spec);
+            }
             if let Some(path) = &opts.events {
                 eprintln!("wrote event stream to {path}");
             }
@@ -2401,9 +2784,10 @@ fn dispatch(opts: &Opts) {
                 Algorithm::RnTreeTapestry,
                 Algorithm::Can,
                 Algorithm::CanPush,
+                Algorithm::PubSub,
             ]
             .into_par_iter()
-            .map(|alg| run_one(opts, alg, &workload, false))
+            .map(|alg| run_one(opts, alg, false))
             .collect();
             for r in compared {
                 let w = r.wait_stats.unwrap_or_default();

@@ -10,7 +10,7 @@
 use dgrid_core::router::{PastryNetwork, TapestryNetwork};
 use dgrid_core::{
     CanMatchmaker, CanMmConfig, CentralizedMatchmaker, ChurnConfig, Engine, EngineConfig,
-    FaultPlan, Matchmaker, RnTreeConfig, RnTreeMatchmaker, SimReport,
+    FaultPlan, Matchmaker, PubSubMatchmaker, RnTreeConfig, RnTreeMatchmaker, SimReport,
 };
 use dgrid_resources::ResourceSpace;
 use dgrid_workloads::{paper_scenario, PaperScenario, Workload};
@@ -34,6 +34,10 @@ pub enum Algorithm {
     CanNoVirtualDim,
     /// Omniscient centralized baseline (the paper's load-balance target).
     Central,
+    /// Publish/subscribe resource discovery (the Abbes et al. baseline):
+    /// advertisement table + predicate-keyed subscriptions over rendezvous
+    /// brokers.
+    PubSub,
 }
 
 impl Algorithm {
@@ -58,6 +62,7 @@ impl Algorithm {
             Algorithm::CanPush => "can-push",
             Algorithm::CanNoVirtualDim => "can-novirt",
             Algorithm::Central => "central",
+            Algorithm::PubSub => "pub-sub",
         }
     }
 
@@ -81,6 +86,7 @@ impl Algorithm {
                 ResourceSpace::default_desktop(),
             )),
             Algorithm::Central => Box::new(CentralizedMatchmaker::new()),
+            Algorithm::PubSub => Box::new(PubSubMatchmaker::new()),
         }
     }
 }
@@ -216,11 +222,12 @@ mod tests {
             Algorithm::CanPush,
             Algorithm::CanNoVirtualDim,
             Algorithm::Central,
+            Algorithm::PubSub,
         ]
         .iter()
         .map(|a| a.label())
         .collect();
-        assert_eq!(labels.len(), 7);
+        assert_eq!(labels.len(), 8);
     }
 
     #[test]
